@@ -1,0 +1,401 @@
+//! A small boolean-expression AST bridging provenance polynomials and BDDs.
+//!
+//! Provenance expressions arrive from the engine in the `+` / `*` form of the
+//! paper (union and join over base-tuple variables).  [`BoolExpr`] is that
+//! syntax tree; [`BoolExpr::to_bdd`] compiles it into a canonical BDD, and
+//! [`BoolExpr::from_bdd`] renders a canonical BDD back into a sum-of-products
+//! expression for display (the `<a>` annotation in the paper's Figure 2).
+
+use crate::manager::{BddManager, BddRef, VarId};
+use std::fmt;
+
+/// A boolean expression over provenance variables.
+#[derive(Clone, PartialEq, Eq, Debug, Hash)]
+pub enum BoolExpr {
+    /// The constant false (empty union — no derivation).
+    False,
+    /// The constant true (the tuple is axiomatically present).
+    True,
+    /// A single base-tuple / principal variable.
+    Var(VarId),
+    /// Union of alternative derivations (the paper's `+`).
+    Or(Vec<BoolExpr>),
+    /// Join of antecedents (the paper's `*`).
+    And(Vec<BoolExpr>),
+    /// Negation (not used by provenance proper, but needed for trust
+    /// policies of the form "not derived via principal X").
+    Not(Box<BoolExpr>),
+}
+
+impl BoolExpr {
+    /// Convenience constructor for a variable.
+    pub fn var(v: VarId) -> Self {
+        BoolExpr::Var(v)
+    }
+
+    /// Builds the union of two expressions, flattening nested unions.
+    pub fn or(self, other: BoolExpr) -> Self {
+        match (self, other) {
+            (BoolExpr::False, x) | (x, BoolExpr::False) => x,
+            (BoolExpr::True, _) | (_, BoolExpr::True) => BoolExpr::True,
+            (BoolExpr::Or(mut xs), BoolExpr::Or(ys)) => {
+                xs.extend(ys);
+                BoolExpr::Or(xs)
+            }
+            (BoolExpr::Or(mut xs), y) => {
+                xs.push(y);
+                BoolExpr::Or(xs)
+            }
+            (x, BoolExpr::Or(mut ys)) => {
+                ys.insert(0, x);
+                BoolExpr::Or(ys)
+            }
+            (x, y) => BoolExpr::Or(vec![x, y]),
+        }
+    }
+
+    /// Builds the conjunction of two expressions, flattening nested joins.
+    pub fn and(self, other: BoolExpr) -> Self {
+        match (self, other) {
+            (BoolExpr::False, _) | (_, BoolExpr::False) => BoolExpr::False,
+            (BoolExpr::True, x) | (x, BoolExpr::True) => x,
+            (BoolExpr::And(mut xs), BoolExpr::And(ys)) => {
+                xs.extend(ys);
+                BoolExpr::And(xs)
+            }
+            (BoolExpr::And(mut xs), y) => {
+                xs.push(y);
+                BoolExpr::And(xs)
+            }
+            (x, BoolExpr::And(mut ys)) => {
+                ys.insert(0, x);
+                BoolExpr::And(ys)
+            }
+            (x, y) => BoolExpr::And(vec![x, y]),
+        }
+    }
+
+    /// Compiles the expression into a BDD owned by `manager`.
+    pub fn to_bdd(&self, manager: &mut BddManager) -> BddRef {
+        match self {
+            BoolExpr::False => manager.false_ref(),
+            BoolExpr::True => manager.true_ref(),
+            BoolExpr::Var(v) => manager.var(*v),
+            BoolExpr::Or(children) => {
+                let mut acc = manager.false_ref();
+                for c in children {
+                    let cb = c.to_bdd(manager);
+                    acc = manager.or(acc, cb);
+                }
+                acc
+            }
+            BoolExpr::And(children) => {
+                let mut acc = manager.true_ref();
+                for c in children {
+                    let cb = c.to_bdd(manager);
+                    acc = manager.and(acc, cb);
+                }
+                acc
+            }
+            BoolExpr::Not(inner) => {
+                let ib = inner.to_bdd(manager);
+                manager.not(ib)
+            }
+        }
+    }
+
+    /// Renders a BDD back into a sum-of-products expression (positive and
+    /// negative literals).  The result is canonical in the sense that equal
+    /// BDDs produce equal expressions.
+    pub fn from_bdd(manager: &BddManager, bdd: BddRef) -> BoolExpr {
+        if bdd == manager.false_ref() {
+            return BoolExpr::False;
+        }
+        if bdd == manager.true_ref() {
+            return BoolExpr::True;
+        }
+        let cubes = manager.cubes(bdd, usize::MAX);
+        let mut terms: Vec<BoolExpr> = cubes
+            .into_iter()
+            .map(|cube| {
+                let mut lits: Vec<BoolExpr> = cube
+                    .into_iter()
+                    .map(|(v, positive)| {
+                        if positive {
+                            BoolExpr::Var(v)
+                        } else {
+                            BoolExpr::Not(Box::new(BoolExpr::Var(v)))
+                        }
+                    })
+                    .collect();
+                match lits.len() {
+                    0 => BoolExpr::True,
+                    1 => lits.pop().expect("len checked"),
+                    _ => BoolExpr::And(lits),
+                }
+            })
+            .collect();
+        match terms.len() {
+            0 => BoolExpr::False,
+            1 => terms.pop().expect("len checked"),
+            _ => BoolExpr::Or(terms),
+        }
+    }
+
+    /// Renders a **monotone** BDD (such as a provenance function, which never
+    /// negates base tuples) as a minimal sum of positive-literal products.
+    ///
+    /// Each satisfying path contributes the set of its positive literals;
+    /// for a monotone function dropping the negative literals preserves the
+    /// function, and absorption removes redundant products — yielding the
+    /// paper's `<a + a*b> → <a>` style annotations.  Calling this on a
+    /// non-monotone function over-approximates it.
+    pub fn monotone_from_bdd(manager: &BddManager, bdd: BddRef) -> BoolExpr {
+        if bdd == manager.false_ref() {
+            return BoolExpr::False;
+        }
+        if bdd == manager.true_ref() {
+            return BoolExpr::True;
+        }
+        let mut products: Vec<Vec<VarId>> = manager
+            .cubes(bdd, usize::MAX)
+            .into_iter()
+            .map(|cube| {
+                let mut vars: Vec<VarId> = cube
+                    .into_iter()
+                    .filter(|(_, positive)| *positive)
+                    .map(|(v, _)| v)
+                    .collect();
+                vars.sort_unstable();
+                vars.dedup();
+                vars
+            })
+            .collect();
+        products.sort();
+        products.dedup();
+        // Absorption: drop any product that is a superset of another.
+        let snapshot = products.clone();
+        products.retain(|p| {
+            !snapshot
+                .iter()
+                .any(|other| other != p && other.iter().all(|v| p.contains(v)))
+        });
+        if products.iter().any(|p| p.is_empty()) {
+            return BoolExpr::True;
+        }
+        let mut terms: Vec<BoolExpr> = products
+            .into_iter()
+            .map(|vars| {
+                let mut lits: Vec<BoolExpr> = vars.into_iter().map(BoolExpr::Var).collect();
+                if lits.len() == 1 {
+                    lits.pop().expect("len checked")
+                } else {
+                    BoolExpr::And(lits)
+                }
+            })
+            .collect();
+        match terms.len() {
+            0 => BoolExpr::False,
+            1 => terms.pop().expect("len checked"),
+            _ => BoolExpr::Or(terms),
+        }
+    }
+
+    /// Number of variable occurrences (a rough size measure used when
+    /// comparing condensed vs uncondensed provenance).
+    pub fn literal_count(&self) -> usize {
+        match self {
+            BoolExpr::False | BoolExpr::True => 0,
+            BoolExpr::Var(_) => 1,
+            BoolExpr::Or(children) | BoolExpr::And(children) => {
+                children.iter().map(|c| c.literal_count()).sum()
+            }
+            BoolExpr::Not(inner) => inner.literal_count(),
+        }
+    }
+
+    /// Renders the expression using a naming function for variables, in the
+    /// paper's `+`/`*` notation (e.g. `a + a*b`).
+    pub fn render<F: Fn(VarId) -> String>(&self, name: &F) -> String {
+        fn go<F: Fn(VarId) -> String>(e: &BoolExpr, name: &F, parent_is_and: bool) -> String {
+            match e {
+                BoolExpr::False => "0".to_string(),
+                BoolExpr::True => "1".to_string(),
+                BoolExpr::Var(v) => name(*v),
+                BoolExpr::Not(inner) => format!("!{}", go(inner, name, true)),
+                BoolExpr::And(children) => children
+                    .iter()
+                    .map(|c| go(c, name, true))
+                    .collect::<Vec<_>>()
+                    .join("*"),
+                BoolExpr::Or(children) => {
+                    let body = children
+                        .iter()
+                        .map(|c| go(c, name, false))
+                        .collect::<Vec<_>>()
+                        .join(" + ");
+                    if parent_is_and {
+                        format!("({body})")
+                    } else {
+                        body
+                    }
+                }
+            }
+        }
+        go(self, name, false)
+    }
+}
+
+impl fmt::Display for BoolExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.render(&|v| format!("x{v}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn constructors_simplify_constants() {
+        let a = BoolExpr::var(0);
+        assert_eq!(a.clone().or(BoolExpr::False), a);
+        assert_eq!(a.clone().or(BoolExpr::True), BoolExpr::True);
+        assert_eq!(a.clone().and(BoolExpr::True), a);
+        assert_eq!(a.clone().and(BoolExpr::False), BoolExpr::False);
+    }
+
+    #[test]
+    fn paper_example_condenses_via_bdd() {
+        // <a + a*b>  -->  <a>
+        let a = BoolExpr::var(0);
+        let b = BoolExpr::var(1);
+        let expr = a.clone().or(a.clone().and(b));
+        let mut m = BddManager::new();
+        let bdd = expr.to_bdd(&mut m);
+        let condensed = BoolExpr::from_bdd(&m, bdd);
+        assert_eq!(condensed, BoolExpr::Var(0));
+        assert_eq!(condensed.render(&|v| ["a", "b"][v as usize].to_string()), "a");
+    }
+
+    #[test]
+    fn to_bdd_equal_functions_share_reference() {
+        let mut m = BddManager::new();
+        // (x0 + x1) * x2  and  x0*x2 + x1*x2 are the same function.
+        let e1 = BoolExpr::var(0).or(BoolExpr::var(1)).and(BoolExpr::var(2));
+        let e2 = BoolExpr::var(0)
+            .and(BoolExpr::var(2))
+            .or(BoolExpr::var(1).and(BoolExpr::var(2)));
+        assert_eq!(e1.to_bdd(&mut m), e2.to_bdd(&mut m));
+    }
+
+    #[test]
+    fn from_bdd_roundtrips_semantics() {
+        let mut m = BddManager::new();
+        let e = BoolExpr::var(0)
+            .and(BoolExpr::var(1))
+            .or(BoolExpr::var(2).and(BoolExpr::Not(Box::new(BoolExpr::var(0)))));
+        let bdd = e.to_bdd(&mut m);
+        let back = BoolExpr::from_bdd(&m, bdd);
+        let bdd2 = back.to_bdd(&mut m);
+        assert_eq!(bdd, bdd2);
+    }
+
+    #[test]
+    fn monotone_from_bdd_reproduces_minimal_products() {
+        let mut m = BddManager::new();
+        // a + a*b condenses to a.
+        let e = BoolExpr::var(0).or(BoolExpr::var(0).and(BoolExpr::var(1)));
+        let bdd = e.to_bdd(&mut m);
+        assert_eq!(BoolExpr::monotone_from_bdd(&m, bdd), BoolExpr::Var(0));
+
+        // a*b + c keeps both products, with no negative literals.
+        let e2 = BoolExpr::var(0).and(BoolExpr::var(1)).or(BoolExpr::var(2));
+        let bdd2 = e2.to_bdd(&mut m);
+        let rendered = BoolExpr::monotone_from_bdd(&m, bdd2);
+        assert_eq!(rendered.to_bdd(&mut m), bdd2);
+        assert!(!format!("{rendered}").contains('!'));
+
+        // Constants pass through.
+        assert_eq!(BoolExpr::monotone_from_bdd(&m, m.true_ref()), BoolExpr::True);
+        assert_eq!(BoolExpr::monotone_from_bdd(&m, m.false_ref()), BoolExpr::False);
+    }
+
+    #[test]
+    fn literal_count_counts_occurrences() {
+        let e = BoolExpr::var(0).or(BoolExpr::var(0).and(BoolExpr::var(1)));
+        assert_eq!(e.literal_count(), 3);
+        assert_eq!(BoolExpr::True.literal_count(), 0);
+    }
+
+    #[test]
+    fn render_uses_paper_notation() {
+        let e = BoolExpr::var(0).or(BoolExpr::var(0).and(BoolExpr::var(1)));
+        let names = |v: VarId| ["a", "b"][v as usize].to_string();
+        assert_eq!(e.render(&names), "a + a*b");
+        let f = BoolExpr::var(0).and(BoolExpr::var(1).or(BoolExpr::var(2)));
+        let names3 = |v: VarId| ["a", "b", "c"][v as usize].to_string();
+        assert_eq!(f.render(&names3), "a*(b + c)");
+        assert_eq!(format!("{}", BoolExpr::var(7)), "x7");
+    }
+
+    #[test]
+    fn display_of_constants() {
+        assert_eq!(format!("{}", BoolExpr::True), "1");
+        assert_eq!(format!("{}", BoolExpr::False), "0");
+    }
+
+    fn arb_expr() -> impl Strategy<Value = BoolExpr> {
+        let leaf = prop_oneof![
+            Just(BoolExpr::False),
+            Just(BoolExpr::True),
+            (0u32..6).prop_map(BoolExpr::Var),
+        ];
+        leaf.prop_recursive(4, 64, 4, |inner| {
+            prop_oneof![
+                proptest::collection::vec(inner.clone(), 1..4).prop_map(BoolExpr::Or),
+                proptest::collection::vec(inner.clone(), 1..4).prop_map(BoolExpr::And),
+                inner.prop_map(|e| BoolExpr::Not(Box::new(e))),
+            ]
+        })
+    }
+
+    fn eval(e: &BoolExpr, mask: u32) -> bool {
+        match e {
+            BoolExpr::False => false,
+            BoolExpr::True => true,
+            BoolExpr::Var(v) => (mask >> v) & 1 == 1,
+            BoolExpr::Or(cs) => cs.iter().any(|c| eval(c, mask)),
+            BoolExpr::And(cs) => cs.iter().all(|c| eval(c, mask)),
+            BoolExpr::Not(i) => !eval(i, mask),
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_bdd_agrees_with_direct_evaluation(e in arb_expr(), mask in 0u32..64) {
+            let mut m = BddManager::new();
+            let bdd = e.to_bdd(&mut m);
+            let via_bdd = m.evaluate(bdd, |v| (mask >> v) & 1 == 1);
+            prop_assert_eq!(via_bdd, eval(&e, mask));
+        }
+
+        #[test]
+        fn prop_from_bdd_is_canonical(e in arb_expr()) {
+            let mut m = BddManager::new();
+            let bdd = e.to_bdd(&mut m);
+            let rendered = BoolExpr::from_bdd(&m, bdd);
+            prop_assert_eq!(rendered.to_bdd(&mut m), bdd);
+        }
+
+        #[test]
+        fn prop_or_and_are_monotone_wrt_truth(e1 in arb_expr(), e2 in arb_expr(), mask in 0u32..64) {
+            let or = e1.clone().or(e2.clone());
+            let and = e1.clone().and(e2.clone());
+            let (v1, v2) = (eval(&e1, mask), eval(&e2, mask));
+            prop_assert_eq!(eval(&or, mask), v1 || v2);
+            prop_assert_eq!(eval(&and, mask), v1 && v2);
+        }
+    }
+}

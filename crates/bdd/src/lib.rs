@@ -1,0 +1,39 @@
+//! # pasn-bdd
+//!
+//! A from-scratch ordered binary decision diagram (OBDD) package, standing in
+//! for the BuDDy library used by the paper's prototype (Section 6: "We
+//! utilize the OpenSSL v0.9.8b, and Buddy BDD v2.4 libraries to support
+//! encryption and provenance").
+//!
+//! Condensed provenance (Section 4.4) annotates each tuple with a boolean
+//! expression over the *base tuples* (equivalently, the principals that
+//! asserted them) from which it was derived: `+` is logical OR (alternative
+//! derivations), `*` is logical AND (joined antecedents).  Encoding those
+//! expressions as reduced OBDDs gives a canonical, absorbed form — the
+//! paper's example `<a + a*b>` condenses to `<a>` because the two functions
+//! are equal as boolean functions.
+//!
+//! The manager uses hash-consing (a unique table) so structurally equal nodes
+//! are shared, plus a memoised `apply` cache.  Typical provenance expressions
+//! are tiny (tens of variables), so the implementation favours clarity, but
+//! property tests exercise expressions with hundreds of nodes.
+//!
+//! ```
+//! use pasn_bdd::BddManager;
+//! let mut m = BddManager::new();
+//! let a = m.var(0);
+//! let b = m.var(1);
+//! // a + a*b  ==  a   (absorption — the paper's Figure 2 example)
+//! let ab = m.and(a, b);
+//! let expr = m.or(a, ab);
+//! assert_eq!(expr, a);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod expr;
+pub mod manager;
+
+pub use expr::BoolExpr;
+pub use manager::{BddManager, BddRef, VarId};

@@ -1,0 +1,53 @@
+//! Ablation: condensed (BDD) provenance vs uncondensed why-provenance
+//! (Section 4.4).
+//!
+//! The paper argues that BDD-encoded condensed provenance keeps the per-tuple
+//! annotation compact while retaining enough information for trust
+//! enforcement.  This bench runs the same workload with (a) no provenance,
+//! (b) condensed provenance and (c) full why-provenance, and reports the
+//! provenance bytes shipped by each.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pasn::prelude::*;
+use pasn_bench::reachability_network;
+use std::time::Duration;
+
+fn condensation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_condensation");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(4));
+
+    let n = 20u32;
+    let configs: Vec<(&str, EngineConfig)> = vec![
+        ("none", EngineConfig::ndlog()),
+        (
+            "condensed",
+            EngineConfig::ndlog().with_provenance(ProvenanceKind::Condensed),
+        ),
+        (
+            "why_uncondensed",
+            EngineConfig::ndlog().with_provenance(ProvenanceKind::Why),
+        ),
+    ];
+
+    for (name, config) in &configs {
+        let mut probe = reachability_network(n, config.clone(), 5);
+        let metrics = probe.run().expect("fixpoint");
+        println!(
+            "condensation ablation: {name:>16} prov_bytes={} total={:.3}MB completion={:.2}s",
+            metrics.provenance_bytes,
+            metrics.megabytes(),
+            metrics.completion_secs()
+        );
+        group.bench_with_input(BenchmarkId::new("mode", *name), config, |b, config| {
+            b.iter(|| {
+                let mut net = reachability_network(n, config.clone(), 5);
+                net.run().expect("fixpoint").provenance_bytes
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, condensation);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Ablation: provenance granularity (Section 5, "Provenance granularity").
+//!
+//! Aggregating provenance to the AS level collapses many principals into one
+//! provenance variable, shrinking the condensed expressions (and with them
+//! the shipped bytes) at the cost of only AS-level attribution.  The bench
+//! runs the same deployment at node granularity and at several AS sizes and
+//! reports the provenance footprint of each.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pasn::prelude::*;
+use pasn_bench::reachability_network;
+use pasn_provenance::Granularity;
+use std::time::Duration;
+
+fn granularity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_granularity");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(4));
+
+    let n = 16u32;
+    let cases = [
+        ("node", Granularity::Node),
+        ("as-of-4", Granularity::uniform_as(n, 4)),
+        ("as-of-8", Granularity::uniform_as(n, 8)),
+    ];
+
+    for (name, granularity) in cases {
+        let mut config = EngineConfig::ndlog().with_provenance(ProvenanceKind::Condensed);
+        config.granularity = granularity.clone();
+
+        // Report the footprint once: distinct provenance variables and total
+        // provenance bytes shipped.
+        let mut probe = reachability_network(n, config.clone(), 9);
+        let metrics = probe.run().expect("fixpoint");
+        println!(
+            "granularity ablation: {name:>8} distinct origins={} prov_bytes={}",
+            probe.var_table().len(),
+            metrics.provenance_bytes
+        );
+
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut net = reachability_network(n, config.clone(), 9);
+                net.run().expect("fixpoint").provenance_bytes
+            })
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, granularity);
+criterion_main!(benches);

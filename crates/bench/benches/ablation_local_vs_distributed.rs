@@ -1,0 +1,68 @@
+//! Ablation: local vs distributed provenance (Section 4.1).
+//!
+//! Local provenance piggybacks the full derivation subtree on every shipped
+//! tuple (expensive to maintain, cheap to query); distributed provenance only
+//! stores per-node pointers (free to ship, but a traceback query must cross
+//! node boundaries).  This bench measures both the maintenance cost and the
+//! query cost of the two configurations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pasn::prelude::*;
+use pasn_bench::reachability_network;
+use pasn_provenance::traceback;
+use std::time::Duration;
+
+fn local_vs_distributed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_local_vs_distributed");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(4));
+
+    let n = 15u32;
+
+    // Maintenance cost: run to fixpoint under each mode.
+    for (name, mode) in [("local", GraphMode::Local), ("distributed", GraphMode::Distributed)] {
+        let config = EngineConfig::ndlog().with_graph_mode(mode);
+        let mut probe = reachability_network(n, config.clone(), 5);
+        let metrics = probe.run().expect("fixpoint");
+        println!(
+            "local-vs-distributed: {name:>12} maintenance prov_bytes={} bandwidth={:.3}MB",
+            metrics.provenance_bytes,
+            metrics.megabytes()
+        );
+        group.bench_function(format!("maintain/{name}"), |b| {
+            b.iter(|| {
+                let mut net = reachability_network(n, config.clone(), 5);
+                net.run().expect("fixpoint").provenance_bytes
+            })
+        });
+    }
+
+    // Query cost: local provenance answers from the node's own graph;
+    // distributed provenance runs a multi-hop traceback.
+    let mut local_net = reachability_network(n, EngineConfig::ndlog().with_graph_mode(GraphMode::Local), 5);
+    local_net.run().expect("fixpoint");
+    let target = "reachable(@n0,n5)";
+    group.bench_function("query/local", |b| {
+        let graph = local_net.provenance_graph(&Value::Addr(0)).unwrap();
+        let root = graph.find(target).expect("derived");
+        b.iter(|| graph.base_support(root).len())
+    });
+
+    let mut dist_net = reachability_network(n, EngineConfig::ndlog().with_graph_mode(GraphMode::Distributed), 5);
+    dist_net.run().expect("fixpoint");
+    let stores = dist_net.distributed_stores();
+    let probe = traceback(&stores, "n0", target);
+    println!(
+        "local-vs-distributed: distributed query visits {} entries over {} remote hops",
+        probe.visited.len(),
+        probe.remote_hops
+    );
+    group.bench_function("query/distributed", |b| {
+        b.iter(|| traceback(&stores, "n0", target).base_tuples.len())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, local_vs_distributed);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Ablation: proactive vs reactive provenance (Section 5, "Proactive vs
+//! reactive provenance").
+//!
+//! Proactive maintenance pays for every derivation's provenance during the
+//! run; reactive maintenance defers the work until a network event (a
+//! diagnosis, a forensic query) asks for it.  The bench measures both the
+//! run-time cost of each mode and the deferred materialisation cost the
+//! reactive mode pays later.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pasn::prelude::*;
+use pasn_bench::reachability_network;
+use pasn_provenance::MaintenanceMode;
+use std::time::Duration;
+
+fn maintenance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_maintenance");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(4));
+
+    let n = 15u32;
+    let base = EngineConfig::ndlog().with_graph_mode(GraphMode::Local);
+
+    for (name, mode) in [
+        ("proactive", MaintenanceMode::Proactive),
+        ("reactive", MaintenanceMode::Reactive),
+    ] {
+        let mut config = base.clone();
+        config.maintenance = mode;
+
+        let mut probe = reachability_network(n, config.clone(), 13);
+        let metrics = probe.run().expect("fixpoint");
+        let eager_nodes: usize = probe
+            .engine()
+            .locations()
+            .iter()
+            .filter_map(|l| probe.provenance_graph(l))
+            .map(|g| g.len())
+            .sum();
+        println!(
+            "maintenance ablation: {name:>9} run prov_bytes={} eager graph nodes={}",
+            metrics.provenance_bytes, eager_nodes
+        );
+
+        // Cost during the run.
+        group.bench_function(format!("run/{name}"), |b| {
+            b.iter(|| {
+                let mut net = reachability_network(n, config.clone(), 13);
+                net.run().expect("fixpoint").provenance_bytes
+            })
+        });
+
+        // Deferred cost: reactive deployments materialise provenance only
+        // when an event demands it.
+        group.bench_function(format!("run-then-materialize/{name}"), |b| {
+            b.iter(|| {
+                let mut net = reachability_network(n, config.clone(), 13);
+                net.run().expect("fixpoint");
+                net.engine_mut().materialize_provenance()
+            })
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, maintenance);
+criterion_main!(benches);

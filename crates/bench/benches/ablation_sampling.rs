@@ -1,0 +1,83 @@
+//! Ablation: sampled provenance (Section 5, "Sampling").
+//!
+//! Two knobs are measured: recording only a fraction of derivations
+//! (`SamplingPolicy::one_in(k)`, the IP-traceback 1-in-20,000 analogue) and
+//! querying provenance by random moonwalks instead of exhaustive traceback.
+//! Both trade accuracy for storage / query cost; the bench reports the cost
+//! side, the integration tests (`tests/moonwalk_forensics.rs`) check the
+//! accuracy side.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pasn::prelude::*;
+use pasn_bench::reachability_network;
+use pasn_provenance::{moonwalk, traceback, MoonwalkConfig, SamplingPolicy};
+use std::time::Duration;
+
+fn sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_sampling");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(4));
+
+    let n = 15u32;
+
+    // Recording cost: how much provenance each node stores as the sampling
+    // rate drops.
+    for (name, policy) in [
+        ("record/always", SamplingPolicy::always()),
+        ("record/one-in-4", SamplingPolicy::one_in(4)),
+        ("record/one-in-16", SamplingPolicy::one_in(16)),
+    ] {
+        let mut config = EngineConfig::ndlog().with_graph_mode(GraphMode::Distributed);
+        config.sampling = policy.clone();
+        let mut probe = reachability_network(n, config.clone(), 5);
+        probe.run().expect("fixpoint");
+        let entries: usize = probe
+            .distributed_stores()
+            .values()
+            .map(|s| s.entry_count())
+            .sum();
+        println!("sampling ablation: {name:>18} stores {entries} pointer records");
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut net = reachability_network(n, config.clone(), 5);
+                net.run().expect("fixpoint");
+                net.distributed_stores()
+                    .values()
+                    .map(|s| s.entry_count())
+                    .sum::<usize>()
+            })
+        });
+    }
+
+    // Query cost: exhaustive traceback vs random moonwalks over the same
+    // distributed stores.
+    let mut net =
+        reachability_network(n, EngineConfig::ndlog().with_graph_mode(GraphMode::Distributed), 5);
+    net.run().expect("fixpoint");
+    let stores = net.distributed_stores();
+    let target = "reachable(@n0,n5)";
+
+    let full = traceback(&stores, "n0", target);
+    let sampled = moonwalk(&stores, "n0", target, &MoonwalkConfig::with_walks(32));
+    println!(
+        "sampling ablation: traceback reads {} records, 32 moonwalks read {} ({} origins found)",
+        full.visited.len(),
+        sampled.records_read,
+        sampled.base_frequency.len()
+    );
+
+    group.bench_function("query/traceback", |b| {
+        b.iter(|| traceback(&stores, "n0", target).base_tuples.len())
+    });
+    for walks in [8usize, 32, 128] {
+        group.bench_function(format!("query/moonwalk-{walks}"), |b| {
+            let config = MoonwalkConfig::with_walks(walks);
+            b.iter(|| moonwalk(&stores, "n0", target, &config).records_read)
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, sampling);
+criterion_main!(benches);

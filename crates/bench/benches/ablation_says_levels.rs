@@ -1,0 +1,48 @@
+//! Ablation: the cost of the three `says` strength levels (Section 2.2).
+//!
+//! "In a hostile world, says may require digital signatures, while in a more
+//! benign world, says may simply append a cleartext principal header to a
+//! message — and this will of course be cheaper."  This bench quantifies that
+//! spectrum: cleartext vs HMAC vs RSA authentication of the same reachability
+//! workload, reporting both wall-clock and the per-variant simulated cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pasn::prelude::*;
+use pasn_bench::reachability_network;
+use pasn_crypto::says::SaysLevel;
+use std::time::Duration;
+
+fn says_levels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_says_levels");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(4));
+
+    let n = 20u32;
+    let configs: Vec<(&str, EngineConfig)> = vec![
+        ("none", EngineConfig::ndlog()),
+        ("cleartext", EngineConfig::ndlog().with_says(SaysLevel::Cleartext)),
+        ("hmac", EngineConfig::ndlog().with_says(SaysLevel::Hmac)),
+        ("rsa", EngineConfig::ndlog().with_says(SaysLevel::Rsa)),
+    ];
+
+    for (name, config) in &configs {
+        let mut probe = reachability_network(n, config.clone(), 5);
+        let metrics = probe.run().expect("fixpoint");
+        println!(
+            "says ablation: {name:>9} completion={:.2}s bandwidth={:.3}MB auth_bytes={}",
+            metrics.completion_secs(),
+            metrics.megabytes(),
+            metrics.auth_bytes
+        );
+        group.bench_with_input(BenchmarkId::new("level", *name), config, |b, config| {
+            b.iter(|| {
+                let mut net = reachability_network(n, config.clone(), 5);
+                net.run().expect("fixpoint").completion_secs()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, says_levels);
+criterion_main!(benches);

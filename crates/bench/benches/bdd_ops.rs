@@ -1,0 +1,63 @@
+//! Microbenchmarks of the BDD package on provenance-shaped expressions:
+//! building condensed provenance incrementally (`or` of `and`-chains, as the
+//! engine does per derivation) and rendering the canonical annotation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pasn_bdd::{BddManager, BoolExpr};
+use std::time::Duration;
+
+/// Builds a provenance function with `alternatives` derivations each joining
+/// `width` principals (with overlap, so absorption has work to do).
+fn provenance_function(m: &mut BddManager, alternatives: u32, width: u32) -> pasn_bdd::BddRef {
+    let mut acc = m.false_ref();
+    for alt in 0..alternatives {
+        let mut product = m.true_ref();
+        for k in 0..width {
+            let var = m.var(alt + k); // consecutive alternatives share vars
+            product = m.and(product, var);
+        }
+        acc = m.or(acc, product);
+    }
+    acc
+}
+
+fn bdd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bdd_ops");
+    group.sample_size(30);
+    group.measurement_time(Duration::from_secs(3));
+
+    for (alternatives, width) in [(4u32, 3u32), (16, 4), (64, 5)] {
+        group.bench_with_input(
+            BenchmarkId::new("build", format!("{alternatives}x{width}")),
+            &(alternatives, width),
+            |b, &(alternatives, width)| {
+                b.iter(|| {
+                    let mut m = BddManager::new();
+                    provenance_function(&mut m, alternatives, width)
+                })
+            },
+        );
+    }
+
+    group.bench_function("condense_paper_example", |b| {
+        b.iter(|| {
+            let mut m = BddManager::new();
+            let a = m.var(0);
+            let bb = m.var(1);
+            let ab = m.and(a, bb);
+            let expr = m.or(a, ab);
+            assert_eq!(expr, a);
+        })
+    });
+
+    group.bench_function("render_monotone/16x4", |b| {
+        let mut m = BddManager::new();
+        let f = provenance_function(&mut m, 16, 4);
+        b.iter(|| BoolExpr::monotone_from_bdd(&m, f))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bdd);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Microbenchmarks of the cryptographic substrate: SHA-256, HMAC and RSA
+//! sign/verify.  The sign/verify ratio is what makes the SeNDLog overhead of
+//! Figure 3 asymmetric between the sending and receiving side.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pasn_crypto::hmac::hmac_sha256;
+use pasn_crypto::rsa::RsaKeyPair;
+use pasn_crypto::sha256::sha256;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn crypto(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crypto_primitives");
+    group.sample_size(20);
+    group.measurement_time(Duration::from_secs(3));
+
+    // A typical exported tuple payload (bestPath with a 6-hop path vector).
+    let payload = vec![0xa5u8; 96];
+
+    for size in [64usize, 1024] {
+        let data = vec![0x5au8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("sha256", size), &data, |b, data| {
+            b.iter(|| sha256(data))
+        });
+    }
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("hmac_sha256/96B", |b| {
+        let key = [7u8; 32];
+        b.iter(|| hmac_sha256(&key, &payload))
+    });
+
+    let mut rng = StdRng::seed_from_u64(99);
+    let kp512 = RsaKeyPair::generate(512, &mut rng).unwrap();
+    let sig = kp512.sign(&payload);
+    group.bench_function("rsa512_sign/96B", |b| b.iter(|| kp512.sign(&payload)));
+    group.bench_function("rsa512_verify/96B", |b| {
+        b.iter(|| assert!(kp512.verify(&payload, &sig)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, crypto);
+criterion_main!(benches);

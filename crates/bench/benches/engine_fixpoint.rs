@@ -1,0 +1,35 @@
+//! Core engine throughput: reaching the distributed fixpoint of the
+//! reachability and Best-Path queries without any security or provenance
+//! machinery (the NDLog baseline that Figures 3 and 4 normalise against).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pasn::prelude::*;
+use pasn_bench::{best_path_network, reachability_network};
+use std::time::Duration;
+
+fn engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_fixpoint");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(4));
+
+    for &n in &[10u32, 20, 40] {
+        group.bench_with_input(BenchmarkId::new("reachability", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut net = reachability_network(n, EngineConfig::ndlog(), 7);
+                net.run().expect("fixpoint").derivations
+            })
+        });
+    }
+    for &n in &[10u32, 20] {
+        group.bench_with_input(BenchmarkId::new("best_path", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut net = best_path_network(n, SystemVariant::NDLog, 7);
+                net.run().expect("fixpoint").derivations
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, engine);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Figure 3 — query completion time (s) of the Best-Path query for NDLog,
+//! SeNDLog and SeNDLogProv as the network size N grows.
+//!
+//! The Criterion measurement here is the wall-clock cost of driving one
+//! deployment to its distributed fixpoint (which includes the real signature
+//! and provenance work); the *figure itself* — simulated completion seconds
+//! per (N, variant) — is printed once per point and regenerated in full by
+//! `cargo run --release -p pasn-bench --bin repro`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pasn::prelude::*;
+use pasn_bench::best_path_network;
+use std::time::Duration;
+
+fn fig3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_completion_time");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_secs(1));
+
+    for &n in &[10u32, 20] {
+        for variant in SystemVariant::ALL {
+            // Report the figure's y-value (simulated seconds) once.
+            let mut probe = best_path_network(n, variant, 42);
+            let metrics = probe.run().expect("fixpoint");
+            println!(
+                "fig3 point: N={n} {} completion={:.2}s bandwidth={:.3}MB",
+                variant.name(),
+                metrics.completion_secs(),
+                metrics.megabytes()
+            );
+
+            group.bench_with_input(
+                BenchmarkId::new(variant.name(), n),
+                &(n, variant),
+                |b, &(n, variant)| {
+                    b.iter(|| {
+                        let mut net = best_path_network(n, variant, 42);
+                        net.run().expect("fixpoint").completion_secs()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig3);
+criterion_main!(benches);

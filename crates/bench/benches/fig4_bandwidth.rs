@@ -1,0 +1,48 @@
+//! Figure 4 — bandwidth utilization (MB) of the Best-Path query for NDLog,
+//! SeNDLog and SeNDLogProv as the network size N grows.
+//!
+//! Bandwidth is deterministic for a given topology seed, so the bench prints
+//! the figure values and measures the cost of the full run that produces
+//! them (tuple encoding, proof generation and provenance annotation sizing).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pasn::prelude::*;
+use pasn_bench::best_path_network;
+use std::time::Duration;
+
+fn fig4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_bandwidth");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_secs(1));
+
+    for &n in &[10u32, 20] {
+        for variant in SystemVariant::ALL {
+            let mut probe = best_path_network(n, variant, 42);
+            let metrics = probe.run().expect("fixpoint");
+            println!(
+                "fig4 point: N={n} {} bandwidth={:.3}MB messages={} auth_bytes={} prov_bytes={}",
+                variant.name(),
+                metrics.megabytes(),
+                metrics.messages,
+                metrics.auth_bytes,
+                metrics.provenance_bytes
+            );
+
+            group.bench_with_input(
+                BenchmarkId::new(variant.name(), n),
+                &(n, variant),
+                |b, &(n, variant)| {
+                    b.iter(|| {
+                        let mut net = best_path_network(n, variant, 42);
+                        net.run().expect("fixpoint").megabytes()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig4);
+criterion_main!(benches);

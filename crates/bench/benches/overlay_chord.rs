@@ -1,0 +1,70 @@
+//! Overlay benchmark: secure Chord lookups (the paper's future-work
+//! overlay).
+//!
+//! Measures how lookup latency scales with ring size (hop counts grow
+//! logarithmically) and what each `says` level adds per lookup — the same
+//! authentication-cost axis Figure 3 measures for the routing workload,
+//! applied to overlay routing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pasn_crypto::SaysLevel;
+use pasn_overlay::chord::{ChordConfig, ChordRing};
+use std::time::Duration;
+
+fn build(nodes: u32, level: SaysLevel) -> ChordRing {
+    ChordRing::build(ChordConfig {
+        nodes,
+        bits: 24,
+        says_level: level,
+        modulus_bits: 512,
+        seed: 7,
+        successor_list_len: 3,
+    })
+    .expect("ring builds")
+}
+
+fn chord(c: &mut Criterion) {
+    let mut group = c.benchmark_group("overlay_chord");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+
+    // Hop scaling: lookups on rings of increasing size (cleartext assertions
+    // so the measurement isolates routing work).
+    for &n in &[8u32, 32, 64] {
+        let ring = build(n, SaysLevel::Cleartext);
+        let (avg, max) = ring.lookup_hop_stats(64).expect("stats");
+        println!("overlay_chord: N={n} avg hops {avg:.2}, max hops {max}");
+        let origin = ring.node_ids()[0];
+        group.bench_with_input(BenchmarkId::new("lookup", n), &n, |b, _| {
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                let key = ring.space().key_id(&format!("bench-key-{i}"));
+                ring.lookup(origin, key).expect("lookup").hop_count()
+            })
+        });
+    }
+
+    // Authentication cost per lookup+verify at each `says` level.
+    for level in SaysLevel::ALL {
+        let ring = build(16, level);
+        let origin = ring.node_ids()[0];
+        let key = ring.space().key_id("auth-cost");
+        group.bench_with_input(
+            BenchmarkId::new("lookup_verify", level.name()),
+            &level,
+            |b, _| {
+                b.iter(|| {
+                    let trace = ring.lookup(origin, key).expect("lookup");
+                    ring.verify_lookup(&trace).expect("verifies");
+                    trace.hop_count()
+                })
+            },
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, chord);
+criterion_main!(benches);

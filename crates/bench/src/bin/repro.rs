@@ -1,0 +1,84 @@
+//! `repro` — regenerates every figure of the paper's evaluation section.
+//!
+//! ```text
+//! cargo run --release -p pasn-bench --bin repro -- [fig3|fig4|summary|all] [--quick] [--runs K] [--max-n N]
+//! ```
+//!
+//! The full sweep runs the Best-Path query over random topologies of
+//! N = 10..100 nodes (average out-degree three) under NDLog, SeNDLog and
+//! SeNDLogProv, prints the Figure 3 and Figure 4 series as markdown tables,
+//! and reproduces the Section 6 summary statistics (average and at-max-N
+//! relative overheads).  Results are also appended to
+//! `target/repro_results.md` so they can be pasted into EXPERIMENTS.md.
+
+use pasn::experiment::{
+    render_figure, render_summary, run_sweep, summarize, FigureMetric, SweepConfig,
+};
+use std::io::Write;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let what = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "all".to_string());
+    let quick = args.iter().any(|a| a == "--quick");
+    let runs = arg_value(&args, "--runs").unwrap_or(if quick { 1 } else { 2 });
+    let max_n = arg_value(&args, "--max-n").unwrap_or(if quick { 30 } else { 100 });
+
+    let mut config = SweepConfig::default();
+    config.runs_per_point = runs;
+    config.sizes = (1..=10)
+        .map(|i| i * 10)
+        .filter(|n| *n <= max_n)
+        .collect();
+    if config.sizes.is_empty() {
+        config.sizes = vec![max_n.max(10)];
+    }
+
+    eprintln!(
+        "running Best-Path sweep: sizes {:?}, {} run(s) per point, 3 variants ...",
+        config.sizes, config.runs_per_point
+    );
+    let started = std::time::Instant::now();
+    let points = run_sweep(&config).expect("sweep completes");
+    eprintln!("sweep finished in {:.1}s", started.elapsed().as_secs_f64());
+
+    let mut report = String::new();
+    report.push_str(&format!(
+        "# Reproduction run ({} sizes × 3 variants × {} runs)\n\n",
+        config.sizes.len(),
+        config.runs_per_point
+    ));
+
+    if what == "fig3" || what == "all" {
+        report.push_str("## Figure 3 — query completion time (s), Best-Path query\n\n");
+        report.push_str(&render_figure(&points, FigureMetric::CompletionTime));
+        report.push('\n');
+    }
+    if what == "fig4" || what == "all" {
+        report.push_str("## Figure 4 — bandwidth utilization (MB), Best-Path query\n\n");
+        report.push_str(&render_figure(&points, FigureMetric::Bandwidth));
+        report.push('\n');
+    }
+    if what == "summary" || what == "all" {
+        report.push_str("## Section 6 summary statistics\n\n");
+        report.push_str(&render_summary(&summarize(&points)));
+        report.push('\n');
+    }
+
+    println!("{report}");
+
+    if let Ok(mut f) = std::fs::File::create("target/repro_results.md") {
+        let _ = f.write_all(report.as_bytes());
+        eprintln!("written to target/repro_results.md");
+    }
+}
+
+fn arg_value(args: &[String], key: &str) -> Option<u32> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}

@@ -1,0 +1,48 @@
+//! # pasn-bench
+//!
+//! Benchmark support for the *Provenance-aware Secure Networks*
+//! reproduction: shared helpers used by the Criterion benches (one per
+//! figure/ablation) and by the `repro` binary that regenerates every figure
+//! of the paper's evaluation section plus the EXPERIMENTS.md tables.
+
+#![forbid(unsafe_code)]
+
+use pasn::prelude::*;
+use pasn::workload;
+
+/// Builds a ready-to-run Best-Path deployment for one (N, variant) point of
+/// the evaluation sweep.
+pub fn best_path_network(n: u32, variant: SystemVariant, seed: u64) -> SecureNetwork {
+    let topology = workload::evaluation_topology(n, seed);
+    SecureNetwork::builder()
+        .program(pasn::programs::best_path())
+        .topology(topology)
+        .config(variant.config())
+        .build()
+        .expect("the Best-Path program compiles")
+}
+
+/// Builds a reachability deployment (used by the smaller ablation benches).
+pub fn reachability_network(n: u32, config: EngineConfig, seed: u64) -> SecureNetwork {
+    let topology = workload::evaluation_topology(n, seed);
+    SecureNetwork::builder()
+        .program(pasn::programs::reachability_ndlog())
+        .topology(topology)
+        .config(config)
+        .build()
+        .expect("the reachability program compiles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_produce_runnable_networks() {
+        let mut net = best_path_network(6, SystemVariant::NDLog, 1);
+        let metrics = net.run().unwrap();
+        assert!(metrics.messages > 0);
+        let mut net = reachability_network(6, EngineConfig::ndlog(), 1);
+        assert!(net.run().unwrap().messages > 0);
+    }
+}

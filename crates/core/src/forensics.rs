@@ -1,0 +1,134 @@
+//! Forensics (Section 3, second use case): offline provenance plus
+//! distributed traceback.
+//!
+//! Forensic analysis needs *historical* data — provenance that survives the
+//! expiry of the tuples themselves — and the ability to trace where
+//! information originated without trusting unauthenticated headers.  This
+//! module combines the offline [`pasn_provenance::ArchiveStore`] with the
+//! distributed [`pasn_provenance::traceback`] query.
+
+use crate::network::SecureNetwork;
+use pasn_datalog::Value;
+use pasn_provenance::{traceback, ArchivedEntry, TracebackResult};
+
+/// The outcome of a forensic investigation into one tuple.
+#[derive(Clone, Debug)]
+pub struct ForensicReport {
+    /// The tuple key investigated.
+    pub key: String,
+    /// Distributed traceback over the pointer provenance.
+    pub traceback: TracebackResult,
+    /// Matching offline archive entries (provenance retained past expiry).
+    pub archived: Vec<ArchivedEntry>,
+}
+
+impl ForensicReport {
+    /// True if the investigation reached at least one base tuple.
+    pub fn has_origin(&self) -> bool {
+        !self.traceback.base_tuples.is_empty()
+    }
+}
+
+/// Investigates `key` starting at `location`: runs a distributed traceback
+/// over the pointer provenance and collects archived records from every node
+/// (the derivation is archived where the rule fired, which is generally not
+/// where the tuple ends up stored), even if the tuple itself has long
+/// expired.
+pub fn investigate(network: &SecureNetwork, location: &Value, key: &str) -> ForensicReport {
+    let stores = network.distributed_stores();
+    let result = traceback(&stores, &location.to_string(), key);
+    let archived = archived_activity(network, key, None, None)
+        .into_iter()
+        .map(|(_, entry)| entry)
+        .collect();
+    ForensicReport {
+        key: key.to_string(),
+        traceback: result,
+        archived,
+    }
+}
+
+/// Collects every archived derivation across all nodes inside a time window —
+/// the "correlate traffic patterns of attackers" query of the forensics use
+/// case.
+pub fn archived_activity(
+    network: &SecureNetwork,
+    key_prefix: &str,
+    from: Option<u64>,
+    to: Option<u64>,
+) -> Vec<(Value, ArchivedEntry)> {
+    let mut out = Vec::new();
+    for loc in network.engine().locations().to_vec() {
+        if let Some(archive) = network.archive(&loc) {
+            for entry in archive.query(key_prefix, from, to) {
+                out.push((loc.clone(), entry.clone()));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::programs;
+    use pasn_engine::{EngineConfig, GraphMode};
+    use pasn_net::{CostModel, SimTime, Topology};
+
+    fn forensic_network() -> SecureNetwork {
+        let mut config = EngineConfig::ndlog()
+            .with_cost_model(CostModel::zero_cpu())
+            .with_graph_mode(GraphMode::Distributed)
+            .with_default_ttl_us(1_000_000);
+        config.archive_offline = true;
+        let mut net = SecureNetwork::builder()
+            .program(programs::reachability_ndlog())
+            .topology(Topology::line(4))
+            .config(config)
+            .build()
+            .unwrap();
+        net.run().unwrap();
+        net
+    }
+
+    #[test]
+    fn investigation_finds_origins_and_archive_entries() {
+        let net = forensic_network();
+        let report = investigate(&net, &Value::Addr(0), "reachable(@n0,n3)");
+        assert!(report.has_origin());
+        assert!(report.traceback.remote_hops >= 1);
+        assert!(!report.archived.is_empty());
+    }
+
+    #[test]
+    fn offline_provenance_survives_tuple_expiry() {
+        let mut net = forensic_network();
+        // Expire all derived soft state.
+        let dropped = net.expire(SimTime::from_secs_f64(100.0));
+        assert!(dropped > 0);
+        assert!(net.query(&Value::Addr(0), "reachable").is_empty());
+        // The archive still answers forensic queries.
+        let activity = archived_activity(&net, "reachable", None, None);
+        assert!(!activity.is_empty());
+        let report = investigate(&net, &Value::Addr(0), "reachable(@n0,n3)");
+        assert!(!report.archived.is_empty());
+    }
+
+    #[test]
+    fn time_windows_restrict_archived_activity() {
+        let net = forensic_network();
+        let all = archived_activity(&net, "reachable", None, None);
+        let none = archived_activity(&net, "reachable", Some(u64::MAX - 1), None);
+        assert!(all.len() > none.len());
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn unknown_keys_produce_empty_reports() {
+        let net = forensic_network();
+        let report = investigate(&net, &Value::Addr(0), "bogus(@n0)");
+        assert!(!report.has_origin());
+        assert!(report.archived.is_empty());
+        assert_eq!(report.traceback.unresolved, vec!["bogus(@n0)".to_string()]);
+    }
+}

@@ -1,0 +1,324 @@
+//! [`SecureNetwork`]: the top-level facade tying a topology, a declarative
+//! program and an engine configuration into one runnable deployment.
+
+use crate::workload::{link_facts, locations_of, weighted_link_facts};
+use pasn_datalog::{parse_program, ParseError, Program, Value};
+use pasn_engine::{
+    DistributedEngine, EngineConfig, EngineError, RunMetrics, Tuple, TupleMeta,
+};
+use pasn_net::{SimTime, Topology};
+use pasn_provenance::{ArchiveStore, DerivationGraph, DistributedStore, VarTable};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors raised while building or running a [`SecureNetwork`].
+#[derive(Debug)]
+pub enum NetworkError {
+    /// The program text failed to parse.
+    Parse(ParseError),
+    /// The engine rejected the program or a fact.
+    Engine(EngineError),
+    /// The builder is missing a required component.
+    Builder(String),
+}
+
+impl fmt::Display for NetworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetworkError::Parse(e) => write!(f, "{e}"),
+            NetworkError::Engine(e) => write!(f, "{e}"),
+            NetworkError::Builder(msg) => write!(f, "builder error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NetworkError {}
+
+impl From<ParseError> for NetworkError {
+    fn from(e: ParseError) -> Self {
+        NetworkError::Parse(e)
+    }
+}
+
+impl From<EngineError> for NetworkError {
+    fn from(e: EngineError) -> Self {
+        NetworkError::Engine(e)
+    }
+}
+
+/// Builder for [`SecureNetwork`].
+pub struct SecureNetworkBuilder {
+    program: Option<Program>,
+    topology: Option<Topology>,
+    config: EngineConfig,
+    locations: Option<Vec<Value>>,
+    extra_facts: Vec<(Value, Tuple)>,
+}
+
+impl Default for SecureNetworkBuilder {
+    fn default() -> Self {
+        SecureNetworkBuilder {
+            program: None,
+            topology: None,
+            config: EngineConfig::ndlog(),
+            locations: None,
+            extra_facts: Vec::new(),
+        }
+    }
+}
+
+impl SecureNetworkBuilder {
+    /// Sets the declarative program from an already parsed [`Program`].
+    pub fn program(mut self, program: Program) -> Self {
+        self.program = Some(program);
+        self
+    }
+
+    /// Sets the declarative program from NDlog / SeNDlog source text.
+    pub fn program_text(mut self, source: &str) -> Result<Self, NetworkError> {
+        self.program = Some(parse_program(source)?);
+        Ok(self)
+    }
+
+    /// Sets the topology; its nodes become the deployment's locations and its
+    /// links become `link` base facts.
+    pub fn topology(mut self, topology: Topology) -> Self {
+        self.topology = Some(topology);
+        self
+    }
+
+    /// Sets explicit location values (useful for the string-named examples of
+    /// the paper, `a`, `b`, `c`).  Overrides the topology-derived locations.
+    pub fn locations(mut self, locations: Vec<Value>) -> Self {
+        self.locations = Some(locations);
+        self
+    }
+
+    /// Sets the engine configuration (authentication, provenance, costs).
+    pub fn config(mut self, config: EngineConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Adds an extra base fact to insert at time zero.
+    pub fn fact(mut self, location: Value, tuple: Tuple) -> Self {
+        self.extra_facts.push((location, tuple));
+        self
+    }
+
+    /// Builds the deployment: compiles the program, provisions keys, and
+    /// schedules the topology's link facts plus any extra facts.
+    pub fn build(self) -> Result<SecureNetwork, NetworkError> {
+        let program = self
+            .program
+            .ok_or_else(|| NetworkError::Builder("a program is required".into()))?;
+        let locations = match (&self.locations, &self.topology) {
+            (Some(locs), _) => locs.clone(),
+            (None, Some(topo)) => locations_of(topo),
+            (None, None) => {
+                return Err(NetworkError::Builder(
+                    "either a topology or explicit locations are required".into(),
+                ))
+            }
+        };
+        let mut engine = DistributedEngine::new(&program, self.config, &locations)?;
+
+        if let Some(topology) = &self.topology {
+            // Pick the link arity the program actually uses: the Best-Path
+            // query joins three-attribute links (with costs), the
+            // reachability programs use two attributes.
+            let uses_weighted = program
+                .rules
+                .iter()
+                .flat_map(|r| r.body_atoms())
+                .any(|a| a.predicate == "link" && a.args.len() == 3);
+            let facts = if uses_weighted {
+                weighted_link_facts(topology)
+            } else {
+                link_facts(topology)
+            };
+            for (loc, tuple) in facts {
+                engine.insert_fact(loc, tuple)?;
+            }
+        }
+        for (loc, tuple) in self.extra_facts {
+            engine.insert_fact(loc, tuple)?;
+        }
+        Ok(SecureNetwork {
+            engine,
+            topology: self.topology,
+        })
+    }
+}
+
+/// A deployed provenance-aware secure network: a topology, a compiled
+/// SeNDlog/NDlog program, per-node key material and provenance stores.
+pub struct SecureNetwork {
+    engine: DistributedEngine,
+    topology: Option<Topology>,
+}
+
+impl fmt::Debug for SecureNetwork {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SecureNetwork")
+            .field("locations", &self.engine.locations().len())
+            .field(
+                "links",
+                &self.topology.as_ref().map(Topology::link_count).unwrap_or(0),
+            )
+            .finish()
+    }
+}
+
+impl SecureNetwork {
+    /// Starts building a deployment.
+    pub fn builder() -> SecureNetworkBuilder {
+        SecureNetworkBuilder::default()
+    }
+
+    /// Runs the program to its distributed fixpoint and returns the metrics.
+    pub fn run(&mut self) -> Result<RunMetrics, NetworkError> {
+        Ok(self.engine.run_to_fixpoint()?)
+    }
+
+    /// The underlying engine (advanced use).
+    pub fn engine(&self) -> &DistributedEngine {
+        &self.engine
+    }
+
+    /// Mutable access to the underlying engine (advanced use: injecting
+    /// streamed facts, expiring soft state, materialising provenance).
+    pub fn engine_mut(&mut self) -> &mut DistributedEngine {
+        &mut self.engine
+    }
+
+    /// The topology this deployment was built from, if any.
+    pub fn topology(&self) -> Option<&Topology> {
+        self.topology.as_ref()
+    }
+
+    /// All tuples of `predicate` stored at `location`.
+    pub fn query(&self, location: &Value, predicate: &str) -> Vec<(Tuple, TupleMeta)> {
+        self.engine.query(location, predicate)
+    }
+
+    /// All tuples of `predicate` across every node.
+    pub fn query_all(&self, predicate: &str) -> Vec<(Value, Tuple, TupleMeta)> {
+        self.engine.query_all(predicate)
+    }
+
+    /// Renders the provenance annotation of an exact stored tuple.
+    pub fn render_provenance(&self, location: &Value, tuple: &Tuple) -> Option<String> {
+        self.engine.render_provenance(location, tuple)
+    }
+
+    /// The provenance graph maintained at `location` (graph modes only).
+    pub fn provenance_graph(&self, location: &Value) -> Option<&DerivationGraph> {
+        self.engine.provenance_graph(location)
+    }
+
+    /// Per-node distributed provenance stores, ready for
+    /// [`pasn_provenance::traceback`].
+    pub fn distributed_stores(&self) -> HashMap<String, DistributedStore> {
+        self.engine.distributed_stores()
+    }
+
+    /// The offline provenance archive of `location`.
+    pub fn archive(&self, location: &Value) -> Option<&ArchiveStore> {
+        self.engine.archive(location)
+    }
+
+    /// The shared provenance variable table.
+    pub fn var_table(&self) -> &VarTable {
+        self.engine.var_table()
+    }
+
+    /// Expires soft state older than `now` on every node.
+    pub fn expire(&mut self, now: SimTime) -> usize {
+        self.engine.expire_all(now)
+    }
+
+    /// Bytes sent per node (accountability raw data).
+    pub fn bytes_sent_per_node(&self) -> HashMap<Value, u64> {
+        self.engine.bytes_sent_per_node()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::programs;
+    use pasn_net::CostModel;
+
+    fn fast(config: EngineConfig) -> EngineConfig {
+        config.with_cost_model(CostModel::zero_cpu())
+    }
+
+    #[test]
+    fn builder_runs_reachability_over_a_topology() {
+        let mut net = SecureNetwork::builder()
+            .program(programs::reachability_ndlog())
+            .topology(Topology::ring(5))
+            .config(fast(EngineConfig::ndlog()))
+            .build()
+            .unwrap();
+        let metrics = net.run().unwrap();
+        assert!(metrics.messages > 0);
+        // In a ring every node reaches every other node — and itself, since
+        // the cycle closes the transitive closure back to the origin.
+        for loc in net.engine().locations().to_vec() {
+            assert_eq!(net.query(&loc, "reachable").len(), 5);
+        }
+        assert!(net.topology().is_some());
+        assert_eq!(net.bytes_sent_per_node().len(), 5);
+    }
+
+    #[test]
+    fn builder_auto_selects_weighted_links_for_best_path() {
+        let mut net = SecureNetwork::builder()
+            .program(programs::best_path())
+            .topology(Topology::line(4))
+            .config(fast(EngineConfig::ndlog()))
+            .build()
+            .unwrap();
+        net.run().unwrap();
+        let loc = Value::Addr(0);
+        let best: Vec<_> = net.query(&loc, "bestPath");
+        assert!(!best.is_empty());
+        // Link facts carry three attributes.
+        assert_eq!(net.query(&loc, "link")[0].0.arity(), 3);
+    }
+
+    #[test]
+    fn builder_with_explicit_locations_and_text_program() {
+        let mut net = SecureNetwork::builder()
+            .program_text(programs::REACHABILITY_NDLOG)
+            .unwrap()
+            .locations(vec![
+                Value::Str("a".into()),
+                Value::Str("b".into()),
+                Value::Str("c".into()),
+            ])
+            .config(fast(EngineConfig::ndlog()))
+            .fact(
+                Value::Str("a".into()),
+                Tuple::new("link", vec![Value::Str("a".into()), Value::Str("b".into())]),
+            )
+            .build()
+            .unwrap();
+        net.run().unwrap();
+        assert_eq!(net.query(&Value::Str("a".into()), "reachable").len(), 1);
+    }
+
+    #[test]
+    fn builder_errors_are_reported() {
+        let err = SecureNetwork::builder().build().unwrap_err();
+        assert!(err.to_string().contains("program"));
+        let err = SecureNetwork::builder()
+            .program(programs::reachability_ndlog())
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("topology"));
+        assert!(SecureNetwork::builder().program_text("p(@X :-").is_err());
+    }
+}

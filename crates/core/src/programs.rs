@@ -1,0 +1,180 @@
+//! The declarative network programs used throughout the paper.
+//!
+//! * [`reachability_ndlog`] — the two-rule all-pairs reachability query of
+//!   Section 2.1 (the running example behind Figures 1 and 2);
+//! * [`reachability_sendlog`] — its SeNDlog form with context blocks and the
+//!   `says` operator (Section 2.2);
+//! * [`best_path`] — the Best-Path recursive query used by the evaluation
+//!   (Section 6): all-pairs shortest paths carrying the actual path vector
+//!   and cost, with a MIN aggregation selecting the best path;
+//! * [`route_monitor`] — the continuous route-change monitoring query
+//!   sketched in Section 3 (real-time diagnostics use case);
+//! * [`distance_vector`], [`path_vector`], [`path_vector_policy`] — the
+//!   distance-vector and path-vector routing protocols Section 2.1 says the
+//!   reachability example generalises to, the latter with an import policy
+//!   that filters routes by the origins carried in their path (the BGP /
+//!   trust-management use case of Section 3).
+
+use pasn_datalog::{parse_program, Program};
+
+/// Source text of the NDlog reachability program (Section 2.1).
+pub const REACHABILITY_NDLOG: &str = "\
+r1 reachable(@S,D) :- link(@S,D).
+r2 reachable(@S,D) :- link(@S,Z), reachable(@Z,D).
+";
+
+/// Source text of the SeNDlog reachability program (Section 2.2).
+pub const REACHABILITY_SENDLOG: &str = "\
+At S:
+s1 reachable(S,D) :- link(S,D).
+s2 linkD(D,S)@D :- link(S,D).
+s3 reachable(Z,Y)@Z :- Z says linkD(S,Z), W says reachable(S,Y).
+";
+
+/// Source text of the Best-Path query (Section 6).
+///
+/// The query extends the reachability program with path vectors, additive
+/// costs and a MIN aggregation, exactly as described in the evaluation:
+/// *"This query is obtained from the NDlog all-pairs reachability query
+/// presented in Section 2, with additional predicates to compute the actual
+/// path, cost of the path, and two extra rules for computing the best
+/// paths."*
+pub const BEST_PATH: &str = "\
+sp1 path(@S,D,P,C) :- link(@S,D,C), P := f_init(S,D).
+sp2 path(@S,D,P,C) :- link(@S,Z,C1), bestPath(@Z,D,P2,C2), f_member(P2,S) == false, C := C1 + C2, P := f_concat(S,P2).
+sp3 bestPathCost(@S,D,a_MIN<C>) :- path(@S,D,P,C).
+sp4 bestPath(@S,D,P,C) :- bestPathCost(@S,D,C), path(@S,D,P,C).
+";
+
+/// Source text of the route-change monitoring query (Section 3, real-time
+/// diagnostics): counts route updates per destination and raises an alarm
+/// tuple once the count exceeds a threshold.
+pub const ROUTE_MONITOR: &str = "\
+m1 updateCount(@S,D,a_COUNT<C>) :- routeUpdate(@S,D,C).
+m2 alarm(@S,D,N) :- updateCount(@S,D,N), threshold(@S,T), N > T.
+";
+
+/// Source text of a distance-vector routing protocol.
+///
+/// Section 2.1 notes that the reachability example generalises to *"more
+/// complex routing protocols, such as the distance vector and path vector
+/// routing protocols"*.  This is the distance-vector form: each node
+/// advertises only its best known cost per destination, and neighbours relax
+/// their own estimates against those advertisements (the declarative
+/// Bellman–Ford of the Declarative Routing paper).
+pub const DISTANCE_VECTOR: &str = "\
+dv1 cost(@S,D,C) :- link(@S,D,C).
+dv2 cost(@S,D,C) :- link(@S,Z,C1), bestCost(@Z,D,C2), C := C1 + C2.
+dv3 bestCost(@S,D,a_MIN<C>) :- cost(@S,D,C).
+";
+
+/// Source text of a path-vector routing protocol (the BGP analogue).
+///
+/// Every route advertisement carries the full path, which lets a node drop
+/// advertisements that already contain itself (`f_member(P2,S) == false` —
+/// loop suppression) and, more generally, lets policy inspect the *origins*
+/// of a route before accepting it — exactly the trust-management use the
+/// paper motivates with BGP in Section 3.
+pub const PATH_VECTOR: &str = "\
+pv1 route(@S,D,P) :- link(@S,D), P := f_init(S,D).
+pv2 route(@S,D,P) :- link(@S,Z), route(@Z,D,P2), f_member(P2,S) == false, P := f_concat(S,P2).
+";
+
+/// [`PATH_VECTOR`] extended with an import policy: a route is *accepted*
+/// only if it avoids the node named by the local `avoid(@S,B)` fact.
+///
+/// The filter is the declarative form of "reject updates whose provenance
+/// contains an untrusted origin" (Section 3, trust management): the carried
+/// path is the route's provenance, and `f_member(P,B) == false` checks it
+/// against the local policy.  Each `avoid` fact expresses one banned
+/// principal; a node that bans nobody simply inserts `avoid(@S, S)`-style
+/// sentinel facts or none at all (in which case no `acceptedRoute` tuples
+/// are derived at that node).
+pub const PATH_VECTOR_POLICY: &str = "\
+pv1 route(@S,D,P) :- link(@S,D), P := f_init(S,D).
+pv2 route(@S,D,P) :- link(@S,Z), route(@Z,D,P2), f_member(P2,S) == false, P := f_concat(S,P2).
+pv3 acceptedRoute(@S,D,P) :- route(@S,D,P), avoid(@S,B), f_member(P,B) == false.
+";
+
+/// Parses [`REACHABILITY_NDLOG`].
+pub fn reachability_ndlog() -> Program {
+    parse_program(REACHABILITY_NDLOG).expect("built-in program parses")
+}
+
+/// Parses [`REACHABILITY_SENDLOG`].
+pub fn reachability_sendlog() -> Program {
+    parse_program(REACHABILITY_SENDLOG).expect("built-in program parses")
+}
+
+/// Parses [`BEST_PATH`].
+pub fn best_path() -> Program {
+    parse_program(BEST_PATH).expect("built-in program parses")
+}
+
+/// Parses [`ROUTE_MONITOR`].
+pub fn route_monitor() -> Program {
+    parse_program(ROUTE_MONITOR).expect("built-in program parses")
+}
+
+/// Parses [`DISTANCE_VECTOR`].
+pub fn distance_vector() -> Program {
+    parse_program(DISTANCE_VECTOR).expect("built-in program parses")
+}
+
+/// Parses [`PATH_VECTOR`].
+pub fn path_vector() -> Program {
+    parse_program(PATH_VECTOR).expect("built-in program parses")
+}
+
+/// Parses [`PATH_VECTOR_POLICY`].
+pub fn path_vector_policy() -> Program {
+    parse_program(PATH_VECTOR_POLICY).expect("built-in program parses")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pasn_datalog::compile_program;
+
+    #[test]
+    fn all_built_in_programs_parse_and_compile() {
+        for program in [
+            reachability_ndlog(),
+            reachability_sendlog(),
+            best_path(),
+            route_monitor(),
+            distance_vector(),
+            path_vector(),
+            path_vector_policy(),
+        ] {
+            compile_program(&program).expect("program compiles");
+        }
+    }
+
+    #[test]
+    fn routing_protocol_programs_have_the_expected_shape() {
+        let dv = distance_vector();
+        assert_eq!(dv.rules.len(), 3);
+        assert!(dv.rules[2].head.has_aggregate());
+        let pv = path_vector();
+        assert_eq!(pv.rules.len(), 2);
+        assert!(!pv.rules.iter().any(|r| r.head.has_aggregate()));
+        let policy = path_vector_policy();
+        assert_eq!(policy.rules.len(), 3);
+        assert!(!policy.uses_sendlog());
+    }
+
+    #[test]
+    fn best_path_has_the_expected_structure() {
+        let p = best_path();
+        assert_eq!(p.rules.len(), 4);
+        assert!(p.rules[2].head.has_aggregate());
+        assert!(!p.uses_sendlog());
+    }
+
+    #[test]
+    fn sendlog_variant_uses_says() {
+        assert!(reachability_sendlog().uses_sendlog());
+        assert!(!reachability_ndlog().uses_sendlog());
+    }
+}

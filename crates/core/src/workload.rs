@@ -1,0 +1,137 @@
+//! Workload generation: turning topologies into base facts and producing the
+//! parameter sweeps of the evaluation.
+
+use pasn_datalog::Value;
+use pasn_engine::Tuple;
+use pasn_net::{NodeId, Topology};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The location value used for a simulator node.
+pub fn location_of(node: NodeId) -> Value {
+    Value::Addr(node.0)
+}
+
+/// All location values of a topology, in node order.
+pub fn locations_of(topology: &Topology) -> Vec<Value> {
+    topology.nodes().iter().map(|n| location_of(*n)).collect()
+}
+
+/// `link(@src, dst)` facts (two-attribute form, for the reachability
+/// programs), one per directed link.
+pub fn link_facts(topology: &Topology) -> Vec<(Value, Tuple)> {
+    topology
+        .links()
+        .iter()
+        .map(|l| {
+            (
+                location_of(l.src),
+                Tuple::new(
+                    "link",
+                    vec![Value::Addr(l.src.0), Value::Addr(l.dst.0)],
+                ),
+            )
+        })
+        .collect()
+}
+
+/// `link(@src, dst, cost)` facts (three-attribute form, for the Best-Path
+/// query), one per directed link.
+pub fn weighted_link_facts(topology: &Topology) -> Vec<(Value, Tuple)> {
+    topology
+        .links()
+        .iter()
+        .map(|l| {
+            (
+                location_of(l.src),
+                Tuple::new(
+                    "link",
+                    vec![
+                        Value::Addr(l.src.0),
+                        Value::Addr(l.dst.0),
+                        Value::Int(l.cost as i64),
+                    ],
+                ),
+            )
+        })
+        .collect()
+}
+
+/// The evaluation topology of Section 6: `n` nodes with an average out-degree
+/// of three and link costs in `1..=10`.
+pub fn evaluation_topology(n: u32, seed: u64) -> Topology {
+    Topology::random_out_degree(n, 3, 10, seed)
+}
+
+/// A synthetic stream of `routeUpdate(@node, dest, seq)` events used by the
+/// diagnostics example: `flapping_dest` receives `flap_count` updates while
+/// every other destination receives exactly one.
+pub fn route_update_stream(
+    node: NodeId,
+    destinations: &[NodeId],
+    flapping_dest: NodeId,
+    flap_count: u32,
+    seed: u64,
+) -> Vec<Tuple> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut updates = Vec::new();
+    let mut seq = 0i64;
+    for dest in destinations {
+        let count = if *dest == flapping_dest { flap_count } else { 1 };
+        for _ in 0..count {
+            seq += 1;
+            // A small random jitter keeps update identifiers unique and
+            // uncorrelated between runs with different seeds.
+            let jitter: i64 = rng.gen_range(0..1_000);
+            updates.push(Tuple::new(
+                "routeUpdate",
+                vec![
+                    Value::Addr(node.0),
+                    Value::Addr(dest.0),
+                    Value::Int(seq * 1_000 + jitter),
+                ],
+            ));
+        }
+    }
+    updates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn link_facts_cover_every_link() {
+        let topo = evaluation_topology(12, 3);
+        let facts = link_facts(&topo);
+        assert_eq!(facts.len(), topo.link_count());
+        let weighted = weighted_link_facts(&topo);
+        assert_eq!(weighted.len(), topo.link_count());
+        assert!(weighted.iter().all(|(loc, t)| {
+            t.values[0] == *loc && t.values[2].as_int().unwrap() >= 1
+        }));
+        assert_eq!(locations_of(&topo).len(), 12);
+    }
+
+    #[test]
+    fn evaluation_topology_matches_paper_parameters() {
+        let topo = evaluation_topology(50, 7);
+        assert_eq!(topo.node_count(), 50);
+        let avg = topo.average_out_degree();
+        assert!((2.5..=3.0).contains(&avg));
+    }
+
+    #[test]
+    fn route_update_stream_flaps_one_destination() {
+        let dests: Vec<NodeId> = (1..5).map(NodeId).collect();
+        let stream = route_update_stream(NodeId(0), &dests, NodeId(3), 10, 42);
+        assert_eq!(stream.len(), 3 + 10);
+        let to_flapping = stream
+            .iter()
+            .filter(|t| t.values[1] == Value::Addr(3))
+            .count();
+        assert_eq!(to_flapping, 10);
+        // Deterministic per seed.
+        assert_eq!(stream, route_update_stream(NodeId(0), &dests, NodeId(3), 10, 42));
+    }
+}

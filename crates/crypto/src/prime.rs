@@ -1,0 +1,190 @@
+//! Probabilistic primality testing and prime generation for RSA key
+//! generation.
+//!
+//! Candidates are first sieved against a table of small primes, then subjected
+//! to Miller–Rabin with random bases.  The number of rounds defaults to a
+//! value giving a negligible error probability for the key sizes used by the
+//! simulator.
+
+use crate::bigint::{BigUint, MontgomeryCtx};
+use rand::RngCore;
+
+/// Small primes used for trial division before Miller–Rabin.
+const SMALL_PRIMES: [u64; 60] = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
+    97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191,
+    193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251, 257, 263, 269, 271, 277, 281,
+];
+
+/// Default number of Miller–Rabin rounds.
+pub const DEFAULT_ROUNDS: usize = 24;
+
+/// Returns `true` if `n` is (very probably) prime.
+///
+/// Uses trial division by [`SMALL_PRIMES`] followed by `rounds` iterations of
+/// Miller–Rabin with uniformly random bases.
+pub fn is_probable_prime<R: RngCore>(n: &BigUint, rounds: usize, rng: &mut R) -> bool {
+    if n.is_zero() || n.is_one() {
+        return false;
+    }
+    for &p in &SMALL_PRIMES {
+        let p_big = BigUint::from_u64(p);
+        if n == &p_big {
+            return true;
+        }
+        if n.mod_u64(p) == 0 {
+            return false;
+        }
+    }
+    // n is odd and > 281 here; write n - 1 = d * 2^s with d odd.
+    let one = BigUint::one();
+    let two = BigUint::from_u64(2);
+    let n_minus_one = n.sub(&one);
+    let mut d = n_minus_one.clone();
+    let mut s = 0usize;
+    while d.is_even() {
+        d = d.shr_bits(1);
+        s += 1;
+    }
+
+    let ctx = match MontgomeryCtx::new(n) {
+        Some(c) => c,
+        None => return false, // even composite
+    };
+
+    'witness: for _ in 0..rounds {
+        // Base in [2, n-2].
+        let upper = n_minus_one.sub(&one); // n - 2
+        let mut a = BigUint::random_below(&upper, rng);
+        if a < two {
+            a = two.clone();
+        }
+        let mut x = ctx.mod_pow(&a, &d);
+        if x == one || x == n_minus_one {
+            continue 'witness;
+        }
+        for _ in 0..s.saturating_sub(1) {
+            x = ctx.mod_mul(&x, &x);
+            if x == n_minus_one {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Generates a random probable prime with exactly `bits` bits.
+///
+/// The top two bits are forced to one (so that the product of two such primes
+/// has exactly `2 * bits` bits, as required for a fixed-size RSA modulus) and
+/// the low bit is forced to one.
+pub fn gen_prime<R: RngCore>(bits: usize, rng: &mut R) -> BigUint {
+    assert!(bits >= 16, "prime size of {bits} bits is too small");
+    loop {
+        // random_with_bits already forces the top bit; additionally force the
+        // second-highest bit (so a product of two such primes keeps its
+        // nominal width) and the low bit (odd).  Setting an unset bit by
+        // addition cannot carry.
+        let mut candidate = BigUint::random_with_bits(bits, rng);
+        if bits >= 2 && !candidate.bit(bits - 2) {
+            candidate = candidate.add(&BigUint::one().shl_bits(bits - 2));
+        }
+        if candidate.is_even() {
+            candidate = candidate.add_u64(1);
+        }
+        debug_assert_eq!(candidate.bit_len(), bits);
+        if is_probable_prime(&candidate, DEFAULT_ROUNDS, rng) {
+            return candidate;
+        }
+    }
+}
+
+/// Generates a "safe enough" prime pair for an RSA modulus of `modulus_bits`
+/// bits, ensuring the two primes differ.
+pub fn gen_prime_pair<R: RngCore>(modulus_bits: usize, rng: &mut R) -> (BigUint, BigUint) {
+    let half = modulus_bits / 2;
+    let p = gen_prime(half, rng);
+    loop {
+        let q = gen_prime(modulus_bits - half, rng);
+        if q != p {
+            return (p, q);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xdecafbad)
+    }
+
+    #[test]
+    fn small_primes_are_prime() {
+        let mut r = rng();
+        for p in [2u64, 3, 5, 7, 11, 13, 97, 101, 257, 65537, 1_000_000_007] {
+            assert!(
+                is_probable_prime(&BigUint::from_u64(p), 16, &mut r),
+                "{p} should be prime"
+            );
+        }
+    }
+
+    #[test]
+    fn small_composites_are_rejected() {
+        let mut r = rng();
+        for c in [0u64, 1, 4, 6, 9, 15, 21, 91, 561, 341, 645, 1_000_000_006, 65537 * 3] {
+            assert!(
+                !is_probable_prime(&BigUint::from_u64(c), 16, &mut r),
+                "{c} should be composite"
+            );
+        }
+    }
+
+    #[test]
+    fn carmichael_numbers_are_rejected() {
+        // Classic Fermat pseudoprimes that Miller–Rabin must still catch.
+        let mut r = rng();
+        for c in [561u64, 1105, 1729, 2465, 2821, 6601, 8911, 41041, 62745] {
+            assert!(
+                !is_probable_prime(&BigUint::from_u64(c), 16, &mut r),
+                "Carmichael number {c} should be composite"
+            );
+        }
+    }
+
+    #[test]
+    fn known_large_prime_accepted() {
+        // 2^127 - 1 is a Mersenne prime.
+        let m127 = BigUint::one().shl_bits(127).sub(&BigUint::one());
+        let mut r = rng();
+        assert!(is_probable_prime(&m127, 16, &mut r));
+        // 2^128 - 1 is composite.
+        let c = BigUint::one().shl_bits(128).sub(&BigUint::one());
+        assert!(!is_probable_prime(&c, 16, &mut r));
+    }
+
+    #[test]
+    fn generated_primes_have_requested_size() {
+        let mut r = rng();
+        for bits in [64usize, 96, 128] {
+            let p = gen_prime(bits, &mut r);
+            assert_eq!(p.bit_len(), bits);
+            assert!(!p.is_even());
+            assert!(is_probable_prime(&p, 16, &mut r));
+        }
+    }
+
+    #[test]
+    fn prime_pair_is_distinct_and_sized() {
+        let mut r = rng();
+        let (p, q) = gen_prime_pair(256, &mut r);
+        assert_ne!(p, q);
+        let n = p.mul(&q);
+        assert_eq!(n.bit_len(), 256);
+    }
+}

@@ -1,0 +1,314 @@
+//! Textbook RSA signatures with deterministic PKCS#1 v1.5-style padding over
+//! SHA-256 digests.
+//!
+//! The paper's prototype signs every exported tuple with an RSA signature
+//! generated through OpenSSL (Section 6).  This module reproduces that cost
+//! profile: signing is a full private-key exponentiation, verification is a
+//! short public-key exponentiation with `e = 65537`, and the signature length
+//! equals the modulus length, which is what the bandwidth accounting in
+//! `pasn-net` charges per authenticated tuple.
+
+use crate::bigint::{BigUint, MontgomeryCtx};
+use crate::prime::gen_prime_pair;
+use crate::sha256::{sha256, Digest};
+use rand::RngCore;
+use std::fmt;
+use std::sync::Arc;
+
+/// Minimum supported modulus size.  PKCS#1 v1.5 padding of a SHA-256 digest
+/// requires at least 62 bytes of modulus.
+pub const MIN_MODULUS_BITS: usize = 512;
+
+/// Default modulus size used by the simulator (a compromise between realism
+/// and the cost of signing every tuple in a 100-node in-process simulation;
+/// the paper used 1024-bit keys, which remain available via
+/// [`RsaKeyPair::generate`]).
+pub const DEFAULT_MODULUS_BITS: usize = 512;
+
+/// DER prefix of the SHA-256 `DigestInfo` structure used in EMSA-PKCS1-v1_5.
+const SHA256_DIGEST_INFO_PREFIX: [u8; 19] = [
+    0x30, 0x31, 0x30, 0x0d, 0x06, 0x09, 0x60, 0x86, 0x48, 0x01, 0x65, 0x03, 0x04, 0x02, 0x01,
+    0x05, 0x00, 0x04, 0x20,
+];
+
+/// Errors produced by RSA operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RsaError {
+    /// The requested modulus size is below [`MIN_MODULUS_BITS`].
+    ModulusTooSmall(usize),
+    /// A signature failed structural validation (wrong length).
+    MalformedSignature {
+        /// Expected signature length in bytes (the modulus length).
+        expected: usize,
+        /// Actual length received.
+        got: usize,
+    },
+}
+
+impl fmt::Display for RsaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RsaError::ModulusTooSmall(bits) => write!(
+                f,
+                "modulus of {bits} bits is below the minimum of {MIN_MODULUS_BITS} bits"
+            ),
+            RsaError::MalformedSignature { expected, got } => {
+                write!(f, "signature is {got} bytes, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RsaError {}
+
+/// An RSA public key (modulus and public exponent).
+#[derive(Clone, PartialEq, Eq)]
+pub struct RsaPublicKey {
+    n: BigUint,
+    e: BigUint,
+    modulus_bytes: usize,
+}
+
+impl fmt::Debug for RsaPublicKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RsaPublicKey")
+            .field("bits", &(self.modulus_bytes * 8))
+            .finish()
+    }
+}
+
+impl RsaPublicKey {
+    /// The modulus.
+    pub fn modulus(&self) -> &BigUint {
+        &self.n
+    }
+
+    /// The public exponent (65537 for keys generated here).
+    pub fn exponent(&self) -> &BigUint {
+        &self.e
+    }
+
+    /// Length of signatures produced under this key, in bytes.
+    pub fn signature_len(&self) -> usize {
+        self.modulus_bytes
+    }
+
+    /// A stable fingerprint of the public key (SHA-256 of `n || e`), used as
+    /// a compact principal identifier on the wire.
+    pub fn fingerprint(&self) -> Digest {
+        let mut data = self.n.to_bytes_be();
+        data.extend_from_slice(&self.e.to_bytes_be());
+        sha256(&data)
+    }
+
+    /// Verifies `signature` over `message` (the message is hashed with
+    /// SHA-256 internally).
+    pub fn verify(&self, message: &[u8], signature: &[u8]) -> bool {
+        if signature.len() != self.modulus_bytes {
+            return false;
+        }
+        let sig_int = BigUint::from_bytes_be(signature);
+        if sig_int >= self.n {
+            return false;
+        }
+        let recovered = sig_int.mod_pow(&self.e, &self.n);
+        let expected = emsa_pkcs1_v15_encode(&sha256(message), self.modulus_bytes);
+        recovered.to_bytes_be_padded(self.modulus_bytes) == expected
+    }
+}
+
+/// An RSA key pair.  The private exponentiation context is precomputed so
+/// signing does not repeatedly rebuild Montgomery state.
+pub struct RsaKeyPair {
+    public: RsaPublicKey,
+    d: BigUint,
+    ctx: Arc<MontgomeryCtx>,
+}
+
+impl Clone for RsaKeyPair {
+    fn clone(&self) -> Self {
+        RsaKeyPair {
+            public: self.public.clone(),
+            d: self.d.clone(),
+            ctx: Arc::clone(&self.ctx),
+        }
+    }
+}
+
+impl fmt::Debug for RsaKeyPair {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RsaKeyPair")
+            .field("bits", &(self.public.modulus_bytes * 8))
+            .finish()
+    }
+}
+
+impl RsaKeyPair {
+    /// Generates a fresh key pair with a modulus of `modulus_bits` bits.
+    pub fn generate<R: RngCore>(modulus_bits: usize, rng: &mut R) -> Result<Self, RsaError> {
+        if modulus_bits < MIN_MODULUS_BITS {
+            return Err(RsaError::ModulusTooSmall(modulus_bits));
+        }
+        let e = BigUint::from_u64(65537);
+        loop {
+            let (p, q) = gen_prime_pair(modulus_bits, rng);
+            let n = p.mul(&q);
+            if n.bit_len() != modulus_bits {
+                continue;
+            }
+            let one = BigUint::one();
+            let phi = p.sub(&one).mul(&q.sub(&one));
+            let Some(d) = e.mod_inverse(&phi) else {
+                // e shares a factor with phi; extremely unlikely, retry.
+                continue;
+            };
+            let modulus_bytes = (modulus_bits + 7) / 8;
+            let ctx = MontgomeryCtx::new(&n).expect("RSA modulus is odd");
+            return Ok(RsaKeyPair {
+                public: RsaPublicKey {
+                    n,
+                    e,
+                    modulus_bytes,
+                },
+                d,
+                ctx: Arc::new(ctx),
+            });
+        }
+    }
+
+    /// The corresponding public key.
+    pub fn public_key(&self) -> &RsaPublicKey {
+        &self.public
+    }
+
+    /// Length of signatures produced by this key, in bytes.
+    pub fn signature_len(&self) -> usize {
+        self.public.modulus_bytes
+    }
+
+    /// Signs `message` (hashed with SHA-256 internally) and returns a
+    /// signature of exactly [`Self::signature_len`] bytes.
+    pub fn sign(&self, message: &[u8]) -> Vec<u8> {
+        let encoded = emsa_pkcs1_v15_encode(&sha256(message), self.public.modulus_bytes);
+        let m = BigUint::from_bytes_be(&encoded);
+        debug_assert!(m < self.public.n);
+        let sig = self.ctx.mod_pow(&m, &self.d);
+        sig.to_bytes_be_padded(self.public.modulus_bytes)
+    }
+
+    /// Convenience: verifies with this key pair's public half.
+    pub fn verify(&self, message: &[u8], signature: &[u8]) -> bool {
+        self.public.verify(message, signature)
+    }
+}
+
+/// EMSA-PKCS1-v1_5 encoding of a SHA-256 digest into `em_len` bytes:
+/// `0x00 || 0x01 || 0xFF.. || 0x00 || DigestInfo || digest`.
+fn emsa_pkcs1_v15_encode(digest: &Digest, em_len: usize) -> Vec<u8> {
+    let t_len = SHA256_DIGEST_INFO_PREFIX.len() + digest.len();
+    assert!(
+        em_len >= t_len + 11,
+        "modulus too small for PKCS#1 v1.5 encoding"
+    );
+    let mut em = Vec::with_capacity(em_len);
+    em.push(0x00);
+    em.push(0x01);
+    em.resize(em_len - t_len - 1, 0xff);
+    em.push(0x00);
+    em.extend_from_slice(&SHA256_DIGEST_INFO_PREFIX);
+    em.extend_from_slice(digest);
+    debug_assert_eq!(em.len(), em_len);
+    em
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn keypair() -> RsaKeyPair {
+        let mut rng = StdRng::seed_from_u64(1234);
+        RsaKeyPair::generate(512, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let kp = keypair();
+        let msg = b"reachable(a,c) asserted by a";
+        let sig = kp.sign(msg);
+        assert_eq!(sig.len(), kp.signature_len());
+        assert!(kp.verify(msg, &sig));
+    }
+
+    #[test]
+    fn verify_rejects_tampered_message_and_signature() {
+        let kp = keypair();
+        let msg = b"link(a,b)";
+        let sig = kp.sign(msg);
+        assert!(!kp.verify(b"link(a,c)", &sig));
+
+        let mut bad_sig = sig.clone();
+        bad_sig[10] ^= 0x40;
+        assert!(!kp.verify(msg, &bad_sig));
+
+        // Wrong length is rejected outright.
+        assert!(!kp.verify(msg, &sig[1..]));
+    }
+
+    #[test]
+    fn verify_rejects_signature_from_other_key() {
+        let kp1 = keypair();
+        let mut rng = StdRng::seed_from_u64(999);
+        let kp2 = RsaKeyPair::generate(512, &mut rng).unwrap();
+        let msg = b"bestPath(a,d,[a,b,d],2)";
+        let sig = kp2.sign(msg);
+        assert!(kp2.verify(msg, &sig));
+        assert!(!kp1.verify(msg, &sig));
+    }
+
+    #[test]
+    fn generation_rejects_small_modulus() {
+        let mut rng = StdRng::seed_from_u64(5);
+        assert_eq!(
+            RsaKeyPair::generate(128, &mut rng).unwrap_err(),
+            RsaError::ModulusTooSmall(128)
+        );
+    }
+
+    #[test]
+    fn signature_is_deterministic() {
+        // PKCS#1 v1.5 signing is deterministic, which the provenance layer
+        // relies on for idempotent re-signing of identical assertions.
+        let kp = keypair();
+        let msg = b"path(a,c,[a,b,c],7)";
+        assert_eq!(kp.sign(msg), kp.sign(msg));
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_distinct() {
+        let kp1 = keypair();
+        let mut rng = StdRng::seed_from_u64(31337);
+        let kp2 = RsaKeyPair::generate(512, &mut rng).unwrap();
+        assert_eq!(kp1.public_key().fingerprint(), kp1.public_key().fingerprint());
+        assert_ne!(kp1.public_key().fingerprint(), kp2.public_key().fingerprint());
+    }
+
+    #[test]
+    fn emsa_encoding_structure() {
+        let em = emsa_pkcs1_v15_encode(&sha256(b"x"), 64);
+        assert_eq!(em.len(), 64);
+        assert_eq!(em[0], 0x00);
+        assert_eq!(em[1], 0x01);
+        assert_eq!(em[64 - 32 - 19 - 1], 0x00);
+        assert!(em[2..64 - 32 - 19 - 1].iter().all(|&b| b == 0xff));
+    }
+
+    #[test]
+    fn empty_message_signs() {
+        let kp = keypair();
+        let sig = kp.sign(b"");
+        assert!(kp.verify(b"", &sig));
+        assert!(!kp.verify(b" ", &sig));
+    }
+}

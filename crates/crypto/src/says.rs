@@ -1,0 +1,385 @@
+//! The `says` authentication construct of SeNDlog.
+//!
+//! Section 2.2 of the paper: *"The says construct is an abstraction for the
+//! details of authentication. [...] In a hostile world, says may require
+//! digital signatures, while in a more benign world, says may simply append a
+//! cleartext principal header to a message — and this will of course be
+//! cheaper. The policy writer could additionally provide hints along with
+//! rules, indicating that some says are more important than others, e.g. by
+//! supporting multiple says operators with different security levels."*
+//!
+//! [`SaysLevel`] captures exactly that spectrum; [`Authenticator`] produces
+//! and checks [`SaysProof`]s for a principal's exported tuples, and reports
+//! the wire overhead each level adds so the bandwidth accounting matches the
+//! chosen mechanism.
+
+use crate::hmac::{hmac_sha256, hmac_verify, TAG_LEN};
+use crate::principal::{Keyring, PrincipalId};
+
+/// Strength of the mechanism realising `says`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord, Default)]
+pub enum SaysLevel {
+    /// A cleartext principal header: no cryptographic protection, no
+    /// per-tuple CPU cost, 0 extra proof bytes.  (The "benign world" option.)
+    #[default]
+    Cleartext,
+    /// HMAC-SHA-256 with a shared secret: integrity between principals that
+    /// share keys, one hash per tuple, 32 proof bytes.
+    Hmac,
+    /// RSA signature over SHA-256: full non-repudiable authentication as in
+    /// the paper's evaluation, one private-key exponentiation per exported
+    /// tuple, `modulus_len` proof bytes.
+    Rsa,
+}
+
+impl SaysLevel {
+    /// All levels, weakest first.
+    pub const ALL: [SaysLevel; 3] = [SaysLevel::Cleartext, SaysLevel::Hmac, SaysLevel::Rsa];
+
+    /// Human-readable name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            SaysLevel::Cleartext => "cleartext",
+            SaysLevel::Hmac => "hmac-sha256",
+            SaysLevel::Rsa => "rsa-sha256",
+        }
+    }
+}
+
+/// Proof attached to a `P says fact` assertion.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SaysProof {
+    /// No proof beyond the claimed principal id.
+    Cleartext,
+    /// HMAC tag under the asserting principal's MAC secret.
+    Hmac([u8; TAG_LEN]),
+    /// RSA signature by the asserting principal.
+    Rsa(Vec<u8>),
+}
+
+impl SaysProof {
+    /// Number of bytes this proof adds to a message on the wire.
+    pub fn wire_len(&self) -> usize {
+        match self {
+            SaysProof::Cleartext => 0,
+            SaysProof::Hmac(_) => TAG_LEN,
+            SaysProof::Rsa(sig) => sig.len(),
+        }
+    }
+
+    /// The level that produced this proof.
+    pub fn level(&self) -> SaysLevel {
+        match self {
+            SaysProof::Cleartext => SaysLevel::Cleartext,
+            SaysProof::Hmac(_) => SaysLevel::Hmac,
+            SaysProof::Rsa(_) => SaysLevel::Rsa,
+        }
+    }
+
+    /// Serialises the proof for the wire (tag byte + payload).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        match self {
+            SaysProof::Cleartext => vec![0u8],
+            SaysProof::Hmac(tag) => {
+                let mut v = Vec::with_capacity(1 + TAG_LEN);
+                v.push(1u8);
+                v.extend_from_slice(tag);
+                v
+            }
+            SaysProof::Rsa(sig) => {
+                let mut v = Vec::with_capacity(3 + sig.len());
+                v.push(2u8);
+                v.extend_from_slice(&(sig.len() as u16).to_be_bytes());
+                v.extend_from_slice(sig);
+                v
+            }
+        }
+    }
+
+    /// Parses a proof serialised by [`Self::to_bytes`]; returns the proof and
+    /// the number of bytes consumed.
+    pub fn from_bytes(bytes: &[u8]) -> Option<(SaysProof, usize)> {
+        match bytes.first()? {
+            0 => Some((SaysProof::Cleartext, 1)),
+            1 => {
+                if bytes.len() < 1 + TAG_LEN {
+                    return None;
+                }
+                let mut tag = [0u8; TAG_LEN];
+                tag.copy_from_slice(&bytes[1..1 + TAG_LEN]);
+                Some((SaysProof::Hmac(tag), 1 + TAG_LEN))
+            }
+            2 => {
+                if bytes.len() < 3 {
+                    return None;
+                }
+                let len = u16::from_be_bytes([bytes[1], bytes[2]]) as usize;
+                if bytes.len() < 3 + len {
+                    return None;
+                }
+                Some((SaysProof::Rsa(bytes[3..3 + len].to_vec()), 3 + len))
+            }
+            _ => None,
+        }
+    }
+}
+
+/// A `P says payload` assertion carrying its proof.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SaysAssertion {
+    /// The asserting principal.
+    pub principal: PrincipalId,
+    /// Proof that `principal` said the payload.
+    pub proof: SaysProof,
+}
+
+impl SaysAssertion {
+    /// Bytes this assertion adds to a message (principal id + proof).
+    pub fn wire_len(&self) -> usize {
+        4 + self.proof.to_bytes().len()
+    }
+}
+
+/// Errors raised when verifying a `says` assertion.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SaysError {
+    /// The proof does not match the required level (e.g. a cleartext header
+    /// where the importing context demands signatures).
+    InsufficientLevel {
+        /// The minimum level the importing context demands.
+        required: SaysLevel,
+        /// The level actually attached to the assertion.
+        got: SaysLevel,
+    },
+    /// The asserting principal is not in the verifier's key directory.
+    UnknownPrincipal(PrincipalId),
+    /// The cryptographic check failed.
+    InvalidProof(PrincipalId),
+}
+
+impl std::fmt::Display for SaysError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SaysError::InsufficientLevel { required, got } => write!(
+                f,
+                "says proof level {} is weaker than required level {}",
+                got.name(),
+                required.name()
+            ),
+            SaysError::UnknownPrincipal(p) => write!(f, "unknown principal {p}"),
+            SaysError::InvalidProof(p) => write!(f, "invalid says proof from {p}"),
+        }
+    }
+}
+
+impl std::error::Error for SaysError {}
+
+/// Produces and verifies `says` assertions on behalf of one principal.
+#[derive(Clone, Debug)]
+pub struct Authenticator {
+    keyring: Keyring,
+    level: SaysLevel,
+}
+
+impl Authenticator {
+    /// Creates an authenticator that asserts at `level` using `keyring`.
+    pub fn new(keyring: Keyring, level: SaysLevel) -> Self {
+        Authenticator { keyring, level }
+    }
+
+    /// The level this authenticator asserts at.
+    pub fn level(&self) -> SaysLevel {
+        self.level
+    }
+
+    /// The principal on whose behalf assertions are made.
+    pub fn principal(&self) -> PrincipalId {
+        self.keyring.owner()
+    }
+
+    /// Produces `self.principal() says payload`.
+    pub fn assert(&self, payload: &[u8]) -> SaysAssertion {
+        let proof = match self.level {
+            SaysLevel::Cleartext => SaysProof::Cleartext,
+            SaysLevel::Hmac => {
+                SaysProof::Hmac(hmac_sha256(self.keyring.own_mac_secret(), payload))
+            }
+            SaysLevel::Rsa => SaysProof::Rsa(self.keyring.rsa_keypair().sign(payload)),
+        };
+        SaysAssertion {
+            principal: self.keyring.owner(),
+            proof,
+        }
+    }
+
+    /// Verifies that `assertion.principal says payload`, requiring at least
+    /// this authenticator's configured level.
+    pub fn verify(&self, payload: &[u8], assertion: &SaysAssertion) -> Result<(), SaysError> {
+        self.verify_at_level(payload, assertion, self.level)
+    }
+
+    /// Verifies an assertion against an explicit minimum level.
+    pub fn verify_at_level(
+        &self,
+        payload: &[u8],
+        assertion: &SaysAssertion,
+        required: SaysLevel,
+    ) -> Result<(), SaysError> {
+        let got = assertion.proof.level();
+        if got < required {
+            return Err(SaysError::InsufficientLevel { required, got });
+        }
+        match &assertion.proof {
+            SaysProof::Cleartext => Ok(()),
+            SaysProof::Hmac(tag) => {
+                let secret = self
+                    .keyring
+                    .mac_secret_of(assertion.principal)
+                    .ok_or(SaysError::UnknownPrincipal(assertion.principal))?;
+                if hmac_verify(secret, payload, tag) {
+                    Ok(())
+                } else {
+                    Err(SaysError::InvalidProof(assertion.principal))
+                }
+            }
+            SaysProof::Rsa(sig) => {
+                let key = self
+                    .keyring
+                    .public_key_of(assertion.principal)
+                    .ok_or(SaysError::UnknownPrincipal(assertion.principal))?;
+                if key.verify(payload, sig) {
+                    Ok(())
+                } else {
+                    Err(SaysError::InvalidProof(assertion.principal))
+                }
+            }
+        }
+    }
+
+    /// Number of proof bytes this authenticator adds per exported tuple.
+    pub fn proof_overhead(&self) -> usize {
+        match self.level {
+            SaysLevel::Cleartext => 0,
+            SaysLevel::Hmac => TAG_LEN,
+            SaysLevel::Rsa => self.keyring.rsa_keypair().signature_len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::principal::{KeyAuthority, Principal};
+
+    fn setup(level: SaysLevel) -> (Authenticator, Authenticator) {
+        let principals = vec![Principal::new(0u32, "a"), Principal::new(1u32, "b")];
+        let auth = KeyAuthority::provision(&principals, 11).unwrap();
+        let a = Authenticator::new(auth.keyring_for(PrincipalId(0)).unwrap(), level);
+        let b = Authenticator::new(auth.keyring_for(PrincipalId(1)).unwrap(), level);
+        (a, b)
+    }
+
+    #[test]
+    fn cleartext_round_trip() {
+        let (a, b) = setup(SaysLevel::Cleartext);
+        let assertion = a.assert(b"link(a,b)");
+        assert_eq!(assertion.proof, SaysProof::Cleartext);
+        assert_eq!(assertion.proof.wire_len(), 0);
+        assert!(b.verify(b"link(a,b)", &assertion).is_ok());
+        // Cleartext offers no integrity: a different payload also "verifies".
+        assert!(b.verify(b"link(a,c)", &assertion).is_ok());
+    }
+
+    #[test]
+    fn hmac_round_trip_and_tamper_detection() {
+        let (a, b) = setup(SaysLevel::Hmac);
+        let assertion = a.assert(b"reachable(a,c)");
+        assert_eq!(assertion.proof.wire_len(), TAG_LEN);
+        assert!(b.verify(b"reachable(a,c)", &assertion).is_ok());
+        assert_eq!(
+            b.verify(b"reachable(a,d)", &assertion),
+            Err(SaysError::InvalidProof(PrincipalId(0)))
+        );
+    }
+
+    #[test]
+    fn rsa_round_trip_and_spoof_detection() {
+        let (a, b) = setup(SaysLevel::Rsa);
+        let assertion = a.assert(b"bestPath(a,c,[a,b,c],2)");
+        assert!(assertion.proof.wire_len() >= 64);
+        assert!(b.verify(b"bestPath(a,c,[a,b,c],2)", &assertion).is_ok());
+
+        // A spoofed assertion claiming to come from b but signed by a fails.
+        let spoofed = SaysAssertion {
+            principal: PrincipalId(1),
+            proof: assertion.proof.clone(),
+        };
+        assert_eq!(
+            b.verify(b"bestPath(a,c,[a,b,c],2)", &spoofed),
+            Err(SaysError::InvalidProof(PrincipalId(1)))
+        );
+    }
+
+    #[test]
+    fn level_ordering_is_enforced() {
+        let (a, b) = setup(SaysLevel::Cleartext);
+        let weak = a.assert(b"x");
+        assert_eq!(
+            b.verify_at_level(b"x", &weak, SaysLevel::Rsa),
+            Err(SaysError::InsufficientLevel {
+                required: SaysLevel::Rsa,
+                got: SaysLevel::Cleartext
+            })
+        );
+        // A stronger proof satisfies a weaker requirement.
+        let (a_rsa, b_rsa) = setup(SaysLevel::Rsa);
+        let strong = a_rsa.assert(b"x");
+        assert!(b_rsa.verify_at_level(b"x", &strong, SaysLevel::Hmac).is_ok());
+    }
+
+    #[test]
+    fn unknown_principal_is_rejected() {
+        let (a, b) = setup(SaysLevel::Rsa);
+        let mut assertion = a.assert(b"y");
+        assertion.principal = PrincipalId(42);
+        assert_eq!(
+            b.verify(b"y", &assertion),
+            Err(SaysError::UnknownPrincipal(PrincipalId(42)))
+        );
+    }
+
+    #[test]
+    fn proof_serialisation_roundtrip() {
+        let (a, _) = setup(SaysLevel::Rsa);
+        for level in SaysLevel::ALL {
+            let auth = Authenticator::new(a.keyring.clone(), level);
+            let proof = auth.assert(b"payload").proof;
+            let bytes = proof.to_bytes();
+            let (parsed, consumed) = SaysProof::from_bytes(&bytes).unwrap();
+            assert_eq!(parsed, proof);
+            assert_eq!(consumed, bytes.len());
+        }
+        assert!(SaysProof::from_bytes(&[]).is_none());
+        assert!(SaysProof::from_bytes(&[9]).is_none());
+        assert!(SaysProof::from_bytes(&[1, 0, 0]).is_none());
+        assert!(SaysProof::from_bytes(&[2, 0, 10, 1]).is_none());
+    }
+
+    #[test]
+    fn overhead_reflects_level() {
+        let (a_clear, _) = setup(SaysLevel::Cleartext);
+        let (a_hmac, _) = setup(SaysLevel::Hmac);
+        let (a_rsa, _) = setup(SaysLevel::Rsa);
+        assert_eq!(a_clear.proof_overhead(), 0);
+        assert_eq!(a_hmac.proof_overhead(), TAG_LEN);
+        assert_eq!(a_rsa.proof_overhead(), a_rsa.keyring.rsa_keypair().signature_len());
+        assert!(a_rsa.proof_overhead() > a_hmac.proof_overhead());
+    }
+
+    #[test]
+    fn levels_are_ordered_weak_to_strong() {
+        assert!(SaysLevel::Cleartext < SaysLevel::Hmac);
+        assert!(SaysLevel::Hmac < SaysLevel::Rsa);
+        assert_eq!(SaysLevel::default(), SaysLevel::Cleartext);
+    }
+}

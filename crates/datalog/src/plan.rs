@@ -1,0 +1,358 @@
+//! Rule planning for semi-naive, pipelined evaluation.
+//!
+//! The P2 system compiles each rule into a dataflow of relational operators;
+//! this reproduction keeps an interpreted engine, but still pre-computes for
+//! every rule the *delta plans* that semi-naive evaluation needs: one plan
+//! per body atom, describing how to extend a newly arrived tuple of that
+//! atom's predicate with joins against the other body atoms, interleaved with
+//! filters and assignments as soon as their inputs are bound.
+
+use crate::ast::{Atom, BodyLiteral, Expr, Program, Rule, Term};
+use crate::localize::{localize_program, LocalizeError};
+use crate::validate::{validate_program, ValidationError};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Errors produced while preparing a program for execution.
+#[derive(Clone, Debug)]
+pub enum PlanError {
+    /// The program failed static validation.
+    Validation(Vec<ValidationError>),
+    /// A rule could not be localized.
+    Localize(LocalizeError),
+    /// A rule could not be planned (e.g. a cross-product with no shared
+    /// variables is required but disallowed).
+    Plan {
+        /// Label of the offending rule.
+        rule: String,
+        /// Explanation of the failure.
+        message: String,
+    },
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::Validation(errs) => {
+                writeln!(f, "program failed validation:")?;
+                for e in errs {
+                    writeln!(f, "  {e}")?;
+                }
+                Ok(())
+            }
+            PlanError::Localize(e) => write!(f, "{e}"),
+            PlanError::Plan { rule, message } => write!(f, "cannot plan rule {rule}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+impl From<LocalizeError> for PlanError {
+    fn from(e: LocalizeError) -> Self {
+        PlanError::Localize(e)
+    }
+}
+
+/// One step of a delta plan.
+#[derive(Clone, PartialEq, Debug)]
+pub enum PlanStep {
+    /// Join against all currently stored tuples of this atom's predicate.
+    Join(Atom),
+    /// Evaluate a filter over the bound variables and drop non-matching
+    /// bindings.
+    Filter(Expr),
+    /// Bind a new variable from an expression over bound variables.
+    Assign {
+        /// The variable being bound.
+        var: String,
+        /// The defining expression.
+        expr: Expr,
+    },
+}
+
+impl fmt::Display for PlanStep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanStep::Join(a) => write!(f, "join {a}"),
+            PlanStep::Filter(e) => write!(f, "filter {e}"),
+            PlanStep::Assign { var, expr } => write!(f, "assign {var} := {expr}"),
+        }
+    }
+}
+
+/// The plan triggered when a new tuple of `delta.predicate` arrives.
+#[derive(Clone, PartialEq, Debug)]
+pub struct DeltaPlan {
+    /// Index of the delta atom within the rule body (among atoms only).
+    pub delta_index: usize,
+    /// The atom whose new tuples trigger this plan.
+    pub delta: Atom,
+    /// Remaining work, in execution order.
+    pub steps: Vec<PlanStep>,
+}
+
+/// A rule together with its per-delta execution plans.
+#[derive(Clone, PartialEq, Debug)]
+pub struct RulePlan {
+    /// The (localized) rule this plan executes.
+    pub rule: Rule,
+    /// One delta plan per body atom.
+    pub deltas: Vec<DeltaPlan>,
+}
+
+impl RulePlan {
+    /// Plans the delta evaluations for one localized rule.
+    pub fn for_rule(rule: &Rule) -> Result<RulePlan, PlanError> {
+        let atoms: Vec<(usize, Atom)> = rule
+            .body
+            .iter()
+            .filter_map(|l| match l {
+                BodyLiteral::Atom(a) => Some(a.clone()),
+                _ => None,
+            })
+            .enumerate()
+            .collect();
+        if atoms.is_empty() {
+            return Err(PlanError::Plan {
+                rule: rule.label.clone(),
+                message: "rule body contains no atoms".into(),
+            });
+        }
+        let non_atoms: Vec<BodyLiteral> = rule
+            .body
+            .iter()
+            .filter(|l| !matches!(l, BodyLiteral::Atom(_)))
+            .cloned()
+            .collect();
+
+        let mut deltas = Vec::with_capacity(atoms.len());
+        for (delta_index, delta_atom) in &atoms {
+            let mut bound: BTreeSet<String> = delta_atom.variables();
+            if let Some(Term::Variable(v)) = &rule.context {
+                bound.insert(v.clone());
+            }
+            let mut remaining_atoms: Vec<Atom> = atoms
+                .iter()
+                .filter(|(i, _)| i != delta_index)
+                .map(|(_, a)| a.clone())
+                .collect();
+            let mut remaining_other = non_atoms.clone();
+            let mut steps = Vec::new();
+
+            while !remaining_atoms.is_empty() || !remaining_other.is_empty() {
+                // 1. Emit any filter / assignment whose inputs are all bound.
+                if let Some(pos) = remaining_other.iter().position(|lit| {
+                    let mut used = BTreeSet::new();
+                    match lit {
+                        BodyLiteral::Filter(e) => e.variables(&mut used),
+                        BodyLiteral::Assign { expr, .. } => expr.variables(&mut used),
+                        BodyLiteral::Atom(_) => unreachable!(),
+                    }
+                    used.iter().all(|v| bound.contains(v))
+                }) {
+                    let lit = remaining_other.remove(pos);
+                    match lit {
+                        BodyLiteral::Filter(e) => steps.push(PlanStep::Filter(e)),
+                        BodyLiteral::Assign { var, expr } => {
+                            bound.insert(var.clone());
+                            steps.push(PlanStep::Assign { var, expr });
+                        }
+                        BodyLiteral::Atom(_) => unreachable!(),
+                    }
+                    continue;
+                }
+                // 2. Otherwise join the next atom, preferring one that shares
+                //    variables with the bound set (avoiding cross products
+                //    whenever the rule graph is connected).
+                if remaining_atoms.is_empty() {
+                    // Only filters/assignments left but none is ready: their
+                    // variables can never become bound.
+                    let lit = &remaining_other[0];
+                    return Err(PlanError::Plan {
+                        rule: rule.label.clone(),
+                        message: format!("`{lit}` references variables never bound by the body"),
+                    });
+                }
+                let pos = remaining_atoms
+                    .iter()
+                    .position(|a| a.variables().iter().any(|v| bound.contains(v)))
+                    .unwrap_or(0);
+                let atom = remaining_atoms.remove(pos);
+                bound.extend(atom.variables());
+                steps.push(PlanStep::Join(atom));
+            }
+
+            deltas.push(DeltaPlan {
+                delta_index: *delta_index,
+                delta: delta_atom.clone(),
+                steps,
+            });
+        }
+        Ok(RulePlan {
+            rule: rule.clone(),
+            deltas,
+        })
+    }
+}
+
+/// A fully prepared program: validated, localized, and planned.
+#[derive(Clone, Debug)]
+pub struct CompiledProgram {
+    /// The localized program (rules are single-site).
+    pub program: Program,
+    /// One plan per localized rule, in rule order.
+    pub plans: Vec<RulePlan>,
+}
+
+impl CompiledProgram {
+    /// All plans whose delta atom matches `predicate`.
+    pub fn plans_for_predicate<'a>(
+        &'a self,
+        predicate: &'a str,
+    ) -> impl Iterator<Item = (&'a RulePlan, &'a DeltaPlan)> + 'a {
+        self.plans.iter().flat_map(move |rp| {
+            rp.deltas
+                .iter()
+                .filter(move |d| d.delta.predicate == predicate)
+                .map(move |d| (rp, d))
+        })
+    }
+}
+
+/// Validates, localizes, and plans an NDlog / SeNDlog program.
+pub fn compile_program(program: &Program) -> Result<CompiledProgram, PlanError> {
+    validate_program(program).map_err(PlanError::Validation)?;
+    let localized = localize_program(program)?;
+    // The localized program must itself still be valid.
+    validate_program(&localized).map_err(PlanError::Validation)?;
+    let mut plans = Vec::with_capacity(localized.rules.len());
+    for rule in &localized.rules {
+        plans.push(RulePlan::for_rule(rule)?);
+    }
+    Ok(CompiledProgram {
+        program: localized,
+        plans,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    const BEST_PATH: &str = "
+        sp1 path(@S,D,P,C) :- link(@S,D,C), P := f_init(S,D).
+        sp2 path(@S,D,P,C) :- link(@S,Z,C1), path(@Z,D,P2,C2), C := C1 + C2, P := f_concat(S,P2).
+        sp3 bestPathCost(@S,D,a_MIN<C>) :- path(@S,D,P,C).
+        sp4 bestPath(@S,D,P,C) :- bestPathCost(@S,D,C), path(@S,D,P,C).
+    ";
+
+    #[test]
+    fn compiles_the_reachability_program() {
+        let program = parse_program(
+            "r1 reachable(@S,D) :- link(@S,D).\n r2 reachable(@S,D) :- link(@S,Z), reachable(@Z,D).",
+        )
+        .unwrap();
+        let compiled = compile_program(&program).unwrap();
+        // r1 + (r2 localized into 2 rules) = 3 rules.
+        assert_eq!(compiled.plans.len(), 3);
+        // Every body atom of every rule has a delta plan.
+        for plan in &compiled.plans {
+            assert_eq!(plan.deltas.len(), plan.rule.body_atoms().count());
+        }
+        // New link tuples trigger r1 and the forwarding rule.
+        let link_triggered: Vec<_> = compiled.plans_for_predicate("link").collect();
+        assert_eq!(link_triggered.len(), 2);
+        // New link_at_z tuples trigger the localized join.
+        assert_eq!(compiled.plans_for_predicate("link_at_z").count(), 1);
+    }
+
+    #[test]
+    fn delta_plans_order_assignments_after_their_inputs() {
+        let program = parse_program(BEST_PATH).unwrap();
+        let compiled = compile_program(&program).unwrap();
+        // Find the localized sp2 join rule (its body joins link_at_z with path).
+        let sp2_plan = compiled
+            .plans
+            .iter()
+            .find(|p| p.rule.label == "sp2")
+            .expect("sp2 exists");
+        for delta in &sp2_plan.deltas {
+            let mut seen_join = delta.steps.is_empty();
+            let mut c_assigned = false;
+            for step in &delta.steps {
+                match step {
+                    PlanStep::Join(_) => seen_join = true,
+                    PlanStep::Assign { var, .. } if var == "C" => {
+                        // C := C1 + C2 needs both link (C1) and path (C2)
+                        // tuples, so it must come after the remaining join.
+                        assert!(seen_join, "assignment of C before join in {delta:?}");
+                        c_assigned = true;
+                    }
+                    _ => {}
+                }
+            }
+            assert!(c_assigned, "C is always assigned");
+        }
+    }
+
+    #[test]
+    fn aggregation_rule_plans_single_delta() {
+        let program = parse_program(BEST_PATH).unwrap();
+        let compiled = compile_program(&program).unwrap();
+        let sp3 = compiled
+            .plans
+            .iter()
+            .find(|p| p.rule.label == "sp3")
+            .unwrap();
+        assert_eq!(sp3.deltas.len(), 1);
+        assert!(sp3.deltas[0].steps.is_empty());
+        assert!(sp3.rule.head.has_aggregate());
+    }
+
+    #[test]
+    fn sendlog_program_compiles_without_localization() {
+        let program = parse_program(
+            "At S:\n s1 reachable(S,D) :- link(S,D).\n s2 linkD(D,S)@D :- link(S,D).\n s3 reachable(Z,Y)@Z :- Z says linkD(S,Z), W says reachable(S,Y).",
+        )
+        .unwrap();
+        let compiled = compile_program(&program).unwrap();
+        assert_eq!(compiled.plans.len(), 3);
+        assert!(compiled.program.uses_sendlog());
+    }
+
+    #[test]
+    fn invalid_program_is_rejected_with_all_errors() {
+        let program = parse_program("r1 p(@S,D) :- q(@S).\n r2 x(@S) :- y(@S), Z > 1.").unwrap();
+        match compile_program(&program) {
+            Err(PlanError::Validation(errs)) => assert!(errs.len() >= 2),
+            other => panic!("expected validation failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn headless_body_is_rejected() {
+        // A rule whose body is only a filter cannot be planned.
+        let rule = Rule {
+            label: "weird".into(),
+            context: None,
+            head: Atom::new("p", vec![Term::constant(1i64)]).at(0),
+            body: vec![BodyLiteral::Filter(Expr::constant(true))],
+        };
+        let err = RulePlan::for_rule(&rule).unwrap_err();
+        assert!(err.to_string().contains("no atoms"));
+    }
+
+    #[test]
+    fn plan_display_is_readable() {
+        let program = parse_program("r1 reachable(@S,D) :- link(@S,Z), reachable(@Z,D).").unwrap();
+        let compiled = compile_program(&program).unwrap();
+        let rendered: Vec<String> = compiled.plans[1]
+            .deltas
+            .iter()
+            .flat_map(|d| d.steps.iter().map(|s| s.to_string()))
+            .collect();
+        assert!(rendered.iter().any(|s| s.starts_with("join ")));
+    }
+}

@@ -1,0 +1,283 @@
+//! Runtime values carried in tuples.
+//!
+//! NDlog predicates range over a small set of scalar types: network
+//! addresses (the values bound to location-specifier attributes), integers,
+//! strings, booleans and lists (used for path vectors in the Best-Path
+//! query).  The same type is used for constants in parsed programs and for
+//! attribute values in materialised tuples, so the parser, the engine and the
+//! provenance layer all agree on equality and hashing.
+
+use std::fmt;
+
+/// Identifier of a network node / principal as it appears inside tuple
+/// attributes.  The mapping to transport-level node identifiers is
+/// maintained by the runtime (`pasn-engine`).
+pub type Address = u32;
+
+/// A scalar or list value stored in a tuple attribute.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum Value {
+    /// A signed integer (path costs, counters, thresholds).
+    Int(i64),
+    /// A string constant.
+    Str(String),
+    /// A boolean.
+    Bool(bool),
+    /// A network address / principal identifier (the type of location
+    /// specifier attributes).
+    Addr(Address),
+    /// A list of values (path vectors, provenance digests).
+    List(Vec<Value>),
+}
+
+impl Value {
+    /// Human-readable type name used in error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Int(_) => "int",
+            Value::Str(_) => "string",
+            Value::Bool(_) => "bool",
+            Value::Addr(_) => "address",
+            Value::List(_) => "list",
+        }
+    }
+
+    /// Extracts an integer, if this value is one.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Extracts an address, if this value is one.
+    pub fn as_addr(&self) -> Option<Address> {
+        match self {
+            Value::Addr(a) => Some(*a),
+            _ => None,
+        }
+    }
+
+    /// Extracts a boolean, if this value is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Extracts a list, if this value is one.
+    pub fn as_list(&self) -> Option<&[Value]> {
+        match self {
+            Value::List(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// A stable byte encoding used for hashing, signatures and wire
+    /// transport.  The encoding is self-delimiting: a tag byte followed by a
+    /// fixed- or length-prefixed payload.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Value::Int(i) => {
+                out.push(0);
+                out.extend_from_slice(&i.to_be_bytes());
+            }
+            Value::Str(s) => {
+                out.push(1);
+                out.extend_from_slice(&(s.len() as u32).to_be_bytes());
+                out.extend_from_slice(s.as_bytes());
+            }
+            Value::Bool(b) => {
+                out.push(2);
+                out.push(*b as u8);
+            }
+            Value::Addr(a) => {
+                out.push(3);
+                out.extend_from_slice(&a.to_be_bytes());
+            }
+            Value::List(items) => {
+                out.push(4);
+                out.extend_from_slice(&(items.len() as u32).to_be_bytes());
+                for item in items {
+                    item.encode(out);
+                }
+            }
+        }
+    }
+
+    /// Decodes a value previously produced by [`Value::encode`]; returns the
+    /// value and the number of bytes consumed.
+    pub fn decode(bytes: &[u8]) -> Option<(Value, usize)> {
+        let tag = *bytes.first()?;
+        match tag {
+            0 => {
+                let raw: [u8; 8] = bytes.get(1..9)?.try_into().ok()?;
+                Some((Value::Int(i64::from_be_bytes(raw)), 9))
+            }
+            1 => {
+                let len_raw: [u8; 4] = bytes.get(1..5)?.try_into().ok()?;
+                let len = u32::from_be_bytes(len_raw) as usize;
+                let s = bytes.get(5..5 + len)?;
+                Some((Value::Str(String::from_utf8(s.to_vec()).ok()?), 5 + len))
+            }
+            2 => Some((Value::Bool(*bytes.get(1)? != 0), 2)),
+            3 => {
+                let raw: [u8; 4] = bytes.get(1..5)?.try_into().ok()?;
+                Some((Value::Addr(u32::from_be_bytes(raw)), 5))
+            }
+            4 => {
+                let len_raw: [u8; 4] = bytes.get(1..5)?.try_into().ok()?;
+                let len = u32::from_be_bytes(len_raw) as usize;
+                let mut offset = 5;
+                let mut items = Vec::with_capacity(len);
+                for _ in 0..len {
+                    let (item, used) = Value::decode(&bytes[offset..])?;
+                    items.push(item);
+                    offset += used;
+                }
+                Some((Value::List(items), offset))
+            }
+            _ => None,
+        }
+    }
+
+    /// Number of bytes [`Value::encode`] produces for this value; this is
+    /// what the bandwidth accounting in `pasn-net` charges per attribute.
+    pub fn encoded_len(&self) -> usize {
+        match self {
+            Value::Int(_) => 9,
+            Value::Str(s) => 5 + s.len(),
+            Value::Bool(_) => 2,
+            Value::Addr(_) => 5,
+            Value::List(items) => 5 + items.iter().map(|i| i.encoded_len()).sum::<usize>(),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Addr(a) => write!(f, "n{a}"),
+            Value::List(items) => {
+                write!(f, "[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn accessors_match_variants() {
+        assert_eq!(Value::Int(7).as_int(), Some(7));
+        assert_eq!(Value::Str("x".into()).as_int(), None);
+        assert_eq!(Value::Addr(3).as_addr(), Some(3));
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(
+            Value::List(vec![Value::Int(1)]).as_list(),
+            Some(&[Value::Int(1)][..])
+        );
+        assert_eq!(Value::Int(1).type_name(), "int");
+        assert_eq!(Value::List(vec![]).type_name(), "list");
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Int(-3).to_string(), "-3");
+        assert_eq!(Value::Str("hi".into()).to_string(), "hi");
+        assert_eq!(Value::Addr(4).to_string(), "n4");
+        assert_eq!(
+            Value::List(vec![Value::Addr(1), Value::Addr(2)]).to_string(),
+            "[n1,n2]"
+        );
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_examples() {
+        let values = vec![
+            Value::Int(i64::MIN),
+            Value::Int(0),
+            Value::Str("reachable".into()),
+            Value::Str(String::new()),
+            Value::Bool(false),
+            Value::Addr(u32::MAX),
+            Value::List(vec![]),
+            Value::List(vec![
+                Value::Addr(1),
+                Value::List(vec![Value::Int(2), Value::Str("x".into())]),
+            ]),
+        ];
+        for v in values {
+            let mut buf = Vec::new();
+            v.encode(&mut buf);
+            assert_eq!(buf.len(), v.encoded_len(), "length accounting for {v}");
+            let (decoded, used) = Value::decode(&buf).unwrap();
+            assert_eq!(decoded, v);
+            assert_eq!(used, buf.len());
+        }
+    }
+
+    #[test]
+    fn decode_rejects_truncated_and_garbage() {
+        assert!(Value::decode(&[]).is_none());
+        assert!(Value::decode(&[0, 1, 2]).is_none());
+        assert!(Value::decode(&[1, 0, 0, 0, 10, b'a']).is_none());
+        assert!(Value::decode(&[99]).is_none());
+    }
+
+    fn arb_value() -> impl Strategy<Value = Value> {
+        let leaf = prop_oneof![
+            any::<i64>().prop_map(Value::Int),
+            "[a-z]{0,8}".prop_map(Value::Str),
+            any::<bool>().prop_map(Value::Bool),
+            any::<u32>().prop_map(Value::Addr),
+        ];
+        leaf.prop_recursive(3, 16, 4, |inner| {
+            proptest::collection::vec(inner, 0..4).prop_map(Value::List)
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn prop_encode_decode_roundtrip(v in arb_value()) {
+            let mut buf = Vec::new();
+            v.encode(&mut buf);
+            prop_assert_eq!(buf.len(), v.encoded_len());
+            let (decoded, used) = Value::decode(&buf).unwrap();
+            prop_assert_eq!(decoded, v);
+            prop_assert_eq!(used, buf.len());
+        }
+    }
+}

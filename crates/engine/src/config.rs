@@ -1,0 +1,256 @@
+//! Engine configuration: the axes an experiment can vary.
+//!
+//! The paper's evaluation compares three system variants (Section 6):
+//! **NDLog** (no authentication, no provenance), **SeNDLog** (authenticated
+//! communication, no provenance) and **SeNDLogProv** (authentication plus
+//! condensed provenance).  [`SystemVariant`] captures those presets;
+//! [`EngineConfig`] exposes every underlying knob so the ablation benchmarks
+//! can move one axis at a time.
+
+use pasn_crypto::says::SaysLevel;
+use pasn_net::CostModel;
+use pasn_provenance::{Granularity, MaintenanceMode, ProvenanceKind, SamplingPolicy};
+use std::collections::HashMap;
+
+/// Whether derivation graphs are recorded, and where they live
+/// (Section 4.1's local-vs-distributed axis).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum GraphMode {
+    /// No derivation graphs (only semiring tags, if enabled).
+    #[default]
+    None,
+    /// Local provenance: the full derivation subtree is piggybacked with
+    /// every shipped tuple so each node holds locally complete provenance.
+    Local,
+    /// Distributed provenance: each node stores pointer records for the
+    /// derivations it performed; reconstruction requires a traceback query.
+    Distributed,
+}
+
+impl GraphMode {
+    /// Human-readable name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            GraphMode::None => "none",
+            GraphMode::Local => "local",
+            GraphMode::Distributed => "distributed",
+        }
+    }
+}
+
+/// Full engine configuration.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Authentication level for inter-node tuples; `None` disables
+    /// authentication entirely (plain NDlog).
+    pub says_level: Option<SaysLevel>,
+    /// Verify `says` proofs on import (on by default whenever authentication
+    /// is enabled).
+    pub verify_imports: bool,
+    /// Which semiring annotation to maintain per tuple.
+    pub provenance: ProvenanceKind,
+    /// Whether and where derivation graphs are recorded.
+    pub graph_mode: GraphMode,
+    /// Proactive or reactive provenance maintenance.
+    pub maintenance: MaintenanceMode,
+    /// Sampling policy for provenance recording.
+    pub sampling: SamplingPolicy,
+    /// Node- or AS-level provenance granularity.
+    pub granularity: Granularity,
+    /// Record an offline archive entry for every derivation.
+    pub archive_offline: bool,
+    /// Default TTL (microseconds of simulated time) for derived soft-state
+    /// tuples; `None` keeps them until explicitly removed.
+    pub default_ttl_us: Option<u64>,
+    /// Cost model driving the simulated clock.
+    pub cost_model: CostModel,
+    /// RSA modulus size used when `says_level` is `Rsa`.
+    pub rsa_modulus_bits: usize,
+    /// Seed for key provisioning (kept separate from workload seeds so the
+    /// same keys can be reused across a parameter sweep).
+    pub key_seed: u64,
+    /// Per-principal security levels for quantifiable provenance; principals
+    /// not listed default to level 1.
+    pub security_levels: HashMap<u32, u8>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig::ndlog()
+    }
+}
+
+impl EngineConfig {
+    /// The NDLog baseline: no authentication, no provenance.
+    pub fn ndlog() -> Self {
+        EngineConfig {
+            says_level: None,
+            verify_imports: false,
+            provenance: ProvenanceKind::None,
+            graph_mode: GraphMode::None,
+            maintenance: MaintenanceMode::Proactive,
+            sampling: SamplingPolicy::always(),
+            granularity: Granularity::Node,
+            archive_offline: false,
+            default_ttl_us: None,
+            cost_model: CostModel::paper_2008(),
+            rsa_modulus_bits: 512,
+            key_seed: 0x5eed,
+            security_levels: HashMap::new(),
+        }
+    }
+
+    /// SeNDLog: RSA-authenticated communication, no provenance.
+    pub fn sendlog() -> Self {
+        EngineConfig {
+            says_level: Some(SaysLevel::Rsa),
+            verify_imports: true,
+            ..EngineConfig::ndlog()
+        }
+    }
+
+    /// SeNDLogProv: RSA-authenticated communication plus condensed
+    /// provenance — the most expensive configuration of the evaluation.
+    pub fn sendlog_prov() -> Self {
+        EngineConfig {
+            provenance: ProvenanceKind::Condensed,
+            ..EngineConfig::sendlog()
+        }
+    }
+
+    /// Builder: sets the `says` level (and enables import verification).
+    pub fn with_says(mut self, level: SaysLevel) -> Self {
+        self.says_level = Some(level);
+        self.verify_imports = true;
+        self
+    }
+
+    /// Builder: sets the provenance kind.
+    pub fn with_provenance(mut self, kind: ProvenanceKind) -> Self {
+        self.provenance = kind;
+        self
+    }
+
+    /// Builder: sets the graph mode.
+    pub fn with_graph_mode(mut self, mode: GraphMode) -> Self {
+        self.graph_mode = mode;
+        self
+    }
+
+    /// Builder: sets the cost model.
+    pub fn with_cost_model(mut self, cost: CostModel) -> Self {
+        self.cost_model = cost;
+        self
+    }
+
+    /// Builder: sets a default TTL for derived tuples.
+    pub fn with_default_ttl_us(mut self, ttl: u64) -> Self {
+        self.default_ttl_us = Some(ttl);
+        self
+    }
+
+    /// Builder: sets a principal's security level.
+    pub fn with_security_level(mut self, principal: u32, level: u8) -> Self {
+        self.security_levels.insert(principal, level);
+        self
+    }
+
+    /// True when inter-node tuples are signed.
+    pub fn authenticated(&self) -> bool {
+        self.says_level.is_some()
+    }
+
+    /// True when any provenance (tag or graph) is maintained.
+    pub fn tracks_provenance(&self) -> bool {
+        self.provenance != ProvenanceKind::None || self.graph_mode != GraphMode::None
+    }
+}
+
+/// The three system variants of the paper's evaluation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SystemVariant {
+    /// No authentication, no provenance.
+    NDLog,
+    /// Authenticated communication.
+    SeNDLog,
+    /// Authenticated communication plus condensed provenance.
+    SeNDLogProv,
+}
+
+impl SystemVariant {
+    /// All variants in the order the paper plots them.
+    pub const ALL: [SystemVariant; 3] = [
+        SystemVariant::NDLog,
+        SystemVariant::SeNDLog,
+        SystemVariant::SeNDLogProv,
+    ];
+
+    /// The paper's name for the variant.
+    pub fn name(self) -> &'static str {
+        match self {
+            SystemVariant::NDLog => "NDLog",
+            SystemVariant::SeNDLog => "SeNDLog",
+            SystemVariant::SeNDLogProv => "SeNDLogProv",
+        }
+    }
+
+    /// The engine configuration implementing this variant.
+    pub fn config(self) -> EngineConfig {
+        match self {
+            SystemVariant::NDLog => EngineConfig::ndlog(),
+            SystemVariant::SeNDLog => EngineConfig::sendlog(),
+            SystemVariant::SeNDLogProv => EngineConfig::sendlog_prov(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_the_paper_variants() {
+        let nd = SystemVariant::NDLog.config();
+        assert!(!nd.authenticated());
+        assert!(!nd.tracks_provenance());
+
+        let se = SystemVariant::SeNDLog.config();
+        assert!(se.authenticated());
+        assert_eq!(se.says_level, Some(SaysLevel::Rsa));
+        assert!(!se.tracks_provenance());
+        assert!(se.verify_imports);
+
+        let sp = SystemVariant::SeNDLogProv.config();
+        assert!(sp.authenticated());
+        assert_eq!(sp.provenance, ProvenanceKind::Condensed);
+        assert!(sp.tracks_provenance());
+
+        assert_eq!(SystemVariant::ALL.len(), 3);
+        assert_eq!(SystemVariant::SeNDLogProv.name(), "SeNDLogProv");
+    }
+
+    #[test]
+    fn builders_compose() {
+        let cfg = EngineConfig::ndlog()
+            .with_says(SaysLevel::Hmac)
+            .with_provenance(ProvenanceKind::Vote)
+            .with_graph_mode(GraphMode::Distributed)
+            .with_default_ttl_us(5_000_000)
+            .with_security_level(3, 4);
+        assert_eq!(cfg.says_level, Some(SaysLevel::Hmac));
+        assert!(cfg.verify_imports);
+        assert_eq!(cfg.provenance, ProvenanceKind::Vote);
+        assert_eq!(cfg.graph_mode, GraphMode::Distributed);
+        assert_eq!(cfg.default_ttl_us, Some(5_000_000));
+        assert_eq!(cfg.security_levels[&3], 4);
+        assert_eq!(GraphMode::Distributed.name(), "distributed");
+        assert_eq!(GraphMode::default(), GraphMode::None);
+    }
+
+    #[test]
+    fn default_config_is_the_baseline() {
+        let cfg = EngineConfig::default();
+        assert!(!cfg.authenticated());
+        assert_eq!(cfg.provenance, ProvenanceKind::None);
+    }
+}

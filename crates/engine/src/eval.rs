@@ -1,0 +1,476 @@
+//! Expression evaluation, unification, and NDlog built-in functions.
+
+use pasn_datalog::{BinOp, Expr, Term, Value};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Variable bindings accumulated while evaluating a rule body.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Bindings {
+    map: HashMap<String, Value>,
+}
+
+impl Bindings {
+    /// Creates an empty binding set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up a variable.
+    pub fn get(&self, var: &str) -> Option<&Value> {
+        self.map.get(var)
+    }
+
+    /// Binds a variable (overwrites silently; callers check consistency via
+    /// [`Bindings::unify_term`]).
+    pub fn bind(&mut self, var: impl Into<String>, value: Value) {
+        self.map.insert(var.into(), value);
+    }
+
+    /// Number of bound variables.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if nothing is bound.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Attempts to unify `term` with `value`: constants must match, variables
+    /// either bind or must agree with their existing binding, wildcards always
+    /// match.  Returns false (leaving bindings possibly extended for fresh
+    /// variables) when unification fails.
+    pub fn unify_term(&mut self, term: &Term, value: &Value) -> bool {
+        match term {
+            Term::Wildcard => true,
+            Term::Constant(c) => c == value,
+            Term::Variable(v) => match self.map.get(v) {
+                Some(existing) => existing == value,
+                None => {
+                    self.map.insert(v.clone(), value.clone());
+                    true
+                }
+            },
+            // Aggregates never appear in body atoms (the parser rejects them).
+            Term::Aggregate(..) => false,
+        }
+    }
+
+    /// Resolves a term to a value under the current bindings.
+    pub fn resolve_term(&self, term: &Term) -> Result<Value, EvalError> {
+        match term {
+            Term::Constant(c) => Ok(c.clone()),
+            Term::Variable(v) | Term::Aggregate(_, v) => self
+                .map
+                .get(v)
+                .cloned()
+                .ok_or_else(|| EvalError::UnboundVariable(v.clone())),
+            Term::Wildcard => Err(EvalError::WildcardInExpression),
+        }
+    }
+}
+
+/// Errors raised while evaluating expressions.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EvalError {
+    /// A variable had no binding.
+    UnboundVariable(String),
+    /// A wildcard appeared where a value is required.
+    WildcardInExpression,
+    /// Operand types did not match the operator.
+    TypeMismatch {
+        /// The operation being evaluated.
+        operation: String,
+        /// Description of the offending operands.
+        operands: String,
+    },
+    /// An unknown built-in function was called.
+    UnknownFunction(String),
+    /// A built-in was called with the wrong number of arguments.
+    Arity {
+        /// Function name.
+        function: String,
+        /// Expected argument count.
+        expected: usize,
+        /// Provided argument count.
+        got: usize,
+    },
+    /// Division or remainder by zero.
+    DivisionByZero,
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::UnboundVariable(v) => write!(f, "variable `{v}` is unbound"),
+            EvalError::WildcardInExpression => write!(f, "wildcard `_` used in an expression"),
+            EvalError::TypeMismatch { operation, operands } => {
+                write!(f, "type mismatch in {operation}: {operands}")
+            }
+            EvalError::UnknownFunction(name) => write!(f, "unknown function `{name}`"),
+            EvalError::Arity { function, expected, got } => {
+                write!(f, "`{function}` expects {expected} arguments, got {got}")
+            }
+            EvalError::DivisionByZero => write!(f, "division by zero"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Evaluates an expression under the given bindings.
+pub fn eval_expr(expr: &Expr, bindings: &Bindings) -> Result<Value, EvalError> {
+    match expr {
+        Expr::Term(t) => bindings.resolve_term(t),
+        Expr::BinOp(op, lhs, rhs) => {
+            let l = eval_expr(lhs, bindings)?;
+            let r = eval_expr(rhs, bindings)?;
+            eval_binop(*op, &l, &r)
+        }
+        Expr::Call(name, args) => {
+            let values: Result<Vec<Value>, EvalError> =
+                args.iter().map(|a| eval_expr(a, bindings)).collect();
+            eval_builtin(name, &values?)
+        }
+    }
+}
+
+/// Evaluates a filter expression to a boolean.
+pub fn eval_filter(expr: &Expr, bindings: &Bindings) -> Result<bool, EvalError> {
+    match eval_expr(expr, bindings)? {
+        Value::Bool(b) => Ok(b),
+        other => Err(EvalError::TypeMismatch {
+            operation: "filter".into(),
+            operands: format!("expected bool, got {} ({})", other, other.type_name()),
+        }),
+    }
+}
+
+fn eval_binop(op: BinOp, l: &Value, r: &Value) -> Result<Value, EvalError> {
+    use BinOp::*;
+    let type_err = |operation: &str| EvalError::TypeMismatch {
+        operation: operation.to_string(),
+        operands: format!("{} ({}) and {} ({})", l, l.type_name(), r, r.type_name()),
+    };
+    match op {
+        Add | Sub | Mul | Div | Mod => {
+            let (a, b) = match (l, r) {
+                (Value::Int(a), Value::Int(b)) => (*a, *b),
+                _ => return Err(type_err(op.symbol())),
+            };
+            let result = match op {
+                Add => a.wrapping_add(b),
+                Sub => a.wrapping_sub(b),
+                Mul => a.wrapping_mul(b),
+                Div => {
+                    if b == 0 {
+                        return Err(EvalError::DivisionByZero);
+                    }
+                    a / b
+                }
+                Mod => {
+                    if b == 0 {
+                        return Err(EvalError::DivisionByZero);
+                    }
+                    a % b
+                }
+                _ => unreachable!(),
+            };
+            Ok(Value::Int(result))
+        }
+        Eq => Ok(Value::Bool(l == r)),
+        Ne => Ok(Value::Bool(l != r)),
+        Lt | Le | Gt | Ge => {
+            // Ordered comparison requires same-variant comparable values.
+            let ordering = match (l, r) {
+                (Value::Int(a), Value::Int(b)) => a.cmp(b),
+                (Value::Str(a), Value::Str(b)) => a.cmp(b),
+                (Value::Addr(a), Value::Addr(b)) => a.cmp(b),
+                _ => return Err(type_err(op.symbol())),
+            };
+            let result = match op {
+                Lt => ordering.is_lt(),
+                Le => ordering.is_le(),
+                Gt => ordering.is_gt(),
+                Ge => ordering.is_ge(),
+                _ => unreachable!(),
+            };
+            Ok(Value::Bool(result))
+        }
+        And | Or => {
+            let (a, b) = match (l, r) {
+                (Value::Bool(a), Value::Bool(b)) => (*a, *b),
+                _ => return Err(type_err(op.symbol())),
+            };
+            Ok(Value::Bool(if op == And { a && b } else { a || b }))
+        }
+    }
+}
+
+/// NDlog built-in functions (the `f_*` family used by the Best-Path query and
+/// the use-case programs).
+fn eval_builtin(name: &str, args: &[Value]) -> Result<Value, EvalError> {
+    let arity = |expected: usize| {
+        if args.len() == expected {
+            Ok(())
+        } else {
+            Err(EvalError::Arity {
+                function: name.to_string(),
+                expected,
+                got: args.len(),
+            })
+        }
+    };
+    match name {
+        // f_init(S, D): the initial path vector [S, D].
+        "f_init" => {
+            arity(2)?;
+            Ok(Value::List(vec![args[0].clone(), args[1].clone()]))
+        }
+        // f_concat(X, P): prepend X to path vector P.
+        "f_concat" => {
+            arity(2)?;
+            let list = args[1]
+                .as_list()
+                .ok_or_else(|| EvalError::TypeMismatch {
+                    operation: "f_concat".into(),
+                    operands: format!("second argument must be a list, got {}", args[1]),
+                })?;
+            let mut out = Vec::with_capacity(list.len() + 1);
+            out.push(args[0].clone());
+            out.extend_from_slice(list);
+            Ok(Value::List(out))
+        }
+        // f_append(P, X): append X to path vector P.
+        "f_append" => {
+            arity(2)?;
+            let list = args[0]
+                .as_list()
+                .ok_or_else(|| EvalError::TypeMismatch {
+                    operation: "f_append".into(),
+                    operands: format!("first argument must be a list, got {}", args[0]),
+                })?;
+            let mut out = list.to_vec();
+            out.push(args[1].clone());
+            Ok(Value::List(out))
+        }
+        // f_member(P, X): true if X occurs in P.
+        "f_member" => {
+            arity(2)?;
+            let list = args[0]
+                .as_list()
+                .ok_or_else(|| EvalError::TypeMismatch {
+                    operation: "f_member".into(),
+                    operands: format!("first argument must be a list, got {}", args[0]),
+                })?;
+            Ok(Value::Bool(list.contains(&args[1])))
+        }
+        // f_size(P): number of elements in P.
+        "f_size" => {
+            arity(1)?;
+            let list = args[0]
+                .as_list()
+                .ok_or_else(|| EvalError::TypeMismatch {
+                    operation: "f_size".into(),
+                    operands: format!("argument must be a list, got {}", args[0]),
+                })?;
+            Ok(Value::Int(list.len() as i64))
+        }
+        // f_first(P) / f_last(P): endpoints of a path vector.
+        "f_first" | "f_last" => {
+            arity(1)?;
+            let list = args[0]
+                .as_list()
+                .ok_or_else(|| EvalError::TypeMismatch {
+                    operation: name.into(),
+                    operands: format!("argument must be a list, got {}", args[0]),
+                })?;
+            let item = if name == "f_first" { list.first() } else { list.last() };
+            item.cloned().ok_or_else(|| EvalError::TypeMismatch {
+                operation: name.into(),
+                operands: "empty list".into(),
+            })
+        }
+        // f_list(...): build a list from the arguments.
+        "f_list" => Ok(Value::List(args.to_vec())),
+        // f_min(a, b) / f_max(a, b) on integers.
+        "f_min" | "f_max" => {
+            arity(2)?;
+            match (&args[0], &args[1]) {
+                (Value::Int(a), Value::Int(b)) => Ok(Value::Int(if name == "f_min" {
+                    *a.min(b)
+                } else {
+                    *a.max(b)
+                })),
+                _ => Err(EvalError::TypeMismatch {
+                    operation: name.into(),
+                    operands: format!("{} and {}", args[0], args[1]),
+                }),
+            }
+        }
+        other => Err(EvalError::UnknownFunction(other.to_string())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pasn_datalog::parse_rule;
+    use pasn_datalog::BodyLiteral;
+
+    fn bindings(pairs: &[(&str, Value)]) -> Bindings {
+        let mut b = Bindings::new();
+        for (k, v) in pairs {
+            b.bind(*k, v.clone());
+        }
+        b
+    }
+
+    #[test]
+    fn unify_constants_variables_and_wildcards() {
+        let mut b = Bindings::new();
+        assert!(b.unify_term(&Term::Wildcard, &Value::Int(1)));
+        assert!(b.unify_term(&Term::constant(5i64), &Value::Int(5)));
+        assert!(!b.unify_term(&Term::constant(5i64), &Value::Int(6)));
+        assert!(b.unify_term(&Term::var("X"), &Value::Addr(3)));
+        // Rebinding to the same value succeeds, to a different one fails.
+        assert!(b.unify_term(&Term::var("X"), &Value::Addr(3)));
+        assert!(!b.unify_term(&Term::var("X"), &Value::Addr(4)));
+        assert_eq!(b.len(), 1);
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn arithmetic_and_comparison() {
+        let b = bindings(&[("C1", Value::Int(2)), ("C2", Value::Int(5))]);
+        let rule = parse_rule("r p(@S,C) :- q(@S,C1,C2), C := C1 + C2 * 3.").unwrap();
+        let assign = rule
+            .body
+            .iter()
+            .find_map(|l| match l {
+                BodyLiteral::Assign { expr, .. } => Some(expr.clone()),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(eval_expr(&assign, &b).unwrap(), Value::Int(17));
+
+        let filter_rule = parse_rule("r p(@S) :- q(@S,C1,C2), C1 < C2, C1 != 3.").unwrap();
+        for lit in &filter_rule.body {
+            if let BodyLiteral::Filter(e) = lit {
+                assert_eq!(eval_filter(e, &b), Ok(true));
+            }
+        }
+    }
+
+    #[test]
+    fn comparison_type_errors_and_division_by_zero() {
+        let b = bindings(&[("X", Value::Int(1)), ("S", Value::Str("a".into()))]);
+        let bad = Expr::BinOp(
+            BinOp::Lt,
+            Box::new(Expr::var("X")),
+            Box::new(Expr::var("S")),
+        );
+        assert!(matches!(eval_expr(&bad, &b), Err(EvalError::TypeMismatch { .. })));
+
+        let div = Expr::BinOp(
+            BinOp::Div,
+            Box::new(Expr::var("X")),
+            Box::new(Expr::constant(0i64)),
+        );
+        assert_eq!(eval_expr(&div, &b), Err(EvalError::DivisionByZero));
+
+        let unbound = Expr::var("Nope");
+        assert_eq!(
+            eval_expr(&unbound, &b),
+            Err(EvalError::UnboundVariable("Nope".into()))
+        );
+    }
+
+    #[test]
+    fn path_builtins_cover_best_path_usage() {
+        let b = bindings(&[
+            ("S", Value::Addr(0)),
+            ("D", Value::Addr(3)),
+            (
+                "P2",
+                Value::List(vec![Value::Addr(1), Value::Addr(3)]),
+            ),
+        ]);
+        // f_init(S,D) = [S,D]
+        let init = Expr::Call("f_init".into(), vec![Expr::var("S"), Expr::var("D")]);
+        assert_eq!(
+            eval_expr(&init, &b).unwrap(),
+            Value::List(vec![Value::Addr(0), Value::Addr(3)])
+        );
+        // f_concat(S, P2) = [S | P2]
+        let concat = Expr::Call("f_concat".into(), vec![Expr::var("S"), Expr::var("P2")]);
+        assert_eq!(
+            eval_expr(&concat, &b).unwrap(),
+            Value::List(vec![Value::Addr(0), Value::Addr(1), Value::Addr(3)])
+        );
+        // f_member(P2, S) = false, f_member(P2, D) = true
+        let member_s = Expr::Call("f_member".into(), vec![Expr::var("P2"), Expr::var("S")]);
+        let member_d = Expr::Call("f_member".into(), vec![Expr::var("P2"), Expr::var("D")]);
+        assert_eq!(eval_expr(&member_s, &b).unwrap(), Value::Bool(false));
+        assert_eq!(eval_expr(&member_d, &b).unwrap(), Value::Bool(true));
+        // f_size, f_first, f_last, f_append, f_list, f_min, f_max
+        let size = Expr::Call("f_size".into(), vec![Expr::var("P2")]);
+        assert_eq!(eval_expr(&size, &b).unwrap(), Value::Int(2));
+        let first = Expr::Call("f_first".into(), vec![Expr::var("P2")]);
+        assert_eq!(eval_expr(&first, &b).unwrap(), Value::Addr(1));
+        let last = Expr::Call("f_last".into(), vec![Expr::var("P2")]);
+        assert_eq!(eval_expr(&last, &b).unwrap(), Value::Addr(3));
+        let append = Expr::Call("f_append".into(), vec![Expr::var("P2"), Expr::var("S")]);
+        assert_eq!(
+            eval_expr(&append, &b).unwrap(),
+            Value::List(vec![Value::Addr(1), Value::Addr(3), Value::Addr(0)])
+        );
+        let fmin = Expr::Call(
+            "f_min".into(),
+            vec![Expr::constant(4i64), Expr::constant(9i64)],
+        );
+        assert_eq!(eval_expr(&fmin, &b).unwrap(), Value::Int(4));
+        let fmax = Expr::Call(
+            "f_max".into(),
+            vec![Expr::constant(4i64), Expr::constant(9i64)],
+        );
+        assert_eq!(eval_expr(&fmax, &b).unwrap(), Value::Int(9));
+    }
+
+    #[test]
+    fn builtin_error_cases() {
+        let b = Bindings::new();
+        let wrong_arity = Expr::Call("f_init".into(), vec![Expr::constant(1i64)]);
+        assert!(matches!(
+            eval_expr(&wrong_arity, &b),
+            Err(EvalError::Arity { expected: 2, got: 1, .. })
+        ));
+        let unknown = Expr::Call("f_frobnicate".into(), vec![]);
+        assert_eq!(
+            eval_expr(&unknown, &b),
+            Err(EvalError::UnknownFunction("f_frobnicate".into()))
+        );
+        let not_a_list = Expr::Call(
+            "f_member".into(),
+            vec![Expr::constant(1i64), Expr::constant(1i64)],
+        );
+        assert!(matches!(eval_expr(&not_a_list, &b), Err(EvalError::TypeMismatch { .. })));
+        let empty_first = Expr::Call("f_first".into(), vec![Expr::Call("f_list".into(), vec![])]);
+        assert!(matches!(eval_expr(&empty_first, &b), Err(EvalError::TypeMismatch { .. })));
+        // Errors render as human-readable strings.
+        assert!(EvalError::DivisionByZero.to_string().contains("zero"));
+        assert!(EvalError::UnboundVariable("X".into()).to_string().contains("X"));
+    }
+
+    #[test]
+    fn boolean_connectives() {
+        let b = bindings(&[("A", Value::Bool(true)), ("B", Value::Bool(false))]);
+        let and = Expr::BinOp(BinOp::And, Box::new(Expr::var("A")), Box::new(Expr::var("B")));
+        let or = Expr::BinOp(BinOp::Or, Box::new(Expr::var("A")), Box::new(Expr::var("B")));
+        assert_eq!(eval_expr(&and, &b).unwrap(), Value::Bool(false));
+        assert_eq!(eval_expr(&or, &b).unwrap(), Value::Bool(true));
+        let non_bool_filter = Expr::constant(3i64);
+        assert!(eval_filter(&non_bool_filter, &b).is_err());
+    }
+}

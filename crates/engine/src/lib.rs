@@ -1,0 +1,48 @@
+//! # pasn-engine
+//!
+//! The distributed NDlog / SeNDlog evaluator of the *Provenance-aware Secure
+//! Networks* reproduction (Zhou, Cronin, Loo — ICDE 2008), standing in for
+//! the modified P2 declarative networking system used by the paper's
+//! evaluation.
+//!
+//! Each simulated node runs a semi-naive Datalog evaluator over soft-state
+//! relations; rules whose head lives at a different node ship their derived
+//! tuples through the deterministic transport of `pasn-net`, optionally
+//! signed with the deriving principal's `says` mechanism (`pasn-crypto`) and
+//! annotated with provenance (`pasn-provenance`).
+//!
+//! * [`tuple`] — materialised tuples and their canonical wire encoding;
+//! * [`eval`] — expression evaluation, unification and the `f_*` built-ins;
+//! * [`store`] — per-node soft-state relation storage;
+//! * [`config`] — experiment configuration, including the NDLog / SeNDLog /
+//!   SeNDLogProv presets of the paper's evaluation;
+//! * [`metrics`] — completion time, bandwidth, and per-mechanism counters;
+//! * [`runtime`] — the [`runtime::DistributedEngine`] driving everything to
+//!   the distributed fixpoint.
+//!
+//! ## Semantics notes
+//!
+//! * Set semantics: a tuple derived again through a different derivation does
+//!   not re-trigger rule evaluation; its provenance tag is merged with the
+//!   semiring `+` instead.  This keeps evaluation terminating for recursive
+//!   programs while still accumulating complete condensed provenance.
+//! * Aggregates (`a_MIN`, `a_MAX`, `a_COUNT`, `a_SUM`) follow P2's pipelined
+//!   semantics: an improved aggregate value is emitted as a new tuple and
+//!   propagates incrementally.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod eval;
+pub mod metrics;
+pub mod runtime;
+pub mod store;
+pub mod tuple;
+
+pub use config::{EngineConfig, GraphMode, SystemVariant};
+pub use eval::{eval_expr, eval_filter, Bindings, EvalError};
+pub use metrics::RunMetrics;
+pub use runtime::{DistributedEngine, EngineError};
+pub use store::{InsertOutcome, NodeStore, TupleMeta};
+pub use tuple::Tuple;

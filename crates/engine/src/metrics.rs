@@ -1,0 +1,124 @@
+//! Run metrics: everything the evaluation section of the paper reports.
+
+use pasn_net::SimTime;
+use std::fmt;
+use std::time::Duration;
+
+/// Metrics collected while running a program to its distributed fixpoint.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RunMetrics {
+    /// Simulated time at which the distributed fixpoint was reached — the
+    /// "query completion time" of Figure 3.
+    pub completion: SimTime,
+    /// Wall-clock time the in-process run took (all nodes share one thread,
+    /// so this measures total work rather than parallel completion).
+    pub wall_clock: Duration,
+    /// Number of inter-node messages sent.
+    pub messages: u64,
+    /// Total bytes across all messages — the "bandwidth utilization" of
+    /// Figure 4.
+    pub bytes: u64,
+    /// Bytes attributable to `says` proofs (signatures / MACs).
+    pub auth_bytes: u64,
+    /// Bytes attributable to shipped provenance annotations.
+    pub provenance_bytes: u64,
+    /// Number of rule firings (derivations), including duplicates that were
+    /// absorbed by set semantics.
+    pub derivations: u64,
+    /// Number of distinct tuples stored across all nodes at fixpoint.
+    pub tuples_stored: u64,
+    /// Signatures / MACs generated.
+    pub signatures: u64,
+    /// Signatures / MACs verified.
+    pub verifications: u64,
+    /// Tuples rejected because their proof failed verification.
+    pub verification_failures: u64,
+    /// Provenance tag operations performed (semiring `+` / `*`).
+    pub provenance_ops: u64,
+    /// Tuples dropped by the sampling policy (provenance not recorded).
+    pub sampled_out: u64,
+}
+
+impl RunMetrics {
+    /// Bandwidth in megabytes (the unit of Figure 4).
+    pub fn megabytes(&self) -> f64 {
+        self.bytes as f64 / 1_000_000.0
+    }
+
+    /// Completion time in seconds (the unit of Figure 3).
+    pub fn completion_secs(&self) -> f64 {
+        self.completion.as_secs_f64()
+    }
+
+    /// Relative overhead of this run against a baseline, as fractions
+    /// (e.g. `0.53` = 53% slower / larger).  Returns `(time_overhead,
+    /// bandwidth_overhead)`.
+    pub fn overhead_vs(&self, baseline: &RunMetrics) -> (f64, f64) {
+        let time = if baseline.completion.as_micros() == 0 {
+            0.0
+        } else {
+            self.completion_secs() / baseline.completion_secs() - 1.0
+        };
+        let bw = if baseline.bytes == 0 {
+            0.0
+        } else {
+            self.bytes as f64 / baseline.bytes as f64 - 1.0
+        };
+        (time, bw)
+    }
+}
+
+impl fmt::Display for RunMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "completion {:.3}s, {} msgs, {:.3} MB ({} B auth, {} B provenance), {} derivations, {} tuples, {} sigs / {} verifs",
+            self.completion_secs(),
+            self.messages,
+            self.megabytes(),
+            self.auth_bytes,
+            self.provenance_bytes,
+            self.derivations,
+            self.tuples_stored,
+            self.signatures,
+            self.verifications,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_conversions() {
+        let m = RunMetrics {
+            completion: SimTime::from_millis(2_500),
+            bytes: 3_000_000,
+            ..RunMetrics::default()
+        };
+        assert!((m.completion_secs() - 2.5).abs() < 1e-9);
+        assert!((m.megabytes() - 3.0).abs() < 1e-9);
+        assert!(m.to_string().contains("2.500s"));
+    }
+
+    #[test]
+    fn overhead_computation() {
+        let baseline = RunMetrics {
+            completion: SimTime::from_millis(1_000),
+            bytes: 1_000,
+            ..RunMetrics::default()
+        };
+        let slower = RunMetrics {
+            completion: SimTime::from_millis(1_530),
+            bytes: 1_360,
+            ..RunMetrics::default()
+        };
+        let (t, b) = slower.overhead_vs(&baseline);
+        assert!((t - 0.53).abs() < 1e-9);
+        assert!((b - 0.36).abs() < 1e-9);
+        // Degenerate baselines do not divide by zero.
+        let (t0, b0) = slower.overhead_vs(&RunMetrics::default());
+        assert_eq!((t0, b0), (0.0, 0.0));
+    }
+}

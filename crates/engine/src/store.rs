@@ -1,0 +1,286 @@
+//! Per-node soft-state tuple storage.
+//!
+//! Declarative networks maintain derived state as *soft state*: every tuple
+//! carries a creation timestamp and (optionally) a time-to-live, and expires
+//! unless refreshed (Section 2.1 of the paper, citing the sliding-window
+//! formulation of reference [2]).  Each node owns one [`NodeStore`] holding
+//! its base and derived relations together with per-tuple metadata used by
+//! the provenance layer.
+
+use crate::tuple::Tuple;
+use pasn_datalog::Value;
+use pasn_net::SimTime;
+use pasn_provenance::ProvTag;
+use std::collections::HashMap;
+
+/// Metadata attached to every stored tuple.
+#[derive(Clone, Debug)]
+pub struct TupleMeta {
+    /// Provenance annotation (semiring tag).
+    pub tag: ProvTag,
+    /// Simulated time the tuple was inserted or derived locally.
+    pub created_at: SimTime,
+    /// Expiry time for soft-state tuples, `None` for hard state.
+    pub expires_at: Option<SimTime>,
+    /// Location value of the node that derived / asserted the tuple (equal to
+    /// the local location for local derivations and base facts).  Distributed
+    /// provenance uses it as the pointer target for traceback.
+    pub origin: Value,
+    /// Principal id of the asserting node (`None` when authentication is
+    /// disabled).
+    pub asserted_by: Option<u32>,
+}
+
+/// Result of inserting a tuple into a store.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum InsertOutcome {
+    /// The tuple was not present; rule evaluation should be triggered.
+    New,
+    /// The tuple was already present; its provenance tag was merged and
+    /// changed (no re-derivation is triggered, see the crate docs).
+    MergedTag,
+    /// The tuple was already present with identical provenance.
+    Duplicate,
+}
+
+/// The relations stored at one node.
+#[derive(Clone, Debug, Default)]
+pub struct NodeStore {
+    tables: HashMap<String, HashMap<Vec<Value>, TupleMeta>>,
+}
+
+impl NodeStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a tuple.  If an identical tuple already exists, provenance
+    /// tags are combined with the semiring `+` via `combine` (alternative
+    /// derivations of the same tuple).
+    pub fn insert<F>(&mut self, tuple: &Tuple, meta: TupleMeta, combine: F) -> InsertOutcome
+    where
+        F: FnOnce(&ProvTag, &ProvTag) -> ProvTag,
+    {
+        let table = self.tables.entry(tuple.predicate.clone()).or_default();
+        match table.get_mut(&tuple.values) {
+            None => {
+                table.insert(tuple.values.clone(), meta);
+                InsertOutcome::New
+            }
+            Some(existing) => {
+                let merged = combine(&existing.tag, &meta.tag);
+                // Refresh the soft-state lifetime on re-derivation.
+                existing.expires_at = match (existing.expires_at, meta.expires_at) {
+                    (Some(a), Some(b)) => Some(a.max(b)),
+                    _ => None,
+                };
+                if merged != existing.tag {
+                    existing.tag = merged;
+                    InsertOutcome::MergedTag
+                } else {
+                    InsertOutcome::Duplicate
+                }
+            }
+        }
+    }
+
+    /// Looks up the metadata of an exact tuple.
+    pub fn get(&self, tuple: &Tuple) -> Option<&TupleMeta> {
+        self.tables.get(&tuple.predicate)?.get(&tuple.values)
+    }
+
+    /// True if the exact tuple is stored.
+    pub fn contains(&self, tuple: &Tuple) -> bool {
+        self.get(tuple).is_some()
+    }
+
+    /// Removes an exact tuple, returning its metadata.
+    pub fn remove(&mut self, tuple: &Tuple) -> Option<TupleMeta> {
+        self.tables.get_mut(&tuple.predicate)?.remove(&tuple.values)
+    }
+
+    /// Iterates over all tuples of `predicate` with their metadata.
+    pub fn scan<'a>(
+        &'a self,
+        predicate: &'a str,
+    ) -> impl Iterator<Item = (Tuple, &'a TupleMeta)> + 'a {
+        self.tables
+            .get(predicate)
+            .into_iter()
+            .flat_map(move |table| {
+                table
+                    .iter()
+                    .map(move |(values, meta)| (Tuple::new(predicate, values.clone()), meta))
+            })
+    }
+
+    /// All predicates with at least one stored tuple.
+    pub fn predicates(&self) -> impl Iterator<Item = &str> {
+        self.tables
+            .iter()
+            .filter(|(_, t)| !t.is_empty())
+            .map(|(p, _)| p.as_str())
+    }
+
+    /// Number of tuples of `predicate`.
+    pub fn count(&self, predicate: &str) -> usize {
+        self.tables.get(predicate).map_or(0, HashMap::len)
+    }
+
+    /// Total number of stored tuples across relations.
+    pub fn total_tuples(&self) -> usize {
+        self.tables.values().map(HashMap::len).sum()
+    }
+
+    /// Approximate storage footprint in bytes (tuple encodings plus tag
+    /// sizes are charged by the caller, which has access to the var table).
+    pub fn total_tuple_bytes(&self) -> usize {
+        self.tables
+            .iter()
+            .map(|(pred, table)| {
+                table
+                    .keys()
+                    .map(|values| Tuple::new(pred.clone(), values.clone()).encoded_len())
+                    .sum::<usize>()
+            })
+            .sum()
+    }
+
+    /// Removes all tuples whose TTL has passed; returns the removed tuples.
+    pub fn expire(&mut self, now: SimTime) -> Vec<Tuple> {
+        let mut removed = Vec::new();
+        for (pred, table) in &mut self.tables {
+            let expired: Vec<Vec<Value>> = table
+                .iter()
+                .filter(|(_, meta)| meta.expires_at.map_or(false, |e| e <= now))
+                .map(|(values, _)| values.clone())
+                .collect();
+            for values in expired {
+                table.remove(&values);
+                removed.push(Tuple::new(pred.clone(), values));
+            }
+        }
+        removed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pasn_provenance::{ProvTag, TrustLevel};
+
+    fn meta(tag: ProvTag, expires: Option<u64>) -> TupleMeta {
+        TupleMeta {
+            tag,
+            created_at: SimTime::ZERO,
+            expires_at: expires.map(SimTime::from_micros),
+            origin: Value::Addr(0),
+            asserted_by: Some(0),
+        }
+    }
+
+    fn link(a: u32, b: u32) -> Tuple {
+        Tuple::new("link", vec![Value::Addr(a), Value::Addr(b)])
+    }
+
+    #[test]
+    fn insert_scan_and_counts() {
+        let mut store = NodeStore::new();
+        assert_eq!(
+            store.insert(&link(0, 1), meta(ProvTag::None, None), |a, _| a.clone()),
+            InsertOutcome::New
+        );
+        assert_eq!(
+            store.insert(&link(0, 2), meta(ProvTag::None, None), |a, _| a.clone()),
+            InsertOutcome::New
+        );
+        assert_eq!(store.count("link"), 2);
+        assert_eq!(store.total_tuples(), 2);
+        assert!(store.contains(&link(0, 1)));
+        assert!(!store.contains(&link(1, 0)));
+        assert_eq!(store.scan("link").count(), 2);
+        assert_eq!(store.scan("reachable").count(), 0);
+        assert_eq!(store.predicates().collect::<Vec<_>>(), vec!["link"]);
+        assert!(store.total_tuple_bytes() > 0);
+    }
+
+    #[test]
+    fn duplicate_inserts_merge_tags_without_retrigger() {
+        let mut store = NodeStore::new();
+        let t = link(0, 1);
+        assert_eq!(
+            store.insert(&t, meta(ProvTag::Trust(TrustLevel(1)), None), |a, b| {
+                if let (ProvTag::Trust(x), ProvTag::Trust(y)) = (a, b) {
+                    ProvTag::Trust(TrustLevel(x.0.max(y.0)))
+                } else {
+                    a.clone()
+                }
+            }),
+            InsertOutcome::New
+        );
+        // Same tuple, higher trust: tag merges.
+        assert_eq!(
+            store.insert(&t, meta(ProvTag::Trust(TrustLevel(3)), None), |a, b| {
+                if let (ProvTag::Trust(x), ProvTag::Trust(y)) = (a, b) {
+                    ProvTag::Trust(TrustLevel(x.0.max(y.0)))
+                } else {
+                    a.clone()
+                }
+            }),
+            InsertOutcome::MergedTag
+        );
+        // Same tuple, lower trust: nothing changes.
+        assert_eq!(
+            store.insert(&t, meta(ProvTag::Trust(TrustLevel(2)), None), |a, b| {
+                if let (ProvTag::Trust(x), ProvTag::Trust(y)) = (a, b) {
+                    ProvTag::Trust(TrustLevel(x.0.max(y.0)))
+                } else {
+                    a.clone()
+                }
+            }),
+            InsertOutcome::Duplicate
+        );
+        assert_eq!(store.get(&t).unwrap().tag, ProvTag::Trust(TrustLevel(3)));
+        assert_eq!(store.total_tuples(), 1);
+    }
+
+    #[test]
+    fn soft_state_expiry() {
+        let mut store = NodeStore::new();
+        store.insert(&link(0, 1), meta(ProvTag::None, Some(100)), |a, _| a.clone());
+        store.insert(&link(0, 2), meta(ProvTag::None, None), |a, _| a.clone());
+        store.insert(&link(0, 3), meta(ProvTag::None, Some(500)), |a, _| a.clone());
+        let removed = store.expire(SimTime::from_micros(200));
+        assert_eq!(removed, vec![link(0, 1)]);
+        assert_eq!(store.total_tuples(), 2);
+        // Expiry of the remaining soft-state tuple later.
+        assert_eq!(store.expire(SimTime::from_micros(1_000)).len(), 1);
+        assert_eq!(store.total_tuples(), 1);
+    }
+
+    #[test]
+    fn re_derivation_refreshes_ttl() {
+        let mut store = NodeStore::new();
+        let t = link(0, 1);
+        store.insert(&t, meta(ProvTag::None, Some(100)), |a, _| a.clone());
+        store.insert(&t, meta(ProvTag::None, Some(300)), |a, _| a.clone());
+        assert_eq!(
+            store.get(&t).unwrap().expires_at,
+            Some(SimTime::from_micros(300))
+        );
+        // A hard-state re-derivation clears the TTL entirely.
+        store.insert(&t, meta(ProvTag::None, None), |a, _| a.clone());
+        assert_eq!(store.get(&t).unwrap().expires_at, None);
+        assert!(store.expire(SimTime::from_micros(10_000)).is_empty());
+    }
+
+    #[test]
+    fn remove_returns_metadata() {
+        let mut store = NodeStore::new();
+        store.insert(&link(0, 1), meta(ProvTag::None, None), |a, _| a.clone());
+        assert!(store.remove(&link(0, 1)).is_some());
+        assert!(store.remove(&link(0, 1)).is_none());
+        assert_eq!(store.total_tuples(), 0);
+    }
+}

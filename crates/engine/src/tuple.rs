@@ -1,0 +1,167 @@
+//! Materialised tuples and their wire encoding.
+
+use pasn_datalog::Value;
+use std::collections::hash_map::DefaultHasher;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// A materialised tuple: a predicate applied to concrete values.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Tuple {
+    /// Predicate name.
+    pub predicate: String,
+    /// Attribute values, in declaration order.
+    pub values: Vec<Value>,
+}
+
+impl Tuple {
+    /// Creates a tuple.
+    pub fn new(predicate: impl Into<String>, values: Vec<Value>) -> Self {
+        Tuple {
+            predicate: predicate.into(),
+            values,
+        }
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The value at the given attribute position, if in range.
+    pub fn value(&self, index: usize) -> Option<&Value> {
+        self.values.get(index)
+    }
+
+    /// A stable 64-bit key for this tuple, used as the "unique key of a base
+    /// input tuple" in provenance expressions and by the sampling policy.
+    pub fn key_hash(&self) -> u64 {
+        let mut hasher = DefaultHasher::new();
+        self.predicate.hash(&mut hasher);
+        self.values.hash(&mut hasher);
+        hasher.finish()
+    }
+
+    /// Canonical byte encoding: length-prefixed predicate, attribute count,
+    /// then each value in the shared [`Value`] encoding.  This is what gets
+    /// signed by `says` and what the bandwidth accounting charges.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_len());
+        out.extend_from_slice(&(self.predicate.len() as u16).to_be_bytes());
+        out.extend_from_slice(self.predicate.as_bytes());
+        out.extend_from_slice(&(self.values.len() as u16).to_be_bytes());
+        for v in &self.values {
+            v.encode(&mut out);
+        }
+        out
+    }
+
+    /// Number of bytes [`Tuple::encode`] produces.
+    pub fn encoded_len(&self) -> usize {
+        2 + self.predicate.len() + 2 + self.values.iter().map(Value::encoded_len).sum::<usize>()
+    }
+
+    /// Decodes a tuple previously produced by [`Tuple::encode`].
+    pub fn decode(bytes: &[u8]) -> Option<(Tuple, usize)> {
+        if bytes.len() < 2 {
+            return None;
+        }
+        let plen = u16::from_be_bytes([bytes[0], bytes[1]]) as usize;
+        let predicate = String::from_utf8(bytes.get(2..2 + plen)?.to_vec()).ok()?;
+        let mut offset = 2 + plen;
+        let count_raw: [u8; 2] = bytes.get(offset..offset + 2)?.try_into().ok()?;
+        let count = u16::from_be_bytes(count_raw) as usize;
+        offset += 2;
+        let mut values = Vec::with_capacity(count);
+        for _ in 0..count {
+            let (v, used) = Value::decode(&bytes[offset..])?;
+            values.push(v);
+            offset += used;
+        }
+        Some((Tuple { predicate, values }, offset))
+    }
+
+    /// Renders the tuple with a location marker on the given attribute, e.g.
+    /// `reachable(@n0,n2)`; this is the key format used by the provenance
+    /// graph and the stores.
+    pub fn render_located(&self, location_index: Option<usize>) -> String {
+        let args: Vec<String> = self
+            .values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| {
+                if Some(i) == location_index {
+                    format!("@{v}")
+                } else {
+                    v.to_string()
+                }
+            })
+            .collect();
+        format!("{}({})", self.predicate, args.join(","))
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.render_located(None))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Tuple {
+        Tuple::new(
+            "bestPath",
+            vec![
+                Value::Addr(0),
+                Value::Addr(3),
+                Value::List(vec![Value::Addr(0), Value::Addr(1), Value::Addr(3)]),
+                Value::Int(7),
+            ],
+        )
+    }
+
+    #[test]
+    fn display_and_located_rendering() {
+        let t = sample();
+        assert_eq!(t.to_string(), "bestPath(n0,n3,[n0,n1,n3],7)");
+        assert_eq!(
+            t.render_located(Some(0)),
+            "bestPath(@n0,n3,[n0,n1,n3],7)"
+        );
+        assert_eq!(t.arity(), 4);
+        assert_eq!(t.value(3), Some(&Value::Int(7)));
+        assert_eq!(t.value(9), None);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let t = sample();
+        let bytes = t.encode();
+        assert_eq!(bytes.len(), t.encoded_len());
+        let (decoded, used) = Tuple::decode(&bytes).unwrap();
+        assert_eq!(decoded, t);
+        assert_eq!(used, bytes.len());
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let t = sample();
+        let bytes = t.encode();
+        for cut in [0usize, 1, 3, bytes.len() - 1] {
+            assert!(Tuple::decode(&bytes[..cut]).is_none(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn key_hash_distinguishes_tuples() {
+        let a = Tuple::new("link", vec![Value::Addr(0), Value::Addr(1)]);
+        let b = Tuple::new("link", vec![Value::Addr(1), Value::Addr(0)]);
+        let c = Tuple::new("linc", vec![Value::Addr(0), Value::Addr(1)]);
+        assert_eq!(a.key_hash(), a.clone().key_hash());
+        assert_ne!(a.key_hash(), b.key_hash());
+        assert_ne!(a.key_hash(), c.key_hash());
+    }
+}

@@ -1,0 +1,83 @@
+//! Wire-format accounting helpers.
+//!
+//! The bandwidth figure of the paper (Figure 4) charges the full transport
+//! cost of every tuple exchanged between nodes.  The engine serialises tuple
+//! batches itself (it needs stable bytes to sign); this module centralises
+//! the per-message framing overhead and small helpers for length-prefixed
+//! encoding so that all crates charge identical byte counts.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Bytes of per-message framing charged on top of the payload.
+///
+/// The paper's prototype exchanges tuples over UDP: 20 bytes of IPv4 header
+/// plus 8 bytes of UDP header, plus a 16-byte P2-style dataflow header
+/// (source/destination dataflow ids and a length).
+pub const MESSAGE_HEADER_BYTES: usize = 20 + 8 + 16;
+
+/// Total wire bytes for a message with `payload_len` payload bytes.
+pub fn message_wire_bytes(payload_len: usize) -> usize {
+    MESSAGE_HEADER_BYTES + payload_len
+}
+
+/// Appends a length-prefixed byte string (`u32` big-endian length).
+pub fn put_len_prefixed(out: &mut BytesMut, data: &[u8]) {
+    out.put_u32(data.len() as u32);
+    out.put_slice(data);
+}
+
+/// Reads a length-prefixed byte string written by [`put_len_prefixed`].
+pub fn get_len_prefixed(buf: &mut Bytes) -> Option<Bytes> {
+    if buf.remaining() < 4 {
+        return None;
+    }
+    let len = buf.get_u32() as usize;
+    if buf.remaining() < len {
+        return None;
+    }
+    Some(buf.copy_to_bytes(len))
+}
+
+/// Encoded size of a length-prefixed byte string.
+pub fn len_prefixed_size(data_len: usize) -> usize {
+    4 + data_len
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_overhead_is_charged_once_per_message() {
+        assert_eq!(message_wire_bytes(0), MESSAGE_HEADER_BYTES);
+        assert_eq!(message_wire_bytes(100), MESSAGE_HEADER_BYTES + 100);
+    }
+
+    #[test]
+    fn length_prefixed_roundtrip() {
+        let mut out = BytesMut::new();
+        put_len_prefixed(&mut out, b"hello");
+        put_len_prefixed(&mut out, b"");
+        put_len_prefixed(&mut out, &[0xffu8; 300]);
+        assert_eq!(
+            out.len(),
+            len_prefixed_size(5) + len_prefixed_size(0) + len_prefixed_size(300)
+        );
+        let mut buf = out.freeze();
+        assert_eq!(get_len_prefixed(&mut buf).unwrap().as_ref(), b"hello");
+        assert_eq!(get_len_prefixed(&mut buf).unwrap().as_ref(), b"");
+        assert_eq!(get_len_prefixed(&mut buf).unwrap().len(), 300);
+        assert!(get_len_prefixed(&mut buf).is_none());
+    }
+
+    #[test]
+    fn truncated_input_is_rejected() {
+        let mut out = BytesMut::new();
+        out.put_u32(10);
+        out.put_slice(b"short");
+        let mut buf = out.freeze();
+        assert!(get_len_prefixed(&mut buf).is_none());
+        let mut tiny = Bytes::from_static(&[0, 0]);
+        assert!(get_len_prefixed(&mut tiny).is_none());
+    }
+}

@@ -1,0 +1,66 @@
+//! # pasn-overlay
+//!
+//! Secure overlay networks built on the *Provenance-aware Secure Networks*
+//! substrates (Zhou, Cronin, Loo — ICDE 2008).
+//!
+//! The paper closes with the systems its authors planned to specify on top
+//! of the provenance-aware SeNDlog stack: *"we are in the process of
+//! evaluating a variety of secure networks specified and implemented by
+//! using SeNDlog (e.g. secure Chord routing, DNSSEC)"*, and earlier notes
+//! that the general applicability of the techniques extends to overlay
+//! networks.  This crate implements those two overlays over the same
+//! building blocks the rest of the reproduction uses — `says`
+//! authentication from `pasn-crypto` and derivation-graph / semiring
+//! provenance from `pasn-provenance` — so that lookup results and
+//! resolution answers carry verifiable provenance exactly like routing
+//! tuples do in the core evaluation:
+//!
+//! * [`id`] — the consistent-hashing identifier space shared by the
+//!   overlays (SHA-256-derived identifiers on a 2^m ring, interval and
+//!   finger arithmetic);
+//! * [`chord`] — a Chord distributed hash table with finger-table routing;
+//!   every lookup hop is asserted (`says`-signed) by the forwarding node and
+//!   recorded as a derivation, so the querier can authenticate the whole
+//!   lookup path, enforce trust policies over the principals it traversed,
+//!   and trace stored values back to the node that inserted them;
+//! * [`dns`] — a DNSSEC-style secure name hierarchy: zones sign their
+//!   records, parents endorse child zone keys (DS-style fingerprints), and a
+//!   resolution's chain of trust is exposed as an authenticated derivation
+//!   graph rooted at the resolver's trust anchor.
+//!
+//! ## Example
+//!
+//! ```
+//! use pasn_overlay::chord::{ChordConfig, ChordRing};
+//! use pasn_crypto::SaysLevel;
+//!
+//! let ring = ChordRing::build(ChordConfig {
+//!     nodes: 8,
+//!     bits: 16,
+//!     says_level: SaysLevel::Hmac,
+//!     modulus_bits: 512,
+//!     seed: 7,
+//!     successor_list_len: 2,
+//! })
+//! .unwrap();
+//!
+//! let origin = ring.node_ids()[0];
+//! let key = ring.space().key_id("alice.txt");
+//! let trace = ring.lookup(origin, key).unwrap();
+//! assert_eq!(trace.owner, ring.successor_of(key));
+//! assert!(ring.verify_lookup(&trace).is_ok());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chord;
+pub mod dns;
+pub mod id;
+
+pub use chord::{ChordConfig, ChordError, ChordNode, ChordRing, LookupHop, LookupTrace};
+pub use dns::{
+    DnsError, RecordData, Resolution, Resolver, ResourceRecord, SecureDns, SecureDnsBuilder,
+    SignedRecord, Zone,
+};
+pub use id::{ChordId, IdSpace};

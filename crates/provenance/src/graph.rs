@@ -1,0 +1,678 @@
+//! Derivation graphs — the tree-shaped provenance of Figures 1 and 2.
+//!
+//! Every derived tuple is explained by one or more *derivations*; each
+//! derivation records the rule that fired, the location (or SeNDlog context)
+//! where it executed, and the antecedent tuples it joined.  Base tuples are
+//! leaves.  Multiple derivations of the same tuple correspond to the `union`
+//! oval in Figure 1.
+//!
+//! With *authenticated provenance* (Section 4.3) every derivation carries a
+//! `says` assertion by the principal that executed the rule, so a remote
+//! querier can verify each step of the tree.
+
+use crate::semiring::{BaseTupleId, Semiring, WhyProvenance};
+use pasn_crypto::{PrincipalId, SaysAssertion};
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::fmt;
+
+/// Index of a tuple node within a [`DerivationGraph`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct ProvNodeId(pub u32);
+
+/// One way a tuple was derived.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Derivation {
+    /// Label of the rule that fired (`r1`, `sp2`, ...).
+    pub rule: String,
+    /// Location (or SeNDlog context) where the rule executed.
+    pub location: String,
+    /// Antecedent tuple nodes, in body order.
+    pub antecedents: Vec<ProvNodeId>,
+    /// `says` assertion by the executing principal over
+    /// [`derivation_payload`]; present when authenticated provenance is on.
+    pub assertion: Option<SaysAssertion>,
+}
+
+/// A tuple node in the derivation graph.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TupleNode {
+    /// Rendered tuple, e.g. `reachable(@a,c)`.
+    pub key: String,
+    /// Location storing the tuple.
+    pub location: String,
+    /// The principal that asserted / derived the tuple.
+    pub asserted_by: Option<PrincipalId>,
+    /// Base-tuple identifier when this is an extensional leaf.
+    pub base_id: Option<BaseTupleId>,
+    /// Creation timestamp (simulated microseconds) — provenance of
+    /// distributed streams is annotated with time (Section 4).
+    pub created_at: u64,
+    /// Expiry timestamp for soft-state tuples, `None` for hard state.
+    pub expires_at: Option<u64>,
+    /// Alternative derivations (empty for base tuples).
+    pub derivations: Vec<Derivation>,
+}
+
+impl TupleNode {
+    /// True if this node is an extensional (base) tuple.
+    pub fn is_base(&self) -> bool {
+        self.base_id.is_some()
+    }
+}
+
+/// The canonical byte string a principal signs to vouch for a derivation
+/// step (authenticated provenance, Section 4.3).
+pub fn derivation_payload(head: &str, rule: &str, location: &str, antecedents: &[String]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(head.as_bytes());
+    out.push(0);
+    out.extend_from_slice(rule.as_bytes());
+    out.push(0);
+    out.extend_from_slice(location.as_bytes());
+    out.push(0);
+    for a in antecedents {
+        out.extend_from_slice(a.as_bytes());
+        out.push(0);
+    }
+    out
+}
+
+/// A provenance graph for the tuples derived at (or known to) one node, or —
+/// in the *local provenance* configuration — the complete graph piggybacked
+/// with a tuple.
+#[derive(Clone, Debug, Default)]
+pub struct DerivationGraph {
+    nodes: Vec<TupleNode>,
+    index: HashMap<String, ProvNodeId>,
+}
+
+impl DerivationGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of tuple nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Total number of derivation (rule-firing) records.
+    pub fn derivation_count(&self) -> usize {
+        self.nodes.iter().map(|n| n.derivations.len()).sum()
+    }
+
+    /// Looks up a tuple node by its rendered key.
+    pub fn find(&self, key: &str) -> Option<ProvNodeId> {
+        self.index.get(key).copied()
+    }
+
+    /// The node behind an id.
+    pub fn node(&self, id: ProvNodeId) -> &TupleNode {
+        &self.nodes[id.0 as usize]
+    }
+
+    fn intern(&mut self, key: &str, location: &str, created_at: u64) -> ProvNodeId {
+        if let Some(&id) = self.index.get(key) {
+            return id;
+        }
+        let id = ProvNodeId(self.nodes.len() as u32);
+        self.nodes.push(TupleNode {
+            key: key.to_string(),
+            location: location.to_string(),
+            asserted_by: None,
+            base_id: None,
+            created_at,
+            expires_at: None,
+            derivations: Vec::new(),
+        });
+        self.index.insert(key.to_string(), id);
+        id
+    }
+
+    /// Adds (or updates) a base tuple node.
+    pub fn add_base(
+        &mut self,
+        key: &str,
+        location: &str,
+        base_id: BaseTupleId,
+        asserted_by: Option<PrincipalId>,
+        created_at: u64,
+        expires_at: Option<u64>,
+    ) -> ProvNodeId {
+        let id = self.intern(key, location, created_at);
+        let node = &mut self.nodes[id.0 as usize];
+        node.base_id = Some(base_id);
+        node.asserted_by = asserted_by;
+        node.created_at = created_at;
+        node.expires_at = expires_at;
+        id
+    }
+
+    /// Adds a derivation of `head` via `rule` at `location` from
+    /// `antecedents` (each identified by its rendered key; unknown
+    /// antecedents are created as placeholder nodes).
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_derivation(
+        &mut self,
+        head: &str,
+        head_location: &str,
+        rule: &str,
+        rule_location: &str,
+        antecedents: &[String],
+        asserted_by: Option<PrincipalId>,
+        assertion: Option<SaysAssertion>,
+        created_at: u64,
+        expires_at: Option<u64>,
+    ) -> ProvNodeId {
+        let antecedent_ids: Vec<ProvNodeId> = antecedents
+            .iter()
+            .map(|a| self.intern(a, head_location, created_at))
+            .collect();
+        let head_id = self.intern(head, head_location, created_at);
+        let node = &mut self.nodes[head_id.0 as usize];
+        if node.asserted_by.is_none() {
+            node.asserted_by = asserted_by;
+        }
+        node.expires_at = expires_at;
+        let derivation = Derivation {
+            rule: rule.to_string(),
+            location: rule_location.to_string(),
+            antecedents: antecedent_ids,
+            assertion,
+        };
+        if !node.derivations.contains(&derivation) {
+            node.derivations.push(derivation);
+        }
+        head_id
+    }
+
+    /// The why-provenance of a tuple: minimal witness sets over base tuples.
+    /// Cyclic derivations are cut at the first revisit (a revisit cannot add
+    /// a new minimal witness).
+    pub fn why_provenance(&self, id: ProvNodeId) -> WhyProvenance {
+        let mut visiting = HashSet::new();
+        self.why_rec(id, &mut visiting)
+    }
+
+    fn why_rec(&self, id: ProvNodeId, visiting: &mut HashSet<ProvNodeId>) -> WhyProvenance {
+        let node = self.node(id);
+        if let Some(base) = node.base_id {
+            return WhyProvenance::base(base);
+        }
+        if node.derivations.is_empty() {
+            return WhyProvenance::zero();
+        }
+        if !visiting.insert(id) {
+            return WhyProvenance::zero();
+        }
+        let mut acc = WhyProvenance::zero();
+        for d in &node.derivations {
+            let mut term = WhyProvenance::one();
+            for &a in &d.antecedents {
+                term = term.times(&self.why_rec(a, visiting));
+            }
+            acc = acc.plus(&term);
+        }
+        visiting.remove(&id);
+        acc
+    }
+
+    /// The set of base tuples a tuple ultimately depends on.
+    pub fn base_support(&self, id: ProvNodeId) -> BTreeSet<BaseTupleId> {
+        self.why_provenance(id).support()
+    }
+
+    /// Verifies every `says` assertion reachable from `id` using the caller's
+    /// verification function (principal, payload, assertion) → ok.  Returns
+    /// the keys of derivations whose assertion failed (or is missing when
+    /// `require_assertions` is set).
+    pub fn verify_assertions<F>(
+        &self,
+        id: ProvNodeId,
+        require_assertions: bool,
+        verify: F,
+    ) -> Vec<String>
+    where
+        F: Fn(PrincipalId, &[u8], &SaysAssertion) -> bool,
+    {
+        let mut failures = Vec::new();
+        let mut seen = HashSet::new();
+        let mut stack = vec![id];
+        while let Some(cur) = stack.pop() {
+            if !seen.insert(cur) {
+                continue;
+            }
+            let node = self.node(cur);
+            for d in &node.derivations {
+                let antecedent_keys: Vec<String> = d
+                    .antecedents
+                    .iter()
+                    .map(|a| self.node(*a).key.clone())
+                    .collect();
+                let payload =
+                    derivation_payload(&node.key, &d.rule, &d.location, &antecedent_keys);
+                match (&d.assertion, node.asserted_by) {
+                    (Some(assertion), _) => {
+                        if !verify(assertion.principal, &payload, assertion) {
+                            failures.push(node.key.clone());
+                        }
+                    }
+                    (None, _) if require_assertions => failures.push(node.key.clone()),
+                    _ => {}
+                }
+                stack.extend(d.antecedents.iter().copied());
+            }
+        }
+        failures
+    }
+
+    /// Renders the derivation tree rooted at `id` in the style of Figure 1.
+    pub fn render_tree(&self, id: ProvNodeId) -> String {
+        let mut out = String::new();
+        let mut visited = HashSet::new();
+        self.render_rec(id, "", true, true, &mut out, &mut visited);
+        out
+    }
+
+    fn render_rec(
+        &self,
+        id: ProvNodeId,
+        prefix: &str,
+        is_last: bool,
+        is_root: bool,
+        out: &mut String,
+        visited: &mut HashSet<ProvNodeId>,
+    ) {
+        let node = self.node(id);
+        let connector = if is_root {
+            String::new()
+        } else if is_last {
+            format!("{prefix}└─ ")
+        } else {
+            format!("{prefix}├─ ")
+        };
+        let kind = if node.is_base() { " [base]" } else { "" };
+        let by = node
+            .asserted_by
+            .map(|p| format!(" ({p} says)"))
+            .unwrap_or_default();
+        out.push_str(&format!("{connector}{}{kind}{by}\n", node.key));
+        if !visited.insert(id) {
+            let child_prefix = child_prefix(prefix, is_last, is_root);
+            out.push_str(&format!("{child_prefix}└─ (see above)\n"));
+            return;
+        }
+        let child_prefix = child_prefix(prefix, is_last, is_root);
+        let multi = node.derivations.len() > 1;
+        if multi {
+            out.push_str(&format!("{child_prefix}└─ union\n"));
+        }
+        let deriv_prefix = if multi {
+            format!("{child_prefix}   ")
+        } else {
+            child_prefix.clone()
+        };
+        for (di, d) in node.derivations.iter().enumerate() {
+            let last_d = di + 1 == node.derivations.len();
+            let d_connector = if last_d { "└─" } else { "├─" };
+            out.push_str(&format!(
+                "{deriv_prefix}{d_connector} {}@{}\n",
+                d.rule, d.location
+            ));
+            let next_prefix = format!("{deriv_prefix}{}  ", if last_d { " " } else { "│" });
+            for (ai, &a) in d.antecedents.iter().enumerate() {
+                let last_a = ai + 1 == d.antecedents.len();
+                self.render_rec(a, &next_prefix, last_a, false, out, visited);
+            }
+        }
+        visited.remove(&id);
+    }
+
+    /// Extracts the self-contained subgraph reachable from `id` — the piece
+    /// of provenance that *local provenance* (Section 4.1) piggybacks onto a
+    /// tuple when it is shipped to another node.
+    pub fn subtree(&self, id: ProvNodeId) -> DerivationGraph {
+        let mut out = DerivationGraph::new();
+        let mut stack = vec![id];
+        let mut seen = HashSet::new();
+        while let Some(cur) = stack.pop() {
+            if !seen.insert(cur) {
+                continue;
+            }
+            let node = self.node(cur);
+            if let Some(base) = node.base_id {
+                out.add_base(
+                    &node.key,
+                    &node.location,
+                    base,
+                    node.asserted_by,
+                    node.created_at,
+                    node.expires_at,
+                );
+            }
+            for d in &node.derivations {
+                let antecedent_keys: Vec<String> = d
+                    .antecedents
+                    .iter()
+                    .map(|a| self.node(*a).key.clone())
+                    .collect();
+                out.add_derivation(
+                    &node.key,
+                    &node.location,
+                    &d.rule,
+                    &d.location,
+                    &antecedent_keys,
+                    node.asserted_by,
+                    d.assertion.clone(),
+                    node.created_at,
+                    node.expires_at,
+                );
+                stack.extend(d.antecedents.iter().copied());
+            }
+        }
+        // Make sure the root exists even if it has no derivations yet.
+        if out.find(&self.node(id).key).is_none() {
+            let node = self.node(id);
+            out.intern(&node.key, &node.location, node.created_at);
+        }
+        out
+    }
+
+    /// Merges every node and derivation of `other` into this graph (union by
+    /// tuple key).  Used by the receiving node to extend its locally
+    /// complete provenance with the piggybacked subtree.
+    pub fn merge(&mut self, other: &DerivationGraph) {
+        for (_, node) in other.iter() {
+            if let Some(base) = node.base_id {
+                self.add_base(
+                    &node.key,
+                    &node.location,
+                    base,
+                    node.asserted_by,
+                    node.created_at,
+                    node.expires_at,
+                );
+            }
+            for d in &node.derivations {
+                let antecedent_keys: Vec<String> = d
+                    .antecedents
+                    .iter()
+                    .map(|a| other.node(*a).key.clone())
+                    .collect();
+                self.add_derivation(
+                    &node.key,
+                    &node.location,
+                    &d.rule,
+                    &d.location,
+                    &antecedent_keys,
+                    node.asserted_by,
+                    d.assertion.clone(),
+                    node.created_at,
+                    node.expires_at,
+                );
+            }
+        }
+    }
+
+    /// Rough wire size (bytes) of shipping this graph with a tuple: each
+    /// tuple node costs its key plus fixed metadata, each derivation its rule
+    /// label, location and antecedent references.  Used by the bandwidth
+    /// accounting of the local-vs-distributed provenance ablation.
+    pub fn estimated_wire_size(&self) -> usize {
+        let mut size = 0usize;
+        for (_, node) in self.iter() {
+            size += node.key.len() + 12;
+            for d in &node.derivations {
+                size += d.rule.len() + d.location.len() + 4 * d.antecedents.len() + 4;
+                if let Some(a) = &d.assertion {
+                    size += a.wire_len();
+                }
+            }
+        }
+        size
+    }
+
+    /// Iterates over all nodes with their ids.
+    pub fn iter(&self) -> impl Iterator<Item = (ProvNodeId, &TupleNode)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (ProvNodeId(i as u32), n))
+    }
+
+    /// Removes expired tuples (and derivations referencing them) given the
+    /// current time; used by the *online* provenance store.
+    pub fn purge_expired(&mut self, now: u64) -> usize {
+        let expired: HashSet<ProvNodeId> = self
+            .iter()
+            .filter(|(_, n)| n.expires_at.map_or(false, |e| e <= now))
+            .map(|(id, _)| id)
+            .collect();
+        if expired.is_empty() {
+            return 0;
+        }
+        for node in &mut self.nodes {
+            node.derivations
+                .retain(|d| !d.antecedents.iter().any(|a| expired.contains(a)));
+        }
+        for id in &expired {
+            let key = self.nodes[id.0 as usize].key.clone();
+            self.index.remove(&key);
+            // Keep the slot (ids are stable) but mark it empty.
+            self.nodes[id.0 as usize].derivations.clear();
+            self.nodes[id.0 as usize].base_id = None;
+            self.nodes[id.0 as usize].expires_at = None;
+        }
+        expired.len()
+    }
+}
+
+impl fmt::Display for DerivationGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "DerivationGraph({} tuples, {} derivations)",
+            self.len(),
+            self.derivation_count()
+        )
+    }
+}
+
+fn child_prefix(prefix: &str, is_last: bool, is_root: bool) -> String {
+    if is_root {
+        String::new()
+    } else if is_last {
+        format!("{prefix}   ")
+    } else {
+        format!("{prefix}│  ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds the Figure 1 derivation graph for reachable(@a,c):
+    ///   r1: reachable(@a,c) :- link(@a,c)
+    ///   r2: reachable(@a,c) :- link(@a,b), reachable(@b,c)
+    ///   r1: reachable(@b,c) :- link(@b,c)
+    fn figure1() -> (DerivationGraph, ProvNodeId) {
+        let mut g = DerivationGraph::new();
+        g.add_base("link(@a,b)", "a", BaseTupleId(1), Some(PrincipalId(0)), 0, None);
+        g.add_base("link(@a,c)", "a", BaseTupleId(2), Some(PrincipalId(0)), 0, None);
+        g.add_base("link(@b,c)", "b", BaseTupleId(3), Some(PrincipalId(1)), 0, None);
+        g.add_derivation(
+            "reachable(@b,c)", "b", "r1", "b",
+            &["link(@b,c)".into()], Some(PrincipalId(1)), None, 1, None,
+        );
+        g.add_derivation(
+            "reachable(@a,c)", "a", "r1", "a",
+            &["link(@a,c)".into()], Some(PrincipalId(0)), None, 1, None,
+        );
+        let root = g.add_derivation(
+            "reachable(@a,c)", "a", "r2", "a",
+            &["link(@a,b)".into(), "reachable(@b,c)".into()],
+            Some(PrincipalId(0)), None, 2, None,
+        );
+        (g, root)
+    }
+
+    #[test]
+    fn figure1_graph_shape() {
+        let (g, root) = figure1();
+        assert_eq!(g.len(), 5);
+        assert_eq!(g.derivation_count(), 3);
+        let root_node = g.node(root);
+        assert_eq!(root_node.key, "reachable(@a,c)");
+        assert_eq!(root_node.derivations.len(), 2, "union of r1 and r2");
+        assert!(!root_node.is_base());
+        assert!(g.node(g.find("link(@a,b)").unwrap()).is_base());
+    }
+
+    #[test]
+    fn figure1_why_provenance_and_support() {
+        let (g, root) = figure1();
+        let why = g.why_provenance(root);
+        // reachable(@a,c) = link(a,c) + link(a,b)*link(b,c)
+        assert_eq!(why.witnesses().len(), 2);
+        let support = g.base_support(root);
+        assert_eq!(support.len(), 3);
+    }
+
+    #[test]
+    fn render_tree_shows_union_rules_and_leaves() {
+        let (g, root) = figure1();
+        let tree = g.render_tree(root);
+        assert!(tree.starts_with("reachable(@a,c)"));
+        assert!(tree.contains("union"));
+        assert!(tree.contains("r1@a"));
+        assert!(tree.contains("r2@a"));
+        assert!(tree.contains("link(@a,b) [base]"));
+        assert!(tree.contains("reachable(@b,c)"));
+        assert!(tree.contains("(p0 says)"));
+    }
+
+    #[test]
+    fn cycles_are_cut_not_looped() {
+        let mut g = DerivationGraph::new();
+        g.add_base("link(@a,b)", "a", BaseTupleId(1), None, 0, None);
+        // Mutual recursion: p depends on q, q depends on p (plus a base).
+        g.add_derivation("p(a)", "a", "r1", "a", &["q(a)".into()], None, None, 0, None);
+        g.add_derivation("q(a)", "a", "r2", "a", &["p(a)".into(), "link(@a,b)".into()], None, None, 0, None);
+        let p = g.find("p(a)").unwrap();
+        let why = g.why_provenance(p);
+        // No derivation grounded purely in base tuples exists for p.
+        assert_eq!(why, WhyProvenance::zero());
+        // Rendering terminates.
+        let rendered = g.render_tree(p);
+        assert!(rendered.contains("(see above)"));
+    }
+
+    #[test]
+    fn duplicate_derivations_are_not_recorded_twice() {
+        let mut g = DerivationGraph::new();
+        g.add_base("link(@a,b)", "a", BaseTupleId(1), None, 0, None);
+        for _ in 0..3 {
+            g.add_derivation("reachable(@a,b)", "a", "r1", "a", &["link(@a,b)".into()], None, None, 0, None);
+        }
+        let id = g.find("reachable(@a,b)").unwrap();
+        assert_eq!(g.node(id).derivations.len(), 1);
+    }
+
+    #[test]
+    fn purge_expired_removes_soft_state() {
+        let mut g = DerivationGraph::new();
+        g.add_base("link(@a,b)", "a", BaseTupleId(1), None, 0, Some(100));
+        g.add_derivation("reachable(@a,b)", "a", "r1", "a", &["link(@a,b)".into()], None, None, 0, Some(100));
+        let root = g.find("reachable(@a,b)").unwrap();
+        assert_eq!(g.why_provenance(root).witnesses().len(), 1);
+        let purged = g.purge_expired(150);
+        assert_eq!(purged, 2);
+        assert!(g.find("reachable(@a,b)").is_none());
+        assert_eq!(g.purge_expired(150), 0);
+    }
+
+    #[test]
+    fn subtree_and_merge_reconstruct_local_provenance() {
+        let (g, root) = figure1();
+        // The subtree of reachable(@a,c) contains everything Figure 1 shows.
+        let sub = g.subtree(root);
+        assert_eq!(sub.len(), 5);
+        assert_eq!(sub.derivation_count(), 3);
+        assert!(sub.estimated_wire_size() > 0);
+
+        // A fresh node that only knows its own base tuple merges the shipped
+        // subtree and ends up with locally complete provenance.
+        let mut receiver = DerivationGraph::new();
+        receiver.add_base("link(@d,a)", "d", BaseTupleId(7), None, 0, None);
+        receiver.merge(&sub);
+        let merged_root = receiver.find("reachable(@a,c)").unwrap();
+        assert_eq!(receiver.why_provenance(merged_root), g.why_provenance(root));
+        // Merging twice is idempotent.
+        let before = receiver.derivation_count();
+        receiver.merge(&sub);
+        assert_eq!(receiver.derivation_count(), before);
+    }
+
+    #[test]
+    fn subtree_of_underived_tuple_contains_just_that_node() {
+        let mut g = DerivationGraph::new();
+        g.add_derivation("p(a)", "a", "r", "a", &["q(a)".into()], None, None, 0, None);
+        let q = g.find("q(a)").unwrap();
+        let sub = g.subtree(q);
+        assert_eq!(sub.len(), 1);
+        assert!(sub.find("q(a)").is_some());
+    }
+
+    #[test]
+    fn authenticated_provenance_verification() {
+        use pasn_crypto::says::{Authenticator, SaysLevel};
+        use pasn_crypto::{KeyAuthority, Principal};
+
+        let principals = vec![Principal::new(0u32, "a"), Principal::new(1u32, "b")];
+        let authority = KeyAuthority::provision_with_modulus(&principals, 5, 512).unwrap();
+        let auth_a = Authenticator::new(authority.keyring_for(PrincipalId(0)).unwrap(), SaysLevel::Rsa);
+        let verifier = Authenticator::new(authority.keyring_for(PrincipalId(1)).unwrap(), SaysLevel::Rsa);
+
+        let mut g = DerivationGraph::new();
+        g.add_base("link(@a,c)", "a", BaseTupleId(1), Some(PrincipalId(0)), 0, None);
+        let antecedents = vec!["link(@a,c)".to_string()];
+        let payload = derivation_payload("reachable(@a,c)", "r1", "a", &antecedents);
+        let assertion = auth_a.assert(&payload);
+        let root = g.add_derivation(
+            "reachable(@a,c)", "a", "r1", "a",
+            &antecedents, Some(PrincipalId(0)), Some(assertion), 1, None,
+        );
+
+        // All assertions verify.
+        let failures = g.verify_assertions(root, true, |_, payload, assertion| {
+            verifier.verify(payload, assertion).is_ok()
+        });
+        assert!(failures.is_empty());
+
+        // Tampering with the graph (different rule) breaks verification.
+        let mut tampered = g.clone();
+        let node_id = tampered.find("reachable(@a,c)").unwrap();
+        tampered.nodes[node_id.0 as usize].derivations[0].rule = "forged".into();
+        let failures = tampered.verify_assertions(root, true, |_, payload, assertion| {
+            verifier.verify(payload, assertion).is_ok()
+        });
+        assert_eq!(failures, vec!["reachable(@a,c)".to_string()]);
+
+        // Missing assertions are reported when required.
+        let mut unsigned = DerivationGraph::new();
+        unsigned.add_base("link(@a,c)", "a", BaseTupleId(1), None, 0, None);
+        let r = unsigned.add_derivation(
+            "reachable(@a,c)", "a", "r1", "a",
+            &["link(@a,c)".into()], None, None, 1, None,
+        );
+        assert_eq!(unsigned.verify_assertions(r, true, |_, _, _| true).len(), 1);
+        assert!(unsigned.verify_assertions(r, false, |_, _, _| true).is_empty());
+    }
+}

@@ -1,0 +1,398 @@
+//! Provenance storage along the paper's taxonomy axes.
+//!
+//! * **Local vs distributed** (Section 4.1): [`LocalStore`] keeps the full
+//!   derivation graph at the tuple's final storage node (complete provenance
+//!   piggybacked with each shipped tuple); [`DistributedStore`] keeps only
+//!   per-node pointer records and reconstructs provenance on demand via a
+//!   recursive traceback.
+//! * **Online vs offline** (Section 4.2): [`LocalStore`] entries follow the
+//!   soft-state lifetime of their tuples (purged on expiry); the
+//!   [`ArchiveStore`] retains snapshots beyond expiry for forensics and
+//!   accountability, with an age-out policy.
+
+use crate::graph::DerivationGraph;
+use crate::semiring::BaseTupleId;
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
+
+/// An *online, local* provenance store: one derivation graph per node,
+/// covering currently valid tuples.
+#[derive(Clone, Debug, Default)]
+pub struct LocalStore {
+    graph: DerivationGraph,
+}
+
+impl LocalStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The underlying derivation graph.
+    pub fn graph(&self) -> &DerivationGraph {
+        &self.graph
+    }
+
+    /// Mutable access for the engine's provenance hooks.
+    pub fn graph_mut(&mut self) -> &mut DerivationGraph {
+        &mut self.graph
+    }
+
+    /// Drops provenance of expired tuples (online provenance follows the
+    /// soft-state lifetime).  Returns how many tuple nodes were purged.
+    pub fn expire(&mut self, now: u64) -> usize {
+        self.graph.purge_expired(now)
+    }
+}
+
+/// A reference to an antecedent held by a [`DistributedStore`].
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum AntecedentRef {
+    /// The antecedent is stored at the same node.
+    Local(String),
+    /// The antecedent (and its provenance) lives at another node; a traceback
+    /// query must visit that node to continue.
+    Remote {
+        /// The node holding the antecedent's provenance.
+        location: String,
+        /// The antecedent tuple key at that node.
+        key: String,
+    },
+}
+
+/// A pointer-style derivation record: enough to reconstruct provenance on
+/// demand, at the cost of a distributed query (the IP-traceback analogy of
+/// Section 4.1).
+#[derive(Clone, Debug, PartialEq)]
+pub struct PointerDerivation {
+    /// Rule that fired.
+    pub rule: String,
+    /// Antecedents, local or remote.
+    pub antecedents: Vec<AntecedentRef>,
+}
+
+/// A per-node *distributed* provenance store.
+#[derive(Clone, Debug, Default)]
+pub struct DistributedStore {
+    /// This node's name (matches tuple locations).
+    pub node: String,
+    entries: HashMap<String, Vec<PointerDerivation>>,
+    bases: HashMap<String, BaseTupleId>,
+}
+
+impl DistributedStore {
+    /// Creates an empty store for `node`.
+    pub fn new(node: impl Into<String>) -> Self {
+        DistributedStore {
+            node: node.into(),
+            entries: HashMap::new(),
+            bases: HashMap::new(),
+        }
+    }
+
+    /// Records a base tuple stored at this node.
+    pub fn record_base(&mut self, key: &str, id: BaseTupleId) {
+        self.bases.insert(key.to_string(), id);
+    }
+
+    /// Records one derivation of `key` at this node.
+    pub fn record_derivation(&mut self, key: &str, derivation: PointerDerivation) {
+        let entry = self.entries.entry(key.to_string()).or_default();
+        if !entry.contains(&derivation) {
+            entry.push(derivation);
+        }
+    }
+
+    /// Derivations of a locally stored tuple.
+    pub fn derivations_of(&self, key: &str) -> &[PointerDerivation] {
+        self.entries.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// True if `key` is a base tuple at this node.
+    pub fn base_id(&self, key: &str) -> Option<BaseTupleId> {
+        self.bases.get(key).copied()
+    }
+
+    /// Number of stored pointer records (per-node storage overhead metric).
+    pub fn entry_count(&self) -> usize {
+        self.entries.values().map(Vec::len).sum::<usize>() + self.bases.len()
+    }
+}
+
+/// Result of a distributed traceback query.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TracebackResult {
+    /// Base tuples the queried tuple depends on.
+    pub base_tuples: BTreeSet<BaseTupleId>,
+    /// Keys visited, in visit order.
+    pub visited: Vec<String>,
+    /// Number of cross-node hops the query needed (each hop is one
+    /// provenance-query message in a real deployment).
+    pub remote_hops: usize,
+    /// Keys whose provenance could not be resolved (missing node or entry).
+    pub unresolved: Vec<String>,
+}
+
+/// Executes a traceback query over a collection of per-node
+/// [`DistributedStore`]s, starting from `key` at `start_node`.
+///
+/// In a deployment each remote hop is a network round trip; the simulator
+/// charges them through the returned [`TracebackResult::remote_hops`].
+pub fn traceback(
+    stores: &HashMap<String, DistributedStore>,
+    start_node: &str,
+    key: &str,
+) -> TracebackResult {
+    let mut result = TracebackResult::default();
+    let mut queue: VecDeque<(String, String)> = VecDeque::new();
+    let mut seen: HashSet<(String, String)> = HashSet::new();
+    queue.push_back((start_node.to_string(), key.to_string()));
+    seen.insert((start_node.to_string(), key.to_string()));
+
+    while let Some((node, key)) = queue.pop_front() {
+        result.visited.push(key.clone());
+        let Some(store) = stores.get(&node) else {
+            result.unresolved.push(key);
+            continue;
+        };
+        if let Some(base) = store.base_id(&key) {
+            result.base_tuples.insert(base);
+            continue;
+        }
+        let derivations = store.derivations_of(&key);
+        if derivations.is_empty() {
+            result.unresolved.push(key);
+            continue;
+        }
+        for d in derivations {
+            for antecedent in &d.antecedents {
+                match antecedent {
+                    AntecedentRef::Local(k) => {
+                        if seen.insert((node.clone(), k.clone())) {
+                            queue.push_back((node.clone(), k.clone()));
+                        }
+                    }
+                    AntecedentRef::Remote { location, key: k } => {
+                        if seen.insert((location.clone(), k.clone())) {
+                            result.remote_hops += 1;
+                            queue.push_back((location.clone(), k.clone()));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    result
+}
+
+/// One archived provenance record (offline provenance, Section 4.2).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ArchivedEntry {
+    /// The tuple key.
+    pub key: String,
+    /// Node that stored the tuple.
+    pub location: String,
+    /// Rendered provenance annotation at archive time.
+    pub annotation: String,
+    /// Simulated time the tuple was derived.
+    pub derived_at: u64,
+    /// Simulated time the tuple expired (if it did).
+    pub expired_at: Option<u64>,
+    /// Marked to persist beyond the age-out horizon (e.g. flagged during a
+    /// network anomaly, Section 5).
+    pub pinned: bool,
+}
+
+/// An *offline* provenance archive: entries survive tuple expiry so that
+/// forensic queries can correlate long-gone traffic.
+#[derive(Clone, Debug, Default)]
+pub struct ArchiveStore {
+    entries: Vec<ArchivedEntry>,
+}
+
+impl ArchiveStore {
+    /// Creates an empty archive.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an entry.
+    pub fn record(&mut self, entry: ArchivedEntry) {
+        self.entries.push(entry);
+    }
+
+    /// Marks every entry matching `key` as pinned so age-out keeps it.
+    pub fn pin(&mut self, key: &str) -> usize {
+        let mut count = 0;
+        for e in &mut self.entries {
+            if e.key == key {
+                e.pinned = true;
+                count += 1;
+            }
+        }
+        count
+    }
+
+    /// Drops unpinned entries derived before `horizon`; returns how many were
+    /// removed (the storage-reduction knob of Section 5).
+    pub fn age_out(&mut self, horizon: u64) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|e| e.pinned || e.derived_at >= horizon);
+        before - self.entries.len()
+    }
+
+    /// All entries, oldest first.
+    pub fn entries(&self) -> &[ArchivedEntry] {
+        &self.entries
+    }
+
+    /// Entries for a given predicate (prefix match on the rendered key),
+    /// optionally restricted to a derivation-time window.
+    pub fn query(
+        &self,
+        key_prefix: &str,
+        from: Option<u64>,
+        to: Option<u64>,
+    ) -> Vec<&ArchivedEntry> {
+        self.entries
+            .iter()
+            .filter(|e| e.key.starts_with(key_prefix))
+            .filter(|e| from.map_or(true, |f| e.derived_at >= f))
+            .filter(|e| to.map_or(true, |t| e.derived_at <= t))
+            .collect()
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the archive is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pointer_stores() -> HashMap<String, DistributedStore> {
+        // reachable(@a,c) derived at a from link(@a,b) [local] and
+        // reachable(@b,c) [remote at b]; reachable(@b,c) derived at b from
+        // link(@b,c) [local base].
+        let mut a = DistributedStore::new("a");
+        a.record_base("link(@a,b)", BaseTupleId(1));
+        a.record_base("link(@a,c)", BaseTupleId(2));
+        a.record_derivation(
+            "reachable(@a,c)",
+            PointerDerivation {
+                rule: "r2".into(),
+                antecedents: vec![
+                    AntecedentRef::Local("link(@a,b)".into()),
+                    AntecedentRef::Remote { location: "b".into(), key: "reachable(@b,c)".into() },
+                ],
+            },
+        );
+        a.record_derivation(
+            "reachable(@a,c)",
+            PointerDerivation {
+                rule: "r1".into(),
+                antecedents: vec![AntecedentRef::Local("link(@a,c)".into())],
+            },
+        );
+        let mut b = DistributedStore::new("b");
+        b.record_base("link(@b,c)", BaseTupleId(3));
+        b.record_derivation(
+            "reachable(@b,c)",
+            PointerDerivation {
+                rule: "r1".into(),
+                antecedents: vec![AntecedentRef::Local("link(@b,c)".into())],
+            },
+        );
+        let mut stores = HashMap::new();
+        stores.insert("a".to_string(), a);
+        stores.insert("b".to_string(), b);
+        stores
+    }
+
+    #[test]
+    fn traceback_collects_bases_and_counts_remote_hops() {
+        let stores = pointer_stores();
+        let result = traceback(&stores, "a", "reachable(@a,c)");
+        assert_eq!(result.base_tuples.len(), 3);
+        assert_eq!(result.remote_hops, 1, "one hop to node b");
+        assert!(result.unresolved.is_empty());
+        assert!(result.visited.contains(&"reachable(@b,c)".to_string()));
+    }
+
+    #[test]
+    fn traceback_reports_unresolved_pointers() {
+        let mut stores = pointer_stores();
+        stores.remove("b");
+        let result = traceback(&stores, "a", "reachable(@a,c)");
+        assert_eq!(result.unresolved, vec!["reachable(@b,c)".to_string()]);
+        // The locally reachable base tuples are still found.
+        assert_eq!(result.base_tuples.len(), 2);
+    }
+
+    #[test]
+    fn traceback_of_unknown_tuple() {
+        let stores = pointer_stores();
+        let result = traceback(&stores, "a", "nonexistent(@a)");
+        assert_eq!(result.unresolved, vec!["nonexistent(@a)".to_string()]);
+        assert!(result.base_tuples.is_empty());
+    }
+
+    #[test]
+    fn distributed_store_deduplicates_and_counts_entries() {
+        let mut s = DistributedStore::new("a");
+        let d = PointerDerivation {
+            rule: "r1".into(),
+            antecedents: vec![AntecedentRef::Local("x".into())],
+        };
+        s.record_derivation("p", d.clone());
+        s.record_derivation("p", d);
+        s.record_base("x", BaseTupleId(9));
+        assert_eq!(s.derivations_of("p").len(), 1);
+        assert_eq!(s.entry_count(), 2);
+        assert_eq!(s.base_id("x"), Some(BaseTupleId(9)));
+        assert_eq!(s.base_id("y"), None);
+        assert!(s.derivations_of("missing").is_empty());
+    }
+
+    #[test]
+    fn local_store_expiry_delegates_to_graph() {
+        let mut store = LocalStore::new();
+        store.graph_mut().add_base("link(@a,b)", "a", BaseTupleId(1), None, 0, Some(50));
+        store.graph_mut().add_base("link(@a,c)", "a", BaseTupleId(2), None, 0, None);
+        assert_eq!(store.expire(100), 1);
+        assert_eq!(store.graph().find("link(@a,b)"), None);
+        assert!(store.graph().find("link(@a,c)").is_some());
+    }
+
+    #[test]
+    fn archive_survives_expiry_and_ages_out() {
+        let mut archive = ArchiveStore::new();
+        for i in 0..10u64 {
+            archive.record(ArchivedEntry {
+                key: format!("bestPath(@n0,n{i})"),
+                location: "n0".into(),
+                annotation: "<p0>".into(),
+                derived_at: i * 100,
+                expired_at: Some(i * 100 + 50),
+                pinned: false,
+            });
+        }
+        assert_eq!(archive.len(), 10);
+        // Pin one entry, then age out everything older than t=500.
+        assert_eq!(archive.pin("bestPath(@n0,n2)"), 1);
+        let removed = archive.age_out(500);
+        assert_eq!(removed, 4, "entries 0,1,3,4 removed; 2 pinned");
+        assert!(archive.query("bestPath(@n0,n2)", None, None).len() == 1);
+
+        // Time-window query.
+        let in_window = archive.query("bestPath", Some(500), Some(700));
+        assert_eq!(in_window.len(), 3);
+        assert!(!archive.is_empty());
+    }
+}

@@ -1,0 +1,461 @@
+//! Per-tuple provenance annotations ("tags") carried by the engine.
+//!
+//! The engine annotates every derived tuple with a [`ProvTag`]; the variant
+//! in use is chosen by the experiment configuration and corresponds to a row
+//! of the paper's taxonomy:
+//!
+//! * [`ProvTag::None`] — plain NDlog, no provenance (the NDLog baseline of
+//!   Section 6);
+//! * [`ProvTag::Condensed`] — BDD-condensed local provenance over the
+//!   asserting principals (Section 4.4, the SeNDLogProv configuration);
+//! * [`ProvTag::Why`] — uncondensed witness sets, used by the condensation
+//!   ablation to measure how much the BDD encoding saves;
+//! * [`ProvTag::Trust`], [`ProvTag::Count`], [`ProvTag::Vote`] — the
+//!   quantifiable-provenance semirings of Section 4.5.
+//!
+//! Condensed tags are canonicalised through a shared [`VarTable`] /
+//! [`pasn_bdd::BddManager`], so `a + a*b` and `a` produce identical tags.
+
+use crate::semiring::{BaseTupleId, DerivationCount, Semiring, TrustLevel, VoteSet, WhyProvenance};
+use pasn_bdd::{BddManager, BddRef, BoolExpr, VarId};
+use pasn_crypto::PrincipalId;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Which provenance annotation the engine maintains.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ProvenanceKind {
+    /// No provenance at all.
+    #[default]
+    None,
+    /// Uncondensed why-provenance (witness sets of base tuples).
+    Why,
+    /// BDD-condensed provenance over asserting principals (Section 4.4).
+    Condensed,
+    /// Trust levels (max/min semiring, Section 4.5).
+    Trust,
+    /// Number of distinct derivations.
+    Count,
+    /// Set of principals involved in any derivation (K-of-N votes).
+    Vote,
+}
+
+impl ProvenanceKind {
+    /// Human-readable name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProvenanceKind::None => "none",
+            ProvenanceKind::Why => "why",
+            ProvenanceKind::Condensed => "condensed",
+            ProvenanceKind::Trust => "trust",
+            ProvenanceKind::Count => "count",
+            ProvenanceKind::Vote => "vote",
+        }
+    }
+}
+
+/// Maps provenance variables (principals and base-tuple keys) to BDD
+/// variables and owns the shared BDD manager used for condensation.
+#[derive(Debug, Default)]
+pub struct VarTable {
+    manager: BddManager,
+    by_principal: HashMap<u32, VarId>,
+    by_base: HashMap<BaseTupleId, VarId>,
+    names: Vec<String>,
+}
+
+impl VarTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        VarTable {
+            manager: BddManager::new(),
+            by_principal: HashMap::new(),
+            by_base: HashMap::new(),
+            names: Vec::new(),
+        }
+    }
+
+    /// Variable for a principal, interned on first use.
+    pub fn principal_var(&mut self, principal: PrincipalId) -> VarId {
+        if let Some(&v) = self.by_principal.get(&principal.0) {
+            return v;
+        }
+        let v = self.names.len() as VarId;
+        self.names.push(format!("{principal}"));
+        self.by_principal.insert(principal.0, v);
+        v
+    }
+
+    /// Variable for a base tuple, interned on first use.
+    pub fn base_var(&mut self, base: BaseTupleId, name: impl Into<String>) -> VarId {
+        if let Some(&v) = self.by_base.get(&base) {
+            return v;
+        }
+        let v = self.names.len() as VarId;
+        self.names.push(name.into());
+        self.by_base.insert(base, v);
+        v
+    }
+
+    /// The principal behind a BDD variable, if the variable was interned via
+    /// [`VarTable::principal_var`].
+    pub fn principal_of(&self, var: VarId) -> Option<PrincipalId> {
+        self.by_principal
+            .iter()
+            .find(|(_, v)| **v == var)
+            .map(|(p, _)| PrincipalId(*p))
+    }
+
+    /// Human-readable name of a variable.
+    pub fn name_of(&self, var: VarId) -> &str {
+        self.names
+            .get(var as usize)
+            .map(String::as_str)
+            .unwrap_or("?")
+    }
+
+    /// The underlying BDD manager.
+    pub fn manager_mut(&mut self) -> &mut BddManager {
+        &mut self.manager
+    }
+
+    /// The underlying BDD manager (shared access).
+    pub fn manager(&self) -> &BddManager {
+        &self.manager
+    }
+
+    /// Number of interned variables.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if no variables have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Renders a condensed BDD as the paper's `<...>` annotation, e.g.
+    /// `<a + a*b>`.  Provenance functions are monotone, so the rendering is
+    /// the minimal positive sum-of-products.
+    pub fn render(&self, bdd: BddRef) -> String {
+        let expr = BoolExpr::monotone_from_bdd(&self.manager, bdd);
+        format!("<{}>", expr.render(&|v| self.name_of(v).to_string()))
+    }
+}
+
+/// A per-tuple provenance annotation.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub enum ProvTag {
+    /// No provenance maintained.
+    #[default]
+    None,
+    /// Uncondensed why-provenance.
+    Why(WhyProvenance),
+    /// Condensed provenance: a canonical BDD owned by the shared
+    /// [`VarTable`].
+    Condensed(BddRef),
+    /// Trust level of the best derivation.
+    Trust(TrustLevel),
+    /// Number of distinct derivations.
+    Count(DerivationCount),
+    /// Principals involved in the derivations.
+    Vote(VoteSet),
+}
+
+impl ProvTag {
+    /// The kind of this tag.
+    pub fn kind(&self) -> ProvenanceKind {
+        match self {
+            ProvTag::None => ProvenanceKind::None,
+            ProvTag::Why(_) => ProvenanceKind::Why,
+            ProvTag::Condensed(_) => ProvenanceKind::Condensed,
+            ProvTag::Trust(_) => ProvenanceKind::Trust,
+            ProvTag::Count(_) => ProvenanceKind::Count,
+            ProvTag::Vote(_) => ProvenanceKind::Vote,
+        }
+    }
+
+    /// The annotation of a base tuple asserted by `principal` (whose
+    /// security level is `level`), under the given provenance kind.
+    pub fn base(
+        kind: ProvenanceKind,
+        table: &mut VarTable,
+        base_id: BaseTupleId,
+        base_name: &str,
+        principal: PrincipalId,
+        level: u8,
+    ) -> ProvTag {
+        match kind {
+            ProvenanceKind::None => ProvTag::None,
+            ProvenanceKind::Why => ProvTag::Why(WhyProvenance::base(base_id)),
+            ProvenanceKind::Condensed => {
+                // Condensed provenance tracks the asserting principal, which
+                // is what trust decisions need (paper §4.4); the base-tuple
+                // name is retained only for rendering.
+                let _ = base_name;
+                let var = table.principal_var(principal);
+                ProvTag::Condensed(table.manager_mut().var(var))
+            }
+            ProvenanceKind::Trust => ProvTag::Trust(TrustLevel(level)),
+            ProvenanceKind::Count => ProvTag::Count(DerivationCount(1)),
+            ProvenanceKind::Vote => ProvTag::Vote(VoteSet::principal(principal.0)),
+        }
+    }
+
+    /// The multiplicative identity for `kind` (used when folding joins).
+    pub fn one(kind: ProvenanceKind, table: &mut VarTable) -> ProvTag {
+        match kind {
+            ProvenanceKind::None => ProvTag::None,
+            ProvenanceKind::Why => ProvTag::Why(WhyProvenance::one()),
+            ProvenanceKind::Condensed => ProvTag::Condensed(table.manager_mut().true_ref()),
+            ProvenanceKind::Trust => ProvTag::Trust(TrustLevel::one()),
+            ProvenanceKind::Count => ProvTag::Count(DerivationCount::one()),
+            ProvenanceKind::Vote => ProvTag::Vote(VoteSet::one()),
+        }
+    }
+
+    /// Join combination (`*`): both tags must have the same kind.
+    pub fn times(&self, other: &ProvTag, table: &mut VarTable) -> ProvTag {
+        match (self, other) {
+            (ProvTag::None, ProvTag::None) => ProvTag::None,
+            (ProvTag::Why(a), ProvTag::Why(b)) => ProvTag::Why(a.times(b)),
+            (ProvTag::Condensed(a), ProvTag::Condensed(b)) => {
+                ProvTag::Condensed(table.manager_mut().and(*a, *b))
+            }
+            (ProvTag::Trust(a), ProvTag::Trust(b)) => ProvTag::Trust(a.times(b)),
+            (ProvTag::Count(a), ProvTag::Count(b)) => ProvTag::Count(a.times(b)),
+            (ProvTag::Vote(a), ProvTag::Vote(b)) => ProvTag::Vote(a.times(b)),
+            (a, b) => panic!(
+                "provenance kind mismatch in times: {:?} vs {:?}",
+                a.kind(),
+                b.kind()
+            ),
+        }
+    }
+
+    /// Alternative-derivation combination (`+`): both tags must have the
+    /// same kind.
+    pub fn plus(&self, other: &ProvTag, table: &mut VarTable) -> ProvTag {
+        match (self, other) {
+            (ProvTag::None, ProvTag::None) => ProvTag::None,
+            (ProvTag::Why(a), ProvTag::Why(b)) => ProvTag::Why(a.plus(b)),
+            (ProvTag::Condensed(a), ProvTag::Condensed(b)) => {
+                ProvTag::Condensed(table.manager_mut().or(*a, *b))
+            }
+            (ProvTag::Trust(a), ProvTag::Trust(b)) => ProvTag::Trust(a.plus(b)),
+            (ProvTag::Count(a), ProvTag::Count(b)) => ProvTag::Count(a.plus(b)),
+            (ProvTag::Vote(a), ProvTag::Vote(b)) => ProvTag::Vote(a.plus(b)),
+            (a, b) => panic!(
+                "provenance kind mismatch in plus: {:?} vs {:?}",
+                a.kind(),
+                b.kind()
+            ),
+        }
+    }
+
+    /// Number of bytes this tag adds to a tuple shipped on the wire.
+    ///
+    /// Condensed provenance is shipped as its canonical sum-of-products over
+    /// principal identifiers (4 bytes per literal plus one byte per term
+    /// separator), which is the compact form the paper attributes to the BDD
+    /// encoding.  Why-provenance ships every witness uncondensed (8 bytes per
+    /// base-tuple key), which is what the condensation ablation compares
+    /// against.
+    pub fn wire_size(&self, table: &VarTable) -> usize {
+        match self {
+            ProvTag::None => 0,
+            ProvTag::Why(w) => 2 + w.size() * 8 + w.witnesses().len(),
+            ProvTag::Condensed(bdd) => {
+                let expr = BoolExpr::monotone_from_bdd(table.manager(), *bdd);
+                2 + expr.literal_count() * 4
+            }
+            ProvTag::Trust(_) => 1,
+            ProvTag::Count(_) => 8,
+            ProvTag::Vote(v) => 2 + v.count() * 4,
+        }
+    }
+
+    /// Renders the tag as the paper's `<...>` annotation.
+    pub fn render(&self, table: &VarTable) -> String {
+        match self {
+            ProvTag::None => "<>".to_string(),
+            ProvTag::Why(w) => format!("<{w}>"),
+            ProvTag::Condensed(bdd) => table.render(*bdd),
+            ProvTag::Trust(t) => format!("<{t}>"),
+            ProvTag::Count(c) => format!("<{c}>"),
+            ProvTag::Vote(v) => format!("<{v}>"),
+        }
+    }
+
+    /// Evaluates the trust level of this tag given a per-principal security
+    /// level function; only meaningful for condensed tags (the quantifiable
+    /// evaluation of Section 4.5) and trust tags (already a level).
+    pub fn trust_level<F: Fn(u32) -> u8>(&self, table: &VarTable, level_of: F) -> Option<u8> {
+        match self {
+            ProvTag::Trust(t) => Some(t.0),
+            ProvTag::Condensed(bdd) => {
+                let expr = BoolExpr::from_bdd(table.manager(), *bdd);
+                let cubes = table.manager().cubes(*bdd, 4096);
+                let _ = expr;
+                let mut best: Option<u8> = None;
+                for cube in cubes {
+                    // min over the positive literals of the cube.
+                    let mut cube_level = u8::MAX;
+                    for (var, positive) in cube {
+                        if positive {
+                            // Map back from BDD variable to principal id.
+                            if let Some((pid, _)) = table
+                                .by_principal
+                                .iter()
+                                .find(|(_, v)| **v == var)
+                            {
+                                cube_level = cube_level.min(level_of(*pid));
+                            }
+                        }
+                    }
+                    best = Some(best.map_or(cube_level, |b| b.max(cube_level)));
+                }
+                best
+            }
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ProvTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProvTag::None => write!(f, "<>"),
+            ProvTag::Why(w) => write!(f, "<{w}>"),
+            ProvTag::Condensed(b) => write!(f, "<bdd#{}>", b.index()),
+            ProvTag::Trust(t) => write!(f, "<{t}>"),
+            ProvTag::Count(c) => write!(f, "<{c}>"),
+            ProvTag::Vote(v) => write!(f, "<{v}>"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(id: u32) -> PrincipalId {
+        PrincipalId(id)
+    }
+
+    #[test]
+    fn condensed_tag_reproduces_figure2_condensation() {
+        let mut table = VarTable::new();
+        let a = ProvTag::base(
+            ProvenanceKind::Condensed,
+            &mut table,
+            BaseTupleId(0),
+            "link(a,c)",
+            p(0),
+            2,
+        );
+        let b = ProvTag::base(
+            ProvenanceKind::Condensed,
+            &mut table,
+            BaseTupleId(1),
+            "link(a,b)",
+            p(1),
+            1,
+        );
+        // reachable(a,c) = a + a*b
+        let ab = a.times(&b, &mut table);
+        let expr = a.plus(&ab, &mut table);
+        // Condensation: equal to plain <a>.
+        assert_eq!(expr, a);
+        assert_eq!(expr.render(&table), "<p0>");
+        // Quantifiable trust: max(2, min(2,1)) = 2.
+        let levels = |pid: u32| if pid == 0 { 2 } else { 1 };
+        assert_eq!(expr.trust_level(&table, levels), Some(2));
+        // The uncondensed union a + a*b would have 3 literals; condensed has 1.
+        assert!(expr.wire_size(&table) < 2 + 3 * 4 + 1);
+    }
+
+    #[test]
+    fn why_tag_tracks_witnesses_uncondensed_size() {
+        let mut table = VarTable::new();
+        let a = ProvTag::base(ProvenanceKind::Why, &mut table, BaseTupleId(0), "a", p(0), 1);
+        let b = ProvTag::base(ProvenanceKind::Why, &mut table, BaseTupleId(1), "b", p(1), 1);
+        let joined = a.times(&b, &mut table);
+        match &joined {
+            ProvTag::Why(w) => assert_eq!(w.size(), 2),
+            other => panic!("unexpected tag {other:?}"),
+        }
+        assert!(joined.wire_size(&table) > a.wire_size(&table));
+    }
+
+    #[test]
+    fn trust_count_vote_tags_follow_their_semirings() {
+        let mut table = VarTable::new();
+        let t2 = ProvTag::base(ProvenanceKind::Trust, &mut table, BaseTupleId(0), "a", p(0), 2);
+        let t1 = ProvTag::base(ProvenanceKind::Trust, &mut table, BaseTupleId(1), "b", p(1), 1);
+        assert_eq!(
+            t2.plus(&t2.times(&t1, &mut table), &mut table),
+            ProvTag::Trust(TrustLevel(2))
+        );
+
+        let c = ProvTag::base(ProvenanceKind::Count, &mut table, BaseTupleId(0), "a", p(0), 1);
+        assert_eq!(c.plus(&c, &mut table), ProvTag::Count(DerivationCount(2)));
+
+        let v0 = ProvTag::base(ProvenanceKind::Vote, &mut table, BaseTupleId(0), "a", p(0), 1);
+        let v1 = ProvTag::base(ProvenanceKind::Vote, &mut table, BaseTupleId(1), "b", p(1), 1);
+        match v0.plus(&v1, &mut table) {
+            ProvTag::Vote(v) => assert!(v.satisfies_threshold(2)),
+            other => panic!("unexpected tag {other:?}"),
+        }
+    }
+
+    #[test]
+    fn none_tag_is_free() {
+        let mut table = VarTable::new();
+        let none = ProvTag::base(ProvenanceKind::None, &mut table, BaseTupleId(0), "a", p(0), 1);
+        assert_eq!(none.wire_size(&table), 0);
+        assert_eq!(none.plus(&ProvTag::None, &mut table), ProvTag::None);
+        assert_eq!(none.render(&table), "<>");
+        assert_eq!(none.kind(), ProvenanceKind::None);
+    }
+
+    #[test]
+    #[should_panic(expected = "kind mismatch")]
+    fn mixing_kinds_panics() {
+        let mut table = VarTable::new();
+        let a = ProvTag::base(ProvenanceKind::Trust, &mut table, BaseTupleId(0), "a", p(0), 1);
+        let b = ProvTag::base(ProvenanceKind::Count, &mut table, BaseTupleId(1), "b", p(1), 1);
+        let _ = a.times(&b, &mut table);
+    }
+
+    #[test]
+    fn var_table_interns_and_names() {
+        let mut table = VarTable::new();
+        let v0 = table.principal_var(p(7));
+        let v0_again = table.principal_var(p(7));
+        assert_eq!(v0, v0_again);
+        let v1 = table.base_var(BaseTupleId(9), "link(a,b)");
+        assert_ne!(v0, v1);
+        assert_eq!(table.name_of(v0), "p7");
+        assert_eq!(table.name_of(v1), "link(a,b)");
+        assert_eq!(table.name_of(99), "?");
+        assert_eq!(table.len(), 2);
+        assert!(!table.is_empty());
+    }
+
+    #[test]
+    fn kind_names_are_stable() {
+        assert_eq!(ProvenanceKind::Condensed.name(), "condensed");
+        assert_eq!(ProvenanceKind::default(), ProvenanceKind::None);
+        for kind in [
+            ProvenanceKind::None,
+            ProvenanceKind::Why,
+            ProvenanceKind::Condensed,
+            ProvenanceKind::Trust,
+            ProvenanceKind::Count,
+            ProvenanceKind::Vote,
+        ] {
+            assert!(!kind.name().is_empty());
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! DNSSEC-style secure name resolution: the chain of trust of every answer
+//! is authenticated provenance anchored at the resolver's root key.
+//!
+//! ```text
+//! cargo run --example dnssec_chain
+//! ```
+
+use pasn::trust::{TrustEvaluator, TrustPolicy};
+use pasn_overlay::dns::{Resolver, SecureDns};
+use pasn_provenance::{ProvTag, VarTable};
+
+fn main() {
+    println!("== DNSSEC-style resolution as authenticated provenance ==\n");
+
+    let mut dns = SecureDns::builder()
+        .seed(2008)
+        .zone("org", ".")
+        .zone("com", ".")
+        .zone("example.org", "org")
+        .zone("cdn.example.org", "example.org")
+        .address("com", "registry.com", 0x0102_0304)
+        .address("example.org", "www.example.org", 0x0a01_0001)
+        .address("cdn.example.org", "edge1.cdn.example.org", 0x0a02_0001)
+        .build()
+        .expect("hierarchy builds");
+    println!("zones: {:?}\n", dns.zone_names());
+
+    let resolver = Resolver::anchored_at(&dns).expect("root key known");
+
+    for name in ["www.example.org", "edge1.cdn.example.org", "registry.com"] {
+        let res = resolver.resolve(&dns, name).expect("resolution validates");
+        println!("{name} -> {:#010x} via {} zone(s):", res.address, res.chain.len());
+        print!("{}", res.render_chain());
+
+        // The answer's provenance tree, rooted at the trust anchor.
+        let graph = res.provenance_graph();
+        let root = graph
+            .find(&format!("resolved({name},{})", res.address))
+            .expect("answer node");
+        println!("{}", graph.render_tree(root));
+    }
+
+    // Trust management over the chain: accept only answers vouched for by
+    // the .org registry.
+    let res = resolver.resolve(&dns, "www.example.org").unwrap();
+    let org = dns.zone("org").unwrap().principal.0;
+    let var_table = VarTable::new();
+    let evaluator = TrustEvaluator::new(&var_table, Default::default());
+    let decision = evaluator.evaluate(
+        &ProvTag::Vote(res.vote()),
+        &TrustPolicy::TrustedPrincipals([org].into_iter().collect()),
+    );
+    println!("policy \"answer must involve the org registry\": {decision:?}\n");
+
+    // Attacks are detected, not silently accepted.
+    dns.tamper_address("example.org", "www.example.org", 0xdead_beef)
+        .expect("record exists");
+    match resolver.resolve(&dns, "www.example.org") {
+        Err(e) => println!("after an on-path rewrite of the A record: {e}"),
+        Ok(_) => unreachable!("tampered record must not validate"),
+    }
+
+    let mut dns2 = SecureDns::builder()
+        .seed(2008)
+        .zone("org", ".")
+        .zone("example.org", "org")
+        .address("example.org", "www.example.org", 0x0a01_0001)
+        .build()
+        .unwrap();
+    dns2.substitute_zone_key("example.org", 1).unwrap();
+    let resolver2 = Resolver::anchored_at(&dns2).unwrap();
+    match resolver2.resolve(&dns2, "www.example.org") {
+        Err(e) => println!("after a key-substitution attack on example.org: {e}"),
+        Ok(_) => unreachable!("unendorsed key must not validate"),
+    }
+}

@@ -1,0 +1,9 @@
+//! Workspace root helper library: re-exports the `pasn` facade so the
+//! examples and integration tests in this package have a single import root.
+pub use pasn;
+pub use pasn_bdd;
+pub use pasn_crypto;
+pub use pasn_datalog;
+pub use pasn_engine;
+pub use pasn_net;
+pub use pasn_provenance;

@@ -1,0 +1,129 @@
+//! Sampled provenance queries (Section 5, "Sampling"): random moonwalks over
+//! the engine's distributed provenance stores, compared against the
+//! exhaustive traceback query they approximate.
+
+use pasn::prelude::*;
+use pasn::workload;
+use pasn_provenance::{moonwalk, traceback, MoonwalkConfig};
+
+fn run_reachability(n: u32, seed: u64) -> SecureNetwork {
+    let topology = workload::evaluation_topology(n, seed);
+    let mut net = SecureNetwork::builder()
+        .program(pasn::programs::reachability_ndlog())
+        .topology(topology)
+        .config(
+            EngineConfig::ndlog()
+                .with_cost_model(CostModel::zero_cpu())
+                .with_graph_mode(GraphMode::Distributed),
+        )
+        .build()
+        .expect("program compiles");
+    net.run().expect("fixpoint reached");
+    net
+}
+
+/// The farthest-reaching derived tuple at node 0, as a (location, key) pair.
+fn deepest_tuple(net: &SecureNetwork) -> (Value, String) {
+    let loc = Value::Addr(0);
+    let tuple = net
+        .query(&loc, "reachable")
+        .into_iter()
+        .map(|(t, _)| t)
+        .max_by_key(|t| t.values[1].clone())
+        .expect("node 0 derives something");
+    let key = tuple.render_located(Some(0));
+    (loc, key)
+}
+
+#[test]
+fn moonwalk_origins_are_a_subset_of_the_exhaustive_traceback() {
+    let net = run_reachability(10, 41);
+    let stores = net.distributed_stores();
+    let (loc, key) = deepest_tuple(&net);
+
+    let full = traceback(&stores, &loc.to_string(), &key);
+    assert!(!full.base_tuples.is_empty());
+
+    let sampled = moonwalk(
+        &stores,
+        &loc.to_string(),
+        &key,
+        &MoonwalkConfig::with_walks(128).seed(3),
+    );
+    assert!(sampled.hit_rate() > 0.9);
+    // Sampling can only surface true origins.
+    for base in sampled.base_frequency.keys() {
+        assert!(
+            full.base_tuples.contains(base),
+            "moonwalk reported {base:?} which exhaustive traceback never found"
+        );
+    }
+    assert!(sampled.suspected_origin().is_some());
+}
+
+#[test]
+fn moonwalk_reads_fewer_records_than_exhaustive_traceback_on_large_graphs() {
+    let net = run_reachability(16, 8);
+    let stores = net.distributed_stores();
+    let (loc, key) = deepest_tuple(&net);
+
+    let full = traceback(&stores, &loc.to_string(), &key);
+    // A deliberately small sampling budget.
+    let config = MoonwalkConfig {
+        walks: 8,
+        max_depth: 6,
+        seed: 11,
+    };
+    let sampled = moonwalk(&stores, &loc.to_string(), &key, &config);
+    assert!(
+        sampled.records_read < full.visited.len() * 2,
+        "sampled {} vs exhaustive {}",
+        sampled.records_read,
+        full.visited.len()
+    );
+    assert!(sampled.records_read <= 8 * 6);
+}
+
+#[test]
+fn moonwalks_are_reproducible_and_respect_the_walk_budget() {
+    let net = run_reachability(8, 2);
+    let stores = net.distributed_stores();
+    let (loc, key) = deepest_tuple(&net);
+    let config = MoonwalkConfig::with_walks(32).seed(99);
+    let a = moonwalk(&stores, &loc.to_string(), &key, &config);
+    let b = moonwalk(&stores, &loc.to_string(), &key, &config);
+    assert_eq!(a.base_frequency, b.base_frequency);
+    assert_eq!(a.walks.len(), 32);
+    assert_eq!(a.remote_hops, b.remote_hops);
+}
+
+#[test]
+fn sampling_policy_reduces_recorded_provenance() {
+    // Section 5's other sampling knob: only record provenance for a fraction
+    // of derivations.  The distributed stores must shrink accordingly.
+    let topology = workload::evaluation_topology(10, 13);
+    let run = |sampling| {
+        let mut config = EngineConfig::ndlog()
+            .with_cost_model(CostModel::zero_cpu())
+            .with_graph_mode(GraphMode::Distributed);
+        config.sampling = sampling;
+        let mut net = SecureNetwork::builder()
+            .program(pasn::programs::reachability_ndlog())
+            .topology(topology.clone())
+            .config(config)
+            .build()
+            .unwrap();
+        net.run().unwrap();
+        net.distributed_stores()
+            .values()
+            .map(|s| s.entry_count())
+            .sum::<usize>()
+    };
+    let always = run(pasn_provenance::SamplingPolicy::always());
+    let sampled = run(pasn_provenance::SamplingPolicy::one_in(8));
+    assert!(always > 0);
+    assert!(
+        sampled < always,
+        "1-in-8 sampling must record fewer entries ({sampled} vs {always})"
+    );
+}

@@ -1,0 +1,174 @@
+//! Integration tests for the secure Chord overlay (the paper's future-work
+//! "secure Chord routing"): routing correctness under churn, authenticated
+//! lookups, and trust policies evaluated over lookup provenance.
+
+use pasn::trust::{TrustEvaluator, TrustPolicy};
+use pasn_overlay::chord::{ChordConfig, ChordRing};
+use pasn_provenance::{ProvTag, VarTable};
+use std::collections::BTreeSet;
+
+fn ring(nodes: u32, level: pasn_crypto::SaysLevel) -> ChordRing {
+    ChordRing::build(ChordConfig {
+        nodes,
+        bits: 24,
+        says_level: level,
+        modulus_bits: 512,
+        seed: 1234,
+        successor_list_len: 3,
+    })
+    .expect("ring builds")
+}
+
+#[test]
+fn every_node_resolves_every_key_to_the_same_owner() {
+    let ring = ring(20, pasn_crypto::SaysLevel::Cleartext);
+    for i in 0..10 {
+        let key = ring.space().key_id(&format!("object-{i}"));
+        let owner = ring.successor_of(key);
+        for origin in ring.node_ids() {
+            let trace = ring.lookup(origin, key).expect("lookup succeeds");
+            assert_eq!(trace.owner, owner, "origin {origin} key object-{i}");
+            assert!(ring.verify_lookup(&trace).is_ok());
+        }
+    }
+}
+
+#[test]
+fn stored_values_survive_churn_and_keep_their_inserter_attribution() {
+    let mut ring = ring(16, pasn_crypto::SaysLevel::Hmac);
+    let inserter = ring.node_ids()[4];
+    let inserter_principal = ring.principal_of(inserter).unwrap();
+    for i in 0..8 {
+        ring.put(inserter, &format!("file-{i}"), format!("payload-{i}").as_bytes())
+            .expect("put succeeds");
+    }
+
+    // Remove a quarter of the ring (never the inserter) and repair.
+    let victims: Vec<_> = ring
+        .node_ids()
+        .into_iter()
+        .filter(|id| *id != inserter)
+        .take(4)
+        .collect();
+    for victim in victims {
+        ring.remove_node(victim).unwrap();
+    }
+    ring.stabilize();
+
+    let querier = ring.node_ids()[0];
+    let mut recovered = 0;
+    for i in 0..8 {
+        if let Ok(result) = ring.get(querier, &format!("file-{i}")) {
+            assert_eq!(result.value.value, format!("payload-{i}").as_bytes());
+            assert_eq!(result.value.inserted_by, inserter_principal);
+            assert!(ring.verify_lookup(&result.trace).is_ok());
+            recovered += 1;
+        }
+    }
+    // With a successor list of three, losing four nodes can orphan at most a
+    // couple of keys; the bulk must survive.
+    assert!(recovered >= 6, "only {recovered}/8 values survived the churn");
+}
+
+#[test]
+fn lookup_provenance_supports_kofn_trust_decisions() {
+    let ring = ring(24, pasn_crypto::SaysLevel::Hmac);
+    let origin = ring.node_ids()[0];
+    let key = ring.space().key_id("kofn-object");
+    let trace = ring.lookup(origin, key).unwrap();
+
+    // The vote over the lookup path is exactly the set of distinct
+    // forwarding principals.
+    let vote = trace.vote();
+    let principals: BTreeSet<u32> = trace.principals().iter().map(|p| p.0).collect();
+    assert_eq!(vote.principals(), &principals);
+    assert!(vote.satisfies_threshold(1));
+    assert!(!vote.satisfies_threshold(principals.len() + 1));
+
+    // The same decision through the core trust-management API: a vote tag is
+    // accepted under MinimumVotes(k) for k ≤ path length and rejected above.
+    let var_table = VarTable::new();
+    let evaluator = TrustEvaluator::new(&var_table, Default::default());
+    let tag = ProvTag::Vote(vote.clone());
+    assert!(evaluator
+        .evaluate(&tag, &TrustPolicy::KOfN(principals.len()))
+        .is_accept());
+    assert!(!evaluator
+        .evaluate(&tag, &TrustPolicy::KOfN(principals.len() + 1))
+        .is_accept());
+}
+
+#[test]
+fn authenticated_lookup_graphs_verify_and_expose_forgery() {
+    let ring = ring(12, pasn_crypto::SaysLevel::Hmac);
+    let origin = ring.node_ids()[3];
+    let key = ring.space().key_id("graph-check");
+    let trace = ring.lookup(origin, key).unwrap();
+    let graph = ring.authenticated_lookup_graph(&trace).unwrap();
+
+    let result_key = format!("lookupResult({:#x},{:#x})", key.0, trace.owner.0);
+    let root = graph.find(&result_key).expect("result recorded");
+
+    // All assertions verify with the ring's keys.
+    let verifier_keyring = ring
+        .authority()
+        .keyring_for(ring.principal_of(origin).unwrap())
+        .unwrap();
+    let verifier =
+        pasn_crypto::Authenticator::new(verifier_keyring, ring.says_level());
+    let failures = graph.verify_assertions(root, true, |_, payload, assertion| {
+        verifier.verify(payload, assertion).is_ok()
+    });
+    assert!(failures.is_empty(), "failures: {failures:?}");
+
+    // A graph built without signatures fails the same strict check.
+    let unsigned = trace.provenance_graph(ring.principal_of(trace.owner).unwrap());
+    let unsigned_root = unsigned.find(&result_key).unwrap();
+    let failures = unsigned.verify_assertions(unsigned_root, true, |_, payload, assertion| {
+        verifier.verify(payload, assertion).is_ok()
+    });
+    assert!(
+        !failures.is_empty(),
+        "unsigned derivations must fail strict authenticated-provenance checks"
+    );
+}
+
+#[test]
+fn hop_counts_scale_logarithmically_with_ring_size() {
+    let small = ring(8, pasn_crypto::SaysLevel::Cleartext);
+    let large = ring(64, pasn_crypto::SaysLevel::Cleartext);
+    let (avg_small, max_small) = small.lookup_hop_stats(64).unwrap();
+    let (avg_large, max_large) = large.lookup_hop_stats(64).unwrap();
+    // Eight times the nodes should cost only a few extra hops, not 8×.
+    assert!(avg_large < avg_small * 3.0, "{avg_small} -> {avg_large}");
+    assert!(max_large <= 2 * 6 + 1, "max hops {max_large}"); // 2·log2(64) + 1
+    assert!(max_small <= 2 * 3 + 1, "max hops {max_small}");
+}
+
+#[test]
+fn says_level_changes_proof_overhead_but_not_routing() {
+    let cleartext = ring(10, pasn_crypto::SaysLevel::Cleartext);
+    let rsa = ChordRing::build(ChordConfig {
+        nodes: 10,
+        bits: 24,
+        says_level: pasn_crypto::SaysLevel::Rsa,
+        modulus_bits: 512,
+        seed: 1234,
+        successor_list_len: 3,
+    })
+    .unwrap();
+
+    let key = cleartext.space().key_id("same-key");
+    assert_eq!(cleartext.successor_of(key), rsa.successor_of(key));
+
+    let origin = cleartext.node_ids()[0];
+    let trace_clear = cleartext.lookup(origin, key).unwrap();
+    let trace_rsa = rsa.lookup(origin, key).unwrap();
+    assert_eq!(trace_clear.hop_count(), trace_rsa.hop_count());
+    assert_eq!(trace_clear.owner, trace_rsa.owner);
+
+    // RSA proofs are materially larger than cleartext headers.
+    let clear_bytes: usize = trace_clear.hops.iter().map(|h| h.assertion.wire_len()).sum();
+    let rsa_bytes: usize = trace_rsa.hops.iter().map(|h| h.assertion.wire_len()).sum();
+    assert!(rsa_bytes > clear_bytes + 32 * trace_rsa.hop_count());
+}
