@@ -276,7 +276,10 @@ mod tests {
         let bdd = expr.to_bdd(&mut m);
         let condensed = BoolExpr::from_bdd(&m, bdd);
         assert_eq!(condensed, BoolExpr::Var(0));
-        assert_eq!(condensed.render(&|v| ["a", "b"][v as usize].to_string()), "a");
+        assert_eq!(
+            condensed.render(&|v| ["a", "b"][v as usize].to_string()),
+            "a"
+        );
     }
 
     #[test]
@@ -318,8 +321,14 @@ mod tests {
         assert!(!format!("{rendered}").contains('!'));
 
         // Constants pass through.
-        assert_eq!(BoolExpr::monotone_from_bdd(&m, m.true_ref()), BoolExpr::True);
-        assert_eq!(BoolExpr::monotone_from_bdd(&m, m.false_ref()), BoolExpr::False);
+        assert_eq!(
+            BoolExpr::monotone_from_bdd(&m, m.true_ref()),
+            BoolExpr::True
+        );
+        assert_eq!(
+            BoolExpr::monotone_from_bdd(&m, m.false_ref()),
+            BoolExpr::False
+        );
     }
 
     #[test]

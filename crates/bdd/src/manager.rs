@@ -538,7 +538,11 @@ mod tests {
         let ite = m.ite(c, t, e);
         for mask in 0..8u32 {
             let assignment = |v: VarId| (mask >> v) & 1 == 1;
-            let expected = if assignment(0) { assignment(1) } else { assignment(2) };
+            let expected = if assignment(0) {
+                assignment(1)
+            } else {
+                assignment(2)
+            };
             assert_eq!(m.evaluate(ite, assignment), expected, "mask {mask}");
         }
     }
@@ -552,7 +556,11 @@ mod tests {
 
         assert_eq!(m.restrict(f, 0, true), b);
         assert_eq!(m.restrict(f, 0, false), BddRef::FALSE);
-        assert_eq!(m.restrict(f, 5, true), f, "restricting an absent variable is a no-op");
+        assert_eq!(
+            m.restrict(f, 5, true),
+            f,
+            "restricting an absent variable is a no-op"
+        );
 
         // exists a. (a AND b) == b ; forall a. (a AND b) == false
         assert_eq!(m.exists(f, 0), b);
@@ -586,7 +594,13 @@ mod tests {
         let nb = m.not(b);
         let f = m.and(a, nb);
         let model = m.any_sat(f).unwrap();
-        let assignment = |v: VarId| model.iter().find(|(mv, _)| *mv == v).map(|(_, val)| *val).unwrap_or(false);
+        let assignment = |v: VarId| {
+            model
+                .iter()
+                .find(|(mv, _)| *mv == v)
+                .map(|(_, val)| *val)
+                .unwrap_or(false)
+        };
         assert!(m.evaluate(f, assignment));
         assert!(m.any_sat(BddRef::FALSE).is_none());
         assert_eq!(m.any_sat(BddRef::TRUE), Some(vec![]));
@@ -613,7 +627,12 @@ mod tests {
         let cubes = m.cubes(f, 10);
         // Every cube must satisfy f.
         for cube in &cubes {
-            let assignment = |v: VarId| cube.iter().find(|(cv, _)| *cv == v).map(|(_, val)| *val).unwrap_or(false);
+            let assignment = |v: VarId| {
+                cube.iter()
+                    .find(|(cv, _)| *cv == v)
+                    .map(|(_, val)| *val)
+                    .unwrap_or(false)
+            };
             assert!(m.evaluate(f, assignment));
         }
         assert!(!cubes.is_empty());

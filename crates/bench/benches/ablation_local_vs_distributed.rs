@@ -20,7 +20,10 @@ fn local_vs_distributed(c: &mut Criterion) {
     let n = 15u32;
 
     // Maintenance cost: run to fixpoint under each mode.
-    for (name, mode) in [("local", GraphMode::Local), ("distributed", GraphMode::Distributed)] {
+    for (name, mode) in [
+        ("local", GraphMode::Local),
+        ("distributed", GraphMode::Distributed),
+    ] {
         let config = EngineConfig::ndlog().with_graph_mode(mode);
         let mut probe = reachability_network(n, config.clone(), 5);
         let metrics = probe.run().expect("fixpoint");
@@ -39,7 +42,11 @@ fn local_vs_distributed(c: &mut Criterion) {
 
     // Query cost: local provenance answers from the node's own graph;
     // distributed provenance runs a multi-hop traceback.
-    let mut local_net = reachability_network(n, EngineConfig::ndlog().with_graph_mode(GraphMode::Local), 5);
+    let mut local_net = reachability_network(
+        n,
+        EngineConfig::ndlog().with_graph_mode(GraphMode::Local),
+        5,
+    );
     local_net.run().expect("fixpoint");
     let target = "reachable(@n0,n5)";
     group.bench_function("query/local", |b| {
@@ -48,7 +55,11 @@ fn local_vs_distributed(c: &mut Criterion) {
         b.iter(|| graph.base_support(root).len())
     });
 
-    let mut dist_net = reachability_network(n, EngineConfig::ndlog().with_graph_mode(GraphMode::Distributed), 5);
+    let mut dist_net = reachability_network(
+        n,
+        EngineConfig::ndlog().with_graph_mode(GraphMode::Distributed),
+        5,
+    );
     dist_net.run().expect("fixpoint");
     let stores = dist_net.distributed_stores();
     let probe = traceback(&stores, "n0", target);

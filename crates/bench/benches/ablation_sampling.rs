@@ -28,7 +28,7 @@ fn sampling(c: &mut Criterion) {
         ("record/one-in-16", SamplingPolicy::one_in(16)),
     ] {
         let mut config = EngineConfig::ndlog().with_graph_mode(GraphMode::Distributed);
-        config.sampling = policy.clone();
+        config.sampling = policy;
         let mut probe = reachability_network(n, config.clone(), 5);
         probe.run().expect("fixpoint");
         let entries: usize = probe
@@ -51,8 +51,11 @@ fn sampling(c: &mut Criterion) {
 
     // Query cost: exhaustive traceback vs random moonwalks over the same
     // distributed stores.
-    let mut net =
-        reachability_network(n, EngineConfig::ndlog().with_graph_mode(GraphMode::Distributed), 5);
+    let mut net = reachability_network(
+        n,
+        EngineConfig::ndlog().with_graph_mode(GraphMode::Distributed),
+        5,
+    );
     net.run().expect("fixpoint");
     let stores = net.distributed_stores();
     let target = "reachable(@n0,n5)";

@@ -20,7 +20,10 @@ fn says_levels(c: &mut Criterion) {
     let n = 20u32;
     let configs: Vec<(&str, EngineConfig)> = vec![
         ("none", EngineConfig::ndlog()),
-        ("cleartext", EngineConfig::ndlog().with_says(SaysLevel::Cleartext)),
+        (
+            "cleartext",
+            EngineConfig::ndlog().with_says(SaysLevel::Cleartext),
+        ),
         ("hmac", EngineConfig::ndlog().with_says(SaysLevel::Hmac)),
         ("rsa", EngineConfig::ndlog().with_says(SaysLevel::Rsa)),
     ];

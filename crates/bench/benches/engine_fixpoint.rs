@@ -28,6 +28,29 @@ fn engine(c: &mut Criterion) {
             })
         });
     }
+    // A ≥1k-tuple equijoin: the workload where secondary indexes dominate.
+    // `indexed_join` probes the (predicate, key-columns) hash indexes;
+    // `scan_join` is the same workload forced onto the pre-index full-scan
+    // strategy for comparison.
+    {
+        let &n = &1_000u32;
+        group.bench_with_input(BenchmarkId::new("indexed_join", n), &n, |b, &n| {
+            b.iter(|| {
+                let config = EngineConfig::ndlog().with_cost_model(CostModel::zero_cpu());
+                let mut engine = pasn_bench::equijoin_engine(n, config);
+                engine.run_to_fixpoint().expect("fixpoint").derivations
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("scan_join", n), &n, |b, &n| {
+            b.iter(|| {
+                let config = EngineConfig::ndlog()
+                    .with_cost_model(CostModel::zero_cpu())
+                    .without_secondary_indexes();
+                let mut engine = pasn_bench::equijoin_engine(n, config);
+                engine.run_to_fixpoint().expect("fixpoint").derivations
+            })
+        });
+    }
     group.finish();
 }
 

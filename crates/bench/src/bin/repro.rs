@@ -10,11 +10,17 @@
 //! and reproduces the Section 6 summary statistics (average and at-max-N
 //! relative overheads).  Results are also appended to
 //! `target/repro_results.md` so they can be pasted into EXPERIMENTS.md.
+//!
+//! Every run additionally writes `BENCH_engine.json`: fixpoint wall-times
+//! and index hit/probe counters for the engine's join workloads, giving
+//! future changes a perf trajectory to compare against.
 
 use pasn::experiment::{
     render_figure, render_summary, run_sweep, summarize, FigureMetric, SweepConfig,
 };
+use pasn::prelude::*;
 use std::io::Write;
+use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -27,15 +33,15 @@ fn main() {
     let runs = arg_value(&args, "--runs").unwrap_or(if quick { 1 } else { 2 });
     let max_n = arg_value(&args, "--max-n").unwrap_or(if quick { 30 } else { 100 });
 
-    let mut config = SweepConfig::default();
-    config.runs_per_point = runs;
-    config.sizes = (1..=10)
-        .map(|i| i * 10)
-        .filter(|n| *n <= max_n)
-        .collect();
-    if config.sizes.is_empty() {
-        config.sizes = vec![max_n.max(10)];
+    let mut sizes: Vec<u32> = (1..=10).map(|i| i * 10).filter(|n| *n <= max_n).collect();
+    if sizes.is_empty() {
+        sizes = vec![max_n.max(10)];
     }
+    let config = SweepConfig {
+        runs_per_point: runs,
+        sizes,
+        ..SweepConfig::default()
+    };
 
     eprintln!(
         "running Best-Path sweep: sizes {:?}, {} run(s) per point, 3 variants ...",
@@ -74,6 +80,79 @@ fn main() {
         let _ = f.write_all(report.as_bytes());
         eprintln!("written to target/repro_results.md");
     }
+
+    let engine_json = engine_bench_json(if quick { 400 } else { 1_200 });
+    if let Ok(mut f) = std::fs::File::create("BENCH_engine.json") {
+        let _ = f.write_all(engine_json.as_bytes());
+        eprintln!("written to BENCH_engine.json");
+    }
+}
+
+/// One fixpoint measurement: wall-clock plus the join-path counters.
+fn engine_point(name: &str, metrics: &RunMetrics, wall: std::time::Duration) -> String {
+    format!(
+        concat!(
+            "    {{\n",
+            "      \"workload\": \"{}\",\n",
+            "      \"fixpoint_wall_ms\": {:.3},\n",
+            "      \"derivations\": {},\n",
+            "      \"tuples_stored\": {},\n",
+            "      \"index_probes\": {},\n",
+            "      \"index_hits\": {},\n",
+            "      \"scan_probes\": {}\n",
+            "    }}"
+        ),
+        name,
+        wall.as_secs_f64() * 1_000.0,
+        metrics.derivations,
+        metrics.tuples_stored,
+        metrics.index_probes,
+        metrics.index_hits,
+        metrics.scan_probes,
+    )
+}
+
+/// Runs the engine join workloads (indexed and scan-forced equijoin at
+/// `rows` tuples per relation, plus the N=30 reachability deployment) and
+/// renders the `BENCH_engine.json` document.
+fn engine_bench_json(rows: u32) -> String {
+    let mut points = Vec::new();
+
+    let config = EngineConfig::ndlog().with_cost_model(CostModel::zero_cpu());
+    let mut engine = pasn_bench::equijoin_engine(rows, config);
+    let started = Instant::now();
+    let metrics = engine.run_to_fixpoint().expect("fixpoint");
+    points.push(engine_point(
+        &format!("equijoin_indexed_{rows}"),
+        &metrics,
+        started.elapsed(),
+    ));
+
+    let config = EngineConfig::ndlog()
+        .with_cost_model(CostModel::zero_cpu())
+        .without_secondary_indexes();
+    let mut engine = pasn_bench::equijoin_engine(rows, config);
+    let started = Instant::now();
+    let metrics = engine.run_to_fixpoint().expect("fixpoint");
+    points.push(engine_point(
+        &format!("equijoin_scan_{rows}"),
+        &metrics,
+        started.elapsed(),
+    ));
+
+    let mut net = pasn_bench::reachability_network(
+        30,
+        EngineConfig::ndlog().with_cost_model(CostModel::zero_cpu()),
+        7,
+    );
+    let started = Instant::now();
+    let metrics = net.run().expect("fixpoint");
+    points.push(engine_point("reachability_30", &metrics, started.elapsed()));
+
+    format!(
+        "{{\n  \"bench\": \"engine_fixpoint\",\n  \"points\": [\n{}\n  ]\n}}\n",
+        points.join(",\n")
+    )
 }
 
 fn arg_value(args: &[String], key: &str) -> Option<u32> {

@@ -51,7 +51,11 @@ impl AccountabilityReport {
                 }
             })
             .collect();
-        usage.sort_by(|a, b| b.bytes_sent.cmp(&a.bytes_sent).then(a.location.cmp(&b.location)));
+        usage.sort_by(|a, b| {
+            b.bytes_sent
+                .cmp(&a.bytes_sent)
+                .then(a.location.cmp(&b.location))
+        });
         AccountabilityReport { usage }
     }
 
@@ -82,7 +86,11 @@ impl AccountabilityReport {
 
 impl fmt::Display for AccountabilityReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "{:<12} {:>12} {:>12} {:>12}", "principal", "bytes", "derivations", "tuples")?;
+        writeln!(
+            f,
+            "{:<12} {:>12} {:>12} {:>12}",
+            "principal", "bytes", "derivations", "tuples"
+        )?;
         for u in &self.usage {
             writeln!(
                 f,
@@ -101,7 +109,14 @@ fn count_all_tuples(network: &SecureNetwork, location: &Value) -> usize {
     // Sum tuple counts over all predicates the node stores.
     let engine = network.engine();
     let mut total = 0;
-    for predicate in ["link", "reachable", "path", "bestPath", "bestPathCost", "linkD"] {
+    for predicate in [
+        "link",
+        "reachable",
+        "path",
+        "bestPath",
+        "bestPathCost",
+        "linkD",
+    ] {
         total += engine.query(location, predicate).len();
     }
     total
@@ -110,8 +125,8 @@ fn count_all_tuples(network: &SecureNetwork, location: &Value) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::programs;
     use crate::network::SecureNetwork;
+    use crate::programs;
     use pasn_engine::EngineConfig;
     use pasn_net::{CostModel, Topology};
 

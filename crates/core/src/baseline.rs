@@ -43,7 +43,7 @@ pub fn bellman_ford(topology: &Topology, src: NodeId) -> HashMap<NodeId, u64> {
                 continue;
             };
             let candidate = d_src + u64::from(link.cost);
-            let better = dist.get(&link.dst).map_or(true, |&d| candidate < d);
+            let better = dist.get(&link.dst).is_none_or(|&d| candidate < d);
             if better {
                 dist.insert(link.dst, candidate);
                 changed = true;
@@ -90,7 +90,7 @@ pub fn dijkstra_paths(topology: &Topology, src: NodeId) -> HashMap<NodeId, Short
         }
         for link in topology.outgoing(node) {
             let next = cost + u64::from(link.cost);
-            let better = dist.get(&link.dst).map_or(true, |&d| next < d);
+            let better = dist.get(&link.dst).is_none_or(|&d| next < d);
             if better {
                 dist.insert(link.dst, next);
                 previous.insert(link.dst, node);
@@ -146,11 +146,31 @@ mod tests {
         Topology::new(
             (0..4).map(NodeId),
             vec![
-                Link { src: NodeId(0), dst: NodeId(1), cost: 1 },
-                Link { src: NodeId(0), dst: NodeId(2), cost: 4 },
-                Link { src: NodeId(1), dst: NodeId(2), cost: 1 },
-                Link { src: NodeId(1), dst: NodeId(3), cost: 6 },
-                Link { src: NodeId(2), dst: NodeId(3), cost: 1 },
+                Link {
+                    src: NodeId(0),
+                    dst: NodeId(1),
+                    cost: 1,
+                },
+                Link {
+                    src: NodeId(0),
+                    dst: NodeId(2),
+                    cost: 4,
+                },
+                Link {
+                    src: NodeId(1),
+                    dst: NodeId(2),
+                    cost: 1,
+                },
+                Link {
+                    src: NodeId(1),
+                    dst: NodeId(3),
+                    cost: 6,
+                },
+                Link {
+                    src: NodeId(2),
+                    dst: NodeId(3),
+                    cost: 1,
+                },
             ],
         )
     }
@@ -191,7 +211,11 @@ mod tests {
         // 0 -> 1 only; 2 is isolated.
         let topo = Topology::new(
             (0..3).map(NodeId),
-            vec![Link { src: NodeId(0), dst: NodeId(1), cost: 2 }],
+            vec![Link {
+                src: NodeId(0),
+                dst: NodeId(1),
+                cost: 2,
+            }],
         );
         let bf = bellman_ford(&topo, NodeId(0));
         assert_eq!(bf.len(), 2);

@@ -158,7 +158,11 @@ impl BillingRun {
 
 impl fmt::Display for BillingRun {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "{:<12} {:<16} {:>12} {:>10}", "principal", "plan", "bytes", "amount")?;
+        writeln!(
+            f,
+            "{:<12} {:<16} {:>12} {:>10}",
+            "principal", "plan", "bytes", "amount"
+        )?;
         for invoice in &self.invoices {
             writeln!(
                 f,
@@ -216,9 +220,18 @@ mod tests {
             name: "progressive".into(),
             flat_fee: 0.0,
             tiers: vec![
-                Tier { up_to_bytes: Some(1_000_000), price_per_mb: 1.0 },
-                Tier { up_to_bytes: Some(3_000_000), price_per_mb: 2.0 },
-                Tier { up_to_bytes: None, price_per_mb: 5.0 },
+                Tier {
+                    up_to_bytes: Some(1_000_000),
+                    price_per_mb: 1.0,
+                },
+                Tier {
+                    up_to_bytes: Some(3_000_000),
+                    price_per_mb: 2.0,
+                },
+                Tier {
+                    up_to_bytes: None,
+                    price_per_mb: 5.0,
+                },
             ],
         };
         // 1 MB at 1.0 + 2 MB at 2.0 + 1 MB at 5.0.

@@ -50,10 +50,7 @@ impl FlapMonitor {
         let queue = self.events.entry(key.to_string()).or_default();
         queue.push_back(now);
         let horizon = now.as_micros().saturating_sub(self.window.as_micros());
-        while queue
-            .front()
-            .map_or(false, |t| t.as_micros() < horizon)
-        {
+        while queue.front().is_some_and(|t| t.as_micros() < horizon) {
             queue.pop_front();
         }
         if queue.len() > self.threshold {
@@ -128,7 +125,9 @@ mod tests {
         let mut monitor = FlapMonitor::new(SimTime::from_secs_f64(10.0), 3);
         let key = "bestPath(@n0,n7)";
         for i in 0..3u64 {
-            assert!(monitor.record(key, SimTime::from_secs_f64(i as f64)).is_none());
+            assert!(monitor
+                .record(key, SimTime::from_secs_f64(i as f64))
+                .is_none());
         }
         let alarm = monitor
             .record(key, SimTime::from_secs_f64(3.0))
@@ -161,9 +160,18 @@ mod tests {
     #[test]
     fn update_counts_aggregate_by_destination() {
         let updates = vec![
-            Tuple::new("routeUpdate", vec![Value::Addr(0), Value::Addr(1), Value::Int(1)]),
-            Tuple::new("routeUpdate", vec![Value::Addr(0), Value::Addr(1), Value::Int(2)]),
-            Tuple::new("routeUpdate", vec![Value::Addr(0), Value::Addr(2), Value::Int(3)]),
+            Tuple::new(
+                "routeUpdate",
+                vec![Value::Addr(0), Value::Addr(1), Value::Int(1)],
+            ),
+            Tuple::new(
+                "routeUpdate",
+                vec![Value::Addr(0), Value::Addr(1), Value::Int(2)],
+            ),
+            Tuple::new(
+                "routeUpdate",
+                vec![Value::Addr(0), Value::Addr(2), Value::Int(3)],
+            ),
         ];
         let counts = update_counts(&updates);
         assert_eq!(counts[&1], 2);

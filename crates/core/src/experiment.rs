@@ -181,7 +181,9 @@ pub struct Summary {
 fn by_size(points: &[ExperimentPoint]) -> BTreeMap<u32, BTreeMap<String, ExperimentPoint>> {
     let mut map: BTreeMap<u32, BTreeMap<String, ExperimentPoint>> = BTreeMap::new();
     for p in points {
-        map.entry(p.n).or_default().insert(p.variant.clone(), p.clone());
+        map.entry(p.n)
+            .or_default()
+            .insert(p.variant.clone(), p.clone());
     }
     map
 }

@@ -3,9 +3,7 @@
 
 use crate::workload::{link_facts, locations_of, weighted_link_facts};
 use pasn_datalog::{parse_program, ParseError, Program, Value};
-use pasn_engine::{
-    DistributedEngine, EngineConfig, EngineError, RunMetrics, Tuple, TupleMeta,
-};
+use pasn_engine::{DistributedEngine, EngineConfig, EngineError, RunMetrics, Tuple, TupleMeta};
 use pasn_net::{SimTime, Topology};
 use pasn_provenance::{ArchiveStore, DerivationGraph, DistributedStore, VarTable};
 use std::collections::HashMap;
@@ -164,7 +162,11 @@ impl fmt::Debug for SecureNetwork {
             .field("locations", &self.engine.locations().len())
             .field(
                 "links",
-                &self.topology.as_ref().map(Topology::link_count).unwrap_or(0),
+                &self
+                    .topology
+                    .as_ref()
+                    .map(Topology::link_count)
+                    .unwrap_or(0),
             )
             .finish()
     }

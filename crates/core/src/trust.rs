@@ -37,7 +37,10 @@ impl fmt::Display for TrustPolicy {
             TrustPolicy::TrustedPrincipals(set) => write!(
                 f,
                 "trusted principals {{{}}}",
-                set.iter().map(|p| format!("p{p}")).collect::<Vec<_>>().join(",")
+                set.iter()
+                    .map(|p| format!("p{p}"))
+                    .collect::<Vec<_>>()
+                    .join(",")
             ),
             TrustPolicy::MinTrustLevel(l) => write!(f, "minimum trust level {l}"),
             TrustPolicy::KOfN(k) => write!(f, "at least {k} asserting principals"),
@@ -187,8 +190,22 @@ mod tests {
 
     /// Builds the paper's `<a + a*b>` condensed tag with a = p0, b = p1.
     fn figure2_tag(table: &mut VarTable) -> ProvTag {
-        let a = ProvTag::base(ProvenanceKind::Condensed, table, BaseTupleId(0), "link(a,c)", PrincipalId(0), 2);
-        let b = ProvTag::base(ProvenanceKind::Condensed, table, BaseTupleId(1), "link(a,b)", PrincipalId(1), 1);
+        let a = ProvTag::base(
+            ProvenanceKind::Condensed,
+            table,
+            BaseTupleId(0),
+            "link(a,c)",
+            PrincipalId(0),
+            2,
+        );
+        let b = ProvTag::base(
+            ProvenanceKind::Condensed,
+            table,
+            BaseTupleId(1),
+            "link(a,b)",
+            PrincipalId(1),
+            1,
+        );
         let ab = a.times(&b, table);
         a.plus(&ab, table)
     }
@@ -208,7 +225,10 @@ mod tests {
         // Origins reflect the condensation: only a remains.
         assert_eq!(evaluator.origins(&tag), [0u32].into_iter().collect());
         assert_eq!(evaluator.render(&tag), "<p0>");
-        assert_eq!(evaluator.expression(&tag).unwrap(), pasn_bdd::BoolExpr::Var(0));
+        assert_eq!(
+            evaluator.expression(&tag).unwrap(),
+            pasn_bdd::BoolExpr::Var(0)
+        );
     }
 
     #[test]
@@ -289,7 +309,13 @@ mod tests {
             TrustPolicy::TrustedPrincipals([3u32, 5].into_iter().collect()).to_string(),
             "trusted principals {p3,p5}"
         );
-        assert_eq!(TrustPolicy::MinTrustLevel(2).to_string(), "minimum trust level 2");
-        assert_eq!(TrustPolicy::KOfN(3).to_string(), "at least 3 asserting principals");
+        assert_eq!(
+            TrustPolicy::MinTrustLevel(2).to_string(),
+            "minimum trust level 2"
+        );
+        assert_eq!(
+            TrustPolicy::KOfN(3).to_string(),
+            "at least 3 asserting principals"
+        );
     }
 }

@@ -26,10 +26,7 @@ pub fn link_facts(topology: &Topology) -> Vec<(Value, Tuple)> {
         .map(|l| {
             (
                 location_of(l.src),
-                Tuple::new(
-                    "link",
-                    vec![Value::Addr(l.src.0), Value::Addr(l.dst.0)],
-                ),
+                Tuple::new("link", vec![Value::Addr(l.src.0), Value::Addr(l.dst.0)]),
             )
         })
         .collect()
@@ -77,7 +74,11 @@ pub fn route_update_stream(
     let mut updates = Vec::new();
     let mut seq = 0i64;
     for dest in destinations {
-        let count = if *dest == flapping_dest { flap_count } else { 1 };
+        let count = if *dest == flapping_dest {
+            flap_count
+        } else {
+            1
+        };
         for _ in 0..count {
             seq += 1;
             // A small random jitter keeps update identifiers unique and
@@ -107,9 +108,9 @@ mod tests {
         assert_eq!(facts.len(), topo.link_count());
         let weighted = weighted_link_facts(&topo);
         assert_eq!(weighted.len(), topo.link_count());
-        assert!(weighted.iter().all(|(loc, t)| {
-            t.values[0] == *loc && t.values[2].as_int().unwrap() >= 1
-        }));
+        assert!(weighted
+            .iter()
+            .all(|(loc, t)| { t.values[0] == *loc && t.values[2].as_int().unwrap() >= 1 }));
         assert_eq!(locations_of(&topo).len(), 12);
     }
 
@@ -132,6 +133,9 @@ mod tests {
             .count();
         assert_eq!(to_flapping, 10);
         // Deterministic per seed.
-        assert_eq!(stream, route_update_stream(NodeId(0), &dests, NodeId(3), 10, 42));
+        assert_eq!(
+            stream,
+            route_update_stream(NodeId(0), &dests, NodeId(3), 10, 42)
+        );
     }
 }

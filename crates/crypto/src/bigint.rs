@@ -170,7 +170,7 @@ impl BigUint {
 
     /// True if the value is even (zero counts as even).
     pub fn is_even(&self) -> bool {
-        self.limbs.first().map_or(true, |l| l & 1 == 0)
+        self.limbs.first().is_none_or(|l| l & 1 == 0)
     }
 
     /// Number of significant bits (0 for zero).
@@ -185,9 +185,7 @@ impl BigUint {
     pub fn bit(&self, i: usize) -> bool {
         let limb = i / 64;
         let off = i % 64;
-        self.limbs
-            .get(limb)
-            .map_or(false, |l| (l >> off) & 1 == 1)
+        self.limbs.get(limb).is_some_and(|l| (l >> off) & 1 == 1)
     }
 
     /// Returns the low 64 bits of the value.
@@ -204,8 +202,7 @@ impl BigUint {
         };
         let mut out = Vec::with_capacity(longer.len() + 1);
         let mut carry = 0u64;
-        for i in 0..longer.len() {
-            let a = longer[i];
+        for (i, &a) in longer.iter().enumerate() {
             let b = shorter.get(i).copied().unwrap_or(0);
             let (s1, c1) = a.overflowing_add(b);
             let (s2, c2) = s1.overflowing_add(carry);
@@ -385,7 +382,10 @@ impl BigUint {
     /// modulus is odd (the RSA case) and falls back to multiply-and-reduce
     /// otherwise.
     pub fn mod_pow(&self, exponent: &BigUint, modulus: &BigUint) -> BigUint {
-        assert!(!modulus.is_zero(), "modular exponentiation with zero modulus");
+        assert!(
+            !modulus.is_zero(),
+            "modular exponentiation with zero modulus"
+        );
         if modulus.is_one() {
             return BigUint::zero();
         }
@@ -503,7 +503,7 @@ impl BigUint {
     /// set) using the supplied random byte source.
     pub fn random_with_bits<R: rand::RngCore>(bits: usize, rng: &mut R) -> BigUint {
         assert!(bits > 0);
-        let nbytes = (bits + 7) / 8;
+        let nbytes = bits.div_ceil(8);
         let mut bytes = vec![0u8; nbytes];
         rng.fill_bytes(&mut bytes);
         // Clear excess high bits, then force the top bit.
@@ -518,7 +518,7 @@ impl BigUint {
         assert!(!bound.is_zero());
         let bits = bound.bit_len();
         loop {
-            let nbytes = (bits + 7) / 8;
+            let nbytes = bits.div_ceil(8);
             let mut bytes = vec![0u8; nbytes];
             rng.fill_bytes(&mut bytes);
             let excess = nbytes * 8 - bits;
@@ -612,9 +612,8 @@ impl MontgomeryCtx {
     fn mont_mul(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
         let k = self.k;
         let mut t = vec![0u64; k + 2];
-        for i in 0..k {
-            let bi = b[i];
-            // Multiply-accumulate: t += a * b[i]
+        for &bi in b.iter().take(k) {
+            // Multiply-accumulate: t += a * bi
             let mut carry = 0u64;
             for j in 0..k {
                 let sum = t[j] as u128 + (a[j] as u128) * (bi as u128) + carry as u128;
@@ -664,11 +663,11 @@ impl MontgomeryCtx {
 
     fn sub_in_place(a: &mut [u64], b: &[u64], _had_overflow: bool) {
         let mut borrow = 0u64;
-        for i in 0..a.len() {
+        for (i, av) in a.iter_mut().enumerate() {
             let bv = b.get(i).copied().unwrap_or(0);
-            let (d1, b1) = a[i].overflowing_sub(bv);
+            let (d1, b1) = av.overflowing_sub(bv);
             let (d2, b2) = d1.overflowing_sub(borrow);
-            a[i] = d2;
+            *av = d2;
             borrow = (b1 as u64) + (b2 as u64);
         }
     }
@@ -680,7 +679,7 @@ impl MontgomeryCtx {
         self.mont_mul(&limbs, &self.r2)
     }
 
-    fn from_mont(&self, v: &[u64]) -> BigUint {
+    fn mont_to_uint(&self, v: &[u64]) -> BigUint {
         let mut one = vec![0u64; self.k];
         one[0] = 1;
         BigUint::from_limbs(self.mont_mul(v, &one))
@@ -690,7 +689,7 @@ impl MontgomeryCtx {
     pub fn mod_mul(&self, a: &BigUint, b: &BigUint) -> BigUint {
         let am = self.to_mont(a);
         let bm = self.to_mont(b);
-        self.from_mont(&self.mont_mul(&am, &bm))
+        self.mont_to_uint(&self.mont_mul(&am, &bm))
     }
 
     /// Modular exponentiation `base^exponent mod n` by left-to-right
@@ -708,7 +707,7 @@ impl MontgomeryCtx {
                 acc = self.mont_mul(&acc, &base_m);
             }
         }
-        self.from_mont(&acc)
+        self.mont_to_uint(&acc)
     }
 }
 
@@ -770,7 +769,13 @@ mod tests {
 
     #[test]
     fn hex_roundtrip() {
-        for s in ["0", "1", "ff", "deadbeef", "123456789abcdef0123456789abcdef"] {
+        for s in [
+            "0",
+            "1",
+            "ff",
+            "deadbeef",
+            "123456789abcdef0123456789abcdef",
+        ] {
             let v = BigUint::from_hex(s).unwrap();
             assert_eq!(v.to_hex(), s, "hex {s}");
         }
@@ -792,7 +797,10 @@ mod tests {
     fn mul_carries_across_limbs() {
         let a = big(u64::MAX as u128);
         let b = big(u64::MAX as u128);
-        assert_eq!(a.mul(&b), BigUint::from_u128((u64::MAX as u128) * (u64::MAX as u128)));
+        assert_eq!(
+            a.mul(&b),
+            BigUint::from_u128((u64::MAX as u128) * (u64::MAX as u128))
+        );
         assert_eq!(a.mul(&BigUint::zero()), BigUint::zero());
     }
 

@@ -11,9 +11,9 @@ use rand::RngCore;
 
 /// Small primes used for trial division before Miller–Rabin.
 const SMALL_PRIMES: [u64; 60] = [
-    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
-    97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191,
-    193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251, 257, 263, 269, 271, 277, 281,
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97,
+    101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191, 193,
+    197, 199, 211, 223, 227, 229, 233, 239, 241, 251, 257, 263, 269, 271, 277, 281,
 ];
 
 /// Default number of Miller–Rabin rounds.
@@ -137,7 +137,21 @@ mod tests {
     #[test]
     fn small_composites_are_rejected() {
         let mut r = rng();
-        for c in [0u64, 1, 4, 6, 9, 15, 21, 91, 561, 341, 645, 1_000_000_006, 65537 * 3] {
+        for c in [
+            0u64,
+            1,
+            4,
+            6,
+            9,
+            15,
+            21,
+            91,
+            561,
+            341,
+            645,
+            1_000_000_006,
+            65537 * 3,
+        ] {
             assert!(
                 !is_probable_prime(&BigUint::from_u64(c), 16, &mut r),
                 "{c} should be composite"

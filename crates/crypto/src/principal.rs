@@ -263,13 +263,29 @@ mod tests {
         let a = KeyAuthority::provision(&principals(2), 1234).unwrap();
         let b = KeyAuthority::provision(&principals(2), 1234).unwrap();
         assert_eq!(
-            a.keyring_for(PrincipalId(0)).unwrap().rsa_keypair().public_key().fingerprint(),
-            b.keyring_for(PrincipalId(0)).unwrap().rsa_keypair().public_key().fingerprint()
+            a.keyring_for(PrincipalId(0))
+                .unwrap()
+                .rsa_keypair()
+                .public_key()
+                .fingerprint(),
+            b.keyring_for(PrincipalId(0))
+                .unwrap()
+                .rsa_keypair()
+                .public_key()
+                .fingerprint()
         );
         let c = KeyAuthority::provision(&principals(2), 9999).unwrap();
         assert_ne!(
-            a.keyring_for(PrincipalId(0)).unwrap().rsa_keypair().public_key().fingerprint(),
-            c.keyring_for(PrincipalId(0)).unwrap().rsa_keypair().public_key().fingerprint()
+            a.keyring_for(PrincipalId(0))
+                .unwrap()
+                .rsa_keypair()
+                .public_key()
+                .fingerprint(),
+            c.keyring_for(PrincipalId(0))
+                .unwrap()
+                .rsa_keypair()
+                .public_key()
+                .fingerprint()
         );
     }
 

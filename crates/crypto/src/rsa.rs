@@ -27,8 +27,8 @@ pub const DEFAULT_MODULUS_BITS: usize = 512;
 
 /// DER prefix of the SHA-256 `DigestInfo` structure used in EMSA-PKCS1-v1_5.
 const SHA256_DIGEST_INFO_PREFIX: [u8; 19] = [
-    0x30, 0x31, 0x30, 0x0d, 0x06, 0x09, 0x60, 0x86, 0x48, 0x01, 0x65, 0x03, 0x04, 0x02, 0x01,
-    0x05, 0x00, 0x04, 0x20,
+    0x30, 0x31, 0x30, 0x0d, 0x06, 0x09, 0x60, 0x86, 0x48, 0x01, 0x65, 0x03, 0x04, 0x02, 0x01, 0x05,
+    0x00, 0x04, 0x20,
 ];
 
 /// Errors produced by RSA operations.
@@ -162,7 +162,7 @@ impl RsaKeyPair {
                 // e shares a factor with phi; extremely unlikely, retry.
                 continue;
             };
-            let modulus_bytes = (modulus_bits + 7) / 8;
+            let modulus_bytes = modulus_bits.div_ceil(8);
             let ctx = MontgomeryCtx::new(&n).expect("RSA modulus is odd");
             return Ok(RsaKeyPair {
                 public: RsaPublicKey {
@@ -290,8 +290,14 @@ mod tests {
         let kp1 = keypair();
         let mut rng = StdRng::seed_from_u64(31337);
         let kp2 = RsaKeyPair::generate(512, &mut rng).unwrap();
-        assert_eq!(kp1.public_key().fingerprint(), kp1.public_key().fingerprint());
-        assert_ne!(kp1.public_key().fingerprint(), kp2.public_key().fingerprint());
+        assert_eq!(
+            kp1.public_key().fingerprint(),
+            kp1.public_key().fingerprint()
+        );
+        assert_ne!(
+            kp1.public_key().fingerprint(),
+            kp2.public_key().fingerprint()
+        );
     }
 
     #[test]

@@ -201,9 +201,7 @@ impl Authenticator {
     pub fn assert(&self, payload: &[u8]) -> SaysAssertion {
         let proof = match self.level {
             SaysLevel::Cleartext => SaysProof::Cleartext,
-            SaysLevel::Hmac => {
-                SaysProof::Hmac(hmac_sha256(self.keyring.own_mac_secret(), payload))
-            }
+            SaysLevel::Hmac => SaysProof::Hmac(hmac_sha256(self.keyring.own_mac_secret(), payload)),
             SaysLevel::Rsa => SaysProof::Rsa(self.keyring.rsa_keypair().sign(payload)),
         };
         SaysAssertion {
@@ -334,7 +332,9 @@ mod tests {
         // A stronger proof satisfies a weaker requirement.
         let (a_rsa, b_rsa) = setup(SaysLevel::Rsa);
         let strong = a_rsa.assert(b"x");
-        assert!(b_rsa.verify_at_level(b"x", &strong, SaysLevel::Hmac).is_ok());
+        assert!(b_rsa
+            .verify_at_level(b"x", &strong, SaysLevel::Hmac)
+            .is_ok());
     }
 
     #[test]
@@ -372,7 +372,10 @@ mod tests {
         let (a_rsa, _) = setup(SaysLevel::Rsa);
         assert_eq!(a_clear.proof_overhead(), 0);
         assert_eq!(a_hmac.proof_overhead(), TAG_LEN);
-        assert_eq!(a_rsa.proof_overhead(), a_rsa.keyring.rsa_keypair().signature_len());
+        assert_eq!(
+            a_rsa.proof_overhead(),
+            a_rsa.keyring.rsa_keypair().signature_len()
+        );
         assert!(a_rsa.proof_overhead() > a_hmac.proof_overhead());
     }
 

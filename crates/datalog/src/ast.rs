@@ -146,7 +146,14 @@ impl BinOp {
     pub fn is_comparison(self) -> bool {
         matches!(
             self,
-            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne | BinOp::And | BinOp::Or
+            BinOp::Lt
+                | BinOp::Le
+                | BinOp::Gt
+                | BinOp::Ge
+                | BinOp::Eq
+                | BinOp::Ne
+                | BinOp::And
+                | BinOp::Or
         )
     }
 }
@@ -433,7 +440,10 @@ impl Program {
     /// Names of predicates that appear in some rule head (derived
     /// predicates); every other predicate is a base (extensional) relation.
     pub fn derived_predicates(&self) -> BTreeSet<String> {
-        self.rules.iter().map(|r| r.head.predicate.clone()).collect()
+        self.rules
+            .iter()
+            .map(|r| r.head.predicate.clone())
+            .collect()
     }
 
     /// Names of predicates that appear only in rule bodies or facts.
@@ -502,8 +512,7 @@ mod tests {
         let atom = Atom::new("reachable", vec![Term::var("S"), Term::var("D")]).at(0);
         assert_eq!(atom.to_string(), "reachable(@S,D)");
 
-        let says = Atom::new("linkD", vec![Term::var("S"), Term::var("Z")])
-            .said_by(Term::var("Z"));
+        let says = Atom::new("linkD", vec![Term::var("S"), Term::var("Z")]).said_by(Term::var("Z"));
         assert_eq!(says.to_string(), "Z says linkD(S,Z)");
 
         let exported = Atom::new("reachable", vec![Term::var("Z"), Term::var("Y")])
@@ -525,7 +534,9 @@ mod tests {
         let bound = rule.bound_variables();
         assert!(bound.contains("S") && bound.contains("Z") && bound.contains("D"));
         assert_eq!(
-            rule.body_location_variables().into_iter().collect::<Vec<_>>(),
+            rule.body_location_variables()
+                .into_iter()
+                .collect::<Vec<_>>(),
             vec!["S".to_string(), "Z".to_string()]
         );
     }
@@ -537,7 +548,10 @@ mod tests {
             facts: vec![Fact {
                 atom: Atom::new(
                     "link",
-                    vec![Term::constant(Value::Addr(0)), Term::constant(Value::Addr(1))],
+                    vec![
+                        Term::constant(Value::Addr(0)),
+                        Term::constant(Value::Addr(1)),
+                    ],
                 ),
             }],
         };
@@ -562,12 +576,19 @@ mod tests {
     fn ground_atoms_and_aggregates() {
         let ground = Atom::new(
             "link",
-            vec![Term::constant(Value::Addr(1)), Term::constant(Value::Addr(2))],
+            vec![
+                Term::constant(Value::Addr(1)),
+                Term::constant(Value::Addr(2)),
+            ],
         );
         assert!(ground.is_ground());
         let agg = Atom::new(
             "bestPathCost",
-            vec![Term::var("S"), Term::var("D"), Term::Aggregate(AggFunc::Min, "C".into())],
+            vec![
+                Term::var("S"),
+                Term::var("D"),
+                Term::Aggregate(AggFunc::Min, "C".into()),
+            ],
         );
         assert!(agg.has_aggregate());
         assert!(!agg.is_ground());

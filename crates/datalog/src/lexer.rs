@@ -127,7 +127,11 @@ pub struct LexError {
 
 impl fmt::Display for LexError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "lex error at {}:{}: {}", self.line, self.col, self.message)
+        write!(
+            f,
+            "lex error at {}:{}: {}",
+            self.line, self.col, self.message
+        )
     }
 }
 
@@ -175,103 +179,199 @@ pub fn tokenize(source: &str) -> Result<Vec<Token>, LexError> {
                 }
             }
             '(' => {
-                tokens.push(Token { kind: TokenKind::LParen, line: tok_line, col: tok_col });
+                tokens.push(Token {
+                    kind: TokenKind::LParen,
+                    line: tok_line,
+                    col: tok_col,
+                });
                 advance(&mut i, &mut col, 1);
             }
             ')' => {
-                tokens.push(Token { kind: TokenKind::RParen, line: tok_line, col: tok_col });
+                tokens.push(Token {
+                    kind: TokenKind::RParen,
+                    line: tok_line,
+                    col: tok_col,
+                });
                 advance(&mut i, &mut col, 1);
             }
             '[' => {
-                tokens.push(Token { kind: TokenKind::LBracket, line: tok_line, col: tok_col });
+                tokens.push(Token {
+                    kind: TokenKind::LBracket,
+                    line: tok_line,
+                    col: tok_col,
+                });
                 advance(&mut i, &mut col, 1);
             }
             ']' => {
-                tokens.push(Token { kind: TokenKind::RBracket, line: tok_line, col: tok_col });
+                tokens.push(Token {
+                    kind: TokenKind::RBracket,
+                    line: tok_line,
+                    col: tok_col,
+                });
                 advance(&mut i, &mut col, 1);
             }
             ',' => {
-                tokens.push(Token { kind: TokenKind::Comma, line: tok_line, col: tok_col });
+                tokens.push(Token {
+                    kind: TokenKind::Comma,
+                    line: tok_line,
+                    col: tok_col,
+                });
                 advance(&mut i, &mut col, 1);
             }
             '.' => {
-                tokens.push(Token { kind: TokenKind::Period, line: tok_line, col: tok_col });
+                tokens.push(Token {
+                    kind: TokenKind::Period,
+                    line: tok_line,
+                    col: tok_col,
+                });
                 advance(&mut i, &mut col, 1);
             }
             '@' => {
-                tokens.push(Token { kind: TokenKind::At, line: tok_line, col: tok_col });
+                tokens.push(Token {
+                    kind: TokenKind::At,
+                    line: tok_line,
+                    col: tok_col,
+                });
                 advance(&mut i, &mut col, 1);
             }
             '+' => {
-                tokens.push(Token { kind: TokenKind::Plus, line: tok_line, col: tok_col });
+                tokens.push(Token {
+                    kind: TokenKind::Plus,
+                    line: tok_line,
+                    col: tok_col,
+                });
                 advance(&mut i, &mut col, 1);
             }
             '*' => {
-                tokens.push(Token { kind: TokenKind::Star, line: tok_line, col: tok_col });
+                tokens.push(Token {
+                    kind: TokenKind::Star,
+                    line: tok_line,
+                    col: tok_col,
+                });
                 advance(&mut i, &mut col, 1);
             }
             '/' => {
-                tokens.push(Token { kind: TokenKind::Slash, line: tok_line, col: tok_col });
+                tokens.push(Token {
+                    kind: TokenKind::Slash,
+                    line: tok_line,
+                    col: tok_col,
+                });
                 advance(&mut i, &mut col, 1);
             }
             '%' => {
-                tokens.push(Token { kind: TokenKind::Percent, line: tok_line, col: tok_col });
+                tokens.push(Token {
+                    kind: TokenKind::Percent,
+                    line: tok_line,
+                    col: tok_col,
+                });
                 advance(&mut i, &mut col, 1);
             }
             '&' if chars.get(i + 1) == Some(&'&') => {
-                tokens.push(Token { kind: TokenKind::AndAnd, line: tok_line, col: tok_col });
+                tokens.push(Token {
+                    kind: TokenKind::AndAnd,
+                    line: tok_line,
+                    col: tok_col,
+                });
                 advance(&mut i, &mut col, 2);
             }
             '|' if chars.get(i + 1) == Some(&'|') => {
-                tokens.push(Token { kind: TokenKind::OrOr, line: tok_line, col: tok_col });
+                tokens.push(Token {
+                    kind: TokenKind::OrOr,
+                    line: tok_line,
+                    col: tok_col,
+                });
                 advance(&mut i, &mut col, 2);
             }
             ':' => {
                 if chars.get(i + 1) == Some(&'-') {
-                    tokens.push(Token { kind: TokenKind::ColonDash, line: tok_line, col: tok_col });
+                    tokens.push(Token {
+                        kind: TokenKind::ColonDash,
+                        line: tok_line,
+                        col: tok_col,
+                    });
                     advance(&mut i, &mut col, 2);
                 } else if chars.get(i + 1) == Some(&'=') {
-                    tokens.push(Token { kind: TokenKind::ColonEq, line: tok_line, col: tok_col });
+                    tokens.push(Token {
+                        kind: TokenKind::ColonEq,
+                        line: tok_line,
+                        col: tok_col,
+                    });
                     advance(&mut i, &mut col, 2);
                 } else {
-                    tokens.push(Token { kind: TokenKind::Colon, line: tok_line, col: tok_col });
+                    tokens.push(Token {
+                        kind: TokenKind::Colon,
+                        line: tok_line,
+                        col: tok_col,
+                    });
                     advance(&mut i, &mut col, 1);
                 }
             }
             '<' => {
                 if chars.get(i + 1) == Some(&'=') {
-                    tokens.push(Token { kind: TokenKind::Le, line: tok_line, col: tok_col });
+                    tokens.push(Token {
+                        kind: TokenKind::Le,
+                        line: tok_line,
+                        col: tok_col,
+                    });
                     advance(&mut i, &mut col, 2);
                 } else {
-                    tokens.push(Token { kind: TokenKind::Lt, line: tok_line, col: tok_col });
+                    tokens.push(Token {
+                        kind: TokenKind::Lt,
+                        line: tok_line,
+                        col: tok_col,
+                    });
                     advance(&mut i, &mut col, 1);
                 }
             }
             '>' => {
                 if chars.get(i + 1) == Some(&'=') {
-                    tokens.push(Token { kind: TokenKind::Ge, line: tok_line, col: tok_col });
+                    tokens.push(Token {
+                        kind: TokenKind::Ge,
+                        line: tok_line,
+                        col: tok_col,
+                    });
                     advance(&mut i, &mut col, 2);
                 } else {
-                    tokens.push(Token { kind: TokenKind::Gt, line: tok_line, col: tok_col });
+                    tokens.push(Token {
+                        kind: TokenKind::Gt,
+                        line: tok_line,
+                        col: tok_col,
+                    });
                     advance(&mut i, &mut col, 1);
                 }
             }
             '=' => {
                 if chars.get(i + 1) == Some(&'=') {
-                    tokens.push(Token { kind: TokenKind::EqEq, line: tok_line, col: tok_col });
+                    tokens.push(Token {
+                        kind: TokenKind::EqEq,
+                        line: tok_line,
+                        col: tok_col,
+                    });
                     advance(&mut i, &mut col, 2);
                 } else {
                     // Accept a lone `=` as equality (common in NDlog listings).
-                    tokens.push(Token { kind: TokenKind::EqEq, line: tok_line, col: tok_col });
+                    tokens.push(Token {
+                        kind: TokenKind::EqEq,
+                        line: tok_line,
+                        col: tok_col,
+                    });
                     advance(&mut i, &mut col, 1);
                 }
             }
             '!' if chars.get(i + 1) == Some(&'=') => {
-                tokens.push(Token { kind: TokenKind::Ne, line: tok_line, col: tok_col });
+                tokens.push(Token {
+                    kind: TokenKind::Ne,
+                    line: tok_line,
+                    col: tok_col,
+                });
                 advance(&mut i, &mut col, 2);
             }
             '-' => {
-                tokens.push(Token { kind: TokenKind::Minus, line: tok_line, col: tok_col });
+                tokens.push(Token {
+                    kind: TokenKind::Minus,
+                    line: tok_line,
+                    col: tok_col,
+                });
                 advance(&mut i, &mut col, 1);
             }
             '"' => {
@@ -280,7 +380,11 @@ pub fn tokenize(source: &str) -> Result<Vec<Token>, LexError> {
                 loop {
                     match chars.get(j) {
                         None | Some('\n') => {
-                            return Err(err("unterminated string literal".into(), tok_line, tok_col))
+                            return Err(err(
+                                "unterminated string literal".into(),
+                                tok_line,
+                                tok_col,
+                            ))
                         }
                         Some('"') => break,
                         Some(&ch) => {
@@ -290,14 +394,22 @@ pub fn tokenize(source: &str) -> Result<Vec<Token>, LexError> {
                     }
                 }
                 let consumed = j + 1 - i;
-                tokens.push(Token { kind: TokenKind::StringLit(s), line: tok_line, col: tok_col });
+                tokens.push(Token {
+                    kind: TokenKind::StringLit(s),
+                    line: tok_line,
+                    col: tok_col,
+                });
                 advance(&mut i, &mut col, consumed);
             }
             '_' if chars
                 .get(i + 1)
-                .map_or(true, |c| !c.is_alphanumeric() && *c != '_') =>
+                .is_none_or(|c| !c.is_alphanumeric() && *c != '_') =>
             {
-                tokens.push(Token { kind: TokenKind::Underscore, line: tok_line, col: tok_col });
+                tokens.push(Token {
+                    kind: TokenKind::Underscore,
+                    line: tok_line,
+                    col: tok_col,
+                });
                 advance(&mut i, &mut col, 1);
             }
             c if c.is_ascii_digit() => {
@@ -306,11 +418,19 @@ pub fn tokenize(source: &str) -> Result<Vec<Token>, LexError> {
                     j += 1;
                 }
                 let text: String = chars[i..j].iter().collect();
-                let n: i64 = text
-                    .parse()
-                    .map_err(|_| err(format!("integer literal `{text}` out of range"), tok_line, tok_col))?;
+                let n: i64 = text.parse().map_err(|_| {
+                    err(
+                        format!("integer literal `{text}` out of range"),
+                        tok_line,
+                        tok_col,
+                    )
+                })?;
                 let consumed = j - i;
-                tokens.push(Token { kind: TokenKind::Number(n), line: tok_line, col: tok_col });
+                tokens.push(Token {
+                    kind: TokenKind::Number(n),
+                    line: tok_line,
+                    col: tok_col,
+                });
                 advance(&mut i, &mut col, consumed);
             }
             c if c.is_alphabetic() || c == '_' => {
@@ -325,11 +445,19 @@ pub fn tokenize(source: &str) -> Result<Vec<Token>, LexError> {
                     TokenKind::Ident(text)
                 };
                 let consumed = j - i;
-                tokens.push(Token { kind, line: tok_line, col: tok_col });
+                tokens.push(Token {
+                    kind,
+                    line: tok_line,
+                    col: tok_col,
+                });
                 advance(&mut i, &mut col, consumed);
             }
             other => {
-                return Err(err(format!("unexpected character `{other}`"), tok_line, tok_col));
+                return Err(err(
+                    format!("unexpected character `{other}`"),
+                    tok_line,
+                    tok_col,
+                ));
             }
         }
     }

@@ -46,7 +46,10 @@ pub mod value;
 
 pub use ast::{AggFunc, Atom, BinOp, BodyLiteral, Expr, Fact, Program, Rule, Term};
 pub use parser::{parse_program, parse_rule, ParseError};
-pub use plan::{compile_program, CompiledProgram, DeltaPlan, PlanError, PlanStep, RulePlan};
+pub use plan::{
+    compile_program, CompiledProgram, DeltaPlan, IndexSpec, JoinStep, PlanError, PlanStep,
+    RulePlan, SlotTerm, VarSlots,
+};
 pub use value::{Address, Value};
 
 /// Commonly used items, for glob import in examples and downstream crates.

@@ -195,7 +195,9 @@ fn choose_shipment(rule: &Rule, locations: &BTreeSet<String>) -> Option<(String,
             }
             let connects = rule.body_atoms().any(|a| {
                 atom_location_var(a).as_deref() == Some(from.as_str())
-                    && a.args.iter().any(|t| t.variable_name() == Some(to.as_str()))
+                    && a.args
+                        .iter()
+                        .any(|t| t.variable_name() == Some(to.as_str()))
             });
             if !connects {
                 continue;
@@ -244,8 +246,7 @@ mod tests {
 
     #[test]
     fn transitive_closure_rule_is_rewritten() {
-        let program =
-            parse_program("r2 reachable(@S,D) :- link(@S,Z), reachable(@Z,D).").unwrap();
+        let program = parse_program("r2 reachable(@S,D) :- link(@S,Z), reachable(@Z,D).").unwrap();
         let localized = localize_program(&program).unwrap();
         assert_eq!(localized.rules.len(), 2, "{localized}");
 
@@ -315,10 +316,8 @@ mod tests {
 
     #[test]
     fn three_site_chain_localizes_to_single_site_rules() {
-        let program = parse_program(
-            "r3 threeHop(@S,D) :- link(@S,A), link(@A,B), link(@B,D).",
-        )
-        .unwrap();
+        let program =
+            parse_program("r3 threeHop(@S,D) :- link(@S,A), link(@A,B), link(@B,D).").unwrap();
         let localized = localize_program(&program).unwrap();
         for rule in &localized.rules {
             assert!(

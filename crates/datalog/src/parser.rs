@@ -33,7 +33,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+        write!(
+            f,
+            "parse error at {}:{}: {}",
+            self.line, self.col, self.message
+        )
     }
 }
 
@@ -59,15 +63,11 @@ pub fn parse_program(source: &str) -> Result<Program, ParseError> {
 /// tests and for building programs programmatically from rule strings.
 pub fn parse_rule(source: &str) -> Result<Rule, ParseError> {
     let program = parse_program(source)?;
-    program
-        .rules
-        .into_iter()
-        .next()
-        .ok_or_else(|| ParseError {
-            message: "expected a rule".into(),
-            line: 1,
-            col: 1,
-        })
+    program.rules.into_iter().next().ok_or_else(|| ParseError {
+        message: "expected a rule".into(),
+        line: 1,
+        col: 1,
+    })
 }
 
 struct Parser {
@@ -233,7 +233,11 @@ impl Parser {
         // `f_member(...)` is a filter expression rather than a predicate.
         let is_atom = match (self.peek(), self.peek_at(1)) {
             (TokenKind::Ident(name), TokenKind::LParen) => !name.starts_with("f_"),
-            (TokenKind::Ident(_) | TokenKind::Variable(_), TokenKind::Ident(kw)) if kw == "says" => true,
+            (TokenKind::Ident(_) | TokenKind::Variable(_), TokenKind::Ident(kw))
+                if kw == "says" =>
+            {
+                true
+            }
             _ => false,
         };
         if is_atom {
@@ -606,10 +610,7 @@ mod tests {
         assert_eq!(assigns.len(), 2);
         let sp3 = &program.rules[2];
         assert!(sp3.head.has_aggregate());
-        assert_eq!(
-            sp3.head.args[2],
-            Term::Aggregate(AggFunc::Min, "C".into())
-        );
+        assert_eq!(sp3.head.args[2], Term::Aggregate(AggFunc::Min, "C".into()));
     }
 
     #[test]
@@ -678,7 +679,8 @@ mod tests {
 
     #[test]
     fn reports_positions_in_errors() {
-        let err = parse_program("r1 reachable(@S,D) :- link(@S,D)\nr2 p(@S) :- q(@S).").unwrap_err();
+        let err =
+            parse_program("r1 reachable(@S,D) :- link(@S,D)\nr2 p(@S) :- q(@S).").unwrap_err();
         // Missing period after the first rule is detected at the second line.
         assert_eq!(err.line, 2);
         assert!(err.to_string().contains("parse error"));
@@ -724,10 +726,16 @@ mod tests {
                 _ => None,
             })
             .unwrap();
-        assert_eq!(assign, Expr::Call("f_list".into(), vec![
-            Expr::constant(Value::Int(1)),
-            Expr::constant(Value::Int(2)),
-            Expr::constant(Value::Int(3)),
-        ]));
+        assert_eq!(
+            assign,
+            Expr::Call(
+                "f_list".into(),
+                vec![
+                    Expr::constant(Value::Int(1)),
+                    Expr::constant(Value::Int(2)),
+                    Expr::constant(Value::Int(3)),
+                ]
+            )
+        );
     }
 }

@@ -6,12 +6,27 @@
 //! per body atom, describing how to extend a newly arrived tuple of that
 //! atom's predicate with joins against the other body atoms, interleaved with
 //! filters and assignments as soon as their inputs are bound.
+//!
+//! Two pieces of static analysis make the runtime's joins cheap:
+//!
+//! * **Slot assignment** — every variable of a rule gets a dense slot id in
+//!   the rule's [`VarSlots`] table, and every atom argument is compiled to a
+//!   [`SlotTerm`], so the evaluator can keep bindings in a flat
+//!   `Vec<Option<Value>>` instead of a string-keyed map.
+//! * **Join-key inference** — for each [`JoinStep`] the planner records which
+//!   argument positions are already bound when the join runs (constants, or
+//!   variables bound by the delta atom / earlier steps).  Those positions
+//!   become the `key_columns` of an [`IndexSpec`], which the store layer uses
+//!   to maintain a secondary hash index: the join then probes the index with
+//!   the rendered key instead of scanning the whole relation.
 
 use crate::ast::{Atom, BodyLiteral, Expr, Program, Rule, Term};
 use crate::localize::{localize_program, LocalizeError};
 use crate::validate::{validate_program, ValidationError};
-use std::collections::BTreeSet;
+use crate::value::Value;
+use std::collections::{BTreeSet, HashMap};
 use std::fmt;
+use std::sync::Arc;
 
 /// Errors produced while preparing a program for execution.
 #[derive(Clone, Debug)]
@@ -54,11 +69,124 @@ impl From<LocalizeError> for PlanError {
     }
 }
 
+/// Dense slot assignment for the variables of one rule.
+///
+/// Extends the var-table idea of the provenance layer to rule evaluation:
+/// every variable that occurs anywhere in a rule (context, head, body atoms,
+/// `says` / export annotations, assignments, filters) is assigned a dense
+/// `usize` slot at plan time, in deterministic first-occurrence order.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct VarSlots {
+    names: Vec<String>,
+    index: HashMap<String, usize>,
+}
+
+impl VarSlots {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the slot of `name`, allocating a fresh one on first sight.
+    pub fn get_or_insert(&mut self, name: &str) -> usize {
+        if let Some(&slot) = self.index.get(name) {
+            return slot;
+        }
+        let slot = self.names.len();
+        self.names.push(name.to_string());
+        self.index.insert(name.to_string(), slot);
+        slot
+    }
+
+    /// The slot of `name`, if assigned.
+    pub fn slot(&self, name: &str) -> Option<usize> {
+        self.index.get(name).copied()
+    }
+
+    /// The variable name occupying `slot`.
+    pub fn name(&self, slot: usize) -> Option<&str> {
+        self.names.get(slot).map(String::as_str)
+    }
+
+    /// Number of assigned slots.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if no variable has been assigned a slot.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+/// An atom argument compiled against a rule's [`VarSlots`].
+#[derive(Clone, PartialEq, Debug)]
+pub enum SlotTerm {
+    /// A constant value that must match exactly.
+    Const(Value),
+    /// A variable, referenced by its dense slot id.
+    Slot(usize),
+    /// The anonymous variable `_` (always matches, binds nothing).
+    Wildcard,
+}
+
+impl SlotTerm {
+    fn compile(term: &Term, slots: &mut VarSlots) -> SlotTerm {
+        match term {
+            Term::Constant(c) => SlotTerm::Const(c.clone()),
+            Term::Variable(v) | Term::Aggregate(_, v) => SlotTerm::Slot(slots.get_or_insert(v)),
+            Term::Wildcard => SlotTerm::Wildcard,
+        }
+    }
+}
+
+/// A secondary-index requirement emitted by join-key inference: the store
+/// should maintain a hash index over `predicate` keyed on `key_columns`.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct IndexSpec {
+    /// The indexed predicate.
+    pub predicate: String,
+    /// Argument positions forming the index key, in ascending order.
+    pub key_columns: Vec<usize>,
+}
+
+/// A join against the stored tuples of one predicate, with its compiled
+/// argument patterns and inferred index key.
+#[derive(Clone, PartialEq, Debug)]
+pub struct JoinStep {
+    /// The joined atom as written in the rule (kept for provenance keys and
+    /// diagnostics).
+    pub atom: Atom,
+    /// The atom's arguments compiled to slot terms.
+    pub args: Vec<SlotTerm>,
+    /// The `says` annotation compiled to a slot term, if present.
+    pub says: Option<SlotTerm>,
+    /// Argument positions guaranteed to be bound when this join runs
+    /// (constants and previously bound variables).  Empty means the join
+    /// must fall back to a full scan.
+    pub key_columns: Vec<usize>,
+}
+
+impl JoinStep {
+    /// The index spec this join probes, if it has any bound key columns.
+    pub fn index_spec(&self) -> Option<IndexSpec> {
+        if self.key_columns.is_empty() {
+            None
+        } else {
+            Some(IndexSpec {
+                predicate: self.atom.predicate.clone(),
+                key_columns: self.key_columns.clone(),
+            })
+        }
+    }
+}
+
 /// One step of a delta plan.
 #[derive(Clone, PartialEq, Debug)]
 pub enum PlanStep {
-    /// Join against all currently stored tuples of this atom's predicate.
-    Join(Atom),
+    /// Join against the stored tuples of the step's predicate, probing a
+    /// secondary index when key columns are bound.
+    Join(JoinStep),
     /// Evaluate a filter over the bound variables and drop non-matching
     /// bindings.
     Filter(Expr),
@@ -66,6 +194,8 @@ pub enum PlanStep {
     Assign {
         /// The variable being bound.
         var: String,
+        /// The variable's dense slot.
+        slot: usize,
         /// The defining expression.
         expr: Expr,
     },
@@ -74,9 +204,16 @@ pub enum PlanStep {
 impl fmt::Display for PlanStep {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            PlanStep::Join(a) => write!(f, "join {a}"),
+            PlanStep::Join(j) => {
+                write!(f, "join {}", j.atom)?;
+                if !j.key_columns.is_empty() {
+                    let cols: Vec<String> = j.key_columns.iter().map(|c| c.to_string()).collect();
+                    write!(f, " via index({})", cols.join(","))?;
+                }
+                Ok(())
+            }
             PlanStep::Filter(e) => write!(f, "filter {e}"),
-            PlanStep::Assign { var, expr } => write!(f, "assign {var} := {expr}"),
+            PlanStep::Assign { var, expr, .. } => write!(f, "assign {var} := {expr}"),
         }
     }
 }
@@ -88,8 +225,14 @@ pub struct DeltaPlan {
     pub delta_index: usize,
     /// The atom whose new tuples trigger this plan.
     pub delta: Atom,
+    /// The delta atom's arguments compiled to slot terms.
+    pub delta_args: Vec<SlotTerm>,
+    /// The delta atom's `says` annotation compiled to a slot term.
+    pub delta_says: Option<SlotTerm>,
     /// Remaining work, in execution order.
     pub steps: Vec<PlanStep>,
+    /// Secondary indexes this plan's joins probe (one per indexed join).
+    pub index_specs: Vec<IndexSpec>,
 }
 
 /// A rule together with its per-delta execution plans.
@@ -97,6 +240,10 @@ pub struct DeltaPlan {
 pub struct RulePlan {
     /// The (localized) rule this plan executes.
     pub rule: Rule,
+    /// Dense slot assignment for every variable of the rule.
+    pub slots: Arc<VarSlots>,
+    /// Slot of the SeNDlog context variable, if the rule has one.
+    pub context_slot: Option<usize>,
     /// One delta plan per body atom.
     pub deltas: Vec<DeltaPlan>,
 }
@@ -104,6 +251,47 @@ pub struct RulePlan {
 impl RulePlan {
     /// Plans the delta evaluations for one localized rule.
     pub fn for_rule(rule: &Rule) -> Result<RulePlan, PlanError> {
+        // Slot assignment: walk the rule in deterministic source order so
+        // slot ids are stable across compilations.
+        let mut slots = VarSlots::new();
+        let context_slot = match &rule.context {
+            Some(Term::Variable(v)) => Some(slots.get_or_insert(v)),
+            _ => None,
+        };
+        for term in rule
+            .head
+            .args
+            .iter()
+            .chain(rule.head.export_to.iter())
+            .chain(rule.head.says.iter())
+        {
+            SlotTerm::compile(term, &mut slots);
+        }
+        for lit in &rule.body {
+            match lit {
+                BodyLiteral::Atom(atom) => {
+                    for term in atom.says.iter().chain(atom.args.iter()) {
+                        SlotTerm::compile(term, &mut slots);
+                    }
+                }
+                BodyLiteral::Assign { var, expr } => {
+                    let mut used = BTreeSet::new();
+                    expr.variables(&mut used);
+                    for v in used {
+                        slots.get_or_insert(&v);
+                    }
+                    slots.get_or_insert(var);
+                }
+                BodyLiteral::Filter(expr) => {
+                    let mut used = BTreeSet::new();
+                    expr.variables(&mut used);
+                    for v in used {
+                        slots.get_or_insert(&v);
+                    }
+                }
+            }
+        }
+
         let atoms: Vec<(usize, Atom)> = rule
             .body
             .iter()
@@ -139,6 +327,7 @@ impl RulePlan {
                 .collect();
             let mut remaining_other = non_atoms.clone();
             let mut steps = Vec::new();
+            let mut index_specs = Vec::new();
 
             while !remaining_atoms.is_empty() || !remaining_other.is_empty() {
                 // 1. Emit any filter / assignment whose inputs are all bound.
@@ -156,7 +345,8 @@ impl RulePlan {
                         BodyLiteral::Filter(e) => steps.push(PlanStep::Filter(e)),
                         BodyLiteral::Assign { var, expr } => {
                             bound.insert(var.clone());
-                            steps.push(PlanStep::Assign { var, expr });
+                            let slot = slots.get_or_insert(&var);
+                            steps.push(PlanStep::Assign { var, slot, expr });
                         }
                         BodyLiteral::Atom(_) => unreachable!(),
                     }
@@ -179,18 +369,63 @@ impl RulePlan {
                     .position(|a| a.variables().iter().any(|v| bound.contains(v)))
                     .unwrap_or(0);
                 let atom = remaining_atoms.remove(pos);
+
+                // Join-key inference: argument positions whose value is fully
+                // determined before the join runs — constants, and variables
+                // already in the bound set.  (A variable repeated *within*
+                // the atom only counts once it is bound by an earlier step.)
+                let key_columns: Vec<usize> = atom
+                    .args
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, term)| match term {
+                        Term::Constant(_) => true,
+                        Term::Variable(v) => bound.contains(v),
+                        Term::Wildcard | Term::Aggregate(..) => false,
+                    })
+                    .map(|(i, _)| i)
+                    .collect();
+                let args: Vec<SlotTerm> = atom
+                    .args
+                    .iter()
+                    .map(|t| SlotTerm::compile(t, &mut slots))
+                    .collect();
+                let says = atom.says.as_ref().map(|t| SlotTerm::compile(t, &mut slots));
                 bound.extend(atom.variables());
-                steps.push(PlanStep::Join(atom));
+                let join = JoinStep {
+                    atom,
+                    args,
+                    says,
+                    key_columns,
+                };
+                if let Some(spec) = join.index_spec() {
+                    index_specs.push(spec);
+                }
+                steps.push(PlanStep::Join(join));
             }
 
+            let delta_args: Vec<SlotTerm> = delta_atom
+                .args
+                .iter()
+                .map(|t| SlotTerm::compile(t, &mut slots))
+                .collect();
+            let delta_says = delta_atom
+                .says
+                .as_ref()
+                .map(|t| SlotTerm::compile(t, &mut slots));
             deltas.push(DeltaPlan {
                 delta_index: *delta_index,
                 delta: delta_atom.clone(),
+                delta_args,
+                delta_says,
                 steps,
+                index_specs,
             });
         }
         Ok(RulePlan {
             rule: rule.clone(),
+            slots: Arc::new(slots),
+            context_slot,
             deltas,
         })
     }
@@ -203,6 +438,8 @@ pub struct CompiledProgram {
     pub program: Program,
     /// One plan per localized rule, in rule order.
     pub plans: Vec<RulePlan>,
+    /// Arity of every predicate mentioned by the localized program.
+    pub arities: HashMap<String, usize>,
 }
 
 impl CompiledProgram {
@@ -218,6 +455,24 @@ impl CompiledProgram {
                 .map(move |d| (rp, d))
         })
     }
+
+    /// The deduplicated secondary-index specs required by every join of every
+    /// plan, in deterministic order.  The store layer builds one index per
+    /// spec and maintains it incrementally.
+    pub fn index_specs(&self) -> Vec<IndexSpec> {
+        let mut specs: BTreeSet<IndexSpec> = BTreeSet::new();
+        for plan in &self.plans {
+            for delta in &plan.deltas {
+                specs.extend(delta.index_specs.iter().cloned());
+            }
+        }
+        specs.into_iter().collect()
+    }
+
+    /// Declared arity of `predicate`, if the program mentions it.
+    pub fn arity_of(&self, predicate: &str) -> Option<usize> {
+        self.arities.get(predicate).copied()
+    }
 }
 
 /// Validates, localizes, and plans an NDlog / SeNDlog program.
@@ -230,9 +485,19 @@ pub fn compile_program(program: &Program) -> Result<CompiledProgram, PlanError> 
     for rule in &localized.rules {
         plans.push(RulePlan::for_rule(rule)?);
     }
+    let mut arities = HashMap::new();
+    for rule in &localized.rules {
+        for atom in std::iter::once(&rule.head).chain(rule.body_atoms()) {
+            arities.insert(atom.predicate.clone(), atom.args.len());
+        }
+    }
+    for fact in &localized.facts {
+        arities.insert(fact.atom.predicate.clone(), fact.atom.args.len());
+    }
     Ok(CompiledProgram {
         program: localized,
         plans,
+        arities,
     })
 }
 
@@ -266,6 +531,11 @@ mod tests {
         assert_eq!(link_triggered.len(), 2);
         // New link_at_z tuples trigger the localized join.
         assert_eq!(compiled.plans_for_predicate("link_at_z").count(), 1);
+        // Arities are recorded for every predicate of the localized program.
+        assert_eq!(compiled.arity_of("link"), Some(2));
+        assert_eq!(compiled.arity_of("reachable"), Some(2));
+        assert_eq!(compiled.arity_of("link_at_z"), Some(2));
+        assert_eq!(compiled.arity_of("nonexistent"), None);
     }
 
     #[test]
@@ -354,5 +624,175 @@ mod tests {
             .flat_map(|d| d.steps.iter().map(|s| s.to_string()))
             .collect();
         assert!(rendered.iter().any(|s| s.starts_with("join ")));
+        // The localized transitive-closure joins have bound key columns, so
+        // the rendered plan names the index they probe.
+        assert!(rendered.iter().any(|s| s.contains("via index(")));
+    }
+
+    // ---- slot assignment --------------------------------------------------
+
+    #[test]
+    fn every_rule_variable_gets_a_dense_slot() {
+        let program = parse_program(BEST_PATH).unwrap();
+        let compiled = compile_program(&program).unwrap();
+        for plan in &compiled.plans {
+            let vars = plan.rule.bound_variables();
+            for v in &vars {
+                let slot = plan
+                    .slots
+                    .slot(v)
+                    .unwrap_or_else(|| panic!("variable {v} of {} has no slot", plan.rule.label));
+                assert_eq!(plan.slots.name(slot), Some(v.as_str()));
+            }
+            // Slots are dense: ids 0..len, one name each.
+            let len = plan.slots.len();
+            assert!(!plan.slots.is_empty());
+            for s in 0..len {
+                assert!(plan.slots.name(s).is_some());
+            }
+            assert_eq!(plan.slots.name(len), None);
+        }
+    }
+
+    #[test]
+    fn context_variable_is_slotted() {
+        let program = parse_program("At S:\n s1 reachable(S,D) :- link(S,D).").unwrap();
+        let compiled = compile_program(&program).unwrap();
+        let plan = &compiled.plans[0];
+        assert_eq!(plan.context_slot, plan.slots.slot("S"));
+        assert!(plan.context_slot.is_some());
+    }
+
+    // ---- join-key inference -----------------------------------------------
+
+    /// Collects the (predicate, key_columns) of every join of every delta
+    /// plan of the rule labelled `label`.
+    fn join_keys(compiled: &CompiledProgram, label: &str) -> Vec<(String, Vec<usize>)> {
+        compiled
+            .plans
+            .iter()
+            .filter(|p| p.rule.label == label)
+            .flat_map(|p| p.deltas.iter())
+            .flat_map(|d| d.steps.iter())
+            .filter_map(|s| match s {
+                PlanStep::Join(j) => Some((j.atom.predicate.clone(), j.key_columns.clone())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn join_key_inference_table() {
+        struct Case {
+            name: &'static str,
+            program: &'static str,
+            rule: &'static str,
+            expected: &'static [(&'static str, &'static [usize])],
+        }
+        let cases = [
+            // The delta atom binds S and Z; the joined atom reuses Z in
+            // position 0 (a bound prefix) while D is fresh.
+            Case {
+                name: "bound prefix",
+                program: "r reachable(@S,D) :- link(@S,Z), reachable(@Z,D).",
+                rule: "r",
+                expected: &[("reachable", &[0]), ("link_at_z", &[1])],
+            },
+            // No shared value variables (SeNDlog context, so no location
+            // columns): the join has no bound columns and must fall back to
+            // a full scan (a cross product).
+            Case {
+                name: "unbound join falls back to scan",
+                program: "At S:\n x p(X,Y) :- q(X), r(Y).",
+                rule: "x",
+                expected: &[("q", &[]), ("r", &[])],
+            },
+            // A constant argument is always part of the key.
+            Case {
+                name: "constant argument",
+                program: "c alarm(@S,D) :- status(@S,D,5), link(@S,D).",
+                rule: "c",
+                expected: &[("link", &[0, 1]), ("status", &[0, 1, 2])],
+            },
+        ];
+        for case in cases {
+            let program = parse_program(case.program).unwrap();
+            let compiled = compile_program(&program).unwrap();
+            let mut got = join_keys(&compiled, case.rule);
+            got.sort();
+            let mut expected: Vec<(String, Vec<usize>)> = case
+                .expected
+                .iter()
+                .map(|(p, cols)| (p.to_string(), cols.to_vec()))
+                .collect();
+            expected.sort();
+            assert_eq!(got, expected, "case `{}`", case.name);
+        }
+    }
+
+    #[test]
+    fn says_qualified_atoms_still_infer_value_keys() {
+        // s3 joins `W says reachable(S,Y)` after `Z says linkD(S,Z)`; the
+        // delta on linkD binds S, so the reachable join keys on position 0.
+        // The `says` principal is checked against the tuple origin and never
+        // becomes a key column.
+        let program = parse_program(
+            "At S:\n s3 reachable(Z,Y)@Z :- Z says linkD(S,Z), W says reachable(S,Y).",
+        )
+        .unwrap();
+        let compiled = compile_program(&program).unwrap();
+        let keys = join_keys(&compiled, "s3");
+        assert!(
+            keys.contains(&("reachable".to_string(), vec![0])),
+            "{keys:?}"
+        );
+        // Both joins carry a compiled `says` slot term.
+        for plan in &compiled.plans {
+            for delta in &plan.deltas {
+                for step in &delta.steps {
+                    if let PlanStep::Join(j) = step {
+                        assert!(j.says.is_some(), "says-qualified join keeps its principal");
+                        assert_eq!(j.args.len(), j.atom.args.len());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn index_specs_are_deduplicated_and_deterministic() {
+        let program = parse_program(BEST_PATH).unwrap();
+        let compiled = compile_program(&program).unwrap();
+        let specs = compiled.index_specs();
+        // Deduplicated...
+        let as_set: BTreeSet<&IndexSpec> = specs.iter().collect();
+        assert_eq!(as_set.len(), specs.len());
+        // ...sorted...
+        let mut sorted = specs.clone();
+        sorted.sort();
+        assert_eq!(specs, sorted);
+        // ...and present for the bound joins of sp4 (bestPathCost ⋈ path).
+        assert!(specs.iter().any(|s| s.predicate == "path"), "{specs:?}");
+        // Every spec's columns are within the predicate's arity.
+        for spec in &specs {
+            let arity = compiled.arity_of(&spec.predicate).unwrap();
+            assert!(spec.key_columns.iter().all(|c| *c < arity));
+            assert!(!spec.key_columns.is_empty());
+        }
+    }
+
+    #[test]
+    fn wildcards_never_join_the_key() {
+        let program = parse_program("w p(@S) :- q(@S,_), r(@S,_,3).").unwrap();
+        let compiled = compile_program(&program).unwrap();
+        for (pred, cols) in join_keys(&compiled, "w") {
+            match pred.as_str() {
+                // r(@S,_,3): S bound, wildcard skipped, constant 3 included.
+                "r" => assert_eq!(cols, vec![0, 2]),
+                // q(@S,_): only the location variable is bound.
+                "q" => assert_eq!(cols, vec![0]),
+                other => panic!("unexpected join {other}"),
+            }
+        }
     }
 }

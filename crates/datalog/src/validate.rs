@@ -11,9 +11,14 @@
 //!   variable must be bound by the body.
 //! * **Assignments / filters** — all variables they reference must be bound
 //!   by body atoms or earlier assignments.
+//! * **Predicate arity** — every occurrence of a predicate (rule heads, body
+//!   atoms, facts) must use the same number of arguments.  Without this
+//!   check an arity conflict would only surface at runtime, where the
+//!   evaluator would silently skip the mismatching stored tuples during
+//!   joins and quietly drop derivations.
 
-use crate::ast::{BodyLiteral, Program, Rule, Term};
-use std::collections::BTreeSet;
+use crate::ast::{Atom, BodyLiteral, Program, Rule, Term};
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 /// A validation failure, tied to the offending rule.
@@ -47,10 +52,45 @@ pub fn validate_program(program: &Program) -> Result<(), Vec<ValidationError>> {
             });
         }
     }
+    validate_arities(program, &mut errors);
     if errors.is_empty() {
         Ok(())
     } else {
         Err(errors)
+    }
+}
+
+/// Checks that every predicate is used with a single arity across the whole
+/// program.  The first occurrence (in source order) fixes the arity; every
+/// conflicting later occurrence is reported against its own rule.
+fn validate_arities(program: &Program, errors: &mut Vec<ValidationError>) {
+    let mut declared: BTreeMap<String, (usize, String)> = BTreeMap::new();
+    let mut check = |atom: &Atom, rule_label: &str, errors: &mut Vec<ValidationError>| {
+        let arity = atom.args.len();
+        match declared.get(atom.predicate.as_str()) {
+            None => {
+                declared.insert(atom.predicate.clone(), (arity, rule_label.to_string()));
+            }
+            Some((expected, first)) if *expected != arity => {
+                errors.push(ValidationError {
+                    rule: rule_label.to_string(),
+                    message: format!(
+                        "predicate `{}` used with arity {arity}, but rule {first} uses arity {expected}",
+                        atom.predicate
+                    ),
+                });
+            }
+            Some(_) => {}
+        }
+    };
+    for rule in &program.rules {
+        check(&rule.head, &rule.label, errors);
+        for atom in rule.body_atoms() {
+            check(atom, &rule.label, errors);
+        }
+    }
+    for fact in &program.facts {
+        check(&fact.atom, "<fact>", errors);
     }
 }
 
@@ -207,7 +247,9 @@ mod tests {
     #[test]
     fn rejects_missing_location_specifiers_in_ndlog() {
         let errs = validate("r1 reachable(S,D) :- link(S,D).").unwrap_err();
-        assert!(errs.iter().any(|e| e.message.contains("no location specifier")));
+        assert!(errs
+            .iter()
+            .any(|e| e.message.contains("no location specifier")));
     }
 
     #[test]
@@ -241,9 +283,44 @@ mod tests {
 
     #[test]
     fn rejects_multiple_aggregates() {
-        let errs =
-            validate("r1 p(@S, a_MIN<C>, a_MAX<C>) :- q(@S, C).").unwrap_err();
+        let errs = validate("r1 p(@S, a_MIN<C>, a_MAX<C>) :- q(@S, C).").unwrap_err();
         assert!(errs.iter().any(|e| e.message.contains("one aggregate")));
+    }
+
+    #[test]
+    fn rejects_predicate_arity_conflicts() {
+        // `link` is used with arity 2 by r1 and arity 3 by r2: the conflict
+        // is reported against r2 (the later occurrence) and names r1.
+        let errs =
+            validate("r1 reachable(@S,D) :- link(@S,D).\n r2 reachable(@S,D) :- link(@S,D,C).")
+                .unwrap_err();
+        assert!(
+            errs.iter().any(|e| e.rule == "r2"
+                && e.message.contains("`link`")
+                && e.message.contains("arity 3")
+                && e.message.contains("rule r1 uses arity 2")),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn rejects_fact_arity_conflicts_with_rules() {
+        let errs = validate("r1 reachable(@S,D) :- link(@S,D).\n link(a,b,c).").unwrap_err();
+        assert!(
+            errs.iter()
+                .any(|e| e.rule == "<fact>" && e.message.contains("`link`")),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn head_and_body_arity_conflicts_are_caught() {
+        let errs = validate("r1 p(@S,D,X) :- q(@S,D), X := 1.\n r2 s(@A) :- p(@A,B).").unwrap_err();
+        assert!(
+            errs.iter()
+                .any(|e| e.rule == "r2" && e.message.contains("`p`")),
+            "{errs:?}"
+        );
     }
 
     #[test]

@@ -72,6 +72,11 @@ pub struct EngineConfig {
     /// Per-principal security levels for quantifiable provenance; principals
     /// not listed default to level 1.
     pub security_levels: HashMap<u32, u8>,
+    /// Answer joins with bound key columns through secondary hash indexes
+    /// (on by default).  Disabling forces every join back to a full ordered
+    /// scan — the pre-index evaluation strategy — which the benches use to
+    /// measure the index speedup.
+    pub use_secondary_indexes: bool,
 }
 
 impl Default for EngineConfig {
@@ -97,6 +102,7 @@ impl EngineConfig {
             rsa_modulus_bits: 512,
             key_seed: 0x5eed,
             security_levels: HashMap::new(),
+            use_secondary_indexes: true,
         }
     }
 
@@ -122,6 +128,13 @@ impl EngineConfig {
     pub fn with_says(mut self, level: SaysLevel) -> Self {
         self.says_level = Some(level);
         self.verify_imports = true;
+        self
+    }
+
+    /// Builder: disables secondary-index join probing (full-scan joins, the
+    /// pre-index evaluation strategy; used by benches as a baseline).
+    pub fn without_secondary_indexes(mut self) -> Self {
+        self.use_secondary_indexes = false;
         self
     }
 

@@ -1,40 +1,86 @@
 //! Expression evaluation, unification, and NDlog built-in functions.
 
+use pasn_datalog::plan::{SlotTerm, VarSlots};
 use pasn_datalog::{BinOp, Expr, Term, Value};
-use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// Variable bindings accumulated while evaluating a rule body.
+///
+/// Bindings are stored in a flat `Vec<Option<Value>>` indexed by the dense
+/// slot ids the planner assigns to every rule variable ([`VarSlots`]), so
+/// cloning a binding set while branching through a join is a plain vector
+/// copy instead of a string-keyed map rebuild.  The historical name-based
+/// accessors ([`Bindings::get`], [`Bindings::bind`], unification over AST
+/// [`Term`]s) remain as a thin shim that resolves names through the shared
+/// slot table — they are used where the AST still speaks in names (filters,
+/// assignments, head construction) and by unit tests.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct Bindings {
-    map: HashMap<String, Value>,
+    table: Arc<VarSlots>,
+    slots: Vec<Option<Value>>,
 }
 
 impl Bindings {
-    /// Creates an empty binding set.
+    /// Creates an empty binding set with its own growable slot table (the
+    /// shim path used by tests and ad-hoc evaluation).
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Looks up a variable.
-    pub fn get(&self, var: &str) -> Option<&Value> {
-        self.map.get(var)
+    /// Creates a binding set over a rule's planner-assigned slot table.
+    pub fn with_slots(table: Arc<VarSlots>) -> Self {
+        let slots = vec![None; table.len()];
+        Bindings { table, slots }
     }
 
-    /// Binds a variable (overwrites silently; callers check consistency via
-    /// [`Bindings::unify_term`]).
+    /// The slot of `var`, allocating one in a private copy of the table if
+    /// the planner did not assign it (only happens on the shim path).
+    fn ensure_slot(&mut self, var: &str) -> usize {
+        if let Some(slot) = self.table.slot(var) {
+            return slot;
+        }
+        let slot = Arc::make_mut(&mut self.table).get_or_insert(var);
+        self.slots.resize(self.table.len(), None);
+        slot
+    }
+
+    /// Looks up a variable by name.
+    pub fn get(&self, var: &str) -> Option<&Value> {
+        self.table
+            .slot(var)
+            .and_then(|slot| self.slots.get(slot))
+            .and_then(Option::as_ref)
+    }
+
+    /// Looks up a variable by its dense slot.
+    pub fn get_slot(&self, slot: usize) -> Option<&Value> {
+        self.slots.get(slot).and_then(Option::as_ref)
+    }
+
+    /// Binds a variable by name (overwrites silently; callers check
+    /// consistency via [`Bindings::unify_term`]).
     pub fn bind(&mut self, var: impl Into<String>, value: Value) {
-        self.map.insert(var.into(), value);
+        let slot = self.ensure_slot(&var.into());
+        self.slots[slot] = Some(value);
+    }
+
+    /// Binds a variable by its dense slot (overwrites silently).
+    pub fn bind_slot(&mut self, slot: usize, value: Value) {
+        if slot >= self.slots.len() {
+            self.slots.resize(slot + 1, None);
+        }
+        self.slots[slot] = Some(value);
     }
 
     /// Number of bound variables.
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.slots.iter().filter(|s| s.is_some()).count()
     }
 
     /// True if nothing is bound.
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.slots.iter().all(Option::is_none)
     }
 
     /// Attempts to unify `term` with `value`: constants must match, variables
@@ -45,15 +91,35 @@ impl Bindings {
         match term {
             Term::Wildcard => true,
             Term::Constant(c) => c == value,
-            Term::Variable(v) => match self.map.get(v) {
-                Some(existing) => existing == value,
-                None => {
-                    self.map.insert(v.clone(), value.clone());
-                    true
-                }
-            },
+            Term::Variable(v) => {
+                let slot = self.ensure_slot(v);
+                self.unify_slot(slot, value)
+            }
             // Aggregates never appear in body atoms (the parser rejects them).
             Term::Aggregate(..) => false,
+        }
+    }
+
+    /// Attempts to unify a planner-compiled [`SlotTerm`] with `value` — the
+    /// fast path used by delta and join evaluation.
+    pub fn unify_slot_term(&mut self, term: &SlotTerm, value: &Value) -> bool {
+        match term {
+            SlotTerm::Wildcard => true,
+            SlotTerm::Const(c) => c == value,
+            SlotTerm::Slot(slot) => self.unify_slot(*slot, value),
+        }
+    }
+
+    fn unify_slot(&mut self, slot: usize, value: &Value) -> bool {
+        if slot >= self.slots.len() {
+            self.slots.resize(slot + 1, None);
+        }
+        match &self.slots[slot] {
+            Some(existing) => existing == value,
+            None => {
+                self.slots[slot] = Some(value.clone());
+                true
+            }
         }
     }
 
@@ -62,7 +128,6 @@ impl Bindings {
         match term {
             Term::Constant(c) => Ok(c.clone()),
             Term::Variable(v) | Term::Aggregate(_, v) => self
-                .map
                 .get(v)
                 .cloned()
                 .ok_or_else(|| EvalError::UnboundVariable(v.clone())),
@@ -105,11 +170,18 @@ impl fmt::Display for EvalError {
         match self {
             EvalError::UnboundVariable(v) => write!(f, "variable `{v}` is unbound"),
             EvalError::WildcardInExpression => write!(f, "wildcard `_` used in an expression"),
-            EvalError::TypeMismatch { operation, operands } => {
+            EvalError::TypeMismatch {
+                operation,
+                operands,
+            } => {
                 write!(f, "type mismatch in {operation}: {operands}")
             }
             EvalError::UnknownFunction(name) => write!(f, "unknown function `{name}`"),
-            EvalError::Arity { function, expected, got } => {
+            EvalError::Arity {
+                function,
+                expected,
+                got,
+            } => {
                 write!(f, "`{function}` expects {expected} arguments, got {got}")
             }
             EvalError::DivisionByZero => write!(f, "division by zero"),
@@ -231,12 +303,10 @@ fn eval_builtin(name: &str, args: &[Value]) -> Result<Value, EvalError> {
         // f_concat(X, P): prepend X to path vector P.
         "f_concat" => {
             arity(2)?;
-            let list = args[1]
-                .as_list()
-                .ok_or_else(|| EvalError::TypeMismatch {
-                    operation: "f_concat".into(),
-                    operands: format!("second argument must be a list, got {}", args[1]),
-                })?;
+            let list = args[1].as_list().ok_or_else(|| EvalError::TypeMismatch {
+                operation: "f_concat".into(),
+                operands: format!("second argument must be a list, got {}", args[1]),
+            })?;
             let mut out = Vec::with_capacity(list.len() + 1);
             out.push(args[0].clone());
             out.extend_from_slice(list);
@@ -245,12 +315,10 @@ fn eval_builtin(name: &str, args: &[Value]) -> Result<Value, EvalError> {
         // f_append(P, X): append X to path vector P.
         "f_append" => {
             arity(2)?;
-            let list = args[0]
-                .as_list()
-                .ok_or_else(|| EvalError::TypeMismatch {
-                    operation: "f_append".into(),
-                    operands: format!("first argument must be a list, got {}", args[0]),
-                })?;
+            let list = args[0].as_list().ok_or_else(|| EvalError::TypeMismatch {
+                operation: "f_append".into(),
+                operands: format!("first argument must be a list, got {}", args[0]),
+            })?;
             let mut out = list.to_vec();
             out.push(args[1].clone());
             Ok(Value::List(out))
@@ -258,35 +326,33 @@ fn eval_builtin(name: &str, args: &[Value]) -> Result<Value, EvalError> {
         // f_member(P, X): true if X occurs in P.
         "f_member" => {
             arity(2)?;
-            let list = args[0]
-                .as_list()
-                .ok_or_else(|| EvalError::TypeMismatch {
-                    operation: "f_member".into(),
-                    operands: format!("first argument must be a list, got {}", args[0]),
-                })?;
+            let list = args[0].as_list().ok_or_else(|| EvalError::TypeMismatch {
+                operation: "f_member".into(),
+                operands: format!("first argument must be a list, got {}", args[0]),
+            })?;
             Ok(Value::Bool(list.contains(&args[1])))
         }
         // f_size(P): number of elements in P.
         "f_size" => {
             arity(1)?;
-            let list = args[0]
-                .as_list()
-                .ok_or_else(|| EvalError::TypeMismatch {
-                    operation: "f_size".into(),
-                    operands: format!("argument must be a list, got {}", args[0]),
-                })?;
+            let list = args[0].as_list().ok_or_else(|| EvalError::TypeMismatch {
+                operation: "f_size".into(),
+                operands: format!("argument must be a list, got {}", args[0]),
+            })?;
             Ok(Value::Int(list.len() as i64))
         }
         // f_first(P) / f_last(P): endpoints of a path vector.
         "f_first" | "f_last" => {
             arity(1)?;
-            let list = args[0]
-                .as_list()
-                .ok_or_else(|| EvalError::TypeMismatch {
-                    operation: name.into(),
-                    operands: format!("argument must be a list, got {}", args[0]),
-                })?;
-            let item = if name == "f_first" { list.first() } else { list.last() };
+            let list = args[0].as_list().ok_or_else(|| EvalError::TypeMismatch {
+                operation: name.into(),
+                operands: format!("argument must be a list, got {}", args[0]),
+            })?;
+            let item = if name == "f_first" {
+                list.first()
+            } else {
+                list.last()
+            };
             item.cloned().ok_or_else(|| EvalError::TypeMismatch {
                 operation: name.into(),
                 operands: "empty list".into(),
@@ -342,6 +408,40 @@ mod tests {
     }
 
     #[test]
+    fn slot_bindings_follow_the_planner_assignment() {
+        use pasn_datalog::plan::{SlotTerm, VarSlots};
+        use std::sync::Arc;
+
+        let mut table = VarSlots::new();
+        let s = table.get_or_insert("S");
+        let d = table.get_or_insert("D");
+        let mut b = Bindings::with_slots(Arc::new(table));
+        assert!(b.is_empty());
+
+        // Slot and name views agree.
+        assert!(b.unify_slot_term(&SlotTerm::Slot(s), &Value::Addr(1)));
+        assert_eq!(b.get("S"), Some(&Value::Addr(1)));
+        assert_eq!(b.get_slot(s), Some(&Value::Addr(1)));
+        assert_eq!(b.get_slot(d), None);
+
+        // Rebinding through the slot path obeys unification.
+        assert!(b.unify_slot_term(&SlotTerm::Slot(s), &Value::Addr(1)));
+        assert!(!b.unify_slot_term(&SlotTerm::Slot(s), &Value::Addr(2)));
+        assert!(b.unify_slot_term(&SlotTerm::Const(Value::Int(3)), &Value::Int(3)));
+        assert!(!b.unify_slot_term(&SlotTerm::Const(Value::Int(3)), &Value::Int(4)));
+        assert!(b.unify_slot_term(&SlotTerm::Wildcard, &Value::Int(9)));
+
+        // bind_slot overwrites; len counts bound slots only.
+        b.bind_slot(d, Value::Addr(7));
+        assert_eq!(b.len(), 2);
+
+        // Names unknown to the planner still work through the shim.
+        b.bind("Fresh", Value::Int(1));
+        assert_eq!(b.get("Fresh"), Some(&Value::Int(1)));
+        assert_eq!(b.len(), 3);
+    }
+
+    #[test]
     fn arithmetic_and_comparison() {
         let b = bindings(&[("C1", Value::Int(2)), ("C2", Value::Int(5))]);
         let rule = parse_rule("r p(@S,C) :- q(@S,C1,C2), C := C1 + C2 * 3.").unwrap();
@@ -371,7 +471,10 @@ mod tests {
             Box::new(Expr::var("X")),
             Box::new(Expr::var("S")),
         );
-        assert!(matches!(eval_expr(&bad, &b), Err(EvalError::TypeMismatch { .. })));
+        assert!(matches!(
+            eval_expr(&bad, &b),
+            Err(EvalError::TypeMismatch { .. })
+        ));
 
         let div = Expr::BinOp(
             BinOp::Div,
@@ -392,10 +495,7 @@ mod tests {
         let b = bindings(&[
             ("S", Value::Addr(0)),
             ("D", Value::Addr(3)),
-            (
-                "P2",
-                Value::List(vec![Value::Addr(1), Value::Addr(3)]),
-            ),
+            ("P2", Value::List(vec![Value::Addr(1), Value::Addr(3)])),
         ]);
         // f_init(S,D) = [S,D]
         let init = Expr::Call("f_init".into(), vec![Expr::var("S"), Expr::var("D")]);
@@ -444,7 +544,11 @@ mod tests {
         let wrong_arity = Expr::Call("f_init".into(), vec![Expr::constant(1i64)]);
         assert!(matches!(
             eval_expr(&wrong_arity, &b),
-            Err(EvalError::Arity { expected: 2, got: 1, .. })
+            Err(EvalError::Arity {
+                expected: 2,
+                got: 1,
+                ..
+            })
         ));
         let unknown = Expr::Call("f_frobnicate".into(), vec![]);
         assert_eq!(
@@ -455,19 +559,35 @@ mod tests {
             "f_member".into(),
             vec![Expr::constant(1i64), Expr::constant(1i64)],
         );
-        assert!(matches!(eval_expr(&not_a_list, &b), Err(EvalError::TypeMismatch { .. })));
+        assert!(matches!(
+            eval_expr(&not_a_list, &b),
+            Err(EvalError::TypeMismatch { .. })
+        ));
         let empty_first = Expr::Call("f_first".into(), vec![Expr::Call("f_list".into(), vec![])]);
-        assert!(matches!(eval_expr(&empty_first, &b), Err(EvalError::TypeMismatch { .. })));
+        assert!(matches!(
+            eval_expr(&empty_first, &b),
+            Err(EvalError::TypeMismatch { .. })
+        ));
         // Errors render as human-readable strings.
         assert!(EvalError::DivisionByZero.to_string().contains("zero"));
-        assert!(EvalError::UnboundVariable("X".into()).to_string().contains("X"));
+        assert!(EvalError::UnboundVariable("X".into())
+            .to_string()
+            .contains("X"));
     }
 
     #[test]
     fn boolean_connectives() {
         let b = bindings(&[("A", Value::Bool(true)), ("B", Value::Bool(false))]);
-        let and = Expr::BinOp(BinOp::And, Box::new(Expr::var("A")), Box::new(Expr::var("B")));
-        let or = Expr::BinOp(BinOp::Or, Box::new(Expr::var("A")), Box::new(Expr::var("B")));
+        let and = Expr::BinOp(
+            BinOp::And,
+            Box::new(Expr::var("A")),
+            Box::new(Expr::var("B")),
+        );
+        let or = Expr::BinOp(
+            BinOp::Or,
+            Box::new(Expr::var("A")),
+            Box::new(Expr::var("B")),
+        );
         assert_eq!(eval_expr(&and, &b).unwrap(), Value::Bool(false));
         assert_eq!(eval_expr(&or, &b).unwrap(), Value::Bool(true));
         let non_bool_filter = Expr::constant(3i64);

@@ -37,6 +37,15 @@ pub struct RunMetrics {
     pub provenance_ops: u64,
     /// Tuples dropped by the sampling policy (provenance not recorded).
     pub sampled_out: u64,
+    /// Join probes answered through a secondary index (one per rendered
+    /// key lookup).
+    pub index_probes: u64,
+    /// Tuples yielded by index probes (candidates actually examined on the
+    /// index path; the join's true work, versus scanning the relation).
+    pub index_hits: u64,
+    /// Tuples examined through full-relation scans (joins with no bound key
+    /// columns, or predicates without a registered index).
+    pub scan_probes: u64,
 }
 
 impl RunMetrics {
@@ -72,7 +81,7 @@ impl fmt::Display for RunMetrics {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "completion {:.3}s, {} msgs, {:.3} MB ({} B auth, {} B provenance), {} derivations, {} tuples, {} sigs / {} verifs",
+            "completion {:.3}s, {} msgs, {:.3} MB ({} B auth, {} B provenance), {} derivations, {} tuples, {} sigs / {} verifs, joins: {} hits / {} index probes, {} scanned",
             self.completion_secs(),
             self.messages,
             self.megabytes(),
@@ -82,6 +91,9 @@ impl fmt::Display for RunMetrics {
             self.tuples_stored,
             self.signatures,
             self.verifications,
+            self.index_hits,
+            self.index_probes,
+            self.scan_probes,
         )
     }
 }

@@ -21,8 +21,8 @@ use crate::store::{InsertOutcome, NodeStore, TupleMeta};
 use crate::tuple::Tuple;
 use pasn_crypto::says::{Authenticator, SaysAssertion};
 use pasn_crypto::{KeyAuthority, Principal, PrincipalId};
-use pasn_datalog::plan::{CompiledProgram, DeltaPlan, PlanStep, RulePlan};
-use pasn_datalog::{compile_program, AggFunc, Atom, PlanError, Program, Term, Value};
+use pasn_datalog::plan::{CompiledProgram, DeltaPlan, PlanStep, RulePlan, SlotTerm};
+use pasn_datalog::{compile_program, AggFunc, PlanError, Program, Term, Value};
 use pasn_net::wire::message_wire_bytes;
 use pasn_net::{CpuSchedule, Message, NetworkSim, NodeId, SimTime};
 use pasn_provenance::{
@@ -44,6 +44,16 @@ pub enum EngineError {
     Crypto(pasn_crypto::rsa::RsaError),
     /// A tuple referenced a location that is not part of the deployment.
     UnknownLocation(Value),
+    /// A tuple was supplied with a different arity than the compiled program
+    /// declares for its predicate.
+    ArityMismatch {
+        /// The predicate being inserted or joined.
+        predicate: String,
+        /// Arity declared by the program.
+        expected: usize,
+        /// Arity of the offending tuple.
+        got: usize,
+    },
     /// A rule evaluation error (unbound variable, type mismatch, ...).
     Eval(String),
 }
@@ -54,6 +64,14 @@ impl fmt::Display for EngineError {
             EngineError::Compile(e) => write!(f, "compilation failed: {e}"),
             EngineError::Crypto(e) => write!(f, "key provisioning failed: {e}"),
             EngineError::UnknownLocation(v) => write!(f, "unknown location {v}"),
+            EngineError::ArityMismatch {
+                predicate,
+                expected,
+                got,
+            } => write!(
+                f,
+                "arity mismatch: predicate `{predicate}` declares {expected} arguments, tuple has {got}"
+            ),
             EngineError::Eval(msg) => write!(f, "evaluation error: {msg}"),
         }
     }
@@ -99,6 +117,10 @@ struct NodeRuntime {
     deferred: Vec<DeferredDerivation>,
     authenticator: Option<Authenticator>,
 }
+
+/// One in-flight join branch: the bindings accumulated so far plus the
+/// contributing tuples as (provenance key, tag, origin) triples.
+type Branch = (Bindings, Vec<(String, ProvTag, Value)>);
 
 /// A unit of work: a tuple arriving at a node (base insertion, local
 /// derivation, or remote delivery).
@@ -152,7 +174,11 @@ impl DistributedEngine {
                 .iter()
                 .enumerate()
                 .map(|(i, loc)| {
-                    let level = config.security_levels.get(&(i as u32)).copied().unwrap_or(1);
+                    let level = config
+                        .security_levels
+                        .get(&(i as u32))
+                        .copied()
+                        .unwrap_or(1);
                     Principal::new(i as u32, loc.to_string()).with_security_level(level)
                 })
                 .collect();
@@ -169,15 +195,30 @@ impl DistributedEngine {
             }
         }
 
+        // Secondary indexes: one per (predicate, key columns) spec inferred
+        // by the planner, installed on every node's store up front so they
+        // are maintained incrementally from the first insert on.  With
+        // indexing disabled nothing is registered and every probe falls
+        // back to the ordered scan path.
+        let index_specs = if config.use_secondary_indexes {
+            compiled.index_specs()
+        } else {
+            Vec::new()
+        };
+
         let mut nodes = HashMap::new();
         for (i, loc) in locations.iter().enumerate() {
+            let mut store = NodeStore::new();
+            for spec in &index_specs {
+                store.register_index(&spec.predicate, &spec.key_columns);
+            }
             nodes.insert(
                 loc.clone(),
                 NodeRuntime {
                     location: loc.clone(),
                     node_id: NodeId(i as u32),
                     principal: PrincipalId(i as u32),
-                    store: NodeStore::new(),
+                    store,
                     agg_state: HashMap::new(),
                     local_prov: LocalStore::new(),
                     dist_prov: DistributedStore::new(loc.to_string()),
@@ -221,11 +262,12 @@ impl DistributedEngine {
                     })
                     .collect();
                 let loc_idx = fact.atom.location.unwrap_or(0);
-                let loc = values
-                    .get(loc_idx)
-                    .cloned()
-                    .unwrap_or_else(|| Value::Int(0));
-                (loc, Tuple::new(fact.atom.predicate.clone(), values), Some(loc_idx))
+                let loc = values.get(loc_idx).cloned().unwrap_or(Value::Int(0));
+                (
+                    loc,
+                    Tuple::new(fact.atom.predicate.clone(), values),
+                    Some(loc_idx),
+                )
             })
             .collect();
         for (loc, tuple, loc_idx) in facts {
@@ -286,6 +328,17 @@ impl DistributedEngine {
     ) -> Result<(), EngineError> {
         if !self.nodes.contains_key(&location) {
             return Err(EngineError::UnknownLocation(location));
+        }
+        // Predicates the program knows about must arrive with the declared
+        // arity; a mismatch would otherwise silently fail to join anywhere.
+        if let Some(expected) = self.compiled.arity_of(&tuple.predicate) {
+            if expected != tuple.arity() {
+                return Err(EngineError::ArityMismatch {
+                    predicate: tuple.predicate.clone(),
+                    expected,
+                    got: tuple.arity(),
+                });
+            }
         }
         let principal = self.nodes[&location].principal;
         let item = WorkItem {
@@ -478,7 +531,11 @@ impl DistributedEngine {
                 };
                 if !ok {
                     self.metrics.verification_failures += 1;
-                    let done = self.cpu.run(self.nodes[&destination].node_id, at, SimTime::from_micros(cpu_cost));
+                    let done = self.cpu.run(
+                        self.nodes[&destination].node_id,
+                        at,
+                        SimTime::from_micros(cpu_cost),
+                    );
                     self.completion = self.completion.max(done);
                     return Ok(());
                 }
@@ -499,9 +556,7 @@ impl DistributedEngine {
             let principal = asserted_by.unwrap_or(PrincipalId(0));
             let origin_principal = self.config.granularity.origin_of(principal);
             let level = self.principal_level(principal);
-            let key = item
-                .tuple
-                .render_located(item.location_index);
+            let key = item.tuple.render_located(item.location_index);
             ProvTag::base(
                 self.config.provenance,
                 &mut self.var_table,
@@ -601,6 +656,11 @@ impl DistributedEngine {
 
     /// Evaluates one delta plan against an arriving tuple and emits head
     /// tuples.
+    ///
+    /// Joins with bound key columns render the key from the current bindings
+    /// and probe the store's secondary index; only unifying tuples have their
+    /// provenance tags and origins cloned.  Joins with no bound columns fall
+    /// back to a full scan in insertion order.
     #[allow(clippy::too_many_arguments)]
     fn fire_rule(
         &mut self,
@@ -611,76 +671,129 @@ impl DistributedEngine {
         delta_tag: &ProvTag,
         now: SimTime,
     ) -> Result<(), EngineError> {
-        let rule = &rule_plan.rule;
-        // Initial bindings from the delta atom.
-        let mut bindings = Bindings::new();
-        if delta_plan.delta.args.len() != item.tuple.arity() {
-            return Ok(());
+        // Initial bindings from the delta atom.  Arity conflicts are caught
+        // at validate time and on fact insertion, so a mismatch here is an
+        // engine invariant violation, not a tuple to skip silently.
+        if delta_plan.delta_args.len() != item.tuple.arity() {
+            return Err(EngineError::ArityMismatch {
+                predicate: item.tuple.predicate.clone(),
+                expected: delta_plan.delta_args.len(),
+                got: item.tuple.arity(),
+            });
         }
-        if let Some(Term::Variable(ctx)) = &rule.context {
-            bindings.bind(ctx.clone(), local.clone());
+        let mut bindings = Bindings::with_slots(rule_plan.slots.clone());
+        if let Some(slot) = rule_plan.context_slot {
+            bindings.bind_slot(slot, local.clone());
         }
-        for (term, value) in delta_plan.delta.args.iter().zip(item.tuple.values.iter()) {
-            if !bindings.unify_term(term, value) {
+        for (term, value) in delta_plan.delta_args.iter().zip(item.tuple.values.iter()) {
+            if !bindings.unify_slot_term(term, value) {
                 return Ok(());
             }
         }
-        if !self.bind_says(&delta_plan.delta, &item.origin, &mut bindings) {
-            return Ok(());
+        if let Some(says) = &delta_plan.delta_says {
+            if !bindings.unify_slot_term(says, &item.origin) {
+                return Ok(());
+            }
         }
 
         // Each entry: (bindings, contributing tuples as (key, tag, origin)).
         let delta_key = item.tuple.render_located(delta_plan.delta.location);
-        let mut branches: Vec<(Bindings, Vec<(String, ProvTag, Value)>)> = vec![(
+        let mut branches: Vec<Branch> = vec![(
             bindings,
             vec![(delta_key, delta_tag.clone(), item.origin.clone())],
         )];
-        // Join state probed while evaluating this delta; charged to the node's
-        // CPU below (join cost grows with the network size, unlike the
-        // constant per-tuple signature cost).
+        // Candidate tuples examined while evaluating this delta; charged to
+        // the node's CPU below.  Index probes keep this close to the true
+        // match count instead of the full relation size.
         let mut probes = 0usize;
 
         for step in &delta_plan.steps {
-            let mut next: Vec<(Bindings, Vec<(String, ProvTag, Value)>)> = Vec::new();
+            let mut next: Vec<Branch> = Vec::new();
             match step {
-                PlanStep::Join(atom) => {
-                    let mut stored: Vec<(Tuple, ProvTag, Value, Option<u32>)> = self.nodes[local]
-                        .store
-                        .scan(&atom.predicate)
-                        .map(|(t, m)| (t, m.tag.clone(), m.origin.clone(), m.asserted_by))
-                        .collect();
-                    // Scan order comes from a hash map; sort it so runs are
-                    // bit-for-bit deterministic (the simulator's ordering
-                    // guarantees depend on it).
-                    stored.sort_by(|a, b| a.0.values.cmp(&b.0.values));
-                    probes += stored.len().max(1) * branches.len().max(1);
+                PlanStep::Join(join) => {
+                    let predicate = join.atom.predicate.as_str();
+                    let store = &self.nodes[local].store;
+                    // Unindexed fallback, shared across branches: all stored
+                    // tuples in insertion order (deterministic without the
+                    // per-probe sort the scan-based engine needed).
+                    let mut scan_cache: Option<Vec<(Tuple, &TupleMeta)>> = None;
+                    let mut index_probes = 0u64;
+                    let mut index_hits = 0u64;
+                    let mut scan_probes = 0u64;
                     for (bind, contribs) in &branches {
-                        for (stored_tuple, stored_tag, stored_origin, _) in &stored {
-                            if stored_tuple.arity() != atom.args.len() {
-                                continue;
+                        // Render the key from the bound columns.  The planner
+                        // guarantees they are bound; an unexpectedly missing
+                        // slot degrades to the scan path.
+                        let key: Option<Vec<Value>> = if join.key_columns.is_empty() {
+                            None
+                        } else {
+                            join.key_columns
+                                .iter()
+                                .map(|&c| match &join.args[c] {
+                                    SlotTerm::Const(v) => Some(v.clone()),
+                                    SlotTerm::Slot(s) => bind.get_slot(*s).cloned(),
+                                    SlotTerm::Wildcard => None,
+                                })
+                                .collect()
+                        };
+                        let probed: Vec<(Tuple, &TupleMeta)>;
+                        let candidates: &[(Tuple, &TupleMeta)] = match key.map(|k| {
+                            store
+                                .probe(predicate, &join.key_columns, &k)
+                                .map(|it| it.collect())
+                        }) {
+                            Some(Some(rows)) => {
+                                index_probes += 1;
+                                probed = rows;
+                                index_hits += probed.len() as u64;
+                                &probed
+                            }
+                            // No key columns, or (defensively) no index.
+                            _ => {
+                                let cache =
+                                    scan_cache.get_or_insert_with(|| store.scan_ordered(predicate));
+                                scan_probes += cache.len() as u64;
+                                cache.as_slice()
+                            }
+                        };
+                        probes += candidates.len().max(1);
+                        for (stored_tuple, meta) in candidates {
+                            if stored_tuple.arity() != join.args.len() {
+                                return Err(EngineError::ArityMismatch {
+                                    predicate: predicate.to_string(),
+                                    expected: join.args.len(),
+                                    got: stored_tuple.arity(),
+                                });
                             }
                             let mut candidate = bind.clone();
                             let mut ok = true;
-                            for (term, value) in atom.args.iter().zip(stored_tuple.values.iter()) {
-                                if !candidate.unify_term(term, value) {
+                            for (term, value) in join.args.iter().zip(stored_tuple.values.iter()) {
+                                if !candidate.unify_slot_term(term, value) {
                                     ok = false;
                                     break;
                                 }
                             }
-                            if ok && !self.bind_says(atom, stored_origin, &mut candidate) {
-                                ok = false;
+                            if ok {
+                                if let Some(says) = &join.says {
+                                    ok = candidate.unify_slot_term(says, &meta.origin);
+                                }
                             }
                             if ok {
+                                // Tags and origins are cloned only for tuples
+                                // that actually unified.
                                 let mut contribs = contribs.clone();
                                 contribs.push((
-                                    stored_tuple.render_located(atom.location),
-                                    stored_tag.clone(),
-                                    stored_origin.clone(),
+                                    stored_tuple.render_located(join.atom.location),
+                                    meta.tag.clone(),
+                                    meta.origin.clone(),
                                 ));
                                 next.push((candidate, contribs));
                             }
                         }
                     }
+                    self.metrics.index_probes += index_probes;
+                    self.metrics.index_hits += index_hits;
+                    self.metrics.scan_probes += scan_probes;
                 }
                 PlanStep::Filter(expr) => {
                     for (bind, contribs) in branches.into_iter() {
@@ -693,11 +806,11 @@ impl DistributedEngine {
                     branches = next;
                     continue;
                 }
-                PlanStep::Assign { var, expr } => {
+                PlanStep::Assign { slot, expr, .. } => {
                     for (mut bind, contribs) in branches.into_iter() {
                         let value =
                             eval_expr(expr, &bind).map_err(|e| EngineError::Eval(e.to_string()))?;
-                        bind.bind(var.clone(), value);
+                        bind.bind_slot(*slot, value);
                         next.push((bind, contribs));
                     }
                     branches = next;
@@ -712,8 +825,7 @@ impl DistributedEngine {
 
         // Charge the join-probing work to this node's CPU, then emit heads at
         // the resulting completion time.
-        let probe_cost =
-            (probes as f64 * self.config.cost_model.join_probe_us).round() as u64;
+        let probe_cost = (probes as f64 * self.config.cost_model.join_probe_us).round() as u64;
         let now = if probe_cost > 0 {
             let node_id = self.nodes[local].node_id;
             let done = self.cpu.run(node_id, now, SimTime::from_micros(probe_cost));
@@ -727,15 +839,6 @@ impl DistributedEngine {
             self.emit_head(local, rule_plan, &bind, &contribs, now)?;
         }
         Ok(())
-    }
-
-    /// Checks / binds the `says` annotation of a body atom against the
-    /// asserting origin of a matched tuple.
-    fn bind_says(&self, atom: &Atom, origin: &Value, bindings: &mut Bindings) -> bool {
-        match &atom.says {
-            None => true,
-            Some(term) => bindings.unify_term(term, origin),
-        }
     }
 
     /// Builds and routes the head tuple for one satisfied rule body.
@@ -756,12 +859,9 @@ impl DistributedEngine {
         for (i, arg) in rule.head.args.iter().enumerate() {
             match arg {
                 Term::Aggregate(func, var) => {
-                    let value = bindings
-                        .get(var)
-                        .and_then(Value::as_int)
-                        .ok_or_else(|| {
-                            EngineError::Eval(format!("aggregate variable `{var}` is not an integer"))
-                        })?;
+                    let value = bindings.get(var).and_then(Value::as_int).ok_or_else(|| {
+                        EngineError::Eval(format!("aggregate variable `{var}` is not an integer"))
+                    })?;
                     aggregate = Some((*func, i, value));
                     values.push(Value::Int(value));
                 }
@@ -972,17 +1072,6 @@ impl DistributedEngine {
         asserted_by: Option<PrincipalId>,
         at: SimTime,
     ) {
-        let tag_render = self
-            .nodes
-            .get(local)
-            .and_then(|n| {
-                n.store
-                    .scan("")
-                    .next()
-                    .map(|_| String::new())
-            })
-            .unwrap_or_default();
-        let _ = tag_render;
         let local_str = local.to_string();
         let node = self.nodes.get_mut(local).expect("known location");
         let antecedent_keys: Vec<String> = antecedents.iter().map(|(k, _)| k.clone()).collect();
@@ -1194,7 +1283,11 @@ mod tests {
                     Value::Addr(l.src.0),
                     Tuple::new(
                         "link",
-                        vec![Value::Addr(l.src.0), Value::Addr(l.dst.0), Value::Int(l.cost as i64)],
+                        vec![
+                            Value::Addr(l.src.0),
+                            Value::Addr(l.dst.0),
+                            Value::Int(l.cost as i64),
+                        ],
                     ),
                 )
                 .unwrap();
@@ -1215,7 +1308,7 @@ mod tests {
                 if dst == src {
                     continue;
                 }
-                let expected = oracle[&dst] as i64;
+                let expected = oracle[dst] as i64;
                 assert_eq!(
                     best.get(&dst.0).copied(),
                     Some(expected),
@@ -1239,7 +1332,10 @@ mod tests {
         }
         let (nd, se, sp) = (&results[0], &results[1], &results[2]);
         assert!(se.completion > nd.completion, "SeNDLog slower than NDLog");
-        assert!(sp.completion >= se.completion, "SeNDLogProv at least as slow as SeNDLog");
+        assert!(
+            sp.completion >= se.completion,
+            "SeNDLogProv at least as slow as SeNDLog"
+        );
         assert!(se.bytes > nd.bytes, "SeNDLog uses more bandwidth");
         assert!(sp.bytes > se.bytes, "SeNDLogProv uses the most bandwidth");
     }
@@ -1281,7 +1377,7 @@ mod tests {
         let mut engine = DistributedEngine::new(&program, config, &figure1_locations()).unwrap();
         insert_figure1_links(&mut engine);
         engine.run_to_fixpoint().unwrap();
-        assert!(engine.query(&str_val("a"), "reachable").len() > 0);
+        assert!(!engine.query(&str_val("a"), "reachable").is_empty());
         // Base links are hard state; derived tuples expire.
         let dropped = engine.expire_all(SimTime::from_secs_f64(10.0));
         assert!(dropped > 0);
@@ -1307,6 +1403,74 @@ mod tests {
         assert!(materialised > 0);
         let stores = engine.distributed_stores();
         assert!(!stores["a"].derivations_of("reachable(@a,c)").is_empty());
+    }
+
+    #[test]
+    fn joins_probe_secondary_indexes() {
+        let program = parse_program(REACHABLE).unwrap();
+        let config = EngineConfig::ndlog().with_cost_model(fast_cost());
+        let mut engine = DistributedEngine::new(&program, config, &figure1_locations()).unwrap();
+        // The planner's specs were installed on every node store up front.
+        assert!(!engine.compiled().index_specs().is_empty());
+        insert_figure1_links(&mut engine);
+        let metrics = engine.run_to_fixpoint().unwrap();
+        // Every localized reachability join keys on the shared location
+        // variable, so all join work goes through the index path.
+        assert!(metrics.index_probes > 0, "{metrics}");
+        assert!(metrics.index_hits > 0, "{metrics}");
+        assert_eq!(metrics.scan_probes, 0, "{metrics}");
+        // The results are the same as the scan-based engine produced.
+        assert_eq!(engine.query(&str_val("a"), "reachable").len(), 2);
+        assert_eq!(engine.query(&str_val("b"), "reachable").len(), 1);
+    }
+
+    #[test]
+    fn cross_products_fall_back_to_ordered_scans() {
+        // q and r share no value variables (SeNDlog context, so there are
+        // no location columns either): the join has no bound key columns
+        // and must scan.
+        let program = parse_program("At S:\n x p(X,Y) :- q(X), r(Y).").unwrap();
+        let config = EngineConfig::ndlog().with_cost_model(fast_cost());
+        let locations = vec![str_val("a")];
+        let mut engine = DistributedEngine::new(&program, config, &locations).unwrap();
+        engine
+            .insert_fact(str_val("a"), Tuple::new("q", vec![Value::Int(1)]))
+            .unwrap();
+        engine
+            .insert_fact(str_val("a"), Tuple::new("r", vec![Value::Int(2)]))
+            .unwrap();
+        let metrics = engine.run_to_fixpoint().unwrap();
+        assert_eq!(engine.query(&str_val("a"), "p").len(), 1);
+        assert!(metrics.scan_probes > 0, "{metrics}");
+        assert_eq!(metrics.index_probes, 0, "{metrics}");
+    }
+
+    #[test]
+    fn arity_mismatch_is_rejected_at_insertion() {
+        let program = parse_program(REACHABLE).unwrap();
+        let config = EngineConfig::ndlog().with_cost_model(fast_cost());
+        let mut engine = DistributedEngine::new(&program, config, &figure1_locations()).unwrap();
+        let err = engine
+            .insert_fact(
+                str_val("a"),
+                Tuple::new("link", vec![str_val("a"), str_val("b"), Value::Int(9)]),
+            )
+            .unwrap_err();
+        match err {
+            EngineError::ArityMismatch {
+                predicate,
+                expected,
+                got,
+            } => {
+                assert_eq!(predicate, "link");
+                assert_eq!((expected, got), (2, 3));
+            }
+            other => panic!("expected arity mismatch, got {other}"),
+        }
+        // Predicates unknown to the program are not constrained.
+        engine
+            .insert_fact(str_val("a"), Tuple::new("sensor", vec![Value::Int(1)]))
+            .unwrap();
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Per-node soft-state tuple storage.
+//! Per-node soft-state tuple storage with secondary hash indexes.
 //!
 //! Declarative networks maintain derived state as *soft state*: every tuple
 //! carries a creation timestamp and (optionally) a time-to-live, and expires
@@ -6,6 +6,21 @@
 //! formulation of reference [2]).  Each node owns one [`NodeStore`] holding
 //! its base and derived relations together with per-tuple metadata used by
 //! the provenance layer.
+//!
+//! Two mechanisms keep rule joins cheap and deterministic:
+//!
+//! * **Secondary indexes** — [`NodeStore::register_index`] installs a hash
+//!   index over `(predicate, key_columns)` (the planner's
+//!   `IndexSpec`s); [`NodeStore::probe`] then answers a join probe in time
+//!   proportional to the matching bucket instead of the whole relation.
+//!   Indexes are maintained through [`NodeStore::insert`],
+//!   [`NodeStore::remove`], and [`NodeStore::expire`].
+//! * **Insertion sequence numbers** — every stored tuple carries a
+//!   monotonically increasing sequence number.  Index buckets follow it by
+//!   construction, so the probe path is deterministic with no sorting at
+//!   all; the unindexed fallback ([`NodeStore::scan_ordered`]) still sorts,
+//!   but by the scalar sequence number instead of comparing full tuple
+//!   values as the scan-based evaluator did.
 
 use crate::tuple::Tuple;
 use pasn_datalog::Value;
@@ -43,16 +58,132 @@ pub enum InsertOutcome {
     Duplicate,
 }
 
+/// One stored tuple: metadata plus its insertion sequence number.
+#[derive(Clone, Debug)]
+struct Row {
+    meta: TupleMeta,
+    seq: u64,
+}
+
+/// A hash index over one projection of a relation: bucket key (the projected
+/// values at the index's key columns) → full row keys, in insertion order.
+type IndexBuckets = HashMap<Vec<Value>, Vec<Vec<Value>>>;
+
+/// One relation: its rows plus any secondary indexes registered over it.
+#[derive(Clone, Debug, Default)]
+struct Table {
+    rows: HashMap<Vec<Value>, Row>,
+    indexes: HashMap<Vec<usize>, IndexBuckets>,
+}
+
+impl Table {
+    /// Projects `values` onto `key_columns`; `None` if any column is out of
+    /// range (such a row can never match a probe on this index).
+    fn project(values: &[Value], key_columns: &[usize]) -> Option<Vec<Value>> {
+        key_columns
+            .iter()
+            .map(|&c| values.get(c).cloned())
+            .collect()
+    }
+
+    /// Adds a freshly inserted row to every index.
+    fn index_insert(&mut self, values: &[Value]) {
+        for (key_columns, buckets) in &mut self.indexes {
+            if let Some(key) = Self::project(values, key_columns) {
+                buckets.entry(key).or_default().push(values.to_vec());
+            }
+        }
+    }
+
+    /// Removes a row from every index.
+    fn index_remove(&mut self, values: &[Value]) {
+        for (key_columns, buckets) in &mut self.indexes {
+            if let Some(key) = Self::project(values, key_columns) {
+                if let Some(bucket) = buckets.get_mut(&key) {
+                    bucket.retain(|row| row != values);
+                    if bucket.is_empty() {
+                        buckets.remove(&key);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Removes a row and keeps the indexes consistent; returns its metadata.
+    fn remove_row(&mut self, values: &[Value]) -> Option<TupleMeta> {
+        let row = self.rows.remove(values)?;
+        self.index_remove(values);
+        Some(row.meta)
+    }
+}
+
 /// The relations stored at one node.
 #[derive(Clone, Debug, Default)]
 pub struct NodeStore {
-    tables: HashMap<String, HashMap<Vec<Value>, TupleMeta>>,
+    tables: HashMap<String, Table>,
+    next_seq: u64,
 }
 
 impl NodeStore {
     /// Creates an empty store.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Installs a secondary hash index over `predicate` keyed on
+    /// `key_columns`.  Registering is idempotent; if the relation already
+    /// holds tuples the index is (re)built from them, and it is maintained
+    /// incrementally afterwards.
+    pub fn register_index(&mut self, predicate: &str, key_columns: &[usize]) {
+        let table = self.tables.entry(predicate.to_string()).or_default();
+        if table.indexes.contains_key(key_columns) {
+            return;
+        }
+        let mut ordered: Vec<(u64, &Vec<Value>)> = table
+            .rows
+            .iter()
+            .map(|(values, row)| (row.seq, values))
+            .collect();
+        ordered.sort_unstable_by_key(|(seq, _)| *seq);
+        let mut buckets: IndexBuckets = HashMap::new();
+        for (_, values) in ordered {
+            if let Some(key) = Table::project(values, key_columns) {
+                buckets.entry(key).or_default().push(values.clone());
+            }
+        }
+        table.indexes.insert(key_columns.to_vec(), buckets);
+    }
+
+    /// True if an index over `(predicate, key_columns)` is installed.
+    pub fn has_index(&self, predicate: &str, key_columns: &[usize]) -> bool {
+        self.tables
+            .get(predicate)
+            .is_some_and(|t| t.indexes.contains_key(key_columns))
+    }
+
+    /// Probes the secondary index of `predicate` keyed on `key_columns` for
+    /// rows matching `key`, in insertion order.  Returns `None` when no such
+    /// index is installed (the caller falls back to a scan); an installed
+    /// index with no matches yields an empty iterator.
+    pub fn probe<'a>(
+        &'a self,
+        predicate: &'a str,
+        key_columns: &[usize],
+        key: &[Value],
+    ) -> Option<impl Iterator<Item = (Tuple, &'a TupleMeta)> + 'a> {
+        let table = self.tables.get(predicate)?;
+        let index = table.indexes.get(key_columns)?;
+        let rows = &table.rows;
+        Some(
+            index
+                .get(key)
+                .into_iter()
+                .flatten()
+                .filter_map(move |values| {
+                    rows.get(values)
+                        .map(|row| (Tuple::new(predicate, values.clone()), &row.meta))
+                }),
+        )
     }
 
     /// Inserts a tuple.  If an identical tuple already exists, provenance
@@ -63,20 +194,23 @@ impl NodeStore {
         F: FnOnce(&ProvTag, &ProvTag) -> ProvTag,
     {
         let table = self.tables.entry(tuple.predicate.clone()).or_default();
-        match table.get_mut(&tuple.values) {
+        match table.rows.get_mut(&tuple.values) {
             None => {
-                table.insert(tuple.values.clone(), meta);
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                table.rows.insert(tuple.values.clone(), Row { meta, seq });
+                table.index_insert(&tuple.values);
                 InsertOutcome::New
             }
             Some(existing) => {
-                let merged = combine(&existing.tag, &meta.tag);
+                let merged = combine(&existing.meta.tag, &meta.tag);
                 // Refresh the soft-state lifetime on re-derivation.
-                existing.expires_at = match (existing.expires_at, meta.expires_at) {
+                existing.meta.expires_at = match (existing.meta.expires_at, meta.expires_at) {
                     (Some(a), Some(b)) => Some(a.max(b)),
                     _ => None,
                 };
-                if merged != existing.tag {
-                    existing.tag = merged;
+                if merged != existing.meta.tag {
+                    existing.meta.tag = merged;
                     InsertOutcome::MergedTag
                 } else {
                     InsertOutcome::Duplicate
@@ -87,7 +221,11 @@ impl NodeStore {
 
     /// Looks up the metadata of an exact tuple.
     pub fn get(&self, tuple: &Tuple) -> Option<&TupleMeta> {
-        self.tables.get(&tuple.predicate)?.get(&tuple.values)
+        self.tables
+            .get(&tuple.predicate)?
+            .rows
+            .get(&tuple.values)
+            .map(|row| &row.meta)
     }
 
     /// True if the exact tuple is stored.
@@ -95,12 +233,16 @@ impl NodeStore {
         self.get(tuple).is_some()
     }
 
-    /// Removes an exact tuple, returning its metadata.
+    /// Removes an exact tuple, returning its metadata.  Secondary indexes
+    /// stay consistent.
     pub fn remove(&mut self, tuple: &Tuple) -> Option<TupleMeta> {
-        self.tables.get_mut(&tuple.predicate)?.remove(&tuple.values)
+        self.tables
+            .get_mut(&tuple.predicate)?
+            .remove_row(&tuple.values)
     }
 
-    /// Iterates over all tuples of `predicate` with their metadata.
+    /// Iterates over all tuples of `predicate` with their metadata, in
+    /// arbitrary order.
     pub fn scan<'a>(
         &'a self,
         predicate: &'a str,
@@ -110,27 +252,45 @@ impl NodeStore {
             .into_iter()
             .flat_map(move |table| {
                 table
+                    .rows
                     .iter()
-                    .map(move |(values, meta)| (Tuple::new(predicate, values.clone()), meta))
+                    .map(move |(values, row)| (Tuple::new(predicate, values.clone()), &row.meta))
             })
+    }
+
+    /// All tuples of `predicate` in insertion order — the deterministic
+    /// iteration the evaluator uses for unindexed (full-scan) joins.
+    pub fn scan_ordered<'a>(&'a self, predicate: &str) -> Vec<(Tuple, &'a TupleMeta)> {
+        let mut rows: Vec<(u64, Tuple, &TupleMeta)> = self
+            .tables
+            .get(predicate)
+            .into_iter()
+            .flat_map(|table| {
+                table.rows.iter().map(|(values, row)| {
+                    (row.seq, Tuple::new(predicate, values.clone()), &row.meta)
+                })
+            })
+            .collect();
+        rows.sort_unstable_by_key(|(seq, _, _)| *seq);
+        rows.into_iter().map(|(_, t, m)| (t, m)).collect()
     }
 
     /// All predicates with at least one stored tuple.
     pub fn predicates(&self) -> impl Iterator<Item = &str> {
         self.tables
             .iter()
-            .filter(|(_, t)| !t.is_empty())
+            .filter(|(_, t)| !t.rows.is_empty())
             .map(|(p, _)| p.as_str())
     }
 
     /// Number of tuples of `predicate`.
     pub fn count(&self, predicate: &str) -> usize {
-        self.tables.get(predicate).map_or(0, HashMap::len)
+        self.tables.get(predicate).map_or(0, |t| t.rows.len())
     }
 
     /// Total number of stored tuples across relations.
     pub fn total_tuples(&self) -> usize {
-        self.tables.values().map(HashMap::len).sum()
+        self.tables.values().map(|t| t.rows.len()).sum()
     }
 
     /// Approximate storage footprint in bytes (tuple encodings plus tag
@@ -140,6 +300,7 @@ impl NodeStore {
             .iter()
             .map(|(pred, table)| {
                 table
+                    .rows
                     .keys()
                     .map(|values| Tuple::new(pred.clone(), values.clone()).encoded_len())
                     .sum::<usize>()
@@ -148,20 +309,71 @@ impl NodeStore {
     }
 
     /// Removes all tuples whose TTL has passed; returns the removed tuples.
+    /// Secondary indexes stay consistent.
     pub fn expire(&mut self, now: SimTime) -> Vec<Tuple> {
         let mut removed = Vec::new();
         for (pred, table) in &mut self.tables {
             let expired: Vec<Vec<Value>> = table
+                .rows
                 .iter()
-                .filter(|(_, meta)| meta.expires_at.map_or(false, |e| e <= now))
+                .filter(|(_, row)| row.meta.expires_at.is_some_and(|e| e <= now))
                 .map(|(values, _)| values.clone())
                 .collect();
             for values in expired {
-                table.remove(&values);
+                table.remove_row(&values);
                 removed.push(Tuple::new(pred.clone(), values));
             }
         }
         removed
+    }
+
+    /// Verifies that every secondary index exactly mirrors its base table:
+    /// each row appears exactly once in the right bucket of every index,
+    /// every bucket entry references a live row with the matching
+    /// projection, and buckets follow insertion order.  Returns a
+    /// description of the first inconsistency found.
+    pub fn check_index_consistency(&self) -> Result<(), String> {
+        for (pred, table) in &self.tables {
+            for (key_columns, buckets) in &table.indexes {
+                let mut indexed = 0usize;
+                for (key, bucket) in buckets {
+                    if bucket.is_empty() {
+                        return Err(format!("{pred}: empty bucket retained for key {key:?}"));
+                    }
+                    let mut last_seq = None;
+                    for values in bucket {
+                        let row = table.rows.get(values).ok_or_else(|| {
+                            format!("{pred}: index entry {values:?} has no backing row")
+                        })?;
+                        if Table::project(values, key_columns).as_deref() != Some(&key[..]) {
+                            return Err(format!(
+                                "{pred}: row {values:?} filed under wrong key {key:?}"
+                            ));
+                        }
+                        if let Some(prev) = last_seq {
+                            if row.seq <= prev {
+                                return Err(format!(
+                                    "{pred}: bucket {key:?} violates insertion order"
+                                ));
+                            }
+                        }
+                        last_seq = Some(row.seq);
+                        indexed += 1;
+                    }
+                }
+                let expected = table
+                    .rows
+                    .keys()
+                    .filter(|values| Table::project(values, key_columns).is_some())
+                    .count();
+                if indexed != expected {
+                    return Err(format!(
+                        "{pred}: index on {key_columns:?} holds {indexed} rows, table holds {expected}"
+                    ));
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -248,9 +460,13 @@ mod tests {
     #[test]
     fn soft_state_expiry() {
         let mut store = NodeStore::new();
-        store.insert(&link(0, 1), meta(ProvTag::None, Some(100)), |a, _| a.clone());
+        store.insert(&link(0, 1), meta(ProvTag::None, Some(100)), |a, _| {
+            a.clone()
+        });
         store.insert(&link(0, 2), meta(ProvTag::None, None), |a, _| a.clone());
-        store.insert(&link(0, 3), meta(ProvTag::None, Some(500)), |a, _| a.clone());
+        store.insert(&link(0, 3), meta(ProvTag::None, Some(500)), |a, _| {
+            a.clone()
+        });
         let removed = store.expire(SimTime::from_micros(200));
         assert_eq!(removed, vec![link(0, 1)]);
         assert_eq!(store.total_tuples(), 2);
@@ -282,5 +498,165 @@ mod tests {
         assert!(store.remove(&link(0, 1)).is_some());
         assert!(store.remove(&link(0, 1)).is_none());
         assert_eq!(store.total_tuples(), 0);
+    }
+
+    // ---- secondary indexes ------------------------------------------------
+
+    #[test]
+    fn probe_answers_only_the_matching_bucket() {
+        let mut store = NodeStore::new();
+        store.register_index("link", &[0]);
+        for (a, b) in [(0, 1), (0, 2), (1, 2), (2, 0)] {
+            store.insert(&link(a, b), meta(ProvTag::None, None), |a, _| a.clone());
+        }
+        let hits: Vec<Tuple> = store
+            .probe("link", &[0], &[Value::Addr(0)])
+            .unwrap()
+            .map(|(t, _)| t)
+            .collect();
+        assert_eq!(hits, vec![link(0, 1), link(0, 2)], "insertion order");
+        assert_eq!(
+            store
+                .probe("link", &[0], &[Value::Addr(9)])
+                .unwrap()
+                .count(),
+            0
+        );
+        // Probing an unregistered index reports None (fall back to scan).
+        assert!(store.probe("link", &[1], &[Value::Addr(2)]).is_none());
+        assert!(store.probe("other", &[0], &[Value::Addr(0)]).is_none());
+        store.check_index_consistency().unwrap();
+    }
+
+    #[test]
+    fn register_index_backfills_existing_rows_in_insertion_order() {
+        let mut store = NodeStore::new();
+        for (a, b) in [(5, 1), (5, 9), (3, 1), (5, 4)] {
+            store.insert(&link(a, b), meta(ProvTag::None, None), |a, _| a.clone());
+        }
+        store.register_index("link", &[0]);
+        // Idempotent re-registration.
+        store.register_index("link", &[0]);
+        let hits: Vec<Tuple> = store
+            .probe("link", &[0], &[Value::Addr(5)])
+            .unwrap()
+            .map(|(t, _)| t)
+            .collect();
+        assert_eq!(hits, vec![link(5, 1), link(5, 9), link(5, 4)]);
+        store.check_index_consistency().unwrap();
+    }
+
+    #[test]
+    fn indexes_survive_interleaved_insert_remove_expire() {
+        let mut store = NodeStore::new();
+        store.register_index("link", &[0]);
+        store.register_index("link", &[0, 1]);
+
+        // Interleave: inserts with mixed TTLs, removes, expiry, re-inserts.
+        store.insert(&link(0, 1), meta(ProvTag::None, Some(100)), |a, _| {
+            a.clone()
+        });
+        store.insert(&link(0, 2), meta(ProvTag::None, None), |a, _| a.clone());
+        store.check_index_consistency().unwrap();
+
+        store.remove(&link(0, 1));
+        store.check_index_consistency().unwrap();
+
+        store.insert(&link(0, 1), meta(ProvTag::None, Some(200)), |a, _| {
+            a.clone()
+        });
+        store.insert(&link(1, 2), meta(ProvTag::None, Some(50)), |a, _| a.clone());
+        store.check_index_consistency().unwrap();
+
+        // Expire drops link(1,2) (TTL 50) and link(0,1) (TTL 200).
+        let removed = store.expire(SimTime::from_micros(60));
+        assert_eq!(removed, vec![link(1, 2)]);
+        store.check_index_consistency().unwrap();
+        let removed = store.expire(SimTime::from_micros(500));
+        assert_eq!(removed, vec![link(0, 1)]);
+        store.check_index_consistency().unwrap();
+
+        // The stale keys are really gone from the probe path.
+        let hits: Vec<Tuple> = store
+            .probe("link", &[0], &[Value::Addr(0)])
+            .unwrap()
+            .map(|(t, _)| t)
+            .collect();
+        assert_eq!(hits, vec![link(0, 2)]);
+        assert_eq!(
+            store
+                .probe("link", &[0, 1], &[Value::Addr(0), Value::Addr(1)])
+                .unwrap()
+                .count(),
+            0
+        );
+
+        // Re-insertion after expiry shows up again.
+        store.insert(&link(0, 1), meta(ProvTag::None, None), |a, _| a.clone());
+        store.check_index_consistency().unwrap();
+        assert_eq!(
+            store
+                .probe("link", &[0, 1], &[Value::Addr(0), Value::Addr(1)])
+                .unwrap()
+                .count(),
+            1
+        );
+        // Insertion order in the shared bucket reflects the re-insert.
+        let hits: Vec<Tuple> = store
+            .probe("link", &[0], &[Value::Addr(0)])
+            .unwrap()
+            .map(|(t, _)| t)
+            .collect();
+        assert_eq!(hits, vec![link(0, 2), link(0, 1)]);
+    }
+
+    #[test]
+    fn duplicate_insert_does_not_duplicate_index_entries() {
+        let mut store = NodeStore::new();
+        store.register_index("link", &[1]);
+        store.insert(&link(0, 7), meta(ProvTag::None, None), |a, _| a.clone());
+        store.insert(&link(0, 7), meta(ProvTag::None, None), |a, _| a.clone());
+        assert_eq!(
+            store
+                .probe("link", &[1], &[Value::Addr(7)])
+                .unwrap()
+                .count(),
+            1
+        );
+        store.check_index_consistency().unwrap();
+    }
+
+    #[test]
+    fn scan_ordered_follows_insertion_sequence() {
+        let mut store = NodeStore::new();
+        let inserted = [(4, 0), (2, 9), (7, 7), (0, 0), (3, 3)];
+        for (a, b) in inserted {
+            store.insert(&link(a, b), meta(ProvTag::None, None), |a, _| a.clone());
+        }
+        let got: Vec<Tuple> = store
+            .scan_ordered("link")
+            .into_iter()
+            .map(|(t, _)| t)
+            .collect();
+        let expected: Vec<Tuple> = inserted.iter().map(|&(a, b)| link(a, b)).collect();
+        assert_eq!(got, expected);
+        // Removal keeps relative order of the survivors.
+        store.remove(&link(7, 7));
+        let got: Vec<Tuple> = store
+            .scan_ordered("link")
+            .into_iter()
+            .map(|(t, _)| t)
+            .collect();
+        assert_eq!(got, vec![link(4, 0), link(2, 9), link(0, 0), link(3, 3)]);
+        assert!(store.scan_ordered("nope").is_empty());
+    }
+
+    #[test]
+    fn has_index_reflects_registration() {
+        let mut store = NodeStore::new();
+        assert!(!store.has_index("link", &[0]));
+        store.register_index("link", &[0]);
+        assert!(store.has_index("link", &[0]));
+        assert!(!store.has_index("link", &[1]));
     }
 }

@@ -127,10 +127,7 @@ mod tests {
     fn display_and_located_rendering() {
         let t = sample();
         assert_eq!(t.to_string(), "bestPath(n0,n3,[n0,n1,n3],7)");
-        assert_eq!(
-            t.render_located(Some(0)),
-            "bestPath(@n0,n3,[n0,n1,n3],7)"
-        );
+        assert_eq!(t.render_located(Some(0)), "bestPath(@n0,n3,[n0,n1,n3],7)");
         assert_eq!(t.arity(), 4);
         assert_eq!(t.value(3), Some(&Value::Int(7)));
         assert_eq!(t.value(9), None);

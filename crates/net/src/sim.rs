@@ -19,7 +19,9 @@ use std::fmt;
 use std::ops::{Add, AddAssign};
 
 /// A point in simulated time, in microseconds.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Default, Hash, Serialize, Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Default, Hash, Serialize, Deserialize,
+)]
 pub struct SimTime(pub u64);
 
 impl SimTime {
@@ -307,7 +309,12 @@ impl CpuSchedule {
     /// Schedules `work` on `node` starting no earlier than `now`; returns the
     /// completion time and marks the node busy until then.
     pub fn run(&mut self, node: NodeId, now: SimTime, work: SimTime) -> SimTime {
-        let start = self.busy_until.get(&node.0).copied().unwrap_or(SimTime::ZERO).max(now);
+        let start = self
+            .busy_until
+            .get(&node.0)
+            .copied()
+            .unwrap_or(SimTime::ZERO)
+            .max(now);
         let done = start + work;
         self.busy_until.insert(node.0, done);
         done
@@ -315,12 +322,19 @@ impl CpuSchedule {
 
     /// The time at which `node` becomes idle.
     pub fn idle_at(&self, node: NodeId) -> SimTime {
-        self.busy_until.get(&node.0).copied().unwrap_or(SimTime::ZERO)
+        self.busy_until
+            .get(&node.0)
+            .copied()
+            .unwrap_or(SimTime::ZERO)
     }
 
     /// The latest busy-until time across all nodes.
     pub fn latest(&self) -> SimTime {
-        self.busy_until.values().copied().max().unwrap_or(SimTime::ZERO)
+        self.busy_until
+            .values()
+            .copied()
+            .max()
+            .unwrap_or(SimTime::ZERO)
     }
 }
 
@@ -343,10 +357,7 @@ mod tests {
         let small = cost.message_latency(100);
         let large = cost.message_latency(10_000);
         assert!(large > small);
-        assert_eq!(
-            CostModel::zero_cpu().message_latency(1_000),
-            SimTime(1_000)
-        );
+        assert_eq!(CostModel::zero_cpu().message_latency(1_000), SimTime(1_000));
     }
 
     #[test]
@@ -354,15 +365,42 @@ mod tests {
         let mut net: NetworkSim<&'static str> = NetworkSim::new(CostModel::zero_cpu());
         // Larger messages take longer (per_byte 0 here, so same latency —
         // delivery falls back to send order).
-        net.send(SimTime(0), Message { src: NodeId(0), dst: NodeId(1), payload: "first", wire_bytes: 10 });
-        net.send(SimTime(0), Message { src: NodeId(0), dst: NodeId(2), payload: "second", wire_bytes: 10 });
-        net.send(SimTime(5_000), Message { src: NodeId(1), dst: NodeId(2), payload: "third", wire_bytes: 10 });
+        net.send(
+            SimTime(0),
+            Message {
+                src: NodeId(0),
+                dst: NodeId(1),
+                payload: "first",
+                wire_bytes: 10,
+            },
+        );
+        net.send(
+            SimTime(0),
+            Message {
+                src: NodeId(0),
+                dst: NodeId(2),
+                payload: "second",
+                wire_bytes: 10,
+            },
+        );
+        net.send(
+            SimTime(5_000),
+            Message {
+                src: NodeId(1),
+                dst: NodeId(2),
+                payload: "third",
+                wire_bytes: 10,
+            },
+        );
         assert_eq!(net.pending(), 3);
 
         let (t1, m1) = net.deliver_next().unwrap();
         let (t2, m2) = net.deliver_next().unwrap();
         let (t3, m3) = net.deliver_next().unwrap();
-        assert_eq!((m1.payload, m2.payload, m3.payload), ("first", "second", "third"));
+        assert_eq!(
+            (m1.payload, m2.payload, m3.payload),
+            ("first", "second", "third")
+        );
         assert!(t1 <= t2 && t2 <= t3);
         assert!(net.is_idle());
         assert!(net.deliver_next().is_none());
@@ -376,8 +414,24 @@ mod tests {
             ..CostModel::zero_cpu()
         };
         let mut net: NetworkSim<&'static str> = NetworkSim::new(cost);
-        net.send(SimTime(0), Message { src: NodeId(0), dst: NodeId(1), payload: "big", wire_bytes: 1_000 });
-        net.send(SimTime(0), Message { src: NodeId(0), dst: NodeId(1), payload: "small", wire_bytes: 10 });
+        net.send(
+            SimTime(0),
+            Message {
+                src: NodeId(0),
+                dst: NodeId(1),
+                payload: "big",
+                wire_bytes: 1_000,
+            },
+        );
+        net.send(
+            SimTime(0),
+            Message {
+                src: NodeId(0),
+                dst: NodeId(1),
+                payload: "small",
+                wire_bytes: 10,
+            },
+        );
         let (_, first) = net.deliver_next().unwrap();
         assert_eq!(first.payload, "small");
     }
@@ -385,9 +439,33 @@ mod tests {
     #[test]
     fn traffic_stats_accumulate_bytes_and_messages() {
         let mut net: NetworkSim<u8> = NetworkSim::new(CostModel::paper_2008());
-        net.send(SimTime(0), Message { src: NodeId(3), dst: NodeId(1), payload: 0, wire_bytes: 500 });
-        net.send(SimTime(0), Message { src: NodeId(3), dst: NodeId(2), payload: 0, wire_bytes: 700 });
-        net.send(SimTime(0), Message { src: NodeId(1), dst: NodeId(3), payload: 0, wire_bytes: 300 });
+        net.send(
+            SimTime(0),
+            Message {
+                src: NodeId(3),
+                dst: NodeId(1),
+                payload: 0,
+                wire_bytes: 500,
+            },
+        );
+        net.send(
+            SimTime(0),
+            Message {
+                src: NodeId(3),
+                dst: NodeId(2),
+                payload: 0,
+                wire_bytes: 700,
+            },
+        );
+        net.send(
+            SimTime(0),
+            Message {
+                src: NodeId(1),
+                dst: NodeId(3),
+                payload: 0,
+                wire_bytes: 300,
+            },
+        );
         let stats = net.stats();
         assert_eq!(stats.messages, 3);
         assert_eq!(stats.bytes, 1_500);
@@ -398,7 +476,15 @@ mod tests {
     #[test]
     fn horizon_tracks_latest_activity() {
         let mut net: NetworkSim<u8> = NetworkSim::new(CostModel::zero_cpu());
-        let t = net.send(SimTime(10), Message { src: NodeId(0), dst: NodeId(1), payload: 0, wire_bytes: 1 });
+        let t = net.send(
+            SimTime(10),
+            Message {
+                src: NodeId(0),
+                dst: NodeId(1),
+                payload: 0,
+                wire_bytes: 1,
+            },
+        );
         assert_eq!(net.horizon(), t);
     }
 

@@ -58,9 +58,21 @@ impl Topology {
         Topology::new(
             [a, b, c],
             vec![
-                Link { src: a, dst: b, cost: 1 },
-                Link { src: a, dst: c, cost: 1 },
-                Link { src: b, dst: c, cost: 1 },
+                Link {
+                    src: a,
+                    dst: b,
+                    cost: 1,
+                },
+                Link {
+                    src: a,
+                    dst: c,
+                    cost: 1,
+                },
+                Link {
+                    src: b,
+                    dst: c,
+                    cost: 1,
+                },
             ],
         )
     }
@@ -71,8 +83,16 @@ impl Topology {
         let mut links = Vec::new();
         for i in 0..n {
             let next = (i + 1) % n;
-            links.push(Link { src: NodeId(i), dst: NodeId(next), cost: 1 });
-            links.push(Link { src: NodeId(next), dst: NodeId(i), cost: 1 });
+            links.push(Link {
+                src: NodeId(i),
+                dst: NodeId(next),
+                cost: 1,
+            });
+            links.push(Link {
+                src: NodeId(next),
+                dst: NodeId(i),
+                cost: 1,
+            });
         }
         Topology::new((0..n).map(NodeId), links)
     }
@@ -82,8 +102,16 @@ impl Topology {
         assert!(n >= 2);
         let mut links = Vec::new();
         for i in 0..n - 1 {
-            links.push(Link { src: NodeId(i), dst: NodeId(i + 1), cost: 1 });
-            links.push(Link { src: NodeId(i + 1), dst: NodeId(i), cost: 1 });
+            links.push(Link {
+                src: NodeId(i),
+                dst: NodeId(i + 1),
+                cost: 1,
+            });
+            links.push(Link {
+                src: NodeId(i + 1),
+                dst: NodeId(i),
+                cost: 1,
+            });
         }
         Topology::new((0..n).map(NodeId), links)
     }
@@ -96,12 +124,28 @@ impl Topology {
         for y in 0..h {
             for x in 0..w {
                 if x + 1 < w {
-                    links.push(Link { src: id(x, y), dst: id(x + 1, y), cost: 1 });
-                    links.push(Link { src: id(x + 1, y), dst: id(x, y), cost: 1 });
+                    links.push(Link {
+                        src: id(x, y),
+                        dst: id(x + 1, y),
+                        cost: 1,
+                    });
+                    links.push(Link {
+                        src: id(x + 1, y),
+                        dst: id(x, y),
+                        cost: 1,
+                    });
                 }
                 if y + 1 < h {
-                    links.push(Link { src: id(x, y), dst: id(x, y + 1), cost: 1 });
-                    links.push(Link { src: id(x, y + 1), dst: id(x, y), cost: 1 });
+                    links.push(Link {
+                        src: id(x, y),
+                        dst: id(x, y + 1),
+                        cost: 1,
+                    });
+                    links.push(Link {
+                        src: id(x, y + 1),
+                        dst: id(x, y),
+                        cost: 1,
+                    });
                 }
             }
         }
@@ -115,7 +159,11 @@ impl Topology {
         for i in 0..n {
             for j in 0..n {
                 if i != j {
-                    links.push(Link { src: NodeId(i), dst: NodeId(j), cost: 1 });
+                    links.push(Link {
+                        src: NodeId(i),
+                        dst: NodeId(j),
+                        cost: 1,
+                    });
                 }
             }
         }
@@ -347,7 +395,11 @@ mod tests {
     fn new_adds_nodes_referenced_only_by_links() {
         let t = Topology::new(
             [],
-            vec![Link { src: NodeId(9), dst: NodeId(3), cost: 2 }],
+            vec![Link {
+                src: NodeId(9),
+                dst: NodeId(3),
+                cost: 2,
+            }],
         );
         assert_eq!(t.node_count(), 2);
         assert_eq!(t.nodes(), &[NodeId(3), NodeId(9)]);

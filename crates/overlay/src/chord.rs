@@ -56,7 +56,10 @@ impl fmt::Display for ChordError {
             ChordError::KeyProvisioning(e) => write!(f, "key provisioning failed: {e}"),
             ChordError::UnknownNode(id) => write!(f, "node {id} is not a ring member"),
             ChordError::LookupLoop { key, visited } => {
-                write!(f, "lookup for {key} visited {visited} nodes without converging")
+                write!(
+                    f,
+                    "lookup for {key} visited {visited} nodes without converging"
+                )
             }
             ChordError::InvalidLookup(msg) => write!(f, "lookup verification failed: {msg}"),
             ChordError::NotFound(name) => write!(f, "no value stored under {name:?}"),
@@ -204,8 +207,17 @@ pub struct LookupHop {
 
 impl LookupHop {
     /// The canonical byte string a forwarding node signs for one hop.
-    pub fn hop_payload(key: ChordId, index: usize, node: ChordId, forwarded_to: ChordId) -> Vec<u8> {
-        format!("chordHop:{:#x}:{index}:{:#x}->{:#x}", key.0, node.0, forwarded_to.0).into_bytes()
+    pub fn hop_payload(
+        key: ChordId,
+        index: usize,
+        node: ChordId,
+        forwarded_to: ChordId,
+    ) -> Vec<u8> {
+        format!(
+            "chordHop:{:#x}:{index}:{:#x}->{:#x}",
+            key.0, node.0, forwarded_to.0
+        )
+        .into_bytes()
     }
 }
 
@@ -330,8 +342,7 @@ impl LookupTrace {
             antecedents.push(prev);
         }
         let result_key = format!("lookupResult({key},{:#x})", self.owner.0);
-        let payload =
-            derivation_payload(&result_key, "ch_result", &origin_location, &antecedents);
+        let payload = derivation_payload(&result_key, "ch_result", &origin_location, &antecedents);
         let assertion = sign(self.owner, &payload);
         graph.add_derivation(
             &result_key,
@@ -499,7 +510,7 @@ impl ChordRing {
         };
         let bits = self.space.bits();
         let space = self.space;
-        let list_len = self.successor_list_len.min(n.saturating_sub(1)).max(0);
+        let list_len = self.successor_list_len.min(n.saturating_sub(1));
         for (pos, id) in ids.iter().enumerate() {
             let successor = ids[(pos + 1) % n];
             let predecessor = ids[(pos + n - 1) % n];
@@ -533,7 +544,10 @@ impl ChordRing {
     /// Re-admits a previously removed member with its old identity and
     /// storage.
     pub fn rejoin_node(&mut self, id: ChordId) -> Result<(), ChordError> {
-        let node = self.departed.remove(&id).ok_or(ChordError::UnknownNode(id))?;
+        let node = self
+            .departed
+            .remove(&id)
+            .ok_or(ChordError::UnknownNode(id))?;
         self.nodes.insert(id, node);
         Ok(())
     }
@@ -552,7 +566,9 @@ impl ChordRing {
                 });
             }
             let (forwarded_to, done) =
-                if self.space.in_open_closed(current.id, current.successor, key)
+                if self
+                    .space
+                    .in_open_closed(current.id, current.successor, key)
                     || current.id == current.successor
                 {
                     (current.successor, true)
@@ -594,7 +610,11 @@ impl ChordRing {
         }
         // Any member can verify: the key directory is shared.  Prefer the
         // origin's view when it is still a member.
-        let verifier = match self.nodes.get(&trace.origin).or_else(|| self.nodes.values().next()) {
+        let verifier = match self
+            .nodes
+            .get(&trace.origin)
+            .or_else(|| self.nodes.values().next())
+        {
             Some(node) => &node.authenticator,
             None => return Err(ChordError::EmptyRing),
         };
@@ -612,8 +632,7 @@ impl ChordRing {
                     hop.node, expected_node
                 )));
             }
-            let expected_payload =
-                LookupHop::hop_payload(trace.key, i, hop.node, hop.forwarded_to);
+            let expected_payload = LookupHop::hop_payload(trace.key, i, hop.node, hop.forwarded_to);
             if expected_payload != hop.payload {
                 return Err(ChordError::InvalidLookup(format!(
                     "hop {i} payload does not match its claimed key/route"
@@ -648,9 +667,13 @@ impl ChordRing {
         trace: &LookupTrace,
     ) -> Result<DerivationGraph, ChordError> {
         let owner_principal = self.principal_of(trace.owner)?;
-        Ok(trace.provenance_graph_with(owner_principal, |node, payload| {
-            self.nodes.get(&node).map(|n| n.authenticator.assert(payload))
-        }))
+        Ok(
+            trace.provenance_graph_with(owner_principal, |node, payload| {
+                self.nodes
+                    .get(&node)
+                    .map(|n| n.authenticator.assert(payload))
+            }),
+        )
     }
 
     /// Stores `value` under `name`: the inserting node signs the value, the
@@ -792,7 +815,11 @@ mod tests {
             for i in 0..20 {
                 let key = ring.space().key_id(&format!("k{i}"));
                 let trace = ring.lookup(origin, key).unwrap();
-                assert_eq!(trace.owner, ring.successor_of(key), "origin {origin} key k{i}");
+                assert_eq!(
+                    trace.owner,
+                    ring.successor_of(key),
+                    "origin {origin} key k{i}"
+                );
                 assert_eq!(trace.origin, origin);
                 assert!(trace.hop_count() >= 1);
             }
@@ -908,11 +935,7 @@ mod tests {
         ring.put(origin, "resilient", b"still here").unwrap();
         let key = ring.space().key_id("resilient");
         let owner = ring.successor_of(key);
-        let querier = ring
-            .node_ids()
-            .into_iter()
-            .find(|id| *id != owner)
-            .unwrap();
+        let querier = ring.node_ids().into_iter().find(|id| *id != owner).unwrap();
         ring.remove_node(owner).unwrap();
         ring.stabilize();
         let fetched = ring.get(querier, "resilient").unwrap();
@@ -933,7 +956,10 @@ mod tests {
         ));
         let gone = ring.node_ids()[1];
         ring.remove_node(gone).unwrap();
-        assert!(matches!(ring.rejoin_node(ChordId(42)), Err(ChordError::UnknownNode(_))));
+        assert!(matches!(
+            ring.rejoin_node(ChordId(42)),
+            Err(ChordError::UnknownNode(_))
+        ));
         ring.rejoin_node(gone).unwrap();
         assert_eq!(ring.len(), 4);
     }

@@ -18,8 +18,8 @@
 //! detection without reproducing the full DNS wire protocol.
 
 use pasn_crypto::sha256::{to_hex, Digest};
-use pasn_crypto::{KeyAuthority, Principal, PrincipalId, RsaPublicKey, SaysAssertion, SaysLevel};
 use pasn_crypto::{Authenticator, SaysError};
+use pasn_crypto::{KeyAuthority, Principal, PrincipalId, RsaPublicKey, SaysAssertion, SaysLevel};
 use pasn_provenance::{BaseTupleId, DerivationGraph, VoteSet};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
@@ -79,7 +79,10 @@ impl fmt::Display for DnsError {
                 write!(f, "zone {zone:?} references missing parent {parent:?}")
             }
             DnsError::InvalidZoneName { zone, parent } => {
-                write!(f, "zone {zone:?} is not a subdomain of its parent {parent:?}")
+                write!(
+                    f,
+                    "zone {zone:?} is not a subdomain of its parent {parent:?}"
+                )
             }
             DnsError::KeyProvisioning(e) => write!(f, "key provisioning failed: {e}"),
             DnsError::UnknownZone(z) => write!(f, "unknown zone {z:?}"),
@@ -87,7 +90,10 @@ impl fmt::Display for DnsError {
             DnsError::NameNotFound(n) => write!(f, "name {n:?} has no address record"),
             DnsError::UntrustedRoot => write!(f, "root key does not match the trust anchor"),
             DnsError::BadSignature { zone, owner } => {
-                write!(f, "record {owner:?} in zone {zone:?} has an invalid signature")
+                write!(
+                    f,
+                    "record {owner:?} in zone {zone:?} has an invalid signature"
+                )
             }
             DnsError::BrokenChain { parent, child } => write!(
                 f,
@@ -215,9 +221,9 @@ impl Zone {
 
     /// The zone's address record for `name`, if any.
     pub fn address_record(&self, name: &str) -> Option<&SignedRecord> {
-        self.records.iter().find(|r| {
-            r.record.owner == name && matches!(r.record.data, RecordData::Address(_))
-        })
+        self.records
+            .iter()
+            .find(|r| r.record.owner == name && matches!(r.record.data, RecordData::Address(_)))
     }
 
     /// The delegation record for `child_zone`, if any.
@@ -274,13 +280,15 @@ impl SecureDnsBuilder {
 
     /// Declares a zone delegated from `parent`.
     pub fn zone(mut self, name: &str, parent: &str) -> Self {
-        self.zones.push((name.to_string(), Some(parent.to_string())));
+        self.zones
+            .push((name.to_string(), Some(parent.to_string())));
         self
     }
 
     /// Adds an address record for `owner` in `zone`.
     pub fn address(mut self, zone: &str, owner: &str, addr: u32) -> Self {
-        self.addresses.push((zone.to_string(), owner.to_string(), addr));
+        self.addresses
+            .push((zone.to_string(), owner.to_string(), addr));
         self
     }
 
@@ -380,7 +388,11 @@ impl SecureDnsBuilder {
                 },
             };
             let signed = sign(&signers, record);
-            zones.get_mut(&parent).expect("validated above").records.push(signed);
+            zones
+                .get_mut(&parent)
+                .expect("validated above")
+                .records
+                .push(signed);
         }
 
         // Address and text records.
@@ -463,11 +475,7 @@ impl SecureDns {
         if let Some(root) = self.zones.get(".") {
             chain.push(root);
         }
-        loop {
-            let current = match chain.last() {
-                Some(z) => *z,
-                None => break,
-            };
+        while let Some(&current) = chain.last() {
             // Deepest declared child of `current` whose name is a suffix of
             // the queried name.
             let next = self
@@ -594,7 +602,11 @@ impl Resolution {
             graph.add_derivation(
                 &derived_key,
                 &step.zone,
-                if i + 1 == self.chain.len() { "dns_answer" } else { "dns_delegate" },
+                if i + 1 == self.chain.len() {
+                    "dns_answer"
+                } else {
+                    "dns_delegate"
+                },
                 &step.zone,
                 &[previous.clone(), record_key],
                 Some(step.principal),
@@ -618,8 +630,9 @@ impl Resolution {
                 step.record.owner,
                 match &step.record.data {
                     RecordData::Address(a) => format!("address {a}"),
-                    RecordData::Delegation { key_fingerprint, .. } =>
-                        format!("key {}", &to_hex(key_fingerprint)[..16]),
+                    RecordData::Delegation {
+                        key_fingerprint, ..
+                    } => format!("key {}", &to_hex(key_fingerprint)[..16]),
                     RecordData::Text(t) => t.clone(),
                 }
             ));
@@ -645,10 +658,7 @@ impl Resolver {
         Ok(Resolver::new(dns.root_fingerprint()?))
     }
 
-    fn verify_record(
-        key: &RsaPublicKey,
-        record: &SignedRecord,
-    ) -> Result<(), DnsError> {
+    fn verify_record(key: &RsaPublicKey, record: &SignedRecord) -> Result<(), DnsError> {
         let valid = match &record.assertion.proof {
             pasn_crypto::SaysProof::Rsa(sig) => key.verify(&record.record.payload(), sig),
             _ => false,
@@ -701,15 +711,17 @@ impl Resolver {
             }
 
             let child = chain_zones[i + 1];
-            let delegation = zone
-                .delegation_record(&child.name)
-                .ok_or_else(|| DnsError::BrokenChain {
-                    parent: zone.name.clone(),
-                    child: child.name.clone(),
-                })?;
+            let delegation =
+                zone.delegation_record(&child.name)
+                    .ok_or_else(|| DnsError::BrokenChain {
+                        parent: zone.name.clone(),
+                        child: child.name.clone(),
+                    })?;
             Self::verify_record(&current_key, delegation)?;
             let endorsed = match &delegation.record.data {
-                RecordData::Delegation { key_fingerprint, .. } => *key_fingerprint,
+                RecordData::Delegation {
+                    key_fingerprint, ..
+                } => *key_fingerprint,
                 _ => unreachable!("delegation_record returns only delegations"),
             };
             let child_key = child.published_key().clone();
@@ -827,7 +839,7 @@ mod tests {
     #[test]
     fn tampered_address_records_fail_signature_validation() {
         let mut dns = example_hierarchy();
-        dns.tamper_address("example.org", "www.example.org", 0xbad1_dea)
+        dns.tamper_address("example.org", "www.example.org", 0x0bad_1dea)
             .unwrap();
         let resolver = Resolver::anchored_at(&dns).unwrap();
         assert!(matches!(

@@ -96,7 +96,11 @@ impl IdSpace {
     ///
     /// Panics when `k >= bits`.
     pub fn finger_start(&self, n: ChordId, k: u32) -> ChordId {
-        assert!(k < self.bits, "finger index {k} out of range for {} bits", self.bits);
+        assert!(
+            k < self.bits,
+            "finger index {k} out of range for {} bits",
+            self.bits
+        );
         self.add(n, 1u64 << k)
     }
 

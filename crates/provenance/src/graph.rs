@@ -62,7 +62,12 @@ impl TupleNode {
 
 /// The canonical byte string a principal signs to vouch for a derivation
 /// step (authenticated provenance, Section 4.3).
-pub fn derivation_payload(head: &str, rule: &str, location: &str, antecedents: &[String]) -> Vec<u8> {
+pub fn derivation_payload(
+    head: &str,
+    rule: &str,
+    location: &str,
+    antecedents: &[String],
+) -> Vec<u8> {
     let mut out = Vec::new();
     out.extend_from_slice(head.as_bytes());
     out.push(0);
@@ -255,13 +260,10 @@ impl DerivationGraph {
                     .iter()
                     .map(|a| self.node(*a).key.clone())
                     .collect();
-                let payload =
-                    derivation_payload(&node.key, &d.rule, &d.location, &antecedent_keys);
+                let payload = derivation_payload(&node.key, &d.rule, &d.location, &antecedent_keys);
                 match (&d.assertion, node.asserted_by) {
-                    (Some(assertion), _) => {
-                        if !verify(assertion.principal, &payload, assertion) {
-                            failures.push(node.key.clone());
-                        }
+                    (Some(assertion), _) if !verify(assertion.principal, &payload, assertion) => {
+                        failures.push(node.key.clone());
                     }
                     (None, _) if require_assertions => failures.push(node.key.clone()),
                     _ => {}
@@ -451,7 +453,7 @@ impl DerivationGraph {
     pub fn purge_expired(&mut self, now: u64) -> usize {
         let expired: HashSet<ProvNodeId> = self
             .iter()
-            .filter(|(_, n)| n.expires_at.map_or(false, |e| e <= now))
+            .filter(|(_, n)| n.expires_at.is_some_and(|e| e <= now))
             .map(|(id, _)| id)
             .collect();
         if expired.is_empty() {
@@ -504,21 +506,62 @@ mod tests {
     ///   r1: reachable(@b,c) :- link(@b,c)
     fn figure1() -> (DerivationGraph, ProvNodeId) {
         let mut g = DerivationGraph::new();
-        g.add_base("link(@a,b)", "a", BaseTupleId(1), Some(PrincipalId(0)), 0, None);
-        g.add_base("link(@a,c)", "a", BaseTupleId(2), Some(PrincipalId(0)), 0, None);
-        g.add_base("link(@b,c)", "b", BaseTupleId(3), Some(PrincipalId(1)), 0, None);
-        g.add_derivation(
-            "reachable(@b,c)", "b", "r1", "b",
-            &["link(@b,c)".into()], Some(PrincipalId(1)), None, 1, None,
+        g.add_base(
+            "link(@a,b)",
+            "a",
+            BaseTupleId(1),
+            Some(PrincipalId(0)),
+            0,
+            None,
+        );
+        g.add_base(
+            "link(@a,c)",
+            "a",
+            BaseTupleId(2),
+            Some(PrincipalId(0)),
+            0,
+            None,
+        );
+        g.add_base(
+            "link(@b,c)",
+            "b",
+            BaseTupleId(3),
+            Some(PrincipalId(1)),
+            0,
+            None,
         );
         g.add_derivation(
-            "reachable(@a,c)", "a", "r1", "a",
-            &["link(@a,c)".into()], Some(PrincipalId(0)), None, 1, None,
+            "reachable(@b,c)",
+            "b",
+            "r1",
+            "b",
+            &["link(@b,c)".into()],
+            Some(PrincipalId(1)),
+            None,
+            1,
+            None,
+        );
+        g.add_derivation(
+            "reachable(@a,c)",
+            "a",
+            "r1",
+            "a",
+            &["link(@a,c)".into()],
+            Some(PrincipalId(0)),
+            None,
+            1,
+            None,
         );
         let root = g.add_derivation(
-            "reachable(@a,c)", "a", "r2", "a",
+            "reachable(@a,c)",
+            "a",
+            "r2",
+            "a",
             &["link(@a,b)".into(), "reachable(@b,c)".into()],
-            Some(PrincipalId(0)), None, 2, None,
+            Some(PrincipalId(0)),
+            None,
+            2,
+            None,
         );
         (g, root)
     }
@@ -563,8 +606,28 @@ mod tests {
         let mut g = DerivationGraph::new();
         g.add_base("link(@a,b)", "a", BaseTupleId(1), None, 0, None);
         // Mutual recursion: p depends on q, q depends on p (plus a base).
-        g.add_derivation("p(a)", "a", "r1", "a", &["q(a)".into()], None, None, 0, None);
-        g.add_derivation("q(a)", "a", "r2", "a", &["p(a)".into(), "link(@a,b)".into()], None, None, 0, None);
+        g.add_derivation(
+            "p(a)",
+            "a",
+            "r1",
+            "a",
+            &["q(a)".into()],
+            None,
+            None,
+            0,
+            None,
+        );
+        g.add_derivation(
+            "q(a)",
+            "a",
+            "r2",
+            "a",
+            &["p(a)".into(), "link(@a,b)".into()],
+            None,
+            None,
+            0,
+            None,
+        );
         let p = g.find("p(a)").unwrap();
         let why = g.why_provenance(p);
         // No derivation grounded purely in base tuples exists for p.
@@ -579,7 +642,17 @@ mod tests {
         let mut g = DerivationGraph::new();
         g.add_base("link(@a,b)", "a", BaseTupleId(1), None, 0, None);
         for _ in 0..3 {
-            g.add_derivation("reachable(@a,b)", "a", "r1", "a", &["link(@a,b)".into()], None, None, 0, None);
+            g.add_derivation(
+                "reachable(@a,b)",
+                "a",
+                "r1",
+                "a",
+                &["link(@a,b)".into()],
+                None,
+                None,
+                0,
+                None,
+            );
         }
         let id = g.find("reachable(@a,b)").unwrap();
         assert_eq!(g.node(id).derivations.len(), 1);
@@ -589,7 +662,17 @@ mod tests {
     fn purge_expired_removes_soft_state() {
         let mut g = DerivationGraph::new();
         g.add_base("link(@a,b)", "a", BaseTupleId(1), None, 0, Some(100));
-        g.add_derivation("reachable(@a,b)", "a", "r1", "a", &["link(@a,b)".into()], None, None, 0, Some(100));
+        g.add_derivation(
+            "reachable(@a,b)",
+            "a",
+            "r1",
+            "a",
+            &["link(@a,b)".into()],
+            None,
+            None,
+            0,
+            Some(100),
+        );
         let root = g.find("reachable(@a,b)").unwrap();
         assert_eq!(g.why_provenance(root).witnesses().len(), 1);
         let purged = g.purge_expired(150);
@@ -637,17 +720,37 @@ mod tests {
 
         let principals = vec![Principal::new(0u32, "a"), Principal::new(1u32, "b")];
         let authority = KeyAuthority::provision_with_modulus(&principals, 5, 512).unwrap();
-        let auth_a = Authenticator::new(authority.keyring_for(PrincipalId(0)).unwrap(), SaysLevel::Rsa);
-        let verifier = Authenticator::new(authority.keyring_for(PrincipalId(1)).unwrap(), SaysLevel::Rsa);
+        let auth_a = Authenticator::new(
+            authority.keyring_for(PrincipalId(0)).unwrap(),
+            SaysLevel::Rsa,
+        );
+        let verifier = Authenticator::new(
+            authority.keyring_for(PrincipalId(1)).unwrap(),
+            SaysLevel::Rsa,
+        );
 
         let mut g = DerivationGraph::new();
-        g.add_base("link(@a,c)", "a", BaseTupleId(1), Some(PrincipalId(0)), 0, None);
+        g.add_base(
+            "link(@a,c)",
+            "a",
+            BaseTupleId(1),
+            Some(PrincipalId(0)),
+            0,
+            None,
+        );
         let antecedents = vec!["link(@a,c)".to_string()];
         let payload = derivation_payload("reachable(@a,c)", "r1", "a", &antecedents);
         let assertion = auth_a.assert(&payload);
         let root = g.add_derivation(
-            "reachable(@a,c)", "a", "r1", "a",
-            &antecedents, Some(PrincipalId(0)), Some(assertion), 1, None,
+            "reachable(@a,c)",
+            "a",
+            "r1",
+            "a",
+            &antecedents,
+            Some(PrincipalId(0)),
+            Some(assertion),
+            1,
+            None,
         );
 
         // All assertions verify.
@@ -669,10 +772,19 @@ mod tests {
         let mut unsigned = DerivationGraph::new();
         unsigned.add_base("link(@a,c)", "a", BaseTupleId(1), None, 0, None);
         let r = unsigned.add_derivation(
-            "reachable(@a,c)", "a", "r1", "a",
-            &["link(@a,c)".into()], None, None, 1, None,
+            "reachable(@a,c)",
+            "a",
+            "r1",
+            "a",
+            &["link(@a,c)".into()],
+            None,
+            None,
+            1,
+            None,
         );
         assert_eq!(unsigned.verify_assertions(r, true, |_, _, _| true).len(), 1);
-        assert!(unsigned.verify_assertions(r, false, |_, _, _| true).is_empty());
+        assert!(unsigned
+            .verify_assertions(r, false, |_, _, _| true)
+            .is_empty());
     }
 }

@@ -292,8 +292,15 @@ mod tests {
             // the origin and stopping on a local benign base; with 200 walks
             // the origin at the end of the funnel is reached often enough to
             // appear, and every chain tuple is visited.
-            assert!(result.base_frequency.contains_key(&BaseTupleId(1)), "seed {seed}");
-            assert!(result.hit_rate() > 0.9, "seed {seed}: {}", result.hit_rate());
+            assert!(
+                result.base_frequency.contains_key(&BaseTupleId(1)),
+                "seed {seed}"
+            );
+            assert!(
+                result.hit_rate() > 0.9,
+                "seed {seed}: {}",
+                result.hit_rate()
+            );
         }
     }
 

@@ -66,7 +66,7 @@ impl SamplingPolicy {
         }
         // A cheap multiplicative hash spreads consecutive ids over buckets.
         let mixed = key_hash.wrapping_mul(0x9e37_79b9_7f4a_7c15);
-        mixed % self.one_in as u64 == 0
+        mixed.is_multiple_of(self.one_in as u64)
     }
 
     /// Expected fraction of derivations recorded.
@@ -97,9 +97,7 @@ impl Granularity {
     /// per AS (the synthetic grouping used by the ablation benchmarks).
     pub fn uniform_as(principal_count: u32, as_size: u32) -> Self {
         let as_size = as_size.max(1);
-        let mapping = (0..principal_count)
-            .map(|p| (p, p / as_size))
-            .collect();
+        let mapping = (0..principal_count).map(|p| (p, p / as_size)).collect();
         Granularity::As { mapping }
     }
 
@@ -163,7 +161,10 @@ mod tests {
         let p = SamplingPolicy::one_in(10);
         let recorded = (0..100_000u64).filter(|h| p.records(*h)).count();
         let fraction = recorded as f64 / 100_000.0;
-        assert!((0.05..0.2).contains(&fraction), "observed fraction {fraction}");
+        assert!(
+            (0.05..0.2).contains(&fraction),
+            "observed fraction {fraction}"
+        );
         assert!((p.expected_fraction() - 0.1).abs() < 1e-12);
         // Deterministic across calls.
         assert_eq!(p.records(12345), p.records(12345));

@@ -347,7 +347,10 @@ mod tests {
         let three = DerivationCount(3);
         assert_eq!(two.plus(&three), DerivationCount(5));
         assert_eq!(two.times(&three), DerivationCount(6));
-        assert_eq!(DerivationCount(u64::MAX).plus(&two), DerivationCount(u64::MAX));
+        assert_eq!(
+            DerivationCount(u64::MAX).plus(&two),
+            DerivationCount(u64::MAX)
+        );
         assert_eq!(two.to_string(), "2 derivations");
     }
 

@@ -256,8 +256,8 @@ impl ArchiveStore {
         self.entries
             .iter()
             .filter(|e| e.key.starts_with(key_prefix))
-            .filter(|e| from.map_or(true, |f| e.derived_at >= f))
-            .filter(|e| to.map_or(true, |t| e.derived_at <= t))
+            .filter(|e| from.is_none_or(|f| e.derived_at >= f))
+            .filter(|e| to.is_none_or(|t| e.derived_at <= t))
             .collect()
     }
 
@@ -289,7 +289,10 @@ mod tests {
                 rule: "r2".into(),
                 antecedents: vec![
                     AntecedentRef::Local("link(@a,b)".into()),
-                    AntecedentRef::Remote { location: "b".into(), key: "reachable(@b,c)".into() },
+                    AntecedentRef::Remote {
+                        location: "b".into(),
+                        key: "reachable(@b,c)".into(),
+                    },
                 ],
             },
         );
@@ -363,8 +366,12 @@ mod tests {
     #[test]
     fn local_store_expiry_delegates_to_graph() {
         let mut store = LocalStore::new();
-        store.graph_mut().add_base("link(@a,b)", "a", BaseTupleId(1), None, 0, Some(50));
-        store.graph_mut().add_base("link(@a,c)", "a", BaseTupleId(2), None, 0, None);
+        store
+            .graph_mut()
+            .add_base("link(@a,b)", "a", BaseTupleId(1), None, 0, Some(50));
+        store
+            .graph_mut()
+            .add_base("link(@a,c)", "a", BaseTupleId(2), None, 0, None);
         assert_eq!(store.expire(100), 1);
         assert_eq!(store.graph().find("link(@a,b)"), None);
         assert!(store.graph().find("link(@a,c)").is_some());

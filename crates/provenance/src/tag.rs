@@ -304,10 +304,8 @@ impl ProvTag {
                     for (var, positive) in cube {
                         if positive {
                             // Map back from BDD variable to principal id.
-                            if let Some((pid, _)) = table
-                                .by_principal
-                                .iter()
-                                .find(|(_, v)| **v == var)
+                            if let Some((pid, _)) =
+                                table.by_principal.iter().find(|(_, v)| **v == var)
                             {
                                 cube_level = cube_level.min(level_of(*pid));
                             }
@@ -378,8 +376,22 @@ mod tests {
     #[test]
     fn why_tag_tracks_witnesses_uncondensed_size() {
         let mut table = VarTable::new();
-        let a = ProvTag::base(ProvenanceKind::Why, &mut table, BaseTupleId(0), "a", p(0), 1);
-        let b = ProvTag::base(ProvenanceKind::Why, &mut table, BaseTupleId(1), "b", p(1), 1);
+        let a = ProvTag::base(
+            ProvenanceKind::Why,
+            &mut table,
+            BaseTupleId(0),
+            "a",
+            p(0),
+            1,
+        );
+        let b = ProvTag::base(
+            ProvenanceKind::Why,
+            &mut table,
+            BaseTupleId(1),
+            "b",
+            p(1),
+            1,
+        );
         let joined = a.times(&b, &mut table);
         match &joined {
             ProvTag::Why(w) => assert_eq!(w.size(), 2),
@@ -391,18 +403,53 @@ mod tests {
     #[test]
     fn trust_count_vote_tags_follow_their_semirings() {
         let mut table = VarTable::new();
-        let t2 = ProvTag::base(ProvenanceKind::Trust, &mut table, BaseTupleId(0), "a", p(0), 2);
-        let t1 = ProvTag::base(ProvenanceKind::Trust, &mut table, BaseTupleId(1), "b", p(1), 1);
+        let t2 = ProvTag::base(
+            ProvenanceKind::Trust,
+            &mut table,
+            BaseTupleId(0),
+            "a",
+            p(0),
+            2,
+        );
+        let t1 = ProvTag::base(
+            ProvenanceKind::Trust,
+            &mut table,
+            BaseTupleId(1),
+            "b",
+            p(1),
+            1,
+        );
         assert_eq!(
             t2.plus(&t2.times(&t1, &mut table), &mut table),
             ProvTag::Trust(TrustLevel(2))
         );
 
-        let c = ProvTag::base(ProvenanceKind::Count, &mut table, BaseTupleId(0), "a", p(0), 1);
+        let c = ProvTag::base(
+            ProvenanceKind::Count,
+            &mut table,
+            BaseTupleId(0),
+            "a",
+            p(0),
+            1,
+        );
         assert_eq!(c.plus(&c, &mut table), ProvTag::Count(DerivationCount(2)));
 
-        let v0 = ProvTag::base(ProvenanceKind::Vote, &mut table, BaseTupleId(0), "a", p(0), 1);
-        let v1 = ProvTag::base(ProvenanceKind::Vote, &mut table, BaseTupleId(1), "b", p(1), 1);
+        let v0 = ProvTag::base(
+            ProvenanceKind::Vote,
+            &mut table,
+            BaseTupleId(0),
+            "a",
+            p(0),
+            1,
+        );
+        let v1 = ProvTag::base(
+            ProvenanceKind::Vote,
+            &mut table,
+            BaseTupleId(1),
+            "b",
+            p(1),
+            1,
+        );
         match v0.plus(&v1, &mut table) {
             ProvTag::Vote(v) => assert!(v.satisfies_threshold(2)),
             other => panic!("unexpected tag {other:?}"),
@@ -412,7 +459,14 @@ mod tests {
     #[test]
     fn none_tag_is_free() {
         let mut table = VarTable::new();
-        let none = ProvTag::base(ProvenanceKind::None, &mut table, BaseTupleId(0), "a", p(0), 1);
+        let none = ProvTag::base(
+            ProvenanceKind::None,
+            &mut table,
+            BaseTupleId(0),
+            "a",
+            p(0),
+            1,
+        );
         assert_eq!(none.wire_size(&table), 0);
         assert_eq!(none.plus(&ProvTag::None, &mut table), ProvTag::None);
         assert_eq!(none.render(&table), "<>");
@@ -423,8 +477,22 @@ mod tests {
     #[should_panic(expected = "kind mismatch")]
     fn mixing_kinds_panics() {
         let mut table = VarTable::new();
-        let a = ProvTag::base(ProvenanceKind::Trust, &mut table, BaseTupleId(0), "a", p(0), 1);
-        let b = ProvTag::base(ProvenanceKind::Count, &mut table, BaseTupleId(1), "b", p(1), 1);
+        let a = ProvTag::base(
+            ProvenanceKind::Trust,
+            &mut table,
+            BaseTupleId(0),
+            "a",
+            p(0),
+            1,
+        );
+        let b = ProvTag::base(
+            ProvenanceKind::Count,
+            &mut table,
+            BaseTupleId(1),
+            "b",
+            p(1),
+            1,
+        );
         let _ = a.times(&b, &mut table);
     }
 

@@ -45,7 +45,11 @@ fn main() {
         );
         if let Some(base) = &baseline {
             let (t, b) = metrics.overhead_vs(base);
-            print!("   (+{:.0}% time, +{:.0}% bytes vs NDLog)", t * 100.0, b * 100.0);
+            print!(
+                "   (+{:.0}% time, +{:.0}% bytes vs NDLog)",
+                t * 100.0,
+                b * 100.0
+            );
         } else {
             baseline = Some(metrics.clone());
         }
@@ -57,11 +61,7 @@ fn main() {
             let mut rows = network.query(&Value::Addr(0), "bestPath");
             rows.sort_by_key(|(t, _)| t.values[1].clone());
             for (tuple, meta) in rows.iter().take(5) {
-                println!(
-                    "    {}  {}",
-                    tuple,
-                    meta.tag.render(network.var_table())
-                );
+                println!("    {}  {}", tuple, meta.tag.render(network.var_table()));
             }
         }
     }

@@ -28,7 +28,9 @@ fn main() {
     plain.run().expect("fixpoint reached");
 
     let a = Value::Addr(0);
-    let graph = plain.provenance_graph(&a).expect("local provenance recorded");
+    let graph = plain
+        .provenance_graph(&a)
+        .expect("local provenance recorded");
     let root = graph
         .find("reachable(@n0,n2)")
         .expect("reachable(a,c) derived at a");
@@ -57,24 +59,25 @@ fn main() {
     secure.run().expect("fixpoint reached");
 
     println!("== Figure 2: SeNDlog derivation tree with condensed provenance ==\n");
-    let graph = secure.provenance_graph(&a).expect("local provenance recorded");
+    let graph = secure
+        .provenance_graph(&a)
+        .expect("local provenance recorded");
     let root = graph.find("reachable(@n0,n2)").expect("derived");
     println!("{}", graph.render_tree(root));
 
     println!("condensed annotations (the <...> field of Figure 2):");
     for (tuple, meta) in secure.query(&a, "reachable") {
-        println!(
-            "  {}  {}",
-            tuple,
-            meta.tag.render(secure.var_table())
-        );
+        println!("  {}  {}", tuple, meta.tag.render(secure.var_table()));
     }
     println!();
     println!(
         "reachable(a,c) has provenance a + a*b over principals, which the BDD\n\
          encoding condenses to {} — principal b is inconsequential once a is trusted.",
         secure
-            .render_provenance(&a, &Tuple::new("reachable", vec![Value::Addr(0), Value::Addr(2)]))
+            .render_provenance(
+                &a,
+                &Tuple::new("reachable", vec![Value::Addr(0), Value::Addr(2)])
+            )
             .expect("annotation available")
     );
 }

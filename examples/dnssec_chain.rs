@@ -29,7 +29,11 @@ fn main() {
 
     for name in ["www.example.org", "edge1.cdn.example.org", "registry.com"] {
         let res = resolver.resolve(&dns, name).expect("resolution validates");
-        println!("{name} -> {:#010x} via {} zone(s):", res.address, res.chain.len());
+        println!(
+            "{name} -> {:#010x} via {} zone(s):",
+            res.address,
+            res.chain.len()
+        );
         print!("{}", res.render_chain());
 
         // The answer's provenance tree, rooted at the trust anchor.

@@ -50,9 +50,15 @@ fn main() {
     // Online investigation (while the route is still alive).
     let report = forensics::investigate(&network, &start, &key);
     println!("traceback of {key} (online):");
-    println!("  visited {} provenance entries", report.traceback.visited.len());
+    println!(
+        "  visited {} provenance entries",
+        report.traceback.visited.len()
+    );
     println!("  crossed {} node boundaries", report.traceback.remote_hops);
-    println!("  grounded in {} base link tuples", report.traceback.base_tuples.len());
+    println!(
+        "  grounded in {} base link tuples",
+        report.traceback.base_tuples.len()
+    );
     println!("  archived derivation records: {}\n", report.archived.len());
 
     // Time passes; the soft-state routes expire.

@@ -27,9 +27,18 @@ fn main() {
     let metrics = network.run().expect("fixpoint reached");
 
     println!("== provenance-aware secure network: quickstart ==\n");
-    println!("query completion time : {:.3} s (simulated)", metrics.completion_secs());
-    println!("bandwidth utilization  : {:.1} KB", metrics.bytes as f64 / 1_000.0);
-    println!("messages / signatures  : {} / {}", metrics.messages, metrics.signatures);
+    println!(
+        "query completion time : {:.3} s (simulated)",
+        metrics.completion_secs()
+    );
+    println!(
+        "bandwidth utilization  : {:.1} KB",
+        metrics.bytes as f64 / 1_000.0
+    );
+    println!(
+        "messages / signatures  : {} / {}",
+        metrics.messages, metrics.signatures
+    );
     println!();
 
     println!("reachable tuples and their condensed provenance:");

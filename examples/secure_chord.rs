@@ -55,7 +55,11 @@ fn main() {
 
     ring.verify_lookup(&result.trace)
         .expect("every hop assertion verifies");
-    println!("all {} hop assertions verified ({} says proofs)", result.trace.hop_count(), ring.says_level().name());
+    println!(
+        "all {} hop assertions verified ({} says proofs)",
+        result.trace.hop_count(),
+        ring.says_level().name()
+    );
 
     // The lookup's provenance, as the paper's derivation-tree shape.
     let graph = ring
@@ -67,7 +71,10 @@ fn main() {
         result.trace.owner.0
     );
     let root = graph.find(&root_key).expect("result node");
-    println!("\nauthenticated lookup provenance:\n{}", graph.render_tree(root));
+    println!(
+        "\nauthenticated lookup provenance:\n{}",
+        graph.render_tree(root)
+    );
 
     // Trust management over the lookup path: accept the answer only if
     // enough distinct principals took part.

@@ -1,0 +1,214 @@
+//! Minimal offline stand-in for the `bytes` crate.
+//!
+//! The workspace vendors the tiny subset of the `bytes` API it actually
+//! uses (length-prefixed framing in `pasn-net::wire` and the wire-format
+//! property tests): [`Bytes`], [`BytesMut`], and the [`Buf`] / [`BufMut`]
+//! accessor traits.  Semantics match the real crate for this subset; the
+//! zero-copy internals are intentionally not reproduced.
+
+#![forbid(unsafe_code)]
+
+use std::sync::Arc;
+
+/// An immutable, cheaply cloneable byte buffer with a read cursor.
+#[derive(Clone, Debug, Default)]
+pub struct Bytes {
+    data: Arc<Vec<u8>>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wraps a static byte slice.
+    pub fn from_static(data: &'static [u8]) -> Self {
+        Bytes::from(data.to_vec())
+    }
+
+    /// Remaining (unread) length.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True if no bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The remaining bytes as a slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+
+    /// Splits off and returns the first `len` remaining bytes.
+    pub fn split_to(&mut self, len: usize) -> Bytes {
+        assert!(len <= self.len(), "split_to out of range");
+        let head = Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start,
+            end: self.start + len,
+        };
+        self.start += len;
+        head
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        let end = data.len();
+        Bytes {
+            data: Arc::new(data),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+/// A growable byte buffer.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty buffer with reserved capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Freezes the buffer into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+/// Read access to a byte cursor.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Reads and consumes a big-endian `u32`.
+    fn get_u32(&mut self) -> u32;
+
+    /// Reads and consumes a single byte.
+    fn get_u8(&mut self) -> u8;
+
+    /// Consumes `len` bytes and returns them as an owned [`Bytes`].
+    fn copy_to_bytes(&mut self, len: usize) -> Bytes;
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn get_u32(&mut self) -> u32 {
+        let raw: [u8; 4] = self.as_slice()[..4].try_into().expect("4 bytes remain");
+        self.start += 4;
+        u32::from_be_bytes(raw)
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let b = self.as_slice()[0];
+        self.start += 1;
+        b
+    }
+
+    fn copy_to_bytes(&mut self, len: usize) -> Bytes {
+        self.split_to(len)
+    }
+}
+
+/// Write access to a growable byte buffer.
+pub trait BufMut {
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, value: u32);
+
+    /// Appends a single byte.
+    fn put_u8(&mut self, value: u8);
+
+    /// Appends a byte slice.
+    fn put_slice(&mut self, data: &[u8]);
+}
+
+impl BufMut for BytesMut {
+    fn put_u32(&mut self, value: u32) {
+        self.data.extend_from_slice(&value.to_be_bytes());
+    }
+
+    fn put_u8(&mut self, value: u8) {
+        self.data.push(value);
+    }
+
+    fn put_slice(&mut self, data: &[u8]) {
+        self.data.extend_from_slice(data);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut out = BytesMut::new();
+        out.put_u32(5);
+        out.put_slice(b"hello");
+        out.put_u8(7);
+        assert_eq!(out.len(), 10);
+        let mut buf = out.freeze();
+        assert_eq!(buf.remaining(), 10);
+        assert_eq!(buf.get_u32(), 5);
+        assert_eq!(buf.copy_to_bytes(5).as_ref(), b"hello");
+        assert_eq!(buf.get_u8(), 7);
+        assert!(buf.is_empty());
+    }
+}

@@ -1,0 +1,263 @@
+//! Minimal offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the API surface the workspace benches use — benchmark groups,
+//! `bench_function` / `bench_with_input`, throughput annotation, and the
+//! `criterion_group!` / `criterion_main!` macros — over a simple wall-clock
+//! measurement loop: a warm-up run, then `sample_size` timed samples whose
+//! total duration is capped by `measurement_time`.  Median and mean sample
+//! times are printed one line per benchmark.  No statistics, plots, or
+//! baselines; swapping the path dependency for the crates.io release
+//! restores the full harness.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter value.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Builds an id from a parameter value alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId { name: name.into() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId { name }
+    }
+}
+
+/// Throughput annotation attached to a group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, collecting up to `sample_size` samples within the
+    /// measurement-time budget.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up (uncounted).
+        black_box(routine());
+        let started = Instant::now();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.samples.push(t0.elapsed());
+            if started.elapsed() > self.measurement_time {
+                break;
+            }
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Caps the total measurement time per benchmark.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Sets the warm-up time (accepted for API compatibility; the shim
+    /// always does exactly one uncounted warm-up iteration).
+    pub fn warm_up_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput figure.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run(&id.name, |b| f(b));
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.name, |b| f(b, input));
+        self
+    }
+
+    fn run(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+        };
+        f(&mut bencher);
+        let full = format!("{}/{}", self.name, name);
+        report(&full, &mut bencher.samples, self.throughput);
+        self.criterion.benchmarks_run += 1;
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+fn report(name: &str, samples: &mut [Duration], throughput: Option<Throughput>) {
+    if samples.is_empty() {
+        println!("{name:<50} no samples collected");
+        return;
+    }
+    samples.sort();
+    let median = samples[samples.len() / 2];
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let rate = throughput
+        .map(|t| {
+            let per_sec = |units: u64| units as f64 / mean.as_secs_f64().max(1e-12);
+            match t {
+                Throughput::Bytes(b) => format!("  {:>10.1} MB/s", per_sec(b) / 1e6),
+                Throughput::Elements(e) => format!("  {:>10.1} elem/s", per_sec(e)),
+            }
+        })
+        .unwrap_or_default();
+    println!(
+        "{name:<50} median {median:>12.3?}  mean {mean:>12.3?}  ({} samples){rate}",
+        samples.len()
+    );
+}
+
+/// The harness entry point handed to each `criterion_group!` target.
+#[derive(Default)]
+pub struct Criterion {
+    benchmarks_run: usize,
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+            throughput: None,
+            criterion: self,
+        }
+    }
+
+    /// Runs a stand-alone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+        };
+        f(&mut bencher);
+        report(name, &mut bencher.samples, None);
+        self.benchmarks_run += 1;
+        self
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_and_benches_run() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(50))
+            .throughput(Throughput::Elements(1));
+        group.bench_function("add", |b| b.iter(|| black_box(1 + 1)));
+        group.bench_with_input(BenchmarkId::new("mul", 3), &3u64, |b, &n| {
+            b.iter(|| black_box(n * n))
+        });
+        group.finish();
+        assert_eq!(c.benchmarks_run, 2);
+    }
+}

@@ -1,0 +1,12 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace annotates a few metric/config structs with
+//! `#[derive(Serialize, Deserialize)]` so downstream users can persist them,
+//! but nothing in-tree serialises through serde.  This shim re-exports
+//! no-op derive macros with the same names so those annotations compile
+//! without network access; swapping the path dependency for the crates.io
+//! release restores real serialisation.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -36,6 +36,18 @@ fn best_costs(net: &SecureNetwork, src: NodeId) -> HashMap<u32, i64> {
 fn best_path_costs_match_dijkstra_for_every_variant() {
     for variant in SystemVariant::ALL {
         let (topology, net) = run_best_path(9, 17, variant);
+        // The Best-Path joins have bound key columns (the localized rules
+        // share location and destination variables), so the correct results
+        // below are produced through the secondary-index probe path, not by
+        // scanning relations.
+        let metrics = net.engine().metrics();
+        assert!(
+            metrics.index_probes > 0 && metrics.index_hits > 0,
+            "{}: joins must take the index path ({} probes / {} hits)",
+            variant.name(),
+            metrics.index_probes,
+            metrics.index_hits
+        );
         for src in topology.nodes() {
             let oracle = topology.shortest_path_costs(*src);
             let measured = best_costs(&net, *src);
@@ -92,7 +104,10 @@ fn best_path_vectors_are_real_paths_with_matching_cost() {
         assert_eq!(nodes.len(), path.len(), "simple path {tuple}");
         checked += 1;
     }
-    assert!(checked > 20, "a meaningful number of best paths were checked");
+    assert!(
+        checked > 20,
+        "a meaningful number of best paths were checked"
+    );
 }
 
 #[test]

@@ -46,7 +46,8 @@ fn answers_resolve_through_the_right_zones() {
 fn every_attack_vector_is_detected() {
     // On-path record rewrite.
     let mut dns = hierarchy();
-    dns.tamper_address("shop.com", "www.shop.com", 0x0bad_beef).unwrap();
+    dns.tamper_address("shop.com", "www.shop.com", 0x0bad_beef)
+        .unwrap();
     let resolver = Resolver::anchored_at(&dns).unwrap();
     assert!(resolver.resolve(&dns, "www.shop.com").is_err());
     // Unrelated zones keep validating.

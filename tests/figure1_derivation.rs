@@ -8,7 +8,11 @@ fn figure1_network(config: EngineConfig) -> SecureNetwork {
     let mut net = SecureNetwork::builder()
         .program(pasn::programs::reachability_ndlog())
         .topology(Topology::paper_figure1())
-        .config(config.with_cost_model(CostModel::zero_cpu()).with_graph_mode(GraphMode::Local))
+        .config(
+            config
+                .with_cost_model(CostModel::zero_cpu())
+                .with_graph_mode(GraphMode::Local),
+        )
         .build()
         .expect("program compiles");
     net.run().expect("fixpoint reached");
@@ -19,8 +23,12 @@ fn figure1_network(config: EngineConfig) -> SecureNetwork {
 fn reachable_a_c_has_the_two_derivations_of_figure1() {
     let net = figure1_network(EngineConfig::ndlog());
     let a = Value::Addr(0);
-    let graph = net.provenance_graph(&a).expect("local provenance maintained");
-    let root = graph.find("reachable(@n0,n2)").expect("reachable(a,c) derived at a");
+    let graph = net
+        .provenance_graph(&a)
+        .expect("local provenance maintained");
+    let root = graph
+        .find("reachable(@n0,n2)")
+        .expect("reachable(a,c) derived at a");
 
     // Two alternative derivations: r1 over link(a,c) and r2 over link(a,b)
     // joined with reachable(b,c).
@@ -51,8 +59,13 @@ fn every_node_gets_locally_complete_provenance() {
     let graph = net.provenance_graph(&a).unwrap();
     for (tuple, _) in net.query(&a, "reachable") {
         let key = tuple.render_located(Some(0));
-        let id = graph.find(&key).unwrap_or_else(|| panic!("missing provenance for {key}"));
-        assert!(!graph.base_support(id).is_empty(), "{key} grounded in base tuples");
+        let id = graph
+            .find(&key)
+            .unwrap_or_else(|| panic!("missing provenance for {key}"));
+        assert!(
+            !graph.base_support(id).is_empty(),
+            "{key} grounded in base tuples"
+        );
     }
 }
 
@@ -63,4 +76,13 @@ fn reachability_results_match_the_example_topology() {
     assert_eq!(net.query(&Value::Addr(0), "reachable").len(), 2);
     assert_eq!(net.query(&Value::Addr(1), "reachable").len(), 1);
     assert_eq!(net.query(&Value::Addr(2), "reachable").len(), 0);
+    // The Figure 1 derivations above were produced through index probes:
+    // both localized joins of r2 key on the shared location variable.
+    let metrics = net.engine().metrics();
+    assert!(
+        metrics.index_probes > 0 && metrics.index_hits > 0,
+        "joins must take the index path ({} probes / {} hits)",
+        metrics.index_probes,
+        metrics.index_hits
+    );
 }

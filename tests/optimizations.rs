@@ -51,7 +51,8 @@ fn reactive_provenance_defers_work_until_materialisation() {
     // And traceback works after materialisation.
     let stores = reactive.distributed_stores();
     let (loc, tuple, _) = reactive.query_all("reachable").into_iter().next().unwrap();
-    let result = pasn_provenance::traceback(&stores, &loc.to_string(), &tuple.render_located(Some(0)));
+    let result =
+        pasn_provenance::traceback(&stores, &loc.to_string(), &tuple.render_located(Some(0)));
     assert!(!result.base_tuples.is_empty());
 }
 

@@ -39,8 +39,12 @@ fn stored_values_survive_churn_and_keep_their_inserter_attribution() {
     let inserter = ring.node_ids()[4];
     let inserter_principal = ring.principal_of(inserter).unwrap();
     for i in 0..8 {
-        ring.put(inserter, &format!("file-{i}"), format!("payload-{i}").as_bytes())
-            .expect("put succeeds");
+        ring.put(
+            inserter,
+            &format!("file-{i}"),
+            format!("payload-{i}").as_bytes(),
+        )
+        .expect("put succeeds");
     }
 
     // Remove a quarter of the ring (never the inserter) and repair.
@@ -67,7 +71,10 @@ fn stored_values_survive_churn_and_keep_their_inserter_attribution() {
     }
     // With a successor list of three, losing four nodes can orphan at most a
     // couple of keys; the bulk must survive.
-    assert!(recovered >= 6, "only {recovered}/8 values survived the churn");
+    assert!(
+        recovered >= 6,
+        "only {recovered}/8 values survived the churn"
+    );
 }
 
 #[test]
@@ -114,8 +121,7 @@ fn authenticated_lookup_graphs_verify_and_expose_forgery() {
         .authority()
         .keyring_for(ring.principal_of(origin).unwrap())
         .unwrap();
-    let verifier =
-        pasn_crypto::Authenticator::new(verifier_keyring, ring.says_level());
+    let verifier = pasn_crypto::Authenticator::new(verifier_keyring, ring.says_level());
     let failures = graph.verify_assertions(root, true, |_, payload, assertion| {
         verifier.verify(payload, assertion).is_ok()
     });
@@ -168,7 +174,11 @@ fn says_level_changes_proof_overhead_but_not_routing() {
     assert_eq!(trace_clear.owner, trace_rsa.owner);
 
     // RSA proofs are materially larger than cleartext headers.
-    let clear_bytes: usize = trace_clear.hops.iter().map(|h| h.assertion.wire_len()).sum();
+    let clear_bytes: usize = trace_clear
+        .hops
+        .iter()
+        .map(|h| h.assertion.wire_len())
+        .sum();
     let rsa_bytes: usize = trace_rsa.hops.iter().map(|h| h.assertion.wire_len()).sum();
     assert!(rsa_bytes > clear_bytes + 32 * trace_rsa.hop_count());
 }

@@ -167,7 +167,11 @@ fn path_vector_policy_filters_routes_through_banned_nodes() {
         .iter()
         .filter(|(t, _)| t.values[1] == Value::Addr(2))
         .collect();
-    assert_eq!(to_c.len(), 2, "a derives both the direct and the via-b route");
+    assert_eq!(
+        to_c.len(),
+        2,
+        "a derives both the direct and the via-b route"
+    );
 
     // ... but accepts only those avoiding b.
     let accepted = net.query(&Value::Addr(0), "acceptedRoute");
@@ -180,9 +184,7 @@ fn path_vector_policy_filters_routes_through_banned_nodes() {
         );
     }
     // The direct a→c route survives the policy.
-    assert!(accepted
-        .iter()
-        .any(|(t, _)| t.values[1] == Value::Addr(2)));
+    assert!(accepted.iter().any(|(t, _)| t.values[1] == Value::Addr(2)));
 }
 
 #[test]

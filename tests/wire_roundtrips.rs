@@ -5,10 +5,10 @@
 //! accounting is checked here too.
 
 use bytes::{Bytes, BytesMut};
-use pasn_crypto::{SaysProof, SaysLevel};
+use pasn_crypto::{SaysLevel, SaysProof};
+use pasn_datalog::Value;
 use pasn_engine::Tuple;
 use pasn_net::wire;
-use pasn_datalog::Value;
 use proptest::prelude::*;
 
 /// A strategy over scalar values (everything except lists).
