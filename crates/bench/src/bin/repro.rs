@@ -82,14 +82,26 @@ fn main() {
     }
 
     let engine_json = engine_bench_json(if quick { 400 } else { 1_200 });
-    if let Ok(mut f) = std::fs::File::create("BENCH_engine.json") {
-        let _ = f.write_all(engine_json.as_bytes());
-        eprintln!("written to BENCH_engine.json");
-    }
+    // A failed write must be fatal: CI validates this file, and exiting 0
+    // without writing would let a stale committed copy pass the check.
+    std::fs::write("BENCH_engine.json", engine_json.as_bytes()).expect("write BENCH_engine.json");
+    eprintln!("written to BENCH_engine.json");
 }
 
-/// One fixpoint measurement: wall-clock plus the join-path counters.
-fn engine_point(name: &str, metrics: &RunMetrics, wall: std::time::Duration) -> String {
+/// One measurement point: wall-clock, the join-path counters, and the
+/// storage gauges of the shared-row layout.
+#[allow(clippy::too_many_arguments)]
+fn point_json(
+    name: &str,
+    wall: std::time::Duration,
+    derivations: u64,
+    tuples_stored: u64,
+    index_probes: u64,
+    index_hits: u64,
+    scan_probes: u64,
+    store_bytes: u64,
+    index_bytes: u64,
+) -> String {
     format!(
         concat!(
             "    {{\n",
@@ -99,16 +111,35 @@ fn engine_point(name: &str, metrics: &RunMetrics, wall: std::time::Duration) -> 
             "      \"tuples_stored\": {},\n",
             "      \"index_probes\": {},\n",
             "      \"index_hits\": {},\n",
-            "      \"scan_probes\": {}\n",
+            "      \"scan_probes\": {},\n",
+            "      \"store_bytes\": {},\n",
+            "      \"index_bytes\": {}\n",
             "    }}"
         ),
         name,
         wall.as_secs_f64() * 1_000.0,
+        derivations,
+        tuples_stored,
+        index_probes,
+        index_hits,
+        scan_probes,
+        store_bytes,
+        index_bytes,
+    )
+}
+
+/// One fixpoint measurement: wall-clock plus the run's counters and gauges.
+fn engine_point(name: &str, metrics: &RunMetrics, wall: std::time::Duration) -> String {
+    point_json(
+        name,
+        wall,
         metrics.derivations,
         metrics.tuples_stored,
         metrics.index_probes,
         metrics.index_hits,
         metrics.scan_probes,
+        metrics.store_bytes,
+        metrics.index_bytes,
     )
 }
 
@@ -148,6 +179,24 @@ fn engine_bench_json(rows: u32) -> String {
     let started = Instant::now();
     let metrics = net.run().expect("fixpoint");
     points.push(engine_point("reachability_30", &metrics, started.elapsed()));
+
+    // Store churn (insert / expire / re-insert): the memory-layout paths —
+    // seq-ordered expiry, lazy compaction, index maintenance — that the join
+    // workloads above never stress.
+    let churn_rows = 10_000u32;
+    let started = Instant::now();
+    let store = pasn_bench::store_churn_cycle(churn_rows);
+    points.push(point_json(
+        &format!("store_churn_{churn_rows}"),
+        started.elapsed(),
+        0,
+        store.total_tuples() as u64,
+        0,
+        0,
+        0,
+        store.store_bytes() as u64,
+        store.index_bytes() as u64,
+    ));
 
     format!(
         "{{\n  \"bench\": \"engine_fixpoint\",\n  \"points\": [\n{}\n  ]\n}}\n",

@@ -244,6 +244,21 @@ impl SecureNetwork {
     pub fn bytes_sent_per_node(&self) -> HashMap<Value, u64> {
         self.engine.bytes_sent_per_node()
     }
+
+    /// Bytes of tuple data currently stored across all nodes (each shared
+    /// row charged once, plus insertion-order bookkeeping; also reported at
+    /// fixpoint as `RunMetrics::store_bytes`).
+    pub fn store_bytes(&self) -> u64 {
+        self.engine.store_bytes()
+    }
+
+    /// Bytes of secondary-index overhead currently held across all nodes
+    /// (bucket keys plus seq ids — indexes reference rows instead of
+    /// copying them; also reported at fixpoint as
+    /// `RunMetrics::index_bytes`).
+    pub fn index_bytes(&self) -> u64 {
+        self.engine.index_bytes()
+    }
 }
 
 #[cfg(test)]
@@ -273,6 +288,12 @@ mod tests {
         }
         assert!(net.topology().is_some());
         assert_eq!(net.bytes_sent_per_node().len(), 5);
+        // Storage gauges: rows and index overhead are live and mirrored
+        // into the fixpoint metrics.
+        assert!(net.store_bytes() > 0);
+        assert!(net.index_bytes() > 0);
+        assert_eq!(metrics.store_bytes, net.store_bytes());
+        assert_eq!(metrics.index_bytes, net.index_bytes());
     }
 
     #[test]

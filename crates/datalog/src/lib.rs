@@ -41,6 +41,7 @@ pub mod lexer;
 pub mod localize;
 pub mod parser;
 pub mod plan;
+pub mod symbols;
 pub mod validate;
 pub mod value;
 
@@ -50,6 +51,7 @@ pub use plan::{
     compile_program, CompiledProgram, DeltaPlan, IndexSpec, JoinStep, PlanError, PlanStep,
     RulePlan, SlotTerm, VarSlots,
 };
+pub use symbols::{PredId, Symbols};
 pub use value::{Address, Value};
 
 /// Commonly used items, for glob import in examples and downstream crates.

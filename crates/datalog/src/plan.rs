@@ -22,6 +22,7 @@
 
 use crate::ast::{Atom, BodyLiteral, Expr, Program, Rule, Term};
 use crate::localize::{localize_program, LocalizeError};
+use crate::symbols::{PredId, Symbols};
 use crate::validate::{validate_program, ValidationError};
 use crate::value::Value;
 use std::collections::{BTreeSet, HashMap};
@@ -148,6 +149,9 @@ pub struct IndexSpec {
     pub predicate: String,
     /// Argument positions forming the index key, in ascending order.
     pub key_columns: Vec<usize>,
+    /// The predicate's interned id in the compiled program's [`Symbols`]
+    /// table — what the store layer actually keys on.
+    pub pred: PredId,
 }
 
 /// A join against the stored tuples of one predicate, with its compiled
@@ -157,6 +161,9 @@ pub struct JoinStep {
     /// The joined atom as written in the rule (kept for provenance keys and
     /// diagnostics).
     pub atom: Atom,
+    /// The joined predicate's interned id — the evaluator dispatches and
+    /// probes by this `u32` instead of comparing predicate strings.
+    pub pred: PredId,
     /// The atom's arguments compiled to slot terms.
     pub args: Vec<SlotTerm>,
     /// The `says` annotation compiled to a slot term, if present.
@@ -176,6 +183,7 @@ impl JoinStep {
             Some(IndexSpec {
                 predicate: self.atom.predicate.clone(),
                 key_columns: self.key_columns.clone(),
+                pred: self.pred,
             })
         }
     }
@@ -225,6 +233,8 @@ pub struct DeltaPlan {
     pub delta_index: usize,
     /// The atom whose new tuples trigger this plan.
     pub delta: Atom,
+    /// The delta predicate's interned id (plan dispatch compares this).
+    pub delta_pred: PredId,
     /// The delta atom's arguments compiled to slot terms.
     pub delta_args: Vec<SlotTerm>,
     /// The delta atom's `says` annotation compiled to a slot term.
@@ -240,6 +250,8 @@ pub struct DeltaPlan {
 pub struct RulePlan {
     /// The (localized) rule this plan executes.
     pub rule: Rule,
+    /// The head predicate's interned id.
+    pub head_pred: PredId,
     /// Dense slot assignment for every variable of the rule.
     pub slots: Arc<VarSlots>,
     /// Slot of the SeNDlog context variable, if the rule has one.
@@ -249,8 +261,16 @@ pub struct RulePlan {
 }
 
 impl RulePlan {
-    /// Plans the delta evaluations for one localized rule.
+    /// Plans the delta evaluations for one rule using a scratch predicate
+    /// interner (tests and ad-hoc planning; [`compile_program`] uses
+    /// [`RulePlan::for_rule_in`] so every plan shares one table).
     pub fn for_rule(rule: &Rule) -> Result<RulePlan, PlanError> {
+        Self::for_rule_in(rule, &mut Symbols::new())
+    }
+
+    /// Plans the delta evaluations for one localized rule, interning every
+    /// predicate it mentions into `symbols`.
+    pub fn for_rule_in(rule: &Rule, symbols: &mut Symbols) -> Result<RulePlan, PlanError> {
         // Slot assignment: walk the rule in deterministic source order so
         // slot ids are stable across compilations.
         let mut slots = VarSlots::new();
@@ -393,6 +413,7 @@ impl RulePlan {
                 let says = atom.says.as_ref().map(|t| SlotTerm::compile(t, &mut slots));
                 bound.extend(atom.variables());
                 let join = JoinStep {
+                    pred: symbols.intern(&atom.predicate),
                     atom,
                     args,
                     says,
@@ -416,6 +437,7 @@ impl RulePlan {
             deltas.push(DeltaPlan {
                 delta_index: *delta_index,
                 delta: delta_atom.clone(),
+                delta_pred: symbols.intern(&delta_atom.predicate),
                 delta_args,
                 delta_says,
                 steps,
@@ -423,6 +445,7 @@ impl RulePlan {
             });
         }
         Ok(RulePlan {
+            head_pred: symbols.intern(&rule.head.predicate),
             rule: rule.clone(),
             slots: Arc::new(slots),
             context_slot,
@@ -440,20 +463,40 @@ pub struct CompiledProgram {
     pub plans: Vec<RulePlan>,
     /// Arity of every predicate mentioned by the localized program.
     pub arities: HashMap<String, usize>,
+    /// Interned predicate names shared by every plan; the evaluator seeds
+    /// its runtime interner (and every node store) from this table so all
+    /// layers agree on the same dense [`PredId`] space.
+    pub symbols: Symbols,
+    /// Arity of every interned predicate, indexed by [`PredId`] (`None` for
+    /// predicates the program never constrains).
+    pub arity_by_pred: Vec<Option<usize>>,
 }
 
 impl CompiledProgram {
-    /// All plans whose delta atom matches `predicate`.
-    pub fn plans_for_predicate<'a>(
-        &'a self,
-        predicate: &'a str,
-    ) -> impl Iterator<Item = (&'a RulePlan, &'a DeltaPlan)> + 'a {
+    /// All plans whose delta atom matches the interned predicate id — the
+    /// evaluator's dispatch path (compares `u32`s, no string hashing).
+    pub fn plans_for_pred(
+        &self,
+        pred: PredId,
+    ) -> impl Iterator<Item = (&RulePlan, &DeltaPlan)> + '_ {
         self.plans.iter().flat_map(move |rp| {
             rp.deltas
                 .iter()
-                .filter(move |d| d.delta.predicate == predicate)
+                .filter(move |d| d.delta_pred == pred)
                 .map(move |d| (rp, d))
         })
+    }
+
+    /// All plans whose delta atom matches `predicate` (name shim over
+    /// [`CompiledProgram::plans_for_pred`]).
+    pub fn plans_for_predicate<'a>(
+        &'a self,
+        predicate: &'a str,
+    ) -> Box<dyn Iterator<Item = (&'a RulePlan, &'a DeltaPlan)> + 'a> {
+        match self.symbols.resolve(predicate) {
+            Some(pred) => Box::new(self.plans_for_pred(pred)),
+            None => Box::new(std::iter::empty()),
+        }
     }
 
     /// The deduplicated secondary-index specs required by every join of every
@@ -473,6 +516,11 @@ impl CompiledProgram {
     pub fn arity_of(&self, predicate: &str) -> Option<usize> {
         self.arities.get(predicate).copied()
     }
+
+    /// Declared arity of an interned predicate (the hot-path arity check).
+    pub fn arity_of_pred(&self, pred: PredId) -> Option<usize> {
+        self.arity_by_pred.get(pred.index()).copied().flatten()
+    }
 }
 
 /// Validates, localizes, and plans an NDlog / SeNDlog program.
@@ -481,23 +529,32 @@ pub fn compile_program(program: &Program) -> Result<CompiledProgram, PlanError> 
     let localized = localize_program(program)?;
     // The localized program must itself still be valid.
     validate_program(&localized).map_err(PlanError::Validation)?;
+    let mut symbols = Symbols::new();
     let mut plans = Vec::with_capacity(localized.rules.len());
     for rule in &localized.rules {
-        plans.push(RulePlan::for_rule(rule)?);
+        plans.push(RulePlan::for_rule_in(rule, &mut symbols)?);
     }
     let mut arities = HashMap::new();
     for rule in &localized.rules {
         for atom in std::iter::once(&rule.head).chain(rule.body_atoms()) {
+            symbols.intern(&atom.predicate);
             arities.insert(atom.predicate.clone(), atom.args.len());
         }
     }
     for fact in &localized.facts {
+        symbols.intern(&fact.atom.predicate);
         arities.insert(fact.atom.predicate.clone(), fact.atom.args.len());
+    }
+    let mut arity_by_pred = vec![None; symbols.len()];
+    for (pred, name) in symbols.iter() {
+        arity_by_pred[pred.index()] = arities.get(name).copied();
     }
     Ok(CompiledProgram {
         program: localized,
         plans,
         arities,
+        symbols,
+        arity_by_pred,
     })
 }
 

@@ -46,6 +46,13 @@ pub struct RunMetrics {
     /// Tuples examined through full-relation scans (joins with no bound key
     /// columns, or predicates without a registered index).
     pub scan_probes: u64,
+    /// Bytes of tuple data stored across all nodes at fixpoint (canonical
+    /// row encodings plus insertion-order seq lists; rows are charged once —
+    /// secondary indexes share them by reference).
+    pub store_bytes: u64,
+    /// Bytes of secondary-index overhead across all nodes at fixpoint
+    /// (bucket keys plus one 8-byte seq id per indexed row).
+    pub index_bytes: u64,
 }
 
 impl RunMetrics {
@@ -81,7 +88,7 @@ impl fmt::Display for RunMetrics {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "completion {:.3}s, {} msgs, {:.3} MB ({} B auth, {} B provenance), {} derivations, {} tuples, {} sigs / {} verifs, joins: {} hits / {} index probes, {} scanned",
+            "completion {:.3}s, {} msgs, {:.3} MB ({} B auth, {} B provenance), {} derivations, {} tuples, {} sigs / {} verifs, joins: {} hits / {} index probes, {} scanned, store {} B (+{} B index)",
             self.completion_secs(),
             self.messages,
             self.megabytes(),
@@ -94,6 +101,8 @@ impl fmt::Display for RunMetrics {
             self.index_hits,
             self.index_probes,
             self.scan_probes,
+            self.store_bytes,
+            self.index_bytes,
         )
     }
 }

@@ -18,11 +18,11 @@ use crate::config::{EngineConfig, GraphMode};
 use crate::eval::{eval_expr, eval_filter, Bindings};
 use crate::metrics::RunMetrics;
 use crate::store::{InsertOutcome, NodeStore, TupleMeta};
-use crate::tuple::Tuple;
+use crate::tuple::{self, Tuple};
 use pasn_crypto::says::{Authenticator, SaysAssertion};
 use pasn_crypto::{KeyAuthority, Principal, PrincipalId};
 use pasn_datalog::plan::{CompiledProgram, DeltaPlan, PlanStep, RulePlan, SlotTerm};
-use pasn_datalog::{compile_program, AggFunc, PlanError, Program, Term, Value};
+use pasn_datalog::{compile_program, AggFunc, PlanError, PredId, Program, Symbols, Term, Value};
 use pasn_net::wire::message_wire_bytes;
 use pasn_net::{CpuSchedule, Message, NetworkSim, NodeId, SimTime};
 use pasn_provenance::{
@@ -118,15 +118,42 @@ struct NodeRuntime {
     authenticator: Option<Authenticator>,
 }
 
+/// One tuple contributing to an in-flight join branch.  The row is shared
+/// with the store (`Arc` clone, no value copies); its provenance key is
+/// rendered lazily — only if the branch survives to a head emission that
+/// actually records provenance graphs.
+#[derive(Clone)]
+struct Contrib {
+    pred: PredId,
+    values: Arc<[Value]>,
+    location: Option<usize>,
+    tag: ProvTag,
+    origin: Value,
+}
+
+impl Contrib {
+    /// Renders the contribution's provenance key (display form).
+    fn render_key(&self, symbols: &Symbols) -> String {
+        let name = symbols.name(self.pred).unwrap_or("?");
+        tuple::render_located_parts(name, &self.values, self.location)
+    }
+}
+
 /// One in-flight join branch: the bindings accumulated so far plus the
-/// contributing tuples as (provenance key, tag, origin) triples.
-type Branch = (Bindings, Vec<(String, ProvTag, Value)>);
+/// contributing tuples.
+type Branch = (Bindings, Vec<Contrib>);
+
+/// A candidate row handed out by the store during a join: the shared values
+/// and the tuple metadata, both borrowed from the store.
+type CandidateRow<'a> = (&'a Arc<[Value]>, &'a TupleMeta);
 
 /// A unit of work: a tuple arriving at a node (base insertion, local
-/// derivation, or remote delivery).
+/// derivation, or remote delivery).  The row is an `Arc`-shared slice; the
+/// predicate is the engine's interned id.
 struct WorkItem {
     destination: Value,
-    tuple: Tuple,
+    pred: PredId,
+    values: Arc<[Value]>,
     tag: ProvTag,
     origin: Value,
     asserted_by: Option<PrincipalId>,
@@ -141,6 +168,10 @@ struct WorkItem {
 pub struct DistributedEngine {
     config: EngineConfig,
     compiled: Arc<CompiledProgram>,
+    /// Runtime predicate interner: seeded from the compiled program's table
+    /// (so plan-time [`PredId`]s stay valid) and grown for predicates that
+    /// only appear in externally inserted facts.  Node stores mirror it.
+    symbols: Symbols,
     nodes: HashMap<Value, NodeRuntime>,
     locations: Vec<Value>,
     var_table: VarTable,
@@ -206,11 +237,15 @@ impl DistributedEngine {
             Vec::new()
         };
 
+        let symbols = compiled.symbols.clone();
         let mut nodes = HashMap::new();
         for (i, loc) in locations.iter().enumerate() {
             let mut store = NodeStore::new();
+            // Mirror the compiled interner so plan-time PredIds address the
+            // store directly, then register the planner's index specs by id.
+            store.sync_symbols(&symbols);
             for spec in &index_specs {
-                store.register_index(&spec.predicate, &spec.key_columns);
+                store.register_index_id(spec.pred, &spec.key_columns);
             }
             nodes.insert(
                 loc.clone(),
@@ -232,6 +267,7 @@ impl DistributedEngine {
         let mut engine = DistributedEngine {
             config,
             compiled: Arc::new(compiled),
+            symbols,
             nodes,
             locations: locations.to_vec(),
             var_table: VarTable::new(),
@@ -331,7 +367,11 @@ impl DistributedEngine {
         }
         // Predicates the program knows about must arrive with the declared
         // arity; a mismatch would otherwise silently fail to join anywhere.
-        if let Some(expected) = self.compiled.arity_of(&tuple.predicate) {
+        // (Program predicates resolve to ids below the compiled table's
+        // length; ids interned here for unknown predicates fall outside it
+        // and are unconstrained, as before.)
+        let pred = self.symbols.intern(&tuple.predicate);
+        if let Some(expected) = self.compiled.arity_of_pred(pred) {
             if expected != tuple.arity() {
                 return Err(EngineError::ArityMismatch {
                     predicate: tuple.predicate.clone(),
@@ -343,7 +383,8 @@ impl DistributedEngine {
         let principal = self.nodes[&location].principal;
         let item = WorkItem {
             destination: location.clone(),
-            tuple,
+            pred,
+            values: Arc::from(tuple.values),
             tag: ProvTag::None, // replaced in process_item for base facts
             origin: location,
             asserted_by: Some(principal),
@@ -355,6 +396,11 @@ impl DistributedEngine {
         };
         self.push_item(at, item);
         Ok(())
+    }
+
+    /// The name behind one of this engine's interned predicate ids.
+    fn pred_name(&self, pred: PredId) -> &str {
+        self.symbols.name(pred).expect("interned predicate")
     }
 
     fn push_item(&mut self, at: SimTime, item: WorkItem) {
@@ -381,7 +427,27 @@ impl DistributedEngine {
             .values()
             .map(|n| n.store.total_tuples() as u64)
             .sum();
+        self.metrics.store_bytes = self.store_bytes();
+        self.metrics.index_bytes = self.index_bytes();
         Ok(self.metrics.clone())
+    }
+
+    /// Bytes of tuple data currently stored across all nodes (rows charged
+    /// once plus seq-list overhead; see `NodeStore::store_bytes`).
+    pub fn store_bytes(&self) -> u64 {
+        self.nodes
+            .values()
+            .map(|n| n.store.store_bytes() as u64)
+            .sum()
+    }
+
+    /// Bytes of secondary-index overhead currently held across all nodes
+    /// (bucket keys plus seq ids; see `NodeStore::index_bytes`).
+    pub fn index_bytes(&self) -> u64 {
+        self.nodes
+            .values()
+            .map(|n| n.store.index_bytes() as u64)
+            .sum()
     }
 
     /// Metrics collected so far.
@@ -512,6 +578,17 @@ impl DistributedEngine {
             return Err(EngineError::UnknownLocation(destination));
         }
         let cost_model = self.config.cost_model;
+        // Keep the node store's predicate mirror current (O(1) when in sync)
+        // and resolve the item's predicate name once, as a shared `Arc`.
+        {
+            let node = self.nodes.get_mut(&destination).expect("known location");
+            node.store.sync_symbols(&self.symbols);
+        }
+        let pred_name: Arc<str> = self
+            .symbols
+            .name_arc(item.pred)
+            .cloned()
+            .expect("interned predicate");
 
         // 1. Verification of imported tuples.
         let mut cpu_cost = cost_model.tuple_process_us;
@@ -521,7 +598,7 @@ impl DistributedEngine {
                     .authenticator
                     .clone()
                     .expect("authentication configured");
-                let payload = item.tuple.encode();
+                let payload = tuple::encode_parts(&pred_name, &item.values);
                 let ok = verifier.verify(&payload, assertion).is_ok();
                 self.metrics.verifications += 1;
                 cpu_cost += match assertion.proof.level() {
@@ -549,22 +626,28 @@ impl DistributedEngine {
         let done = self.cpu.run(node_id, at, SimTime::from_micros(cpu_cost));
         self.completion = self.completion.max(done);
 
-        // 2. Compute the tag and metadata, then insert.
+        // 2. Compute the tag and metadata, then insert.  The provenance key
+        // (display string) is rendered only when a tag will actually hold it.
         let asserted_by = item.asserted_by;
         let tag = if item.is_base {
             self.base_counter += 1;
-            let principal = asserted_by.unwrap_or(PrincipalId(0));
-            let origin_principal = self.config.granularity.origin_of(principal);
-            let level = self.principal_level(principal);
-            let key = item.tuple.render_located(item.location_index);
-            ProvTag::base(
-                self.config.provenance,
-                &mut self.var_table,
-                BaseTupleId(item.tuple.key_hash()),
-                &key,
-                origin_principal,
-                level,
-            )
+            if self.config.provenance == ProvenanceKind::None {
+                ProvTag::None
+            } else {
+                let principal = asserted_by.unwrap_or(PrincipalId(0));
+                let origin_principal = self.config.granularity.origin_of(principal);
+                let level = self.principal_level(principal);
+                let key =
+                    tuple::render_located_parts(&pred_name, &item.values, item.location_index);
+                ProvTag::base(
+                    self.config.provenance,
+                    &mut self.var_table,
+                    BaseTupleId(tuple::key_hash_parts(&pred_name, &item.values)),
+                    &key,
+                    origin_principal,
+                    level,
+                )
+            }
         } else {
             item.tag.clone()
         };
@@ -585,13 +668,17 @@ impl DistributedEngine {
             let var_table = &mut self.var_table;
             let node = self.nodes.get_mut(&destination).expect("known location");
             node.store
-                .insert(&item.tuple, meta, |a, b| a.plus(b, var_table))
+                .insert_row(item.pred, item.values.clone(), meta, |a, b| {
+                    a.plus(b, var_table)
+                })
         };
 
-        // 3. Provenance bookkeeping for base facts and shipped graphs.
-        let tuple_key = item.tuple.render_located(item.location_index);
+        // 3. Provenance bookkeeping for base facts and shipped graphs.  The
+        // rendered tuple key is computed only on the branches that store it.
         if item.is_base && self.config.graph_mode != GraphMode::None {
-            let base_id = BaseTupleId(item.tuple.key_hash());
+            let tuple_key =
+                tuple::render_located_parts(&pred_name, &item.values, item.location_index);
+            let base_id = BaseTupleId(tuple::key_hash_parts(&pred_name, &item.values));
             let node = self.nodes.get_mut(&destination).expect("known location");
             node.local_prov.graph_mut().add_base(
                 &tuple_key,
@@ -614,6 +701,8 @@ impl DistributedEngine {
             && self.config.graph_mode == GraphMode::Distributed
             && item.origin != destination
         {
+            let tuple_key =
+                tuple::render_located_parts(&pred_name, &item.values, item.location_index);
             if self.config.maintenance == MaintenanceMode::Reactive {
                 let node = self.nodes.get_mut(&destination).expect("known location");
                 node.deferred.push(DeferredDerivation {
@@ -642,10 +731,11 @@ impl DistributedEngine {
             return Ok(());
         }
 
-        // 4. Delta evaluation: run every plan triggered by this predicate.
+        // 4. Delta evaluation: run every plan triggered by this predicate
+        // (dispatch compares interned `u32` ids, not predicate strings).
         let plans: Vec<(RulePlan, DeltaPlan)> = self
             .compiled
-            .plans_for_predicate(&item.tuple.predicate)
+            .plans_for_pred(item.pred)
             .map(|(rp, dp)| (rp.clone(), dp.clone()))
             .collect();
         for (rule_plan, delta_plan) in plans {
@@ -674,18 +764,18 @@ impl DistributedEngine {
         // Initial bindings from the delta atom.  Arity conflicts are caught
         // at validate time and on fact insertion, so a mismatch here is an
         // engine invariant violation, not a tuple to skip silently.
-        if delta_plan.delta_args.len() != item.tuple.arity() {
+        if delta_plan.delta_args.len() != item.values.len() {
             return Err(EngineError::ArityMismatch {
-                predicate: item.tuple.predicate.clone(),
+                predicate: self.pred_name(item.pred).to_string(),
                 expected: delta_plan.delta_args.len(),
-                got: item.tuple.arity(),
+                got: item.values.len(),
             });
         }
         let mut bindings = Bindings::with_slots(rule_plan.slots.clone());
         if let Some(slot) = rule_plan.context_slot {
             bindings.bind_slot(slot, local.clone());
         }
-        for (term, value) in delta_plan.delta_args.iter().zip(item.tuple.values.iter()) {
+        for (term, value) in delta_plan.delta_args.iter().zip(item.values.iter()) {
             if !bindings.unify_slot_term(term, value) {
                 return Ok(());
             }
@@ -696,11 +786,16 @@ impl DistributedEngine {
             }
         }
 
-        // Each entry: (bindings, contributing tuples as (key, tag, origin)).
-        let delta_key = item.tuple.render_located(delta_plan.delta.location);
+        // Each entry: (bindings, contributing rows shared with the store).
         let mut branches: Vec<Branch> = vec![(
             bindings,
-            vec![(delta_key, delta_tag.clone(), item.origin.clone())],
+            vec![Contrib {
+                pred: item.pred,
+                values: item.values.clone(),
+                location: delta_plan.delta.location,
+                tag: delta_tag.clone(),
+                origin: item.origin.clone(),
+            }],
         )];
         // Candidate tuples examined while evaluating this delta; charged to
         // the node's CPU below.  Index probes keep this close to the true
@@ -711,12 +806,11 @@ impl DistributedEngine {
             let mut next: Vec<Branch> = Vec::new();
             match step {
                 PlanStep::Join(join) => {
-                    let predicate = join.atom.predicate.as_str();
                     let store = &self.nodes[local].store;
                     // Unindexed fallback, shared across branches: all stored
-                    // tuples in insertion order (deterministic without the
-                    // per-probe sort the scan-based engine needed).
-                    let mut scan_cache: Option<Vec<(Tuple, &TupleMeta)>> = None;
+                    // rows in insertion order (the seq list — no sorting,
+                    // and only `Arc` clones, never value copies).
+                    let mut scan_cache: Option<Vec<CandidateRow>> = None;
                     let mut index_probes = 0u64;
                     let mut index_hits = 0u64;
                     let mut scan_probes = 0u64;
@@ -736,10 +830,10 @@ impl DistributedEngine {
                                 })
                                 .collect()
                         };
-                        let probed: Vec<(Tuple, &TupleMeta)>;
-                        let candidates: &[(Tuple, &TupleMeta)] = match key.map(|k| {
+                        let probed: Vec<CandidateRow>;
+                        let candidates: &[CandidateRow] = match key.map(|k| {
                             store
-                                .probe(predicate, &join.key_columns, &k)
+                                .probe_id(join.pred, &join.key_columns, &k)
                                 .map(|it| it.collect())
                         }) {
                             Some(Some(rows)) => {
@@ -750,24 +844,25 @@ impl DistributedEngine {
                             }
                             // No key columns, or (defensively) no index.
                             _ => {
-                                let cache =
-                                    scan_cache.get_or_insert_with(|| store.scan_ordered(predicate));
+                                let cache = scan_cache.get_or_insert_with(|| {
+                                    store.scan_ordered_rows(join.pred).collect()
+                                });
                                 scan_probes += cache.len() as u64;
                                 cache.as_slice()
                             }
                         };
                         probes += candidates.len().max(1);
-                        for (stored_tuple, meta) in candidates {
-                            if stored_tuple.arity() != join.args.len() {
+                        for (stored_values, meta) in candidates {
+                            if stored_values.len() != join.args.len() {
                                 return Err(EngineError::ArityMismatch {
-                                    predicate: predicate.to_string(),
+                                    predicate: join.atom.predicate.clone(),
                                     expected: join.args.len(),
-                                    got: stored_tuple.arity(),
+                                    got: stored_values.len(),
                                 });
                             }
                             let mut candidate = bind.clone();
                             let mut ok = true;
-                            for (term, value) in join.args.iter().zip(stored_tuple.values.iter()) {
+                            for (term, value) in join.args.iter().zip(stored_values.iter()) {
                                 if !candidate.unify_slot_term(term, value) {
                                     ok = false;
                                     break;
@@ -779,14 +874,17 @@ impl DistributedEngine {
                                 }
                             }
                             if ok {
-                                // Tags and origins are cloned only for tuples
-                                // that actually unified.
+                                // Tags and origins are cloned only for rows
+                                // that actually unified; the row itself is
+                                // an `Arc` clone of the stored copy.
                                 let mut contribs = contribs.clone();
-                                contribs.push((
-                                    stored_tuple.render_located(join.atom.location),
-                                    meta.tag.clone(),
-                                    meta.origin.clone(),
-                                ));
+                                contribs.push(Contrib {
+                                    pred: join.pred,
+                                    values: Arc::clone(stored_values),
+                                    location: join.atom.location,
+                                    tag: meta.tag.clone(),
+                                    origin: meta.origin.clone(),
+                                });
                                 next.push((candidate, contribs));
                             }
                         }
@@ -847,7 +945,7 @@ impl DistributedEngine {
         local: &Value,
         rule_plan: &RulePlan,
         bindings: &Bindings,
-        contribs: &[(String, ProvTag, Value)],
+        contribs: &[Contrib],
         now: SimTime,
     ) -> Result<(), EngineError> {
         let rule = &rule_plan.rule;
@@ -903,15 +1001,23 @@ impl DistributedEngine {
             values[agg_index] = Value::Int(new_value);
         }
 
-        let head_tuple = Tuple::new(rule.head.predicate.clone(), values);
+        // Materialise the head row once, as the shared representation every
+        // consumer (store, provenance, wire) will reference.
+        let head_pred = rule_plan.head_pred;
+        let head_name: Arc<str> = self
+            .symbols
+            .name_arc(head_pred)
+            .cloned()
+            .expect("head predicate interned at plan time");
+        let head_values: Arc<[Value]> = Arc::from(values);
 
         // Provenance tag: product of the contributing tuples' tags.
         let tag = if self.config.provenance == ProvenanceKind::None {
             ProvTag::None
         } else {
             let mut acc = ProvTag::one(self.config.provenance, &mut self.var_table);
-            for (_, t, _) in contribs {
-                acc = acc.times(t, &mut self.var_table);
+            for c in contribs {
+                acc = acc.times(&c.tag, &mut self.var_table);
                 self.metrics.provenance_ops += 1;
             }
             acc
@@ -923,20 +1029,27 @@ impl DistributedEngine {
                 .resolve_term(term)
                 .map_err(|e| EngineError::Eval(e.to_string()))?
         } else if let Some(idx) = rule.head.location {
-            head_tuple.values[idx].clone()
+            head_values[idx].clone()
         } else {
             local.clone()
         };
 
-        let head_key = head_tuple.render_located(rule.head.location);
         let principal = self.nodes[local].principal;
 
-        // Provenance graphs (sampled; deferred in reactive mode).
+        // Provenance graphs (sampled; deferred in reactive mode).  The
+        // rendered display keys are derived from the shared rows here, only
+        // when something will actually be recorded.
         if self.config.graph_mode != GraphMode::None || self.config.archive_offline {
-            if self.config.sampling.records(head_tuple.key_hash()) {
+            if self
+                .config
+                .sampling
+                .records(tuple::key_hash_parts(&head_name, &head_values))
+            {
+                let head_key =
+                    tuple::render_located_parts(&head_name, &head_values, rule.head.location);
                 let antecedents: Vec<(String, Value)> = contribs
                     .iter()
-                    .map(|(k, _, origin)| (k.clone(), origin.clone()))
+                    .map(|c| (c.render_key(&self.symbols), c.origin.clone()))
                     .collect();
                 if self.config.maintenance == MaintenanceMode::Reactive {
                     let node = self.nodes.get_mut(local).expect("known location");
@@ -971,7 +1084,8 @@ impl DistributedEngine {
                 now,
                 WorkItem {
                     destination: destination.clone(),
-                    tuple: head_tuple,
+                    pred: head_pred,
+                    values: head_values,
                     tag,
                     origin: local.clone(),
                     asserted_by: Some(principal),
@@ -990,7 +1104,7 @@ impl DistributedEngine {
         }
 
         // Remote shipment: sign, charge bandwidth, deliver.
-        let payload = head_tuple.encode();
+        let payload = tuple::encode_parts(&head_name, &head_values);
         let mut wire_payload = payload.len();
         let mut assertion = None;
         let mut sign_cost = 0u64;
@@ -1017,6 +1131,8 @@ impl DistributedEngine {
         wire_payload += tag_bytes;
         let mut shipped_graph = None;
         if self.config.graph_mode == GraphMode::Local {
+            let head_key =
+                tuple::render_located_parts(&head_name, &head_values, rule.head.location);
             let node = &self.nodes[local];
             if let Some(root) = node.local_prov.graph().find(&head_key) {
                 let subtree = node.local_prov.graph().subtree(root);
@@ -1044,7 +1160,8 @@ impl DistributedEngine {
             deliver_at,
             WorkItem {
                 destination,
-                tuple: head_tuple,
+                pred: head_pred,
+                values: head_values,
                 tag,
                 origin: local.clone(),
                 asserted_by: Some(principal),

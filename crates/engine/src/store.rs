@@ -1,4 +1,5 @@
-//! Per-node soft-state tuple storage with secondary hash indexes.
+//! Per-node soft-state tuple storage with seq-addressed rows and secondary
+//! hash indexes.
 //!
 //! Declarative networks maintain derived state as *soft state*: every tuple
 //! carries a creation timestamp and (optionally) a time-to-live, and expires
@@ -7,26 +8,35 @@
 //! its base and derived relations together with per-tuple metadata used by
 //! the provenance layer.
 //!
-//! Two mechanisms keep rule joins cheap and deterministic:
+//! The storage layout is reference-shared and sequence-addressed:
 //!
-//! * **Secondary indexes** — [`NodeStore::register_index`] installs a hash
-//!   index over `(predicate, key_columns)` (the planner's
-//!   `IndexSpec`s); [`NodeStore::probe`] then answers a join probe in time
-//!   proportional to the matching bucket instead of the whole relation.
-//!   Indexes are maintained through [`NodeStore::insert`],
-//!   [`NodeStore::remove`], and [`NodeStore::expire`].
-//! * **Insertion sequence numbers** — every stored tuple carries a
-//!   monotonically increasing sequence number.  Index buckets follow it by
-//!   construction, so the probe path is deterministic with no sorting at
-//!   all; the unindexed fallback ([`NodeStore::scan_ordered`]) still sorts,
-//!   but by the scalar sequence number instead of comparing full tuple
-//!   values as the scan-based evaluator did.
+//! * **Shared rows** — a stored row is an `Arc<[Value]>`.  Probes and scans
+//!   hand out `Arc` clones (or borrows) of the one materialised copy, so
+//!   unification, provenance bookkeeping and head emission never deep-clone
+//!   attribute values.
+//! * **Seq addressing** — every insertion is assigned a monotonically
+//!   increasing sequence number; the row itself lives in a `seq → row` map
+//!   with a `row → seq` dedup map beside it.  Secondary index buckets
+//!   ([`NodeStore::register_index`], one per planner `IndexSpec`) hold bare
+//!   seq ids — *not* row copies — so `k` indexes cost `8k` bytes per tuple
+//!   rather than `k` more copies of the row.
+//! * **Sort-free ordered scans** — each relation keeps an insertion-ordered
+//!   seq list with lazy compaction (rebuilt once more than half its entries
+//!   are dead), making [`NodeStore::scan_ordered`] O(live rows) with no
+//!   sorting on the hot path.  Index buckets follow insertion order by
+//!   construction.
+//! * **Interned predicates** — relations are addressed by the dense
+//!   [`PredId`]s of a [`Symbols`] table mirrored from the compiled program
+//!   ([`NodeStore::sync_symbols`]), so the hot path indexes a `Vec` by `u32`
+//!   instead of hashing predicate strings.  The historical name-based API
+//!   remains as a thin shim that resolves through the store's interner.
 
-use crate::tuple::Tuple;
-use pasn_datalog::Value;
+use crate::tuple::{self, Tuple};
+use pasn_datalog::{PredId, Symbols, Value};
 use pasn_net::SimTime;
 use pasn_provenance::ProvTag;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Metadata attached to every stored tuple.
 #[derive(Clone, Debug)]
@@ -58,21 +68,31 @@ pub enum InsertOutcome {
     Duplicate,
 }
 
-/// One stored tuple: metadata plus its insertion sequence number.
+/// One stored row: the shared values plus their metadata.
 #[derive(Clone, Debug)]
-struct Row {
+struct StoredRow {
+    values: Arc<[Value]>,
     meta: TupleMeta,
-    seq: u64,
 }
 
 /// A hash index over one projection of a relation: bucket key (the projected
-/// values at the index's key columns) → full row keys, in insertion order.
-type IndexBuckets = HashMap<Vec<Value>, Vec<Vec<Value>>>;
+/// values at the index's key columns) → seq ids of matching rows, in
+/// insertion order.  Buckets never copy rows.
+type IndexBuckets = HashMap<Vec<Value>, Vec<u64>>;
 
-/// One relation: its rows plus any secondary indexes registered over it.
+/// One relation: seq-addressed rows, the dedup map, the insertion-ordered
+/// seq list, and any secondary indexes registered over it.
 #[derive(Clone, Debug, Default)]
 struct Table {
-    rows: HashMap<Vec<Value>, Row>,
+    /// Live rows, addressed by insertion sequence number.
+    rows: HashMap<u64, StoredRow>,
+    /// Dedup map: row values → seq of the live row holding them.
+    by_row: HashMap<Arc<[Value]>, u64>,
+    /// Insertion-ordered seq ids, compacted lazily: removed rows leave dead
+    /// entries behind until more than half the list is dead.
+    seq_order: Vec<u64>,
+    /// Number of dead entries currently in `seq_order`.
+    dead: usize,
     indexes: HashMap<Vec<usize>, IndexBuckets>,
 }
 
@@ -86,21 +106,21 @@ impl Table {
             .collect()
     }
 
-    /// Adds a freshly inserted row to every index.
-    fn index_insert(&mut self, values: &[Value]) {
+    /// Adds a freshly inserted row's seq to every index.
+    fn index_insert(&mut self, seq: u64, values: &[Value]) {
         for (key_columns, buckets) in &mut self.indexes {
             if let Some(key) = Self::project(values, key_columns) {
-                buckets.entry(key).or_default().push(values.to_vec());
+                buckets.entry(key).or_default().push(seq);
             }
         }
     }
 
-    /// Removes a row from every index.
-    fn index_remove(&mut self, values: &[Value]) {
+    /// Removes a row's seq from every index.
+    fn index_remove(&mut self, seq: u64, values: &[Value]) {
         for (key_columns, buckets) in &mut self.indexes {
             if let Some(key) = Self::project(values, key_columns) {
                 if let Some(bucket) = buckets.get_mut(&key) {
-                    bucket.retain(|row| row != values);
+                    bucket.retain(|&s| s != seq);
                     if bucket.is_empty() {
                         buckets.remove(&key);
                     }
@@ -109,18 +129,48 @@ impl Table {
         }
     }
 
-    /// Removes a row and keeps the indexes consistent; returns its metadata.
-    fn remove_row(&mut self, values: &[Value]) -> Option<TupleMeta> {
-        let row = self.rows.remove(values)?;
-        self.index_remove(values);
-        Some(row.meta)
+    /// Removes the row stored under `values`, keeping the dedup map, the
+    /// indexes and the (lazily compacted) seq list consistent.
+    fn remove_by_values(&mut self, values: &[Value]) -> Option<TupleMeta> {
+        let seq = *self.by_row.get(values)?;
+        self.take_by_seq(seq).map(|row| row.meta)
+    }
+
+    /// Removes the row behind a known seq (no row re-hash), keeping the
+    /// dedup map, the indexes and the seq list consistent.
+    fn take_by_seq(&mut self, seq: u64) -> Option<StoredRow> {
+        let row = self.rows.remove(&seq)?;
+        self.by_row.remove(&row.values[..]);
+        self.index_remove(seq, &row.values);
+        self.dead += 1;
+        // Lazy compaction: once more than half the seq list is dead, rebuild
+        // it from the survivors (order-preserving, O(len), amortised O(1)).
+        if self.dead * 2 > self.seq_order.len() {
+            let rows = &self.rows;
+            self.seq_order.retain(|s| rows.contains_key(s));
+            self.dead = 0;
+        }
+        Some(row)
+    }
+
+    /// Live rows in insertion order, skipping dead seq-list entries (at most
+    /// as many as there are live rows, by the compaction invariant).
+    fn iter_ordered(&self) -> impl Iterator<Item = (&Arc<[Value]>, &TupleMeta)> {
+        self.seq_order
+            .iter()
+            .filter_map(move |seq| self.rows.get(seq))
+            .map(|row| (&row.values, &row.meta))
     }
 }
 
 /// The relations stored at one node.
 #[derive(Clone, Debug, Default)]
 pub struct NodeStore {
-    tables: HashMap<String, Table>,
+    /// Predicate interner, mirrored from the engine's table (or standalone
+    /// when the store is used directly, e.g. in tests).
+    preds: Symbols,
+    /// Relations, indexed by [`PredId`].
+    tables: Vec<Table>,
     next_seq: u64,
 }
 
@@ -130,48 +180,113 @@ impl NodeStore {
         Self::default()
     }
 
-    /// Installs a secondary hash index over `predicate` keyed on
+    // ---- predicate interning ---------------------------------------------
+
+    /// Interns a predicate name, returning its dense id.  Ids are assigned
+    /// in interning order, so mirroring another [`Symbols`] table (see
+    /// [`NodeStore::sync_symbols`]) keeps both id spaces identical.
+    pub fn intern(&mut self, predicate: &str) -> PredId {
+        let id = self.preds.intern(predicate);
+        if self.tables.len() < self.preds.len() {
+            self.tables.resize_with(self.preds.len(), Table::default);
+        }
+        id
+    }
+
+    /// The id of an already interned predicate.
+    pub fn pred_id(&self, predicate: &str) -> Option<PredId> {
+        self.preds.resolve(predicate)
+    }
+
+    /// The name behind an interned predicate id.
+    pub fn pred_name(&self, pred: PredId) -> Option<&str> {
+        self.preds.name(pred)
+    }
+
+    /// Mirrors every predicate of `symbols` this store has not seen yet, in
+    /// id order, so the store's [`PredId`]s coincide with the caller's.  The
+    /// engine calls this with its program-wide table before addressing the
+    /// store by id; it is O(1) when already in sync.
+    pub fn sync_symbols(&mut self, symbols: &Symbols) {
+        self.preds.sync_from(symbols);
+        if self.tables.len() < self.preds.len() {
+            self.tables.resize_with(self.preds.len(), Table::default);
+        }
+    }
+
+    fn table(&self, pred: PredId) -> Option<&Table> {
+        self.tables.get(pred.index())
+    }
+
+    /// The table behind an id that this store's interner actually knows.
+    /// Id-based writes must go through here: accepting ids the interner has
+    /// never seen would let rows exist under no name (panicking `expire`,
+    /// under-charging `store_bytes`), so that contract violation fails fast
+    /// instead.
+    fn table_mut(&mut self, pred: PredId) -> &mut Table {
+        assert!(
+            pred.index() < self.preds.len(),
+            "{pred} was not interned in this store; call intern() or sync_symbols() first"
+        );
+        if self.tables.len() < self.preds.len() {
+            self.tables.resize_with(self.preds.len(), Table::default);
+        }
+        &mut self.tables[pred.index()]
+    }
+
+    // ---- secondary indexes -----------------------------------------------
+
+    /// Installs a secondary hash index over the interned predicate keyed on
     /// `key_columns`.  Registering is idempotent; if the relation already
-    /// holds tuples the index is (re)built from them, and it is maintained
+    /// holds tuples the index is (re)built from them in insertion order (no
+    /// sort: the seq list already is the order), and it is maintained
     /// incrementally afterwards.
-    pub fn register_index(&mut self, predicate: &str, key_columns: &[usize]) {
-        let table = self.tables.entry(predicate.to_string()).or_default();
+    pub fn register_index_id(&mut self, pred: PredId, key_columns: &[usize]) {
+        let table = self.table_mut(pred);
         if table.indexes.contains_key(key_columns) {
             return;
         }
-        let mut ordered: Vec<(u64, &Vec<Value>)> = table
-            .rows
-            .iter()
-            .map(|(values, row)| (row.seq, values))
-            .collect();
-        ordered.sort_unstable_by_key(|(seq, _)| *seq);
         let mut buckets: IndexBuckets = HashMap::new();
-        for (_, values) in ordered {
-            if let Some(key) = Table::project(values, key_columns) {
-                buckets.entry(key).or_default().push(values.clone());
+        for seq in &table.seq_order {
+            if let Some(row) = table.rows.get(seq) {
+                if let Some(key) = Table::project(&row.values, key_columns) {
+                    buckets.entry(key).or_default().push(*seq);
+                }
             }
         }
         table.indexes.insert(key_columns.to_vec(), buckets);
     }
 
-    /// True if an index over `(predicate, key_columns)` is installed.
-    pub fn has_index(&self, predicate: &str, key_columns: &[usize]) -> bool {
-        self.tables
-            .get(predicate)
+    /// Name shim over [`NodeStore::register_index_id`].
+    pub fn register_index(&mut self, predicate: &str, key_columns: &[usize]) {
+        let pred = self.intern(predicate);
+        self.register_index_id(pred, key_columns);
+    }
+
+    /// True if an index over `(pred, key_columns)` is installed.
+    pub fn has_index_id(&self, pred: PredId, key_columns: &[usize]) -> bool {
+        self.table(pred)
             .is_some_and(|t| t.indexes.contains_key(key_columns))
     }
 
-    /// Probes the secondary index of `predicate` keyed on `key_columns` for
-    /// rows matching `key`, in insertion order.  Returns `None` when no such
+    /// Name shim over [`NodeStore::has_index_id`].
+    pub fn has_index(&self, predicate: &str, key_columns: &[usize]) -> bool {
+        self.pred_id(predicate)
+            .is_some_and(|pred| self.has_index_id(pred, key_columns))
+    }
+
+    /// Probes the secondary index of `pred` keyed on `key_columns` for rows
+    /// matching `key`, in insertion order.  Returns `None` when no such
     /// index is installed (the caller falls back to a scan); an installed
-    /// index with no matches yields an empty iterator.
-    pub fn probe<'a>(
+    /// index with no matches yields an empty iterator.  Rows are handed out
+    /// by reference — callers clone the `Arc`, never the values.
+    pub fn probe_id<'a>(
         &'a self,
-        predicate: &'a str,
+        pred: PredId,
         key_columns: &[usize],
         key: &[Value],
-    ) -> Option<impl Iterator<Item = (Tuple, &'a TupleMeta)> + 'a> {
-        let table = self.tables.get(predicate)?;
+    ) -> Option<impl Iterator<Item = (&'a Arc<[Value]>, &'a TupleMeta)> + 'a> {
+        let table = self.table(pred)?;
         let index = table.indexes.get(key_columns)?;
         let rows = &table.rows;
         Some(
@@ -179,30 +294,53 @@ impl NodeStore {
                 .get(key)
                 .into_iter()
                 .flatten()
-                .filter_map(move |values| {
-                    rows.get(values)
-                        .map(|row| (Tuple::new(predicate, values.clone()), &row.meta))
-                }),
+                .filter_map(move |seq| rows.get(seq))
+                .map(|row| (&row.values, &row.meta)),
         )
     }
 
-    /// Inserts a tuple.  If an identical tuple already exists, provenance
-    /// tags are combined with the semiring `+` via `combine` (alternative
-    /// derivations of the same tuple).
-    pub fn insert<F>(&mut self, tuple: &Tuple, meta: TupleMeta, combine: F) -> InsertOutcome
+    /// Name shim over [`NodeStore::probe_id`], materialising [`Tuple`]s.
+    pub fn probe<'a>(
+        &'a self,
+        predicate: &'a str,
+        key_columns: &[usize],
+        key: &[Value],
+    ) -> Option<impl Iterator<Item = (Tuple, &'a TupleMeta)> + 'a> {
+        let pred = self.pred_id(predicate)?;
+        Some(
+            self.probe_id(pred, key_columns, key)?
+                .map(move |(values, meta)| (Tuple::new(predicate, values.to_vec()), meta)),
+        )
+    }
+
+    // ---- insertion / removal ---------------------------------------------
+
+    /// Inserts a shared row under an interned predicate.  If an identical
+    /// row already exists, provenance tags are combined with the semiring
+    /// `+` via `combine` (alternative derivations of the same tuple).
+    pub fn insert_row<F>(
+        &mut self,
+        pred: PredId,
+        values: Arc<[Value]>,
+        meta: TupleMeta,
+        combine: F,
+    ) -> InsertOutcome
     where
         F: FnOnce(&ProvTag, &ProvTag) -> ProvTag,
     {
-        let table = self.tables.entry(tuple.predicate.clone()).or_default();
-        match table.rows.get_mut(&tuple.values) {
+        let seq = self.next_seq;
+        let table = self.table_mut(pred);
+        match table.by_row.get(&values[..]) {
             None => {
-                let seq = self.next_seq;
+                table.by_row.insert(values.clone(), seq);
+                table.index_insert(seq, &values);
+                table.seq_order.push(seq);
+                table.rows.insert(seq, StoredRow { values, meta });
                 self.next_seq += 1;
-                table.rows.insert(tuple.values.clone(), Row { meta, seq });
-                table.index_insert(&tuple.values);
                 InsertOutcome::New
             }
-            Some(existing) => {
+            Some(&seq) => {
+                let existing = table.rows.get_mut(&seq).expect("dedup map mirrors rows");
                 let merged = combine(&existing.meta.tag, &meta.tag);
                 // Refresh the soft-state lifetime on re-derivation.
                 existing.meta.expires_at = match (existing.meta.expires_at, meta.expires_at) {
@@ -219,13 +357,25 @@ impl NodeStore {
         }
     }
 
-    /// Looks up the metadata of an exact tuple.
+    /// Name shim over [`NodeStore::insert_row`].
+    pub fn insert<F>(&mut self, tuple: &Tuple, meta: TupleMeta, combine: F) -> InsertOutcome
+    where
+        F: FnOnce(&ProvTag, &ProvTag) -> ProvTag,
+    {
+        let pred = self.intern(&tuple.predicate);
+        self.insert_row(pred, Arc::from(tuple.values.as_slice()), meta, combine)
+    }
+
+    /// Looks up the metadata of an exact row.
+    pub fn meta_of(&self, pred: PredId, values: &[Value]) -> Option<&TupleMeta> {
+        let table = self.table(pred)?;
+        let seq = table.by_row.get(values)?;
+        table.rows.get(seq).map(|row| &row.meta)
+    }
+
+    /// Name shim over [`NodeStore::meta_of`].
     pub fn get(&self, tuple: &Tuple) -> Option<&TupleMeta> {
-        self.tables
-            .get(&tuple.predicate)?
-            .rows
-            .get(&tuple.values)
-            .map(|row| &row.meta)
+        self.meta_of(self.pred_id(&tuple.predicate)?, &tuple.values)
     }
 
     /// True if the exact tuple is stored.
@@ -233,107 +383,231 @@ impl NodeStore {
         self.get(tuple).is_some()
     }
 
-    /// Removes an exact tuple, returning its metadata.  Secondary indexes
-    /// stay consistent.
-    pub fn remove(&mut self, tuple: &Tuple) -> Option<TupleMeta> {
-        self.tables
-            .get_mut(&tuple.predicate)?
-            .remove_row(&tuple.values)
+    /// Removes an exact row, returning its metadata.  Secondary indexes and
+    /// the dedup map stay consistent; the seq list is compacted lazily.
+    pub fn remove_row(&mut self, pred: PredId, values: &[Value]) -> Option<TupleMeta> {
+        self.tables.get_mut(pred.index())?.remove_by_values(values)
     }
 
-    /// Iterates over all tuples of `predicate` with their metadata, in
-    /// arbitrary order.
+    /// Name shim over [`NodeStore::remove_row`].
+    pub fn remove(&mut self, tuple: &Tuple) -> Option<TupleMeta> {
+        let pred = self.pred_id(&tuple.predicate)?;
+        self.remove_row(pred, &tuple.values)
+    }
+
+    // ---- scans -----------------------------------------------------------
+
+    /// Iterates over all rows of an interned predicate with their metadata,
+    /// in arbitrary order.
+    pub fn scan_rows(
+        &self,
+        pred: PredId,
+    ) -> impl Iterator<Item = (&Arc<[Value]>, &TupleMeta)> + '_ {
+        self.table(pred)
+            .into_iter()
+            .flat_map(|table| table.rows.values().map(|row| (&row.values, &row.meta)))
+    }
+
+    /// Name shim over [`NodeStore::scan_rows`], materialising [`Tuple`]s.
     pub fn scan<'a>(
         &'a self,
         predicate: &'a str,
     ) -> impl Iterator<Item = (Tuple, &'a TupleMeta)> + 'a {
-        self.tables
-            .get(predicate)
+        self.pred_id(predicate)
             .into_iter()
-            .flat_map(move |table| {
-                table
-                    .rows
-                    .iter()
-                    .map(move |(values, row)| (Tuple::new(predicate, values.clone()), &row.meta))
-            })
+            .flat_map(move |pred| self.scan_rows(pred))
+            .map(move |(values, meta)| (Tuple::new(predicate, values.to_vec()), meta))
     }
 
-    /// All tuples of `predicate` in insertion order — the deterministic
-    /// iteration the evaluator uses for unindexed (full-scan) joins.
+    /// All rows of an interned predicate in insertion order — the
+    /// deterministic iteration the evaluator uses for unindexed (full-scan)
+    /// joins.  This walks the lazily compacted seq list directly: O(live
+    /// rows), no sorting.
+    pub fn scan_ordered_rows(
+        &self,
+        pred: PredId,
+    ) -> impl Iterator<Item = (&Arc<[Value]>, &TupleMeta)> + '_ {
+        self.table(pred).into_iter().flat_map(Table::iter_ordered)
+    }
+
+    /// Name shim over [`NodeStore::scan_ordered_rows`], materialising
+    /// [`Tuple`]s.
     pub fn scan_ordered<'a>(&'a self, predicate: &str) -> Vec<(Tuple, &'a TupleMeta)> {
-        let mut rows: Vec<(u64, Tuple, &TupleMeta)> = self
-            .tables
-            .get(predicate)
-            .into_iter()
-            .flat_map(|table| {
-                table.rows.iter().map(|(values, row)| {
-                    (row.seq, Tuple::new(predicate, values.clone()), &row.meta)
-                })
-            })
-            .collect();
-        rows.sort_unstable_by_key(|(seq, _, _)| *seq);
-        rows.into_iter().map(|(_, t, m)| (t, m)).collect()
+        let Some(pred) = self.pred_id(predicate) else {
+            return Vec::new();
+        };
+        self.scan_ordered_rows(pred)
+            .map(|(values, meta)| (Tuple::new(predicate, values.to_vec()), meta))
+            .collect()
     }
 
     /// All predicates with at least one stored tuple.
     pub fn predicates(&self) -> impl Iterator<Item = &str> {
         self.tables
             .iter()
+            .enumerate()
             .filter(|(_, t)| !t.rows.is_empty())
-            .map(|(p, _)| p.as_str())
+            .filter_map(|(i, _)| self.preds.name(PredId(i as u32)))
     }
 
-    /// Number of tuples of `predicate`.
+    /// Number of tuples of an interned predicate.
+    pub fn count_id(&self, pred: PredId) -> usize {
+        self.table(pred).map_or(0, |t| t.rows.len())
+    }
+
+    /// Name shim over [`NodeStore::count_id`].
     pub fn count(&self, predicate: &str) -> usize {
-        self.tables.get(predicate).map_or(0, |t| t.rows.len())
+        self.pred_id(predicate).map_or(0, |p| self.count_id(p))
     }
 
     /// Total number of stored tuples across relations.
     pub fn total_tuples(&self) -> usize {
-        self.tables.values().map(|t| t.rows.len()).sum()
+        self.tables.iter().map(|t| t.rows.len()).sum()
     }
 
-    /// Approximate storage footprint in bytes (tuple encodings plus tag
-    /// sizes are charged by the caller, which has access to the var table).
-    pub fn total_tuple_bytes(&self) -> usize {
+    // ---- storage accounting ----------------------------------------------
+
+    /// Bytes of tuple data proper: the canonical encoding of every stored
+    /// row (each row is charged once — indexes share it by reference) plus
+    /// the seq-list slots carrying the insertion order.
+    pub fn store_bytes(&self) -> usize {
         self.tables
             .iter()
-            .map(|(pred, table)| {
+            .enumerate()
+            .map(|(i, table)| {
+                let name = self.preds.name(PredId(i as u32)).unwrap_or("");
                 table
                     .rows
-                    .keys()
-                    .map(|values| Tuple::new(pred.clone(), values.clone()).encoded_len())
+                    .values()
+                    .map(|row| tuple::encoded_len_parts(name, &row.values))
+                    .sum::<usize>()
+                    + table.seq_order.len() * std::mem::size_of::<u64>()
+            })
+            .sum()
+    }
+
+    /// Bytes of secondary-index overhead: every bucket's key encoding plus
+    /// one seq id (8 bytes) per bucket entry — the honest cost of the
+    /// seq-addressed layout, where buckets reference rows instead of
+    /// copying them.
+    pub fn index_bytes(&self) -> usize {
+        self.tables
+            .iter()
+            .map(|table| {
+                table
+                    .indexes
+                    .values()
+                    .flat_map(|buckets| buckets.iter())
+                    .map(|(key, bucket)| {
+                        key.iter().map(Value::encoded_len).sum::<usize>()
+                            + bucket.len() * std::mem::size_of::<u64>()
+                    })
                     .sum::<usize>()
             })
             .sum()
     }
 
-    /// Removes all tuples whose TTL has passed; returns the removed tuples.
-    /// Secondary indexes stay consistent.
-    pub fn expire(&mut self, now: SimTime) -> Vec<Tuple> {
-        let mut removed = Vec::new();
-        for (pred, table) in &mut self.tables {
-            let expired: Vec<Vec<Value>> = table
-                .rows
-                .iter()
-                .filter(|(_, row)| row.meta.expires_at.is_some_and(|e| e <= now))
-                .map(|(values, _)| values.clone())
-                .collect();
-            for values in expired {
-                table.remove_row(&values);
-                removed.push(Tuple::new(pred.clone(), values));
-            }
-        }
-        removed
+    /// Approximate total storage footprint in bytes: tuple encodings plus
+    /// the seq-list and secondary-index overhead (tag sizes are charged by
+    /// the caller, which has access to the var table).
+    pub fn total_tuple_bytes(&self) -> usize {
+        self.store_bytes() + self.index_bytes()
     }
 
-    /// Verifies that every secondary index exactly mirrors its base table:
-    /// each row appears exactly once in the right bucket of every index,
-    /// every bucket entry references a live row with the matching
-    /// projection, and buckets follow insertion order.  Returns a
-    /// description of the first inconsistency found.
+    // ---- expiry ----------------------------------------------------------
+
+    /// Removes all tuples whose TTL has passed; returns the removed tuples
+    /// in insertion-seq order (deterministic regardless of table iteration
+    /// order).  Secondary indexes stay consistent.
+    pub fn expire(&mut self, now: SimTime) -> Vec<Tuple> {
+        let mut expired: Vec<(u64, PredId)> = self
+            .tables
+            .iter()
+            .enumerate()
+            .flat_map(|(i, table)| {
+                table
+                    .rows
+                    .iter()
+                    .filter(|(_, row)| row.meta.expires_at.is_some_and(|e| e <= now))
+                    .map(move |(seq, _)| (*seq, PredId(i as u32)))
+            })
+            .collect();
+        expired.sort_unstable_by_key(|(seq, _)| *seq);
+        expired
+            .into_iter()
+            .map(|(seq, pred)| {
+                let row = self.tables[pred.index()]
+                    .take_by_seq(seq)
+                    .expect("collected seq is live");
+                let name = self.preds.name(pred).expect("interned predicate");
+                Tuple::new(name, row.values.to_vec())
+            })
+            .collect()
+    }
+
+    // ---- invariants ------------------------------------------------------
+
+    /// Verifies the seq-addressed layout end to end: the dedup map exactly
+    /// mirrors the live rows, the seq list contains every live seq exactly
+    /// once in ascending order with no more dead entries than compaction
+    /// permits, and every secondary index holds each live row's seq exactly
+    /// once in the right bucket, in insertion order, with no row copies and
+    /// no empty buckets retained.  Returns a description of the first
+    /// inconsistency found.
     pub fn check_index_consistency(&self) -> Result<(), String> {
-        for (pred, table) in &self.tables {
+        for (i, table) in self.tables.iter().enumerate() {
+            let pred = self.preds.name(PredId(i as u32)).unwrap_or("?");
+            // Dedup map ↔ rows.
+            if table.by_row.len() != table.rows.len() {
+                return Err(format!(
+                    "{pred}: dedup map holds {} rows, table holds {}",
+                    table.by_row.len(),
+                    table.rows.len()
+                ));
+            }
+            for (values, seq) in &table.by_row {
+                match table.rows.get(seq) {
+                    None => return Err(format!("{pred}: dedup entry {values:?} has no row")),
+                    Some(row) if row.values != *values => {
+                        return Err(format!("{pred}: dedup entry {values:?} maps to wrong row"))
+                    }
+                    Some(_) => {}
+                }
+            }
+            // Seq list: every live seq exactly once, ascending, bounded dead.
+            let mut live_in_order = 0usize;
+            let mut last_seq = None;
+            for seq in &table.seq_order {
+                if table.rows.contains_key(seq) {
+                    if let Some(prev) = last_seq {
+                        if *seq <= prev {
+                            return Err(format!("{pred}: seq list violates insertion order"));
+                        }
+                    }
+                    last_seq = Some(*seq);
+                    live_in_order += 1;
+                }
+            }
+            if live_in_order != table.rows.len() {
+                return Err(format!(
+                    "{pred}: seq list covers {live_in_order} live rows, table holds {}",
+                    table.rows.len()
+                ));
+            }
+            let dead = table.seq_order.len() - live_in_order;
+            if dead != table.dead {
+                return Err(format!(
+                    "{pred}: dead counter {} does not match seq list ({dead} dead)",
+                    table.dead
+                ));
+            }
+            if table.dead * 2 > table.seq_order.len() {
+                return Err(format!(
+                    "{pred}: compaction invariant violated ({dead} dead of {})",
+                    table.seq_order.len()
+                ));
+            }
+            // Indexes: seq ids only, right bucket, insertion order, complete.
             for (key_columns, buckets) in &table.indexes {
                 let mut indexed = 0usize;
                 for (key, bucket) in buckets {
@@ -341,30 +615,31 @@ impl NodeStore {
                         return Err(format!("{pred}: empty bucket retained for key {key:?}"));
                     }
                     let mut last_seq = None;
-                    for values in bucket {
-                        let row = table.rows.get(values).ok_or_else(|| {
-                            format!("{pred}: index entry {values:?} has no backing row")
+                    for seq in bucket {
+                        let row = table.rows.get(seq).ok_or_else(|| {
+                            format!("{pred}: index entry seq {seq} has no backing row")
                         })?;
-                        if Table::project(values, key_columns).as_deref() != Some(&key[..]) {
+                        if Table::project(&row.values, key_columns).as_deref() != Some(&key[..]) {
                             return Err(format!(
-                                "{pred}: row {values:?} filed under wrong key {key:?}"
+                                "{pred}: row {:?} filed under wrong key {key:?}",
+                                row.values
                             ));
                         }
                         if let Some(prev) = last_seq {
-                            if row.seq <= prev {
+                            if *seq <= prev {
                                 return Err(format!(
                                     "{pred}: bucket {key:?} violates insertion order"
                                 ));
                             }
                         }
-                        last_seq = Some(row.seq);
+                        last_seq = Some(*seq);
                         indexed += 1;
                     }
                 }
                 let expected = table
                     .rows
-                    .keys()
-                    .filter(|values| Table::project(values, key_columns).is_some())
+                    .values()
+                    .filter(|row| Table::project(&row.values, key_columns).is_some())
                     .count();
                 if indexed != expected {
                     return Err(format!(
@@ -421,36 +696,25 @@ mod tests {
     fn duplicate_inserts_merge_tags_without_retrigger() {
         let mut store = NodeStore::new();
         let t = link(0, 1);
+        let combine = |a: &ProvTag, b: &ProvTag| {
+            if let (ProvTag::Trust(x), ProvTag::Trust(y)) = (a, b) {
+                ProvTag::Trust(TrustLevel(x.0.max(y.0)))
+            } else {
+                a.clone()
+            }
+        };
         assert_eq!(
-            store.insert(&t, meta(ProvTag::Trust(TrustLevel(1)), None), |a, b| {
-                if let (ProvTag::Trust(x), ProvTag::Trust(y)) = (a, b) {
-                    ProvTag::Trust(TrustLevel(x.0.max(y.0)))
-                } else {
-                    a.clone()
-                }
-            }),
+            store.insert(&t, meta(ProvTag::Trust(TrustLevel(1)), None), combine),
             InsertOutcome::New
         );
         // Same tuple, higher trust: tag merges.
         assert_eq!(
-            store.insert(&t, meta(ProvTag::Trust(TrustLevel(3)), None), |a, b| {
-                if let (ProvTag::Trust(x), ProvTag::Trust(y)) = (a, b) {
-                    ProvTag::Trust(TrustLevel(x.0.max(y.0)))
-                } else {
-                    a.clone()
-                }
-            }),
+            store.insert(&t, meta(ProvTag::Trust(TrustLevel(3)), None), combine),
             InsertOutcome::MergedTag
         );
         // Same tuple, lower trust: nothing changes.
         assert_eq!(
-            store.insert(&t, meta(ProvTag::Trust(TrustLevel(2)), None), |a, b| {
-                if let (ProvTag::Trust(x), ProvTag::Trust(y)) = (a, b) {
-                    ProvTag::Trust(TrustLevel(x.0.max(y.0)))
-                } else {
-                    a.clone()
-                }
-            }),
+            store.insert(&t, meta(ProvTag::Trust(TrustLevel(2)), None), combine),
             InsertOutcome::Duplicate
         );
         assert_eq!(store.get(&t).unwrap().tag, ProvTag::Trust(TrustLevel(3)));
@@ -473,6 +737,22 @@ mod tests {
         // Expiry of the remaining soft-state tuple later.
         assert_eq!(store.expire(SimTime::from_micros(1_000)).len(), 1);
         assert_eq!(store.total_tuples(), 1);
+    }
+
+    #[test]
+    fn expire_returns_tuples_in_seq_order_across_relations() {
+        // Interleave soft-state tuples of several predicates so hash order
+        // of the tables cannot accidentally match insertion order.
+        let mut store = NodeStore::new();
+        let tuples: Vec<Tuple> = (0..12)
+            .map(|i| Tuple::new(["zeta", "alpha", "mid"][i % 3], vec![Value::Int(i as i64)]))
+            .collect();
+        for t in &tuples {
+            store.insert(t, meta(ProvTag::None, Some(10)), |a, _| a.clone());
+        }
+        let removed = store.expire(SimTime::from_micros(10));
+        assert_eq!(removed, tuples, "expirations follow insertion seq order");
+        store.check_index_consistency().unwrap();
     }
 
     #[test]
@@ -649,6 +929,83 @@ mod tests {
             .collect();
         assert_eq!(got, vec![link(4, 0), link(2, 9), link(0, 0), link(3, 3)]);
         assert!(store.scan_ordered("nope").is_empty());
+    }
+
+    #[test]
+    fn seq_list_compacts_after_heavy_churn() {
+        let mut store = NodeStore::new();
+        for i in 0..100u32 {
+            store.insert(&link(i, i), meta(ProvTag::None, None), |a, _| a.clone());
+        }
+        // Remove 90 of 100: compaction must have kicked in (dead ≤ half).
+        for i in 0..90u32 {
+            store.remove(&link(i, i));
+            store.check_index_consistency().unwrap();
+        }
+        let got: Vec<Tuple> = store
+            .scan_ordered("link")
+            .into_iter()
+            .map(|(t, _)| t)
+            .collect();
+        let expected: Vec<Tuple> = (90..100).map(|i| link(i, i)).collect();
+        assert_eq!(got, expected, "survivors keep insertion order");
+    }
+
+    #[test]
+    fn index_buckets_hold_seq_ids_not_row_copies() {
+        // The byte accounting makes the layout observable: adding a second
+        // index over a relation must cost bucket keys + 8 bytes per row,
+        // not another full copy of every row.
+        let mut store = NodeStore::new();
+        for i in 0..50u32 {
+            store.insert(&link(i % 5, i), meta(ProvTag::None, None), |a, _| a.clone());
+        }
+        let rows_only = store.store_bytes();
+        assert_eq!(store.index_bytes(), 0);
+        store.register_index("link", &[0]);
+        let one_index = store.index_bytes();
+        assert!(one_index > 0);
+        assert!(
+            one_index < rows_only,
+            "index overhead ({one_index} B) must undercut row data ({rows_only} B)"
+        );
+        assert_eq!(store.store_bytes(), rows_only, "rows are not re-charged");
+        assert_eq!(store.total_tuple_bytes(), rows_only + one_index);
+    }
+
+    #[test]
+    fn id_based_api_mirrors_engine_symbols() {
+        let mut authority = Symbols::new();
+        let link_id = authority.intern("link");
+        authority.intern("reachable");
+        let mut store = NodeStore::new();
+        store.sync_symbols(&authority);
+        assert_eq!(store.pred_id("link"), Some(link_id));
+        assert_eq!(store.pred_name(link_id), Some("link"));
+        store.register_index_id(link_id, &[0]);
+        assert!(store.has_index_id(link_id, &[0]));
+        let row: Arc<[Value]> = Arc::from(vec![Value::Addr(0), Value::Addr(1)].as_slice());
+        assert_eq!(
+            store.insert_row(link_id, row.clone(), meta(ProvTag::None, None), |a, _| a
+                .clone()),
+            InsertOutcome::New
+        );
+        assert!(store.meta_of(link_id, &row).is_some());
+        assert_eq!(store.scan_rows(link_id).count(), 1);
+        assert_eq!(store.scan_ordered_rows(link_id).count(), 1);
+        assert_eq!(
+            store
+                .probe_id(link_id, &[0], &[Value::Addr(0)])
+                .unwrap()
+                .count(),
+            1
+        );
+        // Growing the authority and re-syncing keeps ids aligned.
+        let sensor = authority.intern("sensor");
+        store.sync_symbols(&authority);
+        assert_eq!(store.pred_id("sensor"), Some(sensor));
+        assert!(store.remove_row(link_id, &row).is_some());
+        store.check_index_consistency().unwrap();
     }
 
     #[test]

@@ -14,6 +14,55 @@ pub struct Tuple {
     pub values: Vec<Value>,
 }
 
+/// Canonical byte encoding of a `(predicate, values)` pair — identical to
+/// [`Tuple::encode`] but borrowing its parts, so the store and runtime can
+/// encode shared rows without materialising a `Tuple` first.
+pub fn encode_parts(predicate: &str, values: &[Value]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(encoded_len_parts(predicate, values));
+    out.extend_from_slice(&(predicate.len() as u16).to_be_bytes());
+    out.extend_from_slice(predicate.as_bytes());
+    out.extend_from_slice(&(values.len() as u16).to_be_bytes());
+    for v in values {
+        v.encode(&mut out);
+    }
+    out
+}
+
+/// Number of bytes [`encode_parts`] produces.
+pub fn encoded_len_parts(predicate: &str, values: &[Value]) -> usize {
+    2 + predicate.len() + 2 + values.iter().map(Value::encoded_len).sum::<usize>()
+}
+
+/// The stable 64-bit tuple key of a `(predicate, values)` pair — identical
+/// to [`Tuple::key_hash`] but borrowing its parts.
+pub fn key_hash_parts(predicate: &str, values: &[Value]) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    predicate.hash(&mut hasher);
+    values.hash(&mut hasher);
+    hasher.finish()
+}
+
+/// Renders a `(predicate, values)` pair with a location marker — identical
+/// to [`Tuple::render_located`] but borrowing its parts.
+pub fn render_located_parts(
+    predicate: &str,
+    values: &[Value],
+    location_index: Option<usize>,
+) -> String {
+    let args: Vec<String> = values
+        .iter()
+        .enumerate()
+        .map(|(i, v)| {
+            if Some(i) == location_index {
+                format!("@{v}")
+            } else {
+                v.to_string()
+            }
+        })
+        .collect();
+    format!("{}({})", predicate, args.join(","))
+}
+
 impl Tuple {
     /// Creates a tuple.
     pub fn new(predicate: impl Into<String>, values: Vec<Value>) -> Self {
@@ -36,29 +85,19 @@ impl Tuple {
     /// A stable 64-bit key for this tuple, used as the "unique key of a base
     /// input tuple" in provenance expressions and by the sampling policy.
     pub fn key_hash(&self) -> u64 {
-        let mut hasher = DefaultHasher::new();
-        self.predicate.hash(&mut hasher);
-        self.values.hash(&mut hasher);
-        hasher.finish()
+        key_hash_parts(&self.predicate, &self.values)
     }
 
     /// Canonical byte encoding: length-prefixed predicate, attribute count,
     /// then each value in the shared [`Value`] encoding.  This is what gets
     /// signed by `says` and what the bandwidth accounting charges.
     pub fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(self.encoded_len());
-        out.extend_from_slice(&(self.predicate.len() as u16).to_be_bytes());
-        out.extend_from_slice(self.predicate.as_bytes());
-        out.extend_from_slice(&(self.values.len() as u16).to_be_bytes());
-        for v in &self.values {
-            v.encode(&mut out);
-        }
-        out
+        encode_parts(&self.predicate, &self.values)
     }
 
     /// Number of bytes [`Tuple::encode`] produces.
     pub fn encoded_len(&self) -> usize {
-        2 + self.predicate.len() + 2 + self.values.iter().map(Value::encoded_len).sum::<usize>()
+        encoded_len_parts(&self.predicate, &self.values)
     }
 
     /// Decodes a tuple previously produced by [`Tuple::encode`].
@@ -85,19 +124,7 @@ impl Tuple {
     /// `reachable(@n0,n2)`; this is the key format used by the provenance
     /// graph and the stores.
     pub fn render_located(&self, location_index: Option<usize>) -> String {
-        let args: Vec<String> = self
-            .values
-            .iter()
-            .enumerate()
-            .map(|(i, v)| {
-                if Some(i) == location_index {
-                    format!("@{v}")
-                } else {
-                    v.to_string()
-                }
-            })
-            .collect();
-        format!("{}({})", self.predicate, args.join(","))
+        render_located_parts(&self.predicate, &self.values, location_index)
     }
 }
 
@@ -149,6 +176,23 @@ mod tests {
         let bytes = t.encode();
         for cut in [0usize, 1, 3, bytes.len() - 1] {
             assert!(Tuple::decode(&bytes[..cut]).is_none(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn parts_helpers_agree_with_tuple_methods() {
+        // The store and runtime encode/hash/render borrowed `(predicate,
+        // values)` parts; they must stay byte-identical to the Tuple API
+        // (signatures, bandwidth accounting and provenance ids depend on it).
+        let t = sample();
+        assert_eq!(encode_parts(&t.predicate, &t.values), t.encode());
+        assert_eq!(encoded_len_parts(&t.predicate, &t.values), t.encoded_len());
+        assert_eq!(key_hash_parts(&t.predicate, &t.values), t.key_hash());
+        for loc in [None, Some(0), Some(2)] {
+            assert_eq!(
+                render_located_parts(&t.predicate, &t.values, loc),
+                t.render_located(loc)
+            );
         }
     }
 

@@ -10,6 +10,7 @@
 //! `says` assertion by the principal that executed the rule, so a remote
 //! querier can verify each step of the tree.
 
+use crate::key::ProvKey;
 use crate::semiring::{BaseTupleId, Semiring, WhyProvenance};
 use pasn_crypto::{PrincipalId, SaysAssertion};
 use std::collections::{BTreeSet, HashMap, HashSet};
@@ -88,7 +89,9 @@ pub fn derivation_payload(
 #[derive(Clone, Debug, Default)]
 pub struct DerivationGraph {
     nodes: Vec<TupleNode>,
-    index: HashMap<String, ProvNodeId>,
+    /// Tuple lookup by derived [`ProvKey`] — the rendered string lives only
+    /// once, in its [`TupleNode`], for display.
+    index: HashMap<ProvKey, ProvNodeId>,
 }
 
 impl DerivationGraph {
@@ -112,9 +115,16 @@ impl DerivationGraph {
         self.nodes.iter().map(|n| n.derivations.len()).sum()
     }
 
-    /// Looks up a tuple node by its rendered key.
+    /// Looks up a tuple node by its rendered key (shim over
+    /// [`DerivationGraph::find_key`]).
     pub fn find(&self, key: &str) -> Option<ProvNodeId> {
-        self.index.get(key).copied()
+        self.find_key(ProvKey::from_rendered(key))
+    }
+
+    /// Looks up a tuple node by an already derived [`ProvKey`], skipping the
+    /// re-hash of the rendered form.
+    pub fn find_key(&self, key: ProvKey) -> Option<ProvNodeId> {
+        self.index.get(&key).copied()
     }
 
     /// The node behind an id.
@@ -123,7 +133,15 @@ impl DerivationGraph {
     }
 
     fn intern(&mut self, key: &str, location: &str, created_at: u64) -> ProvNodeId {
-        if let Some(&id) = self.index.get(key) {
+        let hashed = ProvKey::from_rendered(key);
+        if let Some(&id) = self.index.get(&hashed) {
+            // A digest hit must be the same rendered tuple — a collision
+            // would silently merge two unrelated tuples' provenance, which
+            // the exact string keys this map replaced could never do.
+            debug_assert_eq!(
+                self.nodes[id.0 as usize].key, key,
+                "ProvKey collision: distinct tuples share digest {hashed}"
+            );
             return id;
         }
         let id = ProvNodeId(self.nodes.len() as u32);
@@ -136,7 +154,7 @@ impl DerivationGraph {
             expires_at: None,
             derivations: Vec::new(),
         });
-        self.index.insert(key.to_string(), id);
+        self.index.insert(hashed, id);
         id
     }
 
@@ -464,7 +482,7 @@ impl DerivationGraph {
                 .retain(|d| !d.antecedents.iter().any(|a| expired.contains(a)));
         }
         for id in &expired {
-            let key = self.nodes[id.0 as usize].key.clone();
+            let key = ProvKey::from_rendered(&self.nodes[id.0 as usize].key);
             self.index.remove(&key);
             // Keep the slot (ids are stable) but mark it empty.
             self.nodes[id.0 as usize].derivations.clear();

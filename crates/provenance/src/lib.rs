@@ -27,6 +27,7 @@
 #![warn(missing_docs)]
 
 pub mod graph;
+pub mod key;
 pub mod moonwalk;
 pub mod policy;
 pub mod semiring;
@@ -34,6 +35,7 @@ pub mod store;
 pub mod tag;
 
 pub use graph::{derivation_payload, Derivation, DerivationGraph, ProvNodeId, TupleNode};
+pub use key::ProvKey;
 pub use moonwalk::{moonwalk, MoonwalkConfig, MoonwalkResult, Walk};
 pub use policy::{Granularity, MaintenanceMode, SamplingPolicy};
 pub use semiring::{BaseTupleId, DerivationCount, Semiring, TrustLevel, VoteSet, WhyProvenance};

@@ -11,6 +11,7 @@
 //!   accountability, with an age-out policy.
 
 use crate::graph::DerivationGraph;
+use crate::key::ProvKey;
 use crate::semiring::BaseTupleId;
 use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
 
@@ -71,12 +72,17 @@ pub struct PointerDerivation {
 }
 
 /// A per-node *distributed* provenance store.
+///
+/// Entries are keyed by derived [`ProvKey`]s (64-bit digests of the tuple
+/// identity) rather than cloned rendered strings; the rendered form only
+/// travels inside [`AntecedentRef`]s, where traceback needs it for display
+/// and cross-node routing.
 #[derive(Clone, Debug, Default)]
 pub struct DistributedStore {
     /// This node's name (matches tuple locations).
     pub node: String,
-    entries: HashMap<String, Vec<PointerDerivation>>,
-    bases: HashMap<String, BaseTupleId>,
+    entries: HashMap<ProvKey, Vec<PointerDerivation>>,
+    bases: HashMap<ProvKey, BaseTupleId>,
 }
 
 impl DistributedStore {
@@ -91,12 +97,12 @@ impl DistributedStore {
 
     /// Records a base tuple stored at this node.
     pub fn record_base(&mut self, key: &str, id: BaseTupleId) {
-        self.bases.insert(key.to_string(), id);
+        self.bases.insert(ProvKey::from_rendered(key), id);
     }
 
     /// Records one derivation of `key` at this node.
     pub fn record_derivation(&mut self, key: &str, derivation: PointerDerivation) {
-        let entry = self.entries.entry(key.to_string()).or_default();
+        let entry = self.entries.entry(ProvKey::from_rendered(key)).or_default();
         if !entry.contains(&derivation) {
             entry.push(derivation);
         }
@@ -104,12 +110,15 @@ impl DistributedStore {
 
     /// Derivations of a locally stored tuple.
     pub fn derivations_of(&self, key: &str) -> &[PointerDerivation] {
-        self.entries.get(key).map(Vec::as_slice).unwrap_or(&[])
+        self.entries
+            .get(&ProvKey::from_rendered(key))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// True if `key` is a base tuple at this node.
     pub fn base_id(&self, key: &str) -> Option<BaseTupleId> {
-        self.bases.get(key).copied()
+        self.bases.get(&ProvKey::from_rendered(key)).copied()
     }
 
     /// Number of stored pointer records (per-node storage overhead metric).
