@@ -11,9 +11,11 @@
 //! relative overheads).  Results are also appended to
 //! `target/repro_results.md` so they can be pasted into EXPERIMENTS.md.
 //!
-//! Every run additionally writes `BENCH_engine.json`: fixpoint wall-times
-//! and index hit/probe counters for the engine's join workloads, giving
-//! future changes a perf trajectory to compare against.
+//! Every run additionally writes `BENCH_engine.json`: fixpoint wall-times,
+//! index hit/probe counters, storage gauges and shipment-frame counters
+//! (`messages`/`signatures`/`frames`/`batched_tuples`/`mean_batch_occupancy`)
+//! for the engine's join and batching workloads, giving future changes a
+//! perf trajectory to compare against.
 
 use pasn::experiment::{
     render_figure, render_summary, run_sweep, summarize, FigureMetric, SweepConfig,
@@ -88,8 +90,9 @@ fn main() {
     eprintln!("written to BENCH_engine.json");
 }
 
-/// One measurement point: wall-clock, the join-path counters, and the
-/// storage gauges of the shared-row layout.
+/// One measurement point: wall-clock, the join-path counters, the storage
+/// gauges of the shared-row layout, and the shipment-frame counters of the
+/// batched evaluation path.
 #[allow(clippy::too_many_arguments)]
 fn point_json(
     name: &str,
@@ -101,6 +104,11 @@ fn point_json(
     scan_probes: u64,
     store_bytes: u64,
     index_bytes: u64,
+    messages: u64,
+    signatures: u64,
+    frames: u64,
+    batched_tuples: u64,
+    mean_batch_occupancy: f64,
 ) -> String {
     format!(
         concat!(
@@ -113,7 +121,12 @@ fn point_json(
             "      \"index_hits\": {},\n",
             "      \"scan_probes\": {},\n",
             "      \"store_bytes\": {},\n",
-            "      \"index_bytes\": {}\n",
+            "      \"index_bytes\": {},\n",
+            "      \"messages\": {},\n",
+            "      \"signatures\": {},\n",
+            "      \"frames\": {},\n",
+            "      \"batched_tuples\": {},\n",
+            "      \"mean_batch_occupancy\": {:.3}\n",
             "    }}"
         ),
         name,
@@ -125,6 +138,11 @@ fn point_json(
         scan_probes,
         store_bytes,
         index_bytes,
+        messages,
+        signatures,
+        frames,
+        batched_tuples,
+        mean_batch_occupancy,
     )
 }
 
@@ -140,6 +158,11 @@ fn engine_point(name: &str, metrics: &RunMetrics, wall: std::time::Duration) -> 
         metrics.scan_probes,
         metrics.store_bytes,
         metrics.index_bytes,
+        metrics.messages,
+        metrics.signatures,
+        metrics.frames,
+        metrics.batched_tuples,
+        metrics.mean_batch_occupancy(),
     )
 }
 
@@ -171,6 +194,22 @@ fn engine_bench_json(rows: u32) -> String {
         started.elapsed(),
     ));
 
+    // The indexed equijoin with local delta batching: plan dispatch, slot
+    // setup and rule-clone overhead amortise over each batch, so the
+    // fixpoint wall time drops below `equijoin_indexed` while derivations
+    // and stored tuples stay identical.
+    let config = EngineConfig::ndlog()
+        .with_cost_model(CostModel::zero_cpu())
+        .with_batching();
+    let mut engine = pasn_bench::equijoin_engine(rows, config);
+    let started = Instant::now();
+    let metrics = engine.run_to_fixpoint().expect("fixpoint");
+    points.push(engine_point(
+        &format!("equijoin_batched_{rows}"),
+        &metrics,
+        started.elapsed(),
+    ));
+
     let mut net = pasn_bench::reachability_network(
         30,
         EngineConfig::ndlog().with_cost_model(CostModel::zero_cpu()),
@@ -179,6 +218,25 @@ fn engine_bench_json(rows: u32) -> String {
     let started = Instant::now();
     let metrics = net.run().expect("fixpoint");
     points.push(engine_point("reachability_30", &metrics, started.elapsed()));
+
+    // The same reachability deployment, authenticated and batched: one RSA
+    // signature per multi-tuple frame instead of one per shipped tuple, so
+    // `signatures == frames` and both undercut the per-tuple message count
+    // above while `derivations`/`tuples_stored` stay identical.
+    let mut net = pasn_bench::reachability_network(
+        30,
+        EngineConfig::sendlog()
+            .with_cost_model(CostModel::zero_cpu())
+            .with_batching(),
+        7,
+    );
+    let started = Instant::now();
+    let metrics = net.run().expect("fixpoint");
+    points.push(engine_point(
+        "batched_reachability_30",
+        &metrics,
+        started.elapsed(),
+    ));
 
     // Store churn (insert / expire / re-insert): the memory-layout paths —
     // seq-ordered expiry, lazy compaction, index maintenance — that the join
@@ -196,6 +254,11 @@ fn engine_bench_json(rows: u32) -> String {
         0,
         store.store_bytes() as u64,
         store.index_bytes() as u64,
+        0,
+        0,
+        0,
+        0,
+        0.0,
     ));
 
     format!(

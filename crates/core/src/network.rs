@@ -204,6 +204,12 @@ impl SecureNetwork {
         self.engine.query(location, predicate)
     }
 
+    /// All tuples of `predicate` stored at `location`, in insertion order
+    /// (deterministic across runs, unlike [`SecureNetwork::query`]).
+    pub fn query_ordered(&self, location: &Value, predicate: &str) -> Vec<(Tuple, TupleMeta)> {
+        self.engine.query_ordered(location, predicate)
+    }
+
     /// All tuples of `predicate` across every node.
     pub fn query_all(&self, predicate: &str) -> Vec<(Value, Tuple, TupleMeta)> {
         self.engine.query_all(predicate)
@@ -259,6 +265,26 @@ impl SecureNetwork {
     pub fn index_bytes(&self) -> u64 {
         self.engine.index_bytes()
     }
+
+    /// Multi-tuple shipment frames sent so far (also reported at fixpoint
+    /// as `RunMetrics::frames`).  Each frame is signed and verified once,
+    /// however many tuples it carries; with `batch_window = 0` every frame
+    /// holds exactly one tuple.
+    pub fn frames(&self) -> u64 {
+        self.engine.metrics().frames
+    }
+
+    /// Tuples shipped inside frames so far, after in-frame deduplication
+    /// (also reported at fixpoint as `RunMetrics::batched_tuples`).
+    pub fn batched_tuples(&self) -> u64 {
+        self.engine.metrics().batched_tuples
+    }
+
+    /// Mean shipment-frame occupancy so far: tuples per signed frame — how
+    /// far each message header, signature and verification is amortised.
+    pub fn mean_batch_occupancy(&self) -> f64 {
+        self.engine.metrics().mean_batch_occupancy()
+    }
 }
 
 #[cfg(test)]
@@ -294,6 +320,40 @@ mod tests {
         assert!(net.index_bytes() > 0);
         assert_eq!(metrics.store_bytes, net.store_bytes());
         assert_eq!(metrics.index_bytes, net.index_bytes());
+        // Frame gauges: per-tuple mode ships one-tuple frames, one per
+        // message, and the facade mirrors the fixpoint counters.
+        assert_eq!(net.frames(), metrics.messages);
+        assert_eq!(net.batched_tuples(), metrics.messages);
+        assert_eq!(net.mean_batch_occupancy(), 1.0);
+        assert_eq!(metrics.frames, net.frames());
+        assert_eq!(metrics.batched_tuples, net.batched_tuples());
+    }
+
+    #[test]
+    fn batching_ships_fewer_signed_frames_with_identical_results() {
+        let build = |config: EngineConfig| {
+            SecureNetwork::builder()
+                .program(programs::reachability_ndlog())
+                .topology(Topology::ring(6))
+                .config(fast(config))
+                .build()
+                .unwrap()
+        };
+        let mut per_tuple = build(EngineConfig::sendlog());
+        let baseline = per_tuple.run().unwrap();
+        let mut batched = build(EngineConfig::sendlog().with_batching());
+        let metrics = batched.run().unwrap();
+
+        // One signature per frame, fewer frames than per-tuple messages.
+        assert_eq!(metrics.signatures, metrics.frames);
+        assert_eq!(metrics.verifications, metrics.frames);
+        assert!(metrics.frames < baseline.messages);
+        assert!(batched.mean_batch_occupancy() > 1.0);
+        // The fixpoint is unchanged: same reachability closure everywhere.
+        for loc in batched.engine().locations().to_vec() {
+            assert_eq!(batched.query(&loc, "reachable").len(), 6);
+        }
+        assert_eq!(metrics.tuples_stored, baseline.tuples_stored);
     }
 
     #[test]

@@ -124,6 +124,23 @@ impl SaysProof {
     }
 }
 
+/// The canonical signing payload of a multi-tuple shipment frame: every
+/// tuple's canonical encoding, concatenated in shipment order.
+///
+/// Tuple encodings are self-delimiting, so the concatenation is unambiguous
+/// without extra framing bytes — and a one-tuple frame signs exactly the
+/// bytes a per-tuple assertion used to sign.  One proof over this payload
+/// covers every tuple in the frame: signatures (and verifications) scale
+/// with frames shipped, not tuples.
+pub fn frame_payload<T: AsRef<[u8]>>(tuples: &[T]) -> Vec<u8> {
+    let len = tuples.iter().map(|t| t.as_ref().len()).sum();
+    let mut payload = Vec::with_capacity(len);
+    for t in tuples {
+        payload.extend_from_slice(t.as_ref());
+    }
+    payload
+}
+
 /// A `P says payload` assertion carrying its proof.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SaysAssertion {
@@ -208,6 +225,23 @@ impl Authenticator {
             principal: self.keyring.owner(),
             proof,
         }
+    }
+
+    /// Produces `self.principal() says frame` for a multi-tuple shipment
+    /// frame: one proof over the canonical concatenated payload
+    /// ([`frame_payload`]) covers every tuple.
+    pub fn assert_frame<T: AsRef<[u8]>>(&self, tuples: &[T]) -> SaysAssertion {
+        self.assert(&frame_payload(tuples))
+    }
+
+    /// Verifies that `assertion.principal says frame` — a single check
+    /// covering every tuple shipped in the frame.
+    pub fn verify_frame<T: AsRef<[u8]>>(
+        &self,
+        tuples: &[T],
+        assertion: &SaysAssertion,
+    ) -> Result<(), SaysError> {
+        self.verify(&frame_payload(tuples), assertion)
     }
 
     /// Verifies that `assertion.principal says payload`, requiring at least
@@ -335,6 +369,35 @@ mod tests {
         assert!(b_rsa
             .verify_at_level(b"x", &strong, SaysLevel::Hmac)
             .is_ok());
+    }
+
+    #[test]
+    fn frame_signatures_cover_every_tuple_at_every_level() {
+        let tuples: Vec<&[u8]> = vec![b"link(a,b)", b"reachable(a,c)", b"bestPath(a,c,2)"];
+        for level in SaysLevel::ALL {
+            let (a, b) = setup(level);
+            let assertion = a.assert_frame(&tuples);
+            // One proof; its size does not scale with the tuple count.
+            assert_eq!(assertion.proof.wire_len(), a.proof_overhead());
+            assert!(b.verify_frame(&tuples, &assertion).is_ok());
+            // A one-tuple frame signs exactly the per-tuple payload.
+            let single = a.assert_frame(&tuples[..1]);
+            assert!(b.verify(b"link(a,b)", &single).is_ok());
+        }
+    }
+
+    #[test]
+    fn tampered_frames_fail_verification() {
+        let tuples: Vec<&[u8]> = vec![b"link(a,b)", b"reachable(a,c)"];
+        let (a, b) = setup(SaysLevel::Rsa);
+        let assertion = a.assert_frame(&tuples);
+        // Altering any tuple, dropping one, or reordering breaks the proof.
+        let altered: Vec<&[u8]> = vec![b"link(a,b)", b"reachable(a,d)"];
+        assert!(b.verify_frame(&altered, &assertion).is_err());
+        assert!(b.verify_frame(&tuples[..1], &assertion).is_err());
+        let reordered: Vec<&[u8]> = vec![b"reachable(a,c)", b"link(a,b)"];
+        assert!(b.verify_frame(&reordered, &assertion).is_err());
+        assert_eq!(frame_payload(&tuples), b"link(a,b)reachable(a,c)".to_vec());
     }
 
     #[test]

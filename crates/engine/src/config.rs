@@ -38,6 +38,16 @@ impl GraphMode {
     }
 }
 
+/// Default cap on tuples per delta batch / shipment frame when batching is
+/// enabled (see [`EngineConfig::max_batch_tuples`]).
+pub const DEFAULT_MAX_BATCH_TUPLES: usize = 64;
+
+/// Default simulated-time batching window applied by
+/// [`EngineConfig::with_batching`]: one link latency of the paper's cost
+/// model, so a node flushes what it derived from one round of arrivals as
+/// single frames.
+pub const DEFAULT_BATCH_WINDOW_US: u64 = 1_000;
+
 /// Full engine configuration.
 #[derive(Clone, Debug)]
 pub struct EngineConfig {
@@ -77,6 +87,28 @@ pub struct EngineConfig {
     /// scan — the pre-index evaluation strategy — which the benches use to
     /// measure the index speedup.
     pub use_secondary_indexes: bool,
+    /// Simulated-time batching window in microseconds.  Tuples produced
+    /// during one window flush together at the next window boundary: one
+    /// delta batch per `(node, predicate)` for local work, and one signed
+    /// multi-tuple shipment frame per `(source, destination, predicate)`
+    /// for remote work — so plan dispatch, `says` signatures/verifications
+    /// and message headers are paid per batch instead of per tuple.  `0`
+    /// (the default) disables batching and reproduces per-tuple evaluation
+    /// bit for bit.
+    ///
+    /// With batching on, joins stay exactly tuple-at-a-time-visible (each
+    /// delta only joins rows inserted no later than itself), so monotone
+    /// rules fire the identical derivations under any batch split.  What
+    /// does follow the coarser batch interleaving: pipelined `a_MIN` /
+    /// `a_MAX` aggregates may emit fewer intermediate improvements (the
+    /// final aggregate value is unchanged), and provenance tags of joined
+    /// rows reflect in-batch duplicate merges.
+    pub batch_window_us: u64,
+    /// Maximum tuples per delta batch / shipment frame.  A batch that fills
+    /// up stops accepting rows; later tuples of the same window open a new
+    /// batch flushed at the same window boundary (after the full one, in
+    /// creation order).  Ignored while `batch_window_us` is `0`.
+    pub max_batch_tuples: usize,
 }
 
 impl Default for EngineConfig {
@@ -103,6 +135,8 @@ impl EngineConfig {
             key_seed: 0x5eed,
             security_levels: HashMap::new(),
             use_secondary_indexes: true,
+            batch_window_us: 0,
+            max_batch_tuples: DEFAULT_MAX_BATCH_TUPLES,
         }
     }
 
@@ -135,6 +169,25 @@ impl EngineConfig {
     /// pre-index evaluation strategy; used by benches as a baseline).
     pub fn without_secondary_indexes(mut self) -> Self {
         self.use_secondary_indexes = false;
+        self
+    }
+
+    /// Builder: enables delta batching with the default window
+    /// ([`DEFAULT_BATCH_WINDOW_US`]).
+    pub fn with_batching(self) -> Self {
+        self.with_batch_window_us(DEFAULT_BATCH_WINDOW_US)
+    }
+
+    /// Builder: sets the simulated-time batching window (`0` disables
+    /// batching and reproduces per-tuple evaluation bit for bit).
+    pub fn with_batch_window_us(mut self, window_us: u64) -> Self {
+        self.batch_window_us = window_us;
+        self
+    }
+
+    /// Builder: caps the tuples per delta batch / shipment frame.
+    pub fn with_max_batch_tuples(mut self, max: usize) -> Self {
+        self.max_batch_tuples = max;
         self
     }
 
@@ -265,5 +318,19 @@ mod tests {
         let cfg = EngineConfig::default();
         assert!(!cfg.authenticated());
         assert_eq!(cfg.provenance, ProvenanceKind::None);
+        // Per-tuple evaluation unless batching is explicitly enabled.
+        assert_eq!(cfg.batch_window_us, 0);
+        assert_eq!(cfg.max_batch_tuples, DEFAULT_MAX_BATCH_TUPLES);
+    }
+
+    #[test]
+    fn batching_builders_set_the_knobs() {
+        let cfg = EngineConfig::sendlog().with_batching();
+        assert_eq!(cfg.batch_window_us, DEFAULT_BATCH_WINDOW_US);
+        let cfg = EngineConfig::ndlog()
+            .with_batch_window_us(2_500)
+            .with_max_batch_tuples(8);
+        assert_eq!(cfg.batch_window_us, 2_500);
+        assert_eq!(cfg.max_batch_tuples, 8);
     }
 }

@@ -29,6 +29,13 @@
 //! * Aggregates (`a_MIN`, `a_MAX`, `a_COUNT`, `a_SUM`) follow P2's pipelined
 //!   semantics: an improved aggregate value is emitted as a new tuple and
 //!   propagates incrementally.
+//! * Batched evaluation (`EngineConfig::batch_window_us > 0`) keeps joins
+//!   exactly tuple-at-a-time-visible via per-row insertion seqs, so monotone
+//!   rules derive identically under any batch split; pipelined Min/Max
+//!   intermediate emissions and semiring-tag snapshots follow the coarser
+//!   batch interleaving while converging to the same fixpoint.  With
+//!   `batch_window_us = 0` (the default) evaluation is per-tuple, bit for
+//!   bit.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -40,7 +47,9 @@ pub mod runtime;
 pub mod store;
 pub mod tuple;
 
-pub use config::{EngineConfig, GraphMode, SystemVariant};
+pub use config::{
+    EngineConfig, GraphMode, SystemVariant, DEFAULT_BATCH_WINDOW_US, DEFAULT_MAX_BATCH_TUPLES,
+};
 pub use eval::{eval_expr, eval_filter, Bindings, EvalError};
 pub use metrics::RunMetrics;
 pub use runtime::{DistributedEngine, EngineError};

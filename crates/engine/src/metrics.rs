@@ -53,6 +53,16 @@ pub struct RunMetrics {
     /// Bytes of secondary-index overhead across all nodes at fixpoint
     /// (bucket keys plus one 8-byte seq id per indexed row).
     pub index_bytes: u64,
+    /// Multi-tuple shipment frames sent between nodes.  Every inter-node
+    /// message is one frame; each frame is signed and verified once,
+    /// regardless of how many tuples it carries, so `signatures` and
+    /// `verifications` scale with this counter rather than with shipped
+    /// tuples.  With `batch_window = 0` every frame holds exactly one tuple
+    /// and `frames == messages == batched_tuples`.
+    pub frames: u64,
+    /// Tuples shipped inside frames, after in-frame deduplication (the raw
+    /// material of [`RunMetrics::mean_batch_occupancy`]).
+    pub batched_tuples: u64,
 }
 
 impl RunMetrics {
@@ -64,6 +74,18 @@ impl RunMetrics {
     /// Completion time in seconds (the unit of Figure 3).
     pub fn completion_secs(&self) -> f64 {
         self.completion.as_secs_f64()
+    }
+
+    /// Mean shipment-frame occupancy: tuples shipped per signed frame
+    /// (`0.0` before any frame was sent).  Per-frame costs — the message
+    /// header, the `says` signature and its verification — are amortised
+    /// over this many tuples.
+    pub fn mean_batch_occupancy(&self) -> f64 {
+        if self.frames == 0 {
+            0.0
+        } else {
+            self.batched_tuples as f64 / self.frames as f64
+        }
     }
 
     /// Relative overhead of this run against a baseline, as fractions
@@ -88,7 +110,7 @@ impl fmt::Display for RunMetrics {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "completion {:.3}s, {} msgs, {:.3} MB ({} B auth, {} B provenance), {} derivations, {} tuples, {} sigs / {} verifs, joins: {} hits / {} index probes, {} scanned, store {} B (+{} B index)",
+            "completion {:.3}s, {} msgs, {:.3} MB ({} B auth, {} B provenance), {} derivations, {} tuples, {} sigs / {} verifs, {} frames ({:.2} tuples/frame), joins: {} hits / {} index probes, {} scanned, store {} B (+{} B index)",
             self.completion_secs(),
             self.messages,
             self.megabytes(),
@@ -98,6 +120,8 @@ impl fmt::Display for RunMetrics {
             self.tuples_stored,
             self.signatures,
             self.verifications,
+            self.frames,
+            self.mean_batch_occupancy(),
             self.index_hits,
             self.index_probes,
             self.scan_probes,
@@ -121,6 +145,16 @@ mod tests {
         assert!((m.completion_secs() - 2.5).abs() < 1e-9);
         assert!((m.megabytes() - 3.0).abs() < 1e-9);
         assert!(m.to_string().contains("2.500s"));
+    }
+
+    #[test]
+    fn batch_occupancy_is_tuples_per_frame() {
+        let mut m = RunMetrics::default();
+        assert_eq!(m.mean_batch_occupancy(), 0.0);
+        m.frames = 4;
+        m.batched_tuples = 10;
+        assert!((m.mean_batch_occupancy() - 2.5).abs() < 1e-9);
+        assert!(m.to_string().contains("4 frames (2.50 tuples/frame)"));
     }
 
     #[test]

@@ -23,7 +23,7 @@ use pasn_crypto::says::{Authenticator, SaysAssertion};
 use pasn_crypto::{KeyAuthority, Principal, PrincipalId};
 use pasn_datalog::plan::{CompiledProgram, DeltaPlan, PlanStep, RulePlan, SlotTerm};
 use pasn_datalog::{compile_program, AggFunc, PlanError, PredId, Program, Symbols, Term, Value};
-use pasn_net::wire::message_wire_bytes;
+use pasn_net::wire::Frame;
 use pasn_net::{CpuSchedule, Message, NetworkSim, NodeId, SimTime};
 use pasn_provenance::{
     AntecedentRef, ArchiveStore, ArchivedEntry, BaseTupleId, DerivationGraph, DistributedStore,
@@ -139,29 +139,91 @@ impl Contrib {
     }
 }
 
-/// One in-flight join branch: the bindings accumulated so far plus the
-/// contributing tuples.
-type Branch = (Bindings, Vec<Contrib>);
+/// One in-flight join branch: the bindings accumulated so far, the
+/// contributing tuples, and the insertion seq of the branch's delta row —
+/// the visibility cap that keeps batched joins tuple-at-a-time-exact (a
+/// delta never joins rows inserted after it).
+type Branch = (Bindings, Vec<Contrib>, u64);
 
-/// A candidate row handed out by the store during a join: the shared values
-/// and the tuple metadata, both borrowed from the store.
-type CandidateRow<'a> = (&'a Arc<[Value]>, &'a TupleMeta);
+/// A candidate row handed out by the store during a join: the row's
+/// insertion seq plus the shared values and tuple metadata, borrowed from
+/// the store.
+type CandidateRow<'a> = (u64, &'a Arc<[Value]>, &'a TupleMeta);
 
-/// A unit of work: a tuple arriving at a node (base insertion, local
-/// derivation, or remote delivery).  The row is an `Arc`-shared slice; the
-/// predicate is the engine's interned id.
-struct WorkItem {
-    destination: Value,
-    pred: PredId,
+/// One tuple riding in a delta batch or a pending shipment frame.  The row
+/// is an `Arc`-shared slice; frame-level facts (destination, predicate,
+/// signature) live on the containing [`DeltaBatch`] / [`ShipFrame`].
+struct BatchRow {
     values: Arc<[Value]>,
     tag: ProvTag,
     origin: Value,
     asserted_by: Option<PrincipalId>,
-    assertion: Option<SaysAssertion>,
     shipped_graph: Option<DerivationGraph>,
     is_base: bool,
-    is_remote: bool,
     location_index: Option<usize>,
+}
+
+/// A unit of work at a destination node: a batch of delta tuples of one
+/// predicate (base insertions, local derivations, or a delivered shipment
+/// frame).  With `batch_window = 0` every batch holds exactly one tuple,
+/// reproducing per-tuple evaluation bit for bit.
+struct DeltaBatch {
+    destination: Value,
+    pred: PredId,
+    rows: Vec<BatchRow>,
+    /// The frame signature covering every row, produced once per shipped
+    /// frame over the canonical concatenated payload (remote frames of
+    /// authenticated runs only).
+    assertion: Option<SaysAssertion>,
+    is_remote: bool,
+}
+
+/// A pending shipment frame accumulating head tuples at the sender until
+/// its flush time: one `(source, destination, predicate, due)` frame is
+/// deduplicated, signed once and charged one message header when sealed.
+struct ShipFrame {
+    src: Value,
+    dst: Value,
+    pred: PredId,
+    rows: Vec<BatchRow>,
+}
+
+/// What the simulated-time work queue holds.
+enum QueuedWork {
+    /// Deliver a delta batch to its destination node.
+    Deliver(DeltaBatch),
+    /// Seal a pending shipment frame at the sender: dedup, sign once, ship.
+    Ship(ShipFrame),
+}
+
+/// Identity of an open (still appendable) batch: local delta batches are
+/// keyed by `(node, predicate, due time)`, shipment frames additionally by
+/// their source.  Values in [`DistributedEngine::pending`] are the queue
+/// seq of the open batch.
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum BatchKey {
+    Local {
+        destination: Value,
+        pred: PredId,
+        due: u64,
+    },
+    Ship {
+        src: Value,
+        dst: Value,
+        pred: PredId,
+        due: u64,
+    },
+}
+
+/// One freshly inserted row of a processed batch, ready to drive delta
+/// evaluation.  `seq` is the row's store insertion seq: its branches only
+/// join rows with a seq no greater than it, so batch siblings inserted
+/// later stay invisible exactly as under per-tuple processing.
+struct NewDelta {
+    seq: u64,
+    values: Arc<[Value]>,
+    tag: ProvTag,
+    origin: Value,
 }
 
 /// The distributed evaluator.
@@ -178,7 +240,10 @@ pub struct DistributedEngine {
     net: NetworkSim<u64>,
     cpu: CpuSchedule,
     queue: BinaryHeap<Reverse<(SimTime, u64)>>,
-    items: HashMap<u64, WorkItem>,
+    items: HashMap<u64, QueuedWork>,
+    /// Open (still appendable) batches by key → queue seq; only populated
+    /// while `batch_window_us > 0`.
+    pending: HashMap<BatchKey, u64>,
     next_seq: u64,
     metrics: RunMetrics,
     completion: SimTime,
@@ -275,6 +340,7 @@ impl DistributedEngine {
             cpu: CpuSchedule::new(),
             queue: BinaryHeap::new(),
             items: HashMap::new(),
+            pending: HashMap::new(),
             next_seq: 0,
             metrics: RunMetrics::default(),
             completion: SimTime::ZERO,
@@ -381,20 +447,16 @@ impl DistributedEngine {
             }
         }
         let principal = self.nodes[&location].principal;
-        let item = WorkItem {
-            destination: location.clone(),
-            pred,
+        let row = BatchRow {
             values: Arc::from(tuple.values),
-            tag: ProvTag::None, // replaced in process_item for base facts
-            origin: location,
+            tag: ProvTag::None, // replaced in process_batch for base facts
+            origin: location.clone(),
             asserted_by: Some(principal),
-            assertion: None,
             shipped_graph: None,
             is_base: true,
-            is_remote: false,
             location_index,
         };
-        self.push_item(at, item);
+        self.enqueue_local(at, location, pred, row);
         Ok(())
     }
 
@@ -403,11 +465,122 @@ impl DistributedEngine {
         self.symbols.name(pred).expect("interned predicate")
     }
 
-    fn push_item(&mut self, at: SimTime, item: WorkItem) {
+    fn push_work(&mut self, at: SimTime, work: QueuedWork) -> u64 {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.items.insert(seq, item);
+        self.items.insert(seq, work);
         self.queue.push(Reverse((at, seq)));
+        seq
+    }
+
+    /// The first window boundary strictly after `at` — when tuples produced
+    /// at `at` flush (`window > 0`).
+    fn next_flush(at: SimTime, window: u64) -> u64 {
+        (at.as_micros() / window + 1) * window
+    }
+
+    /// Routes a tuple to its destination node's delta queue: immediately
+    /// (`batch_window = 0`, one batch per tuple as before) or appended to
+    /// the open `(node, predicate, due)` batch, creating and scheduling it
+    /// at the window boundary if absent.
+    fn enqueue_local(&mut self, at: SimTime, destination: Value, pred: PredId, row: BatchRow) {
+        let window = self.config.batch_window_us;
+        if window == 0 {
+            self.push_work(
+                at,
+                QueuedWork::Deliver(DeltaBatch {
+                    destination,
+                    pred,
+                    rows: vec![row],
+                    assertion: None,
+                    is_remote: false,
+                }),
+            );
+            return;
+        }
+        let due = Self::next_flush(at, window);
+        let key = BatchKey::Local {
+            destination: destination.clone(),
+            pred,
+            due,
+        };
+        if let Some(&seq) = self.pending.get(&key) {
+            let Some(QueuedWork::Deliver(batch)) = self.items.get_mut(&seq) else {
+                unreachable!("pending key points at a queued local delta batch");
+            };
+            batch.rows.push(row);
+            // Sealed when full: later tuples of the window open a new batch
+            // at the same due time (flushed after this one, by seq).
+            if batch.rows.len() >= self.config.max_batch_tuples.max(1) {
+                self.pending.remove(&key);
+            }
+        } else {
+            let seq = self.push_work(
+                SimTime::from_micros(due),
+                QueuedWork::Deliver(DeltaBatch {
+                    destination,
+                    pred,
+                    rows: vec![row],
+                    assertion: None,
+                    is_remote: false,
+                }),
+            );
+            self.pending.insert(key, seq);
+        }
+    }
+
+    /// Routes a head tuple bound for another node: sealed and shipped
+    /// immediately (`batch_window = 0`) or appended to the open
+    /// `(source, destination, predicate, due)` shipment frame.
+    fn buffer_ship(&mut self, at: SimTime, src: &Value, dst: &Value, pred: PredId, row: BatchRow) {
+        let window = self.config.batch_window_us;
+        if window == 0 {
+            self.seal_and_ship(
+                at,
+                ShipFrame {
+                    src: src.clone(),
+                    dst: dst.clone(),
+                    pred,
+                    rows: vec![row],
+                },
+            );
+            return;
+        }
+        let due = Self::next_flush(at, window);
+        let key = BatchKey::Ship {
+            src: src.clone(),
+            dst: dst.clone(),
+            pred,
+            due,
+        };
+        if let Some(&seq) = self.pending.get(&key) {
+            let Some(QueuedWork::Ship(frame)) = self.items.get_mut(&seq) else {
+                unreachable!("pending key points at a queued shipment frame");
+            };
+            frame.rows.push(row);
+            if frame.rows.len() >= self.config.max_batch_tuples.max(1) {
+                self.pending.remove(&key);
+            }
+        } else {
+            let seq = self.push_work(
+                SimTime::from_micros(due),
+                QueuedWork::Ship(ShipFrame {
+                    src: src.clone(),
+                    dst: dst.clone(),
+                    pred,
+                    rows: vec![row],
+                }),
+            );
+            self.pending.insert(key, seq);
+        }
+    }
+
+    /// Drops `seq`'s entry from the open-batch map once the batch leaves the
+    /// queue (no-op when the batch was sealed early or batching is off).
+    fn close_pending(&mut self, key: BatchKey, seq: u64) {
+        if self.pending.get(&key) == Some(&seq) {
+            self.pending.remove(&key);
+        }
     }
 
     /// Runs until no work items remain (the distributed fixpoint) and returns
@@ -415,8 +588,33 @@ impl DistributedEngine {
     pub fn run_to_fixpoint(&mut self) -> Result<RunMetrics, EngineError> {
         let started = Instant::now();
         while let Some(Reverse((at, seq))) = self.queue.pop() {
-            let item = self.items.remove(&seq).expect("queued item exists");
-            self.process_item(at, item)?;
+            match self.items.remove(&seq).expect("queued item exists") {
+                QueuedWork::Deliver(batch) => {
+                    if !batch.is_remote && self.config.batch_window_us > 0 {
+                        self.close_pending(
+                            BatchKey::Local {
+                                destination: batch.destination.clone(),
+                                pred: batch.pred,
+                                due: at.as_micros(),
+                            },
+                            seq,
+                        );
+                    }
+                    self.process_batch(at, batch)?;
+                }
+                QueuedWork::Ship(frame) => {
+                    self.close_pending(
+                        BatchKey::Ship {
+                            src: frame.src.clone(),
+                            dst: frame.dst.clone(),
+                            pred: frame.pred,
+                            due: at.as_micros(),
+                        },
+                        seq,
+                    );
+                    self.seal_and_ship(at, frame);
+                }
+            }
         }
         self.metrics.wall_clock = started.elapsed();
         self.metrics.completion = self.completion;
@@ -462,6 +660,22 @@ impl DistributedEngine {
             .map(|n| {
                 n.store
                     .scan(predicate)
+                    .map(|(t, m)| (t, m.clone()))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// All tuples of `predicate` stored at `location`, in insertion order —
+    /// the deterministic ordering tests use to compare evaluation modes
+    /// ([`DistributedEngine::query`] iterates in arbitrary hash order).
+    pub fn query_ordered(&self, location: &Value, predicate: &str) -> Vec<(Tuple, TupleMeta)> {
+        self.nodes
+            .get(location)
+            .map(|n| {
+                n.store
+                    .scan_ordered(predicate)
+                    .into_iter()
                     .map(|(t, m)| (t, m.clone()))
                     .collect()
             })
@@ -572,34 +786,44 @@ impl DistributedEngine {
             .unwrap_or(1)
     }
 
-    fn process_item(&mut self, at: SimTime, item: WorkItem) -> Result<(), EngineError> {
-        let destination = item.destination.clone();
+    fn process_batch(&mut self, at: SimTime, batch: DeltaBatch) -> Result<(), EngineError> {
+        let DeltaBatch {
+            destination,
+            pred,
+            rows,
+            assertion,
+            is_remote,
+        } = batch;
         if !self.nodes.contains_key(&destination) {
             return Err(EngineError::UnknownLocation(destination));
         }
         let cost_model = self.config.cost_model;
         // Keep the node store's predicate mirror current (O(1) when in sync)
-        // and resolve the item's predicate name once, as a shared `Arc`.
+        // and resolve the batch's predicate name once, as a shared `Arc`.
         {
             let node = self.nodes.get_mut(&destination).expect("known location");
             node.store.sync_symbols(&self.symbols);
         }
         let pred_name: Arc<str> = self
             .symbols
-            .name_arc(item.pred)
+            .name_arc(pred)
             .cloned()
             .expect("interned predicate");
 
-        // 1. Verification of imported tuples.
-        let mut cpu_cost = cost_model.tuple_process_us;
-        if item.is_remote {
-            if let (Some(assertion), true) = (&item.assertion, self.config.verify_imports) {
+        // 1. Verification of imported frames: one `says` check over the
+        // canonical concatenated payload covers every tuple in the frame.
+        let mut cpu_cost = rows.len() as u64 * cost_model.tuple_process_us;
+        if is_remote {
+            if let (Some(assertion), true) = (&assertion, self.config.verify_imports) {
                 let verifier = self.nodes[&destination]
                     .authenticator
                     .clone()
                     .expect("authentication configured");
-                let payload = tuple::encode_parts(&pred_name, &item.values);
-                let ok = verifier.verify(&payload, assertion).is_ok();
+                let payloads: Vec<Vec<u8>> = rows
+                    .iter()
+                    .map(|row| tuple::encode_parts(&pred_name, &row.values))
+                    .collect();
+                let ok = verifier.verify_frame(&payloads, assertion).is_ok();
                 self.metrics.verifications += 1;
                 cpu_cost += match assertion.proof.level() {
                     pasn_crypto::SaysLevel::Rsa => cost_model.rsa_verify_us,
@@ -607,6 +831,8 @@ impl DistributedEngine {
                     pasn_crypto::SaysLevel::Cleartext => 0,
                 };
                 if !ok {
+                    // The whole frame is rejected: a forged proof vouches
+                    // for none of the tuples it claims to cover.
                     self.metrics.verification_failures += 1;
                     let done = self.cpu.run(
                         self.nodes[&destination].node_id,
@@ -619,133 +845,168 @@ impl DistributedEngine {
             }
         }
         if self.config.tracks_provenance() {
-            cpu_cost += cost_model.provenance_op_us;
-            self.metrics.provenance_ops += 1;
+            cpu_cost += rows.len() as u64 * cost_model.provenance_op_us;
+            self.metrics.provenance_ops += rows.len() as u64;
         }
         let node_id = self.nodes[&destination].node_id;
         let done = self.cpu.run(node_id, at, SimTime::from_micros(cpu_cost));
         self.completion = self.completion.max(done);
 
-        // 2. Compute the tag and metadata, then insert.  The provenance key
-        // (display string) is rendered only when a tag will actually hold it.
-        let asserted_by = item.asserted_by;
-        let tag = if item.is_base {
-            self.base_counter += 1;
-            if self.config.provenance == ProvenanceKind::None {
-                ProvTag::None
-            } else {
-                let principal = asserted_by.unwrap_or(PrincipalId(0));
-                let origin_principal = self.config.granularity.origin_of(principal);
-                let level = self.principal_level(principal);
-                let key =
-                    tuple::render_located_parts(&pred_name, &item.values, item.location_index);
-                ProvTag::base(
-                    self.config.provenance,
-                    &mut self.var_table,
-                    BaseTupleId(tuple::key_hash_parts(&pred_name, &item.values)),
-                    &key,
-                    origin_principal,
-                    level,
-                )
-            }
-        } else {
-            item.tag.clone()
-        };
-
+        // 2. Tags and metadata for every row, then one batch insert that
+        // dedups against the row→seq map before any further provenance
+        // work.  Provenance keys (display strings) are rendered only when a
+        // tag will actually hold them.
         let expires_at = self
             .config
             .default_ttl_us
             .map(|ttl| SimTime::from_micros(done.as_micros() + ttl));
-        let meta = TupleMeta {
-            tag: tag.clone(),
-            created_at: done,
-            expires_at: if item.is_base { None } else { expires_at },
-            origin: item.origin.clone(),
-            asserted_by: asserted_by.map(|p| p.0),
-        };
-
-        let outcome = {
+        let mut tags: Vec<ProvTag> = Vec::with_capacity(rows.len());
+        for row in &rows {
+            let tag = if row.is_base {
+                self.base_counter += 1;
+                if self.config.provenance == ProvenanceKind::None {
+                    ProvTag::None
+                } else {
+                    let principal = row.asserted_by.unwrap_or(PrincipalId(0));
+                    let origin_principal = self.config.granularity.origin_of(principal);
+                    let level = self.principal_level(principal);
+                    let key =
+                        tuple::render_located_parts(&pred_name, &row.values, row.location_index);
+                    ProvTag::base(
+                        self.config.provenance,
+                        &mut self.var_table,
+                        BaseTupleId(tuple::key_hash_parts(&pred_name, &row.values)),
+                        &key,
+                        origin_principal,
+                        level,
+                    )
+                }
+            } else {
+                row.tag.clone()
+            };
+            tags.push(tag);
+        }
+        let insert_rows: Vec<(Arc<[Value]>, TupleMeta)> = rows
+            .iter()
+            .zip(&tags)
+            .map(|(row, tag)| {
+                (
+                    row.values.clone(),
+                    TupleMeta {
+                        tag: tag.clone(),
+                        created_at: done,
+                        expires_at: if row.is_base { None } else { expires_at },
+                        origin: row.origin.clone(),
+                        asserted_by: row.asserted_by.map(|p| p.0),
+                    },
+                )
+            })
+            .collect();
+        let outcomes = {
             let var_table = &mut self.var_table;
             let node = self.nodes.get_mut(&destination).expect("known location");
             node.store
-                .insert_row(item.pred, item.values.clone(), meta, |a, b| {
-                    a.plus(b, var_table)
-                })
+                .insert_rows(pred, insert_rows, |a, b| a.plus(b, var_table))
         };
 
-        // 3. Provenance bookkeeping for base facts and shipped graphs.  The
-        // rendered tuple key is computed only on the branches that store it.
-        if item.is_base && self.config.graph_mode != GraphMode::None {
-            let tuple_key =
-                tuple::render_located_parts(&pred_name, &item.values, item.location_index);
-            let base_id = BaseTupleId(tuple::key_hash_parts(&pred_name, &item.values));
-            let node = self.nodes.get_mut(&destination).expect("known location");
-            node.local_prov.graph_mut().add_base(
-                &tuple_key,
-                &destination.to_string(),
-                base_id,
-                asserted_by,
-                done.as_micros(),
-                None,
-            );
-            node.dist_prov.record_base(&tuple_key, base_id);
-        }
-        if let Some(shipped) = &item.shipped_graph {
-            let node = self.nodes.get_mut(&destination).expect("known location");
-            node.local_prov.graph_mut().merge(shipped);
-        }
-        // Distributed provenance: a tuple received from another node keeps a
-        // pointer back to the deriving node, where its provenance lives.
-        if item.is_remote
-            && !item.is_base
-            && self.config.graph_mode == GraphMode::Distributed
-            && item.origin != destination
-        {
-            let tuple_key =
-                tuple::render_located_parts(&pred_name, &item.values, item.location_index);
-            if self.config.maintenance == MaintenanceMode::Reactive {
+        // 3. Per-row provenance bookkeeping for base facts and shipped
+        // graphs (unchanged per-tuple semantics).  The rendered tuple key is
+        // computed only on the branches that store it.
+        for row in &rows {
+            if row.is_base && self.config.graph_mode != GraphMode::None {
+                let tuple_key =
+                    tuple::render_located_parts(&pred_name, &row.values, row.location_index);
+                let base_id = BaseTupleId(tuple::key_hash_parts(&pred_name, &row.values));
                 let node = self.nodes.get_mut(&destination).expect("known location");
-                node.deferred.push(DeferredDerivation {
-                    head_key: tuple_key.clone(),
-                    head_location: destination.to_string(),
-                    rule: "recv".to_string(),
-                    rule_location: destination.to_string(),
-                    antecedents: vec![(tuple_key.clone(), item.origin.clone())],
-                    asserted_by: item.asserted_by,
-                    at: done,
-                });
-            } else {
-                let pointer = PointerDerivation {
-                    rule: "recv".to_string(),
-                    antecedents: vec![AntecedentRef::Remote {
-                        location: item.origin.to_string(),
-                        key: tuple_key.clone(),
-                    }],
-                };
+                node.local_prov.graph_mut().add_base(
+                    &tuple_key,
+                    &destination.to_string(),
+                    base_id,
+                    row.asserted_by,
+                    done.as_micros(),
+                    None,
+                );
+                node.dist_prov.record_base(&tuple_key, base_id);
+            }
+            if let Some(shipped) = &row.shipped_graph {
                 let node = self.nodes.get_mut(&destination).expect("known location");
-                node.dist_prov.record_derivation(&tuple_key, pointer);
+                node.local_prov.graph_mut().merge(shipped);
+            }
+            // Distributed provenance: a tuple received from another node
+            // keeps a pointer back to the deriving node, where its
+            // provenance lives.
+            if is_remote
+                && !row.is_base
+                && self.config.graph_mode == GraphMode::Distributed
+                && row.origin != destination
+            {
+                let tuple_key =
+                    tuple::render_located_parts(&pred_name, &row.values, row.location_index);
+                if self.config.maintenance == MaintenanceMode::Reactive {
+                    let node = self.nodes.get_mut(&destination).expect("known location");
+                    node.deferred.push(DeferredDerivation {
+                        head_key: tuple_key.clone(),
+                        head_location: destination.to_string(),
+                        rule: "recv".to_string(),
+                        rule_location: destination.to_string(),
+                        antecedents: vec![(tuple_key.clone(), row.origin.clone())],
+                        asserted_by: row.asserted_by,
+                        at: done,
+                    });
+                } else {
+                    let pointer = PointerDerivation {
+                        rule: "recv".to_string(),
+                        antecedents: vec![AntecedentRef::Remote {
+                            location: row.origin.to_string(),
+                            key: tuple_key.clone(),
+                        }],
+                    };
+                    let node = self.nodes.get_mut(&destination).expect("known location");
+                    node.dist_prov.record_derivation(&tuple_key, pointer);
+                }
             }
         }
 
-        if outcome != InsertOutcome::New {
+        // 4. Delta evaluation over the genuinely new rows, one pass per
+        // (rule, batch): plan dispatch, slot setup and the unindexed scan
+        // cache are shared by every row in the batch.
+        let new_deltas: Vec<NewDelta> = rows
+            .into_iter()
+            .zip(tags)
+            .zip(&outcomes)
+            .filter(|(_, (outcome, _))| *outcome == InsertOutcome::New)
+            .map(|((row, tag), (_, seq))| NewDelta {
+                seq: *seq,
+                values: row.values,
+                tag,
+                origin: row.origin,
+            })
+            .collect();
+        if new_deltas.is_empty() {
             return Ok(());
         }
-
-        // 4. Delta evaluation: run every plan triggered by this predicate
-        // (dispatch compares interned `u32` ids, not predicate strings).
         let plans: Vec<(RulePlan, DeltaPlan)> = self
             .compiled
-            .plans_for_pred(item.pred)
+            .plans_for_pred(pred)
             .map(|(rp, dp)| (rp.clone(), dp.clone()))
             .collect();
         for (rule_plan, delta_plan) in plans {
-            self.fire_rule(&destination, &rule_plan, &delta_plan, &item, &tag, done)?;
+            self.fire_rule(
+                &destination,
+                &rule_plan,
+                &delta_plan,
+                pred,
+                &new_deltas,
+                done,
+            )?;
         }
         Ok(())
     }
 
-    /// Evaluates one delta plan against an arriving tuple and emits head
-    /// tuples.
+    /// Evaluates one delta plan against a batch of arriving tuples and emits
+    /// head tuples.  Plan dispatch, the slot-table template and the
+    /// unindexed scan cache are set up once per `(rule, batch)`; each row
+    /// contributes its own seed branch.
     ///
     /// Joins with bound key columns render the key from the current bindings
     /// and probe the store's secondary index; only unifying tuples have their
@@ -757,46 +1018,73 @@ impl DistributedEngine {
         local: &Value,
         rule_plan: &RulePlan,
         delta_plan: &DeltaPlan,
-        item: &WorkItem,
-        delta_tag: &ProvTag,
+        pred: PredId,
+        deltas: &[NewDelta],
         now: SimTime,
     ) -> Result<(), EngineError> {
-        // Initial bindings from the delta atom.  Arity conflicts are caught
-        // at validate time and on fact insertion, so a mismatch here is an
-        // engine invariant violation, not a tuple to skip silently.
-        if delta_plan.delta_args.len() != item.values.len() {
-            return Err(EngineError::ArityMismatch {
-                predicate: self.pred_name(item.pred).to_string(),
-                expected: delta_plan.delta_args.len(),
-                got: item.values.len(),
-            });
-        }
-        let mut bindings = Bindings::with_slots(rule_plan.slots.clone());
+        // The slot template is built once per (rule, batch) and cloned per
+        // row.
+        let mut template = Bindings::with_slots(rule_plan.slots.clone());
         if let Some(slot) = rule_plan.context_slot {
-            bindings.bind_slot(slot, local.clone());
-        }
-        for (term, value) in delta_plan.delta_args.iter().zip(item.values.iter()) {
-            if !bindings.unify_slot_term(term, value) {
-                return Ok(());
-            }
-        }
-        if let Some(says) = &delta_plan.delta_says {
-            if !bindings.unify_slot_term(says, &item.origin) {
-                return Ok(());
-            }
+            template.bind_slot(slot, local.clone());
         }
 
-        // Each entry: (bindings, contributing rows shared with the store).
-        let mut branches: Vec<Branch> = vec![(
-            bindings,
-            vec![Contrib {
-                pred: item.pred,
-                values: item.values.clone(),
-                location: delta_plan.delta.location,
-                tag: delta_tag.clone(),
-                origin: item.origin.clone(),
-            }],
-        )];
+        // Seed one branch per delta row that unifies with the delta atom:
+        // (bindings, contributing rows shared with the store, the delta's
+        // insertion seq).  The seq caps what each branch may join — only
+        // rows inserted no later than the branch's delta — so a batched run
+        // fires exactly the (rule, partner-set) instantiations that
+        // tuple-at-a-time processing of the same stream would (no
+        // double-derivation through batch siblings, even for self-joins).
+        // Two schedule-shaped quantities still follow the coarser batch
+        // interleaving rather than the per-tuple one: pipelined Min/Max
+        // aggregates may skip intermediate improvements (they converge to
+        // the same final value), and a joined row's semiring tag is read
+        // after any in-batch duplicate merges (set semantics never
+        // re-propagates merged tags in either mode — see the crate docs).
+        // Arity conflicts are caught at validate time and on fact
+        // insertion, so a mismatch here is an engine invariant violation,
+        // not a tuple to skip silently.
+        let mut branches: Vec<Branch> = Vec::new();
+        for delta in deltas {
+            if delta_plan.delta_args.len() != delta.values.len() {
+                return Err(EngineError::ArityMismatch {
+                    predicate: self.pred_name(pred).to_string(),
+                    expected: delta_plan.delta_args.len(),
+                    got: delta.values.len(),
+                });
+            }
+            let mut bindings = template.clone();
+            let mut ok = true;
+            for (term, value) in delta_plan.delta_args.iter().zip(delta.values.iter()) {
+                if !bindings.unify_slot_term(term, value) {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                if let Some(says) = &delta_plan.delta_says {
+                    ok = bindings.unify_slot_term(says, &delta.origin);
+                }
+            }
+            if !ok {
+                continue;
+            }
+            branches.push((
+                bindings,
+                vec![Contrib {
+                    pred,
+                    values: delta.values.clone(),
+                    location: delta_plan.delta.location,
+                    tag: delta.tag.clone(),
+                    origin: delta.origin.clone(),
+                }],
+                delta.seq,
+            ));
+        }
+        if branches.is_empty() {
+            return Ok(());
+        }
         // Candidate tuples examined while evaluating this delta; charged to
         // the node's CPU below.  Index probes keep this close to the true
         // match count instead of the full relation size.
@@ -814,7 +1102,7 @@ impl DistributedEngine {
                     let mut index_probes = 0u64;
                     let mut index_hits = 0u64;
                     let mut scan_probes = 0u64;
-                    for (bind, contribs) in &branches {
+                    for (bind, contribs, delta_seq) in &branches {
                         // Render the key from the bound columns.  The planner
                         // guarantees they are bound; an unexpectedly missing
                         // slot degrades to the scan path.
@@ -831,28 +1119,34 @@ impl DistributedEngine {
                                 .collect()
                         };
                         let probed: Vec<CandidateRow>;
-                        let candidates: &[CandidateRow] = match key.map(|k| {
+                        let (candidates, used_index): (&[CandidateRow], bool) = match key.map(|k| {
                             store
-                                .probe_id(join.pred, &join.key_columns, &k)
+                                .probe_seq_id(join.pred, &join.key_columns, &k)
                                 .map(|it| it.collect())
                         }) {
                             Some(Some(rows)) => {
                                 index_probes += 1;
                                 probed = rows;
-                                index_hits += probed.len() as u64;
-                                &probed
+                                (&probed, true)
                             }
                             // No key columns, or (defensively) no index.
                             _ => {
                                 let cache = scan_cache.get_or_insert_with(|| {
-                                    store.scan_ordered_rows(join.pred).collect()
+                                    store.scan_ordered_seq_rows(join.pred).collect()
                                 });
-                                scan_probes += cache.len() as u64;
-                                cache.as_slice()
+                                (cache.as_slice(), false)
                             }
                         };
-                        probes += candidates.len().max(1);
-                        for (stored_values, meta) in candidates {
+                        // Rows inserted after this branch's delta (batch
+                        // siblings) are invisible to it, exactly as they
+                        // were under per-tuple processing — and uncounted,
+                        // so the probe/hit/scan counters stay identical too.
+                        let mut examined = 0usize;
+                        for (stored_seq, stored_values, meta) in candidates {
+                            if *stored_seq > *delta_seq {
+                                continue;
+                            }
+                            examined += 1;
                             if stored_values.len() != join.args.len() {
                                 return Err(EngineError::ArityMismatch {
                                     predicate: join.atom.predicate.clone(),
@@ -885,18 +1179,24 @@ impl DistributedEngine {
                                     tag: meta.tag.clone(),
                                     origin: meta.origin.clone(),
                                 });
-                                next.push((candidate, contribs));
+                                next.push((candidate, contribs, *delta_seq));
                             }
                         }
+                        if used_index {
+                            index_hits += examined as u64;
+                        } else {
+                            scan_probes += examined as u64;
+                        }
+                        probes += examined.max(1);
                     }
                     self.metrics.index_probes += index_probes;
                     self.metrics.index_hits += index_hits;
                     self.metrics.scan_probes += scan_probes;
                 }
                 PlanStep::Filter(expr) => {
-                    for (bind, contribs) in branches.into_iter() {
+                    for (bind, contribs, delta_seq) in branches.into_iter() {
                         match eval_filter(expr, &bind) {
-                            Ok(true) => next.push((bind, contribs)),
+                            Ok(true) => next.push((bind, contribs, delta_seq)),
                             Ok(false) => {}
                             Err(e) => return Err(EngineError::Eval(e.to_string())),
                         }
@@ -905,11 +1205,11 @@ impl DistributedEngine {
                     continue;
                 }
                 PlanStep::Assign { slot, expr, .. } => {
-                    for (mut bind, contribs) in branches.into_iter() {
+                    for (mut bind, contribs, delta_seq) in branches.into_iter() {
                         let value =
                             eval_expr(expr, &bind).map_err(|e| EngineError::Eval(e.to_string()))?;
                         bind.bind_slot(*slot, value);
-                        next.push((bind, contribs));
+                        next.push((bind, contribs, delta_seq));
                     }
                     branches = next;
                     continue;
@@ -933,7 +1233,7 @@ impl DistributedEngine {
             now
         };
 
-        for (bind, contribs) in branches {
+        for (bind, contribs, _) in branches {
             self.emit_head(local, rule_plan, &bind, &contribs, now)?;
         }
         Ok(())
@@ -1080,22 +1380,16 @@ impl DistributedEngine {
         }
 
         if destination == *local {
-            self.push_item(
-                now,
-                WorkItem {
-                    destination: destination.clone(),
-                    pred: head_pred,
-                    values: head_values,
-                    tag,
-                    origin: local.clone(),
-                    asserted_by: Some(principal),
-                    assertion: None,
-                    shipped_graph: None,
-                    is_base: false,
-                    is_remote: false,
-                    location_index: rule.head.location,
-                },
-            );
+            let row = BatchRow {
+                values: head_values,
+                tag,
+                origin: local.clone(),
+                asserted_by: Some(principal),
+                shipped_graph: None,
+                is_base: false,
+                location_index: rule.head.location,
+            };
+            self.enqueue_local(now, destination, head_pred, row);
             return Ok(());
         }
 
@@ -1103,21 +1397,93 @@ impl DistributedEngine {
             return Err(EngineError::UnknownLocation(destination));
         }
 
-        // Remote shipment: sign, charge bandwidth, deliver.
-        let payload = tuple::encode_parts(&head_name, &head_values);
-        let mut wire_payload = payload.len();
+        // Local-provenance mode piggybacks the derivation subtree as it
+        // exists at emission time; its wire bytes are charged when the frame
+        // seals.
+        let mut shipped_graph = None;
+        if self.config.graph_mode == GraphMode::Local {
+            let head_key =
+                tuple::render_located_parts(&head_name, &head_values, rule.head.location);
+            let node = &self.nodes[local];
+            if let Some(root) = node.local_prov.graph().find(&head_key) {
+                shipped_graph = Some(node.local_prov.graph().subtree(root));
+            }
+        }
+        let row = BatchRow {
+            values: head_values,
+            tag,
+            origin: local.clone(),
+            asserted_by: Some(principal),
+            shipped_graph,
+            is_base: false,
+            location_index: rule.head.location,
+        };
+        self.buffer_ship(now, local, &destination, head_pred, row);
+        Ok(())
+    }
+
+    /// Seals one shipment frame: dedups identical rows, signs the canonical
+    /// concatenated payload once, charges one message header plus every
+    /// tuple's honest payload bytes, and schedules delivery as a single
+    /// remote delta batch.
+    fn seal_and_ship(&mut self, at: SimTime, frame: ShipFrame) {
+        let ShipFrame {
+            src,
+            dst,
+            pred,
+            mut rows,
+        } = frame;
+
+        // Dedup identical rows before signing: a duplicate would be signed
+        // and shipped only to be absorbed by the receiver's row→seq dedup
+        // map.  Tags merge with the semiring `+` and piggybacked graphs
+        // merge structurally, so no provenance is lost.
+        let mut seen: HashMap<Arc<[Value]>, usize> = HashMap::with_capacity(rows.len());
+        let mut deduped: Vec<BatchRow> = Vec::with_capacity(rows.len());
+        for row in rows.drain(..) {
+            match seen.get(&row.values) {
+                Some(&at) => {
+                    let existing = &mut deduped[at];
+                    existing.tag = existing.tag.plus(&row.tag, &mut self.var_table);
+                    match (&mut existing.shipped_graph, row.shipped_graph) {
+                        (Some(g), Some(h)) => g.merge(&h),
+                        (slot @ None, h @ Some(_)) => *slot = h,
+                        _ => {}
+                    }
+                }
+                None => {
+                    seen.insert(row.values.clone(), deduped.len());
+                    deduped.push(row);
+                }
+            }
+        }
+        drop(seen);
+
+        let pred_name: Arc<str> = self
+            .symbols
+            .name_arc(pred)
+            .cloned()
+            .expect("interned predicate");
+        let payloads: Vec<Vec<u8>> = deduped
+            .iter()
+            .map(|row| tuple::encode_parts(&pred_name, &row.values))
+            .collect();
+
+        // One signature covers the whole frame; `signatures` scales with
+        // frames shipped, not tuples.
+        let mut wire = Frame::new();
         let mut assertion = None;
         let mut sign_cost = 0u64;
         if self.config.authenticated() {
-            let authenticator = self.nodes[local]
+            let authenticator = self.nodes[&src]
                 .authenticator
                 .clone()
                 .expect("authentication configured");
-            let a = authenticator.assert(&payload);
+            let a = authenticator.assert_frame(&payloads);
             self.metrics.signatures += 1;
             let proof_bytes = a.wire_len();
             self.metrics.auth_bytes += proof_bytes as u64;
-            wire_payload += proof_bytes;
+            wire.set_frame_overhead(proof_bytes);
             sign_cost = match authenticator.level() {
                 pasn_crypto::SaysLevel::Rsa => self.config.cost_model.rsa_sign_us,
                 pasn_crypto::SaysLevel::Hmac => self.config.cost_model.hmac_us,
@@ -1125,54 +1491,45 @@ impl DistributedEngine {
             };
             assertion = Some(a);
         }
-        // Provenance shipping cost.
-        let tag_bytes = tag.wire_size(&self.var_table);
-        self.metrics.provenance_bytes += tag_bytes as u64;
-        wire_payload += tag_bytes;
-        let mut shipped_graph = None;
-        if self.config.graph_mode == GraphMode::Local {
-            let head_key =
-                tuple::render_located_parts(&head_name, &head_values, rule.head.location);
-            let node = &self.nodes[local];
-            if let Some(root) = node.local_prov.graph().find(&head_key) {
-                let subtree = node.local_prov.graph().subtree(root);
-                let graph_bytes = subtree.estimated_wire_size();
+        // Per-tuple payload: the canonical encoding plus the provenance
+        // shipping cost (tag, and any piggybacked derivation subtree).
+        for (row, payload) in deduped.iter().zip(&payloads) {
+            let mut tuple_bytes = payload.len();
+            let tag_bytes = row.tag.wire_size(&self.var_table);
+            self.metrics.provenance_bytes += tag_bytes as u64;
+            tuple_bytes += tag_bytes;
+            if let Some(graph) = &row.shipped_graph {
+                let graph_bytes = graph.estimated_wire_size();
                 self.metrics.provenance_bytes += graph_bytes as u64;
-                wire_payload += graph_bytes;
-                shipped_graph = Some(subtree);
+                tuple_bytes += graph_bytes;
             }
+            wire.push_tuple(tuple_bytes);
         }
 
-        let node_id = self.nodes[local].node_id;
-        let send_at = self.cpu.run(node_id, now, SimTime::from_micros(sign_cost));
+        let node_id = self.nodes[&src].node_id;
+        let send_at = self.cpu.run(node_id, at, SimTime::from_micros(sign_cost));
         self.completion = self.completion.max(send_at);
-        let wire_bytes = message_wire_bytes(wire_payload);
         let deliver_at = self.net.send(
             send_at,
             Message {
                 src: node_id,
-                dst: self.nodes[&destination].node_id,
+                dst: self.nodes[&dst].node_id,
                 payload: self.next_seq,
-                wire_bytes,
+                wire_bytes: wire.wire_bytes(),
             },
         );
-        self.push_item(
+        self.metrics.frames += 1;
+        self.metrics.batched_tuples += deduped.len() as u64;
+        self.push_work(
             deliver_at,
-            WorkItem {
-                destination,
-                pred: head_pred,
-                values: head_values,
-                tag,
-                origin: local.clone(),
-                asserted_by: Some(principal),
+            QueuedWork::Deliver(DeltaBatch {
+                destination: dst,
+                pred,
+                rows: deduped,
                 assertion,
-                shipped_graph,
-                is_base: false,
                 is_remote: true,
-                location_index: rule.head.location,
-            },
+            }),
         );
-        Ok(())
     }
 
     /// Writes one derivation into the node's graph / pointer / archive

@@ -153,13 +153,65 @@ impl Table {
         Some(row)
     }
 
-    /// Live rows in insertion order, skipping dead seq-list entries (at most
-    /// as many as there are live rows, by the compaction invariant).
-    fn iter_ordered(&self) -> impl Iterator<Item = (&Arc<[Value]>, &TupleMeta)> {
+    /// Live rows in insertion order with their seq ids, skipping dead
+    /// seq-list entries (at most as many as there are live rows, by the
+    /// compaction invariant).
+    fn iter_ordered_seq(&self) -> impl Iterator<Item = (u64, &Arc<[Value]>, &TupleMeta)> {
         self.seq_order
             .iter()
-            .filter_map(move |seq| self.rows.get(seq))
-            .map(|row| (&row.values, &row.meta))
+            .filter_map(move |seq| self.rows.get(seq).map(|row| (*seq, &row.values, &row.meta)))
+    }
+
+    /// [`Table::iter_ordered_seq`] without the seqs.
+    fn iter_ordered(&self) -> impl Iterator<Item = (&Arc<[Value]>, &TupleMeta)> {
+        self.iter_ordered_seq()
+            .map(|(_, values, meta)| (values, meta))
+    }
+
+    /// Inserts one shared row, deduplicating against the row→seq map before
+    /// any index or seq-list work: a duplicate merges its provenance tag via
+    /// `combine` and refreshes the soft-state lifetime instead of storing a
+    /// copy.  `next_seq` is the store-wide insertion counter, advanced only
+    /// for genuinely new rows.  Returns the outcome together with the seq of
+    /// the live row now holding `values` (fresh for new rows, the original
+    /// insertion's for duplicates).
+    fn insert_one<F>(
+        &mut self,
+        next_seq: &mut u64,
+        values: Arc<[Value]>,
+        meta: TupleMeta,
+        combine: F,
+    ) -> (InsertOutcome, u64)
+    where
+        F: FnOnce(&ProvTag, &ProvTag) -> ProvTag,
+    {
+        match self.by_row.get(&values[..]) {
+            None => {
+                let seq = *next_seq;
+                *next_seq += 1;
+                self.by_row.insert(values.clone(), seq);
+                self.index_insert(seq, &values);
+                self.seq_order.push(seq);
+                self.rows.insert(seq, StoredRow { values, meta });
+                (InsertOutcome::New, seq)
+            }
+            Some(&seq) => {
+                let existing = self.rows.get_mut(&seq).expect("dedup map mirrors rows");
+                let merged = combine(&existing.meta.tag, &meta.tag);
+                // Refresh the soft-state lifetime on re-derivation.
+                existing.meta.expires_at = match (existing.meta.expires_at, meta.expires_at) {
+                    (Some(a), Some(b)) => Some(a.max(b)),
+                    _ => None,
+                };
+                let outcome = if merged != existing.meta.tag {
+                    existing.meta.tag = merged;
+                    InsertOutcome::MergedTag
+                } else {
+                    InsertOutcome::Duplicate
+                };
+                (outcome, seq)
+            }
+        }
     }
 }
 
@@ -218,12 +270,12 @@ impl NodeStore {
         self.tables.get(pred.index())
     }
 
-    /// The table behind an id that this store's interner actually knows.
-    /// Id-based writes must go through here: accepting ids the interner has
-    /// never seen would let rows exist under no name (panicking `expire`,
-    /// under-charging `store_bytes`), so that contract violation fails fast
-    /// instead.
-    fn table_mut(&mut self, pred: PredId) -> &mut Table {
+    /// Checks that an id-based write addresses a predicate this store's
+    /// interner actually knows, materialising its table if needed.  Accepting
+    /// ids the interner has never seen would let rows exist under no name
+    /// (panicking `expire`, under-charging `store_bytes`), so that contract
+    /// violation fails fast instead.
+    fn ensure_table(&mut self, pred: PredId) {
         assert!(
             pred.index() < self.preds.len(),
             "{pred} was not interned in this store; call intern() or sync_symbols() first"
@@ -231,6 +283,11 @@ impl NodeStore {
         if self.tables.len() < self.preds.len() {
             self.tables.resize_with(self.preds.len(), Table::default);
         }
+    }
+
+    /// The table behind a known id; id-based writes go through here.
+    fn table_mut(&mut self, pred: PredId) -> &mut Table {
+        self.ensure_table(pred);
         &mut self.tables[pred.index()]
     }
 
@@ -286,6 +343,21 @@ impl NodeStore {
         key_columns: &[usize],
         key: &[Value],
     ) -> Option<impl Iterator<Item = (&'a Arc<[Value]>, &'a TupleMeta)> + 'a> {
+        Some(
+            self.probe_seq_id(pred, key_columns, key)?
+                .map(|(_, values, meta)| (values, meta)),
+        )
+    }
+
+    /// [`NodeStore::probe_id`] with each row's insertion seq.  The evaluator
+    /// uses the seqs to keep batched joins tuple-at-a-time-visible: a delta
+    /// row only joins rows inserted no later than itself.
+    pub fn probe_seq_id<'a>(
+        &'a self,
+        pred: PredId,
+        key_columns: &[usize],
+        key: &[Value],
+    ) -> Option<impl Iterator<Item = (u64, &'a Arc<[Value]>, &'a TupleMeta)> + 'a> {
         let table = self.table(pred)?;
         let index = table.indexes.get(key_columns)?;
         let rows = &table.rows;
@@ -294,8 +366,7 @@ impl NodeStore {
                 .get(key)
                 .into_iter()
                 .flatten()
-                .filter_map(move |seq| rows.get(seq))
-                .map(|row| (&row.values, &row.meta)),
+                .filter_map(move |seq| rows.get(seq).map(|row| (*seq, &row.values, &row.meta))),
         )
     }
 
@@ -328,33 +399,42 @@ impl NodeStore {
     where
         F: FnOnce(&ProvTag, &ProvTag) -> ProvTag,
     {
-        let seq = self.next_seq;
-        let table = self.table_mut(pred);
-        match table.by_row.get(&values[..]) {
-            None => {
-                table.by_row.insert(values.clone(), seq);
-                table.index_insert(seq, &values);
-                table.seq_order.push(seq);
-                table.rows.insert(seq, StoredRow { values, meta });
-                self.next_seq += 1;
-                InsertOutcome::New
-            }
-            Some(&seq) => {
-                let existing = table.rows.get_mut(&seq).expect("dedup map mirrors rows");
-                let merged = combine(&existing.meta.tag, &meta.tag);
-                // Refresh the soft-state lifetime on re-derivation.
-                existing.meta.expires_at = match (existing.meta.expires_at, meta.expires_at) {
-                    (Some(a), Some(b)) => Some(a.max(b)),
-                    _ => None,
-                };
-                if merged != existing.meta.tag {
-                    existing.meta.tag = merged;
-                    InsertOutcome::MergedTag
-                } else {
-                    InsertOutcome::Duplicate
-                }
-            }
-        }
+        self.ensure_table(pred);
+        let NodeStore {
+            tables, next_seq, ..
+        } = self;
+        tables[pred.index()]
+            .insert_one(next_seq, values, meta, combine)
+            .0
+    }
+
+    /// Batch-inserts shared rows under one interned predicate: the table is
+    /// resolved once per batch instead of once per row, and every row is
+    /// deduplicated against the row→seq map before any index, seq-list or
+    /// provenance-merge work.  Returns one `(outcome, seq)` per row, in
+    /// input order — the seq identifies the live row now holding the values
+    /// (fresh for new rows), which the evaluator uses to keep batched joins
+    /// exactly tuple-at-a-time-visible (a delta never joins a batch sibling
+    /// inserted after it).  A duplicate *within* the batch behaves exactly
+    /// like a duplicate across batches (tags merge via `combine`, TTLs
+    /// refresh, no copy is stored).
+    pub fn insert_rows<F>(
+        &mut self,
+        pred: PredId,
+        rows: Vec<(Arc<[Value]>, TupleMeta)>,
+        mut combine: F,
+    ) -> Vec<(InsertOutcome, u64)>
+    where
+        F: FnMut(&ProvTag, &ProvTag) -> ProvTag,
+    {
+        self.ensure_table(pred);
+        let NodeStore {
+            tables, next_seq, ..
+        } = self;
+        let table = &mut tables[pred.index()];
+        rows.into_iter()
+            .map(|(values, meta)| table.insert_one(next_seq, values, meta, &mut combine))
+            .collect()
     }
 
     /// Name shim over [`NodeStore::insert_row`].
@@ -428,6 +508,17 @@ impl NodeStore {
         pred: PredId,
     ) -> impl Iterator<Item = (&Arc<[Value]>, &TupleMeta)> + '_ {
         self.table(pred).into_iter().flat_map(Table::iter_ordered)
+    }
+
+    /// [`NodeStore::scan_ordered_rows`] with each row's insertion seq (see
+    /// [`NodeStore::probe_seq_id`] for why the evaluator needs it).
+    pub fn scan_ordered_seq_rows(
+        &self,
+        pred: PredId,
+    ) -> impl Iterator<Item = (u64, &Arc<[Value]>, &TupleMeta)> + '_ {
+        self.table(pred)
+            .into_iter()
+            .flat_map(Table::iter_ordered_seq)
     }
 
     /// Name shim over [`NodeStore::scan_ordered_rows`], materialising
@@ -719,6 +810,74 @@ mod tests {
         );
         assert_eq!(store.get(&t).unwrap().tag, ProvTag::Trust(TrustLevel(3)));
         assert_eq!(store.total_tuples(), 1);
+    }
+
+    #[test]
+    fn batch_insert_matches_row_at_a_time_semantics() {
+        let combine = |a: &ProvTag, b: &ProvTag| {
+            if let (ProvTag::Trust(x), ProvTag::Trust(y)) = (a, b) {
+                ProvTag::Trust(TrustLevel(x.0.max(y.0)))
+            } else {
+                a.clone()
+            }
+        };
+        let mut batched = NodeStore::new();
+        let pred = batched.intern("link");
+        batched.register_index_id(pred, &[0]);
+        let rows: Vec<(Arc<[Value]>, TupleMeta)> = [
+            (link(0, 1), 1u8),
+            (link(0, 2), 1),
+            (link(0, 1), 3), // in-batch duplicate: merges, does not copy
+            (link(1, 2), 1),
+        ]
+        .into_iter()
+        .map(|(t, trust)| {
+            (
+                Arc::from(t.values.as_slice()),
+                meta(ProvTag::Trust(TrustLevel(trust)), None),
+            )
+        })
+        .collect();
+        let outcomes = batched.insert_rows(pred, rows.clone(), combine);
+        assert_eq!(
+            outcomes,
+            vec![
+                (InsertOutcome::New, 0),
+                (InsertOutcome::New, 1),
+                // The in-batch duplicate merges into (and reports) row 0.
+                (InsertOutcome::MergedTag, 0),
+                (InsertOutcome::New, 2)
+            ]
+        );
+
+        // One row at a time produces the identical store.
+        let mut serial = NodeStore::new();
+        let pred_s = serial.intern("link");
+        serial.register_index_id(pred_s, &[0]);
+        let serial_outcomes: Vec<InsertOutcome> = rows
+            .into_iter()
+            .map(|(values, m)| serial.insert_row(pred_s, values, m, combine))
+            .collect();
+        assert_eq!(
+            outcomes
+                .iter()
+                .map(|(outcome, _)| *outcome)
+                .collect::<Vec<_>>(),
+            serial_outcomes
+        );
+        assert_eq!(batched.total_tuples(), serial.total_tuples());
+        assert_eq!(
+            batched.get(&link(0, 1)).unwrap().tag,
+            ProvTag::Trust(TrustLevel(3))
+        );
+        let ordered: Vec<Tuple> = batched
+            .scan_ordered("link")
+            .into_iter()
+            .map(|(t, _)| t)
+            .collect();
+        assert_eq!(ordered, vec![link(0, 1), link(0, 2), link(1, 2)]);
+        batched.check_index_consistency().unwrap();
+        serial.check_index_consistency().unwrap();
     }
 
     #[test]

@@ -20,6 +20,59 @@ pub fn message_wire_bytes(payload_len: usize) -> usize {
     MESSAGE_HEADER_BYTES + payload_len
 }
 
+/// Wire accounting for one multi-tuple shipment frame.
+///
+/// A frame carries every tuple flushed for one `(source, destination,
+/// predicate, due time)` batch.  The cost split is honest about what is
+/// shared and what is not: one [`MESSAGE_HEADER_BYTES`] header and one
+/// frame-level overhead charge (the `says` proof covering every tuple) are
+/// paid per frame, while each tuple charges its own canonical encoding plus
+/// its per-tuple annotations (provenance tag, piggybacked derivation
+/// subtree).  The canonical signing payload is the concatenation of the
+/// tuple encodings in shipment order — each encoding is self-delimiting, so
+/// no extra framing bytes sit between tuples and a one-tuple frame costs
+/// exactly what a per-tuple message used to.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Frame {
+    tuple_count: usize,
+    tuple_bytes: usize,
+    frame_overhead: usize,
+}
+
+impl Frame {
+    /// An empty frame with no frame-level overhead.
+    pub fn new() -> Self {
+        Frame::default()
+    }
+
+    /// Charges one tuple's payload bytes (encoding plus annotations).
+    pub fn push_tuple(&mut self, bytes: usize) {
+        self.tuple_count += 1;
+        self.tuple_bytes += bytes;
+    }
+
+    /// Sets the frame-level overhead paid once per frame (e.g. the single
+    /// `says` proof that covers every tuple).
+    pub fn set_frame_overhead(&mut self, bytes: usize) {
+        self.frame_overhead = bytes;
+    }
+
+    /// Number of tuples in the frame.
+    pub fn tuples(&self) -> usize {
+        self.tuple_count
+    }
+
+    /// Payload bytes: the per-frame overhead plus every tuple's bytes.
+    pub fn payload_bytes(&self) -> usize {
+        self.frame_overhead + self.tuple_bytes
+    }
+
+    /// Total wire bytes: one message header plus the payload.
+    pub fn wire_bytes(&self) -> usize {
+        message_wire_bytes(self.payload_bytes())
+    }
+}
+
 /// Appends a length-prefixed byte string (`u32` big-endian length).
 pub fn put_len_prefixed(out: &mut BytesMut, data: &[u8]) {
     out.put_u32(data.len() as u32);
@@ -51,6 +104,26 @@ mod tests {
     fn header_overhead_is_charged_once_per_message() {
         assert_eq!(message_wire_bytes(0), MESSAGE_HEADER_BYTES);
         assert_eq!(message_wire_bytes(100), MESSAGE_HEADER_BYTES + 100);
+    }
+
+    #[test]
+    fn frame_accounting_charges_header_and_proof_once() {
+        let mut frame = Frame::new();
+        assert_eq!(frame.tuples(), 0);
+        assert_eq!(frame.wire_bytes(), MESSAGE_HEADER_BYTES);
+        frame.set_frame_overhead(64);
+        frame.push_tuple(30);
+        frame.push_tuple(42);
+        frame.push_tuple(30);
+        assert_eq!(frame.tuples(), 3);
+        assert_eq!(frame.payload_bytes(), 64 + 30 + 42 + 30);
+        assert_eq!(frame.wire_bytes(), MESSAGE_HEADER_BYTES + 64 + 102);
+        // A one-tuple frame costs exactly what a per-tuple message did:
+        // header + payload + proof, nothing extra.
+        let mut single = Frame::new();
+        single.set_frame_overhead(64);
+        single.push_tuple(30);
+        assert_eq!(single.wire_bytes(), message_wire_bytes(30 + 64));
     }
 
     #[test]
