@@ -25,6 +25,10 @@ fn says_levels(c: &mut Criterion) {
             EngineConfig::ndlog().with_says(SaysLevel::Cleartext),
         ),
         ("hmac", EngineConfig::ndlog().with_says(SaysLevel::Hmac)),
+        (
+            "session",
+            EngineConfig::ndlog().with_says(SaysLevel::Session),
+        ),
         ("rsa", EngineConfig::ndlog().with_says(SaysLevel::Rsa)),
     ];
 

@@ -1,0 +1,80 @@
+//! Microbenchmark of the `says` layer itself: what one shipment frame costs
+//! to assert and verify at each strength level — cleartext header, HMAC,
+//! per-frame RSA, and the session channel that amortises RSA down to one
+//! handshake per link.
+//!
+//! The `session/*` pairs make the tentpole trade visible in isolation: the
+//! `handshake` pair is the once-per-link RSA cost, the steady-state
+//! `mac_frame`/`verify_frame` pair is what every subsequent frame pays —
+//! orders of magnitude below `rsa/assert_frame`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pasn_crypto::principal::{KeyAuthority, Principal, PrincipalId};
+use pasn_crypto::says::{Authenticator, SaysLevel};
+use std::time::Duration;
+
+/// A typical five-tuple shipment frame (reachability tuples).
+fn frame_tuples() -> Vec<Vec<u8>> {
+    (0..5)
+        .map(|i| format!("reachable(n{i},n{})", i + 7).into_bytes())
+        .collect()
+}
+
+fn says_levels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crypto_says");
+    group.sample_size(20);
+    group.measurement_time(Duration::from_secs(3));
+
+    let principals = vec![Principal::new(0u32, "a"), Principal::new(1u32, "b")];
+    let authority = KeyAuthority::provision(&principals, 42).unwrap();
+    let tuples = frame_tuples();
+
+    for level in [SaysLevel::Cleartext, SaysLevel::Hmac, SaysLevel::Rsa] {
+        let a = Authenticator::new(authority.keyring_for(PrincipalId(0)).unwrap(), level);
+        let b = Authenticator::new(authority.keyring_for(PrincipalId(1)).unwrap(), level);
+        let assertion = a.assert_frame(&tuples);
+        group.bench_function(format!("{}/assert_frame", level.name()), |bench| {
+            bench.iter(|| a.assert_frame(&tuples))
+        });
+        group.bench_function(format!("{}/verify_frame", level.name()), |bench| {
+            bench.iter(|| b.verify_frame(&tuples, &assertion).is_ok())
+        });
+    }
+
+    // Session channel: the RSA handshake is paid once per link, then every
+    // frame costs one MAC on each side.
+    let a = Authenticator::new(
+        authority.keyring_for(PrincipalId(0)).unwrap(),
+        SaysLevel::Session,
+    );
+    let b = Authenticator::new(
+        authority.keyring_for(PrincipalId(1)).unwrap(),
+        SaysLevel::Session,
+    );
+    group.bench_function("session-channel/handshake", |bench| {
+        bench.iter(|| {
+            let (handshake, _) = a.open_channel(PrincipalId(1), 0, u64::MAX);
+            b.accept_channel(&handshake).unwrap()
+        })
+    });
+    let (handshake, mut tx) = a.open_channel(PrincipalId(1), 0, u64::MAX);
+    let rx = b.accept_channel(&handshake).unwrap();
+    group.bench_function("session-channel/mac_frame", |bench| {
+        bench.iter(|| a.assert_frame_on(&mut tx, &tuples))
+    });
+    let assertion = a.assert_frame_on(&mut tx, &tuples);
+    group.bench_function("session-channel/verify_frame", |bench| {
+        bench.iter(|| {
+            // A fresh receiver state per iteration (a trivial copy) keeps
+            // the replay counter satisfied while measuring verification
+            // alone, comparable to the other levels' verify_frame numbers.
+            let mut rx = rx.clone();
+            b.verify_frame_on(&mut rx, &tuples, &assertion, SaysLevel::Session)
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, says_levels);
+criterion_main!(benches);

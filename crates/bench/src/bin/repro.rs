@@ -12,10 +12,12 @@
 //! `target/repro_results.md` so they can be pasted into EXPERIMENTS.md.
 //!
 //! Every run additionally writes `BENCH_engine.json`: fixpoint wall-times,
-//! index hit/probe counters, storage gauges and shipment-frame counters
+//! index hit/probe counters, storage gauges, shipment-frame counters
 //! (`messages`/`signatures`/`frames`/`batched_tuples`/`mean_batch_occupancy`)
-//! for the engine's join and batching workloads, giving future changes a
-//! perf trajectory to compare against.
+//! and per-mechanism crypto operation counts
+//! (`rsa_sign_ops`/`rsa_verify_ops`/`hmac_ops`/`handshakes`) for the
+//! engine's join, batching and session-channel workloads, giving future
+//! changes a perf trajectory to compare against.
 
 use pasn::experiment::{
     render_figure, render_summary, run_sweep, summarize, FigureMetric, SweepConfig,
@@ -91,25 +93,10 @@ fn main() {
 }
 
 /// One measurement point: wall-clock, the join-path counters, the storage
-/// gauges of the shared-row layout, and the shipment-frame counters of the
-/// batched evaluation path.
-#[allow(clippy::too_many_arguments)]
-fn point_json(
-    name: &str,
-    wall: std::time::Duration,
-    derivations: u64,
-    tuples_stored: u64,
-    index_probes: u64,
-    index_hits: u64,
-    scan_probes: u64,
-    store_bytes: u64,
-    index_bytes: u64,
-    messages: u64,
-    signatures: u64,
-    frames: u64,
-    batched_tuples: u64,
-    mean_batch_occupancy: f64,
-) -> String {
+/// gauges of the shared-row layout, the shipment-frame counters of the
+/// batched evaluation path, and the per-mechanism crypto operation counts
+/// of the `says` layer.
+fn point_json(name: &str, wall: std::time::Duration, metrics: &RunMetrics) -> String {
     format!(
         concat!(
             "    {{\n",
@@ -126,31 +113,15 @@ fn point_json(
             "      \"signatures\": {},\n",
             "      \"frames\": {},\n",
             "      \"batched_tuples\": {},\n",
-            "      \"mean_batch_occupancy\": {:.3}\n",
+            "      \"mean_batch_occupancy\": {:.3},\n",
+            "      \"rsa_sign_ops\": {},\n",
+            "      \"rsa_verify_ops\": {},\n",
+            "      \"hmac_ops\": {},\n",
+            "      \"handshakes\": {}\n",
             "    }}"
         ),
         name,
         wall.as_secs_f64() * 1_000.0,
-        derivations,
-        tuples_stored,
-        index_probes,
-        index_hits,
-        scan_probes,
-        store_bytes,
-        index_bytes,
-        messages,
-        signatures,
-        frames,
-        batched_tuples,
-        mean_batch_occupancy,
-    )
-}
-
-/// One fixpoint measurement: wall-clock plus the run's counters and gauges.
-fn engine_point(name: &str, metrics: &RunMetrics, wall: std::time::Duration) -> String {
-    point_json(
-        name,
-        wall,
         metrics.derivations,
         metrics.tuples_stored,
         metrics.index_probes,
@@ -163,6 +134,10 @@ fn engine_point(name: &str, metrics: &RunMetrics, wall: std::time::Duration) -> 
         metrics.frames,
         metrics.batched_tuples,
         metrics.mean_batch_occupancy(),
+        metrics.rsa_sign_ops,
+        metrics.rsa_verify_ops,
+        metrics.hmac_ops,
+        metrics.handshakes,
     )
 }
 
@@ -176,10 +151,10 @@ fn engine_bench_json(rows: u32) -> String {
     let mut engine = pasn_bench::equijoin_engine(rows, config);
     let started = Instant::now();
     let metrics = engine.run_to_fixpoint().expect("fixpoint");
-    points.push(engine_point(
+    points.push(point_json(
         &format!("equijoin_indexed_{rows}"),
-        &metrics,
         started.elapsed(),
+        &metrics,
     ));
 
     let config = EngineConfig::ndlog()
@@ -188,10 +163,10 @@ fn engine_bench_json(rows: u32) -> String {
     let mut engine = pasn_bench::equijoin_engine(rows, config);
     let started = Instant::now();
     let metrics = engine.run_to_fixpoint().expect("fixpoint");
-    points.push(engine_point(
+    points.push(point_json(
         &format!("equijoin_scan_{rows}"),
-        &metrics,
         started.elapsed(),
+        &metrics,
     ));
 
     // The indexed equijoin with local delta batching: plan dispatch, slot
@@ -204,10 +179,10 @@ fn engine_bench_json(rows: u32) -> String {
     let mut engine = pasn_bench::equijoin_engine(rows, config);
     let started = Instant::now();
     let metrics = engine.run_to_fixpoint().expect("fixpoint");
-    points.push(engine_point(
+    points.push(point_json(
         &format!("equijoin_batched_{rows}"),
-        &metrics,
         started.elapsed(),
+        &metrics,
     ));
 
     let mut net = pasn_bench::reachability_network(
@@ -217,7 +192,7 @@ fn engine_bench_json(rows: u32) -> String {
     );
     let started = Instant::now();
     let metrics = net.run().expect("fixpoint");
-    points.push(engine_point("reachability_30", &metrics, started.elapsed()));
+    points.push(point_json("reachability_30", started.elapsed(), &metrics));
 
     // The same reachability deployment, authenticated and batched: one RSA
     // signature per multi-tuple frame instead of one per shipped tuple, so
@@ -232,10 +207,32 @@ fn engine_bench_json(rows: u32) -> String {
     );
     let started = Instant::now();
     let metrics = net.run().expect("fixpoint");
-    points.push(engine_point(
+    points.push(point_json(
         "batched_reachability_30",
-        &metrics,
         started.elapsed(),
+        &metrics,
+    ));
+
+    // The same deployment again over session-keyed channels: RSA collapses
+    // from one sign per frame to one key-establishment handshake per live
+    // directed link (`rsa_sign_ops == handshakes`, far below `frames`),
+    // with every frame HMAC-authenticated instead — while `derivations`,
+    // `tuples_stored`, `frames` and `batched_tuples` stay bit-identical to
+    // `batched_reachability_30` and the fixpoint wall time drops with the
+    // per-frame bignum exponentiations.
+    let mut net = pasn_bench::reachability_network(
+        30,
+        EngineConfig::sendlog_session()
+            .with_cost_model(CostModel::zero_cpu())
+            .with_batching(),
+        7,
+    );
+    let started = Instant::now();
+    let metrics = net.run().expect("fixpoint");
+    points.push(point_json(
+        "session_reachability_30",
+        started.elapsed(),
+        &metrics,
     ));
 
     // Store churn (insert / expire / re-insert): the memory-layout paths —
@@ -247,18 +244,12 @@ fn engine_bench_json(rows: u32) -> String {
     points.push(point_json(
         &format!("store_churn_{churn_rows}"),
         started.elapsed(),
-        0,
-        store.total_tuples() as u64,
-        0,
-        0,
-        0,
-        store.store_bytes() as u64,
-        store.index_bytes() as u64,
-        0,
-        0,
-        0,
-        0,
-        0.0,
+        &RunMetrics {
+            tuples_stored: store.total_tuples() as u64,
+            store_bytes: store.store_bytes() as u64,
+            index_bytes: store.index_bytes() as u64,
+            ..RunMetrics::default()
+        },
     ));
 
     format!(

@@ -285,6 +285,33 @@ impl SecureNetwork {
     pub fn mean_batch_occupancy(&self) -> f64 {
         self.engine.metrics().mean_batch_occupancy()
     }
+
+    /// RSA private-key exponentiations so far (also reported at fixpoint as
+    /// `RunMetrics::rsa_sign_ops`): one per frame at the `Rsa` `says` level,
+    /// one per key-establishment handshake at the `Session` level.
+    pub fn rsa_sign_ops(&self) -> u64 {
+        self.engine.metrics().rsa_sign_ops
+    }
+
+    /// RSA public-key exponentiations so far (also reported at fixpoint as
+    /// `RunMetrics::rsa_verify_ops`).
+    pub fn rsa_verify_ops(&self) -> u64 {
+        self.engine.metrics().rsa_verify_ops
+    }
+
+    /// HMAC-SHA-256 computations so far (also reported at fixpoint as
+    /// `RunMetrics::hmac_ops`): frame MACs and verifications at the `Hmac`
+    /// and `Session` levels plus per-handshake session-key derivations.
+    pub fn hmac_ops(&self) -> u64 {
+        self.engine.metrics().hmac_ops
+    }
+
+    /// Session-channel handshakes performed so far (also reported at
+    /// fixpoint as `RunMetrics::handshakes`): one per live directed link,
+    /// plus rebinds after channel expiry.
+    pub fn handshakes(&self) -> u64 {
+        self.engine.metrics().handshakes
+    }
 }
 
 #[cfg(test)]
@@ -354,6 +381,42 @@ mod tests {
             assert_eq!(batched.query(&loc, "reachable").len(), 6);
         }
         assert_eq!(metrics.tuples_stored, baseline.tuples_stored);
+    }
+
+    #[test]
+    fn session_channels_surface_their_crypto_counters() {
+        let build = |config: EngineConfig| {
+            SecureNetwork::builder()
+                .program(programs::reachability_ndlog())
+                .topology(Topology::ring(6))
+                .config(fast(config))
+                .build()
+                .unwrap()
+        };
+        let mut rsa = build(EngineConfig::sendlog().with_batching());
+        let baseline = rsa.run().unwrap();
+        let mut session = build(EngineConfig::sendlog_session().with_batching());
+        let m = session.run().unwrap();
+
+        // RSA collapses to one sign/verify per live directed link (a 6-ring
+        // ships over 12: each link carries data and reply-direction
+        // exports); every frame rides an HMAC instead.
+        assert_eq!(session.handshakes(), 12);
+        assert_eq!(session.rsa_sign_ops(), session.handshakes());
+        assert_eq!(session.rsa_verify_ops(), session.handshakes());
+        assert!(session.rsa_sign_ops() < baseline.rsa_sign_ops);
+        assert!(session.hmac_ops() > 0);
+        assert_eq!(baseline.hmac_ops, 0);
+        // The facade mirrors the fixpoint metrics.
+        assert_eq!(m.rsa_sign_ops, session.rsa_sign_ops());
+        assert_eq!(m.rsa_verify_ops, session.rsa_verify_ops());
+        assert_eq!(m.hmac_ops, session.hmac_ops());
+        assert_eq!(m.handshakes, session.handshakes());
+        // The frame stream and fixpoint are the Rsa level's, bit for bit.
+        assert_eq!(m.frames, baseline.frames);
+        assert_eq!(m.batched_tuples, baseline.batched_tuples);
+        assert_eq!(m.derivations, baseline.derivations);
+        assert_eq!(m.tuples_stored, baseline.tuples_stored);
     }
 
     #[test]

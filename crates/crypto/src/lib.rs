@@ -19,8 +19,13 @@
 //! * [`rsa`] — textbook RSA-PKCS#1-v1.5 signatures over SHA-256;
 //! * [`principal`] — security principals, key material, and the
 //!   simulation-wide key authority;
-//! * [`says`] — the SeNDlog `says` construct at three strength levels
-//!   (cleartext header, HMAC, RSA) with per-level wire-overhead accounting.
+//! * [`says`] — the SeNDlog `says` construct at four strength levels
+//!   (cleartext header, HMAC, session channel, RSA) with per-level
+//!   wire-overhead accounting;
+//! * [`channel`] — session-keyed authenticated channels: one RSA-signed
+//!   key-establishment handshake per directed link, then HMAC'd frames with
+//!   a monotonic replay counter — the amortisation behind
+//!   [`says::SaysLevel::Session`].
 //!
 //! Everything here is deterministic given a seed, which keeps the
 //! experiments in `pasn-bench` reproducible run to run.
@@ -47,6 +52,7 @@
 #![warn(missing_docs)]
 
 pub mod bigint;
+pub mod channel;
 pub mod hmac;
 pub mod prime;
 pub mod principal;
@@ -55,6 +61,7 @@ pub mod says;
 pub mod sha256;
 
 pub use bigint::BigUint;
+pub use channel::{ChannelHandshake, ChannelProof, ReceiverChannel, SenderChannel};
 pub use principal::{KeyAuthority, Keyring, Principal, PrincipalId};
 pub use rsa::{RsaKeyPair, RsaPublicKey};
 pub use says::{Authenticator, SaysAssertion, SaysError, SaysLevel, SaysProof};

@@ -13,6 +13,10 @@
 //! the wire overhead each level adds so the bandwidth accounting matches the
 //! chosen mechanism.
 
+use crate::channel::{
+    derive_session_key, ChannelHandshake, ChannelProof, HandshakeTranscript, ReceiverChannel,
+    SenderChannel, CHANNEL_PROOF_LEN,
+};
 use crate::hmac::{hmac_sha256, hmac_verify, TAG_LEN};
 use crate::principal::{Keyring, PrincipalId};
 
@@ -26,6 +30,14 @@ pub enum SaysLevel {
     /// HMAC-SHA-256 with a shared secret: integrity between principals that
     /// share keys, one hash per tuple, 32 proof bytes.
     Hmac,
+    /// A session-keyed authenticated channel (see [`crate::channel`]): each
+    /// directed link is bootstrapped once by an RSA-signed key-establishment
+    /// handshake, then every frame is HMAC'd under the session key with a
+    /// monotonic replay counter.  RSA-rooted channel authentication at
+    /// near-HMAC steady-state cost — but, unlike per-frame [`SaysLevel::Rsa`]
+    /// signatures, individual frames are not non-repudiable, so the level
+    /// sits strictly below `Rsa`.
+    Session,
     /// RSA signature over SHA-256: full non-repudiable authentication as in
     /// the paper's evaluation, one private-key exponentiation per exported
     /// tuple, `modulus_len` proof bytes.
@@ -34,13 +46,19 @@ pub enum SaysLevel {
 
 impl SaysLevel {
     /// All levels, weakest first.
-    pub const ALL: [SaysLevel; 3] = [SaysLevel::Cleartext, SaysLevel::Hmac, SaysLevel::Rsa];
+    pub const ALL: [SaysLevel; 4] = [
+        SaysLevel::Cleartext,
+        SaysLevel::Hmac,
+        SaysLevel::Session,
+        SaysLevel::Rsa,
+    ];
 
     /// Human-readable name used in reports.
     pub fn name(self) -> &'static str {
         match self {
             SaysLevel::Cleartext => "cleartext",
             SaysLevel::Hmac => "hmac-sha256",
+            SaysLevel::Session => "session-channel",
             SaysLevel::Rsa => "rsa-sha256",
         }
     }
@@ -53,6 +71,9 @@ pub enum SaysProof {
     Cleartext,
     /// HMAC tag under the asserting principal's MAC secret.
     Hmac([u8; TAG_LEN]),
+    /// Per-frame MAC on an established session channel (epoch, monotonic
+    /// counter, HMAC tag under the channel's session key).
+    Session(ChannelProof),
     /// RSA signature by the asserting principal.
     Rsa(Vec<u8>),
 }
@@ -63,6 +84,7 @@ impl SaysProof {
         match self {
             SaysProof::Cleartext => 0,
             SaysProof::Hmac(_) => TAG_LEN,
+            SaysProof::Session(_) => CHANNEL_PROOF_LEN,
             SaysProof::Rsa(sig) => sig.len(),
         }
     }
@@ -72,6 +94,7 @@ impl SaysProof {
         match self {
             SaysProof::Cleartext => SaysLevel::Cleartext,
             SaysProof::Hmac(_) => SaysLevel::Hmac,
+            SaysProof::Session(_) => SaysLevel::Session,
             SaysProof::Rsa(_) => SaysLevel::Rsa,
         }
     }
@@ -91,6 +114,14 @@ impl SaysProof {
                 v.push(2u8);
                 v.extend_from_slice(&(sig.len() as u16).to_be_bytes());
                 v.extend_from_slice(sig);
+                v
+            }
+            SaysProof::Session(proof) => {
+                let mut v = Vec::with_capacity(1 + CHANNEL_PROOF_LEN);
+                v.push(3u8);
+                v.extend_from_slice(&proof.epoch.to_be_bytes());
+                v.extend_from_slice(&proof.counter.to_be_bytes());
+                v.extend_from_slice(&proof.tag);
                 v
             }
         }
@@ -118,6 +149,23 @@ impl SaysProof {
                     return None;
                 }
                 Some((SaysProof::Rsa(bytes[3..3 + len].to_vec()), 3 + len))
+            }
+            3 => {
+                if bytes.len() < 1 + CHANNEL_PROOF_LEN {
+                    return None;
+                }
+                let epoch = u32::from_be_bytes(bytes[1..5].try_into().expect("4 bytes"));
+                let counter = u64::from_be_bytes(bytes[5..13].try_into().expect("8 bytes"));
+                let mut tag = [0u8; TAG_LEN];
+                tag.copy_from_slice(&bytes[13..13 + TAG_LEN]);
+                Some((
+                    SaysProof::Session(ChannelProof {
+                        epoch,
+                        counter,
+                        tag,
+                    }),
+                    1 + CHANNEL_PROOF_LEN,
+                ))
             }
             _ => None,
         }
@@ -172,6 +220,35 @@ pub enum SaysError {
     UnknownPrincipal(PrincipalId),
     /// The cryptographic check failed.
     InvalidProof(PrincipalId),
+    /// A session-channel frame carried a counter at or below the last
+    /// accepted one: a replayed (or reordered) frame.
+    ReplayedFrame {
+        /// The principal the channel speaks for.
+        principal: PrincipalId,
+        /// The stale counter the frame carried.
+        counter: u64,
+        /// The highest counter already accepted on the channel.
+        last_accepted: u64,
+    },
+    /// A session-channel handshake failed validation: the transcript
+    /// signature does not verify under the claimed initiator's public key,
+    /// or the verifier is not the transcript's named recipient.
+    BadHandshake(PrincipalId),
+    /// A (validly signed) handshake carried an epoch at or below the
+    /// channel already established with its initiator: a replayed old
+    /// handshake, which must not roll the channel — and its replay
+    /// counter — back.
+    ReplayedHandshake {
+        /// The initiating principal.
+        principal: PrincipalId,
+        /// The stale epoch the handshake carried.
+        epoch: u32,
+        /// The epoch of the channel already installed.
+        current_epoch: u32,
+    },
+    /// A session-level proof arrived but no channel is established with the
+    /// asserting principal (dropped or not-yet-delivered handshake).
+    NoChannel(PrincipalId),
 }
 
 impl std::fmt::Display for SaysError {
@@ -185,6 +262,24 @@ impl std::fmt::Display for SaysError {
             ),
             SaysError::UnknownPrincipal(p) => write!(f, "unknown principal {p}"),
             SaysError::InvalidProof(p) => write!(f, "invalid says proof from {p}"),
+            SaysError::ReplayedFrame {
+                principal,
+                counter,
+                last_accepted,
+            } => write!(
+                f,
+                "replayed frame from {principal}: counter {counter} not above {last_accepted}"
+            ),
+            SaysError::BadHandshake(p) => write!(f, "invalid channel handshake from {p}"),
+            SaysError::ReplayedHandshake {
+                principal,
+                epoch,
+                current_epoch,
+            } => write!(
+                f,
+                "replayed handshake from {principal}: epoch {epoch} not above {current_epoch}"
+            ),
+            SaysError::NoChannel(p) => write!(f, "no established channel with {p}"),
         }
     }
 }
@@ -214,11 +309,26 @@ impl Authenticator {
         self.keyring.owner()
     }
 
+    /// The keyring backing this authenticator.
+    pub fn keyring(&self) -> &Keyring {
+        &self.keyring
+    }
+
     /// Produces `self.principal() says payload`.
+    ///
+    /// # Panics
+    ///
+    /// At [`SaysLevel::Session`] single-shot assertions do not exist — every
+    /// proof is bound to an established channel's key and counter.  Open a
+    /// channel with [`Authenticator::open_channel`] and assert with
+    /// [`Authenticator::assert_frame_on`] instead.
     pub fn assert(&self, payload: &[u8]) -> SaysAssertion {
         let proof = match self.level {
             SaysLevel::Cleartext => SaysProof::Cleartext,
             SaysLevel::Hmac => SaysProof::Hmac(hmac_sha256(self.keyring.own_mac_secret(), payload)),
+            SaysLevel::Session => {
+                panic!("session-level says requires a channel: use assert_frame_on")
+            }
             SaysLevel::Rsa => SaysProof::Rsa(self.keyring.rsa_keypair().sign(payload)),
         };
         SaysAssertion {
@@ -244,6 +354,134 @@ impl Authenticator {
         self.verify(&frame_payload(tuples), assertion)
     }
 
+    /// Initiates a session channel to `dst` at `epoch`: derives a fresh
+    /// HMAC-SHA-256 session key from the transcript and signs the transcript
+    /// with this principal's RSA key (one private-key exponentiation — the
+    /// only RSA work the channel ever costs the sender).
+    ///
+    /// Returns the handshake to ship to `dst` and the sender half of the
+    /// channel, valid for `rebind_after` frames before it must be rebound at
+    /// the next epoch.
+    pub fn open_channel(
+        &self,
+        dst: PrincipalId,
+        epoch: u32,
+        rebind_after: u64,
+    ) -> (ChannelHandshake, SenderChannel) {
+        let transcript = HandshakeTranscript {
+            src: self.keyring.owner(),
+            dst,
+            epoch,
+        };
+        let key = derive_session_key(self.keyring.own_mac_secret(), &transcript);
+        let signature = self.keyring.rsa_keypair().sign(&transcript.encode());
+        (
+            ChannelHandshake {
+                transcript,
+                signature,
+            },
+            SenderChannel::new(key, transcript, rebind_after),
+        )
+    }
+
+    /// Accepts a rebind of an already-established channel: like
+    /// [`Authenticator::accept_channel`], but additionally requires the
+    /// handshake to come from the current channel's peer at a strictly
+    /// greater epoch.  Without this check a recorded old handshake —
+    /// validly signed forever — could roll the channel (and its replay
+    /// counter) back and resurrect every frame captured under the old key.
+    pub fn accept_rebind(
+        &self,
+        handshake: &ChannelHandshake,
+        current: &ReceiverChannel,
+    ) -> Result<ReceiverChannel, SaysError> {
+        let transcript = &handshake.transcript;
+        if transcript.src != current.peer() {
+            return Err(SaysError::BadHandshake(transcript.src));
+        }
+        if transcript.epoch <= current.epoch() {
+            return Err(SaysError::ReplayedHandshake {
+                principal: transcript.src,
+                epoch: transcript.epoch,
+                current_epoch: current.epoch(),
+            });
+        }
+        self.accept_channel(handshake)
+    }
+
+    /// Accepts a key-establishment handshake: checks that this principal is
+    /// the named recipient and that the transcript signature verifies under
+    /// the initiator's public key (one public-key exponentiation — the only
+    /// RSA work the channel ever costs the receiver), then derives the
+    /// session key and returns the receiver half of the channel.
+    ///
+    /// This is the first-contact path; when a channel with the initiator
+    /// already exists, use [`Authenticator::accept_rebind`] so a replayed
+    /// old handshake cannot roll the channel back.
+    pub fn accept_channel(
+        &self,
+        handshake: &ChannelHandshake,
+    ) -> Result<ReceiverChannel, SaysError> {
+        let transcript = &handshake.transcript;
+        let src = transcript.src;
+        let key = self
+            .keyring
+            .public_key_of(src)
+            .ok_or(SaysError::UnknownPrincipal(src))?;
+        if transcript.dst != self.keyring.owner()
+            || !key.verify(&transcript.encode(), &handshake.signature)
+        {
+            return Err(SaysError::BadHandshake(src));
+        }
+        let secret = self
+            .keyring
+            .mac_secret_of(src)
+            .ok_or(SaysError::UnknownPrincipal(src))?;
+        Ok(ReceiverChannel::new(
+            derive_session_key(secret, transcript),
+            *transcript,
+        ))
+    }
+
+    /// Produces `self.principal() says frame` on an established session
+    /// channel: one HMAC over the canonical concatenated payload, bound to
+    /// the channel's epoch and next counter value.
+    pub fn assert_frame_on<T: AsRef<[u8]>>(
+        &self,
+        channel: &mut SenderChannel,
+        tuples: &[T],
+    ) -> SaysAssertion {
+        SaysAssertion {
+            principal: self.keyring.owner(),
+            proof: SaysProof::Session(channel.mac_frame(&frame_payload(tuples))),
+        }
+    }
+
+    /// Verifies a session-channel frame assertion against `required`: the
+    /// assertion must be a [`SaysProof::Session`] from the channel's peer at
+    /// the current epoch, with a strictly advancing counter and a valid MAC.
+    pub fn verify_frame_on<T: AsRef<[u8]>>(
+        &self,
+        channel: &mut ReceiverChannel,
+        tuples: &[T],
+        assertion: &SaysAssertion,
+        required: SaysLevel,
+    ) -> Result<(), SaysError> {
+        let got = assertion.proof.level();
+        if got < required {
+            return Err(SaysError::InsufficientLevel { required, got });
+        }
+        let SaysProof::Session(proof) = &assertion.proof else {
+            // A stronger stateless proof (Rsa) is acceptable on a channel
+            // link; check it the stateless way.
+            return self.verify_at_level(&frame_payload(tuples), assertion, required);
+        };
+        if assertion.principal != channel.peer() {
+            return Err(SaysError::InvalidProof(assertion.principal));
+        }
+        channel.verify_frame(&frame_payload(tuples), proof)
+    }
+
     /// Verifies that `assertion.principal says payload`, requiring at least
     /// this authenticator's configured level.
     pub fn verify(&self, payload: &[u8], assertion: &SaysAssertion) -> Result<(), SaysError> {
@@ -263,6 +501,9 @@ impl Authenticator {
         }
         match &assertion.proof {
             SaysProof::Cleartext => Ok(()),
+            // Channel proofs are only checkable against the per-channel
+            // replay state; route them through `verify_frame_on`.
+            SaysProof::Session(_) => Err(SaysError::NoChannel(assertion.principal)),
             SaysProof::Hmac(tag) => {
                 let secret = self
                     .keyring
@@ -293,6 +534,7 @@ impl Authenticator {
         match self.level {
             SaysLevel::Cleartext => 0,
             SaysLevel::Hmac => TAG_LEN,
+            SaysLevel::Session => CHANNEL_PROOF_LEN,
             SaysLevel::Rsa => self.keyring.rsa_keypair().signature_len(),
         }
     }
@@ -376,6 +618,18 @@ mod tests {
         let tuples: Vec<&[u8]> = vec![b"link(a,b)", b"reachable(a,c)", b"bestPath(a,c,2)"];
         for level in SaysLevel::ALL {
             let (a, b) = setup(level);
+            if level == SaysLevel::Session {
+                // Session proofs live on a channel; one MAC still covers the
+                // whole frame.
+                let (handshake, mut tx) = a.open_channel(b.principal(), 0, 16);
+                let mut rx = b.accept_channel(&handshake).unwrap();
+                let assertion = a.assert_frame_on(&mut tx, &tuples);
+                assert_eq!(assertion.proof.wire_len(), a.proof_overhead());
+                assert!(b
+                    .verify_frame_on(&mut rx, &tuples, &assertion, level)
+                    .is_ok());
+                continue;
+            }
             let assertion = a.assert_frame(&tuples);
             // One proof; its size does not scale with the tuple count.
             assert_eq!(assertion.proof.wire_len(), a.proof_overhead());
@@ -416,7 +670,12 @@ mod tests {
         let (a, _) = setup(SaysLevel::Rsa);
         for level in SaysLevel::ALL {
             let auth = Authenticator::new(a.keyring.clone(), level);
-            let proof = auth.assert(b"payload").proof;
+            let proof = if level == SaysLevel::Session {
+                let (_, mut tx) = auth.open_channel(PrincipalId(1), 7, 16);
+                auth.assert_frame_on(&mut tx, &[b"payload"]).proof
+            } else {
+                auth.assert(b"payload").proof
+            };
             let bytes = proof.to_bytes();
             let (parsed, consumed) = SaysProof::from_bytes(&bytes).unwrap();
             assert_eq!(parsed, proof);
@@ -426,6 +685,7 @@ mod tests {
         assert!(SaysProof::from_bytes(&[9]).is_none());
         assert!(SaysProof::from_bytes(&[1, 0, 0]).is_none());
         assert!(SaysProof::from_bytes(&[2, 0, 10, 1]).is_none());
+        assert!(SaysProof::from_bytes(&[3, 0, 0]).is_none());
     }
 
     #[test]
@@ -445,7 +705,50 @@ mod tests {
     #[test]
     fn levels_are_ordered_weak_to_strong() {
         assert!(SaysLevel::Cleartext < SaysLevel::Hmac);
-        assert!(SaysLevel::Hmac < SaysLevel::Rsa);
+        // Channel authentication is RSA-rooted but frames are not
+        // individually non-repudiable, so Session sits below Rsa.
+        assert!(SaysLevel::Hmac < SaysLevel::Session);
+        assert!(SaysLevel::Session < SaysLevel::Rsa);
         assert_eq!(SaysLevel::default(), SaysLevel::Cleartext);
+        assert_eq!(SaysLevel::ALL.len(), 4);
+    }
+
+    #[test]
+    fn session_proofs_are_refused_where_rsa_is_demanded() {
+        let (a, b) = setup(SaysLevel::Session);
+        let (handshake, mut tx) = a.open_channel(b.principal(), 0, 16);
+        let mut rx = b.accept_channel(&handshake).unwrap();
+        let tuples: Vec<&[u8]> = vec![b"reachable(a,c)"];
+        let assertion = a.assert_frame_on(&mut tx, &tuples);
+        // An importing context demanding full non-repudiation refuses the
+        // channel MAC...
+        assert_eq!(
+            b.verify_frame_on(&mut rx, &tuples, &assertion, SaysLevel::Rsa),
+            Err(SaysError::InsufficientLevel {
+                required: SaysLevel::Rsa,
+                got: SaysLevel::Session
+            })
+        );
+        // ...and the stateless verifier never accepts a channel proof.
+        assert_eq!(
+            b.verify_at_level(b"reachable(a,c)", &assertion, SaysLevel::Hmac),
+            Err(SaysError::NoChannel(PrincipalId(0)))
+        );
+        // A channel link accepts a stronger stateless (Rsa) proof.
+        let (a_rsa, _) = setup(SaysLevel::Rsa);
+        let strong = a_rsa.assert_frame(&tuples);
+        assert!(b
+            .verify_frame_on(&mut rx, &tuples, &strong, SaysLevel::Session)
+            .is_ok());
+        // A weaker stateless proof is still insufficient on that link.
+        let (a_hmac, _) = setup(SaysLevel::Hmac);
+        let weak = a_hmac.assert_frame(&tuples);
+        assert_eq!(
+            b.verify_frame_on(&mut rx, &tuples, &weak, SaysLevel::Session),
+            Err(SaysError::InsufficientLevel {
+                required: SaysLevel::Session,
+                got: SaysLevel::Hmac
+            })
+        );
     }
 }

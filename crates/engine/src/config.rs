@@ -109,6 +109,12 @@ pub struct EngineConfig {
     /// batch flushed at the same window boundary (after the full one, in
     /// creation order).  Ignored while `batch_window_us` is `0`.
     pub max_batch_tuples: usize,
+    /// Frames a session channel may authenticate before it expires and the
+    /// link must be rebound with a fresh RSA-signed handshake at the next
+    /// epoch (only meaningful at [`SaysLevel::Session`]).  The default is
+    /// high enough that ordinary runs perform exactly one handshake per
+    /// live directed link; lower it to exercise the rebind path.
+    pub channel_rebind_frames: u64,
 }
 
 impl Default for EngineConfig {
@@ -137,6 +143,19 @@ impl EngineConfig {
             use_secondary_indexes: true,
             batch_window_us: 0,
             max_batch_tuples: DEFAULT_MAX_BATCH_TUPLES,
+            channel_rebind_frames: pasn_crypto::channel::DEFAULT_REBIND_AFTER_FRAMES,
+        }
+    }
+
+    /// SeNDLog over session-keyed channels: RSA amortised to one
+    /// key-establishment handshake per directed link, every frame HMAC'd
+    /// under the link's session key ([`SaysLevel::Session`]).  Same
+    /// authentication topology as [`EngineConfig::sendlog`] — the receiver
+    /// still learns who `says` every tuple — at near-HMAC steady-state cost.
+    pub fn sendlog_session() -> Self {
+        EngineConfig {
+            says_level: Some(SaysLevel::Session),
+            ..EngineConfig::sendlog()
         }
     }
 
@@ -188,6 +207,13 @@ impl EngineConfig {
     /// Builder: caps the tuples per delta batch / shipment frame.
     pub fn with_max_batch_tuples(mut self, max: usize) -> Self {
         self.max_batch_tuples = max;
+        self
+    }
+
+    /// Builder: sets how many frames a session channel authenticates before
+    /// it must be rebound with a fresh handshake.
+    pub fn with_channel_rebind_frames(mut self, frames: u64) -> Self {
+        self.channel_rebind_frames = frames.max(1);
         self
     }
 
@@ -332,5 +358,19 @@ mod tests {
             .with_max_batch_tuples(8);
         assert_eq!(cfg.batch_window_us, 2_500);
         assert_eq!(cfg.max_batch_tuples, 8);
+    }
+
+    #[test]
+    fn session_preset_amortises_rsa_over_the_channel() {
+        let cfg = EngineConfig::sendlog_session();
+        assert!(cfg.authenticated());
+        assert!(cfg.verify_imports);
+        assert_eq!(cfg.says_level, Some(SaysLevel::Session));
+        assert_eq!(
+            cfg.channel_rebind_frames,
+            pasn_crypto::channel::DEFAULT_REBIND_AFTER_FRAMES
+        );
+        let cfg = cfg.with_channel_rebind_frames(0);
+        assert_eq!(cfg.channel_rebind_frames, 1, "a channel must carry a frame");
     }
 }

@@ -63,6 +63,22 @@ pub struct RunMetrics {
     /// Tuples shipped inside frames, after in-frame deduplication (the raw
     /// material of [`RunMetrics::mean_batch_occupancy`]).
     pub batched_tuples: u64,
+    /// RSA private-key exponentiations performed: one per shipped frame at
+    /// the `Rsa` `says` level, one per key-establishment handshake at the
+    /// `Session` level — so a session run performs exactly
+    /// [`RunMetrics::handshakes`] RSA signs, however many frames it ships.
+    pub rsa_sign_ops: u64,
+    /// RSA public-key exponentiations performed (frame verifications at the
+    /// `Rsa` level, handshake verifications at the `Session` level).
+    pub rsa_verify_ops: u64,
+    /// HMAC-SHA-256 computations performed: frame MACs and verifications at
+    /// the `Hmac` and `Session` levels, plus the two per-handshake session
+    /// key derivations.
+    pub hmac_ops: u64,
+    /// Session-channel key-establishment handshakes initiated: one per live
+    /// directed link, plus one per rebind after
+    /// `EngineConfig::channel_rebind_frames` frames.
+    pub handshakes: u64,
 }
 
 impl RunMetrics {
@@ -110,7 +126,7 @@ impl fmt::Display for RunMetrics {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "completion {:.3}s, {} msgs, {:.3} MB ({} B auth, {} B provenance), {} derivations, {} tuples, {} sigs / {} verifs, {} frames ({:.2} tuples/frame), joins: {} hits / {} index probes, {} scanned, store {} B (+{} B index)",
+            "completion {:.3}s, {} msgs, {:.3} MB ({} B auth, {} B provenance), {} derivations, {} tuples, {} sigs / {} verifs, {} frames ({:.2} tuples/frame), crypto: {} rsa sign / {} rsa verify / {} hmac / {} handshakes, joins: {} hits / {} index probes, {} scanned, store {} B (+{} B index)",
             self.completion_secs(),
             self.messages,
             self.megabytes(),
@@ -122,6 +138,10 @@ impl fmt::Display for RunMetrics {
             self.verifications,
             self.frames,
             self.mean_batch_occupancy(),
+            self.rsa_sign_ops,
+            self.rsa_verify_ops,
+            self.hmac_ops,
+            self.handshakes,
             self.index_hits,
             self.index_probes,
             self.scan_probes,
@@ -155,6 +175,20 @@ mod tests {
         m.batched_tuples = 10;
         assert!((m.mean_batch_occupancy() - 2.5).abs() < 1e-9);
         assert!(m.to_string().contains("4 frames (2.50 tuples/frame)"));
+    }
+
+    #[test]
+    fn crypto_op_counters_are_reported() {
+        let m = RunMetrics {
+            rsa_sign_ops: 3,
+            rsa_verify_ops: 5,
+            hmac_ops: 40,
+            handshakes: 3,
+            ..RunMetrics::default()
+        };
+        assert!(m
+            .to_string()
+            .contains("crypto: 3 rsa sign / 5 rsa verify / 40 hmac / 3 handshakes"));
     }
 
     #[test]

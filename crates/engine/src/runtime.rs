@@ -19,7 +19,8 @@ use crate::eval::{eval_expr, eval_filter, Bindings};
 use crate::metrics::RunMetrics;
 use crate::store::{InsertOutcome, NodeStore, TupleMeta};
 use crate::tuple::{self, Tuple};
-use pasn_crypto::says::{Authenticator, SaysAssertion};
+use pasn_crypto::channel::{ChannelHandshake, ReceiverChannel, SenderChannel};
+use pasn_crypto::says::{Authenticator, SaysAssertion, SaysLevel, SaysProof};
 use pasn_crypto::{KeyAuthority, Principal, PrincipalId};
 use pasn_datalog::plan::{CompiledProgram, DeltaPlan, PlanStep, RulePlan, SlotTerm};
 use pasn_datalog::{compile_program, AggFunc, PlanError, PredId, Program, Symbols, Term, Value};
@@ -116,6 +117,12 @@ struct NodeRuntime {
     archive: ArchiveStore,
     deferred: Vec<DeferredDerivation>,
     authenticator: Option<Authenticator>,
+    /// Session-channel cache, sender side: one open channel per destination
+    /// principal this node ships to (`SaysLevel::Session` only).
+    send_channels: HashMap<PrincipalId, SenderChannel>,
+    /// Session-channel cache, receiver side: one established channel per
+    /// source principal whose handshake this node accepted.
+    recv_channels: HashMap<PrincipalId, ReceiverChannel>,
 }
 
 /// One tuple contributing to an in-flight join branch.  The row is shared
@@ -194,6 +201,13 @@ enum QueuedWork {
     Deliver(DeltaBatch),
     /// Seal a pending shipment frame at the sender: dedup, sign once, ship.
     Ship(ShipFrame),
+    /// Deliver a session-channel key-establishment handshake to its
+    /// receiver, who verifies the RSA-signed transcript and installs the
+    /// channel (`SaysLevel::Session` only).
+    Handshake {
+        destination: Value,
+        handshake: ChannelHandshake,
+    },
 }
 
 /// Identity of an open (still appendable) batch: local delta batches are
@@ -244,6 +258,11 @@ pub struct DistributedEngine {
     /// Open (still appendable) batches by key → queue seq; only populated
     /// while `batch_window_us > 0`.
     pending: HashMap<BatchKey, u64>,
+    /// Latest delivery time per directed link (`SaysLevel::Session` only):
+    /// a session channel's monotonic frame counter requires in-order
+    /// delivery per link — as the real session transport it stands in for
+    /// would provide — so each link's deliveries never overtake each other.
+    link_horizon: HashMap<(u32, u32), SimTime>,
     next_seq: u64,
     metrics: RunMetrics,
     completion: SimTime,
@@ -325,6 +344,8 @@ impl DistributedEngine {
                     archive: ArchiveStore::new(),
                     deferred: Vec::new(),
                     authenticator: authenticators.get(loc).cloned(),
+                    send_channels: HashMap::new(),
+                    recv_channels: HashMap::new(),
                 },
             );
         }
@@ -341,6 +362,7 @@ impl DistributedEngine {
             queue: BinaryHeap::new(),
             items: HashMap::new(),
             pending: HashMap::new(),
+            link_horizon: HashMap::new(),
             next_seq: 0,
             metrics: RunMetrics::default(),
             completion: SimTime::ZERO,
@@ -479,6 +501,43 @@ impl DistributedEngine {
         (at.as_micros() / window + 1) * window
     }
 
+    /// Appends `row` to the window's open batch under `key`, or opens (and
+    /// schedules at `due`) a new one via `open`.  A batch that reaches
+    /// `max_batch_tuples` — whether on creation or on append — is sealed:
+    /// it leaves the open-batch map, and later tuples of the same window
+    /// start a fresh batch flushed at the same boundary (after the full
+    /// one, by queue seq).  `rows_mut` projects the queued work item back
+    /// to its row buffer; both the local delta and shipment-frame paths
+    /// share this one copy of the seal logic.
+    fn buffer_batch(
+        &mut self,
+        due: u64,
+        key: BatchKey,
+        row: BatchRow,
+        rows_mut: fn(&mut QueuedWork) -> &mut Vec<BatchRow>,
+        open: impl FnOnce(Vec<BatchRow>) -> QueuedWork,
+    ) {
+        let cap = self.config.max_batch_tuples.max(1);
+        if let Some(&seq) = self.pending.get(&key) {
+            let work = self
+                .items
+                .get_mut(&seq)
+                .expect("pending key points at queued work");
+            let rows = rows_mut(work);
+            rows.push(row);
+            if rows.len() >= cap {
+                self.pending.remove(&key);
+            }
+        } else {
+            let seq = self.push_work(SimTime::from_micros(due), open(vec![row]));
+            // A cap of 1 is already met on creation: never left open, so
+            // no batch ever exceeds the cap.
+            if cap > 1 {
+                self.pending.insert(key, seq);
+            }
+        }
+    }
+
     /// Routes a tuple to its destination node's delta queue: immediately
     /// (`batch_window = 0`, one batch per tuple as before) or appended to
     /// the open `(node, predicate, due)` batch, creating and scheduling it
@@ -504,29 +563,24 @@ impl DistributedEngine {
             pred,
             due,
         };
-        if let Some(&seq) = self.pending.get(&key) {
-            let Some(QueuedWork::Deliver(batch)) = self.items.get_mut(&seq) else {
-                unreachable!("pending key points at a queued local delta batch");
-            };
-            batch.rows.push(row);
-            // Sealed when full: later tuples of the window open a new batch
-            // at the same due time (flushed after this one, by seq).
-            if batch.rows.len() >= self.config.max_batch_tuples.max(1) {
-                self.pending.remove(&key);
-            }
-        } else {
-            let seq = self.push_work(
-                SimTime::from_micros(due),
+        self.buffer_batch(
+            due,
+            key,
+            row,
+            |work| match work {
+                QueuedWork::Deliver(batch) => &mut batch.rows,
+                _ => unreachable!("pending key points at a queued local delta batch"),
+            },
+            move |rows| {
                 QueuedWork::Deliver(DeltaBatch {
                     destination,
                     pred,
-                    rows: vec![row],
+                    rows,
                     assertion: None,
                     is_remote: false,
-                }),
-            );
-            self.pending.insert(key, seq);
-        }
+                })
+            },
+        );
     }
 
     /// Routes a head tuple bound for another node: sealed and shipped
@@ -553,26 +607,24 @@ impl DistributedEngine {
             pred,
             due,
         };
-        if let Some(&seq) = self.pending.get(&key) {
-            let Some(QueuedWork::Ship(frame)) = self.items.get_mut(&seq) else {
-                unreachable!("pending key points at a queued shipment frame");
-            };
-            frame.rows.push(row);
-            if frame.rows.len() >= self.config.max_batch_tuples.max(1) {
-                self.pending.remove(&key);
-            }
-        } else {
-            let seq = self.push_work(
-                SimTime::from_micros(due),
+        let (src, dst) = (src.clone(), dst.clone());
+        self.buffer_batch(
+            due,
+            key,
+            row,
+            |work| match work {
+                QueuedWork::Ship(frame) => &mut frame.rows,
+                _ => unreachable!("pending key points at a queued shipment frame"),
+            },
+            move |rows| {
                 QueuedWork::Ship(ShipFrame {
-                    src: src.clone(),
-                    dst: dst.clone(),
+                    src,
+                    dst,
                     pred,
-                    rows: vec![row],
-                }),
-            );
-            self.pending.insert(key, seq);
-        }
+                    rows,
+                })
+            },
+        );
     }
 
     /// Drops `seq`'s entry from the open-batch map once the batch leaves the
@@ -614,6 +666,10 @@ impl DistributedEngine {
                     );
                     self.seal_and_ship(at, frame);
                 }
+                QueuedWork::Handshake {
+                    destination,
+                    handshake,
+                } => self.process_handshake(at, destination, handshake),
             }
         }
         self.metrics.wall_clock = started.elapsed();
@@ -823,13 +879,40 @@ impl DistributedEngine {
                     .iter()
                     .map(|row| tuple::encode_parts(&pred_name, &row.values))
                     .collect();
-                let ok = verifier.verify_frame(&payloads, assertion).is_ok();
-                self.metrics.verifications += 1;
-                cpu_cost += match assertion.proof.level() {
-                    pasn_crypto::SaysLevel::Rsa => cost_model.rsa_verify_us,
-                    pasn_crypto::SaysLevel::Hmac => cost_model.hmac_us,
-                    pasn_crypto::SaysLevel::Cleartext => 0,
+                let ok = if let SaysProof::Session(_) = &assertion.proof {
+                    // Channel MAC: check against the per-link replay state
+                    // installed by the handshake.  No channel (dropped or
+                    // rejected handshake) → the frame is refused outright,
+                    // no MAC computed, no crypto charged.
+                    let required = verifier.level();
+                    let node = self.nodes.get_mut(&destination).expect("known location");
+                    match node.recv_channels.get_mut(&assertion.principal) {
+                        Some(channel) => {
+                            // `ReceiverChannel::verify_frame` computes
+                            // exactly one HMAC, accept or reject.
+                            self.metrics.hmac_ops += 1;
+                            cpu_cost += cost_model.hmac_us;
+                            verifier
+                                .verify_frame_on(channel, &payloads, assertion, required)
+                                .is_ok()
+                        }
+                        None => false,
+                    }
+                } else {
+                    cpu_cost += match assertion.proof.level() {
+                        SaysLevel::Rsa => {
+                            self.metrics.rsa_verify_ops += 1;
+                            cost_model.rsa_verify_us
+                        }
+                        SaysLevel::Hmac => {
+                            self.metrics.hmac_ops += 1;
+                            cost_model.hmac_us
+                        }
+                        SaysLevel::Cleartext | SaysLevel::Session => 0,
+                    };
+                    verifier.verify_frame(&payloads, assertion).is_ok()
                 };
+                self.metrics.verifications += 1;
                 if !ok {
                     // The whole frame is rejected: a forged proof vouches
                     // for none of the tuples it claims to cover.
@@ -1470,7 +1553,9 @@ impl DistributedEngine {
             .collect();
 
         // One signature covers the whole frame; `signatures` scales with
-        // frames shipped, not tuples.
+        // frames shipped, not tuples.  At the `Session` level the per-frame
+        // proof is a channel MAC, with the RSA work paid once per link by
+        // the key-establishment handshake (`ensure_channel`).
         let mut wire = Frame::new();
         let mut assertion = None;
         let mut sign_cost = 0u64;
@@ -1479,16 +1564,39 @@ impl DistributedEngine {
                 .authenticator
                 .clone()
                 .expect("authentication configured");
-            let a = authenticator.assert_frame(&payloads);
+            let a = match authenticator.level() {
+                SaysLevel::Session => {
+                    self.ensure_channel(at, &src, &dst);
+                    let dst_principal = self.nodes[&dst].principal;
+                    let node = self.nodes.get_mut(&src).expect("known location");
+                    let channel = node
+                        .send_channels
+                        .get_mut(&dst_principal)
+                        .expect("ensure_channel opened the link");
+                    self.metrics.hmac_ops += 1;
+                    sign_cost = self.config.cost_model.hmac_us;
+                    authenticator.assert_frame_on(channel, &payloads)
+                }
+                level => {
+                    sign_cost = match level {
+                        SaysLevel::Rsa => {
+                            self.metrics.rsa_sign_ops += 1;
+                            self.config.cost_model.rsa_sign_us
+                        }
+                        SaysLevel::Hmac => {
+                            self.metrics.hmac_ops += 1;
+                            self.config.cost_model.hmac_us
+                        }
+                        SaysLevel::Cleartext => 0,
+                        SaysLevel::Session => unreachable!("handled above"),
+                    };
+                    authenticator.assert_frame(&payloads)
+                }
+            };
             self.metrics.signatures += 1;
             let proof_bytes = a.wire_len();
             self.metrics.auth_bytes += proof_bytes as u64;
             wire.set_frame_overhead(proof_bytes);
-            sign_cost = match authenticator.level() {
-                pasn_crypto::SaysLevel::Rsa => self.config.cost_model.rsa_sign_us,
-                pasn_crypto::SaysLevel::Hmac => self.config.cost_model.hmac_us,
-                pasn_crypto::SaysLevel::Cleartext => 0,
-            };
             assertion = Some(a);
         }
         // Per-tuple payload: the canonical encoding plus the provenance
@@ -1507,17 +1615,21 @@ impl DistributedEngine {
         }
 
         let node_id = self.nodes[&src].node_id;
+        let dst_id = self.nodes[&dst].node_id;
         let send_at = self.cpu.run(node_id, at, SimTime::from_micros(sign_cost));
         self.completion = self.completion.max(send_at);
-        let deliver_at = self.net.send(
+        let mut deliver_at = self.net.send(
             send_at,
             Message {
                 src: node_id,
-                dst: self.nodes[&dst].node_id,
+                dst: dst_id,
                 payload: self.next_seq,
                 wire_bytes: wire.wire_bytes(),
             },
         );
+        if self.config.says_level == Some(SaysLevel::Session) {
+            deliver_at = self.link_deliver(node_id, dst_id, deliver_at);
+        }
         self.metrics.frames += 1;
         self.metrics.batched_tuples += deduped.len() as u64;
         self.push_work(
@@ -1530,6 +1642,129 @@ impl DistributedEngine {
                 is_remote: true,
             }),
         );
+    }
+
+    /// Session-channel deliveries are in-order per directed link (the
+    /// monotonic frame counter requires it, exactly as the real session
+    /// transport the channel stands in for would provide): clamps
+    /// `deliver_at` to the link's previous delivery and advances the
+    /// horizon.  Ties at one timestamp resolve by work-queue seq, which is
+    /// send order.
+    fn link_deliver(&mut self, src: NodeId, dst: NodeId, deliver_at: SimTime) -> SimTime {
+        let horizon = self
+            .link_horizon
+            .entry((src.0, dst.0))
+            .or_insert(SimTime::ZERO);
+        let at = deliver_at.max(*horizon);
+        *horizon = at;
+        at
+    }
+
+    /// Ensures an open (unexpired) sender channel for the directed link
+    /// `src → dst`, performing the RSA-signed key-establishment handshake
+    /// when the link is unbound or its channel has exhausted
+    /// `channel_rebind_frames` frames.  The handshake is real simulated
+    /// traffic: its RSA signature is charged to the sender's CPU — the once
+    /// per link (per epoch) exponentiation the session level amortises RSA
+    /// down to — and the transcript + signature bytes travel as their own
+    /// wire message ahead of the data frames they key.
+    fn ensure_channel(&mut self, at: SimTime, src: &Value, dst: &Value) {
+        let dst_principal = self.nodes[dst].principal;
+        let epoch = match self.nodes[src].send_channels.get(&dst_principal) {
+            Some(channel) if !channel.expired() => return,
+            Some(channel) => channel.epoch() + 1,
+            None => 0,
+        };
+        let authenticator = self.nodes[src]
+            .authenticator
+            .clone()
+            .expect("authentication configured");
+        let (handshake, channel) =
+            authenticator.open_channel(dst_principal, epoch, self.config.channel_rebind_frames);
+        self.metrics.handshakes += 1;
+        self.metrics.rsa_sign_ops += 1;
+        // Sender-side session-key derivation.
+        self.metrics.hmac_ops += 1;
+
+        let node_id = self.nodes[src].node_id;
+        let dst_id = self.nodes[dst].node_id;
+        let send_at = self.cpu.run(
+            node_id,
+            at,
+            SimTime::from_micros(self.config.cost_model.rsa_sign_us),
+        );
+        self.completion = self.completion.max(send_at);
+        let wire = Frame::handshake(handshake.transcript.wire_len(), handshake.signature.len());
+        self.metrics.auth_bytes += wire.payload_bytes() as u64;
+        let deliver_at = self.net.send(
+            send_at,
+            Message {
+                src: node_id,
+                dst: dst_id,
+                payload: self.next_seq,
+                wire_bytes: wire.wire_bytes(),
+            },
+        );
+        let deliver_at = self.link_deliver(node_id, dst_id, deliver_at);
+        self.nodes
+            .get_mut(src)
+            .expect("known location")
+            .send_channels
+            .insert(dst_principal, channel);
+        self.push_work(
+            deliver_at,
+            QueuedWork::Handshake {
+                destination: dst.clone(),
+                handshake,
+            },
+        );
+    }
+
+    /// Receiver side of channel establishment: verifies the RSA-signed
+    /// transcript (the once-per-link public-key exponentiation), derives the
+    /// session key and installs the channel.  A handshake that fails
+    /// validation installs nothing — subsequent frames on the link then
+    /// fail verification for lack of a channel.
+    fn process_handshake(&mut self, at: SimTime, destination: Value, handshake: ChannelHandshake) {
+        if !self.config.verify_imports {
+            // The receiver checks no proofs, so it needs no channel state.
+            return;
+        }
+        let verifier = self.nodes[&destination]
+            .authenticator
+            .clone()
+            .expect("authentication configured");
+        let node_id = self.nodes[&destination].node_id;
+        let done = self.cpu.run(
+            node_id,
+            at,
+            SimTime::from_micros(self.config.cost_model.rsa_verify_us),
+        );
+        self.completion = self.completion.max(done);
+        self.metrics.rsa_verify_ops += 1;
+        // Rebinds must supersede the installed channel's epoch, so a
+        // replayed old handshake can never roll the replay counter back.
+        let accepted = match self.nodes[&destination]
+            .recv_channels
+            .get(&handshake.transcript.src)
+        {
+            Some(current) => verifier.accept_rebind(&handshake, current),
+            None => verifier.accept_channel(&handshake),
+        };
+        match accepted {
+            Ok(channel) => {
+                // Receiver-side session-key derivation.
+                self.metrics.hmac_ops += 1;
+                self.nodes
+                    .get_mut(&destination)
+                    .expect("known location")
+                    .recv_channels
+                    .insert(handshake.transcript.src, channel);
+            }
+            Err(_) => {
+                self.metrics.verification_failures += 1;
+            }
+        }
     }
 
     /// Writes one derivation into the node's graph / pointer / archive
@@ -1840,6 +2075,98 @@ mod tests {
         // Rule s3 fired at b: it needed b's linkD and reachable facts.
         assert!(metrics.derivations > 3);
         assert!(metrics.signatures > 0);
+    }
+
+    /// A 5-node line `n0 → n1 → n2 → n3 → n4`: transitive closure ships
+    /// several frames per directed link, so channel amortisation is visible.
+    fn line5_locations() -> Vec<Value> {
+        (0..5).map(|i| str_val(&format!("n{i}"))).collect()
+    }
+
+    fn insert_line5_links(engine: &mut DistributedEngine) {
+        for i in 0..4 {
+            let (s, d) = (format!("n{i}"), format!("n{}", i + 1));
+            engine.insert_fact(str_val(&s), link(&s, &d)).unwrap();
+        }
+    }
+
+    #[test]
+    fn session_level_amortises_rsa_to_one_handshake_per_link() {
+        let program = parse_program(REACHABLE).unwrap();
+        let run = |config: EngineConfig| {
+            let mut engine = DistributedEngine::new(
+                &program,
+                config.with_cost_model(fast_cost()),
+                &line5_locations(),
+            )
+            .unwrap();
+            insert_line5_links(&mut engine);
+            let metrics = engine.run_to_fixpoint().unwrap();
+            (metrics, engine)
+        };
+        let (rsa, rsa_engine) = run(EngineConfig::sendlog());
+        let (session, session_engine) = run(EngineConfig::sendlog_session());
+
+        // The fixpoint, derivations, orderings and frame stream are the
+        // Rsa level's, bit for bit.
+        assert_eq!(session.derivations, rsa.derivations);
+        assert_eq!(session.tuples_stored, rsa.tuples_stored);
+        assert_eq!(session.frames, rsa.frames);
+        assert_eq!(session.batched_tuples, rsa.batched_tuples);
+        for loc in line5_locations() {
+            let want: Vec<Tuple> = rsa_engine
+                .query_ordered(&loc, "reachable")
+                .into_iter()
+                .map(|(t, _)| t)
+                .collect();
+            let got: Vec<Tuple> = session_engine
+                .query_ordered(&loc, "reachable")
+                .into_iter()
+                .map(|(t, _)| t)
+                .collect();
+            assert_eq!(got, want, "fixpoint ordering at {loc}");
+        }
+
+        // RSA work collapses to one sign (and one verify) per live
+        // directed link; every frame is MAC-authenticated instead.
+        assert_eq!(session.rsa_sign_ops, session.handshakes);
+        assert_eq!(session.rsa_verify_ops, session.handshakes);
+        assert!(session.handshakes > 0);
+        assert!(session.handshakes < session.frames);
+        assert_eq!(rsa.rsa_sign_ops, rsa.frames);
+        assert_eq!(session.signatures, session.frames);
+        assert_eq!(session.verifications, session.frames);
+        assert_eq!(session.verification_failures, 0);
+        assert!(session.hmac_ops >= 2 * session.frames);
+        // Handshakes travel as real messages with honest byte accounting.
+        assert_eq!(session.messages, session.frames + session.handshakes);
+        assert!(session.auth_bytes > 0);
+    }
+
+    #[test]
+    fn session_channels_rebind_on_expiry() {
+        let program = parse_program(REACHABLE).unwrap();
+        let run = |rebind: Option<u64>| {
+            let mut config = EngineConfig::sendlog_session().with_cost_model(fast_cost());
+            if let Some(frames) = rebind {
+                config = config.with_channel_rebind_frames(frames);
+            }
+            let mut engine = DistributedEngine::new(&program, config, &line5_locations()).unwrap();
+            insert_line5_links(&mut engine);
+            engine.run_to_fixpoint().unwrap()
+        };
+        let unlimited = run(None);
+        // A channel good for one frame rebinds before every frame: the
+        // handshake count degenerates to the frame count, i.e. per-frame
+        // RSA again — the cost the default amortises away.
+        let exhausted = run(Some(1));
+        assert_eq!(exhausted.handshakes, exhausted.frames);
+        assert_eq!(exhausted.rsa_sign_ops, exhausted.handshakes);
+        assert!(exhausted.handshakes > unlimited.handshakes);
+        // The fixpoint does not care how often the links rebind.
+        assert_eq!(exhausted.tuples_stored, unlimited.tuples_stored);
+        assert_eq!(exhausted.derivations, unlimited.derivations);
+        assert_eq!(exhausted.verification_failures, 0);
     }
 
     #[test]

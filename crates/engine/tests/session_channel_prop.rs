@@ -1,0 +1,135 @@
+//! Property test: session-keyed channels are a pure crypto substitution.
+//!
+//! A random stream of `link` facts (random edges, random insertion times)
+//! is run through the reachability program under a random batching
+//! configuration twice — once with per-frame RSA signatures
+//! (`SaysLevel::Rsa`) and once over session channels
+//! (`SaysLevel::Session`, including a random rebind horizon) — and both
+//! runs must reach the identical fixpoint: same tuples in the same
+//! insertion order at every node, same derivation counts, and the exact
+//! same frame stream.  Only the crypto operation mix may differ: the
+//! session run performs exactly `handshakes` RSA signs (one per live
+//! directed link per epoch) instead of one per frame.
+
+use pasn_datalog::Value;
+use pasn_engine::{DistributedEngine, EngineConfig, Tuple};
+use pasn_net::{CostModel, SimTime};
+use proptest::prelude::*;
+
+const REACHABLE: &str = "
+    r1 reachable(@S,D) :- link(@S,D).
+    r2 reachable(@S,D) :- link(@S,Z), reachable(@Z,D).
+";
+
+const NODES: [&str; 4] = ["a", "b", "c", "d"];
+
+fn str_val(s: &str) -> Value {
+    Value::Str(s.to_string())
+}
+
+/// Decodes one packed random word into `(src, dst, at_us)` — the offline
+/// proptest shim has no tuple strategies, so each fact travels as one `u64`.
+fn decode_fact(word: u64) -> (usize, usize, u64) {
+    (
+        (word % 4) as usize,
+        ((word >> 8) % 4) as usize,
+        (word >> 16) % 4_000,
+    )
+}
+
+/// Runs the reachability program over the fact stream with one config and
+/// returns (metrics, per-node insertion-ordered reachable sets).
+fn run(
+    facts: &[(usize, usize, u64)],
+    config: EngineConfig,
+) -> (pasn_engine::RunMetrics, Vec<Vec<Tuple>>) {
+    let program = pasn_datalog::parse_program(REACHABLE).unwrap();
+    let locations: Vec<Value> = NODES.iter().map(|n| str_val(n)).collect();
+    let mut engine = DistributedEngine::new(
+        &program,
+        config.with_cost_model(CostModel::zero_cpu()),
+        &locations,
+    )
+    .unwrap();
+    for &(src, dst, at) in facts {
+        if src == dst {
+            continue; // self-loops add nothing
+        }
+        engine
+            .insert_fact_at(
+                str_val(NODES[src]),
+                Tuple::new("link", vec![str_val(NODES[src]), str_val(NODES[dst])]),
+                SimTime::from_micros(at),
+            )
+            .unwrap();
+    }
+    let metrics = engine.run_to_fixpoint().unwrap();
+    let fixpoint = locations
+        .iter()
+        .map(|loc| {
+            engine
+                .query_ordered(loc, "reachable")
+                .into_iter()
+                .map(|(t, _)| t)
+                .collect()
+        })
+        .collect();
+    (metrics, fixpoint)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random topology × random batching knobs × {Rsa, Session}: the same
+    /// fixpoint, derivations and frame stream, with RSA amortised to the
+    /// handshake count.
+    #[test]
+    fn session_channels_match_the_rsa_level_bit_for_bit(
+        words in prop::collection::vec(any::<u64>(), 1..24),
+        knobs in any::<u64>(),
+    ) {
+        let facts: Vec<(usize, usize, u64)> = words.into_iter().map(decode_fact).collect();
+        let window = knobs % 3_000; // 0 = per-tuple frames
+        let max_batch = 1 + ((knobs >> 16) % 5) as usize;
+        let rebind = 1 + (knobs >> 32) % 64;
+        let batching = |config: EngineConfig| {
+            config
+                .with_batch_window_us(window)
+                .with_max_batch_tuples(max_batch)
+        };
+
+        let (rsa, want) = run(&facts, batching(EngineConfig::sendlog()));
+        let (session, got) = run(
+            &facts,
+            batching(EngineConfig::sendlog_session()).with_channel_rebind_frames(rebind),
+        );
+
+        // Identical evaluation: fixpoint (in insertion order), derivation
+        // counts, stored tuples, and the exact same frame stream.
+        prop_assert_eq!(got, want, "fixpoint diverged (window {}, cap {}, rebind {})",
+            window, max_batch, rebind);
+        prop_assert_eq!(session.derivations, rsa.derivations);
+        prop_assert_eq!(session.tuples_stored, rsa.tuples_stored);
+        prop_assert_eq!(session.frames, rsa.frames);
+        prop_assert_eq!(session.batched_tuples, rsa.batched_tuples);
+
+        // Only the crypto mix differs: every frame still carries one proof
+        // and passes one verification, but RSA work equals the handshake
+        // count (one per live directed link per epoch) instead of the frame
+        // count, and frames ride HMACs.
+        prop_assert_eq!(session.signatures, session.frames);
+        prop_assert_eq!(session.verifications, session.frames);
+        prop_assert_eq!(session.verification_failures, 0);
+        prop_assert_eq!(session.rsa_sign_ops, session.handshakes);
+        prop_assert_eq!(session.rsa_verify_ops, session.handshakes);
+        prop_assert_eq!(rsa.rsa_sign_ops, rsa.frames);
+        prop_assert_eq!(rsa.handshakes, 0);
+        prop_assert!(session.handshakes <= session.frames.max(1));
+        if session.frames > 0 {
+            prop_assert!(session.handshakes > 0);
+            prop_assert!(session.hmac_ops >= 2 * session.frames);
+            // Handshake messages ride the same wire, on top of the frames.
+            prop_assert_eq!(session.messages, session.frames + session.handshakes);
+        }
+    }
+}

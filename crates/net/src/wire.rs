@@ -20,6 +20,18 @@ pub fn message_wire_bytes(payload_len: usize) -> usize {
     MESSAGE_HEADER_BYTES + payload_len
 }
 
+/// What a [`Frame`] carries: data tuples, or a channel-setup handshake.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum FrameKind {
+    /// A multi-tuple data shipment.
+    #[default]
+    Data,
+    /// A session-channel key-establishment handshake (transcript plus the
+    /// initiator's signature) — carried so channel setup shows up in the
+    /// bandwidth figures instead of hiding outside the accounting.
+    Handshake,
+}
+
 /// Wire accounting for one multi-tuple shipment frame.
 ///
 /// A frame carries every tuple flushed for one `(source, destination,
@@ -32,17 +44,39 @@ pub fn message_wire_bytes(payload_len: usize) -> usize {
 /// tuple encodings in shipment order — each encoding is self-delimiting, so
 /// no extra framing bytes sit between tuples and a one-tuple frame costs
 /// exactly what a per-tuple message used to.
+///
+/// Session-channel setup messages use the same accounting through
+/// [`Frame::handshake`]: one header plus the transcript and signature bytes,
+/// zero tuples.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct Frame {
+    kind: FrameKind,
     tuple_count: usize,
     tuple_bytes: usize,
     frame_overhead: usize,
 }
 
 impl Frame {
-    /// An empty frame with no frame-level overhead.
+    /// An empty data frame with no frame-level overhead.
     pub fn new() -> Self {
         Frame::default()
+    }
+
+    /// A key-establishment handshake message: one header plus the signed
+    /// transcript, charged honestly (`transcript_bytes + signature_bytes`
+    /// of payload, no tuples).
+    pub fn handshake(transcript_bytes: usize, signature_bytes: usize) -> Self {
+        Frame {
+            kind: FrameKind::Handshake,
+            tuple_count: 0,
+            tuple_bytes: 0,
+            frame_overhead: transcript_bytes + signature_bytes,
+        }
+    }
+
+    /// Whether this frame ships data tuples or a channel handshake.
+    pub fn kind(&self) -> FrameKind {
+        self.kind
     }
 
     /// Charges one tuple's payload bytes (encoding plus annotations).
@@ -124,6 +158,16 @@ mod tests {
         single.set_frame_overhead(64);
         single.push_tuple(30);
         assert_eq!(single.wire_bytes(), message_wire_bytes(30 + 64));
+    }
+
+    #[test]
+    fn handshake_frames_charge_transcript_and_signature() {
+        let hs = Frame::handshake(20, 64);
+        assert_eq!(hs.kind(), FrameKind::Handshake);
+        assert_eq!(hs.tuples(), 0);
+        assert_eq!(hs.payload_bytes(), 84);
+        assert_eq!(hs.wire_bytes(), MESSAGE_HEADER_BYTES + 84);
+        assert_eq!(Frame::new().kind(), FrameKind::Data);
     }
 
     #[test]

@@ -31,6 +31,9 @@ use std::fmt;
 pub enum ChordError {
     /// The ring must contain at least one node.
     EmptyRing,
+    /// The configured `says` level cannot back single-shot hop assertions
+    /// (session proofs only exist on an established frame channel).
+    UnsupportedSaysLevel(SaysLevel),
     /// Key provisioning for the node principals failed.
     KeyProvisioning(String),
     /// The referenced node is not (or no longer) a ring member.
@@ -53,6 +56,11 @@ impl fmt::Display for ChordError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ChordError::EmptyRing => write!(f, "a chord ring needs at least one node"),
+            ChordError::UnsupportedSaysLevel(level) => write!(
+                f,
+                "says level {} cannot back per-hop assertions (use cleartext, hmac or rsa)",
+                level.name()
+            ),
             ChordError::KeyProvisioning(e) => write!(f, "key provisioning failed: {e}"),
             ChordError::UnknownNode(id) => write!(f, "node {id} is not a ring member"),
             ChordError::LookupLoop { key, visited } => {
@@ -77,6 +85,10 @@ pub struct ChordConfig {
     /// Identifier bits (the `m` of Chord).
     pub bits: u32,
     /// Strength of the `says` assertions on lookup hops and stored values.
+    /// Hops assert individual statements, so only the single-shot levels
+    /// apply (`Cleartext` / `Hmac` / `Rsa`); `SaysLevel::Session` proofs
+    /// live on an established frame channel and cannot back per-hop
+    /// assertions.
     pub says_level: SaysLevel,
     /// RSA modulus size used when provisioning node keys.
     pub modulus_bits: usize,
@@ -393,6 +405,12 @@ impl ChordRing {
     pub fn build(config: ChordConfig) -> Result<Self, ChordError> {
         if config.nodes == 0 {
             return Err(ChordError::EmptyRing);
+        }
+        // Hops assert individual statements; channel-bound session proofs
+        // cannot back them, so refuse the level up front instead of
+        // panicking on the first lookup.
+        if config.says_level == SaysLevel::Session {
+            return Err(ChordError::UnsupportedSaysLevel(config.says_level));
         }
         let space = IdSpace::new(config.bits);
         let principals: Vec<Principal> = (0..config.nodes)
@@ -788,6 +806,16 @@ mod tests {
         })
         .unwrap_err();
         assert_eq!(err, ChordError::EmptyRing);
+        // Session-level says is channel-bound and cannot back per-hop
+        // assertions: refused at build time, not a panic mid-lookup.
+        assert_eq!(
+            ChordRing::build(ChordConfig {
+                says_level: SaysLevel::Session,
+                ..ChordConfig::default()
+            })
+            .unwrap_err(),
+            ChordError::UnsupportedSaysLevel(SaysLevel::Session)
+        );
     }
 
     #[test]

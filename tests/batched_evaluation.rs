@@ -231,6 +231,41 @@ fn self_joins_do_not_double_derive_across_batch_siblings() {
     assert_eq!(count_of(&batched), Value::Int(3));
 }
 
+/// The cap is hard: a batch that already holds `max_batch_tuples` rows —
+/// including one sealed at creation under a cap of 1 — never accepts
+/// another, even when several distinct head tuples land on the same
+/// `(src, dst, pred, window)` key.
+#[test]
+fn max_batch_tuples_is_a_hard_per_frame_cap() {
+    // Two distinct head tuples for the same frame key, derived in the same
+    // window from facts inserted at time zero.
+    let mut net = SecureNetwork::builder()
+        .program_text("f1 fwd(@D,X) :- src(@S,X,D).")
+        .unwrap()
+        .locations(vec![str_val("a"), str_val("b")])
+        .config(
+            EngineConfig::sendlog()
+                .with_batching()
+                .with_max_batch_tuples(1)
+                .with_cost_model(CostModel::zero_cpu()),
+        )
+        .fact(
+            str_val("a"),
+            Tuple::new("src", vec![str_val("a"), Value::Int(1), str_val("b")]),
+        )
+        .fact(
+            str_val("a"),
+            Tuple::new("src", vec![str_val("a"), Value::Int(2), str_val("b")]),
+        )
+        .build()
+        .unwrap();
+    let m = net.run().unwrap();
+    assert_eq!(m.batched_tuples, 2);
+    assert_eq!(m.frames, 2, "a cap of 1 must never co-batch two tuples");
+    assert_eq!(m.signatures, 2);
+    assert_eq!(ordered(&net, "b", "fwd"), vec!["fwd(b,1)", "fwd(b,2)"]);
+}
+
 /// A capped batch seals early: later tuples of the same window open a new
 /// frame at the same flush time, so every tuple still ships exactly once.
 #[test]
