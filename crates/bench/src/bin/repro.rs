@@ -13,11 +13,13 @@
 //!
 //! Every run additionally writes `BENCH_engine.json`: fixpoint wall-times,
 //! index hit/probe counters, storage gauges, shipment-frame counters
-//! (`messages`/`signatures`/`frames`/`batched_tuples`/`mean_batch_occupancy`)
-//! and per-mechanism crypto operation counts
-//! (`rsa_sign_ops`/`rsa_verify_ops`/`hmac_ops`/`handshakes`) for the
-//! engine's join, batching and session-channel workloads, giving future
-//! changes a perf trajectory to compare against.
+//! (`messages`/`signatures`/`frames`/`batched_tuples`/`mean_batch_occupancy`),
+//! per-mechanism crypto operation counts
+//! (`rsa_sign_ops`/`rsa_verify_ops`/`hmac_ops`/`handshakes`) and the
+//! network-dynamics counters
+//! (`churn_events`/`retractions`/`rederivations`/`tombstone_frames`) for
+//! the engine's join, batching, session-channel and churn workloads, giving
+//! future changes a perf trajectory to compare against.
 
 use pasn::experiment::{
     render_figure, render_summary, run_sweep, summarize, FigureMetric, SweepConfig,
@@ -117,7 +119,11 @@ fn point_json(name: &str, wall: std::time::Duration, metrics: &RunMetrics) -> St
             "      \"rsa_sign_ops\": {},\n",
             "      \"rsa_verify_ops\": {},\n",
             "      \"hmac_ops\": {},\n",
-            "      \"handshakes\": {}\n",
+            "      \"handshakes\": {},\n",
+            "      \"churn_events\": {},\n",
+            "      \"retractions\": {},\n",
+            "      \"rederivations\": {},\n",
+            "      \"tombstone_frames\": {}\n",
             "    }}"
         ),
         name,
@@ -138,6 +144,10 @@ fn point_json(name: &str, wall: std::time::Duration, metrics: &RunMetrics) -> St
         metrics.rsa_verify_ops,
         metrics.hmac_ops,
         metrics.handshakes,
+        metrics.churn_events,
+        metrics.retractions,
+        metrics.rederivations,
+        metrics.tombstone_frames,
     )
 }
 
@@ -231,6 +241,34 @@ fn engine_bench_json(rows: u32) -> String {
     let metrics = net.run().expect("fixpoint");
     points.push(point_json(
         "session_reachability_30",
+        started.elapsed(),
+        &metrics,
+    ));
+
+    // The session deployment once more, under network dynamics: one
+    // topology link flaps down (provenance-guided deletion withdraws
+    // everything derived through it, shipping signed tombstone frames and
+    // rebinding the link's session channel) and back up (evaluation
+    // re-derives).  The post-churn fixpoint re-converges to
+    // `session_reachability_30`'s `tuples_stored` exactly; `derivations`
+    // exceeds it by the re-derivation work, which the churn counters
+    // itemise.
+    let mut net = pasn_bench::reachability_network(
+        30,
+        EngineConfig::sendlog_session()
+            .with_cost_model(CostModel::zero_cpu())
+            .with_batching(),
+        7,
+    );
+    let flap = net.topology().expect("topology-built deployment").links()[0];
+    let (src, dst) = (Value::Addr(flap.src.0), Value::Addr(flap.dst.0));
+    let script = ChurnScript::new()
+        .link_down(5_000_000, src.clone(), dst.clone())
+        .link_up(10_000_000, src, dst);
+    let started = Instant::now();
+    let metrics = net.run_scenario(&script).expect("post-churn fixpoint");
+    points.push(point_json(
+        "churn_reachability_30",
         started.elapsed(),
         &metrics,
     ));

@@ -82,7 +82,9 @@ pub mod prelude {
     pub use crate::network::{SecureNetwork, SecureNetworkBuilder};
     pub use crate::trust::{TrustDecision, TrustEvaluator, TrustPolicy};
     pub use pasn_datalog::Value;
-    pub use pasn_engine::{EngineConfig, GraphMode, RunMetrics, SystemVariant, Tuple};
+    pub use pasn_engine::{
+        ChurnEvent, ChurnScript, EngineConfig, GraphMode, RunMetrics, SystemVariant, Tuple,
+    };
     pub use pasn_net::{CostModel, NodeId, SimTime, Topology};
     pub use pasn_provenance::{ProvTag, ProvenanceKind};
 }

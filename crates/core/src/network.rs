@@ -3,7 +3,9 @@
 
 use crate::workload::{link_facts, locations_of, weighted_link_facts};
 use pasn_datalog::{parse_program, ParseError, Program, Value};
-use pasn_engine::{DistributedEngine, EngineConfig, EngineError, RunMetrics, Tuple, TupleMeta};
+use pasn_engine::{
+    ChurnScript, DistributedEngine, EngineConfig, EngineError, RunMetrics, Tuple, TupleMeta,
+};
 use pasn_net::{SimTime, Topology};
 use pasn_provenance::{ArchiveStore, DerivationGraph, DistributedStore, VarTable};
 use std::collections::HashMap;
@@ -183,6 +185,16 @@ impl SecureNetwork {
         Ok(self.engine.run_to_fixpoint()?)
     }
 
+    /// Runs a network-dynamics scenario to its post-churn fixpoint: the
+    /// scripted events (link flaps, node failures/rejoins, base-tuple
+    /// churn) are scheduled through the discrete-event simulator, derived
+    /// soft state dies and is withdrawn by provenance-guided incremental
+    /// deletion as its support disappears, and evaluation re-converges.
+    /// Call instead of [`SecureNetwork::run`] on a freshly built deployment.
+    pub fn run_scenario(&mut self, script: &ChurnScript) -> Result<RunMetrics, NetworkError> {
+        Ok(self.engine.run_scenario(script)?)
+    }
+
     /// The underlying engine (advanced use).
     pub fn engine(&self) -> &DistributedEngine {
         &self.engine
@@ -312,6 +324,31 @@ impl SecureNetwork {
     pub fn handshakes(&self) -> u64 {
         self.engine.metrics().handshakes
     }
+
+    /// Scripted churn events processed so far (also reported at fixpoint
+    /// as `RunMetrics::churn_events`).
+    pub fn churn_events(&self) -> u64 {
+        self.engine.metrics().churn_events
+    }
+
+    /// Tuples removed by provenance-guided deletion so far — retraction
+    /// cascades, scheduled TTL expiry, node failures and the well-founded
+    /// sweep (also reported at fixpoint as `RunMetrics::retractions`).
+    pub fn retractions(&self) -> u64 {
+        self.engine.metrics().retractions
+    }
+
+    /// Fresh re-derivations of previously retracted tuples so far (also
+    /// reported at fixpoint as `RunMetrics::rederivations`).
+    pub fn rederivations(&self) -> u64 {
+        self.engine.metrics().rederivations
+    }
+
+    /// Tombstone (retraction) frames shipped between nodes so far (also
+    /// reported at fixpoint as `RunMetrics::tombstone_frames`).
+    pub fn tombstone_frames(&self) -> u64 {
+        self.engine.metrics().tombstone_frames
+    }
 }
 
 #[cfg(test)]
@@ -417,6 +454,43 @@ mod tests {
         assert_eq!(m.batched_tuples, baseline.batched_tuples);
         assert_eq!(m.derivations, baseline.derivations);
         assert_eq!(m.tuples_stored, baseline.tuples_stored);
+    }
+
+    #[test]
+    fn run_scenario_flaps_a_link_and_reconverges() {
+        use pasn_engine::ChurnScript;
+        let build = || {
+            SecureNetwork::builder()
+                .program(programs::reachability_ndlog())
+                .topology(Topology::ring(5))
+                .config(fast(EngineConfig::sendlog_session().with_batching()))
+                .build()
+                .unwrap()
+        };
+        let mut stat = build();
+        let baseline = stat.run().unwrap();
+
+        let script = ChurnScript::new()
+            .link_down(5_000_000, Value::Addr(0), Value::Addr(1))
+            .link_up(10_000_000, Value::Addr(0), Value::Addr(1));
+        let mut churned = build();
+        let metrics = churned.run_scenario(&script).unwrap();
+
+        // The flapped deployment re-converges to the static fixpoint.
+        assert_eq!(metrics.tuples_stored, baseline.tuples_stored);
+        for loc in churned.engine().locations().to_vec() {
+            assert_eq!(churned.query(&loc, "reachable").len(), 5);
+        }
+        // The facade mirrors the dynamics counters.
+        assert_eq!(churned.churn_events(), 2);
+        assert_eq!(metrics.churn_events, churned.churn_events());
+        assert!(churned.retractions() > 0);
+        assert!(churned.rederivations() > 0);
+        assert!(churned.tombstone_frames() > 0);
+        assert_eq!(metrics.retractions, churned.retractions());
+        assert_eq!(metrics.rederivations, churned.rederivations());
+        assert_eq!(metrics.tombstone_frames, churned.tombstone_frames());
+        assert_eq!(metrics.verification_failures, 0);
     }
 
     #[test]

@@ -189,6 +189,31 @@ pub fn frame_payload<T: AsRef<[u8]>>(tuples: &[T]) -> Vec<u8> {
     payload
 }
 
+/// Domain separator prefixed to every tuple encoding of a *tombstone*
+/// (retraction) frame before the frame proof is computed.  Folding the
+/// polarity into the signed bytes means a retraction is authenticated at
+/// every `says` level exactly like an assertion — and a captured data frame
+/// can never be replayed as a deletion of the same tuples (or vice versa),
+/// because the two frames prove different canonical payloads.
+pub const TOMBSTONE_MARKER: &[u8; 4] = b"\0del";
+
+/// The canonical per-tuple payloads of a tombstone frame: each tuple
+/// encoding prefixed with [`TOMBSTONE_MARKER`].  Senders assert (and
+/// receivers verify) tombstone frames over these payloads instead of the
+/// raw encodings.
+pub fn tombstone_payloads<T: AsRef<[u8]>>(tuples: &[T]) -> Vec<Vec<u8>> {
+    tuples
+        .iter()
+        .map(|t| {
+            let t = t.as_ref();
+            let mut v = Vec::with_capacity(TOMBSTONE_MARKER.len() + t.len());
+            v.extend_from_slice(TOMBSTONE_MARKER);
+            v.extend_from_slice(t);
+            v
+        })
+        .collect()
+}
+
 /// A `P says payload` assertion carrying its proof.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SaysAssertion {
@@ -592,6 +617,42 @@ mod tests {
             b.verify(b"bestPath(a,c,[a,b,c],2)", &spoofed),
             Err(SaysError::InvalidProof(PrincipalId(1)))
         );
+    }
+
+    #[test]
+    fn tombstone_payloads_are_domain_separated_at_every_level() {
+        let tuples = [b"link(a,b)".to_vec(), b"reachable(a,c)".to_vec()];
+        let tombstones = tombstone_payloads(&tuples);
+        assert_eq!(tombstones.len(), 2);
+        for (t, d) in tombstones.iter().zip(&tuples) {
+            assert!(t.starts_with(TOMBSTONE_MARKER));
+            assert_eq!(&t[TOMBSTONE_MARKER.len()..], &d[..]);
+        }
+        // A captured data-frame proof never verifies as a tombstone of the
+        // same tuples, and vice versa, wherever the proof has integrity.
+        for level in [SaysLevel::Hmac, SaysLevel::Rsa] {
+            let (a, b) = setup(level);
+            let data_proof = a.assert_frame(&tuples);
+            let tomb_proof = a.assert_frame(&tombstones);
+            assert!(b.verify_frame(&tuples, &data_proof).is_ok());
+            assert!(b.verify_frame(&tombstones, &tomb_proof).is_ok());
+            assert!(b.verify_frame(&tombstones, &data_proof).is_err());
+            assert!(b.verify_frame(&tuples, &tomb_proof).is_err());
+        }
+        // Session channels: the polarity is folded into the MAC'd payload.
+        let (a, b) = setup(SaysLevel::Session);
+        let (handshake, mut tx) = a.open_channel(b.principal(), 0, 16);
+        let mut rx = b.accept_channel(&handshake).unwrap();
+        let proof = a.assert_frame_on(&mut tx, &tombstones);
+        assert_eq!(
+            b.verify_frame_on(&mut rx, &tuples, &proof, SaysLevel::Session),
+            Err(SaysError::InvalidProof(a.principal()))
+        );
+        // The genuine tombstone frame still verifies: the forged attempt
+        // burned nothing (rejected frames do not advance the counter).
+        assert!(b
+            .verify_frame_on(&mut rx, &tombstones, &proof, SaysLevel::Session)
+            .is_ok());
     }
 
     #[test]

@@ -115,6 +115,17 @@ pub struct EngineConfig {
     /// high enough that ordinary runs perform exactly one handshake per
     /// live directed link; lower it to exercise the rebind path.
     pub channel_rebind_frames: u64,
+    /// Arms the network-dynamics machinery: the engine maintains the
+    /// per-node deletion ledger (support counts and the firing log) that
+    /// provenance-guided incremental deletion replays, schedules TTL expiry
+    /// as first-class simulator work (soft state dies *during* evaluation
+    /// instead of waiting for a manual `expire_all`), and enforces per-link
+    /// in-order delivery (retraction streams assume FIFO links, as the
+    /// session-channel transport already does).  Off by default: static
+    /// runs pay no ledger memory and keep their exact schedules.
+    /// `DistributedEngine::run_scenario` arms it automatically on a fresh
+    /// engine.
+    pub dynamics: bool,
 }
 
 impl Default for EngineConfig {
@@ -144,6 +155,7 @@ impl EngineConfig {
             batch_window_us: 0,
             max_batch_tuples: DEFAULT_MAX_BATCH_TUPLES,
             channel_rebind_frames: pasn_crypto::channel::DEFAULT_REBIND_AFTER_FRAMES,
+            dynamics: false,
         }
     }
 
@@ -214,6 +226,13 @@ impl EngineConfig {
     /// it must be rebound with a fresh handshake.
     pub fn with_channel_rebind_frames(mut self, frames: u64) -> Self {
         self.channel_rebind_frames = frames.max(1);
+        self
+    }
+
+    /// Builder: arms the network-dynamics machinery (deletion ledger,
+    /// scheduled TTL expiry, FIFO links) from the first evaluated tuple on.
+    pub fn with_dynamics(mut self) -> Self {
+        self.dynamics = true;
         self
     }
 

@@ -1,0 +1,331 @@
+//! Network dynamics: scripted churn and the provenance-guided deletion
+//! ledger.
+//!
+//! PASN's protocols are meant to run *continuously*: derived tuples are soft
+//! state that dies unless re-derived, links and nodes come and go, and the
+//! system reconciles its derived state against the changing inputs (the same
+//! shape as log-based reconciliation of replicated state).  This module
+//! supplies the two pieces the evaluator needs for that:
+//!
+//! * [`ChurnScript`] / [`ChurnEvent`] — a deterministic, timestamped event
+//!   script (link flaps, node failures and rejoins, scripted base-tuple
+//!   inserts / retracts / refreshes) that
+//!   [`DistributedEngine::run_scenario`](crate::DistributedEngine::run_scenario)
+//!   schedules through the discrete-event simulator as first-class work, so
+//!   churn interleaves with evaluation on the simulated clock;
+//! * [`Ledger`] — the per-node record that makes deletion *provenance
+//!   exact*: one [`SupportEntry`] per stored tuple counting its derivation
+//!   events (base assertions plus rule firings, each with the semiring tag
+//!   it contributed), and one [`FiringRecord`] per rule firing linking the
+//!   antecedent rows (by store insertion seq) to the head tuple it produced.
+//!   Retracting a tuple consumes one support; a tuple whose supports are
+//!   exhausted is removed and its recorded firings are replayed as
+//!   deletions — locally or as signed tombstone frames — so exactly what an
+//!   insertion added is withdrawn, nothing more.
+//!
+//! Support counting alone over-retains under *recursive* rules (two tuples
+//! can keep each other alive through a cycle of firings with no base
+//! support left — the classic counting-algorithm limitation).  The engine
+//! closes that hole with a well-founded reconciliation sweep once a
+//! retraction wave drains: tuples not reachable from base support through
+//! alive firings are garbage-collected (see
+//! `DistributedEngine::well_founded_sweep`).
+
+use crate::tuple::Tuple;
+use pasn_datalog::{PredId, Value};
+use pasn_net::SimTime;
+use pasn_provenance::ProvTag;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One scripted network-dynamics event.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ChurnEvent {
+    /// A directed link comes up: a `link(src, dst)` base tuple (with `cost`
+    /// appended when the deployment uses weighted links) is asserted at
+    /// `src`.
+    LinkUp {
+        /// Link source (also the asserting location).
+        src: Value,
+        /// Link destination.
+        dst: Value,
+        /// Link cost for three-attribute `link` relations; `None` for the
+        /// two-attribute reachability form.
+        cost: Option<i64>,
+    },
+    /// A directed link goes down: every `link(src, dst, ...)` base tuple
+    /// stored at `src` is retracted (cascading through everything derived
+    /// from it) and the link's session channel — if one is bound — is
+    /// evicted on both ends, so a returning link rebinds with a fresh
+    /// epoch.
+    LinkDown {
+        /// Link source.
+        src: Value,
+        /// Link destination.
+        dst: Value,
+    },
+    /// A node crash-stops: every base tuple it asserted is withdrawn (the
+    /// network-visible effect of the node no longer refreshing its
+    /// advertisements), remembered for a later rejoin, and every session
+    /// channel touching the node is evicted.
+    NodeFail {
+        /// The failing location.
+        node: Value,
+    },
+    /// A previously failed node rejoins: the base tuples remembered at its
+    /// failure are re-asserted and evaluation re-derives from them.
+    NodeRejoin {
+        /// The rejoining location.
+        node: Value,
+    },
+    /// Assert an arbitrary base tuple at `location`.
+    Insert {
+        /// Home location of the tuple.
+        location: Value,
+        /// The base tuple to assert.
+        tuple: Tuple,
+    },
+    /// Withdraw one assertion of a base tuple at `location` (a tuple
+    /// asserted more than once loses one support; the last withdrawal
+    /// removes it and cascades).
+    Retract {
+        /// Home location of the tuple.
+        location: Value,
+        /// The base tuple to retract.
+        tuple: Tuple,
+    },
+    /// Refresh the soft-state TTL of a stored tuple at `location` to the
+    /// event time plus the configured default TTL (a no-op for hard state
+    /// or when no default TTL is configured).
+    Refresh {
+        /// Location storing the tuple.
+        location: Value,
+        /// The tuple whose lifetime to extend.
+        tuple: Tuple,
+    },
+}
+
+/// A deterministic, timestamped script of [`ChurnEvent`]s — the dynamics
+/// analogue of a topology: same script, same seed, same run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ChurnScript {
+    events: Vec<(SimTime, ChurnEvent)>,
+}
+
+impl ChurnScript {
+    /// An empty script (running it degenerates to a plain fixpoint run with
+    /// the dynamics machinery armed).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `event` at `at_us` microseconds of simulated time.
+    pub fn at(mut self, at_us: u64, event: ChurnEvent) -> Self {
+        self.events.push((SimTime::from_micros(at_us), event));
+        self
+    }
+
+    /// Convenience: an unweighted link comes up at `at_us`.
+    pub fn link_up(self, at_us: u64, src: Value, dst: Value) -> Self {
+        self.at(
+            at_us,
+            ChurnEvent::LinkUp {
+                src,
+                dst,
+                cost: None,
+            },
+        )
+    }
+
+    /// Convenience: a weighted link comes up at `at_us`.
+    pub fn weighted_link_up(self, at_us: u64, src: Value, dst: Value, cost: i64) -> Self {
+        self.at(
+            at_us,
+            ChurnEvent::LinkUp {
+                src,
+                dst,
+                cost: Some(cost),
+            },
+        )
+    }
+
+    /// Convenience: a link goes down at `at_us`.
+    pub fn link_down(self, at_us: u64, src: Value, dst: Value) -> Self {
+        self.at(at_us, ChurnEvent::LinkDown { src, dst })
+    }
+
+    /// Convenience: a node fails at `at_us`.
+    pub fn node_fail(self, at_us: u64, node: Value) -> Self {
+        self.at(at_us, ChurnEvent::NodeFail { node })
+    }
+
+    /// Convenience: a node rejoins at `at_us`.
+    pub fn node_rejoin(self, at_us: u64, node: Value) -> Self {
+        self.at(at_us, ChurnEvent::NodeRejoin { node })
+    }
+
+    /// The scheduled events, in script order (the engine orders ties at one
+    /// timestamp by script position).
+    pub fn events(&self) -> &[(SimTime, ChurnEvent)] {
+        &self.events
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if no events are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// One contribution to a stored tuple's support: whether it came from a
+/// base assertion, and the semiring tag it merged in.
+pub(crate) type Contribution = (bool, ProvTag);
+
+/// Identity of a firing's head tuple: `(destination, predicate, row)`.
+pub(crate) type HeadKey = (Value, PredId, Arc<[Value]>);
+
+/// A base-asserted row: predicate plus shared values.
+pub(crate) type BaseRow = (PredId, Arc<[Value]>);
+
+/// The support record of one stored tuple (keyed by its store insertion
+/// seq): how many derivation events currently sustain it, how many of those
+/// are base assertions, and the tag each contributed — so a surviving
+/// tuple's tag can be recomputed exactly as the semiring sum of the
+/// remaining contributions.
+pub(crate) struct SupportEntry {
+    /// The tuple's predicate (needed to address the store by seq).
+    pub pred: PredId,
+    /// Alive derivation events (base assertions + rule firings).
+    pub count: u64,
+    /// How many of `count` are base assertions.
+    pub base_count: u64,
+    /// One entry per alive contribution: `(is_base, contributed tag)`.
+    pub tags: Vec<Contribution>,
+    /// Location column of the tuple (for rendering provenance keys on
+    /// deletion).
+    pub location_index: Option<usize>,
+}
+
+/// One recorded rule firing at the deriving node: the antecedent rows (by
+/// local insertion seq) and the head tuple the firing emitted, with the tag
+/// it contributed.  Replaying the record with opposite polarity is the
+/// deletion cascade.
+pub(crate) struct FiringRecord {
+    /// False once any antecedent died (each firing contributes — and is
+    /// withdrawn — exactly once, however many of its antecedents die).
+    pub alive: bool,
+    /// Node the head tuple was routed to.
+    pub dest: Value,
+    /// Head predicate.
+    pub pred: PredId,
+    /// Head row.
+    pub values: Arc<[Value]>,
+    /// Tag the firing contributed to the head (the antecedent-tag product
+    /// at firing time).
+    pub tag: ProvTag,
+    /// Head location column (for rendering provenance keys on deletion).
+    pub location_index: Option<usize>,
+    /// Antecedent rows by local insertion seq.
+    pub antecedents: Vec<u64>,
+}
+
+/// Per-node deletion ledger: supports for stored rows, the firing log, and
+/// the indexes the cascade and the well-founded sweep walk.  Maintained
+/// only when dynamics are enabled — static runs pay nothing.
+#[derive(Default)]
+pub(crate) struct Ledger {
+    /// All recorded firings, in firing order.
+    pub firings: Vec<FiringRecord>,
+    /// Firings by antecedent seq (a seq appears once per occurrence, so a
+    /// self-join lists its firing twice; the `alive` flag dedups the kill).
+    pub by_antecedent: HashMap<u64, Vec<u32>>,
+    /// Firings by head identity, for force-kills (expiry, node failure)
+    /// that must silence upstream contributions without decrementing.
+    pub by_head: HashMap<HeadKey, Vec<u32>>,
+    /// Support entries for every live stored row, by insertion seq.
+    pub supports: HashMap<u64, SupportEntry>,
+    /// Base-asserted rows at this node, by insertion seq (what a node
+    /// failure withdraws and a rejoin restores).
+    pub base_rows: HashMap<u64, BaseRow>,
+    /// Rows ever retracted at this node, for the `rederivations` counter.
+    pub retracted: std::collections::HashSet<BaseRow>,
+}
+
+impl Ledger {
+    /// Records one arriving contribution for the row at `seq`.
+    pub fn record_arrival(
+        &mut self,
+        seq: u64,
+        pred: PredId,
+        is_base: bool,
+        tag: ProvTag,
+        location_index: Option<usize>,
+    ) {
+        let entry = self.supports.entry(seq).or_insert_with(|| SupportEntry {
+            pred,
+            count: 0,
+            base_count: 0,
+            tags: Vec::new(),
+            location_index,
+        });
+        entry.count += 1;
+        if is_base {
+            entry.base_count += 1;
+        }
+        entry.tags.push((is_base, tag));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(s: &str) -> Value {
+        Value::Str(s.to_string())
+    }
+
+    #[test]
+    fn scripts_accumulate_events_in_order() {
+        let script = ChurnScript::new()
+            .link_down(1_000, v("a"), v("b"))
+            .link_up(2_000, v("a"), v("b"))
+            .weighted_link_up(2_500, v("a"), v("c"), 4)
+            .node_fail(3_000, v("c"))
+            .node_rejoin(4_000, v("c"))
+            .at(
+                5_000,
+                ChurnEvent::Insert {
+                    location: v("a"),
+                    tuple: Tuple::new("sensor", vec![Value::Int(1)]),
+                },
+            );
+        assert_eq!(script.len(), 6);
+        assert!(!script.is_empty());
+        assert_eq!(script.events()[0].0, SimTime::from_micros(1_000));
+        assert!(matches!(
+            script.events()[1].1,
+            ChurnEvent::LinkUp { cost: None, .. }
+        ));
+        assert!(matches!(
+            script.events()[2].1,
+            ChurnEvent::LinkUp { cost: Some(4), .. }
+        ));
+        assert!(ChurnScript::new().is_empty());
+    }
+
+    #[test]
+    fn ledger_tracks_supports() {
+        let mut ledger = Ledger::default();
+        let pred = PredId(0);
+        ledger.record_arrival(7, pred, true, ProvTag::None, Some(0));
+        ledger.record_arrival(7, pred, false, ProvTag::None, Some(0));
+        let entry = &ledger.supports[&7];
+        assert_eq!((entry.count, entry.base_count), (2, 1));
+        assert_eq!(entry.tags.len(), 2);
+        assert_eq!(entry.pred, pred);
+    }
+}

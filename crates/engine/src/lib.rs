@@ -17,6 +17,8 @@
 //! * [`config`] — experiment configuration, including the NDLog / SeNDLog /
 //!   SeNDLogProv presets of the paper's evaluation;
 //! * [`metrics`] — completion time, bandwidth, and per-mechanism counters;
+//! * [`dynamics`] — scripted churn ([`dynamics::ChurnScript`]) and the
+//!   deletion ledger behind provenance-guided incremental deletion;
 //! * [`runtime`] — the [`runtime::DistributedEngine`] driving everything to
 //!   the distributed fixpoint.
 //!
@@ -29,6 +31,17 @@
 //! * Aggregates (`a_MIN`, `a_MAX`, `a_COUNT`, `a_SUM`) follow P2's pipelined
 //!   semantics: an improved aggregate value is emitted as a new tuple and
 //!   propagates incrementally.
+//! * Provenance-guided deletion (`EngineConfig::dynamics`, or a
+//!   [`runtime::DistributedEngine::run_scenario`] call) withdraws exactly
+//!   the derivation events an insertion added: each stored tuple counts its
+//!   supports, a retraction consumes one, and an unsupported tuple is
+//!   removed with its recorded firings replayed as deletions (signed
+//!   tombstone frames across nodes).  Cyclic self-support left behind by
+//!   recursive rules is garbage-collected by a well-founded reconciliation
+//!   sweep when a retraction wave drains.  Pipelined `a_MIN`/`a_MAX`
+//!   aggregate *state* is not rolled back on deletion — a churned run may
+//!   keep a stale best until a better value is re-derived (the known
+//!   DRed-style limitation; see `ROADMAP.md`).
 //! * Batched evaluation (`EngineConfig::batch_window_us > 0`) keeps joins
 //!   exactly tuple-at-a-time-visible via per-row insertion seqs, so monotone
 //!   rules derive identically under any batch split; pipelined Min/Max
@@ -41,6 +54,7 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod dynamics;
 pub mod eval;
 pub mod metrics;
 pub mod runtime;
@@ -50,6 +64,7 @@ pub mod tuple;
 pub use config::{
     EngineConfig, GraphMode, SystemVariant, DEFAULT_BATCH_WINDOW_US, DEFAULT_MAX_BATCH_TUPLES,
 };
+pub use dynamics::{ChurnEvent, ChurnScript};
 pub use eval::{eval_expr, eval_filter, Bindings, EvalError};
 pub use metrics::RunMetrics;
 pub use runtime::{DistributedEngine, EngineError};

@@ -79,6 +79,21 @@ pub struct RunMetrics {
     /// directed link, plus one per rebind after
     /// `EngineConfig::channel_rebind_frames` frames.
     pub handshakes: u64,
+    /// Scripted network-dynamics events processed (link flaps, node
+    /// failures/rejoins, scripted base-tuple inserts/retracts/refreshes).
+    pub churn_events: u64,
+    /// Tuples removed by provenance-guided deletion: support exhausted by a
+    /// retraction cascade, killed by scheduled TTL expiry or a node
+    /// failure, or garbage-collected by the well-founded reconciliation
+    /// sweep.
+    pub retractions: u64,
+    /// Fresh insertions of a tuple previously retracted at the same node —
+    /// the re-derivation work churn causes.
+    pub rederivations: u64,
+    /// Retraction shipment frames (tombstones) sent between nodes; each is
+    /// also counted in [`RunMetrics::frames`] and proved once like a data
+    /// frame.
+    pub tombstone_frames: u64,
 }
 
 impl RunMetrics {
@@ -126,7 +141,7 @@ impl fmt::Display for RunMetrics {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "completion {:.3}s, {} msgs, {:.3} MB ({} B auth, {} B provenance), {} derivations, {} tuples, {} sigs / {} verifs, {} frames ({:.2} tuples/frame), crypto: {} rsa sign / {} rsa verify / {} hmac / {} handshakes, joins: {} hits / {} index probes, {} scanned, store {} B (+{} B index)",
+            "completion {:.3}s, {} msgs, {:.3} MB ({} B auth, {} B provenance), {} derivations, {} tuples, {} sigs / {} verifs, {} frames ({:.2} tuples/frame), crypto: {} rsa sign / {} rsa verify / {} hmac / {} handshakes, joins: {} hits / {} index probes, {} scanned, store {} B (+{} B index), churn: {} events / {} retractions / {} rederivations / {} tombstones",
             self.completion_secs(),
             self.messages,
             self.megabytes(),
@@ -147,6 +162,10 @@ impl fmt::Display for RunMetrics {
             self.scan_probes,
             self.store_bytes,
             self.index_bytes,
+            self.churn_events,
+            self.retractions,
+            self.rederivations,
+            self.tombstone_frames,
         )
     }
 }
@@ -189,6 +208,20 @@ mod tests {
         assert!(m
             .to_string()
             .contains("crypto: 3 rsa sign / 5 rsa verify / 40 hmac / 3 handshakes"));
+    }
+
+    #[test]
+    fn churn_counters_are_reported() {
+        let m = RunMetrics {
+            churn_events: 4,
+            retractions: 9,
+            rederivations: 6,
+            tombstone_frames: 2,
+            ..RunMetrics::default()
+        };
+        assert!(m
+            .to_string()
+            .contains("churn: 4 events / 9 retractions / 6 rederivations / 2 tombstones"));
     }
 
     #[test]

@@ -15,12 +15,13 @@
 //! [`GraphMode`] and maintenance policy.
 
 use crate::config::{EngineConfig, GraphMode};
+use crate::dynamics::{BaseRow, ChurnEvent, ChurnScript, FiringRecord, HeadKey, Ledger};
 use crate::eval::{eval_expr, eval_filter, Bindings};
 use crate::metrics::RunMetrics;
 use crate::store::{InsertOutcome, NodeStore, TupleMeta};
 use crate::tuple::{self, Tuple};
 use pasn_crypto::channel::{ChannelHandshake, ReceiverChannel, SenderChannel};
-use pasn_crypto::says::{Authenticator, SaysAssertion, SaysLevel, SaysProof};
+use pasn_crypto::says::{tombstone_payloads, Authenticator, SaysAssertion, SaysLevel, SaysProof};
 use pasn_crypto::{KeyAuthority, Principal, PrincipalId};
 use pasn_datalog::plan::{CompiledProgram, DeltaPlan, PlanStep, RulePlan, SlotTerm};
 use pasn_datalog::{compile_program, AggFunc, PlanError, PredId, Program, Symbols, Term, Value};
@@ -31,7 +32,7 @@ use pasn_provenance::{
     LocalStore, MaintenanceMode, PointerDerivation, ProvTag, ProvenanceKind, VarTable,
 };
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
 use std::fmt;
 use std::sync::Arc;
 use std::time::Instant;
@@ -123,6 +124,17 @@ struct NodeRuntime {
     /// Session-channel cache, receiver side: one established channel per
     /// source principal whose handshake this node accepted.
     recv_channels: HashMap<PrincipalId, ReceiverChannel>,
+    /// Sender-side epoch floor per peer: a channel evicted by churn (link
+    /// down, node failure) forces the next binding of the link to a fresh
+    /// epoch instead of restarting at 0 under a reused key stream.
+    send_epoch_floor: HashMap<PrincipalId, u32>,
+    /// Receiver-side epoch floor per peer: a replayed pre-eviction
+    /// handshake (validly signed forever) must not reinstall a retired
+    /// channel and resurrect its captured frames.
+    recv_epoch_floor: HashMap<PrincipalId, u32>,
+    /// Deletion ledger: supports per stored row and the firing log.
+    /// Populated only while dynamics are enabled.
+    ledger: Ledger,
 }
 
 /// One tuple contributing to an in-flight join branch.  The row is shared
@@ -136,6 +148,9 @@ struct Contrib {
     location: Option<usize>,
     tag: ProvTag,
     origin: Value,
+    /// Store insertion seq of the contributing row — the identity the
+    /// deletion ledger records firings under.
+    seq: u64,
 }
 
 impl Contrib {
@@ -170,6 +185,17 @@ struct BatchRow {
     location_index: Option<usize>,
 }
 
+/// Whether a batch/frame asserts its rows or withdraws them.  Retraction
+/// batches are processed through the deletion ledger instead of the
+/// insert-and-fire path, and retraction frames are signed over
+/// polarity-marked payloads so a data frame can never be replayed as a
+/// deletion (see `pasn_crypto::says::tombstone_payloads`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+enum Polarity {
+    Assert,
+    Retract,
+}
+
 /// A unit of work at a destination node: a batch of delta tuples of one
 /// predicate (base insertions, local derivations, or a delivered shipment
 /// frame).  With `batch_window = 0` every batch holds exactly one tuple,
@@ -183,16 +209,19 @@ struct DeltaBatch {
     /// authenticated runs only).
     assertion: Option<SaysAssertion>,
     is_remote: bool,
+    polarity: Polarity,
 }
 
 /// A pending shipment frame accumulating head tuples at the sender until
-/// its flush time: one `(source, destination, predicate, due)` frame is
-/// deduplicated, signed once and charged one message header when sealed.
+/// its flush time: one `(source, destination, predicate, due, polarity)`
+/// frame is deduplicated (assertions only), signed once and charged one
+/// message header when sealed.
 struct ShipFrame {
     src: Value,
     dst: Value,
     pred: PredId,
     rows: Vec<BatchRow>,
+    polarity: Polarity,
 }
 
 /// What the simulated-time work queue holds.
@@ -208,6 +237,23 @@ enum QueuedWork {
         destination: Value,
         handshake: ChannelHandshake,
     },
+    /// Apply one scripted network-dynamics event (dynamics runs only).
+    Churn(ChurnEvent),
+    /// Graceful session-channel teardown for a churned link: executes once
+    /// the link's in-flight frames have drained (re-scheduling itself while
+    /// the delivery horizon keeps advancing), and only if the channel still
+    /// carries the epoch captured at teardown time — a link that already
+    /// rebound keeps its fresh channel.
+    Evict {
+        src: Value,
+        dst: Value,
+        send_epoch: Option<u32>,
+        recv_epoch: Option<u32>,
+    },
+    /// Sweep a node's store for rows whose TTL has passed and cascade the
+    /// deletions through the ledger (dynamics runs only; scheduled at each
+    /// distinct expiry instant).
+    Expire { node: Value },
 }
 
 /// Identity of an open (still appendable) batch: local delta batches are
@@ -220,12 +266,14 @@ enum BatchKey {
         destination: Value,
         pred: PredId,
         due: u64,
+        polarity: Polarity,
     },
     Ship {
         src: Value,
         dst: Value,
         pred: PredId,
         due: u64,
+        polarity: Polarity,
     },
 }
 
@@ -253,20 +301,42 @@ pub struct DistributedEngine {
     var_table: VarTable,
     net: NetworkSim<u64>,
     cpu: CpuSchedule,
-    queue: BinaryHeap<Reverse<(SimTime, u64)>>,
+    /// Work ordered by `(time, polarity rank, seq)`: at one instant,
+    /// retraction batches/frames run after every assertion.  Together with
+    /// per-link in-order delivery this makes "a tombstone never precedes
+    /// the assertion it withdraws" a hard invariant, so a tombstone whose
+    /// row is absent always means the row was force-killed already (expiry,
+    /// node failure, sweep) and is safely dropped.
+    queue: BinaryHeap<Reverse<(SimTime, u8, u64)>>,
     items: HashMap<u64, QueuedWork>,
     /// Open (still appendable) batches by key → queue seq; only populated
     /// while `batch_window_us > 0`.
     pending: HashMap<BatchKey, u64>,
-    /// Latest delivery time per directed link (`SaysLevel::Session` only):
-    /// a session channel's monotonic frame counter requires in-order
-    /// delivery per link — as the real session transport it stands in for
-    /// would provide — so each link's deliveries never overtake each other.
+    /// Latest delivery time per directed link (`SaysLevel::Session` and
+    /// dynamics runs): a session channel's monotonic frame counter requires
+    /// in-order delivery per link — as the real session transport it stands
+    /// in for would provide — and retraction streams likewise assume FIFO
+    /// links (a tombstone must never overtake the assertion it withdraws).
     link_horizon: HashMap<(u32, u32), SimTime>,
     next_seq: u64,
     metrics: RunMetrics,
     completion: SimTime,
     base_counter: u64,
+    /// True once dynamics are armed (via `EngineConfig::with_dynamics` or
+    /// `run_scenario` on a fresh engine): the deletion ledger records every
+    /// support and firing, TTL expiry is scheduled as simulator work, and
+    /// links deliver in order.
+    dynamics: bool,
+    /// True once evaluation has processed any work — dynamics can no longer
+    /// be armed retroactively (the ledger would be missing history).
+    started: bool,
+    /// Distinct `(node, instant)` expiry sweeps already scheduled.
+    scheduled_expiries: HashSet<(Value, u64)>,
+    /// Base tuples withdrawn by `ChurnEvent::NodeFail`, kept for rejoin.
+    failed_nodes: HashMap<Value, Vec<BaseRow>>,
+    /// Set when any row was removed; cleared by the well-founded sweep that
+    /// runs when the queue drains (recursive self-support cleanup).
+    needs_sweep: bool,
 }
 
 impl DistributedEngine {
@@ -346,10 +416,14 @@ impl DistributedEngine {
                     authenticator: authenticators.get(loc).cloned(),
                     send_channels: HashMap::new(),
                     recv_channels: HashMap::new(),
+                    send_epoch_floor: HashMap::new(),
+                    recv_epoch_floor: HashMap::new(),
+                    ledger: Ledger::default(),
                 },
             );
         }
 
+        let dynamics = config.dynamics;
         let mut engine = DistributedEngine {
             config,
             compiled: Arc::new(compiled),
@@ -367,6 +441,11 @@ impl DistributedEngine {
             metrics: RunMetrics::default(),
             completion: SimTime::ZERO,
             base_counter: 0,
+            dynamics,
+            started: false,
+            scheduled_expiries: HashSet::new(),
+            failed_nodes: HashMap::new(),
+            needs_sweep: false,
         };
 
         // Program facts: inserted at their home node at time zero.
@@ -478,7 +557,34 @@ impl DistributedEngine {
             is_base: true,
             location_index,
         };
-        self.enqueue_local(at, location, pred, row);
+        self.enqueue_local(at, location, pred, row, Polarity::Assert);
+        Ok(())
+    }
+
+    /// Schedules the withdrawal of one assertion of a base fact at `at`
+    /// (simulated time).  Requires dynamics: the retraction is applied
+    /// through the deletion ledger and cascades through everything the
+    /// fact's derivations supported.
+    pub fn retract_fact_at(
+        &mut self,
+        location: Value,
+        tuple: Tuple,
+        at: SimTime,
+    ) -> Result<(), EngineError> {
+        if !self.nodes.contains_key(&location) {
+            return Err(EngineError::UnknownLocation(location));
+        }
+        if !self.dynamics {
+            return Err(EngineError::Eval(
+                "retractions need the dynamics machinery: build with \
+                 EngineConfig::with_dynamics() or use run_scenario"
+                    .to_string(),
+            ));
+        }
+        self.push_work(
+            at,
+            QueuedWork::Churn(ChurnEvent::Retract { location, tuple }),
+        );
         Ok(())
     }
 
@@ -487,11 +593,26 @@ impl DistributedEngine {
         self.symbols.name(pred).expect("interned predicate")
     }
 
+    /// Same-instant ordering rank: retraction work runs after assertion
+    /// work so a tombstone is never applied before the assertion it
+    /// withdraws (see the `queue` field docs), and channel evictions run
+    /// last of all so a frame delivered at exactly the teardown horizon is
+    /// still verified against the channel it was MAC'd under.
+    fn work_rank(work: &QueuedWork) -> u8 {
+        match work {
+            QueuedWork::Deliver(batch) if batch.polarity == Polarity::Retract => 1,
+            QueuedWork::Ship(frame) if frame.polarity == Polarity::Retract => 1,
+            QueuedWork::Evict { .. } => 2,
+            _ => 0,
+        }
+    }
+
     fn push_work(&mut self, at: SimTime, work: QueuedWork) -> u64 {
         let seq = self.next_seq;
         self.next_seq += 1;
+        let rank = Self::work_rank(&work);
         self.items.insert(seq, work);
-        self.queue.push(Reverse((at, seq)));
+        self.queue.push(Reverse((at, rank, seq)));
         seq
     }
 
@@ -540,9 +661,16 @@ impl DistributedEngine {
 
     /// Routes a tuple to its destination node's delta queue: immediately
     /// (`batch_window = 0`, one batch per tuple as before) or appended to
-    /// the open `(node, predicate, due)` batch, creating and scheduling it
-    /// at the window boundary if absent.
-    fn enqueue_local(&mut self, at: SimTime, destination: Value, pred: PredId, row: BatchRow) {
+    /// the open `(node, predicate, due, polarity)` batch, creating and
+    /// scheduling it at the window boundary if absent.
+    fn enqueue_local(
+        &mut self,
+        at: SimTime,
+        destination: Value,
+        pred: PredId,
+        row: BatchRow,
+        polarity: Polarity,
+    ) {
         let window = self.config.batch_window_us;
         if window == 0 {
             self.push_work(
@@ -553,6 +681,7 @@ impl DistributedEngine {
                     rows: vec![row],
                     assertion: None,
                     is_remote: false,
+                    polarity,
                 }),
             );
             return;
@@ -562,6 +691,7 @@ impl DistributedEngine {
             destination: destination.clone(),
             pred,
             due,
+            polarity,
         };
         self.buffer_batch(
             due,
@@ -578,6 +708,7 @@ impl DistributedEngine {
                     rows,
                     assertion: None,
                     is_remote: false,
+                    polarity,
                 })
             },
         );
@@ -585,8 +716,16 @@ impl DistributedEngine {
 
     /// Routes a head tuple bound for another node: sealed and shipped
     /// immediately (`batch_window = 0`) or appended to the open
-    /// `(source, destination, predicate, due)` shipment frame.
-    fn buffer_ship(&mut self, at: SimTime, src: &Value, dst: &Value, pred: PredId, row: BatchRow) {
+    /// `(source, destination, predicate, due, polarity)` shipment frame.
+    fn buffer_ship(
+        &mut self,
+        at: SimTime,
+        src: &Value,
+        dst: &Value,
+        pred: PredId,
+        row: BatchRow,
+        polarity: Polarity,
+    ) {
         let window = self.config.batch_window_us;
         if window == 0 {
             self.seal_and_ship(
@@ -596,6 +735,7 @@ impl DistributedEngine {
                     dst: dst.clone(),
                     pred,
                     rows: vec![row],
+                    polarity,
                 },
             );
             return;
@@ -606,6 +746,7 @@ impl DistributedEngine {
             dst: dst.clone(),
             pred,
             due,
+            polarity,
         };
         let (src, dst) = (src.clone(), dst.clone());
         self.buffer_batch(
@@ -622,6 +763,7 @@ impl DistributedEngine {
                     dst,
                     pred,
                     rows,
+                    polarity,
                 })
             },
         );
@@ -636,41 +778,67 @@ impl DistributedEngine {
     }
 
     /// Runs until no work items remain (the distributed fixpoint) and returns
-    /// the run metrics.
+    /// the run metrics.  On dynamics runs, a retraction wave that drains the
+    /// queue is followed by the well-founded reconciliation sweep (recursive
+    /// self-support cleanup); the fixpoint is reached when both the queue
+    /// and the sweep are quiescent.
     pub fn run_to_fixpoint(&mut self) -> Result<RunMetrics, EngineError> {
         let started = Instant::now();
-        while let Some(Reverse((at, seq))) = self.queue.pop() {
-            match self.items.remove(&seq).expect("queued item exists") {
-                QueuedWork::Deliver(batch) => {
-                    if !batch.is_remote && self.config.batch_window_us > 0 {
+        self.started = true;
+        let mut last_at = SimTime::ZERO;
+        loop {
+            while let Some(Reverse((at, _rank, seq))) = self.queue.pop() {
+                last_at = last_at.max(at);
+                match self.items.remove(&seq).expect("queued item exists") {
+                    QueuedWork::Deliver(batch) => {
+                        if !batch.is_remote && self.config.batch_window_us > 0 {
+                            self.close_pending(
+                                BatchKey::Local {
+                                    destination: batch.destination.clone(),
+                                    pred: batch.pred,
+                                    due: at.as_micros(),
+                                    polarity: batch.polarity,
+                                },
+                                seq,
+                            );
+                        }
+                        self.process_batch(at, batch)?;
+                    }
+                    QueuedWork::Ship(frame) => {
                         self.close_pending(
-                            BatchKey::Local {
-                                destination: batch.destination.clone(),
-                                pred: batch.pred,
+                            BatchKey::Ship {
+                                src: frame.src.clone(),
+                                dst: frame.dst.clone(),
+                                pred: frame.pred,
                                 due: at.as_micros(),
+                                polarity: frame.polarity,
                             },
                             seq,
                         );
+                        self.seal_and_ship(at, frame);
                     }
-                    self.process_batch(at, batch)?;
+                    QueuedWork::Handshake {
+                        destination,
+                        handshake,
+                    } => self.process_handshake(at, destination, handshake),
+                    QueuedWork::Churn(event) => self.process_churn(at, event)?,
+                    QueuedWork::Evict {
+                        src,
+                        dst,
+                        send_epoch,
+                        recv_epoch,
+                    } => self.process_eviction(at, src, dst, send_epoch, recv_epoch),
+                    QueuedWork::Expire { node } => self.process_expiry(at, node),
                 }
-                QueuedWork::Ship(frame) => {
-                    self.close_pending(
-                        BatchKey::Ship {
-                            src: frame.src.clone(),
-                            dst: frame.dst.clone(),
-                            pred: frame.pred,
-                            due: at.as_micros(),
-                        },
-                        seq,
-                    );
-                    self.seal_and_ship(at, frame);
-                }
-                QueuedWork::Handshake {
-                    destination,
-                    handshake,
-                } => self.process_handshake(at, destination, handshake),
             }
+            if self.dynamics && self.needs_sweep {
+                self.needs_sweep = false;
+                self.well_founded_sweep(last_at);
+                if !self.queue.is_empty() {
+                    continue;
+                }
+            }
+            break;
         }
         self.metrics.wall_clock = started.elapsed();
         self.metrics.completion = self.completion;
@@ -684,6 +852,33 @@ impl DistributedEngine {
         self.metrics.store_bytes = self.store_bytes();
         self.metrics.index_bytes = self.index_bytes();
         Ok(self.metrics.clone())
+    }
+
+    /// Runs a churn scenario to its post-churn fixpoint: arms the dynamics
+    /// machinery (deletion ledger, scheduled TTL expiry, FIFO links),
+    /// schedules every scripted event through the discrete-event simulator
+    /// as first-class work, and drives evaluation until queue and
+    /// reconciliation sweep are both quiescent.
+    ///
+    /// Must be called before any evaluation has run (or on an engine built
+    /// with [`EngineConfig::with_dynamics`]): the ledger has to observe
+    /// every derivation event from time zero for deletion to be
+    /// provenance-exact.
+    pub fn run_scenario(&mut self, script: &ChurnScript) -> Result<RunMetrics, EngineError> {
+        if !self.dynamics {
+            if self.started {
+                return Err(EngineError::Eval(
+                    "dynamics must be armed before the first evaluation: build with \
+                     EngineConfig::with_dynamics() or call run_scenario on a fresh engine"
+                        .to_string(),
+                ));
+            }
+            self.dynamics = true;
+        }
+        for (at, event) in script.events() {
+            self.push_work(*at, QueuedWork::Churn(event.clone()));
+        }
+        self.run_to_fixpoint()
     }
 
     /// Bytes of tuple data currently stored across all nodes (rows charged
@@ -849,6 +1044,7 @@ impl DistributedEngine {
             rows,
             assertion,
             is_remote,
+            polarity,
         } = batch;
         if !self.nodes.contains_key(&destination) {
             return Err(EngineError::UnknownLocation(destination));
@@ -875,10 +1071,17 @@ impl DistributedEngine {
                     .authenticator
                     .clone()
                     .expect("authentication configured");
-                let payloads: Vec<Vec<u8>> = rows
+                let raw: Vec<Vec<u8>> = rows
                     .iter()
                     .map(|row| tuple::encode_parts(&pred_name, &row.values))
                     .collect();
+                // Tombstone frames are proved over polarity-marked payloads,
+                // so a data frame can never pass as a deletion of the same
+                // tuples (and vice versa).
+                let payloads = match polarity {
+                    Polarity::Assert => raw,
+                    Polarity::Retract => tombstone_payloads(&raw),
+                };
                 let ok = if let SaysProof::Session(_) = &assertion.proof {
                     // Channel MAC: check against the per-link replay state
                     // installed by the handshake.  No channel (dropped or
@@ -934,6 +1137,25 @@ impl DistributedEngine {
         let node_id = self.nodes[&destination].node_id;
         let done = self.cpu.run(node_id, at, SimTime::from_micros(cpu_cost));
         self.completion = self.completion.max(done);
+
+        // Retraction batches settle against the deletion ledger instead of
+        // the insert-and-fire path: each row withdraws one recorded
+        // contribution, and a tuple whose supports are exhausted is removed
+        // and cascades.
+        if polarity == Polarity::Retract {
+            for row in rows {
+                self.retract_row(
+                    &destination,
+                    pred,
+                    &row.values,
+                    Some(&row.tag),
+                    false,
+                    "retracted",
+                    done,
+                );
+            }
+            return Ok(());
+        }
 
         // 2. Tags and metadata for every row, then one batch insert that
         // dedups against the row→seq map before any further provenance
@@ -991,6 +1213,38 @@ impl DistributedEngine {
             node.store
                 .insert_rows(pred, insert_rows, |a, b| a.plus(b, var_table))
         };
+
+        // Deletion ledger: every arriving row is one support of the live
+        // row now holding its values — new, duplicate or tag-merged alike —
+        // carrying the tag it contributed so deletion can withdraw exactly
+        // it.  Soft-state rows get their expiry scheduled as simulator work.
+        if self.dynamics {
+            let node = self.nodes.get_mut(&destination).expect("known location");
+            for ((row, tag), (outcome, seq)) in rows.iter().zip(&tags).zip(&outcomes) {
+                node.ledger.record_arrival(
+                    *seq,
+                    pred,
+                    row.is_base,
+                    tag.clone(),
+                    row.location_index,
+                );
+                if row.is_base {
+                    node.ledger
+                        .base_rows
+                        .insert(*seq, (pred, row.values.clone()));
+                }
+                if *outcome == InsertOutcome::New
+                    && node.ledger.retracted.contains(&(pred, row.values.clone()))
+                {
+                    self.metrics.rederivations += 1;
+                }
+            }
+            if let Some(expiry) = expires_at {
+                if rows.iter().any(|row| !row.is_base) {
+                    self.schedule_expiry(destination.clone(), expiry);
+                }
+            }
+        }
 
         // 3. Per-row provenance bookkeeping for base facts and shipped
         // graphs (unchanged per-tuple semantics).  The rendered tuple key is
@@ -1161,6 +1415,7 @@ impl DistributedEngine {
                     location: delta_plan.delta.location,
                     tag: delta.tag.clone(),
                     origin: delta.origin.clone(),
+                    seq: delta.seq,
                 }],
                 delta.seq,
             ));
@@ -1261,6 +1516,7 @@ impl DistributedEngine {
                                     location: join.atom.location,
                                     tag: meta.tag.clone(),
                                     origin: meta.origin.clone(),
+                                    seq: *stored_seq,
                                 });
                                 next.push((candidate, contribs, *delta_seq));
                             }
@@ -1419,6 +1675,37 @@ impl DistributedEngine {
 
         let principal = self.nodes[local].principal;
 
+        // Deletion ledger: record the firing — the head it produced, the
+        // tag it contributed, and the antecedent rows by seq — so deletion
+        // can replay it with opposite polarity.  Aggregate heads are
+        // recorded too (their emitted rows are withdrawn symmetrically),
+        // but `agg_state` itself is not rolled back; see the crate docs.
+        if self.dynamics {
+            let node = self.nodes.get_mut(local).expect("known location");
+            let idx = node.ledger.firings.len() as u32;
+            node.ledger.firings.push(FiringRecord {
+                alive: true,
+                dest: destination.clone(),
+                pred: head_pred,
+                values: head_values.clone(),
+                tag: tag.clone(),
+                location_index: rule.head.location,
+                antecedents: contribs.iter().map(|c| c.seq).collect(),
+            });
+            for c in contribs {
+                node.ledger
+                    .by_antecedent
+                    .entry(c.seq)
+                    .or_default()
+                    .push(idx);
+            }
+            node.ledger
+                .by_head
+                .entry((destination.clone(), head_pred, head_values.clone()))
+                .or_default()
+                .push(idx);
+        }
+
         // Provenance graphs (sampled; deferred in reactive mode).  The
         // rendered display keys are derived from the shared rows here, only
         // when something will actually be recorded.
@@ -1472,7 +1759,7 @@ impl DistributedEngine {
                 is_base: false,
                 location_index: rule.head.location,
             };
-            self.enqueue_local(now, destination, head_pred, row);
+            self.enqueue_local(now, destination, head_pred, row, Polarity::Assert);
             return Ok(());
         }
 
@@ -1501,7 +1788,7 @@ impl DistributedEngine {
             is_base: false,
             location_index: rule.head.location,
         };
-        self.buffer_ship(now, local, &destination, head_pred, row);
+        self.buffer_ship(now, local, &destination, head_pred, row, Polarity::Assert);
         Ok(())
     }
 
@@ -1515,48 +1802,67 @@ impl DistributedEngine {
             dst,
             pred,
             mut rows,
+            polarity,
         } = frame;
 
         // Dedup identical rows before signing: a duplicate would be signed
         // and shipped only to be absorbed by the receiver's row→seq dedup
         // map.  Tags merge with the semiring `+` and piggybacked graphs
-        // merge structurally, so no provenance is lost.
-        let mut seen: HashMap<Arc<[Value]>, usize> = HashMap::with_capacity(rows.len());
-        let mut deduped: Vec<BatchRow> = Vec::with_capacity(rows.len());
-        for row in rows.drain(..) {
-            match seen.get(&row.values) {
-                Some(&at) => {
-                    let existing = &mut deduped[at];
-                    existing.tag = existing.tag.plus(&row.tag, &mut self.var_table);
-                    match (&mut existing.shipped_graph, row.shipped_graph) {
-                        (Some(g), Some(h)) => g.merge(&h),
-                        (slot @ None, h @ Some(_)) => *slot = h,
-                        _ => {}
+        // merge structurally, so no provenance is lost.  Retraction frames
+        // are NOT deduplicated — two identical tombstones withdraw two
+        // distinct supports — and neither are dynamics-run data frames: the
+        // deletion ledger counts one support per arriving contribution, so
+        // merging two firings' rows into one would leave a tombstone
+        // unmatched later (deletion would over-withdraw).
+        let deduped: Vec<BatchRow> = if polarity == Polarity::Retract || self.dynamics {
+            rows
+        } else {
+            let mut seen: HashMap<Arc<[Value]>, usize> = HashMap::with_capacity(rows.len());
+            let mut deduped: Vec<BatchRow> = Vec::with_capacity(rows.len());
+            for row in rows.drain(..) {
+                match seen.get(&row.values) {
+                    Some(&at) => {
+                        let existing = &mut deduped[at];
+                        existing.tag = existing.tag.plus(&row.tag, &mut self.var_table);
+                        match (&mut existing.shipped_graph, row.shipped_graph) {
+                            (Some(g), Some(h)) => g.merge(&h),
+                            (slot @ None, h @ Some(_)) => *slot = h,
+                            _ => {}
+                        }
+                    }
+                    None => {
+                        seen.insert(row.values.clone(), deduped.len());
+                        deduped.push(row);
                     }
                 }
-                None => {
-                    seen.insert(row.values.clone(), deduped.len());
-                    deduped.push(row);
-                }
             }
-        }
-        drop(seen);
+            deduped
+        };
 
         let pred_name: Arc<str> = self
             .symbols
             .name_arc(pred)
             .cloned()
             .expect("interned predicate");
-        let payloads: Vec<Vec<u8>> = deduped
+        let raw: Vec<Vec<u8>> = deduped
             .iter()
             .map(|row| tuple::encode_parts(&pred_name, &row.values))
             .collect();
+        // Tombstones are proved over polarity-marked payloads (see
+        // `pasn_crypto::says::tombstone_payloads`).
+        let payloads = match polarity {
+            Polarity::Assert => raw,
+            Polarity::Retract => tombstone_payloads(&raw),
+        };
 
         // One signature covers the whole frame; `signatures` scales with
         // frames shipped, not tuples.  At the `Session` level the per-frame
         // proof is a channel MAC, with the RSA work paid once per link by
         // the key-establishment handshake (`ensure_channel`).
-        let mut wire = Frame::new();
+        let mut wire = match polarity {
+            Polarity::Assert => Frame::new(),
+            Polarity::Retract => Frame::tombstone(),
+        };
         let mut assertion = None;
         let mut sign_cost = 0u64;
         if self.config.authenticated() {
@@ -1627,11 +1933,14 @@ impl DistributedEngine {
                 wire_bytes: wire.wire_bytes(),
             },
         );
-        if self.config.says_level == Some(SaysLevel::Session) {
+        if self.config.says_level == Some(SaysLevel::Session) || self.dynamics {
             deliver_at = self.link_deliver(node_id, dst_id, deliver_at);
         }
         self.metrics.frames += 1;
         self.metrics.batched_tuples += deduped.len() as u64;
+        if polarity == Polarity::Retract {
+            self.metrics.tombstone_frames += 1;
+        }
         self.push_work(
             deliver_at,
             QueuedWork::Deliver(DeltaBatch {
@@ -1640,6 +1949,7 @@ impl DistributedEngine {
                 rows: deduped,
                 assertion,
                 is_remote: true,
+                polarity,
             }),
         );
     }
@@ -1673,7 +1983,14 @@ impl DistributedEngine {
         let epoch = match self.nodes[src].send_channels.get(&dst_principal) {
             Some(channel) if !channel.expired() => return,
             Some(channel) => channel.epoch() + 1,
-            None => 0,
+            // A link (re)binding after a churn eviction starts at the
+            // retired channel's successor epoch, never back at a key
+            // stream that already ran.
+            None => self.nodes[src]
+                .send_epoch_floor
+                .get(&dst_principal)
+                .copied()
+                .unwrap_or(0),
         };
         let authenticator = self.nodes[src]
             .authenticator
@@ -1742,6 +2059,18 @@ impl DistributedEngine {
         );
         self.completion = self.completion.max(done);
         self.metrics.rsa_verify_ops += 1;
+        // A handshake below the receiver's epoch floor is a replay of a
+        // channel churn already retired (the live-channel case is handled
+        // by accept_rebind below): reject before any state is installed.
+        let floor = self.nodes[&destination]
+            .recv_epoch_floor
+            .get(&handshake.transcript.src)
+            .copied()
+            .unwrap_or(0);
+        if handshake.transcript.epoch < floor {
+            self.metrics.verification_failures += 1;
+            return;
+        }
         // Rebinds must supersede the installed channel's epoch, so a
         // replayed old handshake can never roll the replay counter back.
         let accepted = match self.nodes[&destination]
@@ -1764,6 +2093,596 @@ impl DistributedEngine {
             Err(_) => {
                 self.metrics.verification_failures += 1;
             }
+        }
+    }
+
+    // ---- network dynamics and provenance-guided deletion -----------------
+
+    /// Schedules one TTL expiry sweep of `node` at `at` (deduplicated per
+    /// distinct instant, so a thousand tuples expiring together cost one
+    /// queue entry).
+    fn schedule_expiry(&mut self, node: Value, at: SimTime) {
+        if self
+            .scheduled_expiries
+            .insert((node.clone(), at.as_micros()))
+        {
+            self.push_work(at, QueuedWork::Expire { node });
+        }
+    }
+
+    /// Scheduled TTL expiry: every row at `loc` whose lifetime has passed
+    /// dies *now*, mid-run — removed from the store and cascaded through
+    /// the deletion ledger exactly like a retraction (rows whose TTL was
+    /// refreshed since scheduling are naturally skipped).
+    fn process_expiry(&mut self, at: SimTime, loc: Value) {
+        self.scheduled_expiries
+            .remove(&(loc.clone(), at.as_micros()));
+        let expired = {
+            let node = self.nodes.get_mut(&loc).expect("known location");
+            node.store.take_expired(at)
+        };
+        if expired.is_empty() {
+            return;
+        }
+        let cost = expired.len() as u64 * self.config.cost_model.tuple_process_us;
+        let node_id = self.nodes[&loc].node_id;
+        let done = self.cpu.run(node_id, at, SimTime::from_micros(cost));
+        self.completion = self.completion.max(done);
+        for (pred, seq, values, meta) in expired {
+            // Expiry wipes the row outright (force): upstream contributions
+            // die with it rather than decrementing one by one.
+            self.settle_removed(
+                &loc,
+                pred,
+                seq,
+                values,
+                meta.created_at,
+                "expired",
+                done,
+                true,
+                None,
+            );
+        }
+    }
+
+    /// Applies one scripted churn event at its scheduled time.
+    fn process_churn(&mut self, at: SimTime, event: ChurnEvent) -> Result<(), EngineError> {
+        self.metrics.churn_events += 1;
+        match event {
+            ChurnEvent::Insert { location, tuple } => {
+                self.insert_fact_at(location, tuple, at)?;
+            }
+            ChurnEvent::LinkUp { src, dst, cost } => {
+                let mut values = vec![src.clone(), dst];
+                if let Some(c) = cost {
+                    values.push(Value::Int(c));
+                }
+                self.insert_fact_at(src, Tuple::new("link", values), at)?;
+            }
+            ChurnEvent::LinkDown { src, dst } => {
+                if !self.nodes.contains_key(&src) {
+                    return Err(EngineError::UnknownLocation(src));
+                }
+                // Channel teardown is scheduled (graceful): it lands after
+                // the link's in-flight frames — including this retraction's
+                // own tombstones — have drained.
+                self.schedule_channel_eviction(at, &src, &dst);
+                if let Some(pred) = self.nodes[&src].store.pred_id("link") {
+                    let victims: Vec<Arc<[Value]>> = self.nodes[&src]
+                        .store
+                        .scan_ordered_rows(pred)
+                        .filter(|(v, _)| v.first() == Some(&src) && v.get(1) == Some(&dst))
+                        .map(|(v, _)| v.clone())
+                        .collect();
+                    for values in victims {
+                        self.retract_row(&src, pred, &values, None, false, "retracted", at);
+                    }
+                }
+            }
+            ChurnEvent::NodeFail { node } => {
+                if !self.nodes.contains_key(&node) {
+                    return Err(EngineError::UnknownLocation(node));
+                }
+                let mut base: Vec<(u64, PredId, Arc<[Value]>)> = self.nodes[&node]
+                    .ledger
+                    .base_rows
+                    .iter()
+                    .map(|(seq, (pred, values))| (*seq, *pred, values.clone()))
+                    .collect();
+                base.sort_unstable_by_key(|(seq, _, _)| *seq);
+                self.failed_nodes.insert(
+                    node.clone(),
+                    base.iter()
+                        .map(|(_, pred, values)| (*pred, values.clone()))
+                        .collect(),
+                );
+                for peer in self.locations.clone() {
+                    if peer != node {
+                        self.schedule_channel_eviction(at, &node, &peer);
+                        self.schedule_channel_eviction(at, &peer, &node);
+                    }
+                }
+                for (_, pred, values) in base {
+                    self.retract_row(&node, pred, &values, None, true, "node-failed", at);
+                }
+            }
+            ChurnEvent::NodeRejoin { node } => {
+                if !self.nodes.contains_key(&node) {
+                    return Err(EngineError::UnknownLocation(node));
+                }
+                if let Some(rows) = self.failed_nodes.remove(&node) {
+                    let principal = self.nodes[&node].principal;
+                    for (pred, values) in rows {
+                        let location_index = values.iter().position(|v| *v == node);
+                        let row = BatchRow {
+                            values,
+                            tag: ProvTag::None, // replaced in process_batch for base facts
+                            origin: node.clone(),
+                            asserted_by: Some(principal),
+                            shipped_graph: None,
+                            is_base: true,
+                            location_index,
+                        };
+                        self.enqueue_local(at, node.clone(), pred, row, Polarity::Assert);
+                    }
+                }
+            }
+            ChurnEvent::Retract { location, tuple } => {
+                if !self.nodes.contains_key(&location) {
+                    return Err(EngineError::UnknownLocation(location));
+                }
+                let pred = self.symbols.intern(&tuple.predicate);
+                let values: Arc<[Value]> = Arc::from(tuple.values.as_slice());
+                self.retract_row(&location, pred, &values, None, false, "retracted", at);
+            }
+            ChurnEvent::Refresh { location, tuple } => {
+                if !self.nodes.contains_key(&location) {
+                    return Err(EngineError::UnknownLocation(location));
+                }
+                if let Some(ttl) = self.config.default_ttl_us {
+                    let expires = SimTime::from_micros(at.as_micros() + ttl);
+                    let node = self.nodes.get_mut(&location).expect("known location");
+                    let refreshed = node.store.pred_id(&tuple.predicate).is_some_and(|pred| {
+                        node.store
+                            .refresh_row_ttl(pred, &tuple.values, Some(expires))
+                    });
+                    if refreshed {
+                        self.schedule_expiry(location, expires);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Schedules eviction of the session channel bound to the directed
+    /// link `src → dst`, if any: the teardown is *graceful* — it executes
+    /// only once the link's in-flight frames (including the retraction
+    /// wave's own tombstones) have drained, and it captures the channel
+    /// epochs so a link that already rebound is left alone.  The `link`
+    /// tuple models routing adjacency; the session transport underneath
+    /// tears down without dropping frames, as its TCP-like real-world
+    /// counterpart would.
+    fn schedule_channel_eviction(&mut self, at: SimTime, src: &Value, dst: &Value) {
+        let (Some(src_node), Some(dst_node)) = (self.nodes.get(src), self.nodes.get(dst)) else {
+            return;
+        };
+        let send_epoch = src_node
+            .send_channels
+            .get(&dst_node.principal)
+            .map(|c| c.epoch());
+        let recv_epoch = dst_node
+            .recv_channels
+            .get(&src_node.principal)
+            .map(|c| c.epoch());
+        if send_epoch.is_none() && recv_epoch.is_none() {
+            return;
+        }
+        let horizon = self
+            .link_horizon
+            .get(&(src_node.node_id.0, dst_node.node_id.0))
+            .copied()
+            .unwrap_or(SimTime::ZERO);
+        let (src, dst) = (src.clone(), dst.clone());
+        self.push_work(
+            at.max(horizon),
+            QueuedWork::Evict {
+                src,
+                dst,
+                send_epoch,
+                recv_epoch,
+            },
+        );
+    }
+
+    /// Executes a scheduled channel eviction: re-defers while the link's
+    /// delivery horizon is still ahead (frames sealed under the old epoch
+    /// remain in flight), then removes whichever channel halves still carry
+    /// the captured epochs and raises both ends' epoch floors, so the link
+    /// — should it return — rebinds at a fresh epoch: the retired key
+    /// stream and its replay counter can never be resumed or replayed.
+    fn process_eviction(
+        &mut self,
+        at: SimTime,
+        src: Value,
+        dst: Value,
+        send_epoch: Option<u32>,
+        recv_epoch: Option<u32>,
+    ) {
+        let (Some(src_node), Some(dst_node)) = (self.nodes.get(&src), self.nodes.get(&dst)) else {
+            return;
+        };
+        let (src_principal, dst_principal) = (src_node.principal, dst_node.principal);
+        let horizon = self
+            .link_horizon
+            .get(&(src_node.node_id.0, dst_node.node_id.0))
+            .copied()
+            .unwrap_or(SimTime::ZERO);
+        if horizon > at {
+            self.push_work(
+                horizon,
+                QueuedWork::Evict {
+                    src,
+                    dst,
+                    send_epoch,
+                    recv_epoch,
+                },
+            );
+            return;
+        }
+        let src_node = self.nodes.get_mut(&src).expect("checked above");
+        if let Some(epoch) = send_epoch {
+            if src_node
+                .send_channels
+                .get(&dst_principal)
+                .is_some_and(|c| c.epoch() == epoch)
+            {
+                src_node.send_channels.remove(&dst_principal);
+                let floor = src_node.send_epoch_floor.entry(dst_principal).or_insert(0);
+                *floor = (*floor).max(epoch + 1);
+            }
+        }
+        let dst_node = self.nodes.get_mut(&dst).expect("checked above");
+        if let Some(epoch) = recv_epoch {
+            if dst_node
+                .recv_channels
+                .get(&src_principal)
+                .is_some_and(|c| c.epoch() == epoch)
+            {
+                dst_node.recv_channels.remove(&src_principal);
+                let floor = dst_node.recv_epoch_floor.entry(src_principal).or_insert(0);
+                *floor = (*floor).max(epoch + 1);
+            }
+        }
+    }
+
+    /// Withdraws one contribution of the row holding `values` at `loc` (or,
+    /// with `force`, wipes the row outright).  A tuple with remaining
+    /// alternative derivations survives with its tag recomputed as the
+    /// semiring sum of the surviving contributions; an unsupported tuple is
+    /// removed and its recorded firings cascade as deletions.  A retraction
+    /// whose row is absent is a no-op: per-link FIFO delivery plus the
+    /// queue's polarity rank guarantee a tombstone never precedes its
+    /// assertion, so an absent row was force-killed (expiry, node failure,
+    /// sweep) and the withdrawn contribution already died with it.
+    #[allow(clippy::too_many_arguments)]
+    fn retract_row(
+        &mut self,
+        loc: &Value,
+        pred: PredId,
+        values: &Arc<[Value]>,
+        tag: Option<&ProvTag>,
+        force: bool,
+        reason: &str,
+        now: SimTime,
+    ) {
+        let node = self.nodes.get_mut(loc).expect("known location");
+        let Some(seq) = node.store.seq_of(pred, values) else {
+            return;
+        };
+        let entry = node
+            .ledger
+            .supports
+            .get_mut(&seq)
+            .expect("dynamics records every live row");
+        if !force && entry.count > 1 {
+            // Alternative derivations survive: consume the withdrawn
+            // contribution and recompute the tag from the remainder —
+            // exactly what the semiring sum of the surviving derivation
+            // events yields (a DerivationCount tag literally decrements).
+            // A tombstone (tag supplied) always withdraws a *firing*
+            // contribution, never a base assertion — matching the tag
+            // alone could hit a base entry with an equal tag (all tags are
+            // `ProvTag::None` without semiring provenance) and silently
+            // destroy base support.  Tag-less (scripted) retractions
+            // conversely prefer base contributions.
+            entry.count -= 1;
+            let pos = match tag {
+                Some(tag) => entry
+                    .tags
+                    .iter()
+                    .position(|(is_base, t)| !*is_base && t == tag)
+                    .or_else(|| entry.tags.iter().rposition(|(is_base, _)| !*is_base))
+                    .unwrap_or(entry.tags.len() - 1),
+                None => entry
+                    .tags
+                    .iter()
+                    .position(|(is_base, _)| *is_base)
+                    .unwrap_or(entry.tags.len() - 1),
+            };
+            let (was_base, _) = entry.tags.remove(pos);
+            if was_base {
+                entry.base_count -= 1;
+                if entry.base_count == 0 {
+                    node.ledger.base_rows.remove(&seq);
+                }
+                // Withdrawing base support without removing the row can
+                // strand a recursion island (the tuple now rests purely on
+                // firings that may form a cycle): the well-founded sweep
+                // must check once the wave drains.
+                self.needs_sweep = true;
+            }
+            if self.config.provenance != ProvenanceKind::None && !entry.tags.is_empty() {
+                let mut merged = entry.tags[0].1.clone();
+                for (_, t) in &entry.tags[1..] {
+                    merged = merged.plus(t, &mut self.var_table);
+                    self.metrics.provenance_ops += 1;
+                }
+                node.store.set_tag(pred, seq, merged);
+            }
+            return;
+        }
+        let Some((values, meta)) = node.store.remove_by_seq(pred, seq) else {
+            return;
+        };
+        self.settle_removed(
+            loc,
+            pred,
+            seq,
+            values,
+            meta.created_at,
+            reason,
+            now,
+            force,
+            None,
+        );
+    }
+
+    /// Bookkeeping shared by every removal path (retraction, expiry, node
+    /// failure, sweep): settle the ledger, prune the online provenance
+    /// graph, stamp the offline archive, and withdraw the dead row's
+    /// recorded firings — locally or as tombstone frames.  `suppress` drops
+    /// routes into heads the caller is deleting itself (the sweep's
+    /// zombie-to-zombie edges).
+    #[allow(clippy::too_many_arguments)]
+    fn settle_removed(
+        &mut self,
+        loc: &Value,
+        pred: PredId,
+        seq: u64,
+        values: Arc<[Value]>,
+        created_at: SimTime,
+        reason: &str,
+        now: SimTime,
+        force: bool,
+        suppress: Option<&HashSet<HeadKey>>,
+    ) {
+        let graph_mode = self.config.graph_mode;
+        let archive_offline = self.config.archive_offline;
+        let pred_name = self.symbols.name(pred).unwrap_or("?").to_string();
+        let mut routes = Vec::new();
+        {
+            let node = self.nodes.get_mut(loc).expect("known location");
+            let entry = node.ledger.supports.remove(&seq);
+            node.ledger.base_rows.remove(&seq);
+            node.ledger.retracted.insert((pred, values.clone()));
+            if graph_mode != GraphMode::None || archive_offline {
+                let loc_idx = entry.as_ref().and_then(|e| e.location_index);
+                let key = tuple::render_located_parts(&pred_name, &values, loc_idx);
+                if graph_mode != GraphMode::None {
+                    node.local_prov.graph_mut().retract(&key);
+                }
+                if archive_offline {
+                    node.archive.record_expiry(
+                        &key,
+                        &loc.to_string(),
+                        reason,
+                        created_at.as_micros(),
+                        now.as_micros(),
+                    );
+                }
+            }
+            if let Some(firing_ids) = node.ledger.by_antecedent.remove(&seq) {
+                for idx in firing_ids {
+                    let firing = &mut node.ledger.firings[idx as usize];
+                    if firing.alive {
+                        firing.alive = false;
+                        routes.push((
+                            firing.dest.clone(),
+                            firing.pred,
+                            firing.values.clone(),
+                            firing.tag.clone(),
+                            firing.location_index,
+                        ));
+                    }
+                }
+            }
+        }
+        self.metrics.retractions += 1;
+        self.needs_sweep = true;
+        if force {
+            // The row was wiped, not decremented to zero: alive upstream
+            // firings whose contribution died with it must fall silent, or
+            // their own later death would send a tombstone cancelling a
+            // future legitimate re-derivation.
+            self.silence_upstream(loc, pred, &values);
+        }
+        for (dest, rpred, rvalues, rtag, ridx) in routes {
+            if suppress.is_some_and(|s| s.contains(&(dest.clone(), rpred, rvalues.clone()))) {
+                continue;
+            }
+            self.route_retraction(loc, dest, rpred, rvalues, rtag, ridx, now);
+        }
+    }
+
+    /// Marks every alive firing (at any node) whose head is the force-killed
+    /// row as dead, without withdrawing anything — its contribution was
+    /// wiped together with the row.
+    fn silence_upstream(&mut self, dest: &Value, pred: PredId, values: &Arc<[Value]>) {
+        let key = (dest.clone(), pred, values.clone());
+        for loc in self.locations.clone() {
+            let node = self.nodes.get_mut(&loc).expect("known location");
+            if let Some(ids) = node.ledger.by_head.remove(&key) {
+                for idx in ids {
+                    node.ledger.firings[idx as usize].alive = false;
+                }
+            }
+        }
+    }
+
+    /// Routes one withdrawn firing's deletion to its head's node: appended
+    /// to the open local retraction batch, or to the open tombstone frame
+    /// for remote heads (signed once per frame over polarity-marked
+    /// payloads, honest wire accounting).
+    #[allow(clippy::too_many_arguments)]
+    fn route_retraction(
+        &mut self,
+        src: &Value,
+        dest: Value,
+        pred: PredId,
+        values: Arc<[Value]>,
+        tag: ProvTag,
+        location_index: Option<usize>,
+        now: SimTime,
+    ) {
+        let principal = self.nodes[src].principal;
+        let row = BatchRow {
+            values,
+            tag,
+            origin: src.clone(),
+            asserted_by: Some(principal),
+            shipped_graph: None,
+            is_base: false,
+            location_index,
+        };
+        if dest == *src {
+            self.enqueue_local(now, dest, pred, row, Polarity::Retract);
+        } else {
+            self.buffer_ship(now, src, &dest, pred, row, Polarity::Retract);
+        }
+    }
+
+    /// The reconciliation pass that closes support counting's recursion
+    /// hole: two tuples can keep each other alive through a cycle of
+    /// firings with no base support left (the classic counting-algorithm
+    /// limitation; cf. log-based reconciliation of replicated state).  Once
+    /// a retraction wave drains the queue, mark every row reachable from
+    /// base support through alive firings; unsupported survivors are
+    /// garbage-collected, with their alive firings' contributions withdrawn
+    /// from supported heads (zombie-to-zombie edges die silently, since
+    /// both ends are deleted here).
+    fn well_founded_sweep(&mut self, now: SimTime) {
+        let locs = self.locations.clone();
+        let index_of: HashMap<&Value, usize> =
+            locs.iter().enumerate().map(|(i, l)| (l, i)).collect();
+        // Mark: seed with live rows holding base support, then propagate
+        // through alive firings whose antecedents are all supported.
+        let mut supported: Vec<HashSet<u64>> = vec![HashSet::new(); locs.len()];
+        let mut work: VecDeque<(usize, u64)> = VecDeque::new();
+        for (i, loc) in locs.iter().enumerate() {
+            let node = &self.nodes[loc];
+            let mut seeds: Vec<u64> = node
+                .ledger
+                .supports
+                .iter()
+                .filter(|(seq, entry)| {
+                    entry.base_count > 0 && node.store.row_by_seq(entry.pred, **seq).is_some()
+                })
+                .map(|(seq, _)| *seq)
+                .collect();
+            seeds.sort_unstable();
+            for seq in seeds {
+                supported[i].insert(seq);
+                work.push_back((i, seq));
+            }
+        }
+        while let Some((i, seq)) = work.pop_front() {
+            let node = &self.nodes[&locs[i]];
+            let Some(ids) = node.ledger.by_antecedent.get(&seq) else {
+                continue;
+            };
+            for &idx in ids {
+                let firing = &node.ledger.firings[idx as usize];
+                if !firing.alive {
+                    continue;
+                }
+                if !firing.antecedents.iter().all(|a| supported[i].contains(a)) {
+                    continue;
+                }
+                let Some(&j) = index_of.get(&firing.dest) else {
+                    continue;
+                };
+                let head_node = &self.nodes[&locs[j]];
+                if let Some(head_seq) = head_node.store.seq_of(firing.pred, &firing.values) {
+                    if supported[j].insert(head_seq) {
+                        work.push_back((j, head_seq));
+                    }
+                }
+            }
+        }
+        // Sweep: collect the unsupported survivors, deterministically.
+        // One zombie: (node index, seq, pred, values, created_at).
+        type Zombie = (usize, u64, PredId, Arc<[Value]>, SimTime);
+        let mut zombies: Vec<Zombie> = Vec::new();
+        let mut zombie_heads: HashSet<HeadKey> = HashSet::new();
+        for (i, loc) in locs.iter().enumerate() {
+            let node = &self.nodes[loc];
+            let mut dead: Vec<u64> = node
+                .ledger
+                .supports
+                .keys()
+                .copied()
+                .filter(|seq| !supported[i].contains(seq))
+                .collect();
+            dead.sort_unstable();
+            for seq in dead {
+                let entry = &node.ledger.supports[&seq];
+                if let Some((values, meta)) = node.store.row_by_seq(entry.pred, seq) {
+                    zombies.push((i, seq, entry.pred, values.clone(), meta.created_at));
+                    zombie_heads.insert((loc.clone(), entry.pred, values.clone()));
+                }
+            }
+        }
+        for (i, seq, pred, values, created_at) in zombies {
+            let loc = locs[i].clone();
+            let node_id = self.nodes[&loc].node_id;
+            let done = self.cpu.run(
+                node_id,
+                now,
+                SimTime::from_micros(self.config.cost_model.tuple_process_us),
+            );
+            self.completion = self.completion.max(done);
+            if self
+                .nodes
+                .get_mut(&loc)
+                .expect("known location")
+                .store
+                .remove_by_seq(pred, seq)
+                .is_none()
+            {
+                continue;
+            }
+            self.settle_removed(
+                &loc,
+                pred,
+                seq,
+                values,
+                created_at,
+                "unsupported",
+                done,
+                false,
+                Some(&zombie_heads),
+            );
         }
     }
 
@@ -2284,6 +3203,247 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, EngineError::UnknownLocation(_)));
         assert!(err.to_string().contains("unknown location"));
+    }
+
+    fn sorted_rows(engine: &DistributedEngine, loc: &Value, pred: &str) -> Vec<String> {
+        let mut rows: Vec<String> = engine
+            .query(loc, pred)
+            .into_iter()
+            .map(|(t, m)| format!("{:?} {}", t.values, m.tag))
+            .collect();
+        rows.sort();
+        rows
+    }
+
+    #[test]
+    fn retraction_is_provenance_exact_under_derivation_counts() {
+        let program = parse_program(REACHABLE).unwrap();
+        let config = EngineConfig::ndlog()
+            .with_cost_model(fast_cost())
+            .with_provenance(ProvenanceKind::Count)
+            .with_dynamics();
+        let reach_ac = Tuple::new("reachable", vec![str_val("a"), str_val("c")]);
+        let reach_bc = Tuple::new("reachable", vec![str_val("b"), str_val("c")]);
+
+        // Static fixpoint: reachable(a,c) has two derivations (directly via
+        // link(a,c), and via b).
+        let mut engine =
+            DistributedEngine::new(&program, config.clone(), &figure1_locations()).unwrap();
+        insert_figure1_links(&mut engine);
+        engine.run_to_fixpoint().unwrap();
+        assert_eq!(
+            engine.render_provenance(&str_val("a"), &reach_ac).unwrap(),
+            "<2 derivations>"
+        );
+
+        // Retract link(a,c): the direct derivation is withdrawn, the tuple
+        // survives with a decremented DerivationCount.
+        let script = ChurnScript::new().at(
+            5_000_000,
+            ChurnEvent::Retract {
+                location: str_val("a"),
+                tuple: link("a", "c"),
+            },
+        );
+        let mut engine =
+            DistributedEngine::new(&program, config.clone(), &figure1_locations()).unwrap();
+        insert_figure1_links(&mut engine);
+        let metrics = engine.run_scenario(&script).unwrap();
+        assert_eq!(
+            engine.render_provenance(&str_val("a"), &reach_ac).unwrap(),
+            "<1 derivations>"
+        );
+        assert_eq!(metrics.churn_events, 1);
+        // link(a,c) itself plus the localized intermediate tuple derived
+        // solely from it; reachable(a,c) survives on the path through b.
+        assert!(metrics.retractions >= 1, "{metrics}");
+        assert_eq!(engine.query(&str_val("a"), "reachable").len(), 2);
+
+        // Retract link(a,b) too: reachable(a,c) loses its last derivation
+        // and cascades away; b's own state is untouched.
+        let script = script.at(
+            6_000_000,
+            ChurnEvent::Retract {
+                location: str_val("a"),
+                tuple: link("a", "b"),
+            },
+        );
+        let mut engine = DistributedEngine::new(&program, config, &figure1_locations()).unwrap();
+        insert_figure1_links(&mut engine);
+        let metrics = engine.run_scenario(&script).unwrap();
+        assert!(engine.query(&str_val("a"), "reachable").is_empty());
+        assert_eq!(
+            engine.render_provenance(&str_val("b"), &reach_bc).unwrap(),
+            "<1 derivations>"
+        );
+        assert!(metrics.retractions > 2, "the cascade removed derived state");
+    }
+
+    #[test]
+    fn link_flap_reconverges_to_the_never_flapped_fixpoint() {
+        let program = parse_program(REACHABLE).unwrap();
+        let config = || EngineConfig::sendlog_session().with_cost_model(fast_cost());
+
+        let mut stat = DistributedEngine::new(&program, config(), &line5_locations()).unwrap();
+        insert_line5_links(&mut stat);
+        let static_metrics = stat.run_to_fixpoint().unwrap();
+
+        // Flap n1 → n2 down, then back up: everything derived through the
+        // link is withdrawn (tombstones across nodes), then re-derived.
+        let script = ChurnScript::new()
+            .link_down(5_000_000, str_val("n1"), str_val("n2"))
+            .link_up(10_000_000, str_val("n1"), str_val("n2"));
+        let mut flapped = DistributedEngine::new(&program, config(), &line5_locations()).unwrap();
+        insert_line5_links(&mut flapped);
+        let metrics = flapped.run_scenario(&script).unwrap();
+
+        for loc in line5_locations() {
+            assert_eq!(
+                sorted_rows(&flapped, &loc, "reachable"),
+                sorted_rows(&stat, &loc, "reachable"),
+                "post-flap fixpoint at {loc}"
+            );
+            assert_eq!(
+                sorted_rows(&flapped, &loc, "link"),
+                sorted_rows(&stat, &loc, "link"),
+            );
+        }
+        assert_eq!(metrics.tuples_stored, static_metrics.tuples_stored);
+        assert_eq!(metrics.churn_events, 2);
+        assert!(metrics.retractions > 0, "{metrics}");
+        assert!(metrics.rederivations > 0, "{metrics}");
+        assert!(metrics.tombstone_frames > 0, "{metrics}");
+        // The flapped link's channel was evicted and rebound with a fresh
+        // epoch: more handshakes than the static run, no replay anomalies.
+        assert!(metrics.handshakes > static_metrics.handshakes);
+        assert_eq!(metrics.verification_failures, 0);
+    }
+
+    #[test]
+    fn scheduled_expiry_kills_soft_state_mid_run() {
+        let program = parse_program(REACHABLE).unwrap();
+        let config = EngineConfig::ndlog()
+            .with_cost_model(fast_cost())
+            .with_default_ttl_us(2_000_000)
+            .with_dynamics();
+        let mut engine = DistributedEngine::new(&program, config, &figure1_locations()).unwrap();
+        insert_figure1_links(&mut engine);
+        // No churn events at all: the TTL alone kills every derived tuple
+        // during the run — no manual expire_all needed.
+        let metrics = engine.run_scenario(&ChurnScript::new()).unwrap();
+        assert_eq!(engine.query(&str_val("a"), "reachable").len(), 0);
+        assert_eq!(engine.query(&str_val("a"), "link").len(), 2, "hard state");
+        assert!(metrics.retractions > 0);
+        assert_eq!(metrics.churn_events, 0);
+    }
+
+    #[test]
+    fn node_fail_and_rejoin_reconverge() {
+        let program = parse_program(REACHABLE).unwrap();
+        let config = || EngineConfig::sendlog().with_cost_model(fast_cost());
+        let mut stat = DistributedEngine::new(&program, config(), &figure1_locations()).unwrap();
+        insert_figure1_links(&mut stat);
+        stat.run_to_fixpoint().unwrap();
+
+        let script = ChurnScript::new()
+            .node_fail(5_000_000, str_val("b"))
+            .node_rejoin(9_000_000, str_val("b"));
+        let mut churned = DistributedEngine::new(&program, config(), &figure1_locations()).unwrap();
+        insert_figure1_links(&mut churned);
+        let metrics = churned.run_scenario(&script).unwrap();
+        for loc in figure1_locations() {
+            assert_eq!(
+                sorted_rows(&churned, &loc, "reachable"),
+                sorted_rows(&stat, &loc, "reachable"),
+                "post-rejoin fixpoint at {loc}"
+            );
+        }
+        assert!(metrics.retractions > 0);
+        assert!(metrics.rederivations > 0);
+    }
+
+    #[test]
+    fn tombstones_never_consume_base_support() {
+        // p(1) is both base-asserted and derived from q(1).  Without
+        // semiring provenance every contribution tag is `ProvTag::None`,
+        // so a tombstone for the derived contribution could match the base
+        // entry by tag alone — it must not: after retracting q(1), p(1)
+        // survives on its base assertion.
+        let program = parse_program("At S:\n r1 p(X) :- q(X).").unwrap();
+        let config = EngineConfig::ndlog()
+            .with_cost_model(fast_cost())
+            .with_dynamics();
+        let locations = vec![str_val("a")];
+        let mut engine = DistributedEngine::new(&program, config, &locations).unwrap();
+        let p1 = Tuple::new("p", vec![Value::Int(1)]);
+        engine
+            .insert_fact(str_val("a"), Tuple::new("q", vec![Value::Int(1)]))
+            .unwrap();
+        engine.insert_fact(str_val("a"), p1.clone()).unwrap();
+        let script = ChurnScript::new().at(
+            5_000_000,
+            ChurnEvent::Retract {
+                location: str_val("a"),
+                tuple: Tuple::new("q", vec![Value::Int(1)]),
+            },
+        );
+        engine.run_scenario(&script).unwrap();
+        assert_eq!(engine.query(&str_val("a"), "q").len(), 0);
+        assert!(
+            engine
+                .query(&str_val("a"), "p")
+                .iter()
+                .any(|(t, _)| *t == p1),
+            "base-asserted p(1) must survive the derived contribution's tombstone"
+        );
+    }
+
+    #[test]
+    fn recursive_self_support_is_swept() {
+        // p and q support each other; only the base q(1) grounds them.
+        // Counting alone would keep the pair alive after the base is
+        // retracted — the well-founded sweep must collect the cycle.
+        let program = parse_program(
+            "At S:\n\
+             r1 p(X) :- q(X).\n\
+             r2 q(X) :- p(X).",
+        )
+        .unwrap();
+        let config = EngineConfig::ndlog()
+            .with_cost_model(fast_cost())
+            .with_dynamics();
+        let locations = vec![str_val("a")];
+        let mut engine = DistributedEngine::new(&program, config, &locations).unwrap();
+        engine
+            .insert_fact(str_val("a"), Tuple::new("q", vec![Value::Int(1)]))
+            .unwrap();
+        let script = ChurnScript::new().at(
+            5_000_000,
+            ChurnEvent::Retract {
+                location: str_val("a"),
+                tuple: Tuple::new("q", vec![Value::Int(1)]),
+            },
+        );
+        let metrics = engine.run_scenario(&script).unwrap();
+        assert_eq!(engine.query(&str_val("a"), "p").len(), 0);
+        assert_eq!(engine.query(&str_val("a"), "q").len(), 0);
+        assert!(metrics.retractions >= 2);
+    }
+
+    #[test]
+    fn dynamics_cannot_be_armed_after_evaluation() {
+        let program = parse_program(REACHABLE).unwrap();
+        let config = EngineConfig::ndlog().with_cost_model(fast_cost());
+        let mut engine = DistributedEngine::new(&program, config, &figure1_locations()).unwrap();
+        insert_figure1_links(&mut engine);
+        engine.run_to_fixpoint().unwrap();
+        let err = engine.run_scenario(&ChurnScript::new()).unwrap_err();
+        assert!(err.to_string().contains("dynamics"));
+        // And retractions without dynamics are refused up front.
+        let err = engine
+            .retract_fact_at(str_val("a"), link("a", "b"), SimTime::ZERO)
+            .unwrap_err();
+        assert!(err.to_string().contains("dynamics"));
     }
 
     #[test]

@@ -453,6 +453,71 @@ impl NodeStore {
         table.rows.get(seq).map(|row| &row.meta)
     }
 
+    /// The insertion seq of the live row holding `values`, if present — the
+    /// stable identity the deletion ledger keys supports and firings by (a
+    /// re-inserted row gets a fresh seq, so stale records never attach to a
+    /// new incarnation).
+    pub fn seq_of(&self, pred: PredId, values: &[Value]) -> Option<u64> {
+        self.table(pred)?.by_row.get(values).copied()
+    }
+
+    /// The live row behind a known seq, if any.
+    pub fn row_by_seq(&self, pred: PredId, seq: u64) -> Option<(&Arc<[Value]>, &TupleMeta)> {
+        self.table(pred)?
+            .rows
+            .get(&seq)
+            .map(|row| (&row.values, &row.meta))
+    }
+
+    /// Removes the live row behind a known seq, returning its shared values
+    /// and metadata.  Dedup map, secondary indexes and the lazily compacted
+    /// seq list stay consistent, exactly as for [`NodeStore::remove_row`].
+    pub fn remove_by_seq(&mut self, pred: PredId, seq: u64) -> Option<(Arc<[Value]>, TupleMeta)> {
+        let row = self.tables.get_mut(pred.index())?.take_by_seq(seq)?;
+        Some((row.values, row.meta))
+    }
+
+    /// Replaces the provenance tag of a live row.  Provenance-guided
+    /// deletion uses this when a tuple loses one of several alternative
+    /// derivations: the surviving tag is recomputed as the semiring sum of
+    /// the remaining contributions.  Returns `false` when the seq is dead.
+    pub fn set_tag(&mut self, pred: PredId, seq: u64, tag: ProvTag) -> bool {
+        match self
+            .tables
+            .get_mut(pred.index())
+            .and_then(|t| t.rows.get_mut(&seq))
+        {
+            Some(row) => {
+                row.meta.tag = tag;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Extends the soft-state lifetime of an exact live row to `expires_at`
+    /// (never shortens it; `None` upgrades the row to hard state).  Returns
+    /// `false` when the row is absent.
+    pub fn refresh_row_ttl(
+        &mut self,
+        pred: PredId,
+        values: &[Value],
+        expires_at: Option<SimTime>,
+    ) -> bool {
+        let Some(table) = self.tables.get_mut(pred.index()) else {
+            return false;
+        };
+        let Some(&seq) = table.by_row.get(values) else {
+            return false;
+        };
+        let row = table.rows.get_mut(&seq).expect("dedup map mirrors rows");
+        row.meta.expires_at = match (row.meta.expires_at, expires_at) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            _ => None,
+        };
+        true
+    }
+
     /// Name shim over [`NodeStore::meta_of`].
     pub fn get(&self, tuple: &Tuple) -> Option<&TupleMeta> {
         self.meta_of(self.pred_id(&tuple.predicate)?, &tuple.values)
@@ -611,6 +676,20 @@ impl NodeStore {
     /// in insertion-seq order (deterministic regardless of table iteration
     /// order).  Secondary indexes stay consistent.
     pub fn expire(&mut self, now: SimTime) -> Vec<Tuple> {
+        self.take_expired(now)
+            .into_iter()
+            .map(|(pred, _, values, _)| {
+                let name = self.preds.name(pred).expect("interned predicate");
+                Tuple::new(name, values.to_vec())
+            })
+            .collect()
+    }
+
+    /// [`NodeStore::expire`] in id form: removes every row whose TTL has
+    /// passed and returns `(pred, seq, values, meta)` per victim in
+    /// insertion-seq order.  The engine's scheduled-expiry work uses the
+    /// seqs to settle the deletion ledger and cascade the removals.
+    pub fn take_expired(&mut self, now: SimTime) -> Vec<(PredId, u64, Arc<[Value]>, TupleMeta)> {
         let mut expired: Vec<(u64, PredId)> = self
             .tables
             .iter()
@@ -630,8 +709,7 @@ impl NodeStore {
                 let row = self.tables[pred.index()]
                     .take_by_seq(seq)
                     .expect("collected seq is live");
-                let name = self.preds.name(pred).expect("interned predicate");
-                Tuple::new(name, row.values.to_vec())
+                (pred, seq, row.values, row.meta)
             })
             .collect()
     }
@@ -928,6 +1006,54 @@ mod tests {
         store.insert(&t, meta(ProvTag::None, None), |a, _| a.clone());
         assert_eq!(store.get(&t).unwrap().expires_at, None);
         assert!(store.expire(SimTime::from_micros(10_000)).is_empty());
+    }
+
+    #[test]
+    fn seq_addressed_removal_and_tag_replacement() {
+        let mut store = NodeStore::new();
+        let pred = store.intern("link");
+        store.register_index_id(pred, &[0]);
+        store.insert(
+            &link(0, 1),
+            meta(ProvTag::Trust(TrustLevel(2)), None),
+            |a, _| a.clone(),
+        );
+        store.insert(&link(0, 2), meta(ProvTag::None, Some(100)), |a, _| {
+            a.clone()
+        });
+        let seq = store.seq_of(pred, &link(0, 1).values).unwrap();
+        assert_eq!(store.seq_of(pred, &link(9, 9).values), None);
+        // Tag replacement targets the live row.
+        assert!(store.set_tag(pred, seq, ProvTag::Trust(TrustLevel(1))));
+        assert_eq!(
+            store.get(&link(0, 1)).unwrap().tag,
+            ProvTag::Trust(TrustLevel(1))
+        );
+        // TTL refresh extends but never shortens.
+        assert!(store.refresh_row_ttl(pred, &link(0, 2).values, Some(SimTime::from_micros(50))));
+        assert_eq!(
+            store.get(&link(0, 2)).unwrap().expires_at,
+            Some(SimTime::from_micros(100))
+        );
+        assert!(store.refresh_row_ttl(pred, &link(0, 2).values, Some(SimTime::from_micros(400))));
+        assert_eq!(
+            store.get(&link(0, 2)).unwrap().expires_at,
+            Some(SimTime::from_micros(400))
+        );
+        assert!(!store.refresh_row_ttl(pred, &link(9, 9).values, None));
+        // Seq-addressed removal keeps everything consistent.
+        let (values, _) = store.remove_by_seq(pred, seq).unwrap();
+        assert_eq!(&values[..], &link(0, 1).values[..]);
+        assert!(store.remove_by_seq(pred, seq).is_none());
+        store.check_index_consistency().unwrap();
+        // take_expired reports pred/seq/meta for the engine's ledger.
+        let expired = store.take_expired(SimTime::from_micros(500));
+        assert_eq!(expired.len(), 1);
+        let (epred, _, evalues, emeta) = &expired[0];
+        assert_eq!(*epred, pred);
+        assert_eq!(&evalues[..], &link(0, 2).values[..]);
+        assert_eq!(emeta.expires_at, Some(SimTime::from_micros(400)));
+        assert_eq!(store.total_tuples(), 0);
     }
 
     #[test]

@@ -30,6 +30,11 @@ pub enum FrameKind {
     /// initiator's signature) — carried so channel setup shows up in the
     /// bandwidth figures instead of hiding outside the accounting.
     Handshake,
+    /// A multi-tuple retraction shipment: tombstones for tuples whose
+    /// remote derivations were withdrawn.  Charged exactly like a data
+    /// frame — one header, one frame-level proof, per-tuple payloads — so
+    /// deletion traffic shows up honestly in the bandwidth figures.
+    Tombstone,
 }
 
 /// Wire accounting for one multi-tuple shipment frame.
@@ -71,6 +76,16 @@ impl Frame {
             tuple_count: 0,
             tuple_bytes: 0,
             frame_overhead: transcript_bytes + signature_bytes,
+        }
+    }
+
+    /// An empty tombstone (retraction) frame: accounted like a data frame,
+    /// with each retracted tuple charged via [`Frame::push_tuple`] and the
+    /// frame proof via [`Frame::set_frame_overhead`].
+    pub fn tombstone() -> Self {
+        Frame {
+            kind: FrameKind::Tombstone,
+            ..Frame::default()
         }
     }
 
@@ -168,6 +183,19 @@ mod tests {
         assert_eq!(hs.payload_bytes(), 84);
         assert_eq!(hs.wire_bytes(), MESSAGE_HEADER_BYTES + 84);
         assert_eq!(Frame::new().kind(), FrameKind::Data);
+    }
+
+    #[test]
+    fn tombstone_frames_use_data_frame_accounting() {
+        let mut tomb = Frame::tombstone();
+        assert_eq!(tomb.kind(), FrameKind::Tombstone);
+        tomb.set_frame_overhead(64);
+        tomb.push_tuple(30);
+        let mut data = Frame::new();
+        data.set_frame_overhead(64);
+        data.push_tuple(30);
+        assert_eq!(tomb.wire_bytes(), data.wire_bytes());
+        assert_eq!(tomb.tuples(), 1);
     }
 
     #[test]

@@ -92,6 +92,12 @@ pub struct DerivationGraph {
     /// Tuple lookup by derived [`ProvKey`] — the rendered string lives only
     /// once, in its [`TupleNode`], for display.
     index: HashMap<ProvKey, ProvNodeId>,
+    /// Reverse-use index: antecedent → heads with a derivation referencing
+    /// it.  Keeps [`DerivationGraph::retract`] proportional to the tuple's
+    /// actual users instead of the whole graph.  An over-approximation:
+    /// entries are not pruned when a derivation is dropped, so a stale
+    /// head costs one no-op `retain` later.
+    used_in: HashMap<ProvNodeId, HashSet<ProvNodeId>>,
 }
 
 impl DerivationGraph {
@@ -198,6 +204,9 @@ impl DerivationGraph {
             .map(|a| self.intern(a, head_location, created_at))
             .collect();
         let head_id = self.intern(head, head_location, created_at);
+        for a in &antecedent_ids {
+            self.used_in.entry(*a).or_default().insert(head_id);
+        }
         let node = &mut self.nodes[head_id.0 as usize];
         if node.asserted_by.is_none() {
             node.asserted_by = asserted_by;
@@ -466,6 +475,37 @@ impl DerivationGraph {
             .map(|(i, n)| (ProvNodeId(i as u32), n))
     }
 
+    /// Retracts one tuple from the online graph: its node is emptied (the
+    /// slot stays — ids are stable) and every derivation referencing it is
+    /// dropped, exactly as [`DerivationGraph::purge_expired`] does for
+    /// expired soft state.  Returns `false` when the key is unknown.  The
+    /// engine calls this when provenance-guided deletion removes a tuple
+    /// mid-run; the *offline* records (archive, distributed pointer stores)
+    /// deliberately survive so forensic queries can still explain the
+    /// deleted tuple.
+    pub fn retract(&mut self, key: &str) -> bool {
+        let hashed = ProvKey::from_rendered(key);
+        let Some(&id) = self.index.get(&hashed) else {
+            return false;
+        };
+        // Only the tuple's actual users are touched, via the reverse-use
+        // index — a retraction wave stays linear in the derivations it
+        // really severs, not in the graph size.
+        if let Some(users) = self.used_in.remove(&id) {
+            for head in users {
+                self.nodes[head.0 as usize]
+                    .derivations
+                    .retain(|d| !d.antecedents.contains(&id));
+            }
+        }
+        self.index.remove(&hashed);
+        let node = &mut self.nodes[id.0 as usize];
+        node.derivations.clear();
+        node.base_id = None;
+        node.expires_at = None;
+        true
+    }
+
     /// Removes expired tuples (and derivations referencing them) given the
     /// current time; used by the *online* provenance store.
     pub fn purge_expired(&mut self, now: u64) -> usize {
@@ -674,6 +714,22 @@ mod tests {
         }
         let id = g.find("reachable(@a,b)").unwrap();
         assert_eq!(g.node(id).derivations.len(), 1);
+    }
+
+    #[test]
+    fn retract_drops_the_tuple_and_its_uses() {
+        let (mut g, root) = figure1();
+        // Retracting link(@a,c) removes the direct r1 derivation of
+        // reachable(@a,c); the r2 path through b survives.
+        assert!(g.retract("link(@a,c)"));
+        assert!(g.find("link(@a,c)").is_none());
+        let node = g.node(root);
+        assert_eq!(node.derivations.len(), 1);
+        assert_eq!(node.derivations[0].rule, "r2");
+        let why = g.why_provenance(root);
+        assert_eq!(why.witnesses().len(), 1);
+        // Unknown keys are a no-op.
+        assert!(!g.retract("no-such-tuple"));
     }
 
     #[test]

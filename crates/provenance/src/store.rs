@@ -229,6 +229,43 @@ impl ArchiveStore {
         self.entries.push(entry);
     }
 
+    /// Records that the tuple behind `key` was deleted (retracted or
+    /// expired) at `expired_at`: every live entry for the key is stamped
+    /// with the expiry time, and if the archive held no entry yet — the
+    /// tuple was derived before archiving was enabled, or sampled out — a
+    /// fresh one is appended so the deletion itself is never lost.  Returns
+    /// the number of entries stamped or created.  This is the
+    /// archive-on-delete path: soft state dies mid-run, but its forensic
+    /// record (and hence moonwalk/traceback reachability) survives.
+    pub fn record_expiry(
+        &mut self,
+        key: &str,
+        location: &str,
+        annotation: &str,
+        derived_at: u64,
+        expired_at: u64,
+    ) -> usize {
+        let mut stamped = 0;
+        for e in &mut self.entries {
+            if e.key == key && e.expired_at.is_none() {
+                e.expired_at = Some(expired_at);
+                stamped += 1;
+            }
+        }
+        if stamped == 0 {
+            self.entries.push(ArchivedEntry {
+                key: key.to_string(),
+                location: location.to_string(),
+                annotation: annotation.to_string(),
+                derived_at,
+                expired_at: Some(expired_at),
+                pinned: false,
+            });
+            stamped = 1;
+        }
+        stamped
+    }
+
     /// Marks every entry matching `key` as pinned so age-out keeps it.
     pub fn pin(&mut self, key: &str) -> usize {
         let mut count = 0;
@@ -410,5 +447,36 @@ mod tests {
         let in_window = archive.query("bestPath", Some(500), Some(700));
         assert_eq!(in_window.len(), 3);
         assert!(!archive.is_empty());
+    }
+
+    #[test]
+    fn record_expiry_stamps_or_creates_entries() {
+        let mut archive = ArchiveStore::new();
+        archive.record(ArchivedEntry {
+            key: "reachable(@a,c)".into(),
+            location: "a".into(),
+            annotation: "r1@a".into(),
+            derived_at: 100,
+            expired_at: None,
+            pinned: false,
+        });
+        // A live entry gets its expiry stamped in place.
+        assert_eq!(
+            archive.record_expiry("reachable(@a,c)", "a", "retracted", 100, 900),
+            1
+        );
+        assert_eq!(archive.entries()[0].expired_at, Some(900));
+        assert_eq!(archive.len(), 1);
+        // An already-stamped entry is left alone; the deletion of a tuple
+        // the archive never saw appends a fresh record.
+        assert_eq!(
+            archive.record_expiry("reachable(@a,d)", "a", "retracted", 200, 950),
+            1
+        );
+        assert_eq!(archive.len(), 2);
+        let fresh = &archive.entries()[1];
+        assert_eq!(fresh.key, "reachable(@a,d)");
+        assert_eq!(fresh.annotation, "retracted");
+        assert_eq!(fresh.expired_at, Some(950));
     }
 }
