@@ -17,9 +17,11 @@
 //! per-mechanism crypto operation counts
 //! (`rsa_sign_ops`/`rsa_verify_ops`/`hmac_ops`/`handshakes`) and the
 //! network-dynamics counters
-//! (`churn_events`/`retractions`/`rederivations`/`tombstone_frames`) for
-//! the engine's join, batching, session-channel and churn workloads, giving
-//! future changes a perf trajectory to compare against.
+//! (`churn_events`/`retractions`/`rederivations`/`tombstone_frames`) and the
+//! worker-pool layout counters
+//! (`worker_threads`/`partitions`/`cross_partition_frames`/`max_partition_queue`)
+//! for the engine's join, batching, session-channel, churn and parallel
+//! workloads, giving future changes a perf trajectory to compare against.
 
 use pasn::experiment::{
     render_figure, render_summary, run_sweep, summarize, FigureMetric, SweepConfig,
@@ -123,7 +125,11 @@ fn point_json(name: &str, wall: std::time::Duration, metrics: &RunMetrics) -> St
             "      \"churn_events\": {},\n",
             "      \"retractions\": {},\n",
             "      \"rederivations\": {},\n",
-            "      \"tombstone_frames\": {}\n",
+            "      \"tombstone_frames\": {},\n",
+            "      \"worker_threads\": {},\n",
+            "      \"partitions\": {},\n",
+            "      \"cross_partition_frames\": {},\n",
+            "      \"max_partition_queue\": {}\n",
             "    }}"
         ),
         name,
@@ -148,6 +154,10 @@ fn point_json(name: &str, wall: std::time::Duration, metrics: &RunMetrics) -> St
         metrics.retractions,
         metrics.rederivations,
         metrics.tombstone_frames,
+        metrics.worker_threads,
+        metrics.partitions,
+        metrics.cross_partition_frames,
+        metrics.max_partition_queue,
     )
 }
 
@@ -272,6 +282,29 @@ fn engine_bench_json(rows: u32) -> String {
         started.elapsed(),
         &metrics,
     ));
+
+    // Parallel sharded evaluation: 50 disjoint 20-node reachability
+    // clusters (1000 nodes) evaluated sequentially and on a four-worker
+    // pool, under the paper's CPU cost model.  The counters must match bit
+    // for bit — the pool is a pure execution strategy — while
+    // `fixpoint_wall_ms` records the modeled critical path of the
+    // partitioned schedule (`RunMetrics::parallel_wall`: total charged CPU
+    // minus the work the waves executed off the critical path), which is
+    // what shrinks with workers.  CI asserts both the counter equality and
+    // the speedup.
+    for workers in [1usize, 4] {
+        let mut net = pasn_bench::clustered_reachability_network(
+            50,
+            20,
+            EngineConfig::ndlog().with_batching().with_workers(workers),
+        );
+        let metrics = net.run().expect("fixpoint");
+        points.push(point_json(
+            &format!("par_reachability_1k_w{workers}"),
+            metrics.parallel_wall,
+            &metrics,
+        ));
+    }
 
     // Store churn (insert / expire / re-insert): the memory-layout paths —
     // seq-ordered expiry, lazy compaction, index maintenance — that the join

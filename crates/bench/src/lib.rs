@@ -33,6 +33,47 @@ pub fn reachability_network(n: u32, config: EngineConfig, seed: u64) -> SecureNe
         .expect("the reachability program compiles")
 }
 
+/// Builds the parallel-evaluation workload: `clusters` disjoint clusters of
+/// `cluster_size` nodes, each wired as a directed ring plus a fixed-offset
+/// chord, running the NDLog reachability program.
+///
+/// The clusters are mutually unreachable, so the fixpoint is `clusters`
+/// independent transitive closures — embarrassingly parallel work whose
+/// node ids interleave across the `node_id % workers` partition map,
+/// keeping every partition of the worker pool busy in each wave.  The
+/// per-cluster reach set is bounded (`cluster_size` tuples per node), so
+/// the workload scales linearly with `clusters` instead of quadratically
+/// with the node count.
+pub fn clustered_reachability_network(
+    clusters: u32,
+    cluster_size: u32,
+    config: EngineConfig,
+) -> SecureNetwork {
+    use pasn_net::{Link, NodeId};
+    assert!(cluster_size >= 3, "a ring plus a chord needs >= 3 nodes");
+    let mut links = Vec::new();
+    for c in 0..clusters {
+        let base = c * cluster_size;
+        for j in 0..cluster_size {
+            let src = NodeId(base + j);
+            for offset in [1, 1 + cluster_size / 3] {
+                links.push(Link {
+                    src,
+                    dst: NodeId(base + (j + offset) % cluster_size),
+                    cost: 1,
+                });
+            }
+        }
+    }
+    let topology = Topology::new((0..clusters * cluster_size).map(NodeId), links);
+    SecureNetwork::builder()
+        .program(pasn::programs::reachability_ndlog())
+        .topology(topology)
+        .config(config)
+        .build()
+        .expect("the reachability program compiles")
+}
+
 /// Builds a single-node equijoin deployment with `rows` tuples in each of
 /// two base relations sharing a key column: the canonical workload for the
 /// secondary-index join path (`engine_fixpoint/indexed_join`).
@@ -129,6 +170,65 @@ mod tests {
         assert!(metrics.messages > 0);
         let mut net = reachability_network(6, EngineConfig::ndlog(), 1);
         assert!(net.run().unwrap().messages > 0);
+    }
+
+    #[test]
+    fn clustered_reachability_is_worker_count_invariant() {
+        let config = || {
+            EngineConfig::ndlog()
+                .with_cost_model(CostModel::zero_cpu())
+                .with_batching()
+        };
+        let mut sequential = clustered_reachability_network(4, 5, config().with_workers(1));
+        let baseline = sequential.run().unwrap();
+        // Four disjoint 5-node clusters: each node reaches exactly its own
+        // cluster, nothing across the cluster boundary.
+        assert_eq!(sequential.query(&Value::Addr(0), "reachable").len(), 5);
+        assert_eq!(sequential.query(&Value::Addr(19), "reachable").len(), 5);
+        let mut parallel = clustered_reachability_network(4, 5, config().with_workers(4));
+        let metrics = parallel.run().unwrap();
+        assert_eq!(metrics.derivations, baseline.derivations);
+        assert_eq!(metrics.tuples_stored, baseline.tuples_stored);
+        assert_eq!(metrics.frames, baseline.frames);
+        assert_eq!(metrics.completion, baseline.completion);
+        assert_eq!(parallel.worker_threads(), 4);
+        assert_eq!(parallel.partitions(), 4);
+        assert!(parallel.cross_partition_frames() > 0);
+        assert!(parallel.max_partition_queue() > 0);
+    }
+
+    #[test]
+    fn batched_best_path_is_worker_count_invariant_at_deployment_scale() {
+        // The aggregate (`a_MIN`) makes Best-Path the sharpest determinism
+        // detector: any drift in delivery batching or frame seal times
+        // changes which intermediate improvements fire, so derivations and
+        // message counts diverge long before final answers do.  N = 20 with
+        // 4 workers puts 5 nodes on every partition — the multi-node regime
+        // where lane-order hazards live — and the paper cost model keeps the
+        // CPU lanes non-trivial.
+        let run = |workers: usize| {
+            let topology = workload::evaluation_topology(20, 1);
+            let mut net = SecureNetwork::builder()
+                .program(pasn::programs::best_path())
+                .topology(topology)
+                .config(
+                    SystemVariant::NDLog
+                        .config()
+                        .with_batching()
+                        .with_workers(workers),
+                )
+                .build()
+                .expect("the Best-Path program compiles");
+            net.run().expect("fixpoint")
+        };
+        let baseline = run(1);
+        let parallel = run(4);
+        assert_eq!(parallel.derivations, baseline.derivations);
+        assert_eq!(parallel.tuples_stored, baseline.tuples_stored);
+        assert_eq!(parallel.messages, baseline.messages);
+        assert_eq!(parallel.frames, baseline.frames);
+        assert_eq!(parallel.bytes, baseline.bytes);
+        assert_eq!(parallel.completion, baseline.completion);
     }
 
     #[test]

@@ -349,6 +349,31 @@ impl SecureNetwork {
     pub fn tombstone_frames(&self) -> u64 {
         self.engine.metrics().tombstone_frames
     }
+
+    /// Size of the evaluation worker pool the last run was configured with
+    /// (1 = the sequential schedule; also `RunMetrics::worker_threads`).
+    pub fn worker_threads(&self) -> u64 {
+        self.engine.metrics().worker_threads
+    }
+
+    /// Node partitions the worker pool sharded the deployment into (also
+    /// reported at fixpoint as `RunMetrics::partitions`).
+    pub fn partitions(&self) -> u64 {
+        self.engine.metrics().partitions
+    }
+
+    /// Shipment frames whose sender and receiver lived on different
+    /// partitions — the pool's mailbox traffic (also reported at fixpoint
+    /// as `RunMetrics::cross_partition_frames`).
+    pub fn cross_partition_frames(&self) -> u64 {
+        self.engine.metrics().cross_partition_frames
+    }
+
+    /// Largest same-instant work slice any single partition drained (also
+    /// reported at fixpoint as `RunMetrics::max_partition_queue`).
+    pub fn max_partition_queue(&self) -> u64 {
+        self.engine.metrics().max_partition_queue
+    }
 }
 
 #[cfg(test)]

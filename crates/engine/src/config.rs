@@ -38,6 +38,19 @@ impl GraphMode {
     }
 }
 
+/// Reads the `PASN_WORKERS` environment override once per process: the CI
+/// matrix re-runs the whole test suite with `PASN_WORKERS=4` to use every
+/// unmodified test as a determinism oracle for the worker pool.
+fn env_workers() -> Option<usize> {
+    static WORKERS: std::sync::OnceLock<Option<usize>> = std::sync::OnceLock::new();
+    *WORKERS.get_or_init(|| {
+        std::env::var("PASN_WORKERS")
+            .ok()
+            .and_then(|raw| raw.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+    })
+}
+
 /// Default cap on tuples per delta batch / shipment frame when batching is
 /// enabled (see [`EngineConfig::max_batch_tuples`]).
 pub const DEFAULT_MAX_BATCH_TUPLES: usize = 64;
@@ -126,6 +139,14 @@ pub struct EngineConfig {
     /// `DistributedEngine::run_scenario` arms it automatically on a fresh
     /// engine.
     pub dynamics: bool,
+    /// Worker threads for parallel sharded evaluation.  Nodes are partitioned
+    /// `node_id % workers`; same-instant waves of independent deliveries are
+    /// fanned out to the pool and their effects merged back in deterministic
+    /// `(due, rank, seq)` order, so any worker count produces bit-identical
+    /// fixpoints and counters.  `1` (the default) is today's sequential path,
+    /// byte for byte.  Presets honour the `PASN_WORKERS` environment variable
+    /// so an unmodified test suite can be re-run against the pool.
+    pub workers: usize,
 }
 
 impl Default for EngineConfig {
@@ -156,7 +177,18 @@ impl EngineConfig {
             max_batch_tuples: DEFAULT_MAX_BATCH_TUPLES,
             channel_rebind_frames: pasn_crypto::channel::DEFAULT_REBIND_AFTER_FRAMES,
             dynamics: false,
+            workers: env_workers().unwrap_or(1),
         }
+    }
+
+    /// Builder: re-applies the `PASN_WORKERS` environment override (presets
+    /// already honour it; this restores it after an explicit
+    /// [`EngineConfig::with_workers`] or on a config built elsewhere).
+    pub fn from_env(mut self) -> Self {
+        if let Some(n) = env_workers() {
+            self.workers = n;
+        }
+        self
     }
 
     /// SeNDLog over session-keyed channels: RSA amortised to one
@@ -257,6 +289,13 @@ impl EngineConfig {
     /// Builder: sets a default TTL for derived tuples.
     pub fn with_default_ttl_us(mut self, ttl: u64) -> Self {
         self.default_ttl_us = Some(ttl);
+        self
+    }
+
+    /// Builder: sets the worker-pool size for parallel sharded evaluation
+    /// (`1` = sequential; clamped to at least one worker).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
         self
     }
 
@@ -377,6 +416,18 @@ mod tests {
             .with_max_batch_tuples(8);
         assert_eq!(cfg.batch_window_us, 2_500);
         assert_eq!(cfg.max_batch_tuples, 8);
+    }
+
+    #[test]
+    fn worker_builder_clamps_to_at_least_one() {
+        let cfg = EngineConfig::ndlog().with_workers(4);
+        assert_eq!(cfg.workers, 4);
+        let cfg = EngineConfig::ndlog().with_workers(0);
+        assert_eq!(cfg.workers, 1, "a pool needs at least one worker");
+        // from_env keeps an explicit choice when no override is exported.
+        if std::env::var("PASN_WORKERS").is_err() {
+            assert_eq!(EngineConfig::ndlog().with_workers(3).from_env().workers, 3);
+        }
     }
 
     #[test]

@@ -94,6 +94,29 @@ pub struct RunMetrics {
     /// also counted in [`RunMetrics::frames`] and proved once like a data
     /// frame.
     pub tombstone_frames: u64,
+    /// Worker threads the run was configured with
+    /// ([`EngineConfig::with_workers`]); `1` is the sequential path.
+    pub worker_threads: u64,
+    /// Node partitions evaluation was sharded into: `min(workers, nodes)`
+    /// when a worker pool is configured, otherwise `1`.
+    pub partitions: u64,
+    /// Shipment frames whose source and destination nodes live in different
+    /// partitions — the frames that cross a partition mailbox instead of
+    /// staying worker-local.  Always `0` on single-partition runs.
+    pub cross_partition_frames: u64,
+    /// High-water mark of events assigned to a single partition within one
+    /// same-instant wave — the load-balance indicator for the shard layout.
+    /// `0` when no wave was ever dispatched to the pool.
+    pub max_partition_queue: u64,
+    /// Modeled host wall-clock of the run at the configured worker count,
+    /// in simulated CPU terms: the total CPU the cost model charged to the
+    /// nodes, minus the work that parallel waves executed off the critical
+    /// path (each wave costs only its slowest partition).  At `workers = 1`
+    /// this degenerates to the sum of all charged CPU, so the ratio
+    /// `parallel_wall(n) / parallel_wall(1)` is a deterministic,
+    /// machine-independent speedup estimate even on a single-core host.
+    /// Zero under `CostModel::zero_cpu`.
+    pub parallel_wall: Duration,
 }
 
 impl RunMetrics {
@@ -117,6 +140,43 @@ impl RunMetrics {
         } else {
             self.batched_tuples as f64 / self.frames as f64
         }
+    }
+
+    /// Folds a partition's metrics shard into the run totals at wave merge
+    /// time: counters add, watermarks (`completion`, `max_partition_queue`)
+    /// take the maximum, and configuration facts (`worker_threads`,
+    /// `partitions`) plus host timings are left to the engine, which owns
+    /// them for the whole run.
+    pub fn absorb(&mut self, shard: &RunMetrics) {
+        self.completion = self.completion.max(shard.completion);
+        self.messages += shard.messages;
+        self.bytes += shard.bytes;
+        self.auth_bytes += shard.auth_bytes;
+        self.provenance_bytes += shard.provenance_bytes;
+        self.derivations += shard.derivations;
+        self.tuples_stored += shard.tuples_stored;
+        self.signatures += shard.signatures;
+        self.verifications += shard.verifications;
+        self.verification_failures += shard.verification_failures;
+        self.provenance_ops += shard.provenance_ops;
+        self.sampled_out += shard.sampled_out;
+        self.index_probes += shard.index_probes;
+        self.index_hits += shard.index_hits;
+        self.scan_probes += shard.scan_probes;
+        self.store_bytes += shard.store_bytes;
+        self.index_bytes += shard.index_bytes;
+        self.frames += shard.frames;
+        self.batched_tuples += shard.batched_tuples;
+        self.rsa_sign_ops += shard.rsa_sign_ops;
+        self.rsa_verify_ops += shard.rsa_verify_ops;
+        self.hmac_ops += shard.hmac_ops;
+        self.handshakes += shard.handshakes;
+        self.churn_events += shard.churn_events;
+        self.retractions += shard.retractions;
+        self.rederivations += shard.rederivations;
+        self.tombstone_frames += shard.tombstone_frames;
+        self.cross_partition_frames += shard.cross_partition_frames;
+        self.max_partition_queue = self.max_partition_queue.max(shard.max_partition_queue);
     }
 
     /// Relative overhead of this run against a baseline, as fractions

@@ -26,16 +26,17 @@ use pasn_crypto::{KeyAuthority, Principal, PrincipalId};
 use pasn_datalog::plan::{CompiledProgram, DeltaPlan, PlanStep, RulePlan, SlotTerm};
 use pasn_datalog::{compile_program, AggFunc, PlanError, PredId, Program, Symbols, Term, Value};
 use pasn_net::wire::Frame;
-use pasn_net::{CpuSchedule, Message, NetworkSim, NodeId, SimTime};
+use pasn_net::{Message, NetworkSim, NodeId, SimTime};
 use pasn_provenance::{
     AntecedentRef, ArchiveStore, ArchivedEntry, BaseTupleId, DerivationGraph, DistributedStore,
     LocalStore, MaintenanceMode, PointerDerivation, ProvTag, ProvenanceKind, VarTable,
 };
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BinaryHeap, HashMap, HashSet, VecDeque};
 use std::fmt;
-use std::sync::Arc;
-use std::time::Instant;
+use std::sync::{mpsc, Arc};
+use std::thread;
+use std::time::{Duration, Instant};
 
 /// Errors raised while constructing or driving the engine.
 #[derive(Debug)]
@@ -135,6 +136,54 @@ struct NodeRuntime {
     /// Deletion ledger: supports per stored row and the firing log.
     /// Populated only while dynamics are enabled.
     ledger: Ledger,
+    /// This node's simulated CPU lane: busy until this instant.  Owned by
+    /// the node (not a global schedule) so a partition can advance its
+    /// nodes' clocks without touching any other partition's state.
+    busy_until: SimTime,
+    /// Total simulated CPU this node has executed — the modeled work the
+    /// host must schedule somewhere.  Summed per partition per wave to
+    /// compute the modeled parallel critical path.
+    cpu_spent: SimTime,
+    /// Latest delivery time per outbound link, keyed by destination node id
+    /// (`SaysLevel::Session` and dynamics runs): a session channel's
+    /// monotonic frame counter requires in-order delivery per link — as the
+    /// real session transport it stands in for would provide — and
+    /// retraction streams likewise assume FIFO links (a tombstone must
+    /// never overtake the assertion it withdraws).  Keyed by destination
+    /// only because this node is always the source, which is what lets a
+    /// partition clamp its own outbound links without global state.
+    link_horizon: HashMap<u32, SimTime>,
+}
+
+impl NodeRuntime {
+    /// Runs `work` microseconds of CPU on this node's lane starting no
+    /// earlier than `now`; returns (and remembers) when the lane is free
+    /// again.
+    fn run_cpu(&mut self, now: SimTime, work: SimTime) -> SimTime {
+        let done = self.busy_until.max(now) + work;
+        self.busy_until = done;
+        self.cpu_spent += work;
+        done
+    }
+
+    /// Clamps `deliver_at` to this node's previous delivery on the link to
+    /// `dst` and advances the horizon.  Ties at one timestamp resolve by
+    /// work-queue seq, which is send order.
+    fn link_deliver(&mut self, dst: NodeId, deliver_at: SimTime) -> SimTime {
+        let horizon = self.link_horizon.entry(dst.0).or_insert(SimTime::ZERO);
+        let at = deliver_at.max(*horizon);
+        *horizon = at;
+        at
+    }
+
+    /// The link's current delivery horizon towards `dst` (ZERO when the
+    /// link never delivered).
+    fn link_horizon_to(&self, dst: NodeId) -> SimTime {
+        self.link_horizon
+            .get(&dst.0)
+            .copied()
+            .unwrap_or(SimTime::ZERO)
+    }
 }
 
 /// One tuple contributing to an in-flight join branch.  The row is shared
@@ -277,6 +326,175 @@ enum BatchKey {
     },
 }
 
+/// An engine-global side effect recorded by a [`PartitionCtx`] while it
+/// evaluates one work item.  Partitions never touch the shared work queue,
+/// open-batch buffers or traffic meter directly: they record effects in
+/// emission order and the engine replays them — immediately on the
+/// sequential path, or sorted by the originating event's queue seq when a
+/// wave's partitions ran concurrently.  Both replay orders are identical
+/// by construction, which is what makes the pool bit-compatible with the
+/// sequential schedule.
+enum Effect {
+    /// Enqueue a locally derived (or base) delta at its home node.
+    Local {
+        at: SimTime,
+        destination: Value,
+        pred: PredId,
+        row: BatchRow,
+        polarity: Polarity,
+    },
+    /// Append a head tuple to the open shipment frame of a remote link.
+    Ship {
+        at: SimTime,
+        src: Value,
+        dst: Value,
+        pred: PredId,
+        row: BatchRow,
+        polarity: Polarity,
+    },
+    /// Push already-finalized work (a sealed delivery frame, a scheduled
+    /// handshake) onto the global queue at `at`.
+    Queue { at: SimTime, work: QueuedWork },
+    /// Replay a transport send against the engine's traffic meter.  The
+    /// delivery time was already computed (and link-clamped) by the owning
+    /// partition; only the byte/message accounting is global.
+    NetSend {
+        at: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        wire_bytes: usize,
+    },
+    /// Schedule a TTL expiry sweep (deduplicated engine-globally).
+    Expiry { node: Value, at: SimTime },
+    /// Route one delivered tombstone row into the deletion ledger.  Only
+    /// emitted on dynamics runs, which never enter a parallel wave, so the
+    /// engine applies it immediately after the event.
+    Retract {
+        loc: Value,
+        pred: PredId,
+        values: Arc<[Value]>,
+        tag: ProvTag,
+        now: SimTime,
+    },
+}
+
+/// The read-only evaluation environment shared by every partition of a
+/// wave (and by the sequential path, which uses the same context type).
+struct EvalShared<'a> {
+    config: &'a EngineConfig,
+    compiled: &'a CompiledProgram,
+    symbols: &'a Symbols,
+    directory: &'a HashMap<Value, (NodeId, PrincipalId)>,
+    dynamics: bool,
+}
+
+impl<'a> Clone for EvalShared<'a> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<'a> Copy for EvalShared<'a> {}
+
+/// Mutable evaluation state for one partition: the node runtimes it owns
+/// exclusively, a metrics shard, and the effect log.  On the sequential
+/// path the engine lends its full node map, real variable table and real
+/// metrics, making the context a zero-cost reorganisation of the old
+/// monolithic evaluator; on the parallel path each partition gets a fresh
+/// shard and a scratch variable table (never consulted: parallel waves
+/// only run under provenance-free configurations).
+struct PartitionCtx<'a> {
+    shared: EvalShared<'a>,
+    nodes: &'a mut HashMap<Value, NodeRuntime>,
+    var_table: &'a mut VarTable,
+    metrics: &'a mut RunMetrics,
+    completion: &'a mut SimTime,
+    base_counter: &'a mut u64,
+    effects: &'a mut Vec<Effect>,
+}
+
+/// What one partition hands back after draining its slice of a wave.
+struct PartitionOutcome {
+    partition: u32,
+    nodes: HashMap<Value, NodeRuntime>,
+    /// Per-event effect logs, tagged with the event's queue seq.
+    events: Vec<(u64, Vec<Effect>)>,
+    metrics: RunMetrics,
+    completion: SimTime,
+    base_counter: u64,
+    /// Simulated CPU executed by this partition's nodes during the wave
+    /// (the wave charges only the maximum across partitions to the modeled
+    /// wall, banking the rest as parallel savings).
+    busy: SimTime,
+    /// First evaluation error, tagged with its event seq; the merge
+    /// surfaces the globally-lowest one.
+    error: Option<(u64, EngineError)>,
+}
+
+type PartitionBundle = (
+    u32,
+    Vec<(SimTime, u64, QueuedWork)>,
+    HashMap<Value, NodeRuntime>,
+);
+
+/// Drains one partition's slice of a wave on the calling thread: every
+/// event runs through a [`PartitionCtx`] over the partition's own nodes,
+/// metrics shard and effect log.  Stops at the first error (matching the
+/// sequential loop, which would have aborted there too).
+fn run_partition(
+    shared: EvalShared<'_>,
+    partition: u32,
+    events: Vec<(SimTime, u64, QueuedWork)>,
+    mut nodes: HashMap<Value, NodeRuntime>,
+) -> PartitionOutcome {
+    let mut metrics = RunMetrics::default();
+    let mut completion = SimTime::ZERO;
+    let mut base_counter = 0u64;
+    // Scratch: parallel waves only run under provenance-free configs, so
+    // the table is never consulted — the real table stays with the engine.
+    let mut var_table = VarTable::new();
+    let mut out = Vec::with_capacity(events.len());
+    let cpu_before: SimTime = nodes
+        .values()
+        .map(|n| n.cpu_spent)
+        .fold(SimTime::ZERO, |a, b| a + b);
+    let mut error = None;
+    for (at, seq, work) in events {
+        let mut effects = Vec::new();
+        let result = {
+            let mut ctx = PartitionCtx {
+                shared,
+                nodes: &mut nodes,
+                var_table: &mut var_table,
+                metrics: &mut metrics,
+                completion: &mut completion,
+                base_counter: &mut base_counter,
+                effects: &mut effects,
+            };
+            ctx.run(at, work)
+        };
+        out.push((seq, effects));
+        if let Err(e) = result {
+            error = Some((seq, e));
+            break;
+        }
+    }
+    let cpu_after: SimTime = nodes
+        .values()
+        .map(|n| n.cpu_spent)
+        .fold(SimTime::ZERO, |a, b| a + b);
+    PartitionOutcome {
+        partition,
+        nodes,
+        events: out,
+        metrics,
+        completion,
+        base_counter,
+        busy: SimTime::from_micros(cpu_after.as_micros() - cpu_before.as_micros()),
+        error,
+    }
+}
+
 /// One freshly inserted row of a processed batch, ready to drive delta
 /// evaluation.  `seq` is the row's store insertion seq: its branches only
 /// join rows with a seq no greater than it, so batch siblings inserted
@@ -298,9 +516,13 @@ pub struct DistributedEngine {
     symbols: Symbols,
     nodes: HashMap<Value, NodeRuntime>,
     locations: Vec<Value>,
+    /// Immutable deployment directory: location value → (node id,
+    /// principal).  Shared read-only with every partition so cross-node
+    /// lookups (destination validity, a receiver's principal for channel
+    /// setup) never touch another partition's mutable runtime.
+    directory: HashMap<Value, (NodeId, PrincipalId)>,
     var_table: VarTable,
     net: NetworkSim<u64>,
-    cpu: CpuSchedule,
     /// Work ordered by `(time, polarity rank, seq)`: at one instant,
     /// retraction batches/frames run after every assertion.  Together with
     /// per-link in-order delivery this makes "a tombstone never precedes
@@ -312,13 +534,12 @@ pub struct DistributedEngine {
     /// Open (still appendable) batches by key → queue seq; only populated
     /// while `batch_window_us > 0`.
     pending: HashMap<BatchKey, u64>,
-    /// Latest delivery time per directed link (`SaysLevel::Session` and
-    /// dynamics runs): a session channel's monotonic frame counter requires
-    /// in-order delivery per link — as the real session transport it stands
-    /// in for would provide — and retraction streams likewise assume FIFO
-    /// links (a tombstone must never overtake the assertion it withdraws).
-    link_horizon: HashMap<(u32, u32), SimTime>,
     next_seq: u64,
+    /// Simulated CPU banked by wave parallelism: for every wave, the sum of
+    /// all partitions' executed CPU minus the slowest partition's — work the
+    /// pool absorbed off the critical path.  Subtracted from the nodes'
+    /// total executed CPU to report [`RunMetrics::parallel_wall`].
+    cpu_saved: SimTime,
     metrics: RunMetrics,
     completion: SimTime,
     base_counter: u64,
@@ -419,9 +640,17 @@ impl DistributedEngine {
                     send_epoch_floor: HashMap::new(),
                     recv_epoch_floor: HashMap::new(),
                     ledger: Ledger::default(),
+                    busy_until: SimTime::ZERO,
+                    cpu_spent: SimTime::ZERO,
+                    link_horizon: HashMap::new(),
                 },
             );
         }
+
+        let directory: HashMap<Value, (NodeId, PrincipalId)> = nodes
+            .values()
+            .map(|n| (n.location.clone(), (n.node_id, n.principal)))
+            .collect();
 
         let dynamics = config.dynamics;
         let mut engine = DistributedEngine {
@@ -430,14 +659,14 @@ impl DistributedEngine {
             symbols,
             nodes,
             locations: locations.to_vec(),
+            directory,
             var_table: VarTable::new(),
             net: NetworkSim::new(cost),
-            cpu: CpuSchedule::new(),
             queue: BinaryHeap::new(),
             items: HashMap::new(),
             pending: HashMap::new(),
-            link_horizon: HashMap::new(),
             next_seq: 0,
+            cpu_saved: SimTime::ZERO,
             metrics: RunMetrics::default(),
             completion: SimTime::ZERO,
             base_counter: 0,
@@ -588,11 +817,6 @@ impl DistributedEngine {
         Ok(())
     }
 
-    /// The name behind one of this engine's interned predicate ids.
-    fn pred_name(&self, pred: PredId) -> &str {
-        self.symbols.name(pred).expect("interned predicate")
-    }
-
     /// Same-instant ordering rank: retraction work runs after assertion
     /// work so a tombstone is never applied before the assertion it
     /// withdraws (see the `queue` field docs), and channel evictions run
@@ -728,7 +952,7 @@ impl DistributedEngine {
     ) {
         let window = self.config.batch_window_us;
         if window == 0 {
-            self.seal_and_ship(
+            self.seal_and_ship_now(
                 at,
                 ShipFrame {
                     src: src.clone(),
@@ -769,6 +993,35 @@ impl DistributedEngine {
         );
     }
 
+    /// Seals one shipment frame right now on the engine (the
+    /// `batch_window = 0` fast path, where every head tuple ships as its
+    /// own frame): drives the same context sealing code the queue path
+    /// uses and replays its transport effects immediately.
+    fn seal_and_ship_now(&mut self, at: SimTime, frame: ShipFrame) {
+        let mut nodes = std::mem::take(&mut self.nodes);
+        let mut effects = Vec::new();
+        {
+            let mut ctx = PartitionCtx {
+                shared: EvalShared {
+                    config: &self.config,
+                    compiled: &self.compiled,
+                    symbols: &self.symbols,
+                    directory: &self.directory,
+                    dynamics: self.dynamics,
+                },
+                nodes: &mut nodes,
+                var_table: &mut self.var_table,
+                metrics: &mut self.metrics,
+                completion: &mut self.completion,
+                base_counter: &mut self.base_counter,
+                effects: &mut effects,
+            };
+            ctx.seal_and_ship(at, frame);
+        }
+        self.nodes = nodes;
+        self.apply_effects(effects);
+    }
+
     /// Drops `seq`'s entry from the open-batch map once the batch leaves the
     /// queue (no-op when the batch was sealed early or batching is off).
     fn close_pending(&mut self, key: BatchKey, seq: u64) {
@@ -785,51 +1038,30 @@ impl DistributedEngine {
     pub fn run_to_fixpoint(&mut self) -> Result<RunMetrics, EngineError> {
         let started = Instant::now();
         self.started = true;
+        let workers = self.config.workers.max(1);
+        self.metrics.worker_threads = workers as u64;
+        self.metrics.partitions = if workers > 1 {
+            workers.min(self.locations.len().max(1)) as u64
+        } else {
+            1
+        };
+        let parallel = workers > 1 && self.wave_parallel_eligible();
         let mut last_at = SimTime::ZERO;
         loop {
-            while let Some(Reverse((at, _rank, seq))) = self.queue.pop() {
-                last_at = last_at.max(at);
-                match self.items.remove(&seq).expect("queued item exists") {
-                    QueuedWork::Deliver(batch) => {
-                        if !batch.is_remote && self.config.batch_window_us > 0 {
-                            self.close_pending(
-                                BatchKey::Local {
-                                    destination: batch.destination.clone(),
-                                    pred: batch.pred,
-                                    due: at.as_micros(),
-                                    polarity: batch.polarity,
-                                },
-                                seq,
-                            );
-                        }
-                        self.process_batch(at, batch)?;
+            loop {
+                if parallel {
+                    if let Some(wave) = self.pop_wave() {
+                        last_at = last_at.max(wave.last().expect("wave is non-empty").0);
+                        self.process_wave(wave)?;
+                        continue;
                     }
-                    QueuedWork::Ship(frame) => {
-                        self.close_pending(
-                            BatchKey::Ship {
-                                src: frame.src.clone(),
-                                dst: frame.dst.clone(),
-                                pred: frame.pred,
-                                due: at.as_micros(),
-                                polarity: frame.polarity,
-                            },
-                            seq,
-                        );
-                        self.seal_and_ship(at, frame);
-                    }
-                    QueuedWork::Handshake {
-                        destination,
-                        handshake,
-                    } => self.process_handshake(at, destination, handshake),
-                    QueuedWork::Churn(event) => self.process_churn(at, event)?,
-                    QueuedWork::Evict {
-                        src,
-                        dst,
-                        send_epoch,
-                        recv_epoch,
-                    } => self.process_eviction(at, src, dst, send_epoch, recv_epoch),
-                    QueuedWork::Expire { node } => self.process_expiry(at, node),
                 }
+                let Some(Reverse((at, _rank, seq))) = self.queue.pop() else {
+                    break;
+                };
+                last_at = last_at.max(at);
+                let work = self.items.remove(&seq).expect("queued item exists");
+                self.dispatch_one(at, seq, work)?;
             }
             if self.dynamics && self.needs_sweep {
                 self.needs_sweep = false;
@@ -841,6 +1073,13 @@ impl DistributedEngine {
             break;
         }
         self.metrics.wall_clock = started.elapsed();
+        let cpu_total: SimTime = self
+            .nodes
+            .values()
+            .map(|n| n.cpu_spent)
+            .fold(SimTime::ZERO, |a, b| a + b);
+        self.metrics.parallel_wall =
+            Duration::from_micros(cpu_total.as_micros() - self.cpu_saved.as_micros());
         self.metrics.completion = self.completion;
         self.metrics.messages = self.net.stats().messages;
         self.metrics.bytes = self.net.stats().bytes;
@@ -852,6 +1091,356 @@ impl DistributedEngine {
         self.metrics.store_bytes = self.store_bytes();
         self.metrics.index_bytes = self.index_bytes();
         Ok(self.metrics.clone())
+    }
+
+    /// Whether this configuration can run same-instant waves on the worker
+    /// pool at all.  The shared provenance variable table is the one piece
+    /// of order-sensitive cross-node mutable state, so any configuration
+    /// that writes it (semiring tags, derivation graphs, offline archives)
+    /// stays on the sequential path; dynamics work items (churn, expiry,
+    /// eviction, retraction) are engine-global and are kept sequential by
+    /// the wave-safety check itself.
+    ///
+    /// Unbatched runs (`batch_window_us == 0`) also stay sequential: without
+    /// a window, shipment frames seal *inline* while effects apply
+    /// (`seal_and_ship_now`), charging the sender's CPU lane at replay time
+    /// — but the sequential schedule interleaves those seals between events,
+    /// so replaying them after the wave would order a node's lane
+    /// differently and shift every downstream send time.  With a window the
+    /// hazard is gone by construction: ship effects only buffer rows, and
+    /// sealing is first-class queued work owned by the sender, processed in
+    /// queue-seq order like everything else.
+    fn wave_parallel_eligible(&self) -> bool {
+        self.config.provenance == ProvenanceKind::None
+            && self.config.graph_mode == GraphMode::None
+            && !self.config.archive_offline
+            && self.config.batch_window_us > 0
+    }
+
+    /// The node whose partition must process a wave-safe work item:
+    /// deliveries and handshakes run at their destination, frame sealing at
+    /// the sender (signing/MAC cost lands on the sender's CPU lane).
+    fn wave_owner(work: &QueuedWork) -> &Value {
+        match work {
+            QueuedWork::Deliver(batch) => &batch.destination,
+            QueuedWork::Ship(frame) => &frame.src,
+            QueuedWork::Handshake { destination, .. } => destination,
+            _ => unreachable!("only deliveries, ships and handshakes join waves"),
+        }
+    }
+
+    /// Pops the maximal runnable prefix of same-instant, same-rank
+    /// assertion work (deliveries, frame sealings, handshakes) for
+    /// wave-parallel dispatch.  Returns `None` when the queue is empty or
+    /// its head is engine-global work — churn, eviction, expiry, retraction
+    /// batches, or a delivery to an unknown location (its error must
+    /// surface in sequential order) — which processes one item at a time on
+    /// the sequential path.  The conservative lookahead is the wave
+    /// boundary itself: everything inside a wave is due at one simulated
+    /// instant, and per-link delivery horizons guarantee nothing queued
+    /// later can be due earlier.
+    fn pop_wave(&mut self) -> Option<Vec<(SimTime, u64, QueuedWork)>> {
+        let &Reverse((wave_at, wave_rank, _)) = self.queue.peek()?;
+        let mut wave = Vec::new();
+        while let Some(&Reverse((at, rank, seq))) = self.queue.peek() {
+            if at != wave_at || rank != wave_rank {
+                break;
+            }
+            let safe = match self.items.get(&seq) {
+                Some(QueuedWork::Deliver(batch)) => {
+                    batch.polarity == Polarity::Assert
+                        && self.directory.contains_key(&batch.destination)
+                }
+                Some(QueuedWork::Ship(frame)) => frame.polarity == Polarity::Assert,
+                Some(QueuedWork::Handshake { .. }) => true,
+                _ => false,
+            };
+            if !safe {
+                break;
+            }
+            self.queue.pop();
+            let work = self.items.remove(&seq).expect("queued item exists");
+            wave.push((at, seq, work));
+        }
+        if wave.is_empty() {
+            None
+        } else {
+            Some(wave)
+        }
+    }
+
+    /// Dispatches one popped work item on the sequential path — the
+    /// `workers = 1` schedule, and the fallback for wave-unsafe work.
+    fn dispatch_one(&mut self, at: SimTime, seq: u64, work: QueuedWork) -> Result<(), EngineError> {
+        match work {
+            QueuedWork::Deliver(batch) => {
+                if !batch.is_remote && self.config.batch_window_us > 0 {
+                    self.close_pending(
+                        BatchKey::Local {
+                            destination: batch.destination.clone(),
+                            pred: batch.pred,
+                            due: at.as_micros(),
+                            polarity: batch.polarity,
+                        },
+                        seq,
+                    );
+                }
+                self.eval_event(at, QueuedWork::Deliver(batch))
+            }
+            QueuedWork::Ship(frame) => {
+                self.close_pending(
+                    BatchKey::Ship {
+                        src: frame.src.clone(),
+                        dst: frame.dst.clone(),
+                        pred: frame.pred,
+                        due: at.as_micros(),
+                        polarity: frame.polarity,
+                    },
+                    seq,
+                );
+                self.eval_event(at, QueuedWork::Ship(frame))
+            }
+            QueuedWork::Handshake { .. } => self.eval_event(at, work),
+            QueuedWork::Churn(event) => self.process_churn(at, event),
+            QueuedWork::Evict {
+                src,
+                dst,
+                send_epoch,
+                recv_epoch,
+            } => {
+                self.process_eviction(at, src, dst, send_epoch, recv_epoch);
+                Ok(())
+            }
+            QueuedWork::Expire { node } => {
+                self.process_expiry(at, node);
+                Ok(())
+            }
+        }
+    }
+
+    /// Runs one Deliver/Ship/Handshake event through an evaluation context
+    /// on the calling thread and applies its effects immediately — this IS
+    /// the sequential schedule, byte for byte: the context machinery is the
+    /// same one the worker pool uses, but with the engine's real variable
+    /// table and metrics, and with effects applied in emission order.
+    fn eval_event(&mut self, at: SimTime, work: QueuedWork) -> Result<(), EngineError> {
+        let mut nodes = std::mem::take(&mut self.nodes);
+        let mut effects = Vec::new();
+        let result = {
+            let mut ctx = PartitionCtx {
+                shared: EvalShared {
+                    config: &self.config,
+                    compiled: &self.compiled,
+                    symbols: &self.symbols,
+                    directory: &self.directory,
+                    dynamics: self.dynamics,
+                },
+                nodes: &mut nodes,
+                var_table: &mut self.var_table,
+                metrics: &mut self.metrics,
+                completion: &mut self.completion,
+                base_counter: &mut self.base_counter,
+                effects: &mut effects,
+            };
+            ctx.run(at, work)
+        };
+        self.nodes = nodes;
+        self.apply_effects(effects);
+        result
+    }
+
+    /// Replays a context's recorded effects against the engine-global
+    /// state: the work queue (seq assignment), open-batch buffers, the
+    /// traffic meter, scheduled expiries and retraction entry points.
+    /// Applying effects in emission order (sequential path) or in queue-seq
+    /// order across a wave (parallel path) yields the identical queue.
+    fn apply_effects(&mut self, effects: Vec<Effect>) {
+        for effect in effects {
+            match effect {
+                Effect::Local {
+                    at,
+                    destination,
+                    pred,
+                    row,
+                    polarity,
+                } => self.enqueue_local(at, destination, pred, row, polarity),
+                Effect::Ship {
+                    at,
+                    src,
+                    dst,
+                    pred,
+                    row,
+                    polarity,
+                } => self.buffer_ship(at, &src, &dst, pred, row, polarity),
+                Effect::Queue { at, work } => {
+                    self.push_work(at, work);
+                }
+                Effect::NetSend {
+                    at,
+                    src,
+                    dst,
+                    wire_bytes,
+                } => {
+                    self.net.send(
+                        at,
+                        Message {
+                            src,
+                            dst,
+                            payload: 0,
+                            wire_bytes,
+                        },
+                    );
+                }
+                Effect::Expiry { node, at } => self.schedule_expiry(node, at),
+                Effect::Retract {
+                    loc,
+                    pred,
+                    values,
+                    tag,
+                    now,
+                } => self.retract_row(&loc, pred, &values, Some(&tag), false, "retracted", now),
+            }
+        }
+    }
+
+    /// Processes one wave: closes every member's open-batch entry (exactly
+    /// what the sequential loop does as each item pops), groups members by
+    /// owning partition (`node_id % workers`), lends each partition its
+    /// owner runtimes, fans the groups out over scoped worker threads, then
+    /// merges deterministically — runtimes and metric shards fold in
+    /// partition order, and every event's effects replay in queue-seq
+    /// order, the exact order the sequential loop would have applied them.
+    fn process_wave(&mut self, wave: Vec<(SimTime, u64, QueuedWork)>) -> Result<(), EngineError> {
+        for (at, seq, work) in &wave {
+            match work {
+                QueuedWork::Deliver(batch)
+                    if !batch.is_remote && self.config.batch_window_us > 0 =>
+                {
+                    self.close_pending(
+                        BatchKey::Local {
+                            destination: batch.destination.clone(),
+                            pred: batch.pred,
+                            due: at.as_micros(),
+                            polarity: batch.polarity,
+                        },
+                        *seq,
+                    );
+                }
+                QueuedWork::Ship(frame) => {
+                    self.close_pending(
+                        BatchKey::Ship {
+                            src: frame.src.clone(),
+                            dst: frame.dst.clone(),
+                            pred: frame.pred,
+                            due: at.as_micros(),
+                            polarity: frame.polarity,
+                        },
+                        *seq,
+                    );
+                }
+                _ => {}
+            }
+        }
+
+        let workers = self.config.workers.max(1) as u32;
+        let mut groups: BTreeMap<u32, Vec<(SimTime, u64, QueuedWork)>> = BTreeMap::new();
+        for (at, seq, work) in wave {
+            let (node_id, _) = self.directory[Self::wave_owner(&work)];
+            groups
+                .entry(node_id.0 % workers)
+                .or_default()
+                .push((at, seq, work));
+        }
+        let largest = groups.values().map(|g| g.len()).max().unwrap_or(0) as u64;
+        self.metrics.max_partition_queue = self.metrics.max_partition_queue.max(largest);
+
+        // Move each partition's owner runtimes out of the engine: a
+        // partition owns its nodes exclusively for the duration of the wave.
+        let mut bundles: Vec<PartitionBundle> = Vec::with_capacity(groups.len());
+        for (partition, events) in groups {
+            let mut owned: HashMap<Value, NodeRuntime> = HashMap::new();
+            for (_, _, work) in &events {
+                let owner = Self::wave_owner(work);
+                if !owned.contains_key(owner) {
+                    let runtime = self
+                        .nodes
+                        .remove(owner)
+                        .expect("wave owners are deployed nodes");
+                    owned.insert(owner.clone(), runtime);
+                }
+            }
+            bundles.push((partition, events, owned));
+        }
+
+        let shared = EvalShared {
+            config: &self.config,
+            compiled: &self.compiled,
+            symbols: &self.symbols,
+            directory: &self.directory,
+            dynamics: self.dynamics,
+        };
+        let mut outcomes: Vec<PartitionOutcome> = Vec::with_capacity(bundles.len());
+        if bundles.len() == 1 {
+            let (partition, events, owned) = bundles.pop().expect("one bundle");
+            outcomes.push(run_partition(shared, partition, events, owned));
+        } else {
+            // One mailbox collects finished partitions; the first group runs
+            // on the coordinating thread while the rest fan out.
+            let (tx, rx) = mpsc::channel::<PartitionOutcome>();
+            let mut bundle_iter = bundles.into_iter();
+            let first = bundle_iter.next().expect("wave is non-empty");
+            thread::scope(|scope| {
+                let mut spawned = 0usize;
+                for (partition, events, owned) in bundle_iter {
+                    let tx = tx.clone();
+                    spawned += 1;
+                    scope.spawn(move || {
+                        let _ = tx.send(run_partition(shared, partition, events, owned));
+                    });
+                }
+                let (partition, events, owned) = first;
+                outcomes.push(run_partition(shared, partition, events, owned));
+                for _ in 0..spawned {
+                    outcomes.push(rx.recv().expect("worker delivers its outcome"));
+                }
+            });
+        }
+
+        outcomes.sort_by_key(|o| o.partition);
+        let wave_total = outcomes
+            .iter()
+            .map(|o| o.busy)
+            .fold(SimTime::ZERO, |a, b| a + b);
+        let wave_max = outcomes
+            .iter()
+            .map(|o| o.busy)
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        let mut events: Vec<(u64, Vec<Effect>)> = Vec::new();
+        let mut first_error: Option<(u64, EngineError)> = None;
+        for outcome in outcomes {
+            self.nodes.extend(outcome.nodes);
+            self.metrics.absorb(&outcome.metrics);
+            self.completion = self.completion.max(outcome.completion);
+            self.base_counter += outcome.base_counter;
+            events.extend(outcome.events);
+            if let Some((seq, error)) = outcome.error {
+                if first_error.as_ref().is_none_or(|(s, _)| seq < *s) {
+                    first_error = Some((seq, error));
+                }
+            }
+        }
+        events.sort_unstable_by_key(|(seq, _)| *seq);
+        for (_, effects) in events {
+            self.apply_effects(effects);
+        }
+        // Only the slowest partition gates the wave: everything the other
+        // partitions executed concurrently comes off the modeled host wall.
+        self.cpu_saved += SimTime::from_micros(wave_total.as_micros() - wave_max.as_micros());
+        match first_error {
+            Some((_, error)) => Err(error),
+            None => Ok(()),
+        }
     }
 
     /// Runs a churn scenario to its post-churn fixpoint: arms the dynamics
@@ -1011,8 +1600,11 @@ impl DistributedEngine {
                 std::mem::take(&mut node.deferred)
             };
             total += deferred.len();
+            let node = self.nodes.get_mut(&loc).expect("known location");
             for record in deferred {
-                self.record_provenance_graphs(
+                record_provenance_graphs(
+                    &self.config,
+                    node,
                     &loc,
                     &record.head_key,
                     &record.head_location,
@@ -1026,11 +1618,40 @@ impl DistributedEngine {
         }
         total
     }
+}
 
-    // ---- internal machinery ---------------------------------------------
+// ---- evaluation context ---------------------------------------------------
+//
+// Everything below runs *inside* a partition: it may mutate only the node
+// runtimes the partition owns (plus its metrics shard and effect log) and
+// read the shared immutable environment.  The sequential path drives the
+// same context with the engine's full state, so one code path serves both
+// schedules.
+impl<'a> PartitionCtx<'a> {
+    /// Dispatches one wave-safe work item.
+    fn run(&mut self, at: SimTime, work: QueuedWork) -> Result<(), EngineError> {
+        match work {
+            QueuedWork::Deliver(batch) => self.process_batch(at, batch),
+            QueuedWork::Ship(frame) => {
+                self.seal_and_ship(at, frame);
+                Ok(())
+            }
+            QueuedWork::Handshake {
+                destination,
+                handshake,
+            } => {
+                self.process_handshake(at, destination, handshake);
+                Ok(())
+            }
+            QueuedWork::Churn(_) | QueuedWork::Evict { .. } | QueuedWork::Expire { .. } => {
+                unreachable!("engine-global work never enters a partition context")
+            }
+        }
+    }
 
     fn principal_level(&self, principal: PrincipalId) -> u8 {
-        self.config
+        self.shared
+            .config
             .security_levels
             .get(&principal.0)
             .copied()
@@ -1046,17 +1667,18 @@ impl DistributedEngine {
             is_remote,
             polarity,
         } = batch;
-        if !self.nodes.contains_key(&destination) {
+        if !self.shared.directory.contains_key(&destination) {
             return Err(EngineError::UnknownLocation(destination));
         }
-        let cost_model = self.config.cost_model;
+        let cost_model = self.shared.config.cost_model;
         // Keep the node store's predicate mirror current (O(1) when in sync)
         // and resolve the batch's predicate name once, as a shared `Arc`.
         {
             let node = self.nodes.get_mut(&destination).expect("known location");
-            node.store.sync_symbols(&self.symbols);
+            node.store.sync_symbols(self.shared.symbols);
         }
         let pred_name: Arc<str> = self
+            .shared
             .symbols
             .name_arc(pred)
             .cloned()
@@ -1066,7 +1688,7 @@ impl DistributedEngine {
         // canonical concatenated payload covers every tuple in the frame.
         let mut cpu_cost = rows.len() as u64 * cost_model.tuple_process_us;
         if is_remote {
-            if let (Some(assertion), true) = (&assertion, self.config.verify_imports) {
+            if let (Some(assertion), true) = (&assertion, self.shared.config.verify_imports) {
                 let verifier = self.nodes[&destination]
                     .authenticator
                     .clone()
@@ -1120,23 +1742,26 @@ impl DistributedEngine {
                     // The whole frame is rejected: a forged proof vouches
                     // for none of the tuples it claims to cover.
                     self.metrics.verification_failures += 1;
-                    let done = self.cpu.run(
-                        self.nodes[&destination].node_id,
-                        at,
-                        SimTime::from_micros(cpu_cost),
-                    );
-                    self.completion = self.completion.max(done);
+                    let done = self
+                        .nodes
+                        .get_mut(&destination)
+                        .expect("known location")
+                        .run_cpu(at, SimTime::from_micros(cpu_cost));
+                    *self.completion = (*self.completion).max(done);
                     return Ok(());
                 }
             }
         }
-        if self.config.tracks_provenance() {
+        if self.shared.config.tracks_provenance() {
             cpu_cost += rows.len() as u64 * cost_model.provenance_op_us;
             self.metrics.provenance_ops += rows.len() as u64;
         }
-        let node_id = self.nodes[&destination].node_id;
-        let done = self.cpu.run(node_id, at, SimTime::from_micros(cpu_cost));
-        self.completion = self.completion.max(done);
+        let done = self
+            .nodes
+            .get_mut(&destination)
+            .expect("known location")
+            .run_cpu(at, SimTime::from_micros(cpu_cost));
+        *self.completion = (*self.completion).max(done);
 
         // Retraction batches settle against the deletion ledger instead of
         // the insert-and-fire path: each row withdraws one recorded
@@ -1144,15 +1769,13 @@ impl DistributedEngine {
         // and cascades.
         if polarity == Polarity::Retract {
             for row in rows {
-                self.retract_row(
-                    &destination,
+                self.effects.push(Effect::Retract {
+                    loc: destination.clone(),
                     pred,
-                    &row.values,
-                    Some(&row.tag),
-                    false,
-                    "retracted",
-                    done,
-                );
+                    values: row.values,
+                    tag: row.tag,
+                    now: done,
+                });
             }
             return Ok(());
         }
@@ -1162,24 +1785,25 @@ impl DistributedEngine {
         // work.  Provenance keys (display strings) are rendered only when a
         // tag will actually hold them.
         let expires_at = self
+            .shared
             .config
             .default_ttl_us
             .map(|ttl| SimTime::from_micros(done.as_micros() + ttl));
         let mut tags: Vec<ProvTag> = Vec::with_capacity(rows.len());
         for row in &rows {
             let tag = if row.is_base {
-                self.base_counter += 1;
-                if self.config.provenance == ProvenanceKind::None {
+                *self.base_counter += 1;
+                if self.shared.config.provenance == ProvenanceKind::None {
                     ProvTag::None
                 } else {
                     let principal = row.asserted_by.unwrap_or(PrincipalId(0));
-                    let origin_principal = self.config.granularity.origin_of(principal);
+                    let origin_principal = self.shared.config.granularity.origin_of(principal);
                     let level = self.principal_level(principal);
                     let key =
                         tuple::render_located_parts(&pred_name, &row.values, row.location_index);
                     ProvTag::base(
-                        self.config.provenance,
-                        &mut self.var_table,
+                        self.shared.config.provenance,
+                        &mut *self.var_table,
                         BaseTupleId(tuple::key_hash_parts(&pred_name, &row.values)),
                         &key,
                         origin_principal,
@@ -1208,7 +1832,7 @@ impl DistributedEngine {
             })
             .collect();
         let outcomes = {
-            let var_table = &mut self.var_table;
+            let var_table = &mut *self.var_table;
             let node = self.nodes.get_mut(&destination).expect("known location");
             node.store
                 .insert_rows(pred, insert_rows, |a, b| a.plus(b, var_table))
@@ -1218,7 +1842,7 @@ impl DistributedEngine {
         // row now holding its values — new, duplicate or tag-merged alike —
         // carrying the tag it contributed so deletion can withdraw exactly
         // it.  Soft-state rows get their expiry scheduled as simulator work.
-        if self.dynamics {
+        if self.shared.dynamics {
             let node = self.nodes.get_mut(&destination).expect("known location");
             for ((row, tag), (outcome, seq)) in rows.iter().zip(&tags).zip(&outcomes) {
                 node.ledger.record_arrival(
@@ -1241,7 +1865,10 @@ impl DistributedEngine {
             }
             if let Some(expiry) = expires_at {
                 if rows.iter().any(|row| !row.is_base) {
-                    self.schedule_expiry(destination.clone(), expiry);
+                    self.effects.push(Effect::Expiry {
+                        node: destination.clone(),
+                        at: expiry,
+                    });
                 }
             }
         }
@@ -1250,7 +1877,7 @@ impl DistributedEngine {
         // graphs (unchanged per-tuple semantics).  The rendered tuple key is
         // computed only on the branches that store it.
         for row in &rows {
-            if row.is_base && self.config.graph_mode != GraphMode::None {
+            if row.is_base && self.shared.config.graph_mode != GraphMode::None {
                 let tuple_key =
                     tuple::render_located_parts(&pred_name, &row.values, row.location_index);
                 let base_id = BaseTupleId(tuple::key_hash_parts(&pred_name, &row.values));
@@ -1274,12 +1901,12 @@ impl DistributedEngine {
             // provenance lives.
             if is_remote
                 && !row.is_base
-                && self.config.graph_mode == GraphMode::Distributed
+                && self.shared.config.graph_mode == GraphMode::Distributed
                 && row.origin != destination
             {
                 let tuple_key =
                     tuple::render_located_parts(&pred_name, &row.values, row.location_index);
-                if self.config.maintenance == MaintenanceMode::Reactive {
+                if self.shared.config.maintenance == MaintenanceMode::Reactive {
                     let node = self.nodes.get_mut(&destination).expect("known location");
                     node.deferred.push(DeferredDerivation {
                         head_key: tuple_key.clone(),
@@ -1323,6 +1950,7 @@ impl DistributedEngine {
             return Ok(());
         }
         let plans: Vec<(RulePlan, DeltaPlan)> = self
+            .shared
             .compiled
             .plans_for_pred(pred)
             .map(|(rp, dp)| (rp.clone(), dp.clone()))
@@ -1386,7 +2014,12 @@ impl DistributedEngine {
         for delta in deltas {
             if delta_plan.delta_args.len() != delta.values.len() {
                 return Err(EngineError::ArityMismatch {
-                    predicate: self.pred_name(pred).to_string(),
+                    predicate: self
+                        .shared
+                        .symbols
+                        .name(pred)
+                        .expect("interned predicate")
+                        .to_string(),
                     expected: delta_plan.delta_args.len(),
                     got: delta.values.len(),
                 });
@@ -1562,11 +2195,15 @@ impl DistributedEngine {
 
         // Charge the join-probing work to this node's CPU, then emit heads at
         // the resulting completion time.
-        let probe_cost = (probes as f64 * self.config.cost_model.join_probe_us).round() as u64;
+        let probe_cost =
+            (probes as f64 * self.shared.config.cost_model.join_probe_us).round() as u64;
         let now = if probe_cost > 0 {
-            let node_id = self.nodes[local].node_id;
-            let done = self.cpu.run(node_id, now, SimTime::from_micros(probe_cost));
-            self.completion = self.completion.max(done);
+            let done = self
+                .nodes
+                .get_mut(local)
+                .expect("known location")
+                .run_cpu(now, SimTime::from_micros(probe_cost));
+            *self.completion = (*self.completion).max(done);
             done
         } else {
             now
@@ -1644,6 +2281,7 @@ impl DistributedEngine {
         // consumer (store, provenance, wire) will reference.
         let head_pred = rule_plan.head_pred;
         let head_name: Arc<str> = self
+            .shared
             .symbols
             .name_arc(head_pred)
             .cloned()
@@ -1651,12 +2289,12 @@ impl DistributedEngine {
         let head_values: Arc<[Value]> = Arc::from(values);
 
         // Provenance tag: product of the contributing tuples' tags.
-        let tag = if self.config.provenance == ProvenanceKind::None {
+        let tag = if self.shared.config.provenance == ProvenanceKind::None {
             ProvTag::None
         } else {
-            let mut acc = ProvTag::one(self.config.provenance, &mut self.var_table);
+            let mut acc = ProvTag::one(self.shared.config.provenance, &mut *self.var_table);
             for c in contribs {
-                acc = acc.times(&c.tag, &mut self.var_table);
+                acc = acc.times(&c.tag, &mut *self.var_table);
                 self.metrics.provenance_ops += 1;
             }
             acc
@@ -1680,7 +2318,7 @@ impl DistributedEngine {
         // can replay it with opposite polarity.  Aggregate heads are
         // recorded too (their emitted rows are withdrawn symmetrically),
         // but `agg_state` itself is not rolled back; see the crate docs.
-        if self.dynamics {
+        if self.shared.dynamics {
             let node = self.nodes.get_mut(local).expect("known location");
             let idx = node.ledger.firings.len() as u32;
             node.ledger.firings.push(FiringRecord {
@@ -1709,8 +2347,9 @@ impl DistributedEngine {
         // Provenance graphs (sampled; deferred in reactive mode).  The
         // rendered display keys are derived from the shared rows here, only
         // when something will actually be recorded.
-        if self.config.graph_mode != GraphMode::None || self.config.archive_offline {
+        if self.shared.config.graph_mode != GraphMode::None || self.shared.config.archive_offline {
             if self
+                .shared
                 .config
                 .sampling
                 .records(tuple::key_hash_parts(&head_name, &head_values))
@@ -1719,9 +2358,9 @@ impl DistributedEngine {
                     tuple::render_located_parts(&head_name, &head_values, rule.head.location);
                 let antecedents: Vec<(String, Value)> = contribs
                     .iter()
-                    .map(|c| (c.render_key(&self.symbols), c.origin.clone()))
+                    .map(|c| (c.render_key(self.shared.symbols), c.origin.clone()))
                     .collect();
-                if self.config.maintenance == MaintenanceMode::Reactive {
+                if self.shared.config.maintenance == MaintenanceMode::Reactive {
                     let node = self.nodes.get_mut(local).expect("known location");
                     node.deferred.push(DeferredDerivation {
                         head_key: head_key.clone(),
@@ -1733,7 +2372,11 @@ impl DistributedEngine {
                         at: now,
                     });
                 } else {
-                    self.record_provenance_graphs(
+                    let config = self.shared.config;
+                    let node = self.nodes.get_mut(local).expect("known location");
+                    record_provenance_graphs(
+                        config,
+                        node,
                         local,
                         &head_key,
                         &destination.to_string(),
@@ -1759,11 +2402,17 @@ impl DistributedEngine {
                 is_base: false,
                 location_index: rule.head.location,
             };
-            self.enqueue_local(now, destination, head_pred, row, Polarity::Assert);
+            self.effects.push(Effect::Local {
+                at: now,
+                destination,
+                pred: head_pred,
+                row,
+                polarity: Polarity::Assert,
+            });
             return Ok(());
         }
 
-        if !self.nodes.contains_key(&destination) {
+        if !self.shared.directory.contains_key(&destination) {
             return Err(EngineError::UnknownLocation(destination));
         }
 
@@ -1771,7 +2420,7 @@ impl DistributedEngine {
         // exists at emission time; its wire bytes are charged when the frame
         // seals.
         let mut shipped_graph = None;
-        if self.config.graph_mode == GraphMode::Local {
+        if self.shared.config.graph_mode == GraphMode::Local {
             let head_key =
                 tuple::render_located_parts(&head_name, &head_values, rule.head.location);
             let node = &self.nodes[local];
@@ -1788,7 +2437,14 @@ impl DistributedEngine {
             is_base: false,
             location_index: rule.head.location,
         };
-        self.buffer_ship(now, local, &destination, head_pred, row, Polarity::Assert);
+        self.effects.push(Effect::Ship {
+            at: now,
+            src: local.clone(),
+            dst: destination,
+            pred: head_pred,
+            row,
+            polarity: Polarity::Assert,
+        });
         Ok(())
     }
 
@@ -1814,7 +2470,7 @@ impl DistributedEngine {
         // deletion ledger counts one support per arriving contribution, so
         // merging two firings' rows into one would leave a tombstone
         // unmatched later (deletion would over-withdraw).
-        let deduped: Vec<BatchRow> = if polarity == Polarity::Retract || self.dynamics {
+        let deduped: Vec<BatchRow> = if polarity == Polarity::Retract || self.shared.dynamics {
             rows
         } else {
             let mut seen: HashMap<Arc<[Value]>, usize> = HashMap::with_capacity(rows.len());
@@ -1823,7 +2479,7 @@ impl DistributedEngine {
                 match seen.get(&row.values) {
                     Some(&at) => {
                         let existing = &mut deduped[at];
-                        existing.tag = existing.tag.plus(&row.tag, &mut self.var_table);
+                        existing.tag = existing.tag.plus(&row.tag, &mut *self.var_table);
                         match (&mut existing.shipped_graph, row.shipped_graph) {
                             (Some(g), Some(h)) => g.merge(&h),
                             (slot @ None, h @ Some(_)) => *slot = h,
@@ -1840,6 +2496,7 @@ impl DistributedEngine {
         };
 
         let pred_name: Arc<str> = self
+            .shared
             .symbols
             .name_arc(pred)
             .cloned()
@@ -1865,7 +2522,7 @@ impl DistributedEngine {
         };
         let mut assertion = None;
         let mut sign_cost = 0u64;
-        if self.config.authenticated() {
+        if self.shared.config.authenticated() {
             let authenticator = self.nodes[&src]
                 .authenticator
                 .clone()
@@ -1873,25 +2530,25 @@ impl DistributedEngine {
             let a = match authenticator.level() {
                 SaysLevel::Session => {
                     self.ensure_channel(at, &src, &dst);
-                    let dst_principal = self.nodes[&dst].principal;
+                    let (_, dst_principal) = self.shared.directory[&dst];
                     let node = self.nodes.get_mut(&src).expect("known location");
                     let channel = node
                         .send_channels
                         .get_mut(&dst_principal)
                         .expect("ensure_channel opened the link");
                     self.metrics.hmac_ops += 1;
-                    sign_cost = self.config.cost_model.hmac_us;
+                    sign_cost = self.shared.config.cost_model.hmac_us;
                     authenticator.assert_frame_on(channel, &payloads)
                 }
                 level => {
                     sign_cost = match level {
                         SaysLevel::Rsa => {
                             self.metrics.rsa_sign_ops += 1;
-                            self.config.cost_model.rsa_sign_us
+                            self.shared.config.cost_model.rsa_sign_us
                         }
                         SaysLevel::Hmac => {
                             self.metrics.hmac_ops += 1;
-                            self.config.cost_model.hmac_us
+                            self.shared.config.cost_model.hmac_us
                         }
                         SaysLevel::Cleartext => 0,
                         SaysLevel::Session => unreachable!("handled above"),
@@ -1909,7 +2566,7 @@ impl DistributedEngine {
         // shipping cost (tag, and any piggybacked derivation subtree).
         for (row, payload) in deduped.iter().zip(&payloads) {
             let mut tuple_bytes = payload.len();
-            let tag_bytes = row.tag.wire_size(&self.var_table);
+            let tag_bytes = row.tag.wire_size(&*self.var_table);
             self.metrics.provenance_bytes += tag_bytes as u64;
             tuple_bytes += tag_bytes;
             if let Some(graph) = &row.shipped_graph {
@@ -1921,29 +2578,42 @@ impl DistributedEngine {
         }
 
         let node_id = self.nodes[&src].node_id;
-        let dst_id = self.nodes[&dst].node_id;
-        let send_at = self.cpu.run(node_id, at, SimTime::from_micros(sign_cost));
-        self.completion = self.completion.max(send_at);
-        let mut deliver_at = self.net.send(
-            send_at,
-            Message {
-                src: node_id,
-                dst: dst_id,
-                payload: self.next_seq,
-                wire_bytes: wire.wire_bytes(),
-            },
-        );
-        if self.config.says_level == Some(SaysLevel::Session) || self.dynamics {
-            deliver_at = self.link_deliver(node_id, dst_id, deliver_at);
+        let (dst_id, _) = self.shared.directory[&dst];
+        let send_at = self
+            .nodes
+            .get_mut(&src)
+            .expect("known location")
+            .run_cpu(at, SimTime::from_micros(sign_cost));
+        *self.completion = (*self.completion).max(send_at);
+        let wire_bytes = wire.wire_bytes();
+        let mut deliver_at = send_at + self.shared.config.cost_model.message_latency(wire_bytes);
+        self.effects.push(Effect::NetSend {
+            at: send_at,
+            src: node_id,
+            dst: dst_id,
+            wire_bytes,
+        });
+        if self.shared.config.says_level == Some(SaysLevel::Session) || self.shared.dynamics {
+            deliver_at = self
+                .nodes
+                .get_mut(&src)
+                .expect("known location")
+                .link_deliver(dst_id, deliver_at);
         }
         self.metrics.frames += 1;
         self.metrics.batched_tuples += deduped.len() as u64;
         if polarity == Polarity::Retract {
             self.metrics.tombstone_frames += 1;
         }
-        self.push_work(
-            deliver_at,
-            QueuedWork::Deliver(DeltaBatch {
+        // Partition accounting: a frame whose receiver lives on a different
+        // partition crosses a mailbox boundary on parallel runs.
+        let workers = self.shared.config.workers;
+        if workers > 1 && node_id.0 % workers as u32 != dst_id.0 % workers as u32 {
+            self.metrics.cross_partition_frames += 1;
+        }
+        self.effects.push(Effect::Queue {
+            at: deliver_at,
+            work: QueuedWork::Deliver(DeltaBatch {
                 destination: dst,
                 pred,
                 rows: deduped,
@@ -1951,23 +2621,7 @@ impl DistributedEngine {
                 is_remote: true,
                 polarity,
             }),
-        );
-    }
-
-    /// Session-channel deliveries are in-order per directed link (the
-    /// monotonic frame counter requires it, exactly as the real session
-    /// transport the channel stands in for would provide): clamps
-    /// `deliver_at` to the link's previous delivery and advances the
-    /// horizon.  Ties at one timestamp resolve by work-queue seq, which is
-    /// send order.
-    fn link_deliver(&mut self, src: NodeId, dst: NodeId, deliver_at: SimTime) -> SimTime {
-        let horizon = self
-            .link_horizon
-            .entry((src.0, dst.0))
-            .or_insert(SimTime::ZERO);
-        let at = deliver_at.max(*horizon);
-        *horizon = at;
-        at
+        });
     }
 
     /// Ensures an open (unexpired) sender channel for the directed link
@@ -1979,7 +2633,7 @@ impl DistributedEngine {
     /// down to — and the transcript + signature bytes travel as their own
     /// wire message ahead of the data frames they key.
     fn ensure_channel(&mut self, at: SimTime, src: &Value, dst: &Value) {
-        let dst_principal = self.nodes[dst].principal;
+        let (dst_id, dst_principal) = self.shared.directory[dst];
         let epoch = match self.nodes[src].send_channels.get(&dst_principal) {
             Some(channel) if !channel.expired() => return,
             Some(channel) => channel.epoch() + 1,
@@ -1996,45 +2650,42 @@ impl DistributedEngine {
             .authenticator
             .clone()
             .expect("authentication configured");
-        let (handshake, channel) =
-            authenticator.open_channel(dst_principal, epoch, self.config.channel_rebind_frames);
+        let (handshake, channel) = authenticator.open_channel(
+            dst_principal,
+            epoch,
+            self.shared.config.channel_rebind_frames,
+        );
         self.metrics.handshakes += 1;
         self.metrics.rsa_sign_ops += 1;
         // Sender-side session-key derivation.
         self.metrics.hmac_ops += 1;
 
         let node_id = self.nodes[src].node_id;
-        let dst_id = self.nodes[dst].node_id;
-        let send_at = self.cpu.run(
-            node_id,
+        let send_at = self.nodes.get_mut(src).expect("known location").run_cpu(
             at,
-            SimTime::from_micros(self.config.cost_model.rsa_sign_us),
+            SimTime::from_micros(self.shared.config.cost_model.rsa_sign_us),
         );
-        self.completion = self.completion.max(send_at);
+        *self.completion = (*self.completion).max(send_at);
         let wire = Frame::handshake(handshake.transcript.wire_len(), handshake.signature.len());
         self.metrics.auth_bytes += wire.payload_bytes() as u64;
-        let deliver_at = self.net.send(
-            send_at,
-            Message {
-                src: node_id,
-                dst: dst_id,
-                payload: self.next_seq,
-                wire_bytes: wire.wire_bytes(),
-            },
-        );
-        let deliver_at = self.link_deliver(node_id, dst_id, deliver_at);
-        self.nodes
-            .get_mut(src)
-            .expect("known location")
-            .send_channels
-            .insert(dst_principal, channel);
-        self.push_work(
-            deliver_at,
-            QueuedWork::Handshake {
+        let wire_bytes = wire.wire_bytes();
+        let deliver_at = send_at + self.shared.config.cost_model.message_latency(wire_bytes);
+        self.effects.push(Effect::NetSend {
+            at: send_at,
+            src: node_id,
+            dst: dst_id,
+            wire_bytes,
+        });
+        let sender = self.nodes.get_mut(src).expect("known location");
+        let deliver_at = sender.link_deliver(dst_id, deliver_at);
+        sender.send_channels.insert(dst_principal, channel);
+        self.effects.push(Effect::Queue {
+            at: deliver_at,
+            work: QueuedWork::Handshake {
                 destination: dst.clone(),
                 handshake,
             },
-        );
+        });
     }
 
     /// Receiver side of channel establishment: verifies the RSA-signed
@@ -2043,7 +2694,7 @@ impl DistributedEngine {
     /// validation installs nothing — subsequent frames on the link then
     /// fail verification for lack of a channel.
     fn process_handshake(&mut self, at: SimTime, destination: Value, handshake: ChannelHandshake) {
-        if !self.config.verify_imports {
+        if !self.shared.config.verify_imports {
             // The receiver checks no proofs, so it needs no channel state.
             return;
         }
@@ -2051,13 +2702,15 @@ impl DistributedEngine {
             .authenticator
             .clone()
             .expect("authentication configured");
-        let node_id = self.nodes[&destination].node_id;
-        let done = self.cpu.run(
-            node_id,
-            at,
-            SimTime::from_micros(self.config.cost_model.rsa_verify_us),
-        );
-        self.completion = self.completion.max(done);
+        let done = self
+            .nodes
+            .get_mut(&destination)
+            .expect("known location")
+            .run_cpu(
+                at,
+                SimTime::from_micros(self.shared.config.cost_model.rsa_verify_us),
+            );
+        *self.completion = (*self.completion).max(done);
         self.metrics.rsa_verify_ops += 1;
         // A handshake below the receiver's epoch floor is a replay of a
         // channel churn already retired (the live-channel case is handled
@@ -2095,9 +2748,15 @@ impl DistributedEngine {
             }
         }
     }
+}
 
-    // ---- network dynamics and provenance-guided deletion -----------------
-
+// ---- network dynamics and provenance-guided deletion -----------------------
+//
+// Dynamics work (churn, TTL expiry, channel eviction, retraction cascades)
+// stays on the engine: it is inherently engine-global (it walks multiple
+// nodes, reschedules queue work and touches the shared ledger-driven sweep
+// flag) and never enters a parallel wave.
+impl DistributedEngine {
     /// Schedules one TTL expiry sweep of `node` at `at` (deduplicated per
     /// distinct instant, so a thousand tuples expiring together cost one
     /// queue entry).
@@ -2125,8 +2784,11 @@ impl DistributedEngine {
             return;
         }
         let cost = expired.len() as u64 * self.config.cost_model.tuple_process_us;
-        let node_id = self.nodes[&loc].node_id;
-        let done = self.cpu.run(node_id, at, SimTime::from_micros(cost));
+        let done = self
+            .nodes
+            .get_mut(&loc)
+            .expect("known location")
+            .run_cpu(at, SimTime::from_micros(cost));
         self.completion = self.completion.max(done);
         for (pred, seq, values, meta) in expired {
             // Expiry wipes the row outright (force): upstream contributions
@@ -2278,11 +2940,7 @@ impl DistributedEngine {
         if send_epoch.is_none() && recv_epoch.is_none() {
             return;
         }
-        let horizon = self
-            .link_horizon
-            .get(&(src_node.node_id.0, dst_node.node_id.0))
-            .copied()
-            .unwrap_or(SimTime::ZERO);
+        let horizon = src_node.link_horizon_to(dst_node.node_id);
         let (src, dst) = (src.clone(), dst.clone());
         self.push_work(
             at.max(horizon),
@@ -2313,11 +2971,7 @@ impl DistributedEngine {
             return;
         };
         let (src_principal, dst_principal) = (src_node.principal, dst_node.principal);
-        let horizon = self
-            .link_horizon
-            .get(&(src_node.node_id.0, dst_node.node_id.0))
-            .copied()
-            .unwrap_or(SimTime::ZERO);
+        let horizon = src_node.link_horizon_to(dst_node.node_id);
         if horizon > at {
             self.push_work(
                 horizon,
@@ -2510,6 +3164,7 @@ impl DistributedEngine {
         }
         self.metrics.retractions += 1;
         self.needs_sweep = true;
+        self.charge_compaction(loc, now);
         if force {
             // The row was wiped, not decremented to zero: alive upstream
             // firings whose contribution died with it must fall silent, or
@@ -2523,6 +3178,24 @@ impl DistributedEngine {
             }
             self.route_retraction(loc, dest, rpred, rvalues, rtag, ridx, now);
         }
+    }
+
+    /// Charges any lazy-compaction debt the node's store accumulated while
+    /// removing rows to the *owning node's* CPU lane (not the global
+    /// clock): the walked seq-list entries are that node's housekeeping,
+    /// and on parallel runs they must delay only its own partition.
+    fn charge_compaction(&mut self, loc: &Value, now: SimTime) {
+        let node = self.nodes.get_mut(loc).expect("known location");
+        let walked = node.store.take_compaction_debt();
+        if walked == 0 {
+            return;
+        }
+        let cost = (walked as f64 * self.config.cost_model.compact_entry_us).round() as u64;
+        if cost == 0 {
+            return;
+        }
+        let done = node.run_cpu(now, SimTime::from_micros(cost));
+        self.completion = self.completion.max(done);
     }
 
     /// Marks every alive firing (at any node) whose head is the force-killed
@@ -2655,9 +3328,7 @@ impl DistributedEngine {
         }
         for (i, seq, pred, values, created_at) in zombies {
             let loc = locs[i].clone();
-            let node_id = self.nodes[&loc].node_id;
-            let done = self.cpu.run(
-                node_id,
+            let done = self.nodes.get_mut(&loc).expect("known location").run_cpu(
                 now,
                 SimTime::from_micros(self.config.cost_model.tuple_process_us),
             );
@@ -2685,72 +3356,74 @@ impl DistributedEngine {
             );
         }
     }
+}
 
-    /// Writes one derivation into the node's graph / pointer / archive
-    /// stores.
-    #[allow(clippy::too_many_arguments)]
-    fn record_provenance_graphs(
-        &mut self,
-        local: &Value,
-        head_key: &str,
-        head_location: &str,
-        rule: &str,
-        rule_location: &str,
-        antecedents: &[(String, Value)],
-        asserted_by: Option<PrincipalId>,
-        at: SimTime,
-    ) {
-        let local_str = local.to_string();
-        let node = self.nodes.get_mut(local).expect("known location");
-        let antecedent_keys: Vec<String> = antecedents.iter().map(|(k, _)| k.clone()).collect();
-        match self.config.graph_mode {
-            GraphMode::None => {}
-            GraphMode::Local => {
-                node.local_prov.graph_mut().add_derivation(
-                    head_key,
-                    head_location,
-                    rule,
-                    rule_location,
-                    &antecedent_keys,
-                    asserted_by,
-                    None,
-                    at.as_micros(),
-                    None,
-                );
-            }
-            GraphMode::Distributed => {
-                let refs: Vec<AntecedentRef> = antecedents
-                    .iter()
-                    .map(|(key, origin)| {
-                        if *origin == *local {
-                            AntecedentRef::Local(key.clone())
-                        } else {
-                            AntecedentRef::Remote {
-                                location: origin.to_string(),
-                                key: key.clone(),
-                            }
+/// Writes one derivation into the node's graph / pointer / archive stores.
+/// A free function so both the evaluation context (per-partition, though
+/// graph-recording configs always run sequentially) and the engine's
+/// deferred-materialization pass share it.
+#[allow(clippy::too_many_arguments)]
+fn record_provenance_graphs(
+    config: &EngineConfig,
+    node: &mut NodeRuntime,
+    local: &Value,
+    head_key: &str,
+    head_location: &str,
+    rule: &str,
+    rule_location: &str,
+    antecedents: &[(String, Value)],
+    asserted_by: Option<PrincipalId>,
+    at: SimTime,
+) {
+    let local_str = local.to_string();
+    let antecedent_keys: Vec<String> = antecedents.iter().map(|(k, _)| k.clone()).collect();
+    match config.graph_mode {
+        GraphMode::None => {}
+        GraphMode::Local => {
+            node.local_prov.graph_mut().add_derivation(
+                head_key,
+                head_location,
+                rule,
+                rule_location,
+                &antecedent_keys,
+                asserted_by,
+                None,
+                at.as_micros(),
+                None,
+            );
+        }
+        GraphMode::Distributed => {
+            let refs: Vec<AntecedentRef> = antecedents
+                .iter()
+                .map(|(key, origin)| {
+                    if *origin == *local {
+                        AntecedentRef::Local(key.clone())
+                    } else {
+                        AntecedentRef::Remote {
+                            location: origin.to_string(),
+                            key: key.clone(),
                         }
-                    })
-                    .collect();
-                node.dist_prov.record_derivation(
-                    head_key,
-                    PointerDerivation {
-                        rule: rule.to_string(),
-                        antecedents: refs,
-                    },
-                );
-            }
+                    }
+                })
+                .collect();
+            node.dist_prov.record_derivation(
+                head_key,
+                PointerDerivation {
+                    rule: rule.to_string(),
+                    antecedents: refs,
+                },
+            );
         }
-        if self.config.archive_offline {
-            node.archive.record(ArchivedEntry {
-                key: head_key.to_string(),
-                location: local_str,
-                annotation: format!("{rule}@{rule_location}"),
-                derived_at: at.as_micros(),
-                expired_at: None,
-                pinned: false,
-            });
-        }
+    }
+    if config.archive_offline {
+        node.archive.record(ArchivedEntry {
+            key: head_key.to_string(),
+            location: local_str,
+            annotation: format!("{rule}@{rule_location}"),
+            derived_at: at.as_micros(),
+            expired_at: None,
+            pinned: false,
+        });
     }
 }
 

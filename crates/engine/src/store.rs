@@ -93,6 +93,12 @@ struct Table {
     seq_order: Vec<u64>,
     /// Number of dead entries currently in `seq_order`.
     dead: usize,
+    /// Seq-list entries walked by compaction rebuilds since the debt was
+    /// last drained (see [`NodeStore::take_compaction_debt`]).  Compaction
+    /// used to run un-metered, which charged its cost to nobody — harmless
+    /// on one global clock, but wrong once partitions advance per-node CPU
+    /// lanes independently.
+    compaction_walked: u64,
     indexes: HashMap<Vec<usize>, IndexBuckets>,
 }
 
@@ -146,6 +152,7 @@ impl Table {
         // Lazy compaction: once more than half the seq list is dead, rebuild
         // it from the survivors (order-preserving, O(len), amortised O(1)).
         if self.dead * 2 > self.seq_order.len() {
+            self.compaction_walked += self.seq_order.len() as u64;
             let rows = &self.rows;
             self.seq_order.retain(|s| rows.contains_key(s));
             self.dead = 0;
@@ -475,6 +482,22 @@ impl NodeStore {
     pub fn remove_by_seq(&mut self, pred: PredId, seq: u64) -> Option<(Arc<[Value]>, TupleMeta)> {
         let row = self.tables.get_mut(pred.index())?.take_by_seq(seq)?;
         Some((row.values, row.meta))
+    }
+
+    /// Drains the store's outstanding compaction debt: the total number of
+    /// seq-list entries walked by lazy compaction rebuilds since the last
+    /// drain, across all relations.  The engine charges this to the owning
+    /// node's CPU lane (at [`pasn_net::CostModel::compact_entry_us`] per
+    /// entry) right after every removal path, so deferred store maintenance
+    /// lands on the partition that owns the node rather than vanishing into
+    /// the global clock.
+    pub fn take_compaction_debt(&mut self) -> u64 {
+        let mut walked = 0;
+        for table in &mut self.tables {
+            walked += table.compaction_walked;
+            table.compaction_walked = 0;
+        }
+        walked
     }
 
     /// Replaces the provenance tag of a live row.  Provenance-guided
@@ -1234,6 +1257,24 @@ mod tests {
             .collect();
         let expected: Vec<Tuple> = (90..100).map(|i| link(i, i)).collect();
         assert_eq!(got, expected, "survivors keep insertion order");
+    }
+
+    #[test]
+    fn compaction_debt_is_metered_and_drained() {
+        let mut store = NodeStore::new();
+        for i in 0..100u32 {
+            store.insert(&link(i, i), meta(ProvTag::None, None), |a, _| a.clone());
+        }
+        assert_eq!(store.take_compaction_debt(), 0, "inserts never compact");
+        for i in 0..90u32 {
+            store.remove(&link(i, i));
+        }
+        // 90 removals force several rebuilds; each walks the then-current
+        // seq list, so the drained debt must cover at least one full rebuild
+        // of the original list and be gone after draining.
+        let walked = store.take_compaction_debt();
+        assert!(walked >= 100, "compaction walked {walked} entries");
+        assert_eq!(store.take_compaction_debt(), 0, "draining resets the debt");
     }
 
     #[test]

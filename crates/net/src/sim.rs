@@ -104,6 +104,12 @@ pub struct CostModel {
     pub hmac_us: u64,
     /// CPU cost of one provenance (BDD) operation (µs).
     pub provenance_op_us: u64,
+    /// CPU cost per seq-list entry walked while compacting a relation's
+    /// insertion-order list after deletions (µs).  Compaction is deferred
+    /// maintenance triggered by retractions/expiry; charging it per entry to
+    /// the *owning node's* CPU lane keeps the cost attributable to that
+    /// node's partition instead of silently extending the global clock.
+    pub compact_entry_us: f64,
 }
 
 impl CostModel {
@@ -124,6 +130,7 @@ impl CostModel {
             rsa_verify_us: 80,
             hmac_us: 6,
             provenance_op_us: 500,
+            compact_entry_us: 0.05,
         }
     }
 
@@ -139,6 +146,7 @@ impl CostModel {
             rsa_verify_us: 0,
             hmac_us: 0,
             provenance_op_us: 0,
+            compact_entry_us: 0.0,
         }
     }
 
