@@ -9,8 +9,12 @@
 //! orders of magnitude below `rsa/assert_frame`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use pasn_crypto::bigint::{BigUint, MontgomeryCtx};
 use pasn_crypto::principal::{KeyAuthority, Principal, PrincipalId};
+use pasn_crypto::rsa::RsaKeyPair;
 use pasn_crypto::says::{Authenticator, SaysLevel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use std::time::Duration;
 
 /// A typical five-tuple shipment frame (reachability tuples).
@@ -76,5 +80,47 @@ fn says_levels(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, says_levels);
+/// The RSA hot path in isolation: CRT signing (two half-width
+/// exponentiations + Garner recombination) against the classic full-width
+/// reference, the fixed-window modular exponentiation against its binary
+/// predecessor, and what one seeded 512-bit keygen costs (Miller–Rabin
+/// dominates — the number that matters for the 10k-node scale item).
+fn rsa_hot_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crypto_says");
+    group.sample_size(20);
+    group.measurement_time(Duration::from_secs(3));
+
+    let mut rng = StdRng::seed_from_u64(1234);
+    let kp = RsaKeyPair::generate(512, &mut rng).unwrap();
+    let message = b"reachable(a,c) asserted by a";
+    group.bench_function("sign/crt", |bench| bench.iter(|| kp.sign(message)));
+    group.bench_function("sign/full-width", |bench| {
+        bench.iter(|| kp.sign_classic(message))
+    });
+
+    // A full-width exponentiation over the keypair's modulus with a
+    // full-size exponent — the exact shape a classic private-key operation
+    // exercises, window vs binary.
+    let ctx = MontgomeryCtx::new(kp.public_key().modulus()).unwrap();
+    let base = BigUint::from_bytes_be(&kp.sign(message));
+    let exponent = BigUint::random_with_bits(512, &mut rng);
+    group.bench_function("mod_pow/window", |bench| {
+        bench.iter(|| ctx.mod_pow(&base, &exponent))
+    });
+    group.bench_function("mod_pow/binary", |bench| {
+        bench.iter(|| ctx.mod_pow_binary(&base, &exponent))
+    });
+
+    group.bench_function("keygen", |bench| {
+        let mut seed = 0u64;
+        bench.iter(|| {
+            seed = seed.wrapping_add(1);
+            let mut rng = StdRng::seed_from_u64(seed);
+            RsaKeyPair::generate(512, &mut rng).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, says_levels, rsa_hot_path);
 criterion_main!(benches);

@@ -15,7 +15,8 @@
 //! index hit/probe counters, storage gauges, shipment-frame counters
 //! (`messages`/`signatures`/`frames`/`batched_tuples`/`mean_batch_occupancy`),
 //! per-mechanism crypto operation counts
-//! (`rsa_sign_ops`/`rsa_verify_ops`/`hmac_ops`/`handshakes`) and the
+//! (`rsa_sign_ops`/`rsa_verify_ops`/`hmac_ops`/`handshakes`/
+//! `handshake_batches`) and the
 //! network-dynamics counters
 //! (`churn_events`/`retractions`/`rederivations`/`tombstone_frames`) and the
 //! worker-pool layout counters
@@ -122,6 +123,7 @@ fn point_json(name: &str, wall: std::time::Duration, metrics: &RunMetrics) -> St
             "      \"rsa_verify_ops\": {},\n",
             "      \"hmac_ops\": {},\n",
             "      \"handshakes\": {},\n",
+            "      \"handshake_batches\": {},\n",
             "      \"churn_events\": {},\n",
             "      \"retractions\": {},\n",
             "      \"rederivations\": {},\n",
@@ -150,6 +152,7 @@ fn point_json(name: &str, wall: std::time::Duration, metrics: &RunMetrics) -> St
         metrics.rsa_verify_ops,
         metrics.hmac_ops,
         metrics.handshakes,
+        metrics.handshake_batches,
         metrics.churn_events,
         metrics.retractions,
         metrics.rederivations,
@@ -161,77 +164,122 @@ fn point_json(name: &str, wall: std::time::Duration, metrics: &RunMetrics) -> St
     )
 }
 
+/// Number of times each host-wall-measured workload is rebuilt and rerun;
+/// the reported wall time is the minimum across repetitions.  A single
+/// `Instant` span around a run of a few milliseconds absorbs first-touch
+/// page faults, cold caches and scheduler preemption; min-of-N is the
+/// standard low-noise estimator, applied uniformly to every workload so
+/// cross-workload ratios stay honest.
+const WALL_REPS: u32 = 5;
+
+/// Builds and runs one workload [`WALL_REPS`] times, returning the minimum
+/// wall time and the metrics — which double as a determinism oracle: every
+/// repetition must produce bit-identical counters.  Construction (topology
+/// build, key provisioning) happens outside the timed span; only `run` is
+/// measured.
+fn measured<T, B, R>(mut build: B, mut run: R) -> (std::time::Duration, RunMetrics)
+where
+    B: FnMut() -> T,
+    R: FnMut(&mut T) -> RunMetrics,
+{
+    let mut best: Option<(std::time::Duration, RunMetrics)> = None;
+    for _ in 0..WALL_REPS {
+        let mut subject = build();
+        let started = Instant::now();
+        let metrics = run(&mut subject);
+        let wall = started.elapsed();
+        if let Some((best_wall, best_metrics)) = &mut best {
+            // `wall_clock` is the run's own host-time measurement and is
+            // expected to jitter; every evaluation counter must not.
+            let mut comparable = metrics;
+            comparable.wall_clock = best_metrics.wall_clock;
+            assert_eq!(*best_metrics, comparable, "nondeterministic workload run");
+            *best_wall = (*best_wall).min(wall);
+        } else {
+            best = Some((wall, metrics));
+        }
+    }
+    best.expect("at least one repetition")
+}
+
 /// Runs the engine join workloads (indexed and scan-forced equijoin at
 /// `rows` tuples per relation, plus the N=30 reachability deployment) and
 /// renders the `BENCH_engine.json` document.
 fn engine_bench_json(rows: u32) -> String {
     let mut points = Vec::new();
 
-    let config = EngineConfig::ndlog().with_cost_model(CostModel::zero_cpu());
-    let mut engine = pasn_bench::equijoin_engine(rows, config);
-    let started = Instant::now();
-    let metrics = engine.run_to_fixpoint().expect("fixpoint");
+    let (wall, metrics) = measured(
+        || {
+            let config = EngineConfig::ndlog().with_cost_model(CostModel::zero_cpu());
+            pasn_bench::equijoin_engine(rows, config)
+        },
+        |engine| engine.run_to_fixpoint().expect("fixpoint"),
+    );
     points.push(point_json(
         &format!("equijoin_indexed_{rows}"),
-        started.elapsed(),
+        wall,
         &metrics,
     ));
 
-    let config = EngineConfig::ndlog()
-        .with_cost_model(CostModel::zero_cpu())
-        .without_secondary_indexes();
-    let mut engine = pasn_bench::equijoin_engine(rows, config);
-    let started = Instant::now();
-    let metrics = engine.run_to_fixpoint().expect("fixpoint");
-    points.push(point_json(
-        &format!("equijoin_scan_{rows}"),
-        started.elapsed(),
-        &metrics,
-    ));
+    let (wall, metrics) = measured(
+        || {
+            let config = EngineConfig::ndlog()
+                .with_cost_model(CostModel::zero_cpu())
+                .without_secondary_indexes();
+            pasn_bench::equijoin_engine(rows, config)
+        },
+        |engine| engine.run_to_fixpoint().expect("fixpoint"),
+    );
+    points.push(point_json(&format!("equijoin_scan_{rows}"), wall, &metrics));
 
     // The indexed equijoin with local delta batching: plan dispatch, slot
     // setup and rule-clone overhead amortise over each batch, so the
     // fixpoint wall time drops below `equijoin_indexed` while derivations
     // and stored tuples stay identical.
-    let config = EngineConfig::ndlog()
-        .with_cost_model(CostModel::zero_cpu())
-        .with_batching();
-    let mut engine = pasn_bench::equijoin_engine(rows, config);
-    let started = Instant::now();
-    let metrics = engine.run_to_fixpoint().expect("fixpoint");
+    let (wall, metrics) = measured(
+        || {
+            let config = EngineConfig::ndlog()
+                .with_cost_model(CostModel::zero_cpu())
+                .with_batching();
+            pasn_bench::equijoin_engine(rows, config)
+        },
+        |engine| engine.run_to_fixpoint().expect("fixpoint"),
+    );
     points.push(point_json(
         &format!("equijoin_batched_{rows}"),
-        started.elapsed(),
+        wall,
         &metrics,
     ));
 
-    let mut net = pasn_bench::reachability_network(
-        30,
-        EngineConfig::ndlog().with_cost_model(CostModel::zero_cpu()),
-        7,
+    let (wall, metrics) = measured(
+        || {
+            pasn_bench::reachability_network(
+                30,
+                EngineConfig::ndlog().with_cost_model(CostModel::zero_cpu()),
+                7,
+            )
+        },
+        |net| net.run().expect("fixpoint"),
     );
-    let started = Instant::now();
-    let metrics = net.run().expect("fixpoint");
-    points.push(point_json("reachability_30", started.elapsed(), &metrics));
+    points.push(point_json("reachability_30", wall, &metrics));
 
     // The same reachability deployment, authenticated and batched: one RSA
     // signature per multi-tuple frame instead of one per shipped tuple, so
     // `signatures == frames` and both undercut the per-tuple message count
     // above while `derivations`/`tuples_stored` stay identical.
-    let mut net = pasn_bench::reachability_network(
-        30,
-        EngineConfig::sendlog()
-            .with_cost_model(CostModel::zero_cpu())
-            .with_batching(),
-        7,
+    let (wall, metrics) = measured(
+        || {
+            pasn_bench::reachability_network(
+                30,
+                EngineConfig::sendlog()
+                    .with_cost_model(CostModel::zero_cpu())
+                    .with_batching(),
+                7,
+            )
+        },
+        |net| net.run().expect("fixpoint"),
     );
-    let started = Instant::now();
-    let metrics = net.run().expect("fixpoint");
-    points.push(point_json(
-        "batched_reachability_30",
-        started.elapsed(),
-        &metrics,
-    ));
+    points.push(point_json("batched_reachability_30", wall, &metrics));
 
     // The same deployment again over session-keyed channels: RSA collapses
     // from one sign per frame to one key-establishment handshake per live
@@ -240,20 +288,19 @@ fn engine_bench_json(rows: u32) -> String {
     // `tuples_stored`, `frames` and `batched_tuples` stay bit-identical to
     // `batched_reachability_30` and the fixpoint wall time drops with the
     // per-frame bignum exponentiations.
-    let mut net = pasn_bench::reachability_network(
-        30,
-        EngineConfig::sendlog_session()
-            .with_cost_model(CostModel::zero_cpu())
-            .with_batching(),
-        7,
+    let (wall, metrics) = measured(
+        || {
+            pasn_bench::reachability_network(
+                30,
+                EngineConfig::sendlog_session()
+                    .with_cost_model(CostModel::zero_cpu())
+                    .with_batching(),
+                7,
+            )
+        },
+        |net| net.run().expect("fixpoint"),
     );
-    let started = Instant::now();
-    let metrics = net.run().expect("fixpoint");
-    points.push(point_json(
-        "session_reachability_30",
-        started.elapsed(),
-        &metrics,
-    ));
+    points.push(point_json("session_reachability_30", wall, &metrics));
 
     // The session deployment once more, under network dynamics: one
     // topology link flaps down (provenance-guided deletion withdraws
@@ -263,25 +310,25 @@ fn engine_bench_json(rows: u32) -> String {
     // `session_reachability_30`'s `tuples_stored` exactly; `derivations`
     // exceeds it by the re-derivation work, which the churn counters
     // itemise.
-    let mut net = pasn_bench::reachability_network(
-        30,
-        EngineConfig::sendlog_session()
-            .with_cost_model(CostModel::zero_cpu())
-            .with_batching(),
-        7,
+    let (wall, metrics) = measured(
+        || {
+            let net = pasn_bench::reachability_network(
+                30,
+                EngineConfig::sendlog_session()
+                    .with_cost_model(CostModel::zero_cpu())
+                    .with_batching(),
+                7,
+            );
+            let flap = net.topology().expect("topology-built deployment").links()[0];
+            let (src, dst) = (Value::Addr(flap.src.0), Value::Addr(flap.dst.0));
+            let script = ChurnScript::new()
+                .link_down(5_000_000, src.clone(), dst.clone())
+                .link_up(10_000_000, src, dst);
+            (net, script)
+        },
+        |(net, script)| net.run_scenario(script).expect("post-churn fixpoint"),
     );
-    let flap = net.topology().expect("topology-built deployment").links()[0];
-    let (src, dst) = (Value::Addr(flap.src.0), Value::Addr(flap.dst.0));
-    let script = ChurnScript::new()
-        .link_down(5_000_000, src.clone(), dst.clone())
-        .link_up(10_000_000, src, dst);
-    let started = Instant::now();
-    let metrics = net.run_scenario(&script).expect("post-churn fixpoint");
-    points.push(point_json(
-        "churn_reachability_30",
-        started.elapsed(),
-        &metrics,
-    ));
+    points.push(point_json("churn_reachability_30", wall, &metrics));
 
     // Parallel sharded evaluation: 50 disjoint 20-node reachability
     // clusters (1000 nodes) evaluated sequentially and on a four-worker
@@ -310,17 +357,22 @@ fn engine_bench_json(rows: u32) -> String {
     // seq-ordered expiry, lazy compaction, index maintenance — that the join
     // workloads above never stress.
     let churn_rows = 10_000u32;
-    let started = Instant::now();
-    let store = pasn_bench::store_churn_cycle(churn_rows);
+    let (wall, metrics) = measured(
+        || (),
+        |()| {
+            let store = pasn_bench::store_churn_cycle(churn_rows);
+            RunMetrics {
+                tuples_stored: store.total_tuples() as u64,
+                store_bytes: store.store_bytes() as u64,
+                index_bytes: store.index_bytes() as u64,
+                ..RunMetrics::default()
+            }
+        },
+    );
     points.push(point_json(
         &format!("store_churn_{churn_rows}"),
-        started.elapsed(),
-        &RunMetrics {
-            tuples_stored: store.total_tuples() as u64,
-            store_bytes: store.store_bytes() as u64,
-            index_bytes: store.index_bytes() as u64,
-            ..RunMetrics::default()
-        },
+        wall,
+        &metrics,
     ));
 
     format!(

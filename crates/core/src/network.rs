@@ -325,6 +325,14 @@ impl SecureNetwork {
         self.engine.metrics().handshakes
     }
 
+    /// Coalesced handshake-verification windows dispatched at receivers
+    /// (also reported at fixpoint as `RunMetrics::handshake_batches`):
+    /// same-instant handshakes to one node share a single CPU charge, so
+    /// this is at most [`SecureNetwork::handshakes`].
+    pub fn handshake_batches(&self) -> u64 {
+        self.engine.metrics().handshake_batches
+    }
+
     /// Scripted churn events processed so far (also reported at fixpoint
     /// as `RunMetrics::churn_events`).
     pub fn churn_events(&self) -> u64 {
@@ -474,6 +482,11 @@ mod tests {
         assert_eq!(m.rsa_verify_ops, session.rsa_verify_ops());
         assert_eq!(m.hmac_ops, session.hmac_ops());
         assert_eq!(m.handshakes, session.handshakes());
+        // Same-instant handshake deliveries coalesce into shared CPU
+        // windows at the receivers — never more windows than handshakes.
+        assert_eq!(m.handshake_batches, session.handshake_batches());
+        assert!(session.handshake_batches() >= 1);
+        assert!(session.handshake_batches() <= session.handshakes());
         // The frame stream and fixpoint are the Rsa level's, bit for bit.
         assert_eq!(m.frames, baseline.frames);
         assert_eq!(m.batched_tuples, baseline.batched_tuples);

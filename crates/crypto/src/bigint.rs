@@ -335,23 +335,64 @@ impl BigUint {
             let (q, r) = self.div_rem_u64(divisor.limbs[0]);
             return (q, BigUint::from_u64(r));
         }
-        let bits = self.bit_len();
-        let mut quotient = vec![0u64; self.limbs.len()];
-        let mut rem = BigUint::zero();
-        for i in (0..bits).rev() {
-            rem = rem.shl_bits(1);
-            if self.bit(i) {
-                if rem.limbs.is_empty() {
-                    rem.limbs.push(1);
-                } else {
-                    rem.limbs[0] |= 1;
+        // Knuth Algorithm D (TAOCP vol. 2, 4.3.1) over 64-bit limbs:
+        // normalise so the divisor's top limb has its high bit set, then
+        // estimate each quotient limb from the top two dividend limbs and
+        // correct it at most twice.  Linear passes per quotient limb, versus
+        // the one-bit-per-iteration schoolbook loop this replaces.
+        let shift = divisor.limbs.last().expect("multi-limb").leading_zeros() as usize;
+        let v = divisor.shl_bits(shift);
+        let u = self.shl_bits(shift);
+        let n = v.limbs.len();
+        let m = u.limbs.len() - n;
+        let vn = &v.limbs;
+        let mut un = u.limbs.clone();
+        un.push(0);
+        let mut quotient = vec![0u64; m + 1];
+        let base = 1u128 << 64;
+        for j in (0..=m).rev() {
+            // Estimate from the top two dividend limbs over the top divisor
+            // limb; thanks to normalisation the estimate is at most 2 high.
+            let num = ((un[j + n] as u128) << 64) | un[j + n - 1] as u128;
+            let den = vn[n - 1] as u128;
+            let mut qhat = num / den;
+            let mut rhat = num % den;
+            while qhat >= base
+                || qhat * (vn[n - 2] as u128) > ((rhat << 64) | un[j + n - 2] as u128)
+            {
+                qhat -= 1;
+                rhat += den;
+                if rhat >= base {
+                    break;
                 }
             }
-            if rem.cmp(divisor) != Ordering::Less {
-                rem = rem.sub(divisor);
-                quotient[i / 64] |= 1u64 << (i % 64);
+            // Multiply-and-subtract qhat * v from the dividend window.
+            let mut carry = 0u128;
+            let mut borrow = 0i128;
+            for i in 0..n {
+                let p = qhat * (vn[i] as u128) + carry;
+                carry = p >> 64;
+                let d = (un[j + i] as i128) - ((p as u64) as i128) + borrow;
+                un[j + i] = d as u64;
+                borrow = d >> 64; // arithmetic: 0 or -1
             }
+            let d = (un[j + n] as i128) - (carry as i128) + borrow;
+            un[j + n] = d as u64;
+            if d < 0 {
+                // The estimate was one too high after all: add back.
+                qhat -= 1;
+                let mut c = 0u128;
+                for i in 0..n {
+                    let s = (un[j + i] as u128) + (vn[i] as u128) + c;
+                    un[j + i] = s as u64;
+                    c = s >> 64;
+                }
+                un[j + n] = (un[j + n] as u128 + c) as u64;
+            }
+            quotient[j] = qhat as u64;
         }
+        un.truncate(n);
+        let rem = BigUint::from_limbs(un).shr_bits(shift);
         (BigUint::from_limbs(quotient), rem)
     }
 
@@ -562,6 +603,7 @@ impl From<u64> for BigUint {
 
 /// Precomputed state for Montgomery modular multiplication with an odd
 /// modulus (the RSA hot path).
+#[derive(Clone)]
 pub struct MontgomeryCtx {
     /// Modulus limbs, little endian, length `k`.
     n: Vec<u64>,
@@ -569,8 +611,19 @@ pub struct MontgomeryCtx {
     n0inv: u64,
     /// `R^2 mod n` where `R = 2^(64k)`, used to convert into Montgomery form.
     r2: Vec<u64>,
+    /// `R mod n` — the Montgomery residue of 1, the neutral accumulator of
+    /// every exponentiation.
+    one_mont: Vec<u64>,
     k: usize,
     modulus: BigUint,
+}
+
+impl fmt::Debug for MontgomeryCtx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MontgomeryCtx")
+            .field("modulus_bits", &self.modulus.bit_len())
+            .finish()
+    }
 }
 
 impl MontgomeryCtx {
@@ -593,10 +646,14 @@ impl MontgomeryCtx {
         let r2_big = BigUint::one().shl_bits(128 * k).rem(modulus);
         let mut r2 = r2_big.limbs.clone();
         r2.resize(k, 0);
+        let one_mont_big = BigUint::one().shl_bits(64 * k).rem(modulus);
+        let mut one_mont = one_mont_big.limbs.clone();
+        one_mont.resize(k, 0);
         Some(MontgomeryCtx {
             n,
             n0inv,
             r2,
+            one_mont,
             k,
             modulus: modulus.clone(),
         })
@@ -610,8 +667,25 @@ impl MontgomeryCtx {
     /// CIOS Montgomery multiplication: returns `a * b * R^{-1} mod n` where
     /// inputs and output are length-`k` limb vectors (values < n).
     fn mont_mul(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+        let mut t = vec![0u64; self.k + 2];
+        let mut out = vec![0u64; self.k];
+        self.mont_mul_into(a, b, &mut t, &mut out);
+        out
+    }
+
+    /// [`MontgomeryCtx::mont_mul`] into caller-owned buffers — the
+    /// allocation-free core the exponentiation loops run on (`t` is `k + 2`
+    /// limbs of scratch, `out` is the `k`-limb result and must not alias
+    /// the inputs).  The RSA hot sizes (4-limb CRT halves, 8-limb full
+    /// width) dispatch to a fully unrolled stack-array kernel.
+    fn mont_mul_into(&self, a: &[u64], b: &[u64], t: &mut [u64], out: &mut [u64]) {
+        match self.k {
+            4 => return self.mont_mul_fixed::<4>(a, b, out),
+            8 => return self.mont_mul_fixed::<8>(a, b, out),
+            _ => {}
+        }
         let k = self.k;
-        let mut t = vec![0u64; k + 2];
+        t.fill(0);
         for &bi in b.iter().take(k) {
             // Multiply-accumulate: t += a * bi
             let mut carry = 0u64;
@@ -639,36 +713,165 @@ impl MontgomeryCtx {
             t[k] = t[k + 1].wrapping_add(carry);
             t[k + 1] = 0;
         }
-        // Final conditional subtraction: result may be in [0, 2n).
-        let mut result: Vec<u64> = t[..k].to_vec();
+        // Final subtraction, branchless: the result is in [0, 2n), so
+        // subtract n unconditionally and keep whichever value is correct
+        // via a mask.  Control flow stays operand-independent — nothing
+        // for the branch predictor to mispredict on fresh operands, and
+        // no operand-dependent timing.
         let overflow = t[k] != 0;
-        if overflow || Self::geq(&result, &self.n) {
-            Self::sub_in_place(&mut result, &self.n, overflow);
-        }
-        result
-    }
-
-    fn geq(a: &[u64], b: &[u64]) -> bool {
-        for i in (0..a.len()).rev() {
-            let bv = b.get(i).copied().unwrap_or(0);
-            if a[i] > bv {
-                return true;
-            }
-            if a[i] < bv {
-                return false;
-            }
-        }
-        true
-    }
-
-    fn sub_in_place(a: &mut [u64], b: &[u64], _had_overflow: bool) {
         let mut borrow = 0u64;
-        for (i, av) in a.iter_mut().enumerate() {
-            let bv = b.get(i).copied().unwrap_or(0);
-            let (d1, b1) = av.overflowing_sub(bv);
+        for j in 0..k {
+            let (d1, b1) = t[j].overflowing_sub(self.n[j]);
             let (d2, b2) = d1.overflowing_sub(borrow);
-            *av = d2;
-            borrow = (b1 as u64) + (b2 as u64);
+            out[j] = d2;
+            borrow = (b1 as u64) | (b2 as u64);
+        }
+        // Keep the subtracted value when t >= n: the accumulator overflowed
+        // past k limbs, or the subtraction needed no borrow.
+        let keep_sub = ((overflow as u64) | (1 - borrow)).wrapping_neg();
+        for j in 0..k {
+            out[j] = (out[j] & keep_sub) | (t[j] & !keep_sub);
+        }
+    }
+
+    /// CIOS with the limb count fixed at compile time: the accumulator
+    /// lives in a stack array (the two overflow limbs in scalars), every
+    /// inner loop fully unrolls, and all bounds checks vanish — worth ~2×
+    /// on the 4- and 8-limb operands RSA signing actually uses.
+    fn mont_mul_fixed<const K: usize>(&self, a: &[u64], b: &[u64], out: &mut [u64]) {
+        let n: &[u64; K] = self.n[..K].try_into().expect("modulus limb count");
+        let a: &[u64; K] = a[..K].try_into().expect("operand limb count");
+        let mut t = [0u64; K];
+        let mut t_hi = 0u64; // t[K]
+        for &bi in &b[..K] {
+            // Multiply-accumulate: t += a * bi
+            let mut carry = 0u64;
+            for j in 0..K {
+                let sum = t[j] as u128 + (a[j] as u128) * (bi as u128) + carry as u128;
+                t[j] = sum as u64;
+                carry = (sum >> 64) as u64;
+            }
+            let sum = t_hi as u128 + carry as u128;
+            t_hi = sum as u64;
+            let t_hi2 = (sum >> 64) as u64; // t[K + 1], only ever 0 or 1
+
+            // Reduction: add m * n and divide by 2^64.
+            let m = t[0].wrapping_mul(self.n0inv);
+            let sum = t[0] as u128 + (m as u128) * (n[0] as u128);
+            let mut carry = (sum >> 64) as u64;
+            for j in 1..K {
+                let sum = t[j] as u128 + (m as u128) * (n[j] as u128) + carry as u128;
+                t[j - 1] = sum as u64;
+                carry = (sum >> 64) as u64;
+            }
+            let sum = t_hi as u128 + carry as u128;
+            t[K - 1] = sum as u64;
+            t_hi = t_hi2.wrapping_add((sum >> 64) as u64);
+        }
+        // Final subtraction, branchless (see `mont_mul_into`): subtract n
+        // unconditionally and mask-select, keeping control flow
+        // operand-independent through the exponentiation's hottest path.
+        let mut sub = [0u64; K];
+        let mut borrow = 0u64;
+        for j in 0..K {
+            let (d1, b1) = t[j].overflowing_sub(n[j]);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            sub[j] = d2;
+            borrow = (b1 as u64) | (b2 as u64);
+        }
+        let keep_sub = (((t_hi != 0) as u64) | (1 - borrow)).wrapping_neg();
+        for j in 0..K {
+            out[j] = (sub[j] & keep_sub) | (t[j] & !keep_sub);
+        }
+    }
+
+    /// Montgomery squaring `a * a * R^{-1} mod n`.  Squaring needs only
+    /// half the off-diagonal partial products of a general multiply, so the
+    /// fixed RSA limb counts get a dedicated product-scanning kernel; other
+    /// sizes fall back to [`MontgomeryCtx::mont_mul_into`].  Squares are
+    /// the bulk of an exponentiation (one per exponent bit, versus one
+    /// multiply per window digit), so this is where the savings compound.
+    fn mont_sqr_into(&self, a: &[u64], t: &mut [u64], out: &mut [u64]) {
+        match self.k {
+            4 => self.mont_sqr_fixed::<4>(a, out),
+            8 => self.mont_sqr_fixed::<8>(a, out),
+            _ => self.mont_mul_into(a, a, t, out),
+        }
+    }
+
+    /// Separated-operand-scanning square + Montgomery reduction with the
+    /// limb count fixed at compile time (`K <= 8`): the full `2K`-limb
+    /// square is built from the strict upper triangle (doubled, diagonal
+    /// added), then reduced one limb at a time.  (K² - K) / 2 fewer word
+    /// multiplies than the CIOS multiply kernel.
+    fn mont_sqr_fixed<const K: usize>(&self, a: &[u64], out: &mut [u64]) {
+        debug_assert!(K <= 8, "square buffer holds 2K + 1 <= 17 limbs");
+        let n: &[u64; K] = self.n[..K].try_into().expect("modulus limb count");
+        let a: &[u64; K] = a[..K].try_into().expect("operand limb count");
+        // p holds the 2K-limb square; limb 2K is the reduction's carry slot.
+        let mut p = [0u64; 17];
+        // Strict upper triangle: each a[i]·a[j] (j > i) is needed twice.
+        for i in 0..K {
+            let mut carry = 0u64;
+            for j in (i + 1)..K {
+                let sum = p[i + j] as u128 + (a[i] as u128) * (a[j] as u128) + carry as u128;
+                p[i + j] = sum as u64;
+                carry = (sum >> 64) as u64;
+            }
+            p[i + K] = carry;
+        }
+        // Double it (2·Σ_{i<j} fits 2K limbs because it is at most a²) ...
+        let mut top = 0u64;
+        for limb in p.iter_mut().take(2 * K) {
+            let hi = *limb >> 63;
+            *limb = (*limb << 1) | top;
+            top = hi;
+        }
+        debug_assert_eq!(top, 0);
+        // ... and add the diagonal squares a[i]².
+        let mut carry = 0u64;
+        for i in 0..K {
+            let sq = (a[i] as u128) * (a[i] as u128);
+            let s0 = p[2 * i] as u128 + (sq as u64 as u128) + carry as u128;
+            p[2 * i] = s0 as u64;
+            let s1 = p[2 * i + 1] as u128 + (sq >> 64) + (s0 >> 64);
+            p[2 * i + 1] = s1 as u64;
+            carry = (s1 >> 64) as u64;
+        }
+        debug_assert_eq!(carry, 0);
+        // Montgomery-reduce the 2K-limb product one limb at a time; the
+        // ripple past position i + K is rare and mathematically confined to
+        // the carry slot.
+        for i in 0..K {
+            let m = p[i].wrapping_mul(self.n0inv);
+            let mut carry = 0u64;
+            for j in 0..K {
+                let sum = p[i + j] as u128 + (m as u128) * (n[j] as u128) + carry as u128;
+                p[i + j] = sum as u64;
+                carry = (sum >> 64) as u64;
+            }
+            // Fixed-trip carry propagation into the high limbs: the trip
+            // count depends only on i, never on the data, so the loop
+            // neither mispredicts nor leaks.
+            for limb in p[i + K..=2 * K].iter_mut() {
+                let (v, o) = limb.overflowing_add(carry);
+                *limb = v;
+                carry = o as u64;
+            }
+            debug_assert_eq!(carry, 0);
+        }
+        // Final subtraction, branchless (see `mont_mul_into`).
+        let mut sub = [0u64; K];
+        let mut borrow = 0u64;
+        for j in 0..K {
+            let (d1, b1) = p[K + j].overflowing_sub(n[j]);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            sub[j] = d2;
+            borrow = (b1 as u64) | (b2 as u64);
+        }
+        let keep_sub = (((p[2 * K] != 0) as u64) | (1 - borrow)).wrapping_neg();
+        for j in 0..K {
+            out[j] = (sub[j] & keep_sub) | (p[K + j] & !keep_sub);
         }
     }
 
@@ -692,19 +895,194 @@ impl MontgomeryCtx {
         self.mont_to_uint(&self.mont_mul(&am, &bm))
     }
 
-    /// Modular exponentiation `base^exponent mod n` by left-to-right
-    /// square-and-multiply over Montgomery residues.
+    /// Window width for fixed-window exponentiation: wide enough that the
+    /// 2^(w-1)-entry odd-power table amortises over the exponent, narrow
+    /// enough that building it never costs more than it saves.
+    fn window_width(bits: usize) -> usize {
+        match bits {
+            0..=24 => 1,
+            25..=160 => 3,
+            161..=672 => 4,
+            _ => 5,
+        }
+    }
+
+    /// Modular exponentiation `base^exponent mod n` by 2^w fixed-window
+    /// evaluation over Montgomery residues.
+    ///
+    /// The exponent is consumed left to right in `w`-bit digits; a
+    /// precomputed table of the odd powers `base^1, base^3, ...,
+    /// base^(2^w - 1)` serves every non-zero digit (an even digit
+    /// `odd << t` multiplies by the odd entry and defers `t` of its
+    /// squarings), cutting the multiplication count of plain binary
+    /// square-and-multiply from one per set bit to at most one per digit.
     pub fn mod_pow(&self, base: &BigUint, exponent: &BigUint) -> BigUint {
         if exponent.is_zero() {
             return BigUint::one().rem(&self.modulus);
         }
+        let bits = exponent.bit_len();
+        let w = Self::window_width(bits);
+        if w == 1 {
+            return self.mod_pow_binary(base, exponent);
+        }
         let base_m = self.to_mont(base);
-        let mut acc = self.to_mont(&BigUint::one());
+        let acc = match self.k {
+            // The RSA hot sizes run the whole window evaluation
+            // monomorphized: operands live in stack arrays and every
+            // kernel call is statically dispatched, so nothing is
+            // re-checked or re-branched per Montgomery operation.
+            4 => self.mod_pow_windowed_fixed::<4>(&base_m, exponent, w),
+            8 => self.mod_pow_windowed_fixed::<8>(&base_m, exponent, w),
+            _ => self.mod_pow_windowed_generic(&base_m, exponent, w),
+        };
+        self.mont_to_uint(&acc)
+    }
+
+    /// The fixed-window evaluation loop over a Montgomery-form base, for
+    /// the compile-time limb counts RSA actually uses.  `w >= 2` (the
+    /// caller routes `w == 1` to the binary ladder) and `w <= 5`, so the
+    /// odd-power table never exceeds 16 entries.
+    fn mod_pow_windowed_fixed<const K: usize>(
+        &self,
+        base_m: &[u64],
+        exponent: &BigUint,
+        w: usize,
+    ) -> Vec<u64> {
+        debug_assert!((2..=5).contains(&w));
+        let bits = exponent.bit_len();
+        let base: [u64; K] = base_m[..K].try_into().expect("operand limb count");
+        let mut base_sq = [0u64; K];
+        self.mont_sqr_fixed::<K>(&base, &mut base_sq);
+        // odd[i] = base^(2i+1) in Montgomery form.
+        let mut odd = [[0u64; K]; 16];
+        odd[0] = base;
+        for i in 1..(1usize << (w - 1)) {
+            let (prev, rest) = odd.split_at_mut(i);
+            self.mont_mul_fixed::<K>(&prev[i - 1], &base_sq, &mut rest[0]);
+        }
+        let mut acc = [0u64; K];
+        let mut tmp = [0u64; K];
+        let mut started = false;
+        for d in (0..bits.div_ceil(w)).rev() {
+            let mut digit = 0usize;
+            for j in (0..w).rev() {
+                let bit_idx = d * w + j;
+                digit <<= 1;
+                if bit_idx < bits && exponent.bit(bit_idx) {
+                    digit |= 1;
+                }
+            }
+            if digit == 0 {
+                if started {
+                    for _ in 0..w {
+                        self.mont_sqr_fixed::<K>(&acc, &mut tmp);
+                        acc = tmp;
+                    }
+                }
+                continue;
+            }
+            let tz = digit.trailing_zeros() as usize;
+            let odd_idx = (digit >> tz) >> 1;
+            if started {
+                for _ in 0..(w - tz) {
+                    self.mont_sqr_fixed::<K>(&acc, &mut tmp);
+                    acc = tmp;
+                }
+                self.mont_mul_fixed::<K>(&acc, &odd[odd_idx], &mut tmp);
+                acc = tmp;
+            } else {
+                acc = odd[odd_idx];
+                started = true;
+            }
+            for _ in 0..tz {
+                self.mont_sqr_fixed::<K>(&acc, &mut tmp);
+                acc = tmp;
+            }
+        }
+        acc.to_vec()
+    }
+
+    /// The fixed-window evaluation loop for arbitrary limb counts —
+    /// identical schedule to the monomorphized path, on heap buffers.
+    fn mod_pow_windowed_generic(&self, base_m: &[u64], exponent: &BigUint, w: usize) -> Vec<u64> {
+        let bits = exponent.bit_len();
+        // odd[i] = base^(2i+1) in Montgomery form.
+        let base_sq = {
+            let mut t = vec![0u64; self.k + 2];
+            let mut out = vec![0u64; self.k];
+            self.mont_sqr_into(base_m, &mut t, &mut out);
+            out
+        };
+        let mut odd = Vec::with_capacity(1 << (w - 1));
+        odd.push(base_m.to_vec());
+        for i in 1..(1usize << (w - 1)) {
+            odd.push(self.mont_mul(&odd[i - 1], &base_sq));
+        }
+        let mut acc = self.one_mont.clone();
+        let mut tmp = vec![0u64; self.k];
+        let mut scratch = vec![0u64; self.k + 2];
+        let mut started = false;
+        for d in (0..bits.div_ceil(w)).rev() {
+            let mut digit = 0usize;
+            for j in (0..w).rev() {
+                let bit_idx = d * w + j;
+                digit <<= 1;
+                if bit_idx < bits && exponent.bit(bit_idx) {
+                    digit |= 1;
+                }
+            }
+            if digit == 0 {
+                if started {
+                    for _ in 0..w {
+                        self.mont_sqr_into(&acc, &mut scratch, &mut tmp);
+                        std::mem::swap(&mut acc, &mut tmp);
+                    }
+                }
+                continue;
+            }
+            let tz = digit.trailing_zeros() as usize;
+            let odd_idx = (digit >> tz) >> 1;
+            if started {
+                for _ in 0..(w - tz) {
+                    self.mont_sqr_into(&acc, &mut scratch, &mut tmp);
+                    std::mem::swap(&mut acc, &mut tmp);
+                }
+                self.mont_mul_into(&acc, &odd[odd_idx], &mut scratch, &mut tmp);
+                std::mem::swap(&mut acc, &mut tmp);
+            } else {
+                acc.clone_from(&odd[odd_idx]);
+                started = true;
+            }
+            for _ in 0..tz {
+                self.mont_sqr_into(&acc, &mut scratch, &mut tmp);
+                std::mem::swap(&mut acc, &mut tmp);
+            }
+        }
+        acc
+    }
+
+    /// Modular exponentiation by plain left-to-right binary
+    /// square-and-multiply over Montgomery residues.
+    ///
+    /// Kept public as the reference implementation: the equivalence
+    /// proptests pit [`MontgomeryCtx::mod_pow`]'s windowed evaluation
+    /// against this path, and the `crypto_primitives` bench reports both so
+    /// the window's speedup stays visible.
+    pub fn mod_pow_binary(&self, base: &BigUint, exponent: &BigUint) -> BigUint {
+        if exponent.is_zero() {
+            return BigUint::one().rem(&self.modulus);
+        }
+        let base_m = self.to_mont(base);
+        let mut acc = self.one_mont.clone();
+        let mut tmp = vec![0u64; self.k];
+        let mut scratch = vec![0u64; self.k + 2];
         let bits = exponent.bit_len();
         for i in (0..bits).rev() {
-            acc = self.mont_mul(&acc, &acc);
+            self.mont_sqr_into(&acc, &mut scratch, &mut tmp);
+            std::mem::swap(&mut acc, &mut tmp);
             if exponent.bit(i) {
-                acc = self.mont_mul(&acc, &base_m);
+                self.mont_mul_into(&acc, &base_m, &mut scratch, &mut tmp);
+                std::mem::swap(&mut acc, &mut tmp);
             }
         }
         self.mont_to_uint(&acc)
@@ -933,6 +1311,35 @@ mod tests {
         assert_eq!(big(42).cmp(&big(42)), Ordering::Equal);
     }
 
+    #[test]
+    fn windowed_mod_pow_edge_exponents() {
+        // A 512-bit odd modulus, the RSA shape the window is tuned for.
+        let mut rng = StdRng::seed_from_u64(7);
+        let modulus = {
+            let m = BigUint::random_with_bits(512, &mut rng);
+            if m.is_even() {
+                m.add_u64(1)
+            } else {
+                m
+            }
+        };
+        let ctx = MontgomeryCtx::new(&modulus).unwrap();
+        let base = BigUint::random_with_bits(500, &mut rng);
+        // Exponent edge shapes: empty, one, a power of two (single odd
+        // digit, maximal deferred squarings), all-ones (every digit full),
+        // and one spanning a digit boundary.
+        let all_ones = BigUint::one().shl_bits(511).sub(&BigUint::one());
+        for e in [
+            BigUint::zero(),
+            BigUint::one(),
+            BigUint::one().shl_bits(257),
+            all_ones,
+            BigUint::from_u64(65537),
+        ] {
+            assert_eq!(ctx.mod_pow(&base, &e), ctx.mod_pow_binary(&base, &e));
+        }
+    }
+
     proptest! {
         #[test]
         fn prop_add_sub_roundtrip(a in any::<u128>(), b in any::<u128>()) {
@@ -959,6 +1366,20 @@ mod tests {
         fn prop_div_rem_invariant(a in any::<u128>(), b in 1u128..) {
             let x = BigUint::from_u128(a);
             let y = BigUint::from_u128(b);
+            let (q, r) = x.div_rem(&y);
+            prop_assert!(r < y);
+            prop_assert_eq!(q.mul(&y).add(&r), x);
+        }
+
+        #[test]
+        fn prop_div_rem_invariant_wide(
+            a in proptest::collection::vec(any::<u8>(), 0..96),
+            b in proptest::collection::vec(any::<u8>(), 1..48),
+        ) {
+            // Exercises every Algorithm D shape: multi-limb divisors, long
+            // quotients, normalisation shifts and the rare add-back step.
+            let x = BigUint::from_bytes_be(&a);
+            let y = BigUint::from_bytes_be(&b).add_u64(1);
             let (q, r) = x.div_rem(&y);
             prop_assert!(r < y);
             prop_assert_eq!(q.mul(&y).add(&r), x);
@@ -997,6 +1418,23 @@ mod tests {
                 let x = BigUint::from_u128(a);
                 let y = BigUint::from_u128(b);
                 prop_assert_eq!(ctx.mod_mul(&x, &y), x.mul(&y).rem(&modulus));
+            }
+        }
+
+        #[test]
+        fn prop_windowed_mod_pow_matches_binary(
+            base in proptest::collection::vec(any::<u8>(), 1..40),
+            // Exponents up to 720 bits exercise every window-width arm
+            // (w = 1, 3, 4 and 5) against the binary reference.
+            exp in proptest::collection::vec(any::<u8>(), 1..90),
+            modulus in proptest::collection::vec(any::<u8>(), 1..40),
+        ) {
+            let m = BigUint::from_bytes_be(&modulus);
+            let m = if m.is_even() { m.add_u64(1) } else { m };
+            if let Some(ctx) = MontgomeryCtx::new(&m) {
+                let b = BigUint::from_bytes_be(&base);
+                let e = BigUint::from_bytes_be(&exp);
+                prop_assert_eq!(ctx.mod_pow(&b, &e), ctx.mod_pow_binary(&b, &e));
             }
         }
 

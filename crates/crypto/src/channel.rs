@@ -35,7 +35,7 @@
 //! binding.  What the simulation preserves is the paper-relevant *cost
 //! profile*: one RSA operation per link per epoch, one HMAC per frame.
 
-use crate::hmac::{hmac_sha256, hmac_verify, TAG_LEN};
+use crate::hmac::{constant_time_eq, hmac_sha256, HmacKey, TAG_LEN};
 use crate::principal::PrincipalId;
 use crate::says::SaysError;
 
@@ -125,19 +125,22 @@ pub struct ChannelProof {
 /// Bytes a [`ChannelProof`] adds to a frame on the wire.
 pub const CHANNEL_PROOF_LEN: usize = 4 + 8 + TAG_LEN;
 
-fn mac_input(epoch: u32, counter: u64, payload: &[u8]) -> Vec<u8> {
-    let mut v = Vec::with_capacity(12 + payload.len());
-    v.extend_from_slice(&epoch.to_be_bytes());
-    v.extend_from_slice(&counter.to_be_bytes());
-    v.extend_from_slice(payload);
-    v
+/// `HMAC(session_key, epoch ‖ counter ‖ payload)`, streamed straight into
+/// the precomputed-key hasher — no intermediate buffer, and the two
+/// padded-key compressions were paid once at channel establishment.
+fn frame_tag(key: &HmacKey, epoch: u32, counter: u64, payload: &[u8]) -> [u8; TAG_LEN] {
+    let mut inner = key.begin();
+    inner.update(&epoch.to_be_bytes());
+    inner.update(&counter.to_be_bytes());
+    inner.update(payload);
+    key.finish(inner)
 }
 
 /// The initiator's half of an established channel: MACs outgoing frames
 /// under the session key, advancing the monotonic counter.
 #[derive(Clone, Debug)]
 pub struct SenderChannel {
-    key: [u8; TAG_LEN],
+    key: HmacKey,
     transcript: HandshakeTranscript,
     next_counter: u64,
     rebind_after: u64,
@@ -150,7 +153,7 @@ impl SenderChannel {
         rebind_after: u64,
     ) -> Self {
         SenderChannel {
-            key,
+            key: HmacKey::new(&key),
             transcript,
             next_counter: 0,
             rebind_after: rebind_after.max(1),
@@ -189,10 +192,7 @@ impl SenderChannel {
         ChannelProof {
             epoch: self.transcript.epoch,
             counter,
-            tag: hmac_sha256(
-                &self.key,
-                &mac_input(self.transcript.epoch, counter, payload),
-            ),
+            tag: frame_tag(&self.key, self.transcript.epoch, counter, payload),
         }
     }
 }
@@ -201,7 +201,7 @@ impl SenderChannel {
 /// enforces the strictly monotonic counter (replay protection).
 #[derive(Clone, Debug)]
 pub struct ReceiverChannel {
-    key: [u8; TAG_LEN],
+    key: HmacKey,
     transcript: HandshakeTranscript,
     last_counter: Option<u64>,
 }
@@ -209,7 +209,7 @@ pub struct ReceiverChannel {
 impl ReceiverChannel {
     pub(crate) fn new(key: [u8; TAG_LEN], transcript: HandshakeTranscript) -> Self {
         ReceiverChannel {
-            key,
+            key: HmacKey::new(&key),
             transcript,
             last_counter: None,
         }
@@ -237,12 +237,8 @@ impl ReceiverChannel {
     /// session key is fresh per epoch.
     pub fn verify_frame(&mut self, payload: &[u8], proof: &ChannelProof) -> Result<(), SaysError> {
         let src = self.transcript.src;
-        if !hmac_verify(
-            &self.key,
-            &mac_input(proof.epoch, proof.counter, payload),
-            &proof.tag,
-        ) || proof.epoch != self.transcript.epoch
-        {
+        let expected = frame_tag(&self.key, proof.epoch, proof.counter, payload);
+        if !constant_time_eq(&expected, &proof.tag) || proof.epoch != self.transcript.epoch {
             return Err(SaysError::InvalidProof(src));
         }
         if let Some(last) = self.last_counter {

@@ -12,32 +12,79 @@ use crate::sha256::{sha256, Digest, Sha256, BLOCK_LEN, DIGEST_LEN};
 /// Length in bytes of an HMAC-SHA-256 tag.
 pub const TAG_LEN: usize = DIGEST_LEN;
 
+/// An HMAC-SHA-256 key with its padded-key block absorptions precomputed.
+///
+/// The first compression of both the inner (`key ⊕ ipad`) and outer
+/// (`key ⊕ opad`) hashes depends only on the key, so a key that MACs many
+/// messages — a session channel authenticating every frame on a link —
+/// pays those two compressions once at construction instead of on every
+/// tag.
+#[derive(Clone)]
+pub struct HmacKey {
+    inner: Sha256,
+    outer: Sha256,
+}
+
+impl std::fmt::Debug for HmacKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("HmacKey(..)")
+    }
+}
+
+impl HmacKey {
+    /// Precomputes the padded-key state for `key` (hashed first when longer
+    /// than one block, per RFC 2104).
+    pub fn new(key: &[u8]) -> Self {
+        let mut key_block = [0u8; BLOCK_LEN];
+        if key.len() > BLOCK_LEN {
+            let hashed = sha256(key);
+            key_block[..DIGEST_LEN].copy_from_slice(&hashed);
+        } else {
+            key_block[..key.len()].copy_from_slice(key);
+        }
+        let mut ipad = [0u8; BLOCK_LEN];
+        let mut opad = [0u8; BLOCK_LEN];
+        for i in 0..BLOCK_LEN {
+            ipad[i] = key_block[i] ^ 0x36;
+            opad[i] = key_block[i] ^ 0x5c;
+        }
+        let mut inner = Sha256::new();
+        inner.update(&ipad);
+        let mut outer = Sha256::new();
+        outer.update(&opad);
+        HmacKey { inner, outer }
+    }
+
+    /// Starts one MAC computation: a hasher with the inner padded key
+    /// already absorbed — stream the message into it, then [`HmacKey::finish`].
+    pub fn begin(&self) -> Sha256 {
+        self.inner.clone()
+    }
+
+    /// Completes a MAC started with [`HmacKey::begin`].
+    pub fn finish(&self, inner: Sha256) -> Digest {
+        let inner_digest = inner.finalize();
+        let mut outer = self.outer.clone();
+        outer.update(&inner_digest);
+        outer.finalize()
+    }
+
+    /// One-shot `HMAC-SHA256(key, message)` under this key.
+    pub fn mac(&self, message: &[u8]) -> Digest {
+        let mut inner = self.begin();
+        inner.update(message);
+        self.finish(inner)
+    }
+
+    /// Verifies a tag in constant time.
+    pub fn verify(&self, message: &[u8], tag: &[u8]) -> bool {
+        constant_time_eq(&self.mac(message), tag)
+    }
+}
+
 /// Computes `HMAC-SHA256(key, message)`.
 pub fn hmac_sha256(key: &[u8], message: &[u8]) -> Digest {
-    let mut key_block = [0u8; BLOCK_LEN];
-    if key.len() > BLOCK_LEN {
-        let hashed = sha256(key);
-        key_block[..DIGEST_LEN].copy_from_slice(&hashed);
-    } else {
-        key_block[..key.len()].copy_from_slice(key);
-    }
-
-    let mut ipad = [0u8; BLOCK_LEN];
-    let mut opad = [0u8; BLOCK_LEN];
-    for i in 0..BLOCK_LEN {
-        ipad[i] = key_block[i] ^ 0x36;
-        opad[i] = key_block[i] ^ 0x5c;
-    }
-
-    let mut inner = Sha256::new();
-    inner.update(&ipad);
-    inner.update(message);
-    let inner_digest = inner.finalize();
-
-    let mut outer = Sha256::new();
-    outer.update(&opad);
-    outer.update(&inner_digest);
-    outer.finalize()
+    HmacKey::new(key).mac(message)
 }
 
 /// Constant-time comparison of two byte strings.

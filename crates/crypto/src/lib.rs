@@ -48,7 +48,10 @@
 //! assert!(bob.verify(b"reachable(a,d)", &assertion).is_err());
 //! ```
 
-#![forbid(unsafe_code)]
+// Unsafe is denied crate-wide with one documented exception: the
+// runtime-gated SHA-256 hardware kernel (`sha256::x86`), which cannot call
+// `core::arch` intrinsics from safe code.  Every other module is unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bigint;

@@ -100,14 +100,29 @@ pub fn gen_prime<R: RngCore>(bits: usize, rng: &mut R) -> BigUint {
     }
 }
 
+/// Returns `true` when `|p - q|` fits in `min_diff_bits` bits or fewer —
+/// primes close enough that Fermat factorisation of `p * q` starts from
+/// `ceil(sqrt(n))` and wins almost immediately.  Equal primes are the
+/// degenerate case (`|p - q| = 0`).
+pub fn primes_too_close(p: &BigUint, q: &BigUint, min_diff_bits: usize) -> bool {
+    let diff = if p >= q { p.sub(q) } else { q.sub(p) };
+    diff.bit_len() <= min_diff_bits
+}
+
 /// Generates a "safe enough" prime pair for an RSA modulus of `modulus_bits`
-/// bits, ensuring the two primes differ.
+/// bits: the two primes must differ by more than `2^(modulus_bits/2 - 100)`
+/// (the FIPS 186-5 closeness bound), or `q` is re-drawn.
+///
+/// Two independently drawn primes of this size violate the bound with
+/// probability around `2^-100`, so the rejection loop effectively never
+/// re-draws — seeded key generation stays deterministic in practice.
 pub fn gen_prime_pair<R: RngCore>(modulus_bits: usize, rng: &mut R) -> (BigUint, BigUint) {
     let half = modulus_bits / 2;
+    let min_diff_bits = half.saturating_sub(100).max(1);
     let p = gen_prime(half, rng);
     loop {
         let q = gen_prime(modulus_bits - half, rng);
-        if q != p {
+        if !primes_too_close(&p, &q, min_diff_bits) {
             return (p, q);
         }
     }
@@ -200,5 +215,30 @@ mod tests {
         assert_ne!(p, q);
         let n = p.mul(&q);
         assert_eq!(n.bit_len(), 256);
+    }
+
+    #[test]
+    fn close_prime_pairs_are_detected() {
+        // Twin primes: the closest distinct pair possible.
+        let p = BigUint::from_u64(1_000_000_007);
+        let q = BigUint::from_u64(1_000_000_009);
+        assert!(primes_too_close(&p, &q, 28));
+        assert!(primes_too_close(&q, &p, 28)); // symmetric
+        assert!(primes_too_close(&p, &p, 1)); // equal primes always fail
+                                              // |p - q| = 2 fits in 2 bits, so a 1-bit bound passes it.
+        assert!(!primes_too_close(&p, &q, 1));
+        // A pair a full half-width apart clears any realistic bound.
+        let far = BigUint::from_u64(3);
+        assert!(!primes_too_close(&p, &far, 28));
+    }
+
+    #[test]
+    fn generated_pairs_respect_the_closeness_bound() {
+        let mut r = rng();
+        for modulus_bits in [256usize, 512] {
+            let (p, q) = gen_prime_pair(modulus_bits, &mut r);
+            let bound = (modulus_bits / 2).saturating_sub(100).max(1);
+            assert!(!primes_too_close(&p, &q, bound));
+        }
     }
 }

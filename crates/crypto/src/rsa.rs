@@ -61,13 +61,26 @@ impl fmt::Display for RsaError {
 
 impl std::error::Error for RsaError {}
 
-/// An RSA public key (modulus and public exponent).
-#[derive(Clone, PartialEq, Eq)]
+/// An RSA public key (modulus and public exponent).  The verification
+/// context is precomputed once, so checking a signature never rebuilds
+/// Montgomery state — the directory hands out clones of one shared context.
+#[derive(Clone)]
 pub struct RsaPublicKey {
     n: BigUint,
     e: BigUint,
     modulus_bytes: usize,
+    ctx: Arc<MontgomeryCtx>,
 }
+
+impl PartialEq for RsaPublicKey {
+    fn eq(&self, other: &Self) -> bool {
+        // The context is derived from `n`; the key material alone decides
+        // equality.
+        self.n == other.n && self.e == other.e
+    }
+}
+
+impl Eq for RsaPublicKey {}
 
 impl fmt::Debug for RsaPublicKey {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -111,18 +124,36 @@ impl RsaPublicKey {
         if sig_int >= self.n {
             return false;
         }
-        let recovered = sig_int.mod_pow(&self.e, &self.n);
+        let recovered = self.ctx.mod_pow(&sig_int, &self.e);
         let expected = emsa_pkcs1_v15_encode(&sha256(message), self.modulus_bytes);
         recovered.to_bytes_be_padded(self.modulus_bytes) == expected
     }
 }
 
-/// An RSA key pair.  The private exponentiation context is precomputed so
-/// signing does not repeatedly rebuild Montgomery state.
+/// CRT private-key material: the prime factorisation of the modulus plus
+/// the reduced exponents and Montgomery contexts that let a signature be
+/// computed as two half-width exponentiations instead of one full-width one.
+struct CrtKey {
+    p: BigUint,
+    q: BigUint,
+    /// `d mod (p - 1)`.
+    d_p: BigUint,
+    /// `d mod (q - 1)`.
+    d_q: BigUint,
+    /// `q^{-1} mod p` (the Garner recombination coefficient).
+    q_inv: BigUint,
+    p_ctx: MontgomeryCtx,
+    q_ctx: MontgomeryCtx,
+}
+
+/// An RSA key pair.  The private exponentiation contexts — the full-width
+/// one and one per CRT prime — are precomputed so signing does not
+/// repeatedly rebuild Montgomery state.
 pub struct RsaKeyPair {
     public: RsaPublicKey,
     d: BigUint,
     ctx: Arc<MontgomeryCtx>,
+    crt: Arc<CrtKey>,
 }
 
 impl Clone for RsaKeyPair {
@@ -131,6 +162,7 @@ impl Clone for RsaKeyPair {
             public: self.public.clone(),
             d: self.d.clone(),
             ctx: Arc::clone(&self.ctx),
+            crt: Arc::clone(&self.crt),
         }
     }
 }
@@ -162,16 +194,32 @@ impl RsaKeyPair {
                 // e shares a factor with phi; extremely unlikely, retry.
                 continue;
             };
+            let Some(q_inv) = q.mod_inverse(&p) else {
+                // Distinct primes are always coprime; unreachable, but a
+                // retry is strictly safer than a panic here.
+                continue;
+            };
             let modulus_bytes = modulus_bits.div_ceil(8);
-            let ctx = MontgomeryCtx::new(&n).expect("RSA modulus is odd");
+            let ctx = Arc::new(MontgomeryCtx::new(&n).expect("RSA modulus is odd"));
+            let crt = CrtKey {
+                d_p: d.rem(&p.sub(&one)),
+                d_q: d.rem(&q.sub(&one)),
+                q_inv,
+                p_ctx: MontgomeryCtx::new(&p).expect("RSA primes are odd"),
+                q_ctx: MontgomeryCtx::new(&q).expect("RSA primes are odd"),
+                p,
+                q,
+            };
             return Ok(RsaKeyPair {
                 public: RsaPublicKey {
                     n,
                     e,
                     modulus_bytes,
+                    ctx: Arc::clone(&ctx),
                 },
                 d,
-                ctx: Arc::new(ctx),
+                ctx,
+                crt: Arc::new(crt),
             });
         }
     }
@@ -188,12 +236,51 @@ impl RsaKeyPair {
 
     /// Signs `message` (hashed with SHA-256 internally) and returns a
     /// signature of exactly [`Self::signature_len`] bytes.
+    ///
+    /// The private exponentiation runs over the CRT: two half-width
+    /// exponentiations modulo `p` and `q`, recombined with Garner's formula
+    /// — algebraically identical to the full-width `m^d mod n`, so the
+    /// signature bytes match [`Self::sign_classic`] exactly, at roughly a
+    /// quarter of the cost.  Debug builds re-derive the signature through
+    /// the classic path as a fault check (a single arithmetic slip in a CRT
+    /// half leaks the factorisation of `n` to anyone holding the bad
+    /// signature).
     pub fn sign(&self, message: &[u8]) -> Vec<u8> {
         let encoded = emsa_pkcs1_v15_encode(&sha256(message), self.public.modulus_bytes);
         let m = BigUint::from_bytes_be(&encoded);
         debug_assert!(m < self.public.n);
-        let sig = self.ctx.mod_pow(&m, &self.d);
+        let crt = &self.crt;
+        let m_p = crt.p_ctx.mod_pow(&m, &crt.d_p);
+        let m_q = crt.q_ctx.mod_pow(&m, &crt.d_q);
+        // Garner: sig = m_q + q * (q_inv * (m_p - m_q) mod p).
+        let m_q_mod_p = m_q.rem(&crt.p);
+        let diff = if m_p >= m_q_mod_p {
+            m_p.sub(&m_q_mod_p)
+        } else {
+            crt.p.sub(&m_q_mod_p).add(&m_p)
+        };
+        let h = crt.p_ctx.mod_mul(&crt.q_inv, &diff);
+        let sig = m_q.add(&h.mul(&crt.q));
+        debug_assert_eq!(
+            sig,
+            self.ctx.mod_pow(&m, &self.d),
+            "CRT signature diverged from the classic full-width path"
+        );
         sig.to_bytes_be_padded(self.public.modulus_bytes)
+    }
+
+    /// Signs through the classic full-width private exponentiation
+    /// (`m^d mod n`), bypassing the CRT.
+    ///
+    /// Byte-for-byte identical to [`Self::sign`]; kept public as the
+    /// reference the CRT equivalence proptest and the `crypto_says` bench
+    /// compare against.
+    pub fn sign_classic(&self, message: &[u8]) -> Vec<u8> {
+        let encoded = emsa_pkcs1_v15_encode(&sha256(message), self.public.modulus_bytes);
+        let m = BigUint::from_bytes_be(&encoded);
+        self.ctx
+            .mod_pow(&m, &self.d)
+            .to_bytes_be_padded(self.public.modulus_bytes)
     }
 
     /// Convenience: verifies with this key pair's public half.
@@ -224,12 +311,17 @@ fn emsa_pkcs1_v15_encode(digest: &Digest, em_len: usize) -> Vec<u8> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
     fn keypair() -> RsaKeyPair {
         let mut rng = StdRng::seed_from_u64(1234);
         RsaKeyPair::generate(512, &mut rng).unwrap()
+    }
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
     }
 
     #[test]
@@ -316,5 +408,59 @@ mod tests {
         let sig = kp.sign(b"");
         assert!(kp.verify(b"", &sig));
         assert!(!kp.verify(b" ", &sig));
+    }
+
+    #[test]
+    fn public_key_equality_ignores_the_cached_context() {
+        let kp = keypair();
+        let a = kp.public_key().clone();
+        let b = RsaPublicKey {
+            n: a.n.clone(),
+            e: a.e.clone(),
+            modulus_bytes: a.modulus_bytes,
+            ctx: Arc::new(MontgomeryCtx::new(&a.n).unwrap()),
+        };
+        assert_eq!(a, b);
+        let other = {
+            let mut rng = StdRng::seed_from_u64(999);
+            RsaKeyPair::generate(512, &mut rng).unwrap()
+        };
+        assert_ne!(&a, other.public_key());
+    }
+
+    #[test]
+    fn known_answer_signature_vector() {
+        // Pinned wire bytes of the seed-1234 512-bit key signing a fixed
+        // message.  Any change to key generation, EMSA encoding or the
+        // private exponentiation — CRT or otherwise — that alters
+        // signatures on the wire trips this before it can ship.
+        let kp = keypair();
+        let sig = kp.sign(b"reachable(a,c) asserted by a");
+        assert_eq!(hex(&sig), KNOWN_ANSWER_SIG_HEX);
+        assert_eq!(
+            hex(&kp.sign_classic(b"reachable(a,c) asserted by a")),
+            KNOWN_ANSWER_SIG_HEX
+        );
+    }
+
+    const KNOWN_ANSWER_SIG_HEX: &str = "08e743aa0f10268eb3024152be4e1af5fab0e43b6e307ae639582f4290dde480edde75c5e132aa27967a489312478105d8059852481727307159bd90f180554c";
+
+    proptest! {
+        // Key generation dominates each case; a handful of cases over
+        // several sizes and seeds is plenty for an algebraic identity.
+        #![proptest_config(ProptestConfig::with_cases(5))]
+        #[test]
+        fn prop_crt_sign_matches_classic_byte_for_byte(
+            bits_sel in 0usize..3,
+            seed in 0u64..1_000,
+            msg in proptest::collection::vec(any::<u8>(), 0..200),
+        ) {
+            let bits = [512usize, 576, 704][bits_sel];
+            let mut rng = StdRng::seed_from_u64(seed);
+            let kp = RsaKeyPair::generate(bits, &mut rng).unwrap();
+            let sig = kp.sign(&msg);
+            prop_assert_eq!(&sig, &kp.sign_classic(&msg));
+            prop_assert!(kp.verify(&msg, &sig));
+        }
     }
 }

@@ -113,49 +113,166 @@ impl Sha256 {
     }
 
     fn compress(&mut self, block: &[u8; BLOCK_LEN]) {
-        let mut w = [0u32; 64];
-        for (i, chunk) in block.chunks_exact(4).enumerate() {
-            w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
-        }
-        for i in 16..64 {
-            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
-            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
-            w[i] = w[i - 16]
-                .wrapping_add(s0)
-                .wrapping_add(w[i - 7])
-                .wrapping_add(s1);
+        compress_block(&mut self.state, block);
+    }
+}
+
+/// Compresses one 64-byte block into `state`, dispatching to the hardware
+/// kernel when the CPU has the SHA extensions and to the scalar reference
+/// rounds otherwise.
+#[allow(unsafe_code)]
+fn compress_block(state: &mut [u32; 8], block: &[u8; BLOCK_LEN]) {
+    #[cfg(target_arch = "x86_64")]
+    if x86::available() {
+        // SAFETY: gated on the one-time CPUID probe in `x86::available`.
+        unsafe { x86::compress(state, block) };
+        return;
+    }
+    compress_scalar(state, block);
+}
+
+/// The scalar FIPS 180-4 compression rounds — the portable reference every
+/// other backend must match bit for bit.
+fn compress_scalar(state: &mut [u32; 8], block: &[u8; BLOCK_LEN]) {
+    let mut w = [0u32; 64];
+    for (i, chunk) in block.chunks_exact(4).enumerate() {
+        w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+    }
+    for i in 16..64 {
+        let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+        let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+        w[i] = w[i - 16]
+            .wrapping_add(s0)
+            .wrapping_add(w[i - 7])
+            .wrapping_add(s1);
+    }
+
+    let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = *state;
+    for i in 0..64 {
+        let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+        let ch = (e & f) ^ ((!e) & g);
+        let temp1 = h
+            .wrapping_add(s1)
+            .wrapping_add(ch)
+            .wrapping_add(K[i])
+            .wrapping_add(w[i]);
+        let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+        let maj = (a & b) ^ (a & c) ^ (b & c);
+        let temp2 = s0.wrapping_add(maj);
+        h = g;
+        g = f;
+        f = e;
+        e = d.wrapping_add(temp1);
+        d = c;
+        c = b;
+        b = a;
+        a = temp1.wrapping_add(temp2);
+    }
+
+    state[0] = state[0].wrapping_add(a);
+    state[1] = state[1].wrapping_add(b);
+    state[2] = state[2].wrapping_add(c);
+    state[3] = state[3].wrapping_add(d);
+    state[4] = state[4].wrapping_add(e);
+    state[5] = state[5].wrapping_add(f);
+    state[6] = state[6].wrapping_add(g);
+    state[7] = state[7].wrapping_add(h);
+}
+
+/// SHA-256 compression via the x86 SHA New Instructions.
+///
+/// `sha256rnds2` retires four compression rounds per instruction and
+/// `sha256msg1`/`sha256msg2` fuse the message schedule, finishing a 64-byte
+/// block roughly an order of magnitude faster than the scalar rounds — the
+/// difference between per-frame HMAC authentication being visible in
+/// fixpoint wall time and disappearing into it.  Selected once per process
+/// by CPUID probe; every other target falls back to [`compress_scalar`],
+/// and `hardware_compress_matches_scalar_rounds` pins the two backends to
+/// each other on hosts that have the extension.
+///
+/// This module is the crate's single `unsafe` exception (see `lib.rs`):
+/// `core::arch` intrinsics cannot be called from safe code, and the calls
+/// are guarded by the runtime feature probe.
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+mod x86 {
+    use super::{BLOCK_LEN, K};
+    use core::arch::x86_64::{
+        __m128i, _mm_add_epi32, _mm_alignr_epi8, _mm_blend_epi16, _mm_loadu_si128, _mm_set_epi64x,
+        _mm_sha256msg1_epu32, _mm_sha256msg2_epu32, _mm_sha256rnds2_epu32, _mm_shuffle_epi32,
+        _mm_shuffle_epi8, _mm_storeu_si128,
+    };
+    use std::sync::OnceLock;
+
+    /// One-time CPUID probe for the SHA extension plus the SSSE3/SSE4.1
+    /// shuffles the kernel leans on.
+    pub fn available() -> bool {
+        static AVAILABLE: OnceLock<bool> = OnceLock::new();
+        *AVAILABLE.get_or_init(|| {
+            is_x86_feature_detected!("sha")
+                && is_x86_feature_detected!("ssse3")
+                && is_x86_feature_detected!("sse4.1")
+        })
+    }
+
+    /// Compresses one block with the SHA instruction set.
+    ///
+    /// # Safety
+    ///
+    /// The caller must have confirmed [`available`] returns `true`: the
+    /// function unconditionally executes `sha`/`ssse3`/`sse4.1`
+    /// instructions.
+    #[target_feature(enable = "sha", enable = "ssse3", enable = "sse4.1")]
+    pub unsafe fn compress(state: &mut [u32; 8], block: &[u8; BLOCK_LEN]) {
+        // Lane shuffle turning each 16-byte load of big-endian message
+        // words into little-endian lanes.
+        let mask = _mm_set_epi64x(0x0c0d0e0f_08090a0bu64 as i64, 0x04050607_00010203u64 as i64);
+
+        // Repack [a,b,c,d] / [e,f,g,h] into the ABEF / CDGH lane order
+        // `sha256rnds2` works on.
+        let abcd = _mm_loadu_si128(state.as_ptr().cast());
+        let efgh = _mm_loadu_si128(state.as_ptr().add(4).cast());
+        let cdab = _mm_shuffle_epi32::<0xB1>(abcd);
+        let hgfe = _mm_shuffle_epi32::<0x1B>(efgh);
+        let mut abef = _mm_alignr_epi8::<8>(cdab, hgfe);
+        let mut cdgh = _mm_blend_epi16::<0xF0>(hgfe, cdab);
+        let abef_save = abef;
+        let cdgh_save = cdgh;
+
+        // m[i % 4] holds the schedule vector w[4i..4i+4] for the group
+        // currently `i` groups ahead; each slot is rewritten in place with
+        // the vector four groups later.
+        let mut m = [
+            _mm_shuffle_epi8(_mm_loadu_si128(block.as_ptr().cast()), mask),
+            _mm_shuffle_epi8(_mm_loadu_si128(block.as_ptr().add(16).cast()), mask),
+            _mm_shuffle_epi8(_mm_loadu_si128(block.as_ptr().add(32).cast()), mask),
+            _mm_shuffle_epi8(_mm_loadu_si128(block.as_ptr().add(48).cast()), mask),
+        ];
+
+        for i in 0..16 {
+            // Four rounds: lanes 0..1 of w+k feed the first `rnds2`, lanes
+            // 2..3 the second.
+            let wk = _mm_add_epi32(m[i % 4], _mm_loadu_si128(K.as_ptr().add(4 * i).cast()));
+            cdgh = _mm_sha256rnds2_epu32(cdgh, abef, wk);
+            abef = _mm_sha256rnds2_epu32(abef, cdgh, _mm_shuffle_epi32::<0x0E>(wk));
+            if i < 12 {
+                // w[4(i+4)..4(i+4)+4] from the previous four vectors.
+                let t1 = _mm_sha256msg1_epu32(m[i % 4], m[(i + 1) % 4]);
+                let t2 = _mm_add_epi32(t1, _mm_alignr_epi8::<4>(m[(i + 3) % 4], m[(i + 2) % 4]));
+                m[i % 4] = _mm_sha256msg2_epu32(t2, m[(i + 3) % 4]);
+            }
         }
 
-        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
-        for i in 0..64 {
-            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
-            let ch = (e & f) ^ ((!e) & g);
-            let temp1 = h
-                .wrapping_add(s1)
-                .wrapping_add(ch)
-                .wrapping_add(K[i])
-                .wrapping_add(w[i]);
-            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
-            let maj = (a & b) ^ (a & c) ^ (b & c);
-            let temp2 = s0.wrapping_add(maj);
-            h = g;
-            g = f;
-            f = e;
-            e = d.wrapping_add(temp1);
-            d = c;
-            c = b;
-            b = a;
-            a = temp1.wrapping_add(temp2);
-        }
+        abef = _mm_add_epi32(abef, abef_save);
+        cdgh = _mm_add_epi32(cdgh, cdgh_save);
 
-        self.state[0] = self.state[0].wrapping_add(a);
-        self.state[1] = self.state[1].wrapping_add(b);
-        self.state[2] = self.state[2].wrapping_add(c);
-        self.state[3] = self.state[3].wrapping_add(d);
-        self.state[4] = self.state[4].wrapping_add(e);
-        self.state[5] = self.state[5].wrapping_add(f);
-        self.state[6] = self.state[6].wrapping_add(g);
-        self.state[7] = self.state[7].wrapping_add(h);
+        // Undo the ABEF / CDGH repacking.
+        let feba = _mm_shuffle_epi32::<0x1B>(abef);
+        let dchg = _mm_shuffle_epi32::<0xB1>(cdgh);
+        let dcba = _mm_blend_epi16::<0xF0>(feba, dchg);
+        let hgfe = _mm_alignr_epi8::<8>(dchg, feba);
+        _mm_storeu_si128(state.as_mut_ptr().cast::<__m128i>(), dcba);
+        _mm_storeu_si128(state.as_mut_ptr().add(4).cast::<__m128i>(), hgfe);
     }
 }
 
@@ -250,5 +367,32 @@ mod tests {
     #[test]
     fn to_hex_roundtrips_known_bytes() {
         assert_eq!(to_hex(&[0x00, 0x0f, 0xff]), "000fff");
+    }
+
+    /// On hosts with the SHA extension, the hardware kernel must track the
+    /// scalar reference rounds bit for bit across chained states.
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    #[allow(unsafe_code)]
+    fn hardware_compress_matches_scalar_rounds() {
+        if !x86::available() {
+            return;
+        }
+        let mut hw = H0;
+        let mut soft = H0;
+        let mut x: u64 = 0x9e37_79b9_7f4a_7c15;
+        for _ in 0..256 {
+            let mut block = [0u8; BLOCK_LEN];
+            for b in block.iter_mut() {
+                x = x
+                    .wrapping_mul(6_364_136_223_846_793_005)
+                    .wrapping_add(1_442_695_040_888_963_407);
+                *b = (x >> 56) as u8;
+            }
+            // SAFETY: gated on `x86::available` above.
+            unsafe { x86::compress(&mut hw, &block) };
+            compress_scalar(&mut soft, &block);
+            assert_eq!(hw, soft);
+        }
     }
 }

@@ -79,6 +79,13 @@ pub struct RunMetrics {
     /// directed link, plus one per rebind after
     /// `EngineConfig::channel_rebind_frames` frames.
     pub handshakes: u64,
+    /// Coalesced handshake-verification windows dispatched at the receiver:
+    /// every contiguous run of same-instant handshake deliveries to one
+    /// node is charged as a single CPU window of `k × rsa_verify_us`
+    /// instead of `k` separate scheduling round-trips.  Always
+    /// `<=` [`RunMetrics::handshakes`]; the gap measures how much
+    /// establishment work arrived coalesced.
+    pub handshake_batches: u64,
     /// Scripted network-dynamics events processed (link flaps, node
     /// failures/rejoins, scripted base-tuple inserts/retracts/refreshes).
     pub churn_events: u64,
@@ -171,6 +178,7 @@ impl RunMetrics {
         self.rsa_verify_ops += shard.rsa_verify_ops;
         self.hmac_ops += shard.hmac_ops;
         self.handshakes += shard.handshakes;
+        self.handshake_batches += shard.handshake_batches;
         self.churn_events += shard.churn_events;
         self.retractions += shard.retractions;
         self.rederivations += shard.rederivations;
@@ -201,7 +209,7 @@ impl fmt::Display for RunMetrics {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "completion {:.3}s, {} msgs, {:.3} MB ({} B auth, {} B provenance), {} derivations, {} tuples, {} sigs / {} verifs, {} frames ({:.2} tuples/frame), crypto: {} rsa sign / {} rsa verify / {} hmac / {} handshakes, joins: {} hits / {} index probes, {} scanned, store {} B (+{} B index), churn: {} events / {} retractions / {} rederivations / {} tombstones",
+            "completion {:.3}s, {} msgs, {:.3} MB ({} B auth, {} B provenance), {} derivations, {} tuples, {} sigs / {} verifs, {} frames ({:.2} tuples/frame), crypto: {} rsa sign / {} rsa verify / {} hmac / {} handshakes ({} batches), joins: {} hits / {} index probes, {} scanned, store {} B (+{} B index), churn: {} events / {} retractions / {} rederivations / {} tombstones",
             self.completion_secs(),
             self.messages,
             self.megabytes(),
@@ -217,6 +225,7 @@ impl fmt::Display for RunMetrics {
             self.rsa_verify_ops,
             self.hmac_ops,
             self.handshakes,
+            self.handshake_batches,
             self.index_hits,
             self.index_probes,
             self.scan_probes,
@@ -263,11 +272,12 @@ mod tests {
             rsa_verify_ops: 5,
             hmac_ops: 40,
             handshakes: 3,
+            handshake_batches: 2,
             ..RunMetrics::default()
         };
         assert!(m
             .to_string()
-            .contains("crypto: 3 rsa sign / 5 rsa verify / 40 hmac / 3 handshakes"));
+            .contains("crypto: 3 rsa sign / 5 rsa verify / 40 hmac / 3 handshakes (2 batches)"));
     }
 
     #[test]

@@ -286,6 +286,18 @@ enum QueuedWork {
         destination: Value,
         handshake: ChannelHandshake,
     },
+    /// A coalesced run of same-instant handshake deliveries to one
+    /// receiver, processed as a single scheduling event charging one
+    /// contiguous CPU window of `k × rsa_verify_us` on the receiver's lane.
+    /// Never pushed onto the queue: built at pop time from contiguous
+    /// [`QueuedWork::Handshake`] items by both the sequential loop and
+    /// [`DistributedEngine::pop_wave`], with the identical grouping, so
+    /// every counter — including `handshake_batches` — is worker-count
+    /// invariant.
+    HandshakeBatch {
+        destination: Value,
+        handshakes: Vec<ChannelHandshake>,
+    },
     /// Apply one scripted network-dynamics event (dynamics runs only).
     Churn(ChurnEvent),
     /// Graceful session-channel teardown for a churned link: executes once
@@ -1056,11 +1068,21 @@ impl DistributedEngine {
                         continue;
                     }
                 }
-                let Some(Reverse((at, _rank, seq))) = self.queue.pop() else {
+                let Some(Reverse((at, rank, seq))) = self.queue.pop() else {
                     break;
                 };
                 last_at = last_at.max(at);
                 let work = self.items.remove(&seq).expect("queued item exists");
+                if matches!(work, QueuedWork::Handshake { .. }) {
+                    // Coalesce every handshake delivery in the remaining
+                    // same-instant safe prefix into per-receiver batches —
+                    // the same grouping `pop_wave` applies on the parallel
+                    // path — and dispatch the prefix in seq order.
+                    for (bseq, batch) in self.pop_handshake_prefix(at, rank, seq, work) {
+                        self.dispatch_one(at, bseq, batch)?;
+                    }
+                    continue;
+                }
                 self.dispatch_one(at, seq, work)?;
             }
             if self.dynamics && self.needs_sweep {
@@ -1125,8 +1147,105 @@ impl DistributedEngine {
             QueuedWork::Deliver(batch) => &batch.destination,
             QueuedWork::Ship(frame) => &frame.src,
             QueuedWork::Handshake { destination, .. } => destination,
+            QueuedWork::HandshakeBatch { destination, .. } => destination,
             _ => unreachable!("only deliveries, ships and handshakes join waves"),
         }
+    }
+
+    /// Whether a queued item may join a parallel wave (and, equivalently,
+    /// whether a same-instant handshake extraction may scan across it).
+    /// Retractions, churn, eviction, expiry and deliveries to unknown
+    /// locations are unsafe: their effects (or errors) must surface in
+    /// strict sequential order.
+    fn wave_safe(&self, work: &QueuedWork) -> bool {
+        match work {
+            QueuedWork::Deliver(batch) => {
+                batch.polarity == Polarity::Assert
+                    && self.directory.contains_key(&batch.destination)
+            }
+            QueuedWork::Ship(frame) => frame.polarity == Polarity::Assert,
+            QueuedWork::Handshake { .. } => true,
+            _ => false,
+        }
+    }
+
+    /// Pops the rest of the same-`(time, rank)` *wave-safe* queue prefix
+    /// the sequential loop just hit a [`QueuedWork::Handshake`] in,
+    /// coalesces every handshake in it (`first` included) into
+    /// per-receiver batches, and returns batches plus the skipped-over
+    /// non-handshake items merged back in ascending seq order.  The
+    /// prefix ends at the first wave-unsafe item or at the instant
+    /// boundary — exactly where [`DistributedEngine::pop_wave`] would cut
+    /// a wave, so batch composition never depends on the worker count.
+    /// Each batch carries its first member's seq, so a frame delivery
+    /// queued between two handshakes for one receiver still charges that
+    /// receiver's lane *after* the batch on both paths.
+    fn pop_handshake_prefix(
+        &mut self,
+        at: SimTime,
+        rank: u8,
+        seq: u64,
+        first: QueuedWork,
+    ) -> Vec<(u64, QueuedWork)> {
+        let mut run = vec![(seq, first)];
+        let mut rest: Vec<(u64, QueuedWork)> = Vec::new();
+        while let Some(&Reverse((a, r, s))) = self.queue.peek() {
+            if a != at || r != rank {
+                break;
+            }
+            let item = self.items.get(&s).expect("queued item exists");
+            let is_handshake = matches!(item, QueuedWork::Handshake { .. });
+            if !is_handshake && !self.wave_safe(item) {
+                break;
+            }
+            self.queue.pop();
+            let work = self.items.remove(&s).expect("queued item exists");
+            if is_handshake {
+                run.push((s, work));
+            } else {
+                rest.push((s, work));
+            }
+        }
+        let mut out = Self::coalesce_handshake_run(run);
+        out.extend(rest);
+        out.sort_unstable_by_key(|&(s, _)| s);
+        out
+    }
+
+    /// Groups a seq-ordered run of handshake deliveries by receiver,
+    /// preserving arrival order within each receiver; each group becomes
+    /// one [`QueuedWork::HandshakeBatch`] carrying its first member's seq.
+    /// Handshake processing emits no effects and different receivers
+    /// charge disjoint CPU lanes, so replacing the run with its batches
+    /// leaves every simulated time and counter of the run untouched —
+    /// only the number of scheduling events shrinks.
+    fn coalesce_handshake_run(run: Vec<(u64, QueuedWork)>) -> Vec<(u64, QueuedWork)> {
+        let mut batches: Vec<(u64, Value, Vec<ChannelHandshake>)> = Vec::new();
+        for (seq, work) in run {
+            let QueuedWork::Handshake {
+                destination,
+                handshake,
+            } = work
+            else {
+                unreachable!("handshake runs hold only handshakes");
+            };
+            match batches.iter_mut().find(|(_, dst, _)| *dst == destination) {
+                Some((_, _, list)) => list.push(handshake),
+                None => batches.push((seq, destination, vec![handshake])),
+            }
+        }
+        batches
+            .into_iter()
+            .map(|(seq, destination, handshakes)| {
+                (
+                    seq,
+                    QueuedWork::HandshakeBatch {
+                        destination,
+                        handshakes,
+                    },
+                )
+            })
+            .collect()
     }
 
     /// Pops the maximal runnable prefix of same-instant, same-rank
@@ -1146,27 +1265,38 @@ impl DistributedEngine {
             if at != wave_at || rank != wave_rank {
                 break;
             }
-            let safe = match self.items.get(&seq) {
-                Some(QueuedWork::Deliver(batch)) => {
-                    batch.polarity == Polarity::Assert
-                        && self.directory.contains_key(&batch.destination)
-                }
-                Some(QueuedWork::Ship(frame)) => frame.polarity == Polarity::Assert,
-                Some(QueuedWork::Handshake { .. }) => true,
-                _ => false,
-            };
-            if !safe {
-                break;
+            match self.items.get(&seq) {
+                Some(work) if self.wave_safe(work) => {}
+                _ => break,
             }
             self.queue.pop();
             let work = self.items.remove(&seq).expect("queued item exists");
             wave.push((at, seq, work));
         }
         if wave.is_empty() {
-            None
-        } else {
-            Some(wave)
+            return None;
         }
+        // Coalesce every handshake delivery in the wave into per-receiver
+        // batches — the identical grouping the sequential loop applies via
+        // `pop_handshake_prefix`, so batch composition (and the
+        // `handshake_batches` counter) never depends on the worker count.
+        // Each batch keeps its first member's seq; merging the batches
+        // back among the wave's other items in seq order preserves the
+        // per-lane charge order the sequential path produces.
+        let mut run: Vec<(u64, QueuedWork)> = Vec::new();
+        let mut out = Vec::with_capacity(wave.len());
+        for (at, seq, work) in wave {
+            if matches!(work, QueuedWork::Handshake { .. }) {
+                run.push((seq, work));
+            } else {
+                out.push((at, seq, work));
+            }
+        }
+        for (bseq, batch) in Self::coalesce_handshake_run(run) {
+            out.push((wave_at, bseq, batch));
+        }
+        out.sort_unstable_by_key(|&(_, seq, _)| seq);
+        Some(out)
     }
 
     /// Dispatches one popped work item on the sequential path — the
@@ -1200,7 +1330,9 @@ impl DistributedEngine {
                 );
                 self.eval_event(at, QueuedWork::Ship(frame))
             }
-            QueuedWork::Handshake { .. } => self.eval_event(at, work),
+            QueuedWork::Handshake { .. } | QueuedWork::HandshakeBatch { .. } => {
+                self.eval_event(at, work)
+            }
             QueuedWork::Churn(event) => self.process_churn(at, event),
             QueuedWork::Evict {
                 src,
@@ -1640,7 +1772,16 @@ impl<'a> PartitionCtx<'a> {
                 destination,
                 handshake,
             } => {
-                self.process_handshake(at, destination, handshake);
+                // A lone handshake (one not coalesced at pop time, e.g. the
+                // retained-work drain on shutdown) is a batch of one.
+                self.process_handshake_batch(at, destination, vec![handshake]);
+                Ok(())
+            }
+            QueuedWork::HandshakeBatch {
+                destination,
+                handshakes,
+            } => {
+                self.process_handshake_batch(at, destination, handshakes);
                 Ok(())
             }
             QueuedWork::Churn(_) | QueuedWork::Evict { .. } | QueuedWork::Expire { .. } => {
@@ -2688,34 +2829,51 @@ impl<'a> PartitionCtx<'a> {
         });
     }
 
-    /// Receiver side of channel establishment: verifies the RSA-signed
-    /// transcript (the once-per-link public-key exponentiation), derives the
-    /// session key and installs the channel.  A handshake that fails
-    /// validation installs nothing — subsequent frames on the link then
-    /// fail verification for lack of a channel.
-    fn process_handshake(&mut self, at: SimTime, destination: Value, handshake: ChannelHandshake) {
+    /// Receiver side of channel establishment for a coalesced batch of
+    /// same-instant handshakes: one CPU charge window covers every
+    /// transcript verification (the once-per-link public-key
+    /// exponentiations), then each handshake is verified and installed
+    /// individually.  The charge is `k × rsa_verify_us` in one `run_cpu`
+    /// call — identical total lane occupancy to `k` back-to-back charges at
+    /// the same instant, so batching moves no completion time; it only
+    /// collapses `k` scheduling round-trips into one.  A handshake that
+    /// fails validation installs nothing — subsequent frames on the link
+    /// then fail verification for lack of a channel.
+    fn process_handshake_batch(
+        &mut self,
+        at: SimTime,
+        destination: Value,
+        handshakes: Vec<ChannelHandshake>,
+    ) {
         if !self.shared.config.verify_imports {
             // The receiver checks no proofs, so it needs no channel state.
             return;
         }
-        let verifier = self.nodes[&destination]
-            .authenticator
-            .clone()
-            .expect("authentication configured");
+        self.metrics.handshake_batches += 1;
+        let cost = self.shared.config.cost_model.rsa_verify_us * handshakes.len() as u64;
         let done = self
             .nodes
             .get_mut(&destination)
             .expect("known location")
-            .run_cpu(
-                at,
-                SimTime::from_micros(self.shared.config.cost_model.rsa_verify_us),
-            );
+            .run_cpu(at, SimTime::from_micros(cost));
         *self.completion = (*self.completion).max(done);
+        for handshake in handshakes {
+            self.verify_handshake(&destination, handshake);
+        }
+    }
+
+    /// Verifies one handshake transcript and installs the resulting session
+    /// channel (CPU time is charged by the caller, per batch).
+    fn verify_handshake(&mut self, destination: &Value, handshake: ChannelHandshake) {
+        let verifier = self.nodes[destination]
+            .authenticator
+            .clone()
+            .expect("authentication configured");
         self.metrics.rsa_verify_ops += 1;
         // A handshake below the receiver's epoch floor is a replay of a
         // channel churn already retired (the live-channel case is handled
         // by accept_rebind below): reject before any state is installed.
-        let floor = self.nodes[&destination]
+        let floor = self.nodes[destination]
             .recv_epoch_floor
             .get(&handshake.transcript.src)
             .copied()
@@ -2726,7 +2884,7 @@ impl<'a> PartitionCtx<'a> {
         }
         // Rebinds must supersede the installed channel's epoch, so a
         // replayed old handshake can never roll the replay counter back.
-        let accepted = match self.nodes[&destination]
+        let accepted = match self.nodes[destination]
             .recv_channels
             .get(&handshake.transcript.src)
         {
@@ -2738,7 +2896,7 @@ impl<'a> PartitionCtx<'a> {
                 // Receiver-side session-key derivation.
                 self.metrics.hmac_ops += 1;
                 self.nodes
-                    .get_mut(&destination)
+                    .get_mut(destination)
                     .expect("known location")
                     .recv_channels
                     .insert(handshake.transcript.src, channel);

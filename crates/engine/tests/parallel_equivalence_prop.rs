@@ -84,6 +84,7 @@ fn counters(m: &RunMetrics) -> Vec<(&'static str, u64)> {
         ("rsa_verify_ops", m.rsa_verify_ops),
         ("hmac_ops", m.hmac_ops),
         ("handshakes", m.handshakes),
+        ("handshake_batches", m.handshake_batches),
         ("churn_events", m.churn_events),
         ("retractions", m.retractions),
         ("rederivations", m.rederivations),
