@@ -18,11 +18,16 @@
 //! (`rsa_sign_ops`/`rsa_verify_ops`/`hmac_ops`/`handshakes`/
 //! `handshake_batches`) and the
 //! network-dynamics counters
-//! (`churn_events`/`retractions`/`rederivations`/`tombstone_frames`) and the
+//! (`churn_events`/`retractions`/`rederivations`/`tombstone_frames`), the
 //! worker-pool layout counters
 //! (`worker_threads`/`partitions`/`cross_partition_frames`/`max_partition_queue`)
-//! for the engine's join, batching, session-channel, churn and parallel
-//! workloads, giving future changes a perf trajectory to compare against.
+//! and the scale gauges
+//! (`tuples_per_sec`/`bytes_per_tuple`/`peak_store_bytes`/`peak_index_bytes`/
+//! `peak_tuples`/`compaction_walked`)
+//! for the engine's join, batching, session-channel, churn, parallel and
+//! order-of-magnitude scale workloads (streaming 10k-node generational
+//! reachability, sustained expiry churn, 1k-member Chord under churn),
+//! giving future changes a perf trajectory to compare against.
 
 use pasn::experiment::{
     render_figure, render_summary, run_sweep, summarize, FigureMetric, SweepConfig,
@@ -90,7 +95,7 @@ fn main() {
         eprintln!("written to target/repro_results.md");
     }
 
-    let engine_json = engine_bench_json(if quick { 400 } else { 1_200 });
+    let engine_json = engine_bench_json(if quick { 400 } else { 1_200 }, quick);
     // A failed write must be fatal: CI validates this file, and exiting 0
     // without writing would let a stale committed copy pass the check.
     std::fs::write("BENCH_engine.json", engine_json.as_bytes()).expect("write BENCH_engine.json");
@@ -109,11 +114,17 @@ fn point_json(name: &str, wall: std::time::Duration, metrics: &RunMetrics) -> St
             "      \"fixpoint_wall_ms\": {:.3},\n",
             "      \"derivations\": {},\n",
             "      \"tuples_stored\": {},\n",
+            "      \"tuples_per_sec\": {:.3},\n",
+            "      \"bytes_per_tuple\": {:.3},\n",
             "      \"index_probes\": {},\n",
             "      \"index_hits\": {},\n",
             "      \"scan_probes\": {},\n",
             "      \"store_bytes\": {},\n",
             "      \"index_bytes\": {},\n",
+            "      \"peak_store_bytes\": {},\n",
+            "      \"peak_index_bytes\": {},\n",
+            "      \"peak_tuples\": {},\n",
+            "      \"compaction_walked\": {},\n",
             "      \"messages\": {},\n",
             "      \"signatures\": {},\n",
             "      \"frames\": {},\n",
@@ -138,11 +149,17 @@ fn point_json(name: &str, wall: std::time::Duration, metrics: &RunMetrics) -> St
         wall.as_secs_f64() * 1_000.0,
         metrics.derivations,
         metrics.tuples_stored,
+        metrics.tuples_per_sec(),
+        metrics.bytes_per_tuple(),
         metrics.index_probes,
         metrics.index_hits,
         metrics.scan_probes,
         metrics.store_bytes,
         metrics.index_bytes,
+        metrics.peak_store_bytes.max(metrics.store_bytes),
+        metrics.peak_index_bytes.max(metrics.index_bytes),
+        metrics.peak_tuples.max(metrics.tuples_stored),
+        metrics.compaction_walked,
         metrics.messages,
         metrics.signatures,
         metrics.frames,
@@ -177,13 +194,25 @@ const WALL_REPS: u32 = 5;
 /// repetition must produce bit-identical counters.  Construction (topology
 /// build, key provisioning) happens outside the timed span; only `run` is
 /// measured.
-fn measured<T, B, R>(mut build: B, mut run: R) -> (std::time::Duration, RunMetrics)
+fn measured<T, B, R>(build: B, run: R) -> (std::time::Duration, RunMetrics)
+where
+    B: FnMut() -> T,
+    R: FnMut(&mut T) -> RunMetrics,
+{
+    measured_reps(WALL_REPS, build, run)
+}
+
+/// [`measured`] with an explicit repetition count: the order-of-magnitude
+/// scale workloads run seconds per repetition, so they trade estimator
+/// quality for total runtime (two repetitions still exercise the
+/// determinism oracle).
+fn measured_reps<T, B, R>(reps: u32, mut build: B, mut run: R) -> (std::time::Duration, RunMetrics)
 where
     B: FnMut() -> T,
     R: FnMut(&mut T) -> RunMetrics,
 {
     let mut best: Option<(std::time::Duration, RunMetrics)> = None;
-    for _ in 0..WALL_REPS {
+    for _ in 0..reps.max(1) {
         let mut subject = build();
         let started = Instant::now();
         let metrics = run(&mut subject);
@@ -204,8 +233,10 @@ where
 
 /// Runs the engine join workloads (indexed and scan-forced equijoin at
 /// `rows` tuples per relation, plus the N=30 reachability deployment) and
-/// renders the `BENCH_engine.json` document.
-fn engine_bench_json(rows: u32) -> String {
+/// the order-of-magnitude scale workloads (streaming generational
+/// reachability, sustained expiry churn, Chord under churn — downscaled
+/// when `quick`), and renders the `BENCH_engine.json` document.
+fn engine_bench_json(rows: u32, quick: bool) -> String {
     let mut points = Vec::new();
 
     let (wall, metrics) = measured(
@@ -374,6 +405,91 @@ fn engine_bench_json(rows: u32) -> String {
         wall,
         &metrics,
     ));
+
+    // Sustained expiry churn: eight full soft-state generations through one
+    // store, proving compaction debt amortises against removals (the
+    // `compaction_walked` gauge) and that the peak footprint stays O(one
+    // generation) rather than O(history).
+    let churn_generations = 8u32;
+    let (wall, metrics) = measured_reps(
+        2,
+        || (),
+        |()| {
+            let report = pasn_bench::sustained_expiry_churn(churn_rows, churn_generations);
+            RunMetrics {
+                tuples_stored: report.store.total_tuples() as u64,
+                retractions: report.expired,
+                compaction_walked: report.compaction_walked,
+                store_bytes: report.store.store_bytes() as u64,
+                index_bytes: report.store.index_bytes() as u64,
+                peak_store_bytes: report.peak_store_bytes,
+                peak_index_bytes: report.peak_index_bytes,
+                peak_tuples: report.inserted.min(2 * churn_rows as u64),
+                ..RunMetrics::default()
+            }
+        },
+    );
+    points.push(point_json(
+        &format!("sustained_expiry_churn_{churn_rows}x{churn_generations}"),
+        wall,
+        &metrics,
+    ));
+
+    // Order-of-magnitude scale: the streaming generational reachability
+    // workload — 10k nodes full / 1k nodes quick, links arriving and
+    // retiring as a time-ordered event stream, derived soft state killed
+    // mid-run by scheduled TTL expiry.  Peak memory stays O(live
+    // generations) no matter how many generations the run visits, and the
+    // counters are bit-identical between the sequential and four-worker
+    // schedules — both pinned by CI.
+    let scale_clusters = if quick { 50 } else { 500 };
+    for workers in [1usize, 4] {
+        let (wall, metrics) = measured_reps(
+            2,
+            || {
+                pasn_bench::generational_reachability_workload(
+                    scale_clusters,
+                    20,
+                    EngineConfig::ndlog().with_batching().with_workers(workers),
+                )
+            },
+            |(net, events)| {
+                net.run_streaming(events.clone())
+                    .expect("streaming fixpoint")
+            },
+        );
+        points.push(point_json(
+            &format!("reachability_10k_w{workers}"),
+            wall,
+            &metrics,
+        ));
+    }
+
+    // Chord under churn: a stabilised ring (1k members full / 128 quick)
+    // runs three phases of HMAC-verified lookups — stable, after every
+    // eighth member departs, after they rejoin.  The synthesized counters
+    // map hops to messages/derivations and hop verifications to
+    // `verifications`; determinism across repetitions is the oracle.
+    let chord_nodes = if quick { 128 } else { 1_000 };
+    let (wall, metrics) = measured_reps(
+        2,
+        || (),
+        |()| {
+            let report = pasn_bench::chord_churn_workload(chord_nodes, 96);
+            RunMetrics {
+                derivations: report.hops,
+                messages: report.hops,
+                verifications: report.verified_hops,
+                hmac_ops: report.hops + report.verified_hops,
+                churn_events: report.churn_events,
+                tuples_stored: report.members,
+                worker_threads: 1,
+                partitions: 1,
+                ..RunMetrics::default()
+            }
+        },
+    );
+    points.push(point_json("chord_churn_1k", wall, &metrics));
 
     format!(
         "{{\n  \"bench\": \"engine_fixpoint\",\n  \"points\": [\n{}\n  ]\n}}\n",

@@ -110,6 +110,227 @@ pub fn equijoin_engine(rows: u32, config: EngineConfig) -> pasn_engine::Distribu
     engine
 }
 
+/// Simulated-time spacing between generations of the streaming scale
+/// workload: a new cluster's links come up every `GENERATION_GAP_US`.
+pub const GENERATION_GAP_US: u64 = 200_000;
+
+/// Soft-state lifetime of every link in the streaming scale workload:
+/// 2.5 generations, so roughly three clusters are live at any instant
+/// regardless of how many the run visits in total.
+pub const GENERATION_TTL_US: u64 = 500_000;
+
+/// Builds the order-of-magnitude scale workload: `clusters` disjoint
+/// ring-plus-chord clusters of `cluster_size` nodes whose links are *not*
+/// pre-inserted — they arrive as a time-ordered stream of `LinkUp` events,
+/// one generation (cluster) every [`GENERATION_GAP_US`], and go back down
+/// one [`GENERATION_TTL_US`] later.
+///
+/// Two eviction mechanisms bound memory during the run.  The quadratic
+/// part — each cluster's `cluster_size²` derived `reachable` tuples — is
+/// soft state under the engine's default TTL, killed mid-run by scheduled
+/// expiry cascading through provenance-guided deletion (base facts are
+/// deliberately hard state, so the TTL never touches the links).  The
+/// linear part — the links themselves — is retired by the scripted
+/// `LinkDown`s.  Fed through [`SecureNetwork::run_streaming`], every
+/// generation converges, expires and retires before more than a couple of
+/// younger generations have arrived, so total work grows with `clusters`
+/// while peak `store_bytes + index_bytes` stays O(live generations): the
+/// bounded-memory property the `reachability_10k` bench rows pin.  The
+/// returned event list is the stream; feeding it to `run_scenario` instead
+/// reproduces the identical schedule with O(script) driver memory.
+pub fn generational_reachability_workload(
+    clusters: u32,
+    cluster_size: u32,
+    config: EngineConfig,
+) -> (SecureNetwork, Vec<(SimTime, ChurnEvent)>) {
+    assert!(cluster_size >= 3, "a ring plus a chord needs >= 3 nodes");
+    let locations: Vec<Value> = (0..clusters * cluster_size).map(Value::Addr).collect();
+    let net = SecureNetwork::builder()
+        .program(pasn::programs::reachability_ndlog())
+        .locations(locations)
+        .config(
+            config
+                .with_dynamics()
+                .with_default_ttl_us(GENERATION_TTL_US),
+        )
+        .build()
+        .expect("the reachability program compiles");
+    let mut events = Vec::new();
+    for c in 0..clusters {
+        let up_at = SimTime::from_micros(c as u64 * GENERATION_GAP_US);
+        let down_at = SimTime::from_micros(up_at.as_micros() + GENERATION_TTL_US);
+        let base = c * cluster_size;
+        for j in 0..cluster_size {
+            for offset in [1, 1 + cluster_size / 3] {
+                let src = Value::Addr(base + j);
+                let dst = Value::Addr(base + (j + offset) % cluster_size);
+                events.push((
+                    up_at,
+                    ChurnEvent::LinkUp {
+                        src: src.clone(),
+                        dst: dst.clone(),
+                        cost: None,
+                    },
+                ));
+                events.push((down_at, ChurnEvent::LinkDown { src, dst }));
+            }
+        }
+    }
+    // Interleave the generations into one time-ordered stream (stable, so
+    // same-instant events keep their per-cluster order).
+    events.sort_by_key(|(at, _)| *at);
+    (net, events)
+}
+
+/// What [`sustained_expiry_churn`] observed: cumulative insert/expiry
+/// totals, the seq-list positions compaction actually walked, and the peak
+/// footprint across generations.
+pub struct ExpiryChurnReport {
+    /// The store after the final (still-live) generation.
+    pub store: pasn_engine::NodeStore,
+    /// Tuples inserted across all generations.
+    pub inserted: u64,
+    /// Tuples removed by TTL expiry.
+    pub expired: u64,
+    /// Seq-list entries walked by lazy compaction — the amortisation
+    /// subject: it must stay within a small constant factor of `expired`.
+    pub compaction_walked: u64,
+    /// Peak `store_bytes` across generations.
+    pub peak_store_bytes: u64,
+    /// Peak `index_bytes` across generations.
+    pub peak_index_bytes: u64,
+}
+
+/// Drives one store through `generations` full soft-state generations of
+/// `rows` tuples each: insert a generation with a TTL, expire it, insert
+/// the next.  Each generation's rows are distinct (the generation number
+/// is a column), so the store's seq lists accrue real dead-entry debt
+/// every cycle; the report's `compaction_walked` against `expired` is the
+/// amortisation evidence the `sustained_expiry_churn` bench row pins, and
+/// the peak gauges show memory staying O(one generation) rather than
+/// O(history).
+pub fn sustained_expiry_churn(rows: u32, generations: u32) -> ExpiryChurnReport {
+    use pasn_engine::{NodeStore, TupleMeta};
+
+    assert!(generations >= 1);
+    let meta = |expires: u64| TupleMeta {
+        tag: ProvTag::None,
+        created_at: SimTime::ZERO,
+        expires_at: Some(SimTime::from_micros(expires)),
+        origin: Value::Addr(0),
+        asserted_by: None,
+    };
+    let flow = |generation: i64, i: u32| {
+        Tuple::new(
+            "flow",
+            vec![
+                Value::Addr(i % 1024),
+                Value::Int(i as i64),
+                Value::Int(generation),
+            ],
+        )
+    };
+    let mut store = NodeStore::new();
+    store.register_index("flow", &[0]);
+    let mut report = ExpiryChurnReport {
+        store: NodeStore::new(),
+        inserted: 0,
+        expired: 0,
+        compaction_walked: 0,
+        peak_store_bytes: 0,
+        peak_index_bytes: 0,
+    };
+    for g in 0..generations {
+        let deadline = (g as u64 + 1) * 1_000;
+        for i in 0..rows {
+            store.insert(&flow(g as i64, i), meta(deadline), |a, _| a.clone());
+        }
+        report.inserted += rows as u64;
+        report.peak_store_bytes = report.peak_store_bytes.max(store.store_bytes() as u64);
+        report.peak_index_bytes = report.peak_index_bytes.max(store.index_bytes() as u64);
+        // The last generation stays live so the final store is non-empty.
+        if g + 1 < generations {
+            report.expired += store.expire(SimTime::from_micros(deadline)).len() as u64;
+            report.compaction_walked += store.take_compaction_debt();
+        }
+    }
+    report.store = store;
+    report
+}
+
+/// What [`chord_churn_workload`] observed across its three lookup phases
+/// (stable ring, post-departure, post-rejoin).
+pub struct ChordChurnReport {
+    /// Lookups issued across all phases.
+    pub lookups: u64,
+    /// Total forwarding hops across all lookups.
+    pub hops: u64,
+    /// Hop assertions that verified (must equal `hops`).
+    pub verified_hops: u64,
+    /// Membership events (departures + rejoins).
+    pub churn_events: u64,
+    /// Ring members at the end of the run.
+    pub members: u64,
+}
+
+/// The Chord-under-churn workload: build a stabilised `nodes`-member ring
+/// with HMAC-authenticated hop assertions, then run three phases of
+/// `lookups_per_phase` verified lookups — on the stable ring, after every
+/// eighth member departs (plus re-stabilisation), and after they all
+/// rejoin.  Deterministic keys and rotating origins make every phase's hop
+/// totals reproducible bit for bit, which is what lets `measured` use the
+/// synthesized counters as its determinism oracle.
+pub fn chord_churn_workload(nodes: u32, lookups_per_phase: usize) -> ChordChurnReport {
+    use pasn_crypto::SaysLevel;
+    use pasn_overlay::chord::{ChordConfig, ChordRing};
+
+    let mut ring = ChordRing::build(ChordConfig {
+        nodes,
+        bits: 24,
+        says_level: SaysLevel::Hmac,
+        modulus_bits: 512,
+        seed: 7,
+        successor_list_len: 3,
+    })
+    .expect("ring builds");
+    let mut report = ChordChurnReport {
+        lookups: 0,
+        hops: 0,
+        verified_hops: 0,
+        churn_events: 0,
+        members: 0,
+    };
+    let phase = |ring: &ChordRing, report: &mut ChordChurnReport, label: &str| {
+        let origins = ring.node_ids();
+        for i in 0..lookups_per_phase {
+            let origin = origins[i % origins.len()];
+            let key = ring.space().key_id(&format!("{label}-key-{i}"));
+            let trace = ring.lookup(origin, key).expect("lookup succeeds");
+            report.lookups += 1;
+            report.hops += trace.hop_count() as u64;
+            ring.verify_lookup(&trace).expect("hop assertions verify");
+            report.verified_hops += trace.hop_count() as u64;
+        }
+    };
+
+    phase(&ring, &mut report, "stable");
+    let departing: Vec<_> = ring.node_ids().into_iter().step_by(8).collect();
+    for id in &departing {
+        ring.remove_node(*id).expect("member departs");
+        report.churn_events += 1;
+    }
+    ring.stabilize();
+    phase(&ring, &mut report, "churned");
+    for id in &departing {
+        ring.rejoin_node(*id).expect("member rejoins");
+        report.churn_events += 1;
+    }
+    ring.stabilize();
+    phase(&ring, &mut report, "rejoined");
+    report.members = ring.len() as u64;
+    report
+}
+
 /// Runs one store-churn cycle at `rows` tuples and returns the resulting
 /// store: insert `rows` soft-state `flow` tuples (indexed on the first
 /// column), expire them all, then re-insert a fresh generation as hard
@@ -170,6 +391,68 @@ mod tests {
         assert!(metrics.messages > 0);
         let mut net = reachability_network(6, EngineConfig::ndlog(), 1);
         assert!(net.run().unwrap().messages > 0);
+    }
+
+    #[test]
+    fn generational_workload_expires_old_generations_mid_run() {
+        let config = || EngineConfig::ndlog().with_batching();
+        let (mut net, events) = generational_reachability_workload(6, 5, config());
+        let metrics = net.run_streaming(events.clone()).unwrap();
+        // Six 5-node clusters: each converged to its 25-tuple closure at
+        // some point (at least one firing per derived row), then TTL expiry
+        // killed the derived soft state and the scripted `LinkDown`s
+        // retired the links, so the final store is empty.
+        assert!(metrics.derivations >= 6 * 25);
+        assert!(metrics.retractions > 0, "eviction must fire mid-run");
+        assert_eq!(metrics.tuples_stored, 0);
+        assert_eq!(net.query(&Value::Addr(0), "reachable").len(), 0);
+        assert_eq!(net.query(&Value::Addr(0), "link").len(), 0);
+        // The peak footprint was sampled and covers strictly more than the
+        // (empty) final store.
+        assert!(metrics.peak_store_bytes > metrics.store_bytes);
+        // Streaming reproduces the batch scenario bit for bit.
+        let (mut batch, _) = generational_reachability_workload(6, 5, config());
+        let script = events.iter().fold(ChurnScript::new(), |s, (at, e)| {
+            s.at(at.as_micros(), e.clone())
+        });
+        let batch_metrics = batch.run_scenario(&script).unwrap();
+        assert_eq!(metrics.derivations, batch_metrics.derivations);
+        assert_eq!(metrics.tuples_stored, batch_metrics.tuples_stored);
+        assert_eq!(metrics.frames, batch_metrics.frames);
+        assert_eq!(metrics.completion, batch_metrics.completion);
+    }
+
+    #[test]
+    fn sustained_expiry_churn_amortises_compaction() {
+        let report = sustained_expiry_churn(2_000, 6);
+        assert_eq!(report.inserted, 12_000);
+        assert_eq!(report.expired, 10_000);
+        assert_eq!(report.store.total_tuples(), 2_000);
+        report.store.check_index_consistency().unwrap();
+        // Compaction walks a bounded multiple of what expiry removed.
+        assert!(
+            report.compaction_walked <= 4 * report.expired,
+            "compaction debt {} not amortised against {} removals",
+            report.compaction_walked,
+            report.expired
+        );
+        // Memory stayed O(one generation), not O(history): the peak is a
+        // small multiple of the final single-generation footprint.
+        assert!(report.peak_store_bytes < 2 * report.store.store_bytes() as u64);
+    }
+
+    #[test]
+    fn chord_churn_workload_is_deterministic_and_verified() {
+        let a = chord_churn_workload(32, 16);
+        assert_eq!(a.lookups, 48);
+        assert_eq!(a.hops, a.verified_hops);
+        assert!(a.hops > 0);
+        assert_eq!(a.churn_events, 8);
+        assert_eq!(a.members, 32);
+        // O(log N) routing: average hops stay under the identifier bits.
+        assert!(a.hops < a.lookups * 24);
+        let b = chord_churn_workload(32, 16);
+        assert_eq!(a.hops, b.hops);
     }
 
     #[test]

@@ -4,7 +4,8 @@
 use crate::workload::{link_facts, locations_of, weighted_link_facts};
 use pasn_datalog::{parse_program, ParseError, Program, Value};
 use pasn_engine::{
-    ChurnScript, DistributedEngine, EngineConfig, EngineError, RunMetrics, Tuple, TupleMeta,
+    ChurnEvent, ChurnScript, DistributedEngine, EngineConfig, EngineError, RunMetrics, Tuple,
+    TupleMeta,
 };
 use pasn_net::{SimTime, Topology};
 use pasn_provenance::{ArchiveStore, DerivationGraph, DistributedStore, VarTable};
@@ -193,6 +194,21 @@ impl SecureNetwork {
     /// Call instead of [`SecureNetwork::run`] on a freshly built deployment.
     pub fn run_scenario(&mut self, script: &ChurnScript) -> Result<RunMetrics, NetworkError> {
         Ok(self.engine.run_scenario(script)?)
+    }
+
+    /// Runs a churn workload in streaming mode: events are pulled from the
+    /// iterator (which must yield them in nondecreasing time order) instead
+    /// of being materialised in the work queue, so driver memory stays
+    /// O(in-flight work) rather than O(script) — the mode large
+    /// generational workloads use.  The schedule, and every counter, is
+    /// bit-identical to [`SecureNetwork::run_scenario`] on the same events;
+    /// peak footprint is additionally sampled into
+    /// `RunMetrics::peak_store_bytes` / `peak_index_bytes`.
+    pub fn run_streaming<I>(&mut self, events: I) -> Result<RunMetrics, NetworkError>
+    where
+        I: IntoIterator<Item = (SimTime, ChurnEvent)>,
+    {
+        Ok(self.engine.run_streaming(events)?)
     }
 
     /// The underlying engine (advanced use).

@@ -53,6 +53,27 @@ pub struct RunMetrics {
     /// Bytes of secondary-index overhead across all nodes at fixpoint
     /// (bucket keys plus one 8-byte seq id per indexed row).
     pub index_bytes: u64,
+    /// High-water mark of [`RunMetrics::store_bytes`] observed during the
+    /// run.  Plain fixpoint runs sample only at completion (peak == final);
+    /// the streaming driver samples at every quiescence point between
+    /// scripted events, making this the honest bounded-memory gauge for
+    /// generational workloads whose final store is far smaller than their
+    /// transient working set.
+    pub peak_store_bytes: u64,
+    /// High-water mark of [`RunMetrics::index_bytes`], sampled alongside
+    /// [`RunMetrics::peak_store_bytes`].
+    pub peak_index_bytes: u64,
+    /// High-water mark of live stored tuples across all nodes, sampled
+    /// alongside [`RunMetrics::peak_store_bytes`] — the denominator of
+    /// [`RunMetrics::bytes_per_tuple`] on generational workloads whose
+    /// final store is empty.
+    pub peak_tuples: u64,
+    /// Seq-list entries walked by lazy store-compaction rebuilds across all
+    /// nodes — the total deferred-maintenance work the run paid for (charged
+    /// to node CPU lanes at `compact_entry_us` per entry).  Under sustained
+    /// expiry churn this must stay within a small constant factor of the
+    /// rows actually removed, or compaction is thrashing.
+    pub compaction_walked: u64,
     /// Multi-tuple shipment frames sent between nodes.  Every inter-node
     /// message is one frame; each frame is signed and verified once,
     /// regardless of how many tuples it carries, so `signatures` and
@@ -149,6 +170,35 @@ impl RunMetrics {
         }
     }
 
+    /// Derivation throughput against simulated completion time: rule
+    /// firings per simulated second (`0.0` on an empty or instantaneous
+    /// run).  The scale workloads report this as their first-class
+    /// throughput gauge — it is machine-independent, unlike wall-clock
+    /// rates.
+    pub fn tuples_per_sec(&self) -> f64 {
+        let secs = self.completion_secs();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.derivations as f64 / secs
+        }
+    }
+
+    /// Peak storage footprint per peak live tuple:
+    /// `(peak_store_bytes + peak_index_bytes) / peak_tuples`, where both
+    /// numerator and denominator fall back to the fixpoint footprint when
+    /// no mid-run peak was sampled.  The bounded-memory gauge of the scale
+    /// workloads (`0.0` with nothing ever stored).
+    pub fn bytes_per_tuple(&self) -> f64 {
+        let tuples = self.peak_tuples.max(self.tuples_stored);
+        if tuples == 0 {
+            return 0.0;
+        }
+        let peak = (self.peak_store_bytes + self.peak_index_bytes)
+            .max(self.store_bytes + self.index_bytes);
+        peak as f64 / tuples as f64
+    }
+
     /// Folds a partition's metrics shard into the run totals at wave merge
     /// time: counters add, watermarks (`completion`, `max_partition_queue`)
     /// take the maximum, and configuration facts (`worker_threads`,
@@ -172,6 +222,10 @@ impl RunMetrics {
         self.scan_probes += shard.scan_probes;
         self.store_bytes += shard.store_bytes;
         self.index_bytes += shard.index_bytes;
+        self.peak_store_bytes = self.peak_store_bytes.max(shard.peak_store_bytes);
+        self.peak_index_bytes = self.peak_index_bytes.max(shard.peak_index_bytes);
+        self.peak_tuples = self.peak_tuples.max(shard.peak_tuples);
+        self.compaction_walked += shard.compaction_walked;
         self.frames += shard.frames;
         self.batched_tuples += shard.batched_tuples;
         self.rsa_sign_ops += shard.rsa_sign_ops;
@@ -209,7 +263,7 @@ impl fmt::Display for RunMetrics {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "completion {:.3}s, {} msgs, {:.3} MB ({} B auth, {} B provenance), {} derivations, {} tuples, {} sigs / {} verifs, {} frames ({:.2} tuples/frame), crypto: {} rsa sign / {} rsa verify / {} hmac / {} handshakes ({} batches), joins: {} hits / {} index probes, {} scanned, store {} B (+{} B index), churn: {} events / {} retractions / {} rederivations / {} tombstones",
+            "completion {:.3}s, {} msgs, {:.3} MB ({} B auth, {} B provenance), {} derivations, {} tuples, {} sigs / {} verifs, {} frames ({:.2} tuples/frame), crypto: {} rsa sign / {} rsa verify / {} hmac / {} handshakes ({} batches), joins: {} hits / {} index probes, {} scanned, store {} B (+{} B index, peak {} B), churn: {} events / {} retractions / {} rederivations / {} tombstones",
             self.completion_secs(),
             self.messages,
             self.megabytes(),
@@ -231,6 +285,7 @@ impl fmt::Display for RunMetrics {
             self.scan_probes,
             self.store_bytes,
             self.index_bytes,
+            self.peak_store_bytes.max(self.store_bytes) + self.peak_index_bytes.max(self.index_bytes),
             self.churn_events,
             self.retractions,
             self.rederivations,
@@ -292,6 +347,54 @@ mod tests {
         assert!(m
             .to_string()
             .contains("churn: 4 events / 9 retractions / 6 rederivations / 2 tombstones"));
+    }
+
+    #[test]
+    fn scale_gauges_derive_from_counters() {
+        let m = RunMetrics {
+            completion: SimTime::from_millis(2_000),
+            derivations: 500,
+            tuples_stored: 100,
+            store_bytes: 4_000,
+            index_bytes: 1_000,
+            peak_store_bytes: 9_000,
+            peak_index_bytes: 1_000,
+            ..RunMetrics::default()
+        };
+        assert!((m.tuples_per_sec() - 250.0).abs() < 1e-9);
+        // Peak footprint (9000 + 1000) over 100 tuples, not the final one.
+        assert!((m.bytes_per_tuple() - 100.0).abs() < 1e-9);
+        // A sampled live-tuple peak becomes the denominator — the honest
+        // gauge when the final store is empty.
+        let evicting = RunMetrics {
+            peak_store_bytes: 9_000,
+            peak_index_bytes: 1_000,
+            peak_tuples: 200,
+            ..RunMetrics::default()
+        };
+        assert!((evicting.bytes_per_tuple() - 50.0).abs() < 1e-9);
+        // Without sampled peaks the fixpoint footprint is the fallback.
+        let flat = RunMetrics {
+            tuples_stored: 10,
+            store_bytes: 400,
+            index_bytes: 100,
+            ..RunMetrics::default()
+        };
+        assert!((flat.bytes_per_tuple() - 50.0).abs() < 1e-9);
+        assert_eq!(RunMetrics::default().tuples_per_sec(), 0.0);
+        assert_eq!(RunMetrics::default().bytes_per_tuple(), 0.0);
+        // Peaks max-merge across shards; walked-entry debt adds.
+        let mut total = RunMetrics {
+            peak_store_bytes: 5_000,
+            compaction_walked: 7,
+            ..RunMetrics::default()
+        };
+        total.absorb(&m);
+        total.absorb(&evicting);
+        assert_eq!(total.peak_store_bytes, 9_000);
+        assert_eq!(total.peak_index_bytes, 1_000);
+        assert_eq!(total.peak_tuples, 200);
+        assert_eq!(total.compaction_walked, 7);
     }
 
     #[test]

@@ -317,23 +317,24 @@ enum QueuedWork {
     Expire { node: Value },
 }
 
-/// Identity of an open (still appendable) batch: local delta batches are
-/// keyed by `(node, predicate, due time)`, shipment frames additionally by
-/// their source.  Values in [`DistributedEngine::pending`] are the queue
-/// seq of the open batch.
+/// Identity of an open (still appendable) batch *within one flush
+/// boundary*: local delta batches are keyed by `(node, predicate,
+/// polarity)`, shipment frames additionally by their source.  The flush
+/// boundary itself is the bucket key of
+/// [`DistributedEngine::open_batches`], so sealed history never lingers —
+/// a whole boundary's key map is dropped (and pooled) the moment the clock
+/// reaches it.
 #[derive(Clone, PartialEq, Eq, Hash)]
 enum BatchKey {
     Local {
         destination: Value,
         pred: PredId,
-        due: u64,
         polarity: Polarity,
     },
     Ship {
         src: Value,
         dst: Value,
         pred: PredId,
-        due: u64,
         polarity: Polarity,
     },
 }
@@ -543,9 +544,17 @@ pub struct DistributedEngine {
     /// node failure, sweep) and is safely dropped.
     queue: BinaryHeap<Reverse<(SimTime, u8, u64)>>,
     items: HashMap<u64, QueuedWork>,
-    /// Open (still appendable) batches by key → queue seq; only populated
-    /// while `batch_window_us > 0`.
-    pending: HashMap<BatchKey, u64>,
+    /// Open (still appendable) batches, bucketed by flush boundary:
+    /// `due µs → batch key → queue seq`.  Only populated while
+    /// `batch_window_us > 0`.  `next_flush` is strictly in the future, so
+    /// no tuple can ever append to a boundary the clock has reached —
+    /// which makes the whole bucket droppable the moment work at `due`
+    /// pops, keeping steady-state memory O(open boundaries × open keys)
+    /// instead of O(batch history).
+    open_batches: BTreeMap<u64, HashMap<BatchKey, u64>>,
+    /// Key maps recycled from flushed boundaries, so sustained batching
+    /// reuses a few allocations instead of growing fresh tables per window.
+    batch_map_pool: Vec<HashMap<BatchKey, u64>>,
     next_seq: u64,
     /// Simulated CPU banked by wave parallelism: for every wave, the sum of
     /// all partitions' executed CPU minus the slowest partition's — work the
@@ -676,7 +685,8 @@ impl DistributedEngine {
             net: NetworkSim::new(cost),
             queue: BinaryHeap::new(),
             items: HashMap::new(),
-            pending: HashMap::new(),
+            open_batches: BTreeMap::new(),
+            batch_map_pool: Vec::new(),
             next_seq: 0,
             cpu_saved: SimTime::ZERO,
             metrics: RunMetrics::default(),
@@ -875,22 +885,33 @@ impl DistributedEngine {
         open: impl FnOnce(Vec<BatchRow>) -> QueuedWork,
     ) {
         let cap = self.config.max_batch_tuples.max(1);
-        if let Some(&seq) = self.pending.get(&key) {
+        if let Some(&seq) = self
+            .open_batches
+            .get(&due)
+            .and_then(|bucket| bucket.get(&key))
+        {
             let work = self
                 .items
                 .get_mut(&seq)
-                .expect("pending key points at queued work");
+                .expect("open-batch key points at queued work");
             let rows = rows_mut(work);
             rows.push(row);
             if rows.len() >= cap {
-                self.pending.remove(&key);
+                self.open_batches
+                    .get_mut(&due)
+                    .expect("bucket holds the key")
+                    .remove(&key);
             }
         } else {
             let seq = self.push_work(SimTime::from_micros(due), open(vec![row]));
             // A cap of 1 is already met on creation: never left open, so
             // no batch ever exceeds the cap.
             if cap > 1 {
-                self.pending.insert(key, seq);
+                let pool = &mut self.batch_map_pool;
+                self.open_batches
+                    .entry(due)
+                    .or_insert_with(|| pool.pop().unwrap_or_default())
+                    .insert(key, seq);
             }
         }
     }
@@ -926,7 +947,6 @@ impl DistributedEngine {
         let key = BatchKey::Local {
             destination: destination.clone(),
             pred,
-            due,
             polarity,
         };
         self.buffer_batch(
@@ -981,7 +1001,6 @@ impl DistributedEngine {
             src: src.clone(),
             dst: dst.clone(),
             pred,
-            due,
             polarity,
         };
         let (src, dst) = (src.clone(), dst.clone());
@@ -1034,11 +1053,25 @@ impl DistributedEngine {
         self.apply_effects(effects);
     }
 
-    /// Drops `seq`'s entry from the open-batch map once the batch leaves the
-    /// queue (no-op when the batch was sealed early or batching is off).
-    fn close_pending(&mut self, key: BatchKey, seq: u64) {
-        if self.pending.get(&key) == Some(&seq) {
-            self.pending.remove(&key);
+    /// Drops every open-batch bucket whose flush boundary the clock has
+    /// reached: their queue items are popping (or have popped), and no
+    /// future tuple can append to them — `next_flush` is strictly in the
+    /// future.  Emptied key maps are recycled through a small pool.  This
+    /// replaces the old per-item `close_pending` bookkeeping, which
+    /// reconstructed (and cloned the `Value`s of) a batch key on every
+    /// single dispatch just to unlink one entry.
+    fn release_flushed_batches(&mut self, now: SimTime) {
+        let now_us = now.as_micros();
+        while self
+            .open_batches
+            .first_key_value()
+            .is_some_and(|(&due, _)| due <= now_us)
+        {
+            let (_, mut bucket) = self.open_batches.pop_first().expect("peeked boundary");
+            bucket.clear();
+            if self.batch_map_pool.len() < 8 {
+                self.batch_map_pool.push(bucket);
+            }
         }
     }
 
@@ -1060,31 +1093,7 @@ impl DistributedEngine {
         let parallel = workers > 1 && self.wave_parallel_eligible();
         let mut last_at = SimTime::ZERO;
         loop {
-            loop {
-                if parallel {
-                    if let Some(wave) = self.pop_wave() {
-                        last_at = last_at.max(wave.last().expect("wave is non-empty").0);
-                        self.process_wave(wave)?;
-                        continue;
-                    }
-                }
-                let Some(Reverse((at, rank, seq))) = self.queue.pop() else {
-                    break;
-                };
-                last_at = last_at.max(at);
-                let work = self.items.remove(&seq).expect("queued item exists");
-                if matches!(work, QueuedWork::Handshake { .. }) {
-                    // Coalesce every handshake delivery in the remaining
-                    // same-instant safe prefix into per-receiver batches —
-                    // the same grouping `pop_wave` applies on the parallel
-                    // path — and dispatch the prefix in seq order.
-                    for (bseq, batch) in self.pop_handshake_prefix(at, rank, seq, work) {
-                        self.dispatch_one(at, bseq, batch)?;
-                    }
-                    continue;
-                }
-                self.dispatch_one(at, seq, work)?;
-            }
+            self.drain_queue(None, parallel, &mut last_at)?;
             if self.dynamics && self.needs_sweep {
                 self.needs_sweep = false;
                 self.well_founded_sweep(last_at);
@@ -1112,7 +1121,85 @@ impl DistributedEngine {
             .sum();
         self.metrics.store_bytes = self.store_bytes();
         self.metrics.index_bytes = self.index_bytes();
+        // The fixpoint footprint is itself a peak sample, so plain runs
+        // report honest (final) peaks and streaming runs keep their
+        // mid-run high-water marks.
+        self.metrics.peak_store_bytes = self.metrics.peak_store_bytes.max(self.metrics.store_bytes);
+        self.metrics.peak_index_bytes = self.metrics.peak_index_bytes.max(self.metrics.index_bytes);
+        self.metrics.peak_tuples = self.metrics.peak_tuples.max(self.metrics.tuples_stored);
         Ok(self.metrics.clone())
+    }
+
+    /// Drains queued work in `(time, rank, seq)` order until the queue is
+    /// empty or its head reaches `bound` — the streaming driver's exclusive
+    /// cut `(event time, rank 0, pre-run seq horizon)`, which is exactly
+    /// where a scripted event's own queue item would sort.  `last_at`
+    /// tracks the latest instant processed (the well-founded sweep's
+    /// reference point).  Open-batch boundary buckets are released as the
+    /// clock passes them.
+    fn drain_queue(
+        &mut self,
+        bound: Option<(SimTime, u64)>,
+        parallel: bool,
+        last_at: &mut SimTime,
+    ) -> Result<(), EngineError> {
+        loop {
+            if parallel {
+                if let Some(wave) = self.pop_wave(bound) {
+                    let wave_at = wave.last().expect("wave is non-empty").0;
+                    *last_at = (*last_at).max(wave_at);
+                    self.release_flushed_batches(wave_at);
+                    self.process_wave(wave)?;
+                    continue;
+                }
+            }
+            let Some(&Reverse((at, rank, seq))) = self.queue.peek() else {
+                break;
+            };
+            if !Self::within_bound(at, rank, seq, bound) {
+                break;
+            }
+            self.queue.pop();
+            *last_at = (*last_at).max(at);
+            self.release_flushed_batches(at);
+            let work = self.items.remove(&seq).expect("queued item exists");
+            if matches!(work, QueuedWork::Handshake { .. }) {
+                // Coalesce every handshake delivery in the remaining
+                // same-instant safe prefix into per-receiver batches —
+                // the same grouping `pop_wave` applies on the parallel
+                // path — and dispatch the prefix in seq order.
+                for (bseq, batch) in self.pop_handshake_prefix(at, rank, seq, work, bound) {
+                    self.dispatch_one(at, bseq, batch)?;
+                }
+                continue;
+            }
+            self.dispatch_one(at, seq, work)?;
+        }
+        Ok(())
+    }
+
+    /// True when a queue triple sorts strictly below the streaming cut.
+    fn within_bound(at: SimTime, rank: u8, seq: u64, bound: Option<(SimTime, u64)>) -> bool {
+        match bound {
+            None => true,
+            Some((cut_at, cut_seq)) => (at, rank, seq) < (cut_at, 0, cut_seq),
+        }
+    }
+
+    /// Folds the current store/index footprint into the run's high-water
+    /// marks.  The streaming driver samples at quiescence points between
+    /// events; plain runs sample once at fixpoint.
+    fn sample_memory_peak(&mut self) {
+        let store = self.store_bytes();
+        let index = self.index_bytes();
+        let tuples: u64 = self
+            .nodes
+            .values()
+            .map(|n| n.store.total_tuples() as u64)
+            .sum();
+        self.metrics.peak_store_bytes = self.metrics.peak_store_bytes.max(store);
+        self.metrics.peak_index_bytes = self.metrics.peak_index_bytes.max(index);
+        self.metrics.peak_tuples = self.metrics.peak_tuples.max(tuples);
     }
 
     /// Whether this configuration can run same-instant waves on the worker
@@ -1186,11 +1273,12 @@ impl DistributedEngine {
         rank: u8,
         seq: u64,
         first: QueuedWork,
+        bound: Option<(SimTime, u64)>,
     ) -> Vec<(u64, QueuedWork)> {
         let mut run = vec![(seq, first)];
         let mut rest: Vec<(u64, QueuedWork)> = Vec::new();
         while let Some(&Reverse((a, r, s))) = self.queue.peek() {
-            if a != at || r != rank {
+            if a != at || r != rank || !Self::within_bound(a, r, s, bound) {
                 break;
             }
             let item = self.items.get(&s).expect("queued item exists");
@@ -1258,11 +1346,14 @@ impl DistributedEngine {
     /// boundary itself: everything inside a wave is due at one simulated
     /// instant, and per-link delivery horizons guarantee nothing queued
     /// later can be due earlier.
-    fn pop_wave(&mut self) -> Option<Vec<(SimTime, u64, QueuedWork)>> {
+    fn pop_wave(
+        &mut self,
+        bound: Option<(SimTime, u64)>,
+    ) -> Option<Vec<(SimTime, u64, QueuedWork)>> {
         let &Reverse((wave_at, wave_rank, _)) = self.queue.peek()?;
         let mut wave = Vec::new();
         while let Some(&Reverse((at, rank, seq))) = self.queue.peek() {
-            if at != wave_at || rank != wave_rank {
+            if at != wave_at || rank != wave_rank || !Self::within_bound(at, rank, seq, bound) {
                 break;
             }
             match self.items.get(&seq) {
@@ -1301,38 +1392,17 @@ impl DistributedEngine {
 
     /// Dispatches one popped work item on the sequential path — the
     /// `workers = 1` schedule, and the fallback for wave-unsafe work.
-    fn dispatch_one(&mut self, at: SimTime, seq: u64, work: QueuedWork) -> Result<(), EngineError> {
+    fn dispatch_one(
+        &mut self,
+        at: SimTime,
+        _seq: u64,
+        work: QueuedWork,
+    ) -> Result<(), EngineError> {
         match work {
-            QueuedWork::Deliver(batch) => {
-                if !batch.is_remote && self.config.batch_window_us > 0 {
-                    self.close_pending(
-                        BatchKey::Local {
-                            destination: batch.destination.clone(),
-                            pred: batch.pred,
-                            due: at.as_micros(),
-                            polarity: batch.polarity,
-                        },
-                        seq,
-                    );
-                }
-                self.eval_event(at, QueuedWork::Deliver(batch))
-            }
-            QueuedWork::Ship(frame) => {
-                self.close_pending(
-                    BatchKey::Ship {
-                        src: frame.src.clone(),
-                        dst: frame.dst.clone(),
-                        pred: frame.pred,
-                        due: at.as_micros(),
-                        polarity: frame.polarity,
-                    },
-                    seq,
-                );
-                self.eval_event(at, QueuedWork::Ship(frame))
-            }
-            QueuedWork::Handshake { .. } | QueuedWork::HandshakeBatch { .. } => {
-                self.eval_event(at, work)
-            }
+            QueuedWork::Deliver(_)
+            | QueuedWork::Ship(_)
+            | QueuedWork::Handshake { .. }
+            | QueuedWork::HandshakeBatch { .. } => self.eval_event(at, work),
             QueuedWork::Churn(event) => self.process_churn(at, event),
             QueuedWork::Evict {
                 src,
@@ -1435,45 +1505,15 @@ impl DistributedEngine {
         }
     }
 
-    /// Processes one wave: closes every member's open-batch entry (exactly
-    /// what the sequential loop does as each item pops), groups members by
-    /// owning partition (`node_id % workers`), lends each partition its
-    /// owner runtimes, fans the groups out over scoped worker threads, then
-    /// merges deterministically — runtimes and metric shards fold in
-    /// partition order, and every event's effects replay in queue-seq
-    /// order, the exact order the sequential loop would have applied them.
+    /// Processes one wave: groups members by owning partition
+    /// (`node_id % workers`), lends each partition its owner runtimes, fans
+    /// the groups out over scoped worker threads, then merges
+    /// deterministically — runtimes and metric shards fold in partition
+    /// order, and every event's effects replay in queue-seq order, the
+    /// exact order the sequential loop would have applied them.  (Open
+    /// batch entries need no per-member unlinking: the caller released the
+    /// wave instant's whole boundary bucket before dispatch.)
     fn process_wave(&mut self, wave: Vec<(SimTime, u64, QueuedWork)>) -> Result<(), EngineError> {
-        for (at, seq, work) in &wave {
-            match work {
-                QueuedWork::Deliver(batch)
-                    if !batch.is_remote && self.config.batch_window_us > 0 =>
-                {
-                    self.close_pending(
-                        BatchKey::Local {
-                            destination: batch.destination.clone(),
-                            pred: batch.pred,
-                            due: at.as_micros(),
-                            polarity: batch.polarity,
-                        },
-                        *seq,
-                    );
-                }
-                QueuedWork::Ship(frame) => {
-                    self.close_pending(
-                        BatchKey::Ship {
-                            src: frame.src.clone(),
-                            dst: frame.dst.clone(),
-                            pred: frame.pred,
-                            due: at.as_micros(),
-                            polarity: frame.polarity,
-                        },
-                        *seq,
-                    );
-                }
-                _ => {}
-            }
-        }
-
         let workers = self.config.workers.max(1) as u32;
         let mut groups: BTreeMap<u32, Vec<(SimTime, u64, QueuedWork)>> = BTreeMap::new();
         for (at, seq, work) in wave {
@@ -1600,6 +1640,82 @@ impl DistributedEngine {
             self.push_work(*at, QueuedWork::Churn(event.clone()));
         }
         self.run_to_fixpoint()
+    }
+
+    /// Runs a churn workload in streaming mode: events are pulled from the
+    /// iterator one at a time (never materialised in the work queue), the
+    /// queue is drained to quiescence-before-the-event between consecutive
+    /// events, and the store/index footprint is sampled at those quiescence
+    /// points into `peak_store_bytes` / `peak_index_bytes`.
+    ///
+    /// The schedule — and therefore every counter — is bit-identical to
+    /// [`DistributedEngine::run_scenario`] on the same event sequence: a
+    /// scenario's scripted events occupy the seq block right below any work
+    /// created during the run, so injecting event `i` once the queue head
+    /// reaches the cut `(eventᵢ time, rank 0, pre-run seq horizon)`
+    /// dispatches it at exactly the position its queue item would have
+    /// popped.  What changes is memory: the driver holds O(in-flight work)
+    /// instead of O(script), which lets generational workloads whose
+    /// soft-state TTLs retire old state mid-run keep a bounded footprint at
+    /// 10k nodes.
+    ///
+    /// Events must arrive in nondecreasing time order.  Like
+    /// `run_scenario`, this must be the first evaluation on the engine
+    /// unless dynamics were armed at construction.
+    pub fn run_streaming<I>(&mut self, events: I) -> Result<RunMetrics, EngineError>
+    where
+        I: IntoIterator<Item = (SimTime, ChurnEvent)>,
+    {
+        let started = Instant::now();
+        if !self.dynamics {
+            if self.started {
+                return Err(EngineError::Eval(
+                    "dynamics must be armed before the first evaluation: build with \
+                     EngineConfig::with_dynamics() or call run_streaming on a fresh engine"
+                        .to_string(),
+                ));
+            }
+            self.dynamics = true;
+        }
+        self.started = true;
+        let workers = self.config.workers.max(1);
+        self.metrics.worker_threads = workers as u64;
+        self.metrics.partitions = if workers > 1 {
+            workers.min(self.locations.len().max(1)) as u64
+        } else {
+            1
+        };
+        let parallel = workers > 1 && self.wave_parallel_eligible();
+        let horizon_seq = self.next_seq;
+        let mut last_at = SimTime::ZERO;
+        let mut last_event = SimTime::ZERO;
+        // Footprint sampling is O(stored rows), so rate-limit it to a few
+        // simulated windows; the sampling cadence only affects the peak
+        // gauges, never the schedule or any counter.
+        let sample_gap_us = self.config.batch_window_us.max(250) * 4;
+        let mut next_sample_us = 0u64;
+        for (at, event) in events {
+            if at < last_event {
+                return Err(EngineError::Eval(format!(
+                    "streaming events must be time-ordered: got {}µs after {}µs",
+                    at.as_micros(),
+                    last_event.as_micros()
+                )));
+            }
+            last_event = at;
+            self.drain_queue(Some((at, horizon_seq)), parallel, &mut last_at)?;
+            if at.as_micros() >= next_sample_us {
+                self.sample_memory_peak();
+                next_sample_us = at.as_micros() + sample_gap_us;
+            }
+            self.release_flushed_batches(at);
+            last_at = last_at.max(at);
+            self.process_churn(at, event)?;
+        }
+        let mut metrics = self.run_to_fixpoint()?;
+        self.metrics.wall_clock = started.elapsed();
+        metrics.wall_clock = self.metrics.wall_clock;
+        Ok(metrics)
     }
 
     /// Bytes of tuple data currently stored across all nodes (rows charged
@@ -3348,6 +3464,7 @@ impl DistributedEngine {
         if walked == 0 {
             return;
         }
+        self.metrics.compaction_walked += walked;
         let cost = (walked as f64 * self.config.cost_model.compact_entry_us).round() as u64;
         if cost == 0 {
             return;

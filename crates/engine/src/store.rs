@@ -35,8 +35,17 @@ use crate::tuple::{self, Tuple};
 use pasn_datalog::{PredId, Symbols, Value};
 use pasn_net::SimTime;
 use pasn_provenance::ProvTag;
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 use std::sync::Arc;
+
+/// Relations with fewer seq-list entries than this never compact: skipping a
+/// handful of dead slots during ordered scans is cheaper than a rebuild, and
+/// at deployment scale — thousands of near-empty per-node tables churning
+/// under TTL expiry — the guard prevents rebuild storms whose metered debt
+/// (`compact_entry_us` per walked entry) would swamp the actual work.  Dead
+/// residue per table stays bounded by the threshold.
+const COMPACT_MIN_LEN: usize = 64;
 
 /// Metadata attached to every stored tuple.
 #[derive(Clone, Debug)]
@@ -151,7 +160,15 @@ impl Table {
         self.dead += 1;
         // Lazy compaction: once more than half the seq list is dead, rebuild
         // it from the survivors (order-preserving, O(len), amortised O(1)).
-        if self.dead * 2 > self.seq_order.len() {
+        // Small lists are exempt — see [`COMPACT_MIN_LEN`] — except when
+        // the table empties entirely: dropping the whole list is a clear,
+        // not a rebuild, and without it every small per-node table whose
+        // generation fully expires would park up to `COMPACT_MIN_LEN` dead
+        // entries forever — an O(nodes) residue at 10k-node scale.
+        if self.rows.is_empty() {
+            self.seq_order.clear();
+            self.dead = 0;
+        } else if self.seq_order.len() >= COMPACT_MIN_LEN && self.dead * 2 > self.seq_order.len() {
             self.compaction_walked += self.seq_order.len() as u64;
             let rows = &self.rows;
             self.seq_order.retain(|s| rows.contains_key(s));
@@ -181,14 +198,15 @@ impl Table {
     /// copy.  `next_seq` is the store-wide insertion counter, advanced only
     /// for genuinely new rows.  Returns the outcome together with the seq of
     /// the live row now holding `values` (fresh for new rows, the original
-    /// insertion's for duplicates).
+    /// insertion's for duplicates) and — when the row's TTL was newly set or
+    /// extended — the expiry instant the store's min-heap must learn about.
     fn insert_one<F>(
         &mut self,
         next_seq: &mut u64,
         values: Arc<[Value]>,
         meta: TupleMeta,
         combine: F,
-    ) -> (InsertOutcome, u64)
+    ) -> (InsertOutcome, u64, Option<SimTime>)
     where
         F: FnOnce(&ProvTag, &ProvTag) -> ProvTag,
     {
@@ -196,19 +214,31 @@ impl Table {
             None => {
                 let seq = *next_seq;
                 *next_seq += 1;
+                let expires = meta.expires_at;
                 self.by_row.insert(values.clone(), seq);
                 self.index_insert(seq, &values);
                 self.seq_order.push(seq);
                 self.rows.insert(seq, StoredRow { values, meta });
-                (InsertOutcome::New, seq)
+                (InsertOutcome::New, seq, expires)
             }
             Some(&seq) => {
                 let existing = self.rows.get_mut(&seq).expect("dedup map mirrors rows");
                 let merged = combine(&existing.meta.tag, &meta.tag);
-                // Refresh the soft-state lifetime on re-derivation.
-                existing.meta.expires_at = match (existing.meta.expires_at, meta.expires_at) {
-                    (Some(a), Some(b)) => Some(a.max(b)),
-                    _ => None,
+                // Refresh the soft-state lifetime on re-derivation (a `None`
+                // on either side upgrades the row to hard state).
+                let bumped = match (existing.meta.expires_at, meta.expires_at) {
+                    (Some(a), Some(b)) if b > a => {
+                        existing.meta.expires_at = Some(b);
+                        Some(b)
+                    }
+                    (Some(a), Some(_)) => {
+                        existing.meta.expires_at = Some(a);
+                        None
+                    }
+                    _ => {
+                        existing.meta.expires_at = None;
+                        None
+                    }
                 };
                 let outcome = if merged != existing.meta.tag {
                     existing.meta.tag = merged;
@@ -216,7 +246,7 @@ impl Table {
                 } else {
                     InsertOutcome::Duplicate
                 };
-                (outcome, seq)
+                (outcome, seq, bumped)
             }
         }
     }
@@ -231,6 +261,13 @@ pub struct NodeStore {
     /// Relations, indexed by [`PredId`].
     tables: Vec<Table>,
     next_seq: u64,
+    /// Min-heap of `(expires_at µs, pred, seq)` over soft-state rows, pushed
+    /// on every insert / TTL extension and validated lazily on pop: an entry
+    /// whose row is gone, hardened, or now expires later is simply skipped
+    /// (a fresher entry covers it).  This makes [`NodeStore::take_expired`]
+    /// O(expired · log heap) instead of a scan of every stored row — the
+    /// difference between a no-op sweep and an O(N) walk at 10k nodes.
+    expiry_heap: BinaryHeap<Reverse<(u64, u32, u64)>>,
 }
 
 impl NodeStore {
@@ -408,11 +445,17 @@ impl NodeStore {
     {
         self.ensure_table(pred);
         let NodeStore {
-            tables, next_seq, ..
+            tables,
+            next_seq,
+            expiry_heap,
+            ..
         } = self;
-        tables[pred.index()]
-            .insert_one(next_seq, values, meta, combine)
-            .0
+        let (outcome, seq, expires) =
+            tables[pred.index()].insert_one(next_seq, values, meta, combine);
+        if let Some(at) = expires {
+            expiry_heap.push(Reverse((at.as_micros(), pred.index() as u32, seq)));
+        }
+        outcome
     }
 
     /// Batch-inserts shared rows under one interned predicate: the table is
@@ -436,11 +479,21 @@ impl NodeStore {
     {
         self.ensure_table(pred);
         let NodeStore {
-            tables, next_seq, ..
+            tables,
+            next_seq,
+            expiry_heap,
+            ..
         } = self;
         let table = &mut tables[pred.index()];
         rows.into_iter()
-            .map(|(values, meta)| table.insert_one(next_seq, values, meta, &mut combine))
+            .map(|(values, meta)| {
+                let (outcome, seq, expires) =
+                    table.insert_one(next_seq, values, meta, &mut combine);
+                if let Some(at) = expires {
+                    expiry_heap.push(Reverse((at.as_micros(), pred.index() as u32, seq)));
+                }
+                (outcome, seq)
+            })
             .collect()
     }
 
@@ -527,17 +580,26 @@ impl NodeStore {
         values: &[Value],
         expires_at: Option<SimTime>,
     ) -> bool {
-        let Some(table) = self.tables.get_mut(pred.index()) else {
+        let NodeStore {
+            tables,
+            expiry_heap,
+            ..
+        } = self;
+        let Some(table) = tables.get_mut(pred.index()) else {
             return false;
         };
         let Some(&seq) = table.by_row.get(values) else {
             return false;
         };
         let row = table.rows.get_mut(&seq).expect("dedup map mirrors rows");
-        row.meta.expires_at = match (row.meta.expires_at, expires_at) {
-            (Some(a), Some(b)) => Some(a.max(b)),
-            _ => None,
-        };
+        match (row.meta.expires_at, expires_at) {
+            (Some(a), Some(b)) if b > a => {
+                row.meta.expires_at = Some(b);
+                expiry_heap.push(Reverse((b.as_micros(), pred.index() as u32, seq)));
+            }
+            (Some(_), Some(_)) => {}
+            _ => row.meta.expires_at = None,
+        }
         true
     }
 
@@ -712,26 +774,37 @@ impl NodeStore {
     /// passed and returns `(pred, seq, values, meta)` per victim in
     /// insertion-seq order.  The engine's scheduled-expiry work uses the
     /// seqs to settle the deletion ledger and cascade the removals.
+    ///
+    /// Victims come off the expiry min-heap, not a table scan: entries are
+    /// popped while due, validated against the row's *current* lifetime
+    /// (stale entries from extended or hardened rows are discarded — a later
+    /// push covers them), deduplicated by seq, and removed in seq order.
     pub fn take_expired(&mut self, now: SimTime) -> Vec<(PredId, u64, Arc<[Value]>, TupleMeta)> {
-        let mut expired: Vec<(u64, PredId)> = self
-            .tables
-            .iter()
-            .enumerate()
-            .flat_map(|(i, table)| {
-                table
-                    .rows
-                    .iter()
-                    .filter(|(_, row)| row.meta.expires_at.is_some_and(|e| e <= now))
-                    .map(move |(seq, _)| (*seq, PredId(i as u32)))
-            })
-            .collect();
-        expired.sort_unstable_by_key(|(seq, _)| *seq);
-        expired
+        let now_us = now.as_micros();
+        let mut victims: Vec<(u64, PredId)> = Vec::new();
+        while let Some(&Reverse((at, pred_raw, seq))) = self.expiry_heap.peek() {
+            if at > now_us {
+                break;
+            }
+            self.expiry_heap.pop();
+            let pred = PredId(pred_raw);
+            let due = self
+                .tables
+                .get(pred.index())
+                .and_then(|t| t.rows.get(&seq))
+                .is_some_and(|row| row.meta.expires_at.is_some_and(|e| e <= now));
+            if due {
+                victims.push((seq, pred));
+            }
+        }
+        victims.sort_unstable_by_key(|(seq, _)| *seq);
+        victims.dedup_by_key(|(seq, _)| *seq);
+        victims
             .into_iter()
             .map(|(seq, pred)| {
                 let row = self.tables[pred.index()]
                     .take_by_seq(seq)
-                    .expect("collected seq is live");
+                    .expect("validated seq is live");
                 (pred, seq, row.values, row.meta)
             })
             .collect()
@@ -793,11 +866,27 @@ impl NodeStore {
                     table.dead
                 ));
             }
-            if table.dead * 2 > table.seq_order.len() {
+            if table.seq_order.len() >= COMPACT_MIN_LEN && table.dead * 2 > table.seq_order.len() {
                 return Err(format!(
                     "{pred}: compaction invariant violated ({dead} dead of {})",
                     table.seq_order.len()
                 ));
+            }
+            // Expiry heap: every live soft-state row must be covered by a
+            // heap entry at exactly its current expiry instant.
+            for (seq, row) in &table.rows {
+                if let Some(expires) = row.meta.expires_at {
+                    let covered = self
+                        .expiry_heap
+                        .iter()
+                        .any(|Reverse(e)| *e == (expires.as_micros(), i as u32, *seq));
+                    if !covered {
+                        return Err(format!(
+                            "{pred}: soft-state row {:?} has no expiry-heap entry",
+                            row.values
+                        ));
+                    }
+                }
             }
             // Indexes: seq ids only, right bucket, insertion order, complete.
             for (key_columns, buckets) in &table.indexes {
@@ -1332,6 +1421,61 @@ mod tests {
         assert_eq!(store.pred_id("sensor"), Some(sensor));
         assert!(store.remove_row(link_id, &row).is_some());
         store.check_index_consistency().unwrap();
+    }
+
+    #[test]
+    fn take_expired_honours_ttl_extensions_and_hardening() {
+        let mut store = NodeStore::new();
+        let pred = store.intern("link");
+        store.insert(&link(0, 1), meta(ProvTag::None, Some(100)), |a, _| {
+            a.clone()
+        });
+        store.insert(&link(0, 2), meta(ProvTag::None, Some(100)), |a, _| {
+            a.clone()
+        });
+        // Extend one row, harden the other: the stale heap entries at t=100
+        // must not expire either of them.
+        assert!(store.refresh_row_ttl(pred, &link(0, 1).values, Some(SimTime::from_micros(300))));
+        store.insert(&link(0, 2), meta(ProvTag::None, None), |a, _| a.clone());
+        assert!(store.take_expired(SimTime::from_micros(150)).is_empty());
+        assert_eq!(store.total_tuples(), 2);
+        let expired = store.take_expired(SimTime::from_micros(300));
+        assert_eq!(expired.len(), 1, "only the extended soft-state row");
+        assert_eq!(&expired[0].2[..], &link(0, 1).values[..]);
+        assert!(store
+            .take_expired(SimTime::from_micros(1_000_000))
+            .is_empty());
+        assert_eq!(store.total_tuples(), 1);
+        store.check_index_consistency().unwrap();
+    }
+
+    #[test]
+    fn small_tables_never_pay_compaction_debt() {
+        let mut store = NodeStore::new();
+        for i in 0..50u32 {
+            store.insert(&link(i, i), meta(ProvTag::None, None), |a, _| a.clone());
+        }
+        for i in 0..50u32 {
+            store.remove(&link(i, i));
+            store.check_index_consistency().unwrap();
+        }
+        assert_eq!(
+            store.take_compaction_debt(),
+            0,
+            "lists under the compaction threshold are never rebuilt"
+        );
+        assert!(store.scan_ordered("link").is_empty());
+        // A fully emptied table clears its seq list outright (a clear, not
+        // a charged rebuild): no dead residue survives the generation.
+        let empty_bytes = store.store_bytes();
+        for i in 0..50u32 {
+            store.insert(&link(i, i), meta(ProvTag::None, None), |a, _| a.clone());
+        }
+        for i in 0..50u32 {
+            store.remove(&link(i, i));
+        }
+        assert_eq!(store.store_bytes(), empty_bytes);
+        assert_eq!(store.take_compaction_debt(), 0);
     }
 
     #[test]

@@ -1,0 +1,202 @@
+//! Property tests: the streaming driver is schedule-exact.
+//!
+//! `DistributedEngine::run_streaming` pulls churn events from an iterator
+//! and injects each one only once the queue has drained up to that event's
+//! scenario cut, instead of materialising the whole script in the work
+//! queue up front.  The claim is not merely that both drivers converge to
+//! equivalent fixpoints — it is that they execute the *same schedule*:
+//! identical insertion-ordered stores at every node, and bit-identical
+//! counters (`derivations`, `tuples_stored`, `frames`, `batched_tuples`,
+//! retraction/expiry totals), across says levels × worker counts × batch
+//! knobs × churn scripts × soft-state TTLs.
+
+use pasn_datalog::Value;
+use pasn_engine::{ChurnScript, DistributedEngine, EngineConfig, Tuple};
+use pasn_net::CostModel;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+const REACHABLE: &str = "
+    r1 reachable(@S,D) :- link(@S,D).
+    r2 reachable(@S,D) :- link(@S,Z), reachable(@Z,D).
+";
+
+const NODES: [&str; 4] = ["a", "b", "c", "d"];
+
+fn str_val(s: &str) -> Value {
+    Value::Str(s.to_string())
+}
+
+fn locations() -> Vec<Value> {
+    NODES.iter().map(|n| str_val(n)).collect()
+}
+
+/// Per-node *insertion-ordered* `(values, tag)` renderings of `pred` — no
+/// sorting, so any schedule divergence between the two drivers shows up.
+fn ordered_fixpoint_of(engine: &DistributedEngine, pred: &str) -> Vec<Vec<String>> {
+    locations()
+        .iter()
+        .map(|loc| {
+            engine
+                .query_ordered(loc, pred)
+                .into_iter()
+                .map(|(t, m)| format!("{:?} {}", t.values, m.tag))
+                .collect()
+        })
+        .collect()
+}
+
+fn says_config(pick: u64) -> EngineConfig {
+    match pick % 3 {
+        0 => EngineConfig::ndlog(),
+        1 => EngineConfig::sendlog(),
+        _ => EngineConfig::sendlog_session(),
+    }
+}
+
+fn reach_engine(config: EngineConfig, links: &[(usize, usize)]) -> DistributedEngine {
+    let program = pasn_datalog::parse_program(REACHABLE).unwrap();
+    let mut engine = DistributedEngine::new(
+        &program,
+        config
+            .with_cost_model(CostModel::zero_cpu())
+            .with_dynamics(),
+        &locations(),
+    )
+    .unwrap();
+    for &(src, dst) in links {
+        engine
+            .insert_fact(
+                str_val(NODES[src]),
+                Tuple::new("link", vec![str_val(NODES[src]), str_val(NODES[dst])]),
+            )
+            .unwrap();
+    }
+    engine
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Streaming injection reproduces the batch scenario bit for bit:
+    /// same insertion-ordered stores, same counters.
+    #[test]
+    fn streaming_matches_batch_scenario_exactly(
+        words in prop::collection::vec(any::<u64>(), 1..20),
+        knobs in any::<u64>(),
+    ) {
+        // One word per candidate link: endpoints plus down / re-up flags.
+        let mut initial: Vec<(usize, usize)> = Vec::new();
+        let mut flags: HashMap<(usize, usize), (bool, bool)> = HashMap::new();
+        for w in &words {
+            let link = ((w % 4) as usize, ((w >> 8) % 4) as usize);
+            if link.0 == link.1 || flags.contains_key(&link) {
+                continue;
+            }
+            initial.push(link);
+            flags.insert(link, ((w >> 16) & 1 == 1, (w >> 17) & 1 == 1));
+        }
+        prop_assume!(!initial.is_empty());
+        let window = knobs % 3_000;
+        let cap = 1 + ((knobs >> 16) % 5) as usize;
+        let workers = if (knobs >> 32) & 1 == 1 { 4 } else { 1 };
+        // A TTL on one case in four exercises mid-run soft-state expiry —
+        // the generational shape the streaming driver exists for.
+        let ttl = if (knobs >> 33) & 3 == 0 { Some(7_000_000u64) } else { None };
+        let config = || {
+            let mut c = says_config(knobs >> 24)
+                .with_batch_window_us(window)
+                .with_max_batch_tuples(cap)
+                .with_workers(workers);
+            if let Some(ttl) = ttl {
+                c = c.with_default_ttl_us(ttl);
+            }
+            c
+        };
+
+        let mut script = ChurnScript::new();
+        for (i, link) in initial.iter().enumerate() {
+            let (down, up) = flags[link];
+            if down {
+                script = script.link_down(
+                    5_000_000 + i as u64 * 1_000,
+                    str_val(NODES[link.0]),
+                    str_val(NODES[link.1]),
+                );
+                if up {
+                    script = script.link_up(
+                        10_000_000 + i as u64 * 1_000,
+                        str_val(NODES[link.0]),
+                        str_val(NODES[link.1]),
+                    );
+                }
+            }
+        }
+
+        let mut batch = reach_engine(config(), &initial);
+        let batch_metrics = batch.run_scenario(&script).unwrap();
+
+        // Streaming requires time order; a *stable* sort keeps script order
+        // on same-instant ties, which is exactly the scenario's seq-based
+        // tiebreak for scripted events.
+        let mut events = script.events().to_vec();
+        events.sort_by_key(|(at, _)| *at);
+
+        let mut streaming = reach_engine(config(), &initial);
+        let streaming_metrics = streaming.run_streaming(events).unwrap();
+
+        for pred in ["link", "reachable"] {
+            prop_assert_eq!(
+                ordered_fixpoint_of(&streaming, pred),
+                ordered_fixpoint_of(&batch, pred),
+                "{} diverged (window {} cap {} workers {} ttl {:?})",
+                pred,
+                window,
+                cap,
+                workers,
+                ttl
+            );
+        }
+        prop_assert_eq!(streaming_metrics.derivations, batch_metrics.derivations);
+        prop_assert_eq!(streaming_metrics.tuples_stored, batch_metrics.tuples_stored);
+        prop_assert_eq!(streaming_metrics.frames, batch_metrics.frames);
+        prop_assert_eq!(streaming_metrics.batched_tuples, batch_metrics.batched_tuples);
+        prop_assert_eq!(streaming_metrics.retractions, batch_metrics.retractions);
+        prop_assert_eq!(streaming_metrics.rederivations, batch_metrics.rederivations);
+        prop_assert_eq!(streaming_metrics.churn_events, script.len() as u64);
+        // The streaming driver samples peaks; they must dominate the final
+        // footprint.
+        prop_assert!(
+            streaming_metrics.peak_store_bytes >= streaming_metrics.store_bytes
+        );
+        prop_assert!(
+            streaming_metrics.peak_index_bytes >= streaming_metrics.index_bytes
+        );
+    }
+}
+
+/// Out-of-order streams are rejected up front rather than silently
+/// reordered (silent reordering would break the scenario-cut equivalence).
+#[test]
+fn streaming_rejects_time_disordered_events() {
+    let mut engine = reach_engine(EngineConfig::ndlog(), &[(0, 1)]);
+    let events = vec![
+        (
+            pasn_net::SimTime::from_micros(5_000_000),
+            pasn_engine::ChurnEvent::LinkDown {
+                src: str_val("a"),
+                dst: str_val("b"),
+            },
+        ),
+        (
+            pasn_net::SimTime::from_micros(4_000_000),
+            pasn_engine::ChurnEvent::LinkUp {
+                src: str_val("a"),
+                dst: str_val("b"),
+                cost: None,
+            },
+        ),
+    ];
+    let err = engine.run_streaming(events).unwrap_err();
+    assert!(err.to_string().contains("time-ordered"), "{err}");
+}

@@ -43,4 +43,4 @@ pub use store::{
     traceback, AntecedentRef, ArchiveStore, ArchivedEntry, DistributedStore, LocalStore,
     PointerDerivation, TracebackResult,
 };
-pub use tag::{ProvTag, ProvenanceKind, VarTable};
+pub use tag::{ProvTag, ProvenanceKind, VarTable, CONDENSE_WITNESS_THRESHOLD};

@@ -143,6 +143,17 @@ impl VarTable {
     }
 }
 
+/// Witness-encoding budget above which a [`ProvTag::Why`] tag is
+/// automatically converted to its BDD-condensed form by the semiring
+/// operations ([`ProvTag::times`] / [`ProvTag::plus`]).  Uncondensed
+/// witness sets grow multiplicatively under joins — the exact blow-up the
+/// paper's condensation (Section 4.4) exists to stop — so above this many
+/// base-tuple entries the canonical BDD becomes the default
+/// representation and tag memory stops scaling with derivation count.
+/// Small tags stay uncondensed: the ablation's point is to measure them,
+/// and below this size they are cheaper than BDD nodes.
+pub const CONDENSE_WITNESS_THRESHOLD: usize = 16;
+
 /// A per-tuple provenance annotation.
 #[derive(Clone, PartialEq, Debug, Default)]
 pub enum ProvTag {
@@ -214,13 +225,20 @@ impl ProvTag {
         }
     }
 
-    /// Join combination (`*`): both tags must have the same kind.
+    /// Join combination (`*`): both tags must have the same kind, except
+    /// that `Why` and `Condensed` mix freely — an uncondensed tag meeting
+    /// one that already crossed [`CONDENSE_WITNESS_THRESHOLD`] is condensed
+    /// on the spot.  A `Why` result above the threshold condenses too.
     pub fn times(&self, other: &ProvTag, table: &mut VarTable) -> ProvTag {
         match (self, other) {
             (ProvTag::None, ProvTag::None) => ProvTag::None,
-            (ProvTag::Why(a), ProvTag::Why(b)) => ProvTag::Why(a.times(b)),
+            (ProvTag::Why(a), ProvTag::Why(b)) => ProvTag::Why(a.times(b)).condense_if_large(table),
             (ProvTag::Condensed(a), ProvTag::Condensed(b)) => {
                 ProvTag::Condensed(table.manager_mut().and(*a, *b))
+            }
+            (ProvTag::Why(_), ProvTag::Condensed(_)) | (ProvTag::Condensed(_), ProvTag::Why(_)) => {
+                let (a, b) = (self.condensed_ref(table), other.condensed_ref(table));
+                ProvTag::Condensed(table.manager_mut().and(a, b))
             }
             (ProvTag::Trust(a), ProvTag::Trust(b)) => ProvTag::Trust(a.times(b)),
             (ProvTag::Count(a), ProvTag::Count(b)) => ProvTag::Count(a.times(b)),
@@ -234,13 +252,18 @@ impl ProvTag {
     }
 
     /// Alternative-derivation combination (`+`): both tags must have the
-    /// same kind.
+    /// same kind, with the same `Why` / `Condensed` mixing and
+    /// auto-condensation rules as [`ProvTag::times`].
     pub fn plus(&self, other: &ProvTag, table: &mut VarTable) -> ProvTag {
         match (self, other) {
             (ProvTag::None, ProvTag::None) => ProvTag::None,
-            (ProvTag::Why(a), ProvTag::Why(b)) => ProvTag::Why(a.plus(b)),
+            (ProvTag::Why(a), ProvTag::Why(b)) => ProvTag::Why(a.plus(b)).condense_if_large(table),
             (ProvTag::Condensed(a), ProvTag::Condensed(b)) => {
                 ProvTag::Condensed(table.manager_mut().or(*a, *b))
+            }
+            (ProvTag::Why(_), ProvTag::Condensed(_)) | (ProvTag::Condensed(_), ProvTag::Why(_)) => {
+                let (a, b) = (self.condensed_ref(table), other.condensed_ref(table));
+                ProvTag::Condensed(table.manager_mut().or(a, b))
             }
             (ProvTag::Trust(a), ProvTag::Trust(b)) => ProvTag::Trust(a.plus(b)),
             (ProvTag::Count(a), ProvTag::Count(b)) => ProvTag::Count(a.plus(b)),
@@ -250,6 +273,51 @@ impl ProvTag {
                 a.kind(),
                 b.kind()
             ),
+        }
+    }
+
+    /// Converts a `Why` tag into the equivalent canonical BDD over
+    /// base-tuple variables: each witness set becomes a conjunction, the
+    /// alternatives a disjunction.  `Condensed` tags pass through; other
+    /// kinds have no condensed form.
+    pub fn condense(&self, table: &mut VarTable) -> Option<ProvTag> {
+        match self {
+            ProvTag::Condensed(b) => Some(ProvTag::Condensed(*b)),
+            ProvTag::Why(w) => {
+                let mut acc = table.manager_mut().false_ref();
+                for witness in w.witnesses() {
+                    let mut cube = table.manager_mut().true_ref();
+                    for id in witness {
+                        let var = table.base_var(*id, format!("t{}", id.0));
+                        let lit = table.manager_mut().var(var);
+                        cube = table.manager_mut().and(cube, lit);
+                    }
+                    acc = table.manager_mut().or(acc, cube);
+                }
+                Some(ProvTag::Condensed(acc))
+            }
+            _ => None,
+        }
+    }
+
+    /// The canonical BDD behind a `Why` or `Condensed` tag (condensing the
+    /// former); callers guarantee the kind.
+    fn condensed_ref(&self, table: &mut VarTable) -> BddRef {
+        match self.condense(table).expect("tag has a condensed form") {
+            ProvTag::Condensed(b) => b,
+            _ => unreachable!("condense returns a condensed tag"),
+        }
+    }
+
+    /// Applies the auto-condensation policy: a `Why` tag whose witness
+    /// encoding exceeds [`CONDENSE_WITNESS_THRESHOLD`] base-tuple entries
+    /// is replaced by its canonical BDD; everything else passes through.
+    pub fn condense_if_large(self, table: &mut VarTable) -> ProvTag {
+        match &self {
+            ProvTag::Why(w) if w.size() > CONDENSE_WITNESS_THRESHOLD => self
+                .condense(table)
+                .expect("why tags always have a condensed form"),
+            _ => self,
         }
     }
 
@@ -494,6 +562,101 @@ mod tests {
             1,
         );
         let _ = a.times(&b, &mut table);
+    }
+
+    #[test]
+    fn why_tags_condense_past_the_threshold() {
+        let mut table = VarTable::new();
+        // A chain join of distinct base tuples: witness size grows by one
+        // per `times`, so the tag stays Why until it crosses the budget,
+        // then flips to Condensed exactly once.
+        let mut tag = ProvTag::base(
+            ProvenanceKind::Why,
+            &mut table,
+            BaseTupleId(0),
+            "t0",
+            p(0),
+            1,
+        );
+        for i in 1..=CONDENSE_WITNESS_THRESHOLD as u64 {
+            let next = ProvTag::base(
+                ProvenanceKind::Why,
+                &mut table,
+                BaseTupleId(i),
+                "t",
+                p(i as u32),
+                1,
+            );
+            tag = tag.times(&next, &mut table);
+        }
+        assert_eq!(
+            tag.kind(),
+            ProvenanceKind::Condensed,
+            "size {} tag must have condensed",
+            CONDENSE_WITNESS_THRESHOLD + 1
+        );
+        // Further combination with uncondensed tags mixes cleanly in both
+        // operand orders and through both operations.
+        let small = ProvTag::base(
+            ProvenanceKind::Why,
+            &mut table,
+            BaseTupleId(999),
+            "t999",
+            p(999),
+            1,
+        );
+        assert_eq!(
+            small.times(&tag, &mut table).kind(),
+            ProvenanceKind::Condensed
+        );
+        assert_eq!(
+            tag.plus(&small, &mut table).kind(),
+            ProvenanceKind::Condensed
+        );
+    }
+
+    #[test]
+    fn condensation_preserves_the_boolean_function() {
+        let mut table = VarTable::new();
+        let a = ProvTag::base(
+            ProvenanceKind::Why,
+            &mut table,
+            BaseTupleId(0),
+            "a",
+            p(0),
+            1,
+        );
+        let b = ProvTag::base(
+            ProvenanceKind::Why,
+            &mut table,
+            BaseTupleId(1),
+            "b",
+            p(1),
+            1,
+        );
+        // a + a*b condenses to <a> — the same absorption the BDD performs.
+        let ab = a.times(&b, &mut table);
+        let expr = a.plus(&ab, &mut table);
+        let condensed = expr.condense(&mut table).unwrap();
+        let just_a = a.condense(&mut table).unwrap();
+        assert_eq!(condensed, just_a);
+        assert_eq!(condensed.render(&table), "<t0>");
+        // The condensed wire form undercuts a genuinely larger witness set.
+        let c = ProvTag::base(
+            ProvenanceKind::Why,
+            &mut table,
+            BaseTupleId(2),
+            "c",
+            p(2),
+            1,
+        );
+        let wide = a
+            .times(&b, &mut table)
+            .plus(&b.times(&c, &mut table), &mut table);
+        let wide_condensed = wide.condense(&mut table).unwrap();
+        assert!(wide_condensed.wire_size(&table) <= wide.wire_size(&table));
+        // Non-condensable kinds report None.
+        assert!(ProvTag::Trust(TrustLevel(1)).condense(&mut table).is_none());
     }
 
     #[test]
