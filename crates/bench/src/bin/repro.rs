@@ -139,6 +139,12 @@ fn point_json(name: &str, wall: std::time::Duration, metrics: &RunMetrics) -> St
             "      \"retractions\": {},\n",
             "      \"rederivations\": {},\n",
             "      \"tombstone_frames\": {},\n",
+            "      \"frames_dropped\": {},\n",
+            "      \"frames_duplicated\": {},\n",
+            "      \"retransmits\": {},\n",
+            "      \"acks\": {},\n",
+            "      \"backoff_events\": {},\n",
+            "      \"max_retransmit_per_frame\": {},\n",
             "      \"worker_threads\": {},\n",
             "      \"partitions\": {},\n",
             "      \"cross_partition_frames\": {},\n",
@@ -174,6 +180,12 @@ fn point_json(name: &str, wall: std::time::Duration, metrics: &RunMetrics) -> St
         metrics.retractions,
         metrics.rederivations,
         metrics.tombstone_frames,
+        metrics.frames_dropped,
+        metrics.frames_duplicated,
+        metrics.retransmits,
+        metrics.acks,
+        metrics.backoff_events,
+        metrics.max_retransmit_per_frame,
         metrics.worker_threads,
         metrics.partitions,
         metrics.cross_partition_frames,
@@ -332,6 +344,30 @@ fn engine_bench_json(rows: u32, quick: bool) -> String {
         |net| net.run().expect("fixpoint"),
     );
     points.push(point_json("session_reachability_30", wall, &metrics));
+
+    // The session deployment again over lossy links: a seeded fault plan
+    // drops, duplicates and delays frames while the reliability layer
+    // (per-link send buffers, cumulative acks, retransmission with
+    // exponential backoff) recovers every loss, so the fixpoint
+    // re-converges to `session_reachability_30`'s `tuples_stored` exactly
+    // — with `frames_dropped > 0` and `retransmits` bounded by the retry
+    // budget per frame.  The fault counters must be bit-identical across
+    // repetitions (the determinism oracle in `measured` enforces it): every
+    // transport decision is a pure function of `(seed, link, seq, attempt)`.
+    let (wall, metrics) = measured(
+        || {
+            pasn_bench::reachability_network(
+                30,
+                EngineConfig::sendlog_session()
+                    .with_cost_model(CostModel::zero_cpu())
+                    .with_batching()
+                    .with_fault_plan(FaultPlan::new(41)),
+                7,
+            )
+        },
+        |net| net.run().expect("post-loss fixpoint"),
+    );
+    points.push(point_json("lossy_reachability_30", wall, &metrics));
 
     // The session deployment once more, under network dynamics: one
     // topology link flaps down (provenance-guided deletion withdraws

@@ -85,6 +85,6 @@ pub mod prelude {
     pub use pasn_engine::{
         ChurnEvent, ChurnScript, EngineConfig, GraphMode, RunMetrics, SystemVariant, Tuple,
     };
-    pub use pasn_net::{CostModel, NodeId, SimTime, Topology};
+    pub use pasn_net::{CostModel, FaultEvent, FaultPlan, NodeId, SimTime, Topology};
     pub use pasn_provenance::{ProvTag, ProvenanceKind};
 }

@@ -355,6 +355,48 @@ impl SecureNetwork {
         self.engine.metrics().churn_events
     }
 
+    /// Frames the fault plan dropped so far, counting every failed attempt
+    /// (also reported at fixpoint as `RunMetrics::frames_dropped`).  Zero
+    /// on reliable runs.
+    pub fn frames_dropped(&self) -> u64 {
+        self.engine.metrics().frames_dropped
+    }
+
+    /// Frames the fault plan delivered twice so far (also reported at
+    /// fixpoint as `RunMetrics::frames_duplicated`); the receiver's
+    /// sequence cursor deduplicates them before evaluation.
+    pub fn frames_duplicated(&self) -> u64 {
+        self.engine.metrics().frames_duplicated
+    }
+
+    /// Retransmission timer firings so far (also reported at fixpoint as
+    /// `RunMetrics::retransmits`): each re-offers one unacknowledged frame
+    /// to the fault plan at the next attempt number.
+    pub fn retransmits(&self) -> u64 {
+        self.engine.metrics().retransmits
+    }
+
+    /// Cumulative acknowledgement frames sent so far (also reported at
+    /// fixpoint as `RunMetrics::acks`); coalesced per link, charged on the
+    /// wire dst → src.
+    pub fn acks(&self) -> u64 {
+        self.engine.metrics().acks
+    }
+
+    /// Exponential-backoff escalations so far — retransmission attempts
+    /// beyond a frame's first (also reported at fixpoint as
+    /// `RunMetrics::backoff_events`).
+    pub fn backoff_events(&self) -> u64 {
+        self.engine.metrics().backoff_events
+    }
+
+    /// Worst per-frame retransmission count observed (also reported at
+    /// fixpoint as `RunMetrics::max_retransmit_per_frame`); bounded by the
+    /// engine's retry budget.
+    pub fn max_retransmit_per_frame(&self) -> u64 {
+        self.engine.metrics().max_retransmit_per_frame
+    }
+
     /// Tuples removed by provenance-guided deletion so far — retraction
     /// cascades, scheduled TTL expiry, node failures and the well-founded
     /// sweep (also reported at fixpoint as `RunMetrics::retractions`).

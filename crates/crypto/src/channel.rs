@@ -107,6 +107,18 @@ impl ChannelHandshake {
     pub fn wire_len(&self) -> usize {
         self.transcript.wire_len() + self.signature.len()
     }
+
+    /// Whether this handshake's epoch clears the receiver's epoch floor.
+    ///
+    /// Receivers raise the floor past every retired channel epoch —
+    /// including crash-style evictions, where the old channel died with
+    /// frames still in flight — so a replayed (or delayed) handshake from
+    /// before the crash can never reinstall a retired epoch and roll the
+    /// replay counter back.  A sender rebinding after a crash picks a fresh
+    /// epoch above its own send floor, which this check then admits.
+    pub fn supersedes(&self, floor: u32) -> bool {
+        self.transcript.epoch >= floor
+    }
 }
 
 /// The MAC authenticating one frame on an established channel: the channel

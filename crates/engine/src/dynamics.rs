@@ -32,7 +32,7 @@
 //! `DistributedEngine::well_founded_sweep`).
 
 use crate::tuple::Tuple;
-use pasn_datalog::{PredId, Value};
+use pasn_datalog::{AggFunc, PredId, Value};
 use pasn_net::SimTime;
 use pasn_provenance::ProvTag;
 use std::collections::HashMap;
@@ -63,6 +63,30 @@ pub enum ChurnEvent {
         src: Value,
         /// Link destination.
         dst: Value,
+    },
+    /// A directed link is cut *without drain* (the crash-without-drain
+    /// counterpart of [`ChurnEvent::LinkDown`]): every frame in flight on
+    /// `src → dst` is discarded, its session channel is evicted immediately
+    /// (both epoch floors rise, so a later rebind starts a fresh epoch),
+    /// the engine's ledger reconciliation withdraws exactly the supports
+    /// whose carrier frames died, and the `link(src, dst, ...)` base tuples
+    /// are retracted.  Only meaningful with a fault plan installed — on a
+    /// reliable transport nothing is ever in flight at churn time and this
+    /// degenerates to [`ChurnEvent::LinkDown`].
+    LinkCut {
+        /// Link source.
+        src: Value,
+        /// Link destination.
+        dst: Value,
+    },
+    /// A node crash-stops *without drain*: every link touching it is cut as
+    /// by [`ChurnEvent::LinkCut`] (in-flight frames in both directions are
+    /// discarded and channels evicted immediately), then its base tuples
+    /// are withdrawn and remembered for a later
+    /// [`ChurnEvent::NodeRejoin`], as under [`ChurnEvent::NodeFail`].
+    NodeCrash {
+        /// The crashing location.
+        node: Value,
     },
     /// A node crash-stops: every base tuple it asserted is withdrawn (the
     /// network-visible effect of the node no longer refreshing its
@@ -154,6 +178,16 @@ impl ChurnScript {
         self.at(at_us, ChurnEvent::LinkDown { src, dst })
     }
 
+    /// Convenience: a link is cut without drain at `at_us`.
+    pub fn link_cut(self, at_us: u64, src: Value, dst: Value) -> Self {
+        self.at(at_us, ChurnEvent::LinkCut { src, dst })
+    }
+
+    /// Convenience: a node crashes without drain at `at_us`.
+    pub fn node_crash(self, at_us: u64, node: Value) -> Self {
+        self.at(at_us, ChurnEvent::NodeCrash { node })
+    }
+
     /// Convenience: a node fails at `at_us`.
     pub fn node_fail(self, at_us: u64, node: Value) -> Self {
         self.at(at_us, ChurnEvent::NodeFail { node })
@@ -210,6 +244,27 @@ pub(crate) struct SupportEntry {
     pub location_index: Option<usize>,
 }
 
+/// The aggregate identity of one recorded `a_MIN` / `a_MAX` candidate
+/// firing: which per-group best-value competition it entered, and with what
+/// value.  Candidate firings are recorded whether or not they improved the
+/// group's best, so the deletion ledger can re-elect the next-best
+/// surviving candidate when the current best is retracted — the fix for
+/// the stale-best-on-deletion limitation.
+#[derive(Clone, Debug)]
+pub(crate) struct AggFiring {
+    /// Rule label — first component of the group key.
+    pub label: String,
+    /// Grouping columns (the head row minus the aggregated column).
+    pub group: Vec<Value>,
+    /// The candidate's aggregate value.
+    pub value: i64,
+    /// Index of the aggregated column in the head row.
+    pub agg_index: usize,
+    /// `Min` or `Max` (running `Count` / `Sum` aggregates are not candidate
+    /// competitions and never carry an [`AggFiring`]).
+    pub func: AggFunc,
+}
+
 /// One recorded rule firing at the deriving node: the antecedent rows (by
 /// local insertion seq) and the head tuple the firing emitted, with the tag
 /// it contributed.  Replaying the record with opposite polarity is the
@@ -231,6 +286,12 @@ pub(crate) struct FiringRecord {
     pub location_index: Option<usize>,
     /// Antecedent rows by local insertion seq.
     pub antecedents: Vec<u64>,
+    /// `Some` when this firing is an `a_MIN` / `a_MAX` candidate: killing
+    /// it removes the candidate from its group's competition instead of
+    /// routing a withdrawal directly (only the group's *emitted* best row
+    /// is ever withdrawn, and only when no surviving candidate defends its
+    /// value).
+    pub agg: Option<AggFiring>,
 }
 
 /// Per-node deletion ledger: supports for stored rows, the firing log, and
@@ -296,6 +357,8 @@ mod tests {
             .weighted_link_up(2_500, v("a"), v("c"), 4)
             .node_fail(3_000, v("c"))
             .node_rejoin(4_000, v("c"))
+            .link_cut(4_200, v("a"), v("b"))
+            .node_crash(4_500, v("b"))
             .at(
                 5_000,
                 ChurnEvent::Insert {
@@ -303,7 +366,7 @@ mod tests {
                     tuple: Tuple::new("sensor", vec![Value::Int(1)]),
                 },
             );
-        assert_eq!(script.len(), 6);
+        assert_eq!(script.len(), 8);
         assert!(!script.is_empty());
         assert_eq!(script.events()[0].0, SimTime::from_micros(1_000));
         assert!(matches!(
@@ -314,6 +377,8 @@ mod tests {
             script.events()[2].1,
             ChurnEvent::LinkUp { cost: Some(4), .. }
         ));
+        assert!(matches!(script.events()[5].1, ChurnEvent::LinkCut { .. }));
+        assert!(matches!(script.events()[6].1, ChurnEvent::NodeCrash { .. }));
         assert!(ChurnScript::new().is_empty());
     }
 

@@ -63,6 +63,7 @@ pub mod tuple;
 
 pub use config::{
     EngineConfig, GraphMode, SystemVariant, DEFAULT_BATCH_WINDOW_US, DEFAULT_MAX_BATCH_TUPLES,
+    DEFAULT_RETRANSMIT_RTO_US, DEFAULT_RETRY_BUDGET,
 };
 pub use dynamics::{ChurnEvent, ChurnScript};
 pub use eval::{eval_expr, eval_filter, Bindings, EvalError};

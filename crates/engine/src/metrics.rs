@@ -136,6 +136,25 @@ pub struct RunMetrics {
     /// same-instant wave — the load-balance indicator for the shard layout.
     /// `0` when no wave was ever dispatched to the pool.
     pub max_partition_queue: u64,
+    /// Frames the installed [`pasn_net::FaultPlan`] dropped on the wire —
+    /// every drop decision, original sends and retransmissions alike.
+    /// Always `0` without a fault plan.
+    pub frames_dropped: u64,
+    /// Duplicate deliveries the fault plan injected (the receiver dedups
+    /// them by per-link sequence number before MAC verification).
+    pub frames_duplicated: u64,
+    /// Retransmission attempts the sender-side reliability layer made for
+    /// frames whose ack timer expired.
+    pub retransmits: u64,
+    /// Standalone cumulative-ack frames processed (acks are only emitted
+    /// when a fault plan is installed).
+    pub acks: u64,
+    /// Retransmission attempts beyond the first for one frame — each such
+    /// attempt doubled its retransmission timeout (exponential backoff).
+    pub backoff_events: u64,
+    /// Most delivery attempts any single frame needed (0 when every frame
+    /// arrived on its original send).  Bounded by the retry budget.
+    pub max_retransmit_per_frame: u64,
     /// Modeled host wall-clock of the run at the configured worker count,
     /// in simulated CPU terms: the total CPU the cost model charged to the
     /// nodes, minus the work that parallel waves executed off the critical
@@ -239,6 +258,14 @@ impl RunMetrics {
         self.tombstone_frames += shard.tombstone_frames;
         self.cross_partition_frames += shard.cross_partition_frames;
         self.max_partition_queue = self.max_partition_queue.max(shard.max_partition_queue);
+        self.frames_dropped += shard.frames_dropped;
+        self.frames_duplicated += shard.frames_duplicated;
+        self.retransmits += shard.retransmits;
+        self.acks += shard.acks;
+        self.backoff_events += shard.backoff_events;
+        self.max_retransmit_per_frame = self
+            .max_retransmit_per_frame
+            .max(shard.max_retransmit_per_frame);
     }
 
     /// Relative overhead of this run against a baseline, as fractions
@@ -263,7 +290,7 @@ impl fmt::Display for RunMetrics {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "completion {:.3}s, {} msgs, {:.3} MB ({} B auth, {} B provenance), {} derivations, {} tuples, {} sigs / {} verifs, {} frames ({:.2} tuples/frame), crypto: {} rsa sign / {} rsa verify / {} hmac / {} handshakes ({} batches), joins: {} hits / {} index probes, {} scanned, store {} B (+{} B index, peak {} B), churn: {} events / {} retractions / {} rederivations / {} tombstones",
+            "completion {:.3}s, {} msgs, {:.3} MB ({} B auth, {} B provenance), {} derivations, {} tuples, {} sigs / {} verifs, {} frames ({:.2} tuples/frame), crypto: {} rsa sign / {} rsa verify / {} hmac / {} handshakes ({} batches), joins: {} hits / {} index probes, {} scanned, store {} B (+{} B index, peak {} B), churn: {} events / {} retractions / {} rederivations / {} tombstones, faults: {} dropped / {} duplicated / {} retransmits ({} backoffs, max {}/frame) / {} acks",
             self.completion_secs(),
             self.messages,
             self.megabytes(),
@@ -290,6 +317,12 @@ impl fmt::Display for RunMetrics {
             self.retractions,
             self.rederivations,
             self.tombstone_frames,
+            self.frames_dropped,
+            self.frames_duplicated,
+            self.retransmits,
+            self.backoff_events,
+            self.max_retransmit_per_frame,
+            self.acks,
         )
     }
 }
@@ -347,6 +380,33 @@ mod tests {
         assert!(m
             .to_string()
             .contains("churn: 4 events / 9 retractions / 6 rederivations / 2 tombstones"));
+    }
+
+    #[test]
+    fn fault_counters_are_reported_and_absorbed() {
+        let m = RunMetrics {
+            frames_dropped: 5,
+            frames_duplicated: 2,
+            retransmits: 6,
+            acks: 11,
+            backoff_events: 1,
+            max_retransmit_per_frame: 3,
+            ..RunMetrics::default()
+        };
+        assert!(m.to_string().contains(
+            "faults: 5 dropped / 2 duplicated / 6 retransmits (1 backoffs, max 3/frame) / 11 acks"
+        ));
+        let mut total = RunMetrics {
+            frames_dropped: 1,
+            max_retransmit_per_frame: 4,
+            ..RunMetrics::default()
+        };
+        total.absorb(&m);
+        assert_eq!(total.frames_dropped, 6);
+        assert_eq!(total.retransmits, 6);
+        assert_eq!(total.acks, 11);
+        // Per-frame maxima max-merge instead of adding.
+        assert_eq!(total.max_retransmit_per_frame, 4);
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //! [`GraphMode`] and maintenance policy.
 
 use crate::config::{EngineConfig, GraphMode};
-use crate::dynamics::{BaseRow, ChurnEvent, ChurnScript, FiringRecord, HeadKey, Ledger};
+use crate::dynamics::{AggFiring, BaseRow, ChurnEvent, ChurnScript, FiringRecord, HeadKey, Ledger};
 use crate::eval::{eval_expr, eval_filter, Bindings};
 use crate::metrics::RunMetrics;
 use crate::store::{InsertOutcome, NodeStore, TupleMeta};
@@ -25,8 +25,8 @@ use pasn_crypto::says::{tombstone_payloads, Authenticator, SaysAssertion, SaysLe
 use pasn_crypto::{KeyAuthority, Principal, PrincipalId};
 use pasn_datalog::plan::{CompiledProgram, DeltaPlan, PlanStep, RulePlan, SlotTerm};
 use pasn_datalog::{compile_program, AggFunc, PlanError, PredId, Program, Symbols, Term, Value};
-use pasn_net::wire::Frame;
-use pasn_net::{Message, NetworkSim, NodeId, SimTime};
+use pasn_net::wire::{Frame, MESSAGE_HEADER_BYTES};
+use pasn_net::{FaultEvent, Message, NetworkSim, NodeId, SimTime};
 use pasn_provenance::{
     AntecedentRef, ArchiveStore, ArchivedEntry, BaseTupleId, DerivationGraph, DistributedStore,
     LocalStore, MaintenanceMode, PointerDerivation, ProvTag, ProvenanceKind, VarTable,
@@ -114,6 +114,14 @@ struct NodeRuntime {
     store: NodeStore,
     /// Aggregate state: (rule label, group key) → best value so far.
     agg_state: HashMap<(String, Vec<Value>), i64>,
+    /// `a_MIN`/`a_MAX` candidate multisets (dynamics only): (rule label,
+    /// group key) → candidate value → one provenance tag per alive
+    /// candidate firing.  The deletion ledger's re-election pool: when the
+    /// emitted best dies, the next-best surviving candidate takes over.
+    agg_candidates: HashMap<(String, Vec<Value>), BTreeMap<i64, Vec<ProvTag>>>,
+    /// The currently emitted best per group (dynamics only): exactly what
+    /// the head's node stores, so deletion withdraws precisely that row.
+    agg_emitted: HashMap<(String, Vec<Value>), (i64, ProvTag)>,
     local_prov: LocalStore,
     dist_prov: DistributedStore,
     archive: ArchiveStore,
@@ -315,6 +323,46 @@ enum QueuedWork {
     /// deletions through the ledger (dynamics runs only; scheduled at each
     /// distinct expiry instant).
     Expire { node: Value },
+    /// One sequenced frame reaching the far end of a faulty link
+    /// (fault-plan runs only): resolves to the buffered [`InFlightFrame`]
+    /// payload, deduplicates replays, and releases the link's in-order
+    /// prefix through normal evaluation.
+    FrameArrival {
+        /// Sending node id.
+        src: u32,
+        /// Receiving node id.
+        dst: u32,
+        /// Per-link frame sequence number.
+        frame_seq: u64,
+    },
+    /// Retransmission timer for one unacknowledged frame on a faulty link:
+    /// re-rolls the fault plan with an incremented attempt and exponential
+    /// backoff until the frame lands or the retry budget is exhausted.
+    Retransmit {
+        /// Sending node id.
+        src: u32,
+        /// Receiving node id.
+        dst: u32,
+        /// Per-link frame sequence number.
+        frame_seq: u64,
+    },
+    /// A delayed, coalesced cumulative acknowledgement travelling `dst →
+    /// src`: prunes every in-flight frame below the receiver's in-order
+    /// cursor and charges the ack's wire bytes.
+    AckFrame {
+        /// The acked link's sending node id (the ack's receiver).
+        src: u32,
+        /// The acked link's receiving node id (the ack's sender).
+        dst: u32,
+    },
+}
+
+/// One frame in flight on a faulty link: the queued payload (taken when the
+/// frame is first delivered, so `None` marks delivered-but-unacked) and how
+/// many retransmission attempts it has consumed.
+struct InFlightFrame {
+    work: Option<QueuedWork>,
+    attempt: u8,
 }
 
 /// Identity of an open (still appendable) batch *within one flush
@@ -579,6 +627,21 @@ pub struct DistributedEngine {
     /// Set when any row was removed; cleared by the well-founded sweep that
     /// runs when the queue drains (recursive self-support cleanup).
     needs_sweep: bool,
+    /// Reliability layer for fault-plan runs, all keyed by directed link
+    /// `(src node id, dst node id)`.  Next frame sequence number to assign
+    /// on each link; frames are released to evaluation strictly in this
+    /// order at the receiver.
+    flink_next_seq: HashMap<(u32, u32), u64>,
+    /// Frames sent but not yet cumulatively acked, per link.
+    flink_inflight: HashMap<(u32, u32), BTreeMap<u64, InFlightFrame>>,
+    /// The receiver's next in-order sequence number, per link.  Everything
+    /// below it has been released to evaluation exactly once.
+    flink_next_expected: HashMap<(u32, u32), u64>,
+    /// Out-of-order frames parked at the receiver until the gap fills.
+    flink_holdback: HashMap<(u32, u32), BTreeMap<u64, QueuedWork>>,
+    /// Links with a cumulative ack already scheduled: acks are delayed and
+    /// coalesced, one covers every delivery up to its fire instant.
+    flink_ack_pending: HashSet<(u32, u32)>,
 }
 
 impl DistributedEngine {
@@ -651,6 +714,8 @@ impl DistributedEngine {
                     principal: PrincipalId(i as u32),
                     store,
                     agg_state: HashMap::new(),
+                    agg_candidates: HashMap::new(),
+                    agg_emitted: HashMap::new(),
                     local_prov: LocalStore::new(),
                     dist_prov: DistributedStore::new(loc.to_string()),
                     archive: ArchiveStore::new(),
@@ -697,6 +762,11 @@ impl DistributedEngine {
             scheduled_expiries: HashSet::new(),
             failed_nodes: HashMap::new(),
             needs_sweep: false,
+            flink_next_seq: HashMap::new(),
+            flink_inflight: HashMap::new(),
+            flink_next_expected: HashMap::new(),
+            flink_holdback: HashMap::new(),
+            flink_ack_pending: HashSet::new(),
         };
 
         // Program facts: inserted at their home node at time zero.
@@ -726,6 +796,40 @@ impl DistributedEngine {
             .collect();
         for (loc, tuple, loc_idx) in facts {
             engine.insert_fact_located(loc, tuple, loc_idx, SimTime::ZERO)?;
+        }
+
+        // A fault plan's scheduled crash events become churn work up front.
+        // The env-seed override is re-applied here (idempotent), so plans
+        // set directly on the config — not via `with_fault_plan` — honor
+        // `PASN_FAULT_SEED` too; and fault runs always arm dynamics, since
+        // reconciling dead frames needs the deletion ledger.
+        if let Some(plan) = engine.config.fault_plan.take() {
+            let plan = plan.with_env_seed();
+            engine.dynamics = true;
+            engine.config.dynamics = true;
+            for &(at_us, event) in &plan.events {
+                let churn = match event {
+                    FaultEvent::LinkCut { src, dst } => {
+                        let (Some(s), Some(d)) =
+                            (locations.get(src as usize), locations.get(dst as usize))
+                        else {
+                            continue;
+                        };
+                        ChurnEvent::LinkCut {
+                            src: s.clone(),
+                            dst: d.clone(),
+                        }
+                    }
+                    FaultEvent::NodeCrash { node } => {
+                        let Some(n) = locations.get(node as usize) else {
+                            continue;
+                        };
+                        ChurnEvent::NodeCrash { node: n.clone() }
+                    }
+                };
+                engine.push_work(SimTime::from_micros(at_us), QueuedWork::Churn(churn));
+            }
+            engine.config.fault_plan = Some(plan);
         }
         Ok(engine)
     }
@@ -1417,6 +1521,23 @@ impl DistributedEngine {
                 self.process_expiry(at, node);
                 Ok(())
             }
+            QueuedWork::FrameArrival {
+                src,
+                dst,
+                frame_seq,
+            } => self.process_frame_arrival(at, src, dst, frame_seq),
+            QueuedWork::Retransmit {
+                src,
+                dst,
+                frame_seq,
+            } => {
+                self.process_retransmit(at, src, dst, frame_seq);
+                Ok(())
+            }
+            QueuedWork::AckFrame { src, dst } => {
+                self.process_ack(at, src, dst);
+                Ok(())
+            }
         }
     }
 
@@ -1474,9 +1595,7 @@ impl DistributedEngine {
                     row,
                     polarity,
                 } => self.buffer_ship(at, &src, &dst, pred, row, polarity),
-                Effect::Queue { at, work } => {
-                    self.push_work(at, work);
-                }
+                Effect::Queue { at, work } => self.queue_transport(at, work),
                 Effect::NetSend {
                     at,
                     src,
@@ -1900,7 +2019,12 @@ impl<'a> PartitionCtx<'a> {
                 self.process_handshake_batch(at, destination, handshakes);
                 Ok(())
             }
-            QueuedWork::Churn(_) | QueuedWork::Evict { .. } | QueuedWork::Expire { .. } => {
+            QueuedWork::Churn(_)
+            | QueuedWork::Evict { .. }
+            | QueuedWork::Expire { .. }
+            | QueuedWork::FrameArrival { .. }
+            | QueuedWork::Retransmit { .. }
+            | QueuedWork::AckFrame { .. } => {
                 unreachable!("engine-global work never enters a partition context")
             }
         }
@@ -2505,7 +2629,15 @@ impl<'a> PartitionCtx<'a> {
             }
         }
 
-        // Aggregate handling: only emit when the group's aggregate improves.
+        // Aggregate handling.  Without dynamics (and for the running
+        // Count/Sum totals) only an improvement emits, and nothing is ever
+        // withdrawn.  With dynamics, `a_MIN`/`a_MAX` become a candidate
+        // competition instead: *every* candidate is recorded in the ledger
+        // (with its own value in the head row), and the election below
+        // decides what the destination actually stores — so deleting the
+        // current best re-elects the next-best survivor instead of leaving
+        // a stale winner behind.
+        let mut agg_candidate: Option<AggFiring> = None;
         if let Some((func, agg_index, value)) = aggregate {
             let group: Vec<Value> = values
                 .iter()
@@ -2513,25 +2645,35 @@ impl<'a> PartitionCtx<'a> {
                 .filter(|(i, _)| *i != agg_index)
                 .map(|(_, v)| v.clone())
                 .collect();
-            let key = (rule.label.clone(), group);
-            let node = self.nodes.get_mut(local).expect("known location");
-            let entry = node.agg_state.get(&key).copied();
-            let improved = match (func, entry) {
-                (AggFunc::Min, Some(best)) => value < best,
-                (AggFunc::Max, Some(best)) => value > best,
-                (AggFunc::Min | AggFunc::Max, None) => true,
-                (AggFunc::Count | AggFunc::Sum, _) => true,
-            };
-            if !improved {
-                return Ok(());
+            if self.shared.dynamics && matches!(func, AggFunc::Min | AggFunc::Max) {
+                agg_candidate = Some(AggFiring {
+                    label: rule.label.clone(),
+                    group,
+                    value,
+                    agg_index,
+                    func,
+                });
+            } else {
+                let key = (rule.label.clone(), group);
+                let node = self.nodes.get_mut(local).expect("known location");
+                let entry = node.agg_state.get(&key).copied();
+                let improved = match (func, entry) {
+                    (AggFunc::Min, Some(best)) => value < best,
+                    (AggFunc::Max, Some(best)) => value > best,
+                    (AggFunc::Min | AggFunc::Max, None) => true,
+                    (AggFunc::Count | AggFunc::Sum, _) => true,
+                };
+                if !improved {
+                    return Ok(());
+                }
+                let new_value = match func {
+                    AggFunc::Min | AggFunc::Max => value,
+                    AggFunc::Count => entry.unwrap_or(0) + 1,
+                    AggFunc::Sum => entry.unwrap_or(0) + value,
+                };
+                node.agg_state.insert(key, new_value);
+                values[agg_index] = Value::Int(new_value);
             }
-            let new_value = match func {
-                AggFunc::Min | AggFunc::Max => value,
-                AggFunc::Count => entry.unwrap_or(0) + 1,
-                AggFunc::Sum => entry.unwrap_or(0) + value,
-            };
-            node.agg_state.insert(key, new_value);
-            values[agg_index] = Value::Int(new_value);
         }
 
         // Materialise the head row once, as the shared representation every
@@ -2572,9 +2714,10 @@ impl<'a> PartitionCtx<'a> {
 
         // Deletion ledger: record the firing — the head it produced, the
         // tag it contributed, and the antecedent rows by seq — so deletion
-        // can replay it with opposite polarity.  Aggregate heads are
-        // recorded too (their emitted rows are withdrawn symmetrically),
-        // but `agg_state` itself is not rolled back; see the crate docs.
+        // can replay it with opposite polarity.  `a_MIN`/`a_MAX` candidates
+        // are recorded with their own candidate value in the head row (and
+        // the aggregate identity attached), so killing one feeds the
+        // group's re-election instead of routing a withdrawal.
         if self.shared.dynamics {
             let node = self.nodes.get_mut(local).expect("known location");
             let idx = node.ledger.firings.len() as u32;
@@ -2586,6 +2729,7 @@ impl<'a> PartitionCtx<'a> {
                 tag: tag.clone(),
                 location_index: rule.head.location,
                 antecedents: contribs.iter().map(|c| c.seq).collect(),
+                agg: agg_candidate.clone(),
             });
             for c in contribs {
                 node.ledger
@@ -2599,6 +2743,29 @@ impl<'a> PartitionCtx<'a> {
                 .entry((destination.clone(), head_pred, head_values.clone()))
                 .or_default()
                 .push(idx);
+        }
+
+        // `a_MIN`/`a_MAX` candidates under dynamics: the ledger record
+        // above is the candidate's identity; emission is decided by the
+        // per-group election.  (Provenance graphs are not recorded for
+        // candidate firings — graph-recording configs run the non-dynamics
+        // aggregate path.)
+        if let Some(agg) = agg_candidate {
+            if destination != *local && !self.shared.directory.contains_key(&destination) {
+                return Err(EngineError::UnknownLocation(destination));
+            }
+            self.elect_aggregate(
+                local,
+                destination,
+                head_pred,
+                head_values,
+                tag,
+                agg,
+                now,
+                principal,
+                rule.head.location,
+            );
+            return Ok(());
         }
 
         // Provenance graphs (sampled; deferred in reactive mode).  The
@@ -2703,6 +2870,121 @@ impl<'a> PartitionCtx<'a> {
             polarity: Polarity::Assert,
         });
         Ok(())
+    }
+
+    /// Enters one `a_MIN`/`a_MAX` candidate into its group's competition
+    /// (dynamics only) and emits the head row only when the candidate beats
+    /// the currently emitted best — withdrawing the dethroned row first, so
+    /// the destination never holds two rows of one group.  Candidates that
+    /// do not win stay in the multiset; `settle_agg_kill` re-elects from
+    /// them when the winner dies.
+    #[allow(clippy::too_many_arguments)]
+    fn elect_aggregate(
+        &mut self,
+        local: &Value,
+        destination: Value,
+        pred: PredId,
+        head_values: Arc<[Value]>,
+        tag: ProvTag,
+        agg: AggFiring,
+        now: SimTime,
+        principal: PrincipalId,
+        location_index: Option<usize>,
+    ) {
+        let key = (agg.label, agg.group);
+        let node = self.nodes.get_mut(local).expect("known location");
+        node.agg_candidates
+            .entry(key.clone())
+            .or_default()
+            .entry(agg.value)
+            .or_default()
+            .push(tag.clone());
+        let current = node.agg_emitted.get(&key).cloned();
+        let improves = match (agg.func, &current) {
+            (_, None) => true,
+            (AggFunc::Min, Some((best, _))) => agg.value < *best,
+            (AggFunc::Max, Some((best, _))) => agg.value > *best,
+            (AggFunc::Count | AggFunc::Sum, Some(_)) => {
+                unreachable!("only Min/Max enter candidate competitions")
+            }
+        };
+        if !improves {
+            return;
+        }
+        if let Some((old_value, old_tag)) = current {
+            // Withdraw the dethroned best before asserting its successor.
+            let mut old_values = head_values.to_vec();
+            old_values[agg.agg_index] = Value::Int(old_value);
+            self.push_agg_row(
+                now,
+                local,
+                destination.clone(),
+                pred,
+                Arc::from(old_values),
+                old_tag,
+                Polarity::Retract,
+                principal,
+                location_index,
+            );
+        }
+        let node = self.nodes.get_mut(local).expect("known location");
+        node.agg_state.insert(key.clone(), agg.value);
+        node.agg_emitted.insert(key, (agg.value, tag.clone()));
+        self.push_agg_row(
+            now,
+            local,
+            destination,
+            pred,
+            head_values,
+            tag,
+            Polarity::Assert,
+            principal,
+            location_index,
+        );
+    }
+
+    /// Routes one aggregate assertion or withdrawal row: a local delta for
+    /// same-node heads, a shipment-frame append otherwise.
+    #[allow(clippy::too_many_arguments)]
+    fn push_agg_row(
+        &mut self,
+        now: SimTime,
+        local: &Value,
+        destination: Value,
+        pred: PredId,
+        values: Arc<[Value]>,
+        tag: ProvTag,
+        polarity: Polarity,
+        principal: PrincipalId,
+        location_index: Option<usize>,
+    ) {
+        let row = BatchRow {
+            values,
+            tag,
+            origin: local.clone(),
+            asserted_by: Some(principal),
+            shipped_graph: None,
+            is_base: false,
+            location_index,
+        };
+        if destination == *local {
+            self.effects.push(Effect::Local {
+                at: now,
+                destination,
+                pred,
+                row,
+                polarity,
+            });
+        } else {
+            self.effects.push(Effect::Ship {
+                at: now,
+                src: local.clone(),
+                dst: destination,
+                pred,
+                row,
+                polarity,
+            });
+        }
     }
 
     /// Seals one shipment frame: dedups identical rows, signs the canonical
@@ -2989,12 +3271,14 @@ impl<'a> PartitionCtx<'a> {
         // A handshake below the receiver's epoch floor is a replay of a
         // channel churn already retired (the live-channel case is handled
         // by accept_rebind below): reject before any state is installed.
+        // Crash-style evictions raise the floor past the dead channel, so
+        // a rebinding sender must supersede it to be heard.
         let floor = self.nodes[destination]
             .recv_epoch_floor
             .get(&handshake.transcript.src)
             .copied()
             .unwrap_or(0);
-        if handshake.transcript.epoch < floor {
+        if !handshake.supersedes(floor) {
             self.metrics.verification_failures += 1;
             return;
         }
@@ -3142,6 +3426,58 @@ impl DistributedEngine {
                     self.retract_row(&node, pred, &values, None, true, "node-failed", at);
                 }
             }
+            ChurnEvent::LinkCut { src, dst } => {
+                if !self.nodes.contains_key(&src) {
+                    return Err(EngineError::UnknownLocation(src));
+                }
+                // Crash-style cut: in-flight frames die *now* (reconciled
+                // against the ledger) and the channel is evicted without
+                // drain — unlike LinkDown's graceful teardown above.
+                self.cut_link_transport(at, &src, &dst);
+                if let Some(pred) = self.nodes[&src].store.pred_id("link") {
+                    let victims: Vec<Arc<[Value]>> = self.nodes[&src]
+                        .store
+                        .scan_ordered_rows(pred)
+                        .filter(|(v, _)| v.first() == Some(&src) && v.get(1) == Some(&dst))
+                        .map(|(v, _)| v.clone())
+                        .collect();
+                    for values in victims {
+                        self.retract_row(&src, pred, &values, None, false, "link-cut", at);
+                    }
+                }
+            }
+            ChurnEvent::NodeCrash { node } => {
+                if !self.nodes.contains_key(&node) {
+                    return Err(EngineError::UnknownLocation(node));
+                }
+                // Crash without drain: every frame in the air to or from the
+                // node dies and is reconciled, every adjacent channel is
+                // evicted immediately, then the node's base tuples are
+                // force-retracted exactly like NodeFail (so NodeRejoin can
+                // restore them).
+                for peer in self.locations.clone() {
+                    if peer != node {
+                        self.cut_link_transport(at, &node, &peer);
+                        self.cut_link_transport(at, &peer, &node);
+                    }
+                }
+                let mut base: Vec<(u64, PredId, Arc<[Value]>)> = self.nodes[&node]
+                    .ledger
+                    .base_rows
+                    .iter()
+                    .map(|(seq, (pred, values))| (*seq, *pred, values.clone()))
+                    .collect();
+                base.sort_unstable_by_key(|(seq, _, _)| *seq);
+                self.failed_nodes.insert(
+                    node.clone(),
+                    base.iter()
+                        .map(|(_, pred, values)| (*pred, values.clone()))
+                        .collect(),
+                );
+                for (_, pred, values) in base {
+                    self.retract_row(&node, pred, &values, None, true, "node-crashed", at);
+                }
+            }
             ChurnEvent::NodeRejoin { node } => {
                 if !self.nodes.contains_key(&node) {
                     return Err(EngineError::UnknownLocation(node));
@@ -3245,10 +3581,33 @@ impl DistributedEngine {
             return;
         };
         let (src_principal, dst_principal) = (src_node.principal, dst_node.principal);
+        let (src_id, dst_id) = (src_node.node_id.0, dst_node.node_id.0);
         let horizon = src_node.link_horizon_to(dst_node.node_id);
         if horizon > at {
             self.push_work(
                 horizon,
+                QueuedWork::Evict {
+                    src,
+                    dst,
+                    send_epoch,
+                    recv_epoch,
+                },
+            );
+            return;
+        }
+        // Under a fault plan, "drained" additionally means no sequenced
+        // frame is still undelivered on the link: a graceful teardown must
+        // not retire the channel that frames awaiting retransmission were
+        // MAC'd under.  (Bounded loss bursts guarantee every live link
+        // drains, so the re-deferral terminates.)
+        if self.config.fault_plan.is_some()
+            && self
+                .flink_inflight
+                .get(&(src_id, dst_id))
+                .is_some_and(|frames| frames.values().any(|f| f.work.is_some()))
+        {
+            self.push_work(
+                at + SimTime::from_micros(self.config.retransmit_rto_us),
                 QueuedWork::Evict {
                     src,
                     dst,
@@ -3281,6 +3640,428 @@ impl DistributedEngine {
                 let floor = dst_node.recv_epoch_floor.entry(src_principal).or_insert(0);
                 *floor = (*floor).max(epoch + 1);
             }
+        }
+    }
+
+    // ---- unreliable transport (fault-plan runs) ----------------------------
+
+    /// Routes finalized queue work (a sealed remote frame, a scheduled
+    /// handshake) through the unreliable transport when a fault plan is
+    /// installed.  Reliable runs — and work that never crosses a link —
+    /// push straight onto the queue, so the fault machinery costs nothing
+    /// when disabled.
+    fn queue_transport(&mut self, at: SimTime, work: QueuedWork) {
+        if self.config.fault_plan.is_none() {
+            self.push_work(at, work);
+            return;
+        }
+        let link = match &work {
+            QueuedWork::Deliver(batch) if batch.is_remote => {
+                let src = batch
+                    .rows
+                    .first()
+                    .map(|row| self.directory[&row.origin].0 .0)
+                    .expect("sealed frames carry rows");
+                Some((src, self.directory[&batch.destination].0 .0, true))
+            }
+            QueuedWork::Handshake {
+                destination,
+                handshake,
+            } => Some((
+                // Node ids and principal ids share one index by
+                // construction (see `DistributedEngine::new`).
+                handshake.transcript.src.0,
+                self.directory[destination].0 .0,
+                false,
+            )),
+            _ => None,
+        };
+        let Some((src, dst, is_data)) = link else {
+            self.push_work(at, work);
+            return;
+        };
+        let seq = {
+            let counter = self.flink_next_seq.entry((src, dst)).or_insert(0);
+            let seq = *counter;
+            *counter += 1;
+            seq
+        };
+        self.flink_inflight.entry((src, dst)).or_default().insert(
+            seq,
+            InFlightFrame {
+                work: Some(work),
+                attempt: 0,
+            },
+        );
+        let plan = self.config.fault_plan.clone().expect("checked above");
+        if !is_data {
+            // Handshakes are sequenced with the data frames they key (they
+            // must neither overtake nor be overtaken on the link) but
+            // modeled reliable: channel setup is the control plane, and a
+            // lost handshake would only re-run the identical signed
+            // transcript below the simulation's cost granularity.
+            self.push_work(
+                at,
+                QueuedWork::FrameArrival {
+                    src,
+                    dst,
+                    frame_seq: seq,
+                },
+            );
+            return;
+        }
+        let deliver_at = at + SimTime::from_micros(plan.extra_delay_us(src, dst, seq));
+        if plan.drops(src, dst, seq, 0) {
+            self.metrics.frames_dropped += 1;
+            let rto = SimTime::from_micros(self.config.retransmit_rto_us);
+            self.push_work(
+                deliver_at + rto,
+                QueuedWork::Retransmit {
+                    src,
+                    dst,
+                    frame_seq: seq,
+                },
+            );
+            return;
+        }
+        if plan.duplicates(src, dst, seq) {
+            self.metrics.frames_duplicated += 1;
+            self.push_work(
+                deliver_at,
+                QueuedWork::FrameArrival {
+                    src,
+                    dst,
+                    frame_seq: seq,
+                },
+            );
+        }
+        self.push_work(
+            deliver_at,
+            QueuedWork::FrameArrival {
+                src,
+                dst,
+                frame_seq: seq,
+            },
+        );
+    }
+
+    /// Lands one frame at the receiving end of a faulty link: replays of
+    /// already-released sequence numbers are deduplicated (and re-acked, so
+    /// the sender stops retransmitting), fresh frames park in the link's
+    /// holdback buffer, and the in-order prefix is released through normal
+    /// evaluation — which is what keeps session-channel replay counters
+    /// strictly monotonic even though the transport reorders, drops and
+    /// duplicates frames underneath them.
+    fn process_frame_arrival(
+        &mut self,
+        at: SimTime,
+        src: u32,
+        dst: u32,
+        frame_seq: u64,
+    ) -> Result<(), EngineError> {
+        let link = (src, dst);
+        if frame_seq < self.flink_next_expected.get(&link).copied().unwrap_or(0) {
+            // A duplicate (or a retransmission that raced its own ack) of a
+            // frame already released.
+            self.schedule_ack(at, link);
+            return Ok(());
+        }
+        let work = self
+            .flink_inflight
+            .get_mut(&link)
+            .and_then(|frames| frames.get_mut(&frame_seq))
+            .and_then(|frame| frame.work.take());
+        let Some(work) = work else {
+            // The twin of a duplicated frame already parked in holdback, or
+            // a frame whose link was cut while it flew: nothing to deliver.
+            return Ok(());
+        };
+        self.flink_holdback
+            .entry(link)
+            .or_default()
+            .insert(frame_seq, work);
+        let mut progressed = false;
+        loop {
+            let expected = self.flink_next_expected.get(&link).copied().unwrap_or(0);
+            let Some(work) = self
+                .flink_holdback
+                .get_mut(&link)
+                .and_then(|held| held.remove(&expected))
+            else {
+                break;
+            };
+            self.flink_next_expected.insert(link, expected + 1);
+            progressed = true;
+            // Released frames evaluate at the arrival instant that filled
+            // the gap — the earliest an in-order transport could have
+            // delivered them.
+            self.eval_event(at, work)?;
+        }
+        if progressed {
+            self.schedule_ack(at, link);
+        }
+        Ok(())
+    }
+
+    /// Schedules one delayed cumulative ack from the receiving end of
+    /// `link` back to its sender, coalescing: while an ack is pending on
+    /// the link, further deliveries ride the same one (its cumulative
+    /// cursor is read when it fires).
+    fn schedule_ack(&mut self, at: SimTime, link: (u32, u32)) {
+        if !self.flink_ack_pending.insert(link) {
+            return;
+        }
+        let latency = self
+            .config
+            .cost_model
+            .message_latency(Frame::ack().wire_bytes());
+        self.push_work(
+            at + latency,
+            QueuedWork::AckFrame {
+                src: link.0,
+                dst: link.1,
+            },
+        );
+    }
+
+    /// Fires one cumulative ack: every in-flight frame below the
+    /// receiver's in-order cursor is settled (its retransmission timers
+    /// die with it), and the ack's own wire bytes are charged dst → src.
+    fn process_ack(&mut self, at: SimTime, src: u32, dst: u32) {
+        let link = (src, dst);
+        self.flink_ack_pending.remove(&link);
+        self.metrics.acks += 1;
+        self.net.send(
+            at,
+            Message {
+                src: NodeId(dst),
+                dst: NodeId(src),
+                payload: 0,
+                wire_bytes: Frame::ack().wire_bytes(),
+            },
+        );
+        let upto = self.flink_next_expected.get(&link).copied().unwrap_or(0);
+        if let Some(frames) = self.flink_inflight.get_mut(&link) {
+            while frames.first_key_value().is_some_and(|(&seq, _)| seq < upto) {
+                frames.pop_first();
+            }
+        }
+    }
+
+    /// Fires one retransmission timer: if the frame is still undelivered
+    /// and unacknowledged, re-roll the fault plan with the next attempt
+    /// number and either deliver it or back off exponentially.  The retry
+    /// budget is a hard stop (unreachable while the plan's loss-burst bound
+    /// stays below it): an exhausted frame is reconciled exactly like one
+    /// that died with a cut link.
+    fn process_retransmit(&mut self, at: SimTime, src: u32, dst: u32, frame_seq: u64) {
+        let link = (src, dst);
+        let Some(plan) = self.config.fault_plan.clone() else {
+            return;
+        };
+        let attempt = {
+            let Some(frame) = self
+                .flink_inflight
+                .get_mut(&link)
+                .and_then(|frames| frames.get_mut(&frame_seq))
+            else {
+                return; // acked, or died with a cut link
+            };
+            if frame.work.is_none() {
+                return; // delivered; the cumulative ack has not pruned it yet
+            }
+            frame.attempt = frame.attempt.saturating_add(1);
+            frame.attempt
+        };
+        self.metrics.retransmits += 1;
+        if attempt > 1 {
+            self.metrics.backoff_events += 1;
+        }
+        self.metrics.max_retransmit_per_frame = self
+            .metrics
+            .max_retransmit_per_frame
+            .max(u64::from(attempt));
+        if u32::from(attempt) >= self.config.retry_budget {
+            let work = self
+                .flink_inflight
+                .get_mut(&link)
+                .and_then(|frames| frames.remove(&frame_seq))
+                .and_then(|frame| frame.work);
+            if let Some(work) = work {
+                self.reconcile_dead_frame(at, work);
+            }
+            return;
+        }
+        if plan.drops(src, dst, frame_seq, attempt) {
+            self.metrics.frames_dropped += 1;
+            let backoff = self.config.retransmit_rto_us << attempt.min(6);
+            self.push_work(
+                at + SimTime::from_micros(backoff),
+                QueuedWork::Retransmit {
+                    src,
+                    dst,
+                    frame_seq,
+                },
+            );
+            return;
+        }
+        // The retransmitted copy lands after one header-sized transport
+        // hop.  Its payload bytes were charged when the original sealed;
+        // retransmission bandwidth rides outside the paper's figures (which
+        // measure a reliable transport) and is tracked by the
+        // `retransmits` counter instead.
+        let latency = self.config.cost_model.message_latency(MESSAGE_HEADER_BYTES);
+        self.push_work(
+            at + latency,
+            QueuedWork::FrameArrival {
+                src,
+                dst,
+                frame_seq,
+            },
+        );
+    }
+
+    /// Ledger reconciliation for one frame that died with a cut link (or an
+    /// exhausted retry budget): an assert frame's rows never created their
+    /// supports, so the sender-side firings are silenced — their later
+    /// death must not withdraw what never arrived.  A tombstone frame's
+    /// withdrawals are applied directly at the destination: the fixpoint
+    /// would otherwise wait forever for a retraction the link already ate.
+    fn reconcile_dead_frame(&mut self, at: SimTime, work: QueuedWork) {
+        // A dead handshake needs no ledger work: the sender rebinds at a
+        // fresh epoch on its next shipment.
+        let QueuedWork::Deliver(batch) = work else {
+            return;
+        };
+        match batch.polarity {
+            Polarity::Assert => {
+                for row in &batch.rows {
+                    self.silence_dead_row(
+                        &row.origin,
+                        &batch.destination,
+                        batch.pred,
+                        &row.values,
+                        &row.tag,
+                        at,
+                    );
+                }
+            }
+            Polarity::Retract => {
+                for row in &batch.rows {
+                    self.retract_row(
+                        &batch.destination,
+                        batch.pred,
+                        &row.values,
+                        Some(&row.tag),
+                        false,
+                        "reconciled",
+                        at,
+                    );
+                }
+            }
+        }
+    }
+
+    /// Silences the sender-side firing that produced one row of a dead
+    /// assert frame (preferring an exact tag match among the alive firings
+    /// of that head).  Dynamics runs never dedup shipment rows, so rows and
+    /// firings correspond one to one.  A dead aggregate candidate
+    /// additionally leaves its group's competition and triggers a
+    /// re-election — the surviving topology's best must still reach the
+    /// destination.
+    fn silence_dead_row(
+        &mut self,
+        src: &Value,
+        dest: &Value,
+        pred: PredId,
+        values: &Arc<[Value]>,
+        tag: &ProvTag,
+        now: SimTime,
+    ) {
+        let Some(node) = self.nodes.get_mut(src) else {
+            return;
+        };
+        let key = (dest.clone(), pred, values.clone());
+        let Some(ids) = node.ledger.by_head.get(&key) else {
+            return;
+        };
+        let pick = ids
+            .iter()
+            .copied()
+            .find(|&i| {
+                let f = &node.ledger.firings[i as usize];
+                f.alive && f.tag == *tag
+            })
+            .or_else(|| {
+                ids.iter()
+                    .copied()
+                    .find(|&i| node.ledger.firings[i as usize].alive)
+            });
+        let Some(idx) = pick else {
+            return;
+        };
+        node.ledger.firings[idx as usize].alive = false;
+        if node.ledger.firings[idx as usize].agg.is_some() {
+            self.settle_agg_kill(src, idx, now, false, true, None);
+        }
+    }
+
+    /// Crash-without-drain teardown of the directed transport `src → dst`:
+    /// every in-flight frame (sent but undelivered, or parked out-of-order
+    /// in the receiver's holdback) dies on the spot and is reconciled in
+    /// send order; the receive cursor fast-forwards so late replays and
+    /// retransmission timers of the dead frames fall into the duplicate
+    /// path; and the link's session channel is evicted immediately.  Future
+    /// sends on the pair still work — only what was in the air is lost —
+    /// which is what lets the cut's own retraction cascade ship its
+    /// tombstones.
+    fn cut_link_transport(&mut self, at: SimTime, src: &Value, dst: &Value) {
+        let (Some(&(src_id, _)), Some(&(dst_id, _))) =
+            (self.directory.get(src), self.directory.get(dst))
+        else {
+            return;
+        };
+        let link = (src_id.0, dst_id.0);
+        let mut dead: Vec<(u64, QueuedWork)> = Vec::new();
+        if let Some(frames) = self.flink_inflight.remove(&link) {
+            for (seq, frame) in frames {
+                if let Some(work) = frame.work {
+                    dead.push((seq, work));
+                }
+            }
+        }
+        if let Some(held) = self.flink_holdback.remove(&link) {
+            dead.extend(held);
+        }
+        dead.sort_unstable_by_key(|&(seq, _)| seq);
+        let sent = self.flink_next_seq.get(&link).copied().unwrap_or(0);
+        self.flink_next_expected.insert(link, sent);
+        for (_, work) in dead {
+            self.reconcile_dead_frame(at, work);
+        }
+        self.evict_channel_now(src, dst);
+    }
+
+    /// Evicts the session channel of the directed link immediately — no
+    /// drain, no epoch capture: whatever is installed dies and both epoch
+    /// floors rise past it, so the link rebinds at a fresh epoch.  The
+    /// graceful path is `schedule_channel_eviction`; this one serves
+    /// crash-style cuts, where waiting for in-flight frames would wait on
+    /// frames that no longer exist.
+    fn evict_channel_now(&mut self, src: &Value, dst: &Value) {
+        let (Some(src_node), Some(dst_node)) = (self.nodes.get(src), self.nodes.get(dst)) else {
+            return;
+        };
+        let (src_principal, dst_principal) = (src_node.principal, dst_node.principal);
+        let src_node = self.nodes.get_mut(src).expect("checked above");
+        if let Some(channel) = src_node.send_channels.remove(&dst_principal) {
+            let floor = src_node.send_epoch_floor.entry(dst_principal).or_insert(0);
+            *floor = (*floor).max(channel.epoch() + 1);
+        }
+        let dst_node = self.nodes.get_mut(dst).expect("checked above");
+        if let Some(channel) = dst_node.recv_channels.remove(&src_principal) {
+            let floor = dst_node.recv_epoch_floor.entry(src_principal).or_insert(0);
+            *floor = (*floor).max(channel.epoch() + 1);
         }
     }
 
@@ -3399,6 +4180,7 @@ impl DistributedEngine {
         let archive_offline = self.config.archive_offline;
         let pred_name = self.symbols.name(pred).unwrap_or("?").to_string();
         let mut routes = Vec::new();
+        let mut agg_kills: Vec<u32> = Vec::new();
         {
             let node = self.nodes.get_mut(loc).expect("known location");
             let entry = node.ledger.supports.remove(&seq);
@@ -3425,13 +4207,20 @@ impl DistributedEngine {
                     let firing = &mut node.ledger.firings[idx as usize];
                     if firing.alive {
                         firing.alive = false;
-                        routes.push((
-                            firing.dest.clone(),
-                            firing.pred,
-                            firing.values.clone(),
-                            firing.tag.clone(),
-                            firing.location_index,
-                        ));
+                        if firing.agg.is_some() {
+                            // Aggregate candidates withdraw through group
+                            // re-election, not directly: only the emitted
+                            // best was ever visible downstream.
+                            agg_kills.push(idx);
+                        } else {
+                            routes.push((
+                                firing.dest.clone(),
+                                firing.pred,
+                                firing.values.clone(),
+                                firing.tag.clone(),
+                                firing.location_index,
+                            ));
+                        }
                     }
                 }
             }
@@ -3444,7 +4233,10 @@ impl DistributedEngine {
             // firings whose contribution died with it must fall silent, or
             // their own later death would send a tombstone cancelling a
             // future legitimate re-derivation.
-            self.silence_upstream(loc, pred, &values);
+            self.silence_upstream(loc, pred, &values, now);
+        }
+        for idx in agg_kills {
+            self.settle_agg_kill(loc, idx, now, true, true, suppress);
         }
         for (dest, rpred, rvalues, rtag, ridx) in routes {
             if suppress.is_some_and(|s| s.contains(&(dest.clone(), rpred, rvalues.clone()))) {
@@ -3475,15 +4267,145 @@ impl DistributedEngine {
 
     /// Marks every alive firing (at any node) whose head is the force-killed
     /// row as dead, without withdrawing anything — its contribution was
-    /// wiped together with the row.
-    fn silence_upstream(&mut self, dest: &Value, pred: PredId, values: &Arc<[Value]>) {
+    /// wiped together with the row.  Dead aggregate candidates still leave
+    /// their group's competition (no withdrawal, no re-election: the head
+    /// was wiped with its store, and a later re-derivation re-opens the
+    /// group from scratch).
+    fn silence_upstream(
+        &mut self,
+        dest: &Value,
+        pred: PredId,
+        values: &Arc<[Value]>,
+        now: SimTime,
+    ) {
         let key = (dest.clone(), pred, values.clone());
         for loc in self.locations.clone() {
+            let mut agg_kills: Vec<u32> = Vec::new();
             let node = self.nodes.get_mut(&loc).expect("known location");
             if let Some(ids) = node.ledger.by_head.remove(&key) {
                 for idx in ids {
-                    node.ledger.firings[idx as usize].alive = false;
+                    let firing = &mut node.ledger.firings[idx as usize];
+                    if firing.alive && firing.agg.is_some() {
+                        agg_kills.push(idx);
+                    }
+                    firing.alive = false;
                 }
+            }
+            for idx in agg_kills {
+                self.settle_agg_kill(&loc, idx, now, false, false, None);
+            }
+        }
+    }
+
+    /// Settles the death of one aggregate-candidate firing at `loc`: the
+    /// candidate leaves its group's multiset, and — only if it was the
+    /// emitted best, with no tied twin left defending the value — the stale
+    /// best is withdrawn downstream (`route_withdrawal`) and the surviving
+    /// next-best, if any, is re-elected and re-emitted (`reelect`).  This
+    /// is the fix for the stale-best-on-deletion bug: retracting the tuple
+    /// that carried the current `a_MIN`/`a_MAX` winner now converges to the
+    /// surviving candidates' best instead of freezing the dead one.
+    /// `suppress` drops the withdrawal into heads the caller is deleting
+    /// itself (the sweep's zombie-to-zombie edges).
+    fn settle_agg_kill(
+        &mut self,
+        loc: &Value,
+        idx: u32,
+        now: SimTime,
+        route_withdrawal: bool,
+        reelect: bool,
+        suppress: Option<&HashSet<HeadKey>>,
+    ) {
+        let (dest, pred, values, tag, location_index, agg) = {
+            let node = self.nodes.get(loc).expect("known location");
+            let firing = &node.ledger.firings[idx as usize];
+            (
+                firing.dest.clone(),
+                firing.pred,
+                firing.values.clone(),
+                firing.tag.clone(),
+                firing.location_index,
+                firing.agg.clone().expect("aggregate firing"),
+            )
+        };
+        let key = (agg.label.clone(), agg.group.clone());
+        let node = self.nodes.get_mut(loc).expect("known location");
+        let mut value_emptied = false;
+        if let Some(groups) = node.agg_candidates.get_mut(&key) {
+            if let Some(tags) = groups.get_mut(&agg.value) {
+                if let Some(pos) = tags.iter().position(|t| *t == tag) {
+                    tags.remove(pos);
+                } else {
+                    tags.pop();
+                }
+                if tags.is_empty() {
+                    groups.remove(&agg.value);
+                    value_emptied = true;
+                }
+            }
+            if groups.is_empty() {
+                node.agg_candidates.remove(&key);
+            }
+        }
+        let Some((emitted_value, emitted_tag)) = node.agg_emitted.get(&key).cloned() else {
+            return;
+        };
+        if agg.value != emitted_value || !value_emptied {
+            // A losing candidate died, or a tied twin of the emitted best
+            // still defends the value: the visible row stands.
+            return;
+        }
+        node.agg_emitted.remove(&key);
+        node.agg_state.remove(&key);
+        let next_best = node.agg_candidates.get(&key).and_then(|groups| {
+            let entry = match agg.func {
+                AggFunc::Min => groups.first_key_value(),
+                AggFunc::Max => groups.last_key_value(),
+                AggFunc::Count | AggFunc::Sum => {
+                    unreachable!("only Min/Max enter candidate competitions")
+                }
+            };
+            entry.map(|(value, tags)| (*value, tags[0].clone()))
+        });
+        if route_withdrawal {
+            let mut old_values = values.to_vec();
+            old_values[agg.agg_index] = Value::Int(emitted_value);
+            let old_values: Arc<[Value]> = Arc::from(old_values);
+            if !suppress.is_some_and(|s| s.contains(&(dest.clone(), pred, old_values.clone()))) {
+                self.route_retraction(
+                    loc,
+                    dest.clone(),
+                    pred,
+                    old_values,
+                    emitted_tag,
+                    location_index,
+                    now,
+                );
+            }
+        }
+        if !reelect {
+            return;
+        }
+        if let Some((best_value, best_tag)) = next_best {
+            let principal = self.nodes[loc].principal;
+            let node = self.nodes.get_mut(loc).expect("known location");
+            node.agg_state.insert(key.clone(), best_value);
+            node.agg_emitted.insert(key, (best_value, best_tag.clone()));
+            let mut new_values = values.to_vec();
+            new_values[agg.agg_index] = Value::Int(best_value);
+            let row = BatchRow {
+                values: Arc::from(new_values),
+                tag: best_tag,
+                origin: loc.clone(),
+                asserted_by: Some(principal),
+                shipped_graph: None,
+                is_base: false,
+                location_index,
+            };
+            if dest == *loc {
+                self.enqueue_local(now, dest, pred, row, Polarity::Assert);
+            } else {
+                self.buffer_ship(now, loc, &dest, pred, row, Polarity::Assert);
             }
         }
     }

@@ -1,0 +1,323 @@
+//! Property tests: the unreliable-network mode is exact.
+//!
+//! 1. **Lossy re-convergence** — for random topologies × seeded fault
+//!    plans (per-link drop / duplicate / delay, plus a crash-style link
+//!    cut that discards in-flight frames) × random `says` levels × worker
+//!    counts × batch knobs, the lossy run's fixpoint equals a from-scratch
+//!    *reliable* evaluation of the surviving topology: identical tuple
+//!    sets (canonically ordered) at every node and identical totals.
+//! 2. **Counter determinism** — re-running the same seeded plan yields
+//!    bit-identical fault counters (drops, duplicates, retransmits, acks,
+//!    backoffs), because every transport decision is a pure function of
+//!    `(seed, link, frame seq, attempt)`.
+//! 3. **Aggregate re-election** — retracting the tuple that carried the
+//!    current `a_MIN` best under churn converges to the surviving
+//!    candidates' best (the stale-best-on-deletion regression).
+
+use pasn_datalog::Value;
+use pasn_engine::{ChurnScript, DistributedEngine, EngineConfig, RunMetrics, Tuple};
+use pasn_net::{CostModel, FaultPlan};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+const REACHABLE: &str = "
+    r1 reachable(@S,D) :- link(@S,D).
+    r2 reachable(@S,D) :- link(@S,Z), reachable(@Z,D).
+";
+
+const NODES: [&str; 4] = ["a", "b", "c", "d"];
+
+fn str_val(s: &str) -> Value {
+    Value::Str(s.to_string())
+}
+
+fn locations() -> Vec<Value> {
+    NODES.iter().map(|n| str_val(n)).collect()
+}
+
+/// Per-node canonically ordered `(values, tag)` renderings of `pred`.
+fn fixpoint_of(engine: &DistributedEngine, pred: &str) -> Vec<Vec<String>> {
+    locations()
+        .iter()
+        .map(|loc| {
+            let mut rows: Vec<String> = engine
+                .query(loc, pred)
+                .into_iter()
+                .map(|(t, m)| format!("{:?} {}", t.values, m.tag))
+                .collect();
+            rows.sort();
+            rows
+        })
+        .collect()
+}
+
+fn says_config(pick: u64) -> EngineConfig {
+    match pick % 3 {
+        0 => EngineConfig::ndlog(),
+        1 => EngineConfig::sendlog(),
+        _ => EngineConfig::sendlog_session(),
+    }
+}
+
+fn reach_engine(config: EngineConfig, links: &[(usize, usize)]) -> DistributedEngine {
+    let program = pasn_datalog::parse_program(REACHABLE).unwrap();
+    let mut engine = DistributedEngine::new(
+        &program,
+        config
+            .with_cost_model(CostModel::zero_cpu())
+            .with_dynamics(),
+        &locations(),
+    )
+    .unwrap();
+    for &(src, dst) in links {
+        engine
+            .insert_fact(
+                str_val(NODES[src]),
+                Tuple::new("link", vec![str_val(NODES[src]), str_val(NODES[dst])]),
+            )
+            .unwrap();
+    }
+    engine
+}
+
+/// The fault counters that must be bit-identical across same-seed runs.
+fn fault_counters(m: &RunMetrics) -> (u64, u64, u64, u64, u64, u64) {
+    (
+        m.frames_dropped,
+        m.frames_duplicated,
+        m.retransmits,
+        m.acks,
+        m.backoff_events,
+        m.max_retransmit_per_frame,
+    )
+}
+
+/// Runs one lossy scenario and its reliable from-scratch counterpart and
+/// asserts the fixpoints agree; returns the lossy metrics.
+fn assert_lossy_matches_reliable(
+    config: impl Fn() -> EngineConfig,
+    initial: &[(usize, usize)],
+    surviving: &[(usize, usize)],
+    plan: FaultPlan,
+) -> RunMetrics {
+    let mut lossy = reach_engine(config().with_fault_plan(plan), initial);
+    let metrics = lossy.run_to_fixpoint().unwrap();
+    let mut fresh = reach_engine(config(), surviving);
+    let fresh_metrics = fresh.run_to_fixpoint().unwrap();
+    assert_eq!(fixpoint_of(&lossy, "link"), fixpoint_of(&fresh, "link"));
+    assert_eq!(
+        fixpoint_of(&lossy, "reachable"),
+        fixpoint_of(&fresh, "reachable")
+    );
+    assert_eq!(metrics.tuples_stored, fresh_metrics.tuples_stored);
+    assert_eq!(metrics.verification_failures, 0);
+    metrics
+}
+
+/// Dense 4-node topology, default lossy plan (6% drop, 2% duplicate, 3%
+/// delayed) plus a crash-style link cut: every `says` level × workers
+/// {1, 4} re-converges bit-identically to the reliable fixpoint of the
+/// surviving topology, with deterministic counters across repeat runs.
+#[test]
+fn seeded_fault_plan_reconverges_bit_identically() {
+    let initial: Vec<(usize, usize)> = vec![(0, 1), (1, 2), (2, 3), (3, 0), (0, 2), (1, 3)];
+    let surviving: Vec<(usize, usize)> =
+        initial.iter().filter(|&&l| l != (0, 2)).copied().collect();
+    for says in 0..3u64 {
+        for workers in [1usize, 4] {
+            let config = || says_config(says).with_workers(workers);
+            let plan = || FaultPlan::new(7).cut_link(5_000_000, 0, 2);
+            let first = assert_lossy_matches_reliable(config, &initial, &surviving, plan());
+            let second = assert_lossy_matches_reliable(config, &initial, &surviving, plan());
+            assert!(
+                first.frames_dropped > 0,
+                "plan never dropped a frame (says {says} workers {workers})"
+            );
+            assert!(
+                first.retransmits > 0,
+                "drops without retransmissions (says {says} workers {workers})"
+            );
+            // The retry budget bounds the worst per-frame retransmit count.
+            assert!(first.max_retransmit_per_frame < u64::from(pasn_engine::DEFAULT_RETRY_BUDGET));
+            assert_eq!(
+                fault_counters(&first),
+                fault_counters(&second),
+                "same-seed counters diverged (says {says} workers {workers})"
+            );
+        }
+    }
+}
+
+/// A crash that takes a whole node down (discarding everything in flight
+/// to and from it) re-converges to the reliable fixpoint without the
+/// node's base tuples.
+#[test]
+fn node_crash_without_drain_reconverges() {
+    let initial: Vec<(usize, usize)> = vec![(0, 1), (1, 2), (2, 3), (3, 0), (1, 3)];
+    // Node b (index 1) crashes: its own link tuples die with it.
+    let surviving: Vec<(usize, usize)> =
+        initial.iter().filter(|&&(s, _)| s != 1).copied().collect();
+    for says in 0..3u64 {
+        let config = || says_config(says);
+        let plan = FaultPlan::new(11).crash_node(5_000_000, 1);
+        let mut lossy = reach_engine(config().with_fault_plan(plan), &initial);
+        let metrics = lossy.run_to_fixpoint().unwrap();
+        let mut fresh = reach_engine(config(), &surviving);
+        fresh.run_to_fixpoint().unwrap();
+        assert_eq!(
+            fixpoint_of(&lossy, "reachable"),
+            fixpoint_of(&fresh, "reachable"),
+            "says {says}"
+        );
+        assert_eq!(metrics.verification_failures, 0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random topology × seeded fault plan × `says` level × workers ×
+    /// batch window: the lossy fixpoint is the reliable fixpoint of the
+    /// surviving topology, and same-seed counters are deterministic.
+    #[test]
+    fn lossy_equivalence_prop(
+        words in prop::collection::vec(any::<u64>(), 1..20),
+        knobs in any::<u64>(),
+    ) {
+        // One word per candidate link: endpoints plus a cut flag.
+        let mut initial: Vec<(usize, usize)> = Vec::new();
+        let mut cut: HashMap<(usize, usize), bool> = HashMap::new();
+        for w in words {
+            let link = ((w % 4) as usize, ((w >> 8) % 4) as usize);
+            if link.0 == link.1 || cut.contains_key(&link) {
+                continue;
+            }
+            initial.push(link);
+            cut.insert(link, (w >> 16) & 1 == 1);
+        }
+        prop_assume!(!initial.is_empty());
+        let seed = knobs ^ 0x9e37_79b9_7f4a_7c15;
+        let window = knobs % 3_000;
+        let workers = if (knobs >> 12) & 1 == 1 { 4 } else { 1 };
+        let config = || {
+            says_config(knobs >> 24)
+                .with_batch_window_us(window)
+                .with_workers(workers)
+        };
+        let plan = || {
+            let mut plan = FaultPlan::new(seed);
+            for (i, link) in initial.iter().enumerate() {
+                if cut[link] {
+                    plan = plan.cut_link(
+                        5_000_000 + i as u64 * 1_000,
+                        link.0 as u32,
+                        link.1 as u32,
+                    );
+                }
+            }
+            plan
+        };
+        let surviving: Vec<(usize, usize)> = initial
+            .iter()
+            .filter(|link| !cut[*link])
+            .copied()
+            .collect();
+
+        let mut lossy = reach_engine(config().with_fault_plan(plan()), &initial);
+        let metrics = lossy.run_to_fixpoint().unwrap();
+        let mut fresh = reach_engine(config(), &surviving);
+        let fresh_metrics = fresh.run_to_fixpoint().unwrap();
+
+        prop_assert_eq!(fixpoint_of(&lossy, "link"), fixpoint_of(&fresh, "link"));
+        prop_assert_eq!(
+            fixpoint_of(&lossy, "reachable"),
+            fixpoint_of(&fresh, "reachable"),
+            "seed {} window {} workers {}",
+            seed,
+            window,
+            workers
+        );
+        prop_assert_eq!(metrics.tuples_stored, fresh_metrics.tuples_stored);
+        prop_assert_eq!(metrics.verification_failures, 0);
+
+        // Same seed, same decisions: counters are bit-identical.
+        let mut again = reach_engine(config().with_fault_plan(plan()), &initial);
+        let again_metrics = again.run_to_fixpoint().unwrap();
+        prop_assert_eq!(fault_counters(&metrics), fault_counters(&again_metrics));
+    }
+}
+
+/// The stale-best-on-deletion regression: retracting the `link` tuple
+/// carrying the current `a_MIN` best path mid-run re-elects the surviving
+/// next-best, matching the from-scratch fixpoint of the final topology.
+#[test]
+fn retracting_the_current_best_reelects_the_next_best() {
+    let best_path = "
+        sp1 path(@S,D,P,C) :- link(@S,D,C), P := f_init(S,D).
+        sp2 path(@S,D,P,C) :- link(@S,Z,C1), bestPathCost(@Z,D,C2), C := C1 + C2, P := f_init(S,D).
+        sp3 bestPathCost(@S,D,a_MIN<C>) :- path(@S,D,P,C).
+    ";
+    let program = pasn_datalog::parse_program(best_path).unwrap();
+    // Two routes a→c: direct (cost 1, the best) and via b (cost 2 + 3).
+    let links: Vec<(usize, usize, i64)> = vec![(0, 2, 1), (0, 1, 2), (1, 2, 3)];
+    let build = |drop_best: bool| {
+        let mut engine = DistributedEngine::new(
+            &program,
+            EngineConfig::ndlog()
+                .with_cost_model(CostModel::zero_cpu())
+                .with_dynamics(),
+            &locations(),
+        )
+        .unwrap();
+        for &(src, dst, cost) in &links {
+            if drop_best && (src, dst) == (0, 2) {
+                continue;
+            }
+            engine
+                .insert_fact(
+                    str_val(NODES[src]),
+                    Tuple::new(
+                        "link",
+                        vec![str_val(NODES[src]), str_val(NODES[dst]), Value::Int(cost)],
+                    ),
+                )
+                .unwrap();
+        }
+        engine
+    };
+
+    // Retract the best route mid-run: the a→c best must fall back to 5.
+    let script = ChurnScript::new().at(
+        5_000_000,
+        pasn_engine::ChurnEvent::Retract {
+            location: str_val("a"),
+            tuple: Tuple::new("link", vec![str_val("a"), str_val("c"), Value::Int(1)]),
+        },
+    );
+    let mut churned = build(false);
+    churned.run_scenario(&script).unwrap();
+    let mut fresh = build(true);
+    fresh.run_to_fixpoint().unwrap();
+
+    let best_of = |engine: &DistributedEngine| -> Vec<(Value, i64)> {
+        let mut rows: Vec<(Value, i64)> = engine
+            .query(&str_val("a"), "bestPathCost")
+            .into_iter()
+            .map(|(t, _)| (t.values[1].clone(), t.values[2].as_int().unwrap()))
+            .collect();
+        rows.sort();
+        rows
+    };
+    assert_eq!(best_of(&churned), best_of(&fresh));
+    assert!(
+        best_of(&churned)
+            .iter()
+            .any(|(d, c)| *d == str_val("c") && *c == 5),
+        "a→c best did not fall back to the surviving route: {:?}",
+        best_of(&churned)
+    );
+    assert_eq!(
+        fixpoint_of(&churned, "bestPathCost"),
+        fixpoint_of(&fresh, "bestPathCost")
+    );
+}

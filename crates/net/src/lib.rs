@@ -15,7 +15,10 @@
 //!   per-operation [`sim::CostModel`], per-node CPU serialisation and global
 //!   traffic statistics (the sources of Figures 3 and 4);
 //! * [`wire`] — shared wire-format accounting so every crate charges
-//!   identical byte counts.
+//!   identical byte counts;
+//! * [`fault`] — deterministic, seeded fault plans (frame loss, duplication,
+//!   extra delay, crash-without-drain link cuts and node crashes) consumed
+//!   by the engine's reliability layer.
 //!
 //! ```
 //! use pasn_net::{NodeId, topology::Topology, sim::{NetworkSim, CostModel, Message, SimTime}};
@@ -38,10 +41,12 @@
 
 use std::fmt;
 
+pub mod fault;
 pub mod sim;
 pub mod topology;
 pub mod wire;
 
+pub use fault::{FaultEvent, FaultPlan};
 pub use sim::{CostModel, CpuSchedule, Message, NetworkSim, SimTime, TrafficStats};
 pub use topology::{Link, Topology};
 

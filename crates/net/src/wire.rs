@@ -35,6 +35,12 @@ pub enum FrameKind {
     /// frame — one header, one frame-level proof, per-tuple payloads — so
     /// deletion traffic shows up honestly in the bandwidth figures.
     Tombstone,
+    /// A standalone cumulative acknowledgement for the reliability layer:
+    /// one header plus an 8-byte cumulative sequence number, no tuples.
+    /// Acks only exist when a fault plan is installed; on reliable links
+    /// they are never emitted, so the baseline bandwidth figures are
+    /// unchanged.
+    Ack,
 }
 
 /// Wire accounting for one multi-tuple shipment frame.
@@ -76,6 +82,17 @@ impl Frame {
             tuple_count: 0,
             tuple_bytes: 0,
             frame_overhead: transcript_bytes + signature_bytes,
+        }
+    }
+
+    /// A standalone cumulative-ack frame: one header plus an 8-byte
+    /// cumulative sequence number.
+    pub fn ack() -> Self {
+        Frame {
+            kind: FrameKind::Ack,
+            tuple_count: 0,
+            tuple_bytes: 0,
+            frame_overhead: 8,
         }
     }
 
@@ -196,6 +213,14 @@ mod tests {
         data.push_tuple(30);
         assert_eq!(tomb.wire_bytes(), data.wire_bytes());
         assert_eq!(tomb.tuples(), 1);
+    }
+
+    #[test]
+    fn ack_frames_charge_header_plus_cumulative_seq() {
+        let ack = Frame::ack();
+        assert_eq!(ack.kind(), FrameKind::Ack);
+        assert_eq!(ack.tuples(), 0);
+        assert_eq!(ack.wire_bytes(), MESSAGE_HEADER_BYTES + 8);
     }
 
     #[test]
