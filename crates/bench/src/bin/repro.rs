@@ -1,7 +1,7 @@
 //! `repro` — regenerates every figure of the paper's evaluation section.
 //!
 //! ```text
-//! cargo run --release -p pasn-bench --bin repro -- [fig3|fig4|summary|all] [--quick] [--runs K] [--max-n N]
+//! cargo run --release -p pasn-bench --bin repro -- [fig3|fig4|summary|all|trace] [--quick] [--runs K] [--max-n N] [--trace PATH]
 //! ```
 //!
 //! The full sweep runs the Best-Path query over random topologies of
@@ -28,6 +28,15 @@
 //! order-of-magnitude scale workloads (streaming 10k-node generational
 //! reachability, sustained expiry churn, 1k-member Chord under churn),
 //! giving future changes a perf trajectory to compare against.
+//!
+//! With `--trace PATH`, the lossy session workload is re-run under the
+//! deterministic flight recorder and its Chrome/Perfetto `trace.json` is
+//! written to PATH — after asserting that the frame-lifecycle events in the
+//! trace reconstruct the run's transport counters exactly.  The `trace`
+//! subcommand instead records the streaming 10k-node generational workload
+//! (downscaled under `--quick`); because the recorder runs on simulated
+//! time, its output is byte-identical for any `PASN_WORKERS`, which CI uses
+//! as a determinism oracle.
 
 use pasn::experiment::{
     render_figure, render_summary, run_sweep, summarize, FigureMetric, SweepConfig,
@@ -38,14 +47,27 @@ use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // The subcommand is the first bare word that is not the value of a
+    // value-taking flag (`--runs 3`, `--trace out.json`, ...).
+    let value_flags = ["--runs", "--max-n", "--trace"];
     let what = args
         .iter()
-        .find(|a| !a.starts_with("--"))
-        .cloned()
+        .enumerate()
+        .find(|(i, a)| {
+            !a.starts_with("--") && (*i == 0 || !value_flags.contains(&args[i - 1].as_str()))
+        })
+        .map(|(_, a)| a.clone())
         .unwrap_or_else(|| "all".to_string());
     let quick = args.iter().any(|a| a == "--quick");
     let runs = arg_value(&args, "--runs").unwrap_or(if quick { 1 } else { 2 });
     let max_n = arg_value(&args, "--max-n").unwrap_or(if quick { 30 } else { 100 });
+    let trace_path = arg_str(&args, "--trace");
+
+    if what == "trace" {
+        let out = trace_path.unwrap_or_else(|| "trace.json".to_string());
+        record_scale_trace(quick, &out);
+        return;
+    }
 
     let mut sizes: Vec<u32> = (1..=10).map(|i| i * 10).filter(|n| *n <= max_n).collect();
     if sizes.is_empty() {
@@ -95,11 +117,45 @@ fn main() {
         eprintln!("written to target/repro_results.md");
     }
 
-    let engine_json = engine_bench_json(if quick { 400 } else { 1_200 }, quick);
+    let engine_json = engine_bench_json(
+        if quick { 400 } else { 1_200 },
+        quick,
+        trace_path.as_deref(),
+    );
     // A failed write must be fatal: CI validates this file, and exiting 0
     // without writing would let a stale committed copy pass the check.
     std::fs::write("BENCH_engine.json", engine_json.as_bytes()).expect("write BENCH_engine.json");
     eprintln!("written to BENCH_engine.json");
+}
+
+/// The `trace` subcommand: records the streaming generational reachability
+/// workload (the `reachability_10k` point, downscaled under `--quick`)
+/// under the flight recorder and writes the Chrome/Perfetto export.  The
+/// worker count is deliberately left to the `PASN_WORKERS` preset default:
+/// the recorder runs on simulated time, so the written file must be
+/// byte-identical for any pool size — CI diffs a one-worker run against a
+/// four-worker run to enforce it.
+fn record_scale_trace(quick: bool, out: &str) {
+    let clusters = if quick { 50 } else { 500 };
+    let started = Instant::now();
+    let (mut net, events) = pasn_bench::generational_reachability_workload(
+        clusters,
+        20,
+        EngineConfig::ndlog()
+            .with_batching()
+            .with_tracing(TraceConfig::new().with_gauge_interval_us(1_000)),
+    );
+    let metrics = net.run_streaming(events).expect("streaming fixpoint");
+    let trace = net.trace().expect("tracing enabled");
+    eprintln!(
+        "traced reachability workload ({} clusters, {} worker(s)): {} events in {:.1}s host time",
+        clusters,
+        metrics.worker_threads,
+        trace.len(),
+        started.elapsed().as_secs_f64()
+    );
+    std::fs::write(out, trace.to_chrome_json()).expect("write trace.json");
+    eprintln!("written to {out}");
 }
 
 /// One measurement point: wall-clock, the join-path counters, the storage
@@ -247,8 +303,10 @@ where
 /// `rows` tuples per relation, plus the N=30 reachability deployment) and
 /// the order-of-magnitude scale workloads (streaming generational
 /// reachability, sustained expiry churn, Chord under churn — downscaled
-/// when `quick`), and renders the `BENCH_engine.json` document.
-fn engine_bench_json(rows: u32, quick: bool) -> String {
+/// when `quick`), and renders the `BENCH_engine.json` document.  When
+/// `trace_path` is set, the lossy session workload is additionally re-run
+/// under the flight recorder and its Perfetto export written there.
+fn engine_bench_json(rows: u32, quick: bool, trace_path: Option<&str>) -> String {
     let mut points = Vec::new();
 
     let (wall, metrics) = measured(
@@ -331,7 +389,7 @@ fn engine_bench_json(rows: u32, quick: bool) -> String {
     // `tuples_stored`, `frames` and `batched_tuples` stay bit-identical to
     // `batched_reachability_30` and the fixpoint wall time drops with the
     // per-frame bignum exponentiations.
-    let (wall, metrics) = measured(
+    let (session_wall, session_metrics) = measured(
         || {
             pasn_bench::reachability_network(
                 30,
@@ -343,7 +401,48 @@ fn engine_bench_json(rows: u32, quick: bool) -> String {
         },
         |net| net.run().expect("fixpoint"),
     );
-    points.push(point_json("session_reachability_30", wall, &metrics));
+    points.push(point_json(
+        "session_reachability_30",
+        session_wall,
+        &session_metrics,
+    ));
+
+    // trace_overhead: the flight recorder is observation only.  The traced
+    // session run must reproduce every counter bit for bit, and its wall
+    // time must stay within 1.3x of the untraced run (plus a small absolute
+    // allowance — these runs are a few milliseconds, so a fixed floor keeps
+    // scheduler jitter from failing the ratio on an otherwise healthy run).
+    let (traced_wall, traced_metrics) = measured(
+        || {
+            pasn_bench::reachability_network(
+                30,
+                EngineConfig::sendlog_session()
+                    .with_cost_model(CostModel::zero_cpu())
+                    .with_batching()
+                    .with_tracing(TraceConfig::new()),
+                7,
+            )
+        },
+        |net| net.run().expect("fixpoint"),
+    );
+    let mut traced_cmp = traced_metrics.clone();
+    traced_cmp.wall_clock = session_metrics.wall_clock;
+    assert_eq!(
+        traced_cmp, session_metrics,
+        "trace_overhead: tracing perturbed session_reachability_30"
+    );
+    let budget = session_wall.mul_f64(1.3) + std::time::Duration::from_millis(2);
+    assert!(
+        traced_wall <= budget,
+        "trace_overhead: traced run took {traced_wall:?}, budget {budget:?} \
+         (untraced {session_wall:?})"
+    );
+    eprintln!(
+        "trace_overhead ok: untraced {:.3}ms, traced {:.3}ms (budget {:.3}ms)",
+        session_wall.as_secs_f64() * 1_000.0,
+        traced_wall.as_secs_f64() * 1_000.0,
+        budget.as_secs_f64() * 1_000.0
+    );
 
     // The session deployment again over lossy links: a seeded fault plan
     // drops, duplicates and delays frames while the reliability layer
@@ -368,6 +467,54 @@ fn engine_bench_json(rows: u32, quick: bool) -> String {
         |net| net.run().expect("post-loss fixpoint"),
     );
     points.push(point_json("lossy_reachability_30", wall, &metrics));
+
+    // `--trace PATH`: export the lossy run's flight-recorder trace — the
+    // acceptance bar of the recorder.  Before writing, assert that the
+    // frame-lifecycle events reconstruct the transport counters exactly and
+    // that tracing left the measured point's counters untouched.
+    if let Some(path) = trace_path {
+        let mut net = pasn_bench::reachability_network(
+            30,
+            EngineConfig::sendlog_session()
+                .with_cost_model(CostModel::zero_cpu())
+                .with_batching()
+                .with_fault_plan(FaultPlan::new(41))
+                .with_tracing(TraceConfig::new()),
+            7,
+        );
+        let traced = net.run().expect("post-loss fixpoint");
+        let mut traced_cmp = traced.clone();
+        traced_cmp.wall_clock = metrics.wall_clock;
+        assert_eq!(
+            traced_cmp, metrics,
+            "tracing perturbed lossy_reachability_30"
+        );
+        let trace = net.trace().expect("tracing enabled");
+        let cycles = trace.link_lifecycles();
+        let total = |f: fn(&pasn_engine::LinkLifecycle) -> u64| cycles.iter().map(f).sum::<u64>();
+        assert_eq!(total(|c| c.shipped), traced.frames, "trace/frames mismatch");
+        assert_eq!(
+            total(|c| c.dropped),
+            traced.frames_dropped,
+            "trace/frames_dropped mismatch"
+        );
+        assert_eq!(
+            total(|c| c.duplicated),
+            traced.frames_duplicated,
+            "trace/frames_duplicated mismatch"
+        );
+        assert_eq!(
+            total(|c| c.retransmits),
+            traced.retransmits,
+            "trace/retransmits mismatch"
+        );
+        assert_eq!(total(|c| c.acks), traced.acks, "trace/acks mismatch");
+        std::fs::write(path, trace.to_chrome_json()).expect("write trace.json");
+        eprintln!(
+            "written lossy flight-recorder trace ({} events) to {path}",
+            trace.len()
+        );
+    }
 
     // The session deployment once more, under network dynamics: one
     // topology link flaps down (provenance-guided deletion withdraws
@@ -534,8 +681,12 @@ fn engine_bench_json(rows: u32, quick: bool) -> String {
 }
 
 fn arg_value(args: &[String], key: &str) -> Option<u32> {
+    arg_str(args, key).and_then(|v| v.parse().ok())
+}
+
+fn arg_str(args: &[String], key: &str) -> Option<String> {
     args.iter()
         .position(|a| a == key)
         .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
+        .cloned()
 }

@@ -83,7 +83,8 @@ pub mod prelude {
     pub use crate::trust::{TrustDecision, TrustEvaluator, TrustPolicy};
     pub use pasn_datalog::Value;
     pub use pasn_engine::{
-        ChurnEvent, ChurnScript, EngineConfig, GraphMode, RunMetrics, SystemVariant, Tuple,
+        ChurnEvent, ChurnScript, EngineConfig, GraphMode, RunMetrics, SystemVariant, TraceConfig,
+        TraceEvent, TraceEventKind, TraceRecorder, Tuple,
     };
     pub use pasn_net::{CostModel, FaultEvent, FaultPlan, NodeId, SimTime, Topology};
     pub use pasn_provenance::{ProvTag, ProvenanceKind};

@@ -211,6 +211,17 @@ impl SecureNetwork {
         Ok(self.engine.run_streaming(events)?)
     }
 
+    /// The flight recorder, when the deployment's config enabled tracing
+    /// via `EngineConfig::with_tracing`.  Read it after a run for the
+    /// simulated-time event stream, the hot-rule profile
+    /// (`TraceRecorder::hot_rules`), per-link frame lifecycles
+    /// (`TraceRecorder::link_lifecycles`), filtered queries
+    /// (`TraceRecorder::query`) and the Chrome/Perfetto export
+    /// (`TraceRecorder::to_chrome_json`).
+    pub fn trace(&self) -> Option<&pasn_engine::TraceRecorder> {
+        self.engine.trace()
+    }
+
     /// The underlying engine (advanced use).
     pub fn engine(&self) -> &DistributedEngine {
         &self.engine

@@ -10,6 +10,7 @@
 use pasn_crypto::says::SaysLevel;
 use pasn_net::{CostModel, FaultPlan};
 use pasn_provenance::{Granularity, MaintenanceMode, ProvenanceKind, SamplingPolicy};
+use pasn_trace::TraceConfig;
 use std::collections::HashMap;
 
 /// Whether derivation graphs are recorded, and where they live
@@ -174,6 +175,12 @@ pub struct EngineConfig {
     /// byte for byte.  Presets honour the `PASN_WORKERS` environment variable
     /// so an unmodified test suite can be re-run against the pool.
     pub workers: usize,
+    /// Flight-recorder configuration.  `None` (the default) disables tracing
+    /// entirely — the runtime takes a single `Option` check per hook and
+    /// allocates nothing.  `Some` records structured spans and events in
+    /// simulated time; see `pasn_trace::TraceRecorder`.  Tracing never
+    /// perturbs a counter, a schedule, or the fixpoint.
+    pub trace: Option<TraceConfig>,
 }
 
 impl Default for EngineConfig {
@@ -208,6 +215,7 @@ impl EngineConfig {
             retry_budget: DEFAULT_RETRY_BUDGET,
             retransmit_rto_us: DEFAULT_RETRANSMIT_RTO_US,
             workers: env_workers().unwrap_or(1),
+            trace: None,
         }
     }
 
@@ -351,6 +359,15 @@ impl EngineConfig {
     /// (`1` = sequential; clamped to at least one worker).
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.workers = workers.max(1);
+        self
+    }
+
+    /// Builder: enables the deterministic flight recorder.  The engine
+    /// records simulated-time spans and events into a
+    /// `pasn_trace::TraceRecorder` readable after the run via
+    /// `DistributedEngine::trace`.
+    pub fn with_tracing(mut self, trace: TraceConfig) -> Self {
+        self.trace = Some(trace);
         self
     }
 

@@ -68,6 +68,9 @@ pub use config::{
 pub use dynamics::{ChurnEvent, ChurnScript};
 pub use eval::{eval_expr, eval_filter, Bindings, EvalError};
 pub use metrics::RunMetrics;
+pub use pasn_trace::{
+    LinkLifecycle, RuleProfile, TraceConfig, TraceEvent, TraceEventKind, TraceQuery, TraceRecorder,
+};
 pub use runtime::{DistributedEngine, EngineError};
 pub use store::{InsertOutcome, NodeStore, TupleMeta};
 pub use tuple::Tuple;

@@ -331,6 +331,141 @@ impl fmt::Display for RunMetrics {
 mod tests {
     use super::*;
 
+    /// Absorbing worker metric shards must be lossless: every counter adds,
+    /// every peak gauge max-merges, and the engine-owned fields are left
+    /// alone.  The shard constructor is a full struct literal on purpose —
+    /// adding a `RunMetrics` field breaks this test at compile time until
+    /// both `absorb` and this inventory classify it.
+    #[test]
+    fn absorbing_shards_is_lossless_for_every_counter() {
+        fn shard(base: u64, peak: u64) -> RunMetrics {
+            RunMetrics {
+                completion: SimTime::from_micros(peak),
+                wall_clock: Duration::from_micros(base),
+                messages: base + 1,
+                bytes: base + 2,
+                auth_bytes: base + 3,
+                provenance_bytes: base + 4,
+                derivations: base + 5,
+                tuples_stored: base + 6,
+                signatures: base + 7,
+                verifications: base + 8,
+                verification_failures: base + 9,
+                provenance_ops: base + 10,
+                sampled_out: base + 11,
+                index_probes: base + 12,
+                index_hits: base + 13,
+                scan_probes: base + 14,
+                store_bytes: base + 15,
+                index_bytes: base + 16,
+                peak_store_bytes: peak,
+                peak_index_bytes: peak + 1,
+                peak_tuples: peak + 2,
+                compaction_walked: base + 17,
+                frames: base + 18,
+                batched_tuples: base + 19,
+                rsa_sign_ops: base + 20,
+                rsa_verify_ops: base + 21,
+                hmac_ops: base + 22,
+                handshakes: base + 23,
+                handshake_batches: base + 24,
+                churn_events: base + 25,
+                retractions: base + 26,
+                rederivations: base + 27,
+                tombstone_frames: base + 28,
+                worker_threads: 9_999,
+                partitions: 9_999,
+                cross_partition_frames: base + 29,
+                max_partition_queue: peak + 3,
+                frames_dropped: base + 30,
+                frames_duplicated: base + 31,
+                retransmits: base + 32,
+                acks: base + 33,
+                backoff_events: base + 34,
+                max_retransmit_per_frame: peak + 4,
+                parallel_wall: Duration::from_micros(base),
+            }
+        }
+        // Asymmetric shards: shard `a` wins some watermarks, `b` the rest,
+        // so a max that silently added (or an add that silently maxed)
+        // cannot cancel out.
+        let a = shard(100, 1_000);
+        let b = shard(2_000, 500);
+        let mut total = RunMetrics::default();
+        total.absorb(&a);
+        total.absorb(&b);
+
+        macro_rules! assert_adds {
+            ($($field:ident),+ $(,)?) => {
+                $(assert_eq!(
+                    total.$field,
+                    a.$field + b.$field,
+                    "counter `{}` must add losslessly",
+                    stringify!($field)
+                );)+
+            };
+        }
+        macro_rules! assert_maxes {
+            ($($field:ident),+ $(,)?) => {
+                $(assert_eq!(
+                    total.$field,
+                    a.$field.max(b.$field),
+                    "gauge `{}` must max-merge",
+                    stringify!($field)
+                );)+
+            };
+        }
+        assert_adds!(
+            messages,
+            bytes,
+            auth_bytes,
+            provenance_bytes,
+            derivations,
+            tuples_stored,
+            signatures,
+            verifications,
+            verification_failures,
+            provenance_ops,
+            sampled_out,
+            index_probes,
+            index_hits,
+            scan_probes,
+            store_bytes,
+            index_bytes,
+            compaction_walked,
+            frames,
+            batched_tuples,
+            rsa_sign_ops,
+            rsa_verify_ops,
+            hmac_ops,
+            handshakes,
+            handshake_batches,
+            churn_events,
+            retractions,
+            rederivations,
+            tombstone_frames,
+            cross_partition_frames,
+            frames_dropped,
+            frames_duplicated,
+            retransmits,
+            acks,
+            backoff_events,
+        );
+        assert_maxes!(
+            completion,
+            peak_store_bytes,
+            peak_index_bytes,
+            peak_tuples,
+            max_partition_queue,
+            max_retransmit_per_frame,
+        );
+        // Engine-owned fields never come from shards.
+        assert_eq!(total.wall_clock, Duration::default());
+        assert_eq!(total.parallel_wall, Duration::default());
+        assert_eq!(total.worker_threads, 0);
+        assert_eq!(total.partitions, 0);
+    }
+
     #[test]
     fn unit_conversions() {
         let m = RunMetrics {

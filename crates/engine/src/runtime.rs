@@ -31,6 +31,7 @@ use pasn_provenance::{
     AntecedentRef, ArchiveStore, ArchivedEntry, BaseTupleId, DerivationGraph, DistributedStore,
     LocalStore, MaintenanceMode, PointerDerivation, ProvTag, ProvenanceKind, VarTable,
 };
+use pasn_trace::{TraceEvent, TraceEventKind, TraceRecorder};
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap, HashMap, HashSet, VecDeque};
 use std::fmt;
@@ -447,6 +448,10 @@ struct EvalShared<'a> {
     symbols: &'a Symbols,
     directory: &'a HashMap<Value, (NodeId, PrincipalId)>,
     dynamics: bool,
+    /// Whether the flight recorder is on; contexts record into their
+    /// per-event trace buffer only when set, so disabled tracing costs one
+    /// branch per hook and never allocates.
+    tracing: bool,
 }
 
 impl<'a> Clone for EvalShared<'a> {
@@ -472,14 +477,18 @@ struct PartitionCtx<'a> {
     completion: &'a mut SimTime,
     base_counter: &'a mut u64,
     effects: &'a mut Vec<Effect>,
+    /// Trace events recorded while evaluating this event; the engine
+    /// flushes them to the recorder in effect-replay order, so the trace is
+    /// identical however the wave was partitioned.
+    trace: &'a mut Vec<TraceEvent>,
 }
 
 /// What one partition hands back after draining its slice of a wave.
 struct PartitionOutcome {
     partition: u32,
     nodes: HashMap<Value, NodeRuntime>,
-    /// Per-event effect logs, tagged with the event's queue seq.
-    events: Vec<(u64, Vec<Effect>)>,
+    /// Per-event effect and trace logs, tagged with the event's queue seq.
+    events: Vec<(u64, Vec<Effect>, Vec<TraceEvent>)>,
     metrics: RunMetrics,
     completion: SimTime,
     base_counter: u64,
@@ -522,6 +531,7 @@ fn run_partition(
     let mut error = None;
     for (at, seq, work) in events {
         let mut effects = Vec::new();
+        let mut trace = Vec::new();
         let result = {
             let mut ctx = PartitionCtx {
                 shared,
@@ -531,10 +541,11 @@ fn run_partition(
                 completion: &mut completion,
                 base_counter: &mut base_counter,
                 effects: &mut effects,
+                trace: &mut trace,
             };
             ctx.run(at, work)
         };
-        out.push((seq, effects));
+        out.push((seq, effects, trace));
         if let Err(e) = result {
             error = Some((seq, e));
             break;
@@ -642,6 +653,14 @@ pub struct DistributedEngine {
     /// Links with a cumulative ack already scheduled: acks are delayed and
     /// coalesced, one covers every delivery up to its fire instant.
     flink_ack_pending: HashSet<(u32, u32)>,
+    /// The flight recorder, present only when `EngineConfig::trace` is set.
+    /// Every hook is behind an `is_some()` check, so disabled tracing costs
+    /// one branch and never allocates or perturbs a counter.
+    recorder: Option<TraceRecorder>,
+    /// Trace-only per-link ship ordinals for reliable (no fault plan) runs,
+    /// where the transport assigns no sequence numbers.  Only populated
+    /// while tracing.
+    trace_link_seq: HashMap<(u32, u32), u64>,
 }
 
 impl DistributedEngine {
@@ -739,6 +758,10 @@ impl DistributedEngine {
             .collect();
 
         let dynamics = config.dynamics;
+        let recorder = config
+            .trace
+            .clone()
+            .map(|t| TraceRecorder::new(t, locations.iter().map(|l| l.to_string()).collect()));
         let mut engine = DistributedEngine {
             config,
             compiled: Arc::new(compiled),
@@ -767,6 +790,8 @@ impl DistributedEngine {
             flink_next_expected: HashMap::new(),
             flink_holdback: HashMap::new(),
             flink_ack_pending: HashSet::new(),
+            recorder,
+            trace_link_seq: HashMap::new(),
         };
 
         // Program facts: inserted at their home node at time zero.
@@ -1135,6 +1160,7 @@ impl DistributedEngine {
     fn seal_and_ship_now(&mut self, at: SimTime, frame: ShipFrame) {
         let mut nodes = std::mem::take(&mut self.nodes);
         let mut effects = Vec::new();
+        let mut trace = Vec::new();
         {
             let mut ctx = PartitionCtx {
                 shared: EvalShared {
@@ -1143,6 +1169,7 @@ impl DistributedEngine {
                     symbols: &self.symbols,
                     directory: &self.directory,
                     dynamics: self.dynamics,
+                    tracing: self.recorder.is_some(),
                 },
                 nodes: &mut nodes,
                 var_table: &mut self.var_table,
@@ -1150,10 +1177,16 @@ impl DistributedEngine {
                 completion: &mut self.completion,
                 base_counter: &mut self.base_counter,
                 effects: &mut effects,
+                trace: &mut trace,
             };
             ctx.seal_and_ship(at, frame);
         }
         self.nodes = nodes;
+        if let Some(rec) = self.recorder.as_mut() {
+            for event in trace.drain(..) {
+                rec.push(event);
+            }
+        }
         self.apply_effects(effects);
     }
 
@@ -1231,7 +1264,69 @@ impl DistributedEngine {
         self.metrics.peak_store_bytes = self.metrics.peak_store_bytes.max(self.metrics.store_bytes);
         self.metrics.peak_index_bytes = self.metrics.peak_index_bytes.max(self.metrics.index_bytes);
         self.metrics.peak_tuples = self.metrics.peak_tuples.max(self.metrics.tuples_stored);
+        if let Some(rec) = self.recorder.as_mut() {
+            rec.finish();
+        }
         Ok(self.metrics.clone())
+    }
+
+    /// The flight recorder, when tracing was enabled via
+    /// [`EngineConfig::with_tracing`].  Read it after a run for the event
+    /// stream, the hot-rule profile, per-link frame lifecycles, and the
+    /// Chrome/Perfetto export.
+    pub fn trace(&self) -> Option<&TraceRecorder> {
+        self.recorder.as_ref()
+    }
+
+    /// Record one engine-side trace event (no-op when tracing is off).
+    fn trace_event(&mut self, at: SimTime, kind: TraceEventKind) {
+        if let Some(rec) = self.recorder.as_mut() {
+            rec.push(TraceEvent {
+                at_us: at.as_micros(),
+                kind,
+            });
+        }
+    }
+
+    /// Emit any due gauge samples before the queue head is processed.  The
+    /// head instant is the same whatever the worker count (all earlier work
+    /// has fully drained by the time the head crosses a sample boundary),
+    /// so the samples — and the queue/store state they observe — are
+    /// deterministic.
+    fn trace_sample_gauges(&mut self) {
+        let Some(&Reverse((head_at, _, _))) = self.queue.peek() else {
+            return;
+        };
+        let head_us = head_at.as_micros();
+        loop {
+            let due = match self
+                .recorder
+                .as_ref()
+                .and_then(|r| r.pending_gauge(head_us))
+            {
+                Some(due) => due,
+                None => return,
+            };
+            let queue_depth = self.items.len() as u64;
+            let inflight_frames: u64 = self.flink_inflight.values().map(|m| m.len() as u64).sum();
+            let store_bytes = self.store_bytes();
+            let index_bytes = self.index_bytes();
+            let rec = self
+                .recorder
+                .as_mut()
+                .expect("pending gauge implies recorder");
+            rec.flush_wave();
+            rec.push(TraceEvent {
+                at_us: due,
+                kind: TraceEventKind::Gauge {
+                    queue_depth,
+                    inflight_frames,
+                    store_bytes,
+                    index_bytes,
+                },
+            });
+            rec.advance_gauge();
+        }
     }
 
     /// Drains queued work in `(time, rank, seq)` order until the queue is
@@ -1248,6 +1343,9 @@ impl DistributedEngine {
         last_at: &mut SimTime,
     ) -> Result<(), EngineError> {
         loop {
+            if self.recorder.is_some() {
+                self.trace_sample_gauges();
+            }
             if parallel {
                 if let Some(wave) = self.pop_wave(bound) {
                     let wave_at = wave.last().expect("wave is non-empty").0;
@@ -1502,6 +1600,19 @@ impl DistributedEngine {
         _seq: u64,
         work: QueuedWork,
     ) -> Result<(), EngineError> {
+        // Engine-global work can never join a wave: close any open wave
+        // span before its events interleave into the trace.
+        if let Some(rec) = self.recorder.as_mut() {
+            if !matches!(
+                work,
+                QueuedWork::Deliver(_)
+                    | QueuedWork::Ship(_)
+                    | QueuedWork::Handshake { .. }
+                    | QueuedWork::HandshakeBatch { .. }
+            ) {
+                rec.flush_wave();
+            }
+        }
         match work {
             QueuedWork::Deliver(_)
             | QueuedWork::Ship(_)
@@ -1547,8 +1658,26 @@ impl DistributedEngine {
     /// same one the worker pool uses, but with the engine's real variable
     /// table and metrics, and with effects applied in emission order.
     fn eval_event(&mut self, at: SimTime, work: QueuedWork) -> Result<(), EngineError> {
+        // Wave-span feed info, captured before `work` moves into the
+        // context.  `owner: None` (wave-unsafe work, e.g. a retraction
+        // batch) closes the open span, exactly as the parallel driver's
+        // wave boundary would.
+        let feed = if self.recorder.is_some() {
+            let rank = Self::work_rank(&work);
+            let owner = match &work {
+                QueuedWork::HandshakeBatch { destination, .. } => {
+                    Some(self.directory[destination].0 .0)
+                }
+                w if self.wave_safe(w) => Some(self.directory[Self::wave_owner(w)].0 .0),
+                _ => None,
+            };
+            Some((rank, owner))
+        } else {
+            None
+        };
         let mut nodes = std::mem::take(&mut self.nodes);
         let mut effects = Vec::new();
+        let mut trace = Vec::new();
         let result = {
             let mut ctx = PartitionCtx {
                 shared: EvalShared {
@@ -1557,6 +1686,7 @@ impl DistributedEngine {
                     symbols: &self.symbols,
                     directory: &self.directory,
                     dynamics: self.dynamics,
+                    tracing: self.recorder.is_some(),
                 },
                 nodes: &mut nodes,
                 var_table: &mut self.var_table,
@@ -1564,10 +1694,19 @@ impl DistributedEngine {
                 completion: &mut self.completion,
                 base_counter: &mut self.base_counter,
                 effects: &mut effects,
+                trace: &mut trace,
             };
             ctx.run(at, work)
         };
         self.nodes = nodes;
+        if let Some(rec) = self.recorder.as_mut() {
+            if let Some((rank, owner)) = feed {
+                rec.feed_item(at.as_micros(), rank, owner, effects.len() as u32);
+            }
+            for event in trace.drain(..) {
+                rec.push(event);
+            }
+        }
         self.apply_effects(effects);
         result
     }
@@ -1634,6 +1773,22 @@ impl DistributedEngine {
     /// wave instant's whole boundary bucket before dispatch.)
     fn process_wave(&mut self, wave: Vec<(SimTime, u64, QueuedWork)>) -> Result<(), EngineError> {
         let workers = self.config.workers.max(1) as u32;
+        // Wave-span feed info, captured before the items move into their
+        // partition groups: the replay loop feeds (seq → owner) in queue-seq
+        // order, which is the sequential path's emission order — so the
+        // spans come out identical whatever the worker count.
+        let wave_at = wave.first().map(|&(at, _, _)| at).unwrap_or(SimTime::ZERO);
+        let wave_rank = wave
+            .first()
+            .map(|(_, _, work)| Self::work_rank(work))
+            .unwrap_or(0);
+        let feeds: BTreeMap<u64, u32> = if self.recorder.is_some() {
+            wave.iter()
+                .map(|(_, seq, work)| (*seq, self.directory[Self::wave_owner(work)].0 .0))
+                .collect()
+        } else {
+            BTreeMap::new()
+        };
         let mut groups: BTreeMap<u32, Vec<(SimTime, u64, QueuedWork)>> = BTreeMap::new();
         for (at, seq, work) in wave {
             let (node_id, _) = self.directory[Self::wave_owner(&work)];
@@ -1669,6 +1824,7 @@ impl DistributedEngine {
             symbols: &self.symbols,
             directory: &self.directory,
             dynamics: self.dynamics,
+            tracing: self.recorder.is_some(),
         };
         let mut outcomes: Vec<PartitionOutcome> = Vec::with_capacity(bundles.len());
         if bundles.len() == 1 {
@@ -1707,7 +1863,7 @@ impl DistributedEngine {
             .map(|o| o.busy)
             .max()
             .unwrap_or(SimTime::ZERO);
-        let mut events: Vec<(u64, Vec<Effect>)> = Vec::new();
+        let mut events: Vec<(u64, Vec<Effect>, Vec<TraceEvent>)> = Vec::new();
         let mut first_error: Option<(u64, EngineError)> = None;
         for outcome in outcomes {
             self.nodes.extend(outcome.nodes);
@@ -1721,8 +1877,21 @@ impl DistributedEngine {
                 }
             }
         }
-        events.sort_unstable_by_key(|(seq, _)| *seq);
-        for (_, effects) in events {
+        events.sort_unstable_by_key(|(seq, _, _)| *seq);
+        for (seq, effects, trace) in events {
+            if let Some(rec) = self.recorder.as_mut() {
+                if let Some(&owner) = feeds.get(&seq) {
+                    rec.feed_item(
+                        wave_at.as_micros(),
+                        wave_rank,
+                        Some(owner),
+                        effects.len() as u32,
+                    );
+                }
+                for event in trace {
+                    rec.push(event);
+                }
+            }
             self.apply_effects(effects);
         }
         // Only the slowest partition gates the wave: everything the other
@@ -2590,6 +2759,18 @@ impl<'a> PartitionCtx<'a> {
             now
         };
 
+        if self.shared.tracing {
+            self.trace.push(TraceEvent {
+                at_us: now.as_micros(),
+                kind: TraceEventKind::RuleFire {
+                    node: self.shared.directory[local].0 .0,
+                    rule: rule_plan.rule.label.clone(),
+                    cpu_us: probe_cost,
+                    derived: branches.len() as u32,
+                },
+            });
+        }
+
         for (bind, contribs, _) in branches {
             self.emit_head(local, rule_plan, &bind, &contribs, now)?;
         }
@@ -3200,6 +3381,16 @@ impl<'a> PartitionCtx<'a> {
         self.metrics.hmac_ops += 1;
 
         let node_id = self.nodes[src].node_id;
+        if self.shared.tracing {
+            self.trace.push(TraceEvent {
+                at_us: at.as_micros(),
+                kind: TraceEventKind::Handshake {
+                    src: node_id.0,
+                    dst: dst_id.0,
+                    epoch,
+                },
+            });
+        }
         let send_at = self.nodes.get_mut(src).expect("known location").run_cpu(
             at,
             SimTime::from_micros(self.shared.config.cost_model.rsa_sign_us),
@@ -3341,6 +3532,16 @@ impl DistributedEngine {
         if expired.is_empty() {
             return;
         }
+        if self.recorder.is_some() {
+            let node_id = self.directory[&loc].0 .0;
+            self.trace_event(
+                at,
+                TraceEventKind::Expiry {
+                    node: node_id,
+                    rows: expired.len() as u32,
+                },
+            );
+        }
         let cost = expired.len() as u64 * self.config.cost_model.tuple_process_us;
         let done = self
             .nodes
@@ -3368,6 +3569,32 @@ impl DistributedEngine {
     /// Applies one scripted churn event at its scheduled time.
     fn process_churn(&mut self, at: SimTime, event: ChurnEvent) -> Result<(), EngineError> {
         self.metrics.churn_events += 1;
+        if self.recorder.is_some() {
+            let (kind, subject) = match &event {
+                ChurnEvent::LinkUp { src, dst, .. } => ("link-up", format!("{src}->{dst}")),
+                ChurnEvent::LinkDown { src, dst } => ("link-down", format!("{src}->{dst}")),
+                ChurnEvent::LinkCut { src, dst } => ("link-cut", format!("{src}->{dst}")),
+                ChurnEvent::NodeCrash { node } => ("node-crash", node.to_string()),
+                ChurnEvent::NodeFail { node } => ("node-fail", node.to_string()),
+                ChurnEvent::NodeRejoin { node } => ("node-rejoin", node.to_string()),
+                ChurnEvent::Insert { location, tuple } => {
+                    ("insert", format!("{location} {}", tuple.predicate))
+                }
+                ChurnEvent::Retract { location, tuple } => {
+                    ("retract", format!("{location} {}", tuple.predicate))
+                }
+                ChurnEvent::Refresh { location, tuple } => {
+                    ("refresh", format!("{location} {}", tuple.predicate))
+                }
+            };
+            self.trace_event(
+                at,
+                TraceEventKind::Churn {
+                    kind: kind.to_string(),
+                    subject,
+                },
+            );
+        }
         match event {
             ChurnEvent::Insert { location, tuple } => {
                 self.insert_fact_at(location, tuple, at)?;
@@ -3617,6 +3844,7 @@ impl DistributedEngine {
             );
             return;
         }
+        let mut evicted = false;
         let src_node = self.nodes.get_mut(&src).expect("checked above");
         if let Some(epoch) = send_epoch {
             if src_node
@@ -3627,6 +3855,7 @@ impl DistributedEngine {
                 src_node.send_channels.remove(&dst_principal);
                 let floor = src_node.send_epoch_floor.entry(dst_principal).or_insert(0);
                 *floor = (*floor).max(epoch + 1);
+                evicted = true;
             }
         }
         let dst_node = self.nodes.get_mut(&dst).expect("checked above");
@@ -3639,7 +3868,17 @@ impl DistributedEngine {
                 dst_node.recv_channels.remove(&src_principal);
                 let floor = dst_node.recv_epoch_floor.entry(src_principal).or_insert(0);
                 *floor = (*floor).max(epoch + 1);
+                evicted = true;
             }
+        }
+        if evicted {
+            self.trace_event(
+                at,
+                TraceEventKind::ChannelEvicted {
+                    src: src_id,
+                    dst: dst_id,
+                },
+            );
         }
     }
 
@@ -3650,8 +3889,50 @@ impl DistributedEngine {
     /// installed.  Reliable runs — and work that never crosses a link —
     /// push straight onto the queue, so the fault machinery costs nothing
     /// when disabled.
+    /// Records the ship event for a remote frame on the reliable (no fault
+    /// plan) transport, where no per-link sequence numbers exist: the
+    /// recorder assigns a trace-only per-link ship ordinal.  Delivery is
+    /// implicit (reliable, in order), so no matching deliver event is
+    /// emitted; handshakes are covered by their own handshake event.
+    fn trace_reliable_ship(&mut self, at: SimTime, work: &QueuedWork) {
+        let QueuedWork::Deliver(batch) = work else {
+            return;
+        };
+        if !batch.is_remote {
+            return;
+        }
+        let Some(src) = batch
+            .rows
+            .first()
+            .and_then(|row| self.directory.get(&row.origin))
+            .map(|&(id, _)| id.0)
+        else {
+            return;
+        };
+        let Some(&(dst_id, _)) = self.directory.get(&batch.destination) else {
+            return;
+        };
+        let dst = dst_id.0;
+        let counter = self.trace_link_seq.entry((src, dst)).or_insert(0);
+        let seq = *counter;
+        *counter += 1;
+        let tuples = batch.rows.len() as u32;
+        self.trace_event(
+            at,
+            TraceEventKind::FrameShipped {
+                src,
+                dst,
+                seq,
+                tuples,
+            },
+        );
+    }
+
     fn queue_transport(&mut self, at: SimTime, work: QueuedWork) {
         if self.config.fault_plan.is_none() {
+            if self.recorder.is_some() {
+                self.trace_reliable_ship(at, &work);
+            }
             self.push_work(at, work);
             return;
         }
@@ -3680,12 +3961,27 @@ impl DistributedEngine {
             self.push_work(at, work);
             return;
         };
+        let frame_tuples = match (&self.recorder, &work) {
+            (Some(_), QueuedWork::Deliver(batch)) => batch.rows.len() as u32,
+            _ => 0,
+        };
         let seq = {
             let counter = self.flink_next_seq.entry((src, dst)).or_insert(0);
             let seq = *counter;
             *counter += 1;
             seq
         };
+        if self.recorder.is_some() && is_data {
+            self.trace_event(
+                at,
+                TraceEventKind::FrameShipped {
+                    src,
+                    dst,
+                    seq,
+                    tuples: frame_tuples,
+                },
+            );
+        }
         self.flink_inflight.entry((src, dst)).or_default().insert(
             seq,
             InFlightFrame {
@@ -3713,6 +4009,15 @@ impl DistributedEngine {
         let deliver_at = at + SimTime::from_micros(plan.extra_delay_us(src, dst, seq));
         if plan.drops(src, dst, seq, 0) {
             self.metrics.frames_dropped += 1;
+            self.trace_event(
+                deliver_at,
+                TraceEventKind::FrameDropped {
+                    src,
+                    dst,
+                    seq,
+                    attempt: 0,
+                },
+            );
             let rto = SimTime::from_micros(self.config.retransmit_rto_us);
             self.push_work(
                 deliver_at + rto,
@@ -3726,6 +4031,10 @@ impl DistributedEngine {
         }
         if plan.duplicates(src, dst, seq) {
             self.metrics.frames_duplicated += 1;
+            self.trace_event(
+                deliver_at,
+                TraceEventKind::FrameDuplicated { src, dst, seq },
+            );
             self.push_work(
                 deliver_at,
                 QueuedWork::FrameArrival {
@@ -3792,6 +4101,16 @@ impl DistributedEngine {
             };
             self.flink_next_expected.insert(link, expected + 1);
             progressed = true;
+            if self.recorder.is_some() && matches!(work, QueuedWork::Deliver(_)) {
+                self.trace_event(
+                    at,
+                    TraceEventKind::FrameDelivered {
+                        src,
+                        dst,
+                        seq: expected,
+                    },
+                );
+            }
             // Released frames evaluate at the arrival instant that filled
             // the gap — the earliest an in-order transport could have
             // delivered them.
@@ -3841,6 +4160,7 @@ impl DistributedEngine {
             },
         );
         let upto = self.flink_next_expected.get(&link).copied().unwrap_or(0);
+        self.trace_event(at, TraceEventKind::FrameAcked { src, dst, upto });
         if let Some(frames) = self.flink_inflight.get_mut(&link) {
             while frames.first_key_value().is_some_and(|(&seq, _)| seq < upto) {
                 frames.pop_first();
@@ -3874,6 +4194,15 @@ impl DistributedEngine {
             frame.attempt
         };
         self.metrics.retransmits += 1;
+        self.trace_event(
+            at,
+            TraceEventKind::FrameRetransmit {
+                src,
+                dst,
+                seq: frame_seq,
+                attempt: u32::from(attempt),
+            },
+        );
         if attempt > 1 {
             self.metrics.backoff_events += 1;
         }
@@ -3888,12 +4217,29 @@ impl DistributedEngine {
                 .and_then(|frames| frames.remove(&frame_seq))
                 .and_then(|frame| frame.work);
             if let Some(work) = work {
+                self.trace_event(
+                    at,
+                    TraceEventKind::FrameDead {
+                        src,
+                        dst,
+                        seq: frame_seq,
+                    },
+                );
                 self.reconcile_dead_frame(at, work);
             }
             return;
         }
         if plan.drops(src, dst, frame_seq, attempt) {
             self.metrics.frames_dropped += 1;
+            self.trace_event(
+                at,
+                TraceEventKind::FrameDropped {
+                    src,
+                    dst,
+                    seq: frame_seq,
+                    attempt: u32::from(attempt),
+                },
+            );
             let backoff = self.config.retransmit_rto_us << attempt.min(6);
             self.push_work(
                 at + SimTime::from_micros(backoff),
@@ -4036,10 +4382,37 @@ impl DistributedEngine {
         dead.sort_unstable_by_key(|&(seq, _)| seq);
         let sent = self.flink_next_seq.get(&link).copied().unwrap_or(0);
         self.flink_next_expected.insert(link, sent);
-        for (_, work) in dead {
+        for (seq, work) in dead {
+            self.trace_event(
+                at,
+                TraceEventKind::FrameDead {
+                    src: link.0,
+                    dst: link.1,
+                    seq,
+                },
+            );
             self.reconcile_dead_frame(at, work);
         }
+        if self.recorder.is_some() && self.channel_installed(src, dst) {
+            self.trace_event(
+                at,
+                TraceEventKind::ChannelEvicted {
+                    src: link.0,
+                    dst: link.1,
+                },
+            );
+        }
         self.evict_channel_now(src, dst);
+    }
+
+    /// Whether either half of the directed link's session channel is
+    /// currently installed (trace helper for the eviction events).
+    fn channel_installed(&self, src: &Value, dst: &Value) -> bool {
+        let (Some(src_node), Some(dst_node)) = (self.nodes.get(src), self.nodes.get(dst)) else {
+            return false;
+        };
+        src_node.send_channels.contains_key(&dst_node.principal)
+            || dst_node.recv_channels.contains_key(&src_node.principal)
     }
 
     /// Evicts the session channel of the directed link immediately — no
@@ -4179,6 +4552,17 @@ impl DistributedEngine {
         let graph_mode = self.config.graph_mode;
         let archive_offline = self.config.archive_offline;
         let pred_name = self.symbols.name(pred).unwrap_or("?").to_string();
+        if self.recorder.is_some() {
+            let node_id = self.directory[loc].0 .0;
+            self.trace_event(
+                now,
+                TraceEventKind::Retraction {
+                    node: node_id,
+                    pred: pred_name.clone(),
+                    reason: reason.to_string(),
+                },
+            );
+        }
         let mut routes = Vec::new();
         let mut agg_kills: Vec<u32> = Vec::new();
         {

@@ -98,4 +98,61 @@ fn main() {
     for origin in diagnosis.suspected_origins.iter().take(6) {
         println!("    {origin}");
     }
+    println!();
+
+    // ---- 4. Flight-recorder forensics on a lossy deployment -------------
+    // Re-run the session deployment over a faulty network with the
+    // deterministic flight recorder attached: the hot-rule profile shows
+    // where the simulated CPU went, and the per-link frame lifecycles show
+    // how the reliability layer fought the losses.
+    let mut lossy = SecureNetwork::builder()
+        .program(pasn::programs::reachability_ndlog())
+        .topology(workload::evaluation_topology(30, 7))
+        .config(
+            EngineConfig::sendlog_session()
+                .with_batching()
+                .with_fault_plan(FaultPlan::new(41))
+                .with_tracing(TraceConfig::new()),
+        )
+        .build()
+        .expect("program compiles");
+    let metrics = lossy.run().expect("fixpoint reached");
+    let trace = lossy.trace().expect("tracing enabled");
+    println!("== flight recorder: lossy N=30 session run ==\n");
+    println!(
+        "{} trace events over {} of simulated time\n",
+        trace.len(),
+        metrics.completion
+    );
+
+    println!("hot rules by simulated CPU:");
+    println!(
+        "  {:<28} {:>7} {:>12} {:>9}",
+        "rule", "fires", "cpu (us)", "derived"
+    );
+    for profile in trace.hot_rules(5) {
+        println!(
+            "  {:<28} {:>7} {:>12} {:>9}",
+            profile.rule, profile.fires, profile.cpu_us, profile.derived
+        );
+    }
+    println!();
+
+    let mut lifecycles = trace.link_lifecycles();
+    lifecycles.sort_by_key(|c| std::cmp::Reverse(c.dropped + c.retransmits));
+    println!("loss-affected links (ship/drop/retx/ack):");
+    for cycle in lifecycles.iter().filter(|c| c.dropped > 0).take(6) {
+        let (src, dst) = cycle.link;
+        println!(
+            "  n{src:<3}-> n{dst:<3} shipped {:>3}  dropped {:>2}  retransmits {:>2}  acks {:>3}",
+            cycle.shipped, cycle.dropped, cycle.retransmits, cycle.acks
+        );
+    }
+    let dropped: u64 = lifecycles.iter().map(|c| c.dropped).sum();
+    let retransmits: u64 = lifecycles.iter().map(|c| c.retransmits).sum();
+    println!(
+        "\ntrace totals: {dropped} drops / {retransmits} retransmits \
+         (RunMetrics agrees: {} / {})",
+        metrics.frames_dropped, metrics.retransmits
+    );
 }

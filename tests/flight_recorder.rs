@@ -1,0 +1,200 @@
+//! Integration tests for the deterministic flight recorder (`pasn-trace`):
+//! trace events are recorded in simulated time, reconstruct the transport
+//! counters exactly, never perturb a run, and are bit-identical across
+//! worker-pool sizes — the trace doubles as a determinism oracle.
+
+use pasn::prelude::*;
+use pasn::workload;
+
+fn reachability_30(config: EngineConfig) -> SecureNetwork {
+    SecureNetwork::builder()
+        .program(pasn::programs::reachability_ndlog())
+        .topology(workload::evaluation_topology(30, 7))
+        .config(config)
+        .build()
+        .unwrap()
+}
+
+/// The acceptance bar of the tentpole: on the lossy N=30 session
+/// deployment, the frame-lifecycle events reconstruct every transport
+/// counter exactly — each drop, duplicate, retransmission and ack in the
+/// trace corresponds one to one with the `RunMetrics` totals.
+#[test]
+fn lossy_trace_reconstructs_transport_counters() {
+    let mut net = reachability_30(
+        EngineConfig::sendlog_session()
+            .with_cost_model(CostModel::zero_cpu())
+            .with_batching()
+            .with_fault_plan(FaultPlan::new(41))
+            .with_tracing(TraceConfig::new()),
+    );
+    let metrics = net.run().unwrap();
+    assert!(metrics.frames_dropped > 0, "the fault plan must bite");
+    let trace = net.trace().expect("tracing enabled");
+
+    let cycles = trace.link_lifecycles();
+    let total = |f: fn(&pasn_engine::LinkLifecycle) -> u64| cycles.iter().map(f).sum::<u64>();
+    assert_eq!(total(|c| c.dropped), metrics.frames_dropped);
+    assert_eq!(total(|c| c.duplicated), metrics.frames_duplicated);
+    assert_eq!(total(|c| c.retransmits), metrics.retransmits);
+    assert_eq!(total(|c| c.acks), metrics.acks);
+    assert_eq!(total(|c| c.shipped), metrics.frames);
+    assert_eq!(
+        total(|c| c.delivered),
+        metrics.frames,
+        "the reliability layer must deliver every frame exactly once"
+    );
+    assert_eq!(total(|c| c.dead), 0, "no frame may exhaust its budget");
+
+    // The TraceQuery filters: link scoping and inclusive time windows.
+    let busiest = cycles
+        .iter()
+        .max_by_key(|c| c.shipped)
+        .expect("frames were shipped");
+    let (src, dst) = busiest.link;
+    let on_link = trace.query().link(src, dst).count();
+    assert!(on_link > 0);
+    assert!(trace.query().link(src, dst).between(0, u64::MAX).count() == on_link);
+    let full = trace.query().between(0, u64::MAX).count();
+    assert_eq!(full, trace.len());
+    let events = trace.query().link(src, dst).events();
+    assert!(events.iter().all(|e| e.kind.link() == Some((src, dst))));
+
+    // The Perfetto export carries every lifecycle stage as an args.kind.
+    let json = trace.to_chrome_json();
+    for kind in ["\"kind\":\"ship\"", "\"kind\":\"drop\"", "\"kind\":\"ack\""] {
+        assert!(json.contains(kind), "export must contain {kind}");
+    }
+}
+
+/// Tracing is observation only: the traced run's counters, fixpoint and
+/// stored orderings are bit-identical to the untraced run.
+#[test]
+fn tracing_never_perturbs_the_run() {
+    let config = || {
+        EngineConfig::sendlog_session()
+            .with_cost_model(CostModel::zero_cpu())
+            .with_batching()
+    };
+    let mut plain_net = reachability_30(config());
+    let plain = plain_net.run().unwrap();
+    let mut traced_net = reachability_30(config().with_tracing(TraceConfig::new()));
+    let traced = traced_net.run().unwrap();
+
+    let mut plain_cmp = plain.clone();
+    let mut traced_cmp = traced.clone();
+    // Host wall time is the one legitimately nondeterministic field.
+    plain_cmp.wall_clock = Default::default();
+    traced_cmp.wall_clock = Default::default();
+    assert_eq!(traced_cmp, plain_cmp, "tracing perturbed a counter");
+
+    for loc in plain_net.engine().locations().to_vec() {
+        let want: Vec<Tuple> = plain_net
+            .query_ordered(&loc, "reachable")
+            .into_iter()
+            .map(|(t, _)| t)
+            .collect();
+        let got: Vec<Tuple> = traced_net
+            .query_ordered(&loc, "reachable")
+            .into_iter()
+            .map(|(t, _)| t)
+            .collect();
+        assert_eq!(got, want, "tracing changed insertion order at {loc}");
+    }
+}
+
+/// The trace-as-oracle property: the full Chrome/Perfetto export — every
+/// event, every span, byte for byte — is identical between the sequential
+/// schedule and a four-worker pool.
+#[test]
+fn trace_is_bit_identical_across_worker_counts() {
+    let export = |workers: usize| {
+        let mut net = reachability_30(
+            EngineConfig::ndlog()
+                .with_batching()
+                .with_workers(workers)
+                .with_tracing(TraceConfig::new()),
+        );
+        net.run().unwrap();
+        net.trace().expect("tracing enabled").to_chrome_json()
+    };
+    let sequential = export(1);
+    let pooled = export(4);
+    assert!(
+        sequential.contains("\"kind\":\"wave\""),
+        "wave spans must be recorded"
+    );
+    assert_eq!(pooled, sequential, "trace diverged across worker counts");
+}
+
+/// Every derivation in the run is attributed to a rule firing in the
+/// trace, and the hot-rule profile aggregates them deterministically.
+#[test]
+fn hot_rule_profile_attributes_all_derivations() {
+    let mut net = reachability_30(EngineConfig::ndlog().with_tracing(TraceConfig::new()));
+    let metrics = net.run().unwrap();
+    let trace = net.trace().expect("tracing enabled");
+    let mut fired = 0u64;
+    let mut cpu = 0u64;
+    for event in trace.events() {
+        if let TraceEventKind::RuleFire {
+            derived, cpu_us, ..
+        } = event.kind
+        {
+            fired += u64::from(derived);
+            cpu += cpu_us;
+        }
+    }
+    assert_eq!(fired, metrics.derivations, "unattributed derivations");
+    assert!(cpu > 0, "the paper cost model charges join probes");
+    let profile = trace.hot_rules(10);
+    assert!(!profile.is_empty());
+    assert_eq!(profile.iter().map(|p| p.derived).sum::<u64>(), fired);
+    assert!(
+        profile.windows(2).all(|w| w[0].cpu_us >= w[1].cpu_us),
+        "profile must be sorted by CPU, descending"
+    );
+}
+
+/// Gauge samples land exactly on configured simulated-time boundaries, in
+/// order, and observe live state.
+#[test]
+fn gauge_samples_land_on_interval_boundaries() {
+    let interval = 200u64;
+    let mut net = reachability_30(
+        EngineConfig::ndlog().with_tracing(TraceConfig::new().with_gauge_interval_us(interval)),
+    );
+    net.run().unwrap();
+    let trace = net.trace().expect("tracing enabled");
+    let samples: Vec<(u64, u64)> = trace
+        .events()
+        .filter_map(|e| match e.kind {
+            TraceEventKind::Gauge { store_bytes, .. } => Some((e.at_us, store_bytes)),
+            _ => None,
+        })
+        .collect();
+    assert!(!samples.is_empty(), "the run must cross a sample boundary");
+    assert!(samples.iter().all(|&(at, _)| at % interval == 0));
+    assert!(
+        samples.windows(2).all(|w| w[0].0 < w[1].0),
+        "samples must be strictly ordered"
+    );
+    assert!(
+        samples.iter().any(|&(_, bytes)| bytes > 0),
+        "mid-run store residency must be observed"
+    );
+}
+
+/// The ring-buffer mode keeps the most recent events, counts evictions,
+/// and still exports cleanly.
+#[test]
+fn ring_buffer_bounds_long_runs() {
+    let mut net =
+        reachability_30(EngineConfig::ndlog().with_tracing(TraceConfig::new().with_ring(64)));
+    net.run().unwrap();
+    let trace = net.trace().expect("tracing enabled");
+    assert_eq!(trace.len(), 64);
+    assert!(trace.dropped_events() > 0);
+    let json = trace.to_chrome_json();
+    assert!(json.ends_with(&format!("],\"droppedEvents\":{}}}", trace.dropped_events())));
+}
